@@ -1,0 +1,89 @@
+// Ablation: component algorithm set.
+//
+// Section VIII proposes generalizing "with respect to the algorithms
+// employed as components". This bench compares the tuner restricted to
+// single components, the paper's three-algorithm set, and the extended
+// six-algorithm set, plus the exhaustive oracle at tiny P.
+#include <iostream>
+
+#include "barrier/algorithms.hpp"
+#include "core/cluster_tree.hpp"
+#include "core/composer.hpp"
+#include "barrier/cost_model.hpp"
+#include "core/search.hpp"
+#include "core/tuner.hpp"
+#include "netsim/engine.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double tuned_simulated(const optibar::TopologyProfile& profile,
+                       const std::vector<optibar::ComponentAlgorithm>& algos) {
+  using namespace optibar;
+  TuneOptions options;
+  options.composition.algorithms = algos;
+  const TuneResult tuned = tune_barrier(profile, options);
+  return simulate(tuned.schedule(), profile).barrier_time();
+}
+
+double searched_simulated(const optibar::TopologyProfile& profile) {
+  using namespace optibar;
+  const TopologyProfile symmetric = profile.symmetrized();
+  const ClusterNode tree = build_cluster_tree(symmetric);
+  const ComposedBarrier barrier = compose_barrier_searched(symmetric, tree);
+  return simulate(barrier.schedule, profile).barrier_time();
+}
+
+}  // namespace
+
+int main() {
+  using namespace optibar;
+  const MachineSpec machine = quad_cluster();
+  const auto paper = paper_algorithms();
+  const auto extended = extended_algorithms();
+
+  std::cout << "Ablation: component algorithm sets, " << machine.name()
+            << ", round-robin placement (simulated seconds)\n\n";
+  Table table({"P", "only_linear", "only_diss", "only_tree", "paper_set",
+               "extended_set", "global_search", "mpi_tree_baseline"});
+  for (std::size_t p : {8u, 16u, 22u, 32u, 40u, 48u, 64u}) {
+    const TopologyProfile profile =
+        generate_profile(machine, round_robin_mapping(machine, p));
+    table.add_row(
+        {Table::num(p),
+         Table::num(tuned_simulated(profile, {paper[0]}), 8),
+         Table::num(tuned_simulated(profile, {paper[1]}), 8),
+         Table::num(tuned_simulated(profile, {paper[2]}), 8),
+         Table::num(tuned_simulated(profile, paper), 8),
+         Table::num(tuned_simulated(profile, extended), 8),
+         Table::num(searched_simulated(profile), 8),
+         Table::num(simulate(tree_barrier(p), profile).barrier_time(), 8)});
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+
+  std::cout << "\nGreedy vs exhaustive oracle (predicted cost, tiny P):\n";
+  Table oracle_table({"P", "greedy_predicted", "oracle_predicted",
+                      "gap_percent", "oracle_nodes"});
+  for (std::size_t p : {2u, 3u}) {
+    const TopologyProfile profile =
+        generate_profile(quad_cluster(1), block_mapping(quad_cluster(1), p));
+    const TuneResult greedy = tune_barrier(profile);
+    SearchOptions sopts;
+    sopts.max_stages = 3;
+    const SearchResult oracle = exhaustive_search(profile, sopts);
+    oracle_table.add_row(
+        {Table::num(p), Table::num(greedy.predicted_cost(), 9),
+         Table::num(oracle.cost, 9),
+         Table::num(100.0 * (greedy.predicted_cost() - oracle.cost) /
+                        oracle.cost,
+                    2),
+         Table::num(oracle.nodes_explored)});
+  }
+  oracle_table.print(std::cout);
+  return 0;
+}

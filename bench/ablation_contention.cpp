@@ -1,0 +1,59 @@
+// Ablation: shared-egress (NIC) contention.
+//
+// Section VI-A notes that absolute accuracy on a commodity cluster
+// "would likely require us to augment the cost model with terms for
+// further phenomena". This bench quantifies one such phenomenon: with
+// one egress resource per node, algorithms whose stages have many
+// concurrent remote senders per node (dissemination) degrade far more
+// than sparse-sender algorithms (tree) or the locality-aware hybrid —
+// additional physical justification for the paper's measured ordering.
+#include <iostream>
+
+#include "barrier/algorithms.hpp"
+#include "core/tuner.hpp"
+#include "netsim/engine.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace optibar;
+  const MachineSpec machine = quad_cluster();
+  std::cout << "Ablation: per-node egress contention, " << machine.name()
+            << ", round-robin placement (simulated us, no noise)\n\n";
+  Table table({"P", "algorithm", "free_egress[us]", "contended[us]",
+               "slowdown"});
+  for (std::size_t p : {16u, 32u, 48u, 64u}) {
+    const Mapping mapping = round_robin_mapping(machine, p);
+    const TopologyProfile profile = generate_profile(machine, mapping);
+    const TuneResult tuned = tune_barrier(profile);
+    SimOptions contended;
+    contended.egress_resource_of = node_egress_resources(machine, mapping);
+
+    struct Entry {
+      const char* name;
+      Schedule schedule;
+    };
+    const Entry entries[] = {
+        {"dissemination", dissemination_barrier(p)},
+        {"tree (MPI)", tree_barrier(p)},
+        {"linear", linear_barrier(p)},
+        {"hybrid (tuned)", tuned.schedule()},
+    };
+    for (const Entry& entry : entries) {
+      const double free_egress =
+          simulate(entry.schedule, profile).barrier_time();
+      const double with_contention =
+          simulate(entry.schedule, profile, contended).barrier_time();
+      table.add_row({Table::num(p), entry.name,
+                     Table::num(free_egress * 1e6, 1),
+                     Table::num(with_contention * 1e6, 1),
+                     Table::num(with_contention / free_egress, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

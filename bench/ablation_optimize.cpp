@@ -1,0 +1,58 @@
+// Ablation: schedule post-optimization.
+//
+// How much do validity-preserving signal pruning and stage fusion buy
+// on top of (a) the classic algorithms and (b) the tuned hybrid? The
+// hybrid row bounds what the greedy composition leaves on the table at
+// the schedule level; the dissemination row shows the redundancy the
+// classic pattern carries by construction.
+#include <iostream>
+
+#include "barrier/algorithms.hpp"
+#include "barrier/optimize.hpp"
+#include "core/tuner.hpp"
+#include "netsim/engine.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace optibar;
+  const MachineSpec machine = quad_cluster();
+  std::cout << "Ablation: schedule post-optimization (prune + fuse), "
+            << machine.name() << ", round-robin placement\n\n";
+  Table table({"P", "schedule", "signals", "signals_opt", "stages",
+               "stages_opt", "sim_before[us]", "sim_after[us]"});
+  for (std::size_t p : {16u, 32u, 48u}) {
+    const TopologyProfile profile =
+        generate_profile(machine, round_robin_mapping(machine, p));
+    const TuneResult tuned = tune_barrier(profile);
+    struct Entry {
+      const char* name;
+      Schedule schedule;
+    };
+    const Entry entries[] = {
+        {"dissemination", dissemination_barrier(p)},
+        {"tree (MPI)", tree_barrier(p)},
+        {"hybrid (tuned)", tuned.schedule()},
+    };
+    for (const Entry& entry : entries) {
+      const OptimizeResult result =
+          optimize_schedule(entry.schedule, profile);
+      table.add_row(
+          {Table::num(p), entry.name,
+           Table::num(entry.schedule.total_signals()),
+           Table::num(result.schedule.total_signals()),
+           Table::num(entry.schedule.stage_count()),
+           Table::num(result.schedule.stage_count()),
+           Table::num(simulate(entry.schedule, profile).barrier_time() * 1e6,
+                      1),
+           Table::num(
+               simulate(result.schedule, profile).barrier_time() * 1e6, 1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every validation bench sweeps rank counts on one of the paper's two
+// machines and reports, per algorithm, the model prediction (Eq. 1-3
+// critical path) and the "measured" value (discrete-event simulation
+// with per-message noise, mean of 25 repetitions — mirroring the
+// paper's measurement protocol). Output is an aligned table followed by
+// CSV so EXPERIMENTS.md entries are copy-paste traceable.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "barrier/algorithms.hpp"
+#include "barrier/cost_model.hpp"
+#include "netsim/engine.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/table.hpp"
+
+namespace optibar::bench {
+
+/// Measurement protocol shared by all validation benches.
+struct Protocol {
+  std::size_t repetitions = 25;  ///< paper: mean of 25 repetitions
+  double jitter = 0.03;          ///< per-message multiplicative noise
+  std::uint64_t seed = 2011;     ///< IPDPS 2011
+};
+
+inline TopologyProfile profile_for(const MachineSpec& machine, std::size_t p) {
+  return generate_profile(machine, round_robin_mapping(machine, p));
+}
+
+inline double measure(const Schedule& schedule, const TopologyProfile& profile,
+                      const Protocol& protocol) {
+  SimOptions options;
+  options.jitter = protocol.jitter;
+  options.seed = protocol.seed;
+  return simulate_mean_time(schedule, profile, options, protocol.repetitions);
+}
+
+/// One named algorithm for a sweep.
+struct SweepAlgorithm {
+  std::string name;
+  std::function<Schedule(std::size_t)> make;
+};
+
+inline std::vector<SweepAlgorithm> classic_algorithms() {
+  return {
+      {"D", [](std::size_t p) { return dissemination_barrier(p); }},
+      {"T", [](std::size_t p) { return tree_barrier(p); }},
+      {"L", [](std::size_t p) { return linear_barrier(p); }},
+  };
+}
+
+/// Sweep P = from..to, printing predicted and measured columns per
+/// algorithm (the two panels of Figures 5/6 side by side).
+inline void run_validation_sweep(const MachineSpec& machine, std::size_t from,
+                                 std::size_t to,
+                                 const Protocol& protocol = {}) {
+  std::vector<std::string> headers{"P"};
+  const auto algorithms = classic_algorithms();
+  for (const auto& algo : algorithms) {
+    headers.push_back(algo.name + "_predicted");
+  }
+  for (const auto& algo : algorithms) {
+    headers.push_back(algo.name + "_measured");
+  }
+  Table table(std::move(headers));
+  for (std::size_t p = from; p <= to; ++p) {
+    const TopologyProfile profile = profile_for(machine, p);
+    std::vector<std::string> row{Table::num(p)};
+    std::vector<std::string> measured;
+    for (const auto& algo : algorithms) {
+      const Schedule schedule = algo.make(p);
+      row.push_back(Table::num(predicted_time(schedule, profile), 8));
+      measured.push_back(Table::num(measure(schedule, profile, protocol), 8));
+    }
+    row.insert(row.end(), measured.begin(), measured.end());
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+}
+
+}  // namespace optibar::bench

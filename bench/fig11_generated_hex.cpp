@@ -1,0 +1,33 @@
+// Figure 11-B: performance of generated codes on the dual hex-core
+// cluster — hybrid vs MPI(tree), P = 2..120, round-robin placement.
+//
+// Expected shape (paper): the hybrid's advantage grows with scale; "on
+// the bigger system, this benefit halves the barrier overhead for our
+// largest cases"; the top-level switch shows at the 5th node (P=60).
+#include "common.hpp"
+
+#include "core/tuner.hpp"
+
+int main() {
+  using namespace optibar;
+  const MachineSpec machine = hex_cluster();
+  std::cout << "Figure 11-B: generated hybrid vs MPI(tree) barrier, "
+            << machine.name() << ", P=2..120\n\n";
+  Table table({"P", "MPI_measured", "hybrid_measured", "speedup",
+               "hybrid_root_algo"});
+  const bench::Protocol protocol;
+  for (std::size_t p = 2; p <= 120; ++p) {
+    const TopologyProfile profile = bench::profile_for(machine, p);
+    const TuneResult tuned = tune_barrier(profile);
+    const double mpi = bench::measure(tree_barrier(p), profile, protocol);
+    const double hybrid =
+        bench::measure(tuned.schedule(), profile, protocol);
+    table.add_row({Table::num(p), Table::num(mpi, 8), Table::num(hybrid, 8),
+                   Table::num(mpi / hybrid, 3),
+                   tuned.barrier().root_algorithm});
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 11-A: performance of generated codes on the dual quad-core
+// cluster — the adaptive hybrid barrier vs the MPI_Barrier baseline
+// (OpenMPI's binary tree, per Section VII-C), P = 2..64, round-robin
+// placement.
+//
+// Expected shape (paper): hybrid <= MPI everywhere; a visible drop in
+// hybrid time where the top-level algorithm choice changes (the paper
+// sees it at the 5th node, P=40 here); large relative wins at full
+// machine scale.
+#include "common.hpp"
+
+#include "core/tuner.hpp"
+
+int main() {
+  using namespace optibar;
+  const MachineSpec machine = quad_cluster();
+  std::cout << "Figure 11-A: generated hybrid vs MPI(tree) barrier, "
+            << machine.name() << ", P=2..64\n\n";
+  Table table({"P", "MPI_measured", "hybrid_measured", "speedup",
+               "hybrid_root_algo"});
+  const bench::Protocol protocol;
+  for (std::size_t p = 2; p <= 64; ++p) {
+    const TopologyProfile profile = bench::profile_for(machine, p);
+    const TuneResult tuned = tune_barrier(profile);
+    const double mpi = bench::measure(tree_barrier(p), profile, protocol);
+    const double hybrid =
+        bench::measure(tuned.schedule(), profile, protocol);
+    table.add_row({Table::num(p), Table::num(mpi, 8), Table::num(hybrid, 8),
+                   Table::num(mpi / hybrid, 3),
+                   tuned.barrier().root_algorithm});
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

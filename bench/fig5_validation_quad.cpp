@@ -1,0 +1,24 @@
+// Figure 5: model validation on 8 nodes of dual quad-cores.
+//
+// Panel A of the paper plots the predicted execution time of the
+// dissemination (D), tree (T) and linear (L) barriers for P = 2..64
+// under the round-robin process placement of the departmental cluster;
+// panel B plots the measured times. This bench prints both series.
+//
+// Expected shape (paper, Section VI-A):
+//   - L grows steepest and is worst at scale;
+//   - D dips at power-of-two sizes (32, 64) where late phases become
+//     node-local;
+//   - D oscillates between odd and even P in the 2-node region (9..16)
+//     under round-robin placement;
+//   - T is best overall at scale.
+#include "common.hpp"
+
+int main() {
+  using namespace optibar;
+  const MachineSpec machine = quad_cluster();
+  std::cout << "Figure 5: predicted vs measured, " << machine.name()
+            << ", round-robin placement, P=2..64\n\n";
+  bench::run_validation_sweep(machine, 2, 64);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 6: model validation on 10 nodes of dual hex-cores, P = 2..120.
+//
+// Expected shape (paper, Section VI-A): same algorithm ordering as the
+// quad cluster but with "fewer noticeable artifacts, as its
+// multiple-of-12-core shared memory configuration does not coincide with
+// special cases of the algorithms' design".
+#include "common.hpp"
+
+int main() {
+  using namespace optibar;
+  const MachineSpec machine = hex_cluster();
+  std::cout << "Figure 6: predicted vs measured, " << machine.name()
+            << ", round-robin placement, P=2..120\n\n";
+  bench::run_validation_sweep(machine, 2, 120);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 7: individual barriers on 8 nodes of dual quad-cores —
+// measured vs predicted overlaid per algorithm (panels A: linear,
+// B: dissemination, C: tree).
+//
+// Expected shape: predicted tracks measured per algorithm to within a
+// roughly constant offset ("an error of approximately 200us ... its
+// magnitude does not increase with scale", Section VI-A).
+#include "common.hpp"
+
+namespace {
+
+void panel(const char* title, const optibar::bench::SweepAlgorithm& algo,
+           const optibar::MachineSpec& machine, std::size_t max_p) {
+  using namespace optibar;
+  std::cout << title << "\n";
+  Table table({"P", "measured", "predicted", "pred/meas"});
+  for (std::size_t p = 2; p <= max_p; ++p) {
+    const TopologyProfile profile = bench::profile_for(machine, p);
+    const Schedule schedule = algo.make(p);
+    const double measured =
+        bench::measure(schedule, profile, bench::Protocol{});
+    const double predicted = predicted_time(schedule, profile);
+    table.add_row({Table::num(p), Table::num(measured, 8),
+                   Table::num(predicted, 8),
+                   Table::num(predicted / measured, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace optibar;
+  const MachineSpec machine = quad_cluster();
+  std::cout << "Figure 7: individual barriers, " << machine.name() << "\n\n";
+  const auto algorithms = bench::classic_algorithms();
+  panel("A) Linear barrier", algorithms[2], machine, 64);
+  panel("B) Dissemination barrier", algorithms[0], machine, 64);
+  panel("C) Tree barrier", algorithms[1], machine, 64);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 8: individual barriers on 10 nodes of dual hex-cores —
+// measured vs predicted overlaid per algorithm, P = 2..120.
+#include "common.hpp"
+
+namespace {
+
+void panel(const char* title, const optibar::bench::SweepAlgorithm& algo,
+           const optibar::MachineSpec& machine, std::size_t max_p) {
+  using namespace optibar;
+  std::cout << title << "\n";
+  Table table({"P", "measured", "predicted", "pred/meas"});
+  for (std::size_t p = 2; p <= max_p; ++p) {
+    const TopologyProfile profile = bench::profile_for(machine, p);
+    const Schedule schedule = algo.make(p);
+    const double measured =
+        bench::measure(schedule, profile, bench::Protocol{});
+    const double predicted = predicted_time(schedule, profile);
+    table.add_row({Table::num(p), Table::num(measured, 8),
+                   Table::num(predicted, 8),
+                   Table::num(predicted / measured, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace optibar;
+  const MachineSpec machine = hex_cluster();
+  std::cout << "Figure 8: individual barriers, " << machine.name() << "\n\n";
+  const auto algorithms = bench::classic_algorithms();
+  panel("A) Linear barrier", algorithms[2], machine, 120);
+  panel("B) Dissemination barrier", algorithms[0], machine, 120);
+  panel("C) Tree barrier", algorithms[1], machine, 120);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Google-benchmark: microbenchmarks of the hot components — the Eq. 3
+// validity check, the cost predictor, the discrete-event engine, and
+// boolean matrix products — sized to the paper's machines.
+#include <benchmark/benchmark.h>
+
+#include "barrier/algorithms.hpp"
+#include "barrier/cost_model.hpp"
+#include "barrier/optimize.hpp"
+#include "core/sss.hpp"
+#include "netsim/engine.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+
+namespace {
+
+using namespace optibar;
+
+void BM_ValidityCheck(benchmark::State& state) {
+  const Schedule s =
+      dissemination_barrier(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.is_barrier());
+  }
+}
+BENCHMARK(BM_ValidityCheck)->Arg(16)->Arg(64)->Arg(120);
+
+void BM_BoolMatrixMultiply(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  BoolMatrix a = BoolMatrix::identity(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    a(i, i + 1) = 1;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bool_multiply(a, a));
+  }
+}
+BENCHMARK(BM_BoolMatrixMultiply)->Arg(64)->Arg(120)->Arg(256);
+
+void BM_CostPrediction(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const MachineSpec m = p <= 64 ? quad_cluster() : hex_cluster();
+  const TopologyProfile profile =
+      generate_profile(m, round_robin_mapping(m, p));
+  const Schedule s = tree_barrier(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predicted_time(s, profile));
+  }
+}
+BENCHMARK(BM_CostPrediction)->Arg(16)->Arg(64)->Arg(120);
+
+void BM_NetsimExecution(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const MachineSpec m = p <= 64 ? quad_cluster() : hex_cluster();
+  const TopologyProfile profile =
+      generate_profile(m, round_robin_mapping(m, p));
+  const Schedule s = dissemination_barrier(p);
+  SimOptions opts;
+  opts.jitter = 0.03;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    opts.seed = ++seed;
+    benchmark::DoNotOptimize(simulate(s, profile, opts));
+  }
+}
+BENCHMARK(BM_NetsimExecution)->Arg(16)->Arg(64)->Arg(120);
+
+void BM_SssClustering(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const MachineSpec m = p <= 64 ? quad_cluster() : hex_cluster();
+  const TopologyProfile profile =
+      generate_profile(m, round_robin_mapping(m, p));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sss_cluster(
+        p, [&](std::size_t a, std::size_t b) { return profile.distance(a, b); }));
+  }
+}
+BENCHMARK(BM_SssClustering)->Arg(64)->Arg(120);
+
+void BM_SignalPruning(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const MachineSpec m = quad_cluster();
+  const TopologyProfile profile =
+      generate_profile(m, round_robin_mapping(m, p));
+  const Schedule s = tree_barrier(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prune_redundant_signals(s, profile));
+  }
+}
+BENCHMARK(BM_SignalPruning)->Arg(16)->Arg(32);
+
+void BM_ProfileGeneration(benchmark::State& state) {
+  const MachineSpec m = hex_cluster();
+  const Mapping mapping =
+      round_robin_mapping(m, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_profile(m, mapping));
+  }
+}
+BENCHMARK(BM_ProfileGeneration)->Arg(64)->Arg(120);
+
+}  // namespace

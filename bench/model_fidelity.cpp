@@ -1,0 +1,94 @@
+// Model fidelity: the quantitative form of Section VI's conclusion.
+//
+// "the combined model clearly captures the interaction between the
+//  algorithm and topology. This is immediately visible from the shape of
+//  the graphs, and their relative displacements, to an error of
+//  approximately 200us"
+//
+// For every algorithm on both machines this bench reports, over the full
+// P sweep: Spearman rank correlation between the predicted and simulated
+// series (shape agreement), mean/max absolute error (the paper's offset
+// band), and mean relative error. It also reports cross-algorithm rank
+// correlation per P — whether the model orders algorithms correctly at
+// each size, which is what the greedy tuner relies on.
+#include <iostream>
+#include <vector>
+
+#include "barrier/algorithms.hpp"
+#include "barrier/cost_model.hpp"
+#include "netsim/engine.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/fidelity.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace optibar;
+
+void sweep(const MachineSpec& machine, std::size_t max_p) {
+  std::cout << machine.name() << ", round-robin, P=2.." << max_p << "\n";
+  struct Algo {
+    const char* name;
+    Schedule (*make)(std::size_t);
+  };
+  const Algo algos[] = {{"linear", linear_barrier},
+                        {"dissemination", dissemination_barrier},
+                        {"tree", tree_barrier},
+                        {"pairwise-exch", pairwise_exchange_barrier}};
+
+  Table per_algo({"algorithm", "spearman", "mean_abs[us]", "max_abs[us]",
+                  "mean_rel[%]"});
+  std::vector<std::vector<double>> predicted_by_algo(std::size(algos));
+  std::vector<std::vector<double>> simulated_by_algo(std::size(algos));
+  for (std::size_t a = 0; a < std::size(algos); ++a) {
+    for (std::size_t p = 2; p <= max_p; ++p) {
+      const TopologyProfile profile =
+          generate_profile(machine, round_robin_mapping(machine, p));
+      const Schedule s = algos[a].make(p);
+      predicted_by_algo[a].push_back(predicted_time(s, profile));
+      simulated_by_algo[a].push_back(simulate(s, profile).barrier_time());
+    }
+    const FidelityStats stats =
+        fidelity(predicted_by_algo[a], simulated_by_algo[a]);
+    per_algo.add_row({algos[a].name, Table::num(stats.rank_correlation, 4),
+                      Table::num(stats.mean_abs_error * 1e6, 1),
+                      Table::num(stats.max_abs_error * 1e6, 1),
+                      Table::num(stats.mean_rel_error * 100, 1)});
+  }
+  per_algo.print(std::cout);
+
+  // Cross-algorithm ordering per P: fraction of sizes where the model's
+  // algorithm ranking matches the simulator's perfectly, and the mean
+  // cross-algorithm Spearman.
+  std::size_t perfect = 0;
+  double rho_sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t idx = 0; idx < predicted_by_algo[0].size(); ++idx) {
+    std::vector<double> pred;
+    std::vector<double> sim;
+    for (std::size_t a = 0; a < std::size(algos); ++a) {
+      pred.push_back(predicted_by_algo[a][idx]);
+      sim.push_back(simulated_by_algo[a][idx]);
+    }
+    const double rho = spearman_correlation(pred, sim);
+    rho_sum += rho;
+    ++count;
+    if (rho > 0.999) {
+      ++perfect;
+    }
+  }
+  std::cout << "cross-algorithm ordering: mean Spearman "
+            << rho_sum / static_cast<double>(count) << ", exact at "
+            << perfect << "/" << count << " sizes\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Model fidelity (predicted vs simulated)\n\n";
+  sweep(quad_cluster(), 64);
+  sweep(hex_cluster(), 120);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Extension experiment E1 (Section VIII future work): dynamic
+// re-tuning under changing conditions.
+//
+// Scenario: an application calls barriers continuously on the quad
+// cluster while the run-time conditions change twice —
+//   phase 1: the profiled (round-robin) placement,
+//   phase 2: the scheduler silently re-places ranks block-wise
+//            ("affinity drift": the profile's locality assumptions die),
+//   phase 3: background load makes every inter-node link 4x slower.
+// The controller folds pairwise observations into its drift monitor and
+// re-evaluates with the amortization rule after each phase. Reported:
+// drift seen, decision taken, break-even calls, and the simulated cost
+// of the active schedule before/after on the true profile.
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "core/retune.hpp"
+#include "netsim/engine.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace optibar;
+
+TopologyProfile slowed_internode(const TopologyProfile& profile,
+                                 const MachineSpec& machine,
+                                 const Mapping& mapping, double factor) {
+  Matrix<double> o = profile.overhead();
+  Matrix<double> l = profile.latency();
+  for (std::size_t i = 0; i < profile.ranks(); ++i) {
+    for (std::size_t j = 0; j < profile.ranks(); ++j) {
+      if (i != j && machine.link_level(mapping.core_of(i), mapping.core_of(j)) ==
+                        LinkLevel::kInterNode) {
+        o(i, j) *= factor;
+        l(i, j) *= factor;
+      }
+    }
+  }
+  return TopologyProfile(std::move(o), std::move(l));
+}
+
+void feed(AdaptiveBarrierController& controller,
+          const TopologyProfile& truth) {
+  for (std::size_t i = 0; i < truth.ranks(); ++i) {
+    for (std::size_t j = i + 1; j < truth.ranks(); ++j) {
+      controller.monitor().observe_overhead(i, j, truth.o(i, j));
+      controller.monitor().observe_latency(i, j, truth.l(i, j));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace optibar;
+  const MachineSpec machine = quad_cluster();
+  const std::size_t ranks = 32;
+  const Mapping rr = round_robin_mapping(machine, ranks);
+  const Mapping block = block_mapping(machine, ranks);
+
+  const TopologyProfile phase1 = generate_profile(machine, rr);
+  const TopologyProfile phase2 = generate_profile(machine, block);
+  const TopologyProfile phase3 =
+      slowed_internode(phase2, machine, block, 4.0);
+
+  ControllerOptions options;
+  options.drift_threshold = 0.2;
+  options.alpha = 0.5;
+  options.retune_overhead = 0.1;  // the paper's ~0.1 s tuning figure
+  AdaptiveBarrierController controller(phase1, options);
+
+  std::cout << "Dynamic re-tuning experiment, " << machine.name() << ", "
+            << ranks << " ranks, drift threshold "
+            << options.drift_threshold << ", re-tune overhead "
+            << options.retune_overhead << " s\n\n";
+  Table table({"phase", "event", "drift", "retuned", "gain/call[us]",
+               "break_even[calls]", "active_cost_on_truth[us]"});
+
+  struct Phase {
+    const char* name;
+    const char* event;
+    const TopologyProfile* truth;
+    double horizon;
+  };
+  const Phase phases[] = {
+      {"1", "profiled conditions", &phase1, 1e6},
+      {"2a", "affinity drift, 10 calls left", &phase2, 10.0},
+      {"2b", "affinity drift, long horizon", &phase2, 1e6},
+      {"3", "background load (internode x4)", &phase3, 1e6},
+  };
+  for (const Phase& phase : phases) {
+    feed(controller, *phase.truth);
+    const double drift = controller.monitor().max_drift();
+    const bool retuned = controller.reevaluate(phase.horizon);
+    const RetuneDecision& decision = controller.last_decision();
+    const double cost =
+        simulate(controller.schedule(), *phase.truth).barrier_time();
+    const std::string break_even =
+        std::isinf(decision.break_even_calls)
+            ? std::string("inf")
+            : Table::num(decision.break_even_calls, 1);
+    table.add_row({phase.name, phase.event, Table::num(drift, 3),
+                   std::string(retuned ? "yes" : "no"),
+                   Table::num(decision.gain_per_call * 1e6, 2), break_even,
+                   Table::num(cost * 1e6, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\ntotal re-tunes: " << controller.retune_count()
+            << ". Phase 1 sees no drift; phase 2a is declined by the\n"
+               "amortization rule (10 calls cannot pay a 0.1 s re-tune);\n"
+               "phase 2b accepts the same candidate with a long horizon;\n"
+               "phase 3 re-tunes again because the slower network shifts\n"
+               "the greedy algorithm trade-offs at the cluster roots.\n";
+  return 0;
+}

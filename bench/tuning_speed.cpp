@@ -1,0 +1,76 @@
+// Google-benchmark: tuning pipeline speed.
+//
+// Section VIII: "With a topological model ready, the generation and
+// evaluation of adapted patterns requires on the order of 0.1 seconds,
+// making it feasible to periodically re-evaluate the efficiency of
+// synchronization through changing conditions." This bench measures the
+// clustering + composition + prediction pipeline (and its stages) at the
+// paper's machine sizes.
+#include <benchmark/benchmark.h>
+
+#include "barrier/cost_model.hpp"
+#include "core/cluster_tree.hpp"
+#include "core/composer.hpp"
+#include "core/tuner.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+
+namespace {
+
+using namespace optibar;
+
+TopologyProfile profile_for(std::size_t p) {
+  const MachineSpec machine = p <= 64 ? quad_cluster() : hex_cluster();
+  return generate_profile(machine, round_robin_mapping(machine, p));
+}
+
+void BM_FullTuningPipeline(benchmark::State& state) {
+  const TopologyProfile profile =
+      profile_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tune_barrier(profile));
+  }
+}
+BENCHMARK(BM_FullTuningPipeline)->Arg(16)->Arg(32)->Arg(64)->Arg(120);
+
+void BM_ClusterTreeOnly(benchmark::State& state) {
+  const TopologyProfile profile =
+      profile_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_cluster_tree(profile));
+  }
+}
+BENCHMARK(BM_ClusterTreeOnly)->Arg(64)->Arg(120);
+
+void BM_CompositionOnly(benchmark::State& state) {
+  const TopologyProfile profile =
+      profile_for(static_cast<std::size_t>(state.range(0)));
+  const ClusterNode tree = build_cluster_tree(profile);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compose_barrier(profile, tree));
+  }
+}
+BENCHMARK(BM_CompositionOnly)->Arg(64)->Arg(120);
+
+void BM_PredictionOnly(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const TopologyProfile profile = profile_for(p);
+  const TuneResult tuned = tune_barrier(profile);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predicted_time(tuned.schedule(), profile));
+  }
+}
+BENCHMARK(BM_PredictionOnly)->Arg(64)->Arg(120);
+
+void BM_CodeGeneration(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const TopologyProfile profile = profile_for(p);
+  const TuneResult tuned = tune_barrier(profile);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuned.generated_code());
+  }
+}
+BENCHMARK(BM_CodeGeneration)->Arg(64)->Arg(120);
+
+}  // namespace

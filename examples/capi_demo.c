@@ -1,0 +1,64 @@
+/*
+ * Pure-C consumer of the optibar C API — what an existing MPI code would
+ * compile against. Opens an installed machine profile, fetches the tuned
+ * world plan, and prints each rank's hard-coded signal sequence in the
+ * shape the application would replay with MPI_Issend / MPI_Irecv /
+ * MPI_Waitall.
+ *
+ * (The profile file is produced by `optibar profile ...`; this demo
+ * expects its path as argv[1] and falls back to a message when absent.)
+ */
+#include <stdio.h>
+#include <stdlib.h>
+
+#include "capi/optibar.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    fprintf(stderr,
+            "usage: %s <profile-file>\n"
+            "create one with: optibar profile --machine quad --ranks 16 "
+            "--out profile.txt\n",
+            argv[0]);
+    return 1;
+  }
+
+  char errbuf[256];
+  optibar_library* library = optibar_open(argv[1], errbuf, sizeof errbuf);
+  if (library == NULL) {
+    fprintf(stderr, "optibar_open failed: %s\n", errbuf);
+    return 1;
+  }
+  printf("profile covers %zu ranks\n", optibar_ranks(library));
+
+  const optibar_plan* plan = optibar_world_plan(library, errbuf,
+                                                sizeof errbuf);
+  if (plan == NULL) {
+    fprintf(stderr, "optibar_world_plan failed: %s\n", errbuf);
+    optibar_close(library);
+    return 1;
+  }
+  printf("tuned barrier: %zu stages, predicted %.3e s\n",
+         optibar_plan_stage_count(plan),
+         optibar_plan_predicted_seconds(plan));
+
+  for (size_t rank = 0; rank < optibar_plan_ranks(plan); ++rank) {
+    const size_t count = optibar_plan_op_count(plan, rank);
+    optibar_op* ops = (optibar_op*)malloc(count * sizeof(optibar_op));
+    if (ops == NULL) {
+      optibar_close(library);
+      return 1;
+    }
+    optibar_plan_ops(plan, rank, ops, count);
+    printf("rank %zu:", rank);
+    for (size_t i = 0; i < count; ++i) {
+      printf(" %s(%d,tag=%d)%s", ops[i].is_send ? "Issend" : "Irecv",
+             ops[i].peer, ops[i].stage, ops[i].stage_end ? " | Waitall;" : "");
+    }
+    printf("\n");
+    free(ops);
+  }
+
+  optibar_close(library);
+  return 0;
+}

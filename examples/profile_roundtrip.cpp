@@ -1,0 +1,71 @@
+// The full profiling workflow of Section IV-A, end to end:
+//
+//   1. Run the pairwise benchmarks (payload regression for O, batch
+//      regression for L, no-op means for O_ii) against a measurement
+//      engine — here the synthetic engine with realistic noise.
+//   2. Inspect the estimated matrices (heat map, like Figure 9).
+//   3. Save the profile to disk and reload it (Figure 1's decoupling).
+//   4. Tune a barrier from the *estimated* profile and compare its
+//      simulated cost with one tuned on the ground truth.
+#include <cstddef>
+#include <filesystem>
+#include <iostream>
+
+#include "barrier/cost_model.hpp"
+#include "core/tuner.hpp"
+#include "netsim/engine.hpp"
+#include "profile/estimator.hpp"
+#include "profile/synthetic_engine.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/heatmap.hpp"
+
+int main() {
+  using namespace optibar;
+
+  const MachineSpec machine = quad_cluster(2);
+  const std::size_t ranks = 16;
+  const Mapping mapping = block_mapping(machine, ranks);
+
+  // 1. Estimate the profile through measurements.
+  SyntheticEngineOptions engine_options;
+  engine_options.noise = 0.03;
+  engine_options.interference_probability = 0.01;
+  SyntheticEngine engine(machine, mapping, engine_options);
+  EstimatorOptions est_options;  // paper defaults: 25 reps, 2^20 payload
+  std::cout << "running " << ranks * (ranks - 1) / 2
+            << " pairwise tests + " << ranks << " self tests...\n";
+  const TopologyProfile estimated = estimate_profile(engine, est_options);
+
+  // 2. Show the estimated L matrix as a heat map (compare Figure 9: two
+  //    dark on-chip blocks per node).
+  std::cout << "\nestimated L matrix heat map (" << ranks << " ranks, "
+            << "2 nodes x 2 sockets x 4 cores):\n";
+  std::cout << render_heatmap(estimated.latency());
+
+  // 3. Store and reload.
+  const auto path =
+      std::filesystem::temp_directory_path() / "quad2_profile.txt";
+  estimated.save_file(path.string());
+  const TopologyProfile loaded = TopologyProfile::load_file(path.string());
+  std::cout << "\nprofile written to " << path << " and reloaded ("
+            << (loaded == estimated ? "bit-exact" : "MISMATCH") << ")\n";
+
+  // 4. Tune from the estimate; evaluate against ground truth.
+  const TuneResult from_estimate = tune_barrier(loaded);
+  const TuneResult from_truth = tune_barrier(engine.ground_truth());
+  const double t_est =
+      simulate(from_estimate.schedule(), engine.ground_truth())
+          .barrier_time();
+  const double t_truth =
+      simulate(from_truth.schedule(), engine.ground_truth()).barrier_time();
+  std::cout.setf(std::ios::scientific);
+  std::cout << "\nsimulated hybrid cost, tuned on estimate:      " << t_est
+            << " s\n"
+            << "simulated hybrid cost, tuned on ground truth:  " << t_truth
+            << " s\n"
+            << "estimation overhead: "
+            << 100.0 * (t_est - t_truth) / t_truth << " %\n";
+  std::filesystem::remove(path);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: tune a barrier for a simulated cluster in five steps.
+//
+//   1. Describe the machine (or load a profile measured elsewhere).
+//   2. Obtain the topology profile (O and L matrices).
+//   3. Run the adaptive tuner: clustering -> greedy hybrid composition.
+//   4. Compare the hybrid against the classic algorithms.
+//   5. Execute the tuned barrier on the in-process thread runtime.
+//
+// Build & run:  ./examples/quickstart
+#include <cstddef>
+#include <iostream>
+
+#include "barrier/algorithms.hpp"
+#include "barrier/cost_model.hpp"
+#include "core/tuner.hpp"
+#include "netsim/engine.hpp"
+#include "simmpi/executor.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+
+int main() {
+  using namespace optibar;
+
+  // 1. An 8-node cluster of dual quad-core nodes on gigabit ethernet —
+  //    the paper's first testbed — with 40 MPI ranks placed round-robin
+  //    by the scheduler.
+  const MachineSpec machine = quad_cluster();
+  const std::size_t ranks = 40;
+  const Mapping mapping = round_robin_mapping(machine, ranks);
+  std::cout << "machine: " << machine.name() << ", " << ranks
+            << " ranks, " << mapping.policy() << " placement\n";
+
+  // 2. The topology profile. On real hardware this comes from the
+  //    Section IV-A benchmarks (see the profile_roundtrip example); here
+  //    we generate the ground truth directly.
+  const TopologyProfile profile = generate_profile(machine, mapping);
+
+  // 3. Tune: SSS clustering discovers the node structure, the greedy
+  //    composer assembles a hybrid barrier, and the predictor prices it.
+  const TuneResult tuned = tune_barrier(profile);
+  std::cout << "\n" << tuned.barrier().describe() << "\n";
+
+  // 4. Compare predicted and simulated cost against the classics.
+  std::cout << "algorithm        predicted [s]   simulated [s]\n";
+  auto report = [&](const char* name, const Schedule& schedule) {
+    std::cout.setf(std::ios::scientific);
+    std::cout << name << "  " << predicted_time(schedule, profile) << "    "
+              << simulate(schedule, profile).barrier_time() << "\n";
+  };
+  report("linear        ", linear_barrier(ranks));
+  report("dissemination ", dissemination_barrier(ranks));
+  report("tree (MPI)    ", tree_barrier(ranks));
+  report("hybrid (tuned)", tuned.schedule());
+
+  // 5. Run the tuned barrier for real: one thread per rank, Issend
+  //    semantics, three consecutive episodes.
+  const simmpi::ScheduleExecutor executor(tuned.schedule());
+  simmpi::Communicator comm(ranks);
+  simmpi::run_ranks(comm, [&](simmpi::RankContext& ctx) {
+    for (int episode = 0; episode < 3; ++episode) {
+      executor.execute(ctx, episode);
+    }
+  });
+  std::cout << "\nexecuted 3 hybrid barrier episodes on " << ranks
+            << " rank threads (unmatched ops: " << comm.unmatched_operations()
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+# Renders the reproduction's figure CSVs (see plot_figures.sh).
+# Layout mirrors the paper: predicted panel (A) and measured panel (B)
+# per validation figure; hybrid-vs-MPI per performance figure.
+if (!exists("outdir")) outdir = "figures"
+
+set datafile separator ","
+set terminal pngcairo size 900,600 font ",11"
+set key top left
+set xlabel "# of processes"
+set ylabel "Execution time [seconds]"
+set grid
+
+# ---- Figure 5: validation on 8 nodes of dual quad-cores ----
+set output outdir . "/fig5_predicted.png"
+set title "Figure 5-A (reproduction): Predicted Execution Time, quad cluster"
+plot outdir . "/fig5.csv" using 1:2 with linespoints title "D", \
+     ""                   using 1:3 with linespoints title "T", \
+     ""                   using 1:4 with linespoints title "L"
+
+set output outdir . "/fig5_measured.png"
+set title "Figure 5-B (reproduction): Measured (simulated) Execution Time, quad cluster"
+plot outdir . "/fig5.csv" using 1:5 with linespoints title "D", \
+     ""                   using 1:6 with linespoints title "T", \
+     ""                   using 1:7 with linespoints title "L"
+
+# ---- Figure 6: validation on 10 nodes of dual hex-cores ----
+set output outdir . "/fig6_predicted.png"
+set title "Figure 6-A (reproduction): Predicted Execution Time, hex cluster"
+plot outdir . "/fig6.csv" using 1:2 with linespoints title "D", \
+     ""                   using 1:3 with linespoints title "T", \
+     ""                   using 1:4 with linespoints title "L"
+
+set output outdir . "/fig6_measured.png"
+set title "Figure 6-B (reproduction): Measured (simulated) Execution Time, hex cluster"
+plot outdir . "/fig6.csv" using 1:5 with linespoints title "D", \
+     ""                   using 1:6 with linespoints title "T", \
+     ""                   using 1:7 with linespoints title "L"
+
+# ---- Figure 11: generated codes vs MPI baseline ----
+set output outdir . "/fig11a.png"
+set title "Figure 11-A (reproduction): Performance, 2x4-core nodes"
+plot outdir . "/fig11a.csv" using 1:2 with linespoints title "MPI", \
+     ""                     using 1:3 with linespoints title "Hybrid"
+
+set output outdir . "/fig11b.png"
+set title "Figure 11-B (reproduction): Performance, 2x6-core nodes"
+plot outdir . "/fig11b.csv" using 1:2 with linespoints title "MPI", \
+     ""                     using 1:3 with linespoints title "Hybrid"

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Regenerate the paper's figures as PNGs from the bench binaries.
+#
+# Usage: scripts/plot_figures.sh [build-dir] [output-dir]
+# Needs gnuplot; without it the CSV data files are still produced.
+set -eu
+
+BUILD="${1:-build}"
+OUT="${2:-figures}"
+mkdir -p "$OUT"
+
+extract_csv() {
+  # Pull the block after the last "CSV:" marker from a bench's output.
+  awk '/^CSV:$/{found=1; buf=""; next} found{buf=buf $0 "\n"} END{printf "%s", buf}'
+}
+
+echo "running benches..."
+"$BUILD"/bench/bench_fig5_validation_quad | extract_csv > "$OUT/fig5.csv"
+"$BUILD"/bench/bench_fig6_validation_hex  | extract_csv > "$OUT/fig6.csv"
+"$BUILD"/bench/bench_fig11_generated_quad | extract_csv > "$OUT/fig11a.csv"
+"$BUILD"/bench/bench_fig11_generated_hex  | extract_csv > "$OUT/fig11b.csv"
+echo "CSV data in $OUT/"
+
+if ! command -v gnuplot > /dev/null 2>&1; then
+  echo "gnuplot not found; skipping PNG rendering"
+  exit 0
+fi
+
+gnuplot -e "outdir='$OUT'" scripts/figures.gnuplot
+echo "PNGs in $OUT/"

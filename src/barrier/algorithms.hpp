@@ -1,0 +1,130 @@
+// The component barrier algorithms.
+//
+// Section V-B builds from three algorithms chosen to span the design
+// space: the linear barrier (simplicity), the binary tree barrier (the
+// widely used hierarchical method, and what OpenMPI's MPI_Barrier
+// implements per Section VII-C), and the dissemination barrier
+// (participant-count neutral, no explicit departure phase).
+//
+// Section VIII names "generalizing with respect to algorithms employed
+// as components" as future work; we additionally provide k-ary tree,
+// heap-shaped binary tree, and pairwise-exchange barriers, used by the
+// extended tuner and the algorithm-set ablation bench.
+//
+// Hierarchical algorithms follow the paper's convention: the *arrival*
+// phase funnels knowledge of every rank's arrival into rank 0 (the
+// temporary root), and the departure phase is the transposed matrices in
+// reverse order. The dissemination barrier is "self-completing": its
+// arrival phase alone is a full barrier.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "barrier/schedule.hpp"
+
+namespace optibar {
+
+enum class AlgorithmKind {
+  kLinear,
+  kDissemination,
+  kTree,
+  kKAryTree,
+  kHeapTree,
+  kPairwiseExchange,
+  kRadixDissemination,
+  kRing,
+};
+
+const char* to_string(AlgorithmKind kind);
+
+// ---- Complete barriers (arrival + departure where applicable) ----
+
+/// Linear barrier: every rank signals rank 0, rank 0 signals everyone.
+/// 2 stages (Figure 2).
+Schedule linear_barrier(std::size_t ranks);
+
+/// Dissemination barrier: ceil(log2 P) stages; in stage s rank i signals
+/// (i + 2^s) mod P (Figure 3). Defined for any P.
+Schedule dissemination_barrier(std::size_t ranks);
+
+/// Binary tree barrier by recursive pairing: 2*ceil(log2 P) stages
+/// (Figure 4); arrival collects into rank 0, departure is the transposed
+/// reverse.
+Schedule tree_barrier(std::size_t ranks);
+
+/// k-ary heap-shaped tree: parent(i) = (i-1)/k; one stage per tree level
+/// in each direction.
+Schedule kary_tree_barrier(std::size_t ranks, std::size_t arity);
+
+/// Heap-shaped binary tree (kary with arity 2). Distinct from
+/// tree_barrier in signal pattern, same asymptotics.
+Schedule heap_tree_barrier(std::size_t ranks);
+
+/// Pairwise exchange: power-of-two ranks exchange with (i XOR 2^s) each
+/// stage; non-power-of-two counts fold the excess ranks into the largest
+/// power-of-two subset with a pre- and post-stage. Self-completing.
+Schedule pairwise_exchange_barrier(std::size_t ranks);
+
+/// Radix-k dissemination: ceil(log_k P) stages; in stage s rank i
+/// signals (i + j*k^s) mod P for j = 1..k-1 (offsets that are multiples
+/// of P are dropped as no-ops). k = 2 reproduces the classic
+/// dissemination barrier. Trades stage count (startup costs O) against
+/// per-stage fan-out (marginal costs L) — the knob the paper's model
+/// makes priceable. Self-completing, defined for any P.
+Schedule radix_dissemination_barrier(std::size_t ranks, std::size_t radix);
+
+/// Ring barrier: a token circulates 0 -> 1 -> ... -> P-1 (arrival, P-1
+/// stages), then back down (departure). Minimal signal count and fan-out
+/// but maximal depth — the worst large-P choice and a useful baseline
+/// for ablations (its single-link stages make per-tier costs legible).
+Schedule ring_barrier(std::size_t ranks);
+
+// ---- Arrival phases (for hierarchical composition) ----
+
+/// One stage: all ranks signal rank 0.
+Schedule linear_arrival(std::size_t ranks);
+
+/// ceil(log2 P) stages funnelling arrival knowledge into rank 0.
+Schedule tree_arrival(std::size_t ranks);
+
+/// Arrival == the complete dissemination barrier (self-completing).
+Schedule dissemination_arrival(std::size_t ranks);
+
+Schedule kary_tree_arrival(std::size_t ranks, std::size_t arity);
+Schedule heap_tree_arrival(std::size_t ranks);
+Schedule pairwise_exchange_arrival(std::size_t ranks);
+Schedule radix_dissemination_arrival(std::size_t ranks, std::size_t radix);
+
+/// P-1 stages passing the token up the ring; knowledge funnels into
+/// rank P-1, then the composer-friendly variant funnels into rank 0
+/// (reversed direction), so ring_arrival ends at rank 0 like the other
+/// hierarchical arrivals.
+Schedule ring_arrival(std::size_t ranks);
+
+// ---- Component registry for the adaptive tuner ----
+
+/// One candidate building block: a named arrival-phase generator plus
+/// the properties the composer needs.
+struct ComponentAlgorithm {
+  std::string name;
+  AlgorithmKind kind;
+  /// Build the arrival phase over n local ranks (local rank 0 is the
+  /// cluster root).
+  std::function<Schedule(std::size_t)> arrival;
+  /// True iff the arrival phase alone synchronizes all local ranks
+  /// (then no departure phase is needed when used at the tree root, and
+  /// the predicted-cost multiplier is 1 instead of 2 — Section VII-B).
+  bool self_completing = false;
+};
+
+/// The paper's three building blocks: linear, dissemination, tree.
+std::vector<ComponentAlgorithm> paper_algorithms();
+
+/// Paper set plus k-ary(4) tree, heap-tree, pairwise exchange and
+/// radix-4 dissemination.
+std::vector<ComponentAlgorithm> extended_algorithms();
+
+}  // namespace optibar

@@ -1,0 +1,90 @@
+// Schedule analysis: where do a barrier's signals actually travel?
+//
+// Section VI-A explains the algorithms' relative performance in terms of
+// their use of slow links ("the tree barrier makes reduced use of the
+// slower links relative to the dissemination barrier"). This module
+// makes that quantitative: per-tier signal counts, per-stage structure,
+// and a decomposition of the predicted critical path by link tier.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "barrier/cost_model.hpp"
+#include "barrier/schedule.hpp"
+#include "topology/custom_machine.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+/// Signal counts per link tier. Indexed by LinkLevel (kSelf unused —
+/// schedules have no self-signals).
+struct LinkUsage {
+  std::size_t shared_cache = 0;
+  std::size_t same_chip = 0;
+  std::size_t cross_socket = 0;
+  std::size_t inter_node = 0;
+
+  std::size_t total() const {
+    return shared_cache + same_chip + cross_socket + inter_node;
+  }
+  std::size_t& at(LinkLevel level);
+  std::size_t at(LinkLevel level) const;
+};
+
+/// Classify every signal of the schedule by the tier of the link it
+/// crosses under the given placement.
+LinkUsage link_usage(const Schedule& schedule, const MachineSpec& machine,
+                     const Mapping& mapping);
+
+/// Per-stage structural profile.
+struct StageProfile {
+  std::size_t signals = 0;
+  std::size_t max_fan_out = 0;  ///< largest per-rank send batch
+  std::size_t max_fan_in = 0;   ///< largest per-rank receive set
+  std::size_t active_ranks = 0; ///< ranks sending or receiving
+  std::size_t inter_node_signals = 0;  ///< requires machine+mapping variant
+};
+
+/// Structure of each stage (inter_node_signals left zero).
+std::vector<StageProfile> stage_profiles(const Schedule& schedule);
+
+/// Structure of each stage including tier classification.
+std::vector<StageProfile> stage_profiles(const Schedule& schedule,
+                                         const MachineSpec& machine,
+                                         const Mapping& mapping);
+
+/// Seconds of the predicted critical path attributable to each tier:
+/// each signal edge on the critical path books its stage increment to
+/// the tier of the link it crosses; local sequencing edges book to the
+/// sender's outgoing batch's slowest tier.
+struct CriticalPathBreakdown {
+  double shared_cache = 0.0;
+  double same_chip = 0.0;
+  double cross_socket = 0.0;
+  double inter_node = 0.0;
+  double self_overhead = 0.0;  ///< stages entered via local sequencing only
+  double total = 0.0;
+};
+
+CriticalPathBreakdown critical_path_breakdown(const Schedule& schedule,
+                                              const TopologyProfile& profile,
+                                              const MachineSpec& machine,
+                                              const Mapping& mapping,
+                                              const PredictOptions& options = {});
+
+/// Render usage and per-stage structure as a small report.
+std::string describe_usage(const Schedule& schedule,
+                           const MachineSpec& machine, const Mapping& mapping);
+
+// Irregular-machine variants (rank r on core r — CustomMachine's
+// identity placement).
+LinkUsage link_usage(const Schedule& schedule, const CustomMachine& machine);
+std::string describe_usage(const Schedule& schedule,
+                           const CustomMachine& machine);
+
+}  // namespace optibar

@@ -1,0 +1,63 @@
+// Explicit layered dependency graph of a schedule.
+//
+// Section V describes a barrier as a layered dependency graph; the cost
+// model in cost_model.hpp evaluates its critical path with a compact
+// dynamic program. This module materialises the graph — one vertex per
+// (rank, stage) state, weighted edges per signal batch — so that:
+//   - tests can cross-validate the DP against an independent
+//     longest-path computation, and
+//   - benches/diagnostics can report *which* ranks and stages lie on the
+//     critical path, not just its length.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "barrier/cost_model.hpp"
+#include "barrier/schedule.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+/// One vertex of the layered graph: rank `rank` having completed stage
+/// `stage` (stage == 0 is the entry layer: the rank has arrived but sent
+/// nothing).
+struct DepNode {
+  std::size_t rank = 0;
+  std::size_t stage = 0;  ///< number of completed stages
+
+  bool operator==(const DepNode&) const = default;
+};
+
+class DependencyGraph {
+ public:
+  DependencyGraph(const Schedule& schedule, const TopologyProfile& profile,
+                  const PredictOptions& options = {});
+
+  /// Longest entry-to-exit path length, in seconds. Equals
+  /// predict(schedule, profile, options).critical_path for zero entry
+  /// skew (verified by tests).
+  double critical_path_cost() const { return critical_cost_; }
+
+  /// The vertices of one longest path, entry layer first.
+  const std::vector<DepNode>& critical_path() const { return critical_nodes_; }
+
+  /// Completion time of each (rank, stage) vertex; indexing is
+  /// [stage][rank] with stage in [0, stage_count].
+  const std::vector<std::vector<double>>& completion_times() const {
+    return completion_;
+  }
+
+  /// Multi-line human-readable rendering of the critical path, e.g.
+  /// "rank 5 @ stage 2 (t=1.2e-4)".
+  std::string describe_critical_path() const;
+
+ private:
+  std::vector<std::vector<double>> completion_;  // [stage][rank]
+  std::vector<std::vector<DepNode>> predecessor_;
+  double critical_cost_ = 0.0;
+  std::vector<DepNode> critical_nodes_;
+};
+
+}  // namespace optibar

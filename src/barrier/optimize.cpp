@@ -1,0 +1,137 @@
+#include "barrier/optimize.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+namespace {
+
+/// Rebuild a Schedule from mutable stage matrices, dropping all-empty
+/// stages (a pass can empty a stage entirely).
+Schedule rebuild(std::size_t ranks, const std::vector<StageMatrix>& stages) {
+  Schedule out(ranks);
+  for (const StageMatrix& stage : stages) {
+    if (!stage.all_zero()) {
+      out.append_stage(stage);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+OptimizeResult prune_redundant_signals(const Schedule& schedule,
+                                       const TopologyProfile& profile) {
+  OPTIBAR_REQUIRE(schedule.is_barrier(),
+                  "prune_redundant_signals expects a valid barrier");
+  OPTIBAR_REQUIRE(profile.ranks() == schedule.ranks(),
+                  "profile/schedule rank mismatch");
+
+  OptimizeResult result;
+  result.cost_before = predicted_time(schedule, profile);
+
+  // Candidate signals, most expensive first (sender-side O + L).
+  struct Signal {
+    double cost;
+    std::size_t stage;
+    std::size_t src;
+    std::size_t dst;
+  };
+  std::vector<Signal> candidates;
+  for (std::size_t s = 0; s < schedule.stage_count(); ++s) {
+    for (std::size_t i = 0; i < schedule.ranks(); ++i) {
+      for (std::size_t j : schedule.targets_of(i, s)) {
+        candidates.push_back(
+            Signal{profile.o(i, j) + profile.l(i, j), s, i, j});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Signal& a, const Signal& b) {
+              return std::tie(b.cost, a.stage, a.src, a.dst) <
+                     std::tie(a.cost, b.stage, b.src, b.dst);
+            });
+
+  std::vector<StageMatrix> stages(schedule.stages().begin(),
+                                  schedule.stages().end());
+  for (const Signal& signal : candidates) {
+    stages[signal.stage](signal.src, signal.dst) = 0;
+    if (Schedule(schedule.ranks(), stages).is_barrier()) {
+      ++result.signals_removed;
+    } else {
+      stages[signal.stage](signal.src, signal.dst) = 1;  // keep it
+    }
+  }
+
+  result.schedule = rebuild(schedule.ranks(), stages);
+  result.cost_after = predicted_time(result.schedule, profile);
+  OPTIBAR_ASSERT(result.schedule.is_barrier(), "pruning broke the barrier");
+  return result;
+}
+
+OptimizeResult fuse_stages(const Schedule& schedule,
+                           const TopologyProfile& profile) {
+  OPTIBAR_REQUIRE(schedule.is_barrier(),
+                  "fuse_stages expects a valid barrier");
+  OPTIBAR_REQUIRE(profile.ranks() == schedule.ranks(),
+                  "profile/schedule rank mismatch");
+
+  OptimizeResult result;
+  result.cost_before = predicted_time(schedule, profile);
+
+  std::vector<StageMatrix> stages(schedule.stages().begin(),
+                                  schedule.stages().end());
+  double current_cost = result.cost_before;
+  std::size_t s = 0;
+  while (s + 1 < stages.size()) {
+    // Candidate: OR stage s into s+1 (a fused matrix may not gain
+    // self-signals because neither operand has any).
+    std::vector<StageMatrix> fused(stages);
+    fused[s + 1] = bool_add(fused[s], fused[s + 1]);
+    fused.erase(fused.begin() + static_cast<std::ptrdiff_t>(s));
+    const Schedule candidate = rebuild(schedule.ranks(), fused);
+    if (candidate.is_barrier()) {
+      const double cost = predicted_time(candidate, profile);
+      if (cost <= current_cost) {
+        stages = std::move(fused);
+        current_cost = cost;
+        ++result.stages_fused;
+        continue;  // retry the same index against the next stage
+      }
+    }
+    ++s;
+  }
+
+  result.schedule = rebuild(schedule.ranks(), stages);
+  result.cost_after = current_cost;
+  OPTIBAR_ASSERT(result.schedule.is_barrier(), "fusion broke the barrier");
+  return result;
+}
+
+OptimizeResult optimize_schedule(const Schedule& schedule,
+                                 const TopologyProfile& profile) {
+  OptimizeResult total;
+  total.schedule = schedule;
+  total.cost_before = predicted_time(schedule, profile);
+  total.cost_after = total.cost_before;
+  for (;;) {
+    const OptimizeResult pruned =
+        prune_redundant_signals(total.schedule, profile);
+    const OptimizeResult fused = fuse_stages(pruned.schedule, profile);
+    total.signals_removed += pruned.signals_removed;
+    total.stages_fused += fused.stages_fused;
+    const bool changed =
+        pruned.signals_removed > 0 || fused.stages_fused > 0;
+    total.schedule = fused.schedule;
+    total.cost_after = fused.cost_after;
+    if (!changed) {
+      return total;
+    }
+  }
+}
+
+}  // namespace optibar

@@ -1,0 +1,59 @@
+// Schedule post-optimization passes.
+//
+// The matrix representation makes barriers *editable*, which the paper
+// exploits for composition; the same property supports peephole
+// optimization of any finished schedule:
+//
+//   - signal pruning: a barrier needs only that Eq. 3 ends all-ones;
+//     many classic patterns carry redundant signals (dissemination sends
+//     P*ceil(log2 P) while 2(P-1) suffice in principle). Greedily drop
+//     the most expensive signals whose removal keeps the pattern a
+//     barrier — each removal can only lower the Eq. 1/2 cost.
+//
+//   - stage fusion: executing a stage has a synchronization cost even
+//     when its signals are cheap. Merging two adjacent stages (OR-ing
+//     their matrices) relaxes the "all stage-k signals received before
+//     stage k+1" ordering; when the merged pattern still passes Eq. 3
+//     *and* the predicted cost does not rise, the shallower schedule is
+//     kept.
+//
+// Both passes preserve validity by construction (every change is
+// re-checked before being committed). They are deliberately not wired
+// into the default tuner: the paper's generated barriers are already
+// near-minimal, and the passes exist to quantify what further schedule
+// surgery could buy (see bench_ablation_optimize).
+#pragma once
+
+#include <cstddef>
+
+#include "barrier/cost_model.hpp"
+#include "barrier/schedule.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+struct OptimizeResult {
+  Schedule schedule{1};
+  std::size_t signals_removed = 0;
+  std::size_t stages_fused = 0;
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+};
+
+/// Greedy redundant-signal elimination, most expensive signal first
+/// (cost keyed by the sender's O+L for that edge). The input must be a
+/// barrier; the result is a barrier with a subset of its signals.
+OptimizeResult prune_redundant_signals(const Schedule& schedule,
+                                       const TopologyProfile& profile);
+
+/// Left-to-right adjacent-stage fusion: merge stage s into s+1 whenever
+/// the fused schedule is still a barrier and its predicted cost does
+/// not exceed the unfused one.
+OptimizeResult fuse_stages(const Schedule& schedule,
+                           const TopologyProfile& profile);
+
+/// prune + fuse, iterated until neither pass changes the schedule.
+OptimizeResult optimize_schedule(const Schedule& schedule,
+                                 const TopologyProfile& profile);
+
+}  // namespace optibar

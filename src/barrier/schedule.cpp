@@ -1,0 +1,180 @@
+#include "barrier/schedule.hpp"
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+Schedule::Schedule(std::size_t ranks) : ranks_(ranks) {
+  OPTIBAR_REQUIRE(ranks_ > 0, "schedule needs at least one rank");
+}
+
+Schedule::Schedule(std::size_t ranks, std::vector<StageMatrix> stages)
+    : Schedule(ranks) {
+  for (auto& stage : stages) {
+    append_stage(std::move(stage));
+  }
+}
+
+void Schedule::check_stage(const StageMatrix& stage) const {
+  OPTIBAR_REQUIRE(stage.rows() == ranks_ && stage.cols() == ranks_,
+                  "stage must be " << ranks_ << "x" << ranks_ << ", got "
+                                   << stage.rows() << "x" << stage.cols());
+  for (std::size_t i = 0; i < ranks_; ++i) {
+    OPTIBAR_REQUIRE(!stage(i, i),
+                    "stage has a self-signal at rank " << i
+                                                       << "; the diagonal must be zero");
+  }
+}
+
+const StageMatrix& Schedule::stage(std::size_t s) const {
+  OPTIBAR_REQUIRE(s < stages_.size(),
+                  "stage " << s << " out of range (" << stages_.size()
+                           << " stages)");
+  return stages_[s];
+}
+
+void Schedule::append_stage(StageMatrix stage) {
+  check_stage(stage);
+  stages_.push_back(std::move(stage));
+}
+
+void Schedule::pop_stage() {
+  OPTIBAR_REQUIRE(!stages_.empty(), "pop_stage on an empty schedule");
+  stages_.pop_back();
+}
+
+std::vector<std::size_t> Schedule::targets_of(std::size_t rank,
+                                              std::size_t s) const {
+  const StageMatrix& m = stage(s);
+  OPTIBAR_REQUIRE(rank < ranks_, "rank out of range");
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < ranks_; ++j) {
+    if (m(rank, j)) {
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> Schedule::sources_of(std::size_t rank,
+                                              std::size_t s) const {
+  const StageMatrix& m = stage(s);
+  OPTIBAR_REQUIRE(rank < ranks_, "rank out of range");
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < ranks_; ++i) {
+    if (m(i, rank)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+BoolMatrix Schedule::knowledge_after(std::size_t a) const {
+  OPTIBAR_REQUIRE(a < stages_.size(), "knowledge_after: stage out of range");
+  // K_0 = I + S_0; K_a = K_{a-1} + K_{a-1} * S_a   (Eq. 3)
+  BoolMatrix k = bool_add(BoolMatrix::identity(ranks_), stages_[0]);
+  for (std::size_t s = 1; s <= a; ++s) {
+    k = bool_add(k, bool_multiply(k, stages_[s]));
+  }
+  return k;
+}
+
+BoolMatrix Schedule::final_knowledge() const {
+  if (stages_.empty()) {
+    return BoolMatrix::identity(ranks_);
+  }
+  return knowledge_after(stages_.size() - 1);
+}
+
+bool Schedule::is_barrier() const { return final_knowledge().all_nonzero(); }
+
+Schedule Schedule::transposed_reversed() const {
+  Schedule out(ranks_);
+  for (std::size_t s = stages_.size(); s-- > 0;) {
+    out.append_stage(stages_[s].transposed());
+  }
+  return out;
+}
+
+Schedule Schedule::concatenated(const Schedule& tail) const {
+  OPTIBAR_REQUIRE(tail.ranks_ == ranks_,
+                  "cannot concatenate schedules over " << ranks_ << " and "
+                                                       << tail.ranks_
+                                                       << " ranks");
+  Schedule out = *this;
+  for (const auto& stage : tail.stages_) {
+    out.append_stage(stage);
+  }
+  return out;
+}
+
+Schedule Schedule::compacted() const {
+  Schedule out(ranks_);
+  for (const auto& stage : stages_) {
+    if (!stage.all_zero()) {
+      out.append_stage(stage);
+    }
+  }
+  return out;
+}
+
+std::size_t Schedule::total_signals() const {
+  std::size_t n = 0;
+  for (const auto& stage : stages_) {
+    n += stage.count_nonzero();
+  }
+  return n;
+}
+
+std::size_t Schedule::nonempty_stage_count() const {
+  std::size_t n = 0;
+  for (const auto& stage : stages_) {
+    if (!stage.all_zero()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void embed_schedule(Schedule& global, const Schedule& local,
+                    const std::vector<std::size_t>& rank_map,
+                    std::size_t first_stage) {
+  OPTIBAR_REQUIRE(rank_map.size() == local.ranks(),
+                  "rank_map size " << rank_map.size()
+                                   << " != local rank count " << local.ranks());
+  for (std::size_t mapped : rank_map) {
+    OPTIBAR_REQUIRE(mapped < global.ranks(),
+                    "rank_map entry " << mapped << " out of range for "
+                                      << global.ranks() << " global ranks");
+  }
+  while (global.stage_count() < first_stage + local.stage_count()) {
+    global.append_stage(StageMatrix(global.ranks(), global.ranks(), 0));
+  }
+  // Rebuild the affected stages with the local signals OR-ed in.
+  std::vector<StageMatrix> stages(global.stages().begin(),
+                                  global.stages().end());
+  for (std::size_t s = 0; s < local.stage_count(); ++s) {
+    const StageMatrix& src = local.stage(s);
+    StageMatrix& dst = stages[first_stage + s];
+    for (std::size_t i = 0; i < local.ranks(); ++i) {
+      for (std::size_t j = 0; j < local.ranks(); ++j) {
+        if (src(i, j)) {
+          dst(rank_map[i], rank_map[j]) = 1;
+        }
+      }
+    }
+  }
+  global = Schedule(global.ranks(), std::move(stages));
+}
+
+std::ostream& operator<<(std::ostream& os, const Schedule& schedule) {
+  os << "Schedule over " << schedule.ranks() << " ranks, "
+     << schedule.stage_count() << " stages, " << schedule.total_signals()
+     << " signals\n";
+  for (std::size_t s = 0; s < schedule.stage_count(); ++s) {
+    os << "S" << s << ":\n" << schedule.stage(s);
+  }
+  return os;
+}
+
+}  // namespace optibar

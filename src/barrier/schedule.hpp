@@ -1,0 +1,101 @@
+// Barrier schedules: layered dependency graphs as boolean matrices.
+//
+// Section V of the paper represents a barrier algorithm as a sequence of
+// steps S_0, S_1, ..., S_k of P x P boolean incidence matrices: row i of
+// S_a lists the ranks that i signals in step a, and all signals of a step
+// must be received before the next step begins. The signal pattern is a
+// barrier iff the knowledge recurrence (Eq. 3)
+//     K_0 = I + S_0,   K_a = K_{a-1} + K_{a-1} * S_a
+// ends with K_k all-nonzero — i.e. every rank's arrival is known to
+// every rank. Schedule is a value type with exactly those semantics plus
+// the transforms the adaptive construction needs (transpose-and-reverse
+// for departure phases, embedding of local patterns into a global one,
+// compaction of empty stages).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace optibar {
+
+/// One barrier step: a P x P boolean incidence matrix.
+using StageMatrix = BoolMatrix;
+
+class Schedule {
+ public:
+  /// Empty schedule (zero stages) over `ranks` participants.
+  explicit Schedule(std::size_t ranks);
+
+  /// Takes a pre-built stage sequence; all stages must be ranks x ranks.
+  Schedule(std::size_t ranks, std::vector<StageMatrix> stages);
+
+  std::size_t ranks() const { return ranks_; }
+  std::size_t stage_count() const { return stages_.size(); }
+  const StageMatrix& stage(std::size_t s) const;
+  const std::vector<StageMatrix>& stages() const { return stages_; }
+
+  /// Append one stage (must be ranks x ranks, zero diagonal).
+  void append_stage(StageMatrix stage);
+
+  /// Remove the last stage (search backtracking).
+  void pop_stage();
+
+  /// Ranks that `rank` signals in stage `s`, ascending.
+  std::vector<std::size_t> targets_of(std::size_t rank, std::size_t s) const;
+
+  /// Ranks that signal `rank` in stage `s`, ascending.
+  std::vector<std::size_t> sources_of(std::size_t rank, std::size_t s) const;
+
+  /// Arrival-knowledge matrix K_a after stage `a` per Eq. 3; pass
+  /// stage_count()-1 (or call final_knowledge) for K_k. K(i,j) nonzero
+  /// means rank j knows of rank i's arrival.
+  BoolMatrix knowledge_after(std::size_t a) const;
+  BoolMatrix final_knowledge() const;
+
+  /// True iff the signal pattern implies global synchronization
+  /// (Eq. 3: K_k is all-nonzero). A zero-stage schedule is a barrier
+  /// only for ranks() == 1.
+  bool is_barrier() const;
+
+  /// The departure construction of Section V-B: the same matrices
+  /// transposed, applied in reverse order.
+  Schedule transposed_reversed() const;
+
+  /// This schedule followed by `tail` (same rank count).
+  Schedule concatenated(const Schedule& tail) const;
+
+  /// Copy without all-zero stages (the code generator "eliminates no-op
+  /// transmission steps", Section VII-C).
+  Schedule compacted() const;
+
+  /// Total number of signals across all stages.
+  std::size_t total_signals() const;
+
+  /// Number of stages with at least one signal.
+  std::size_t nonempty_stage_count() const;
+
+  bool operator==(const Schedule& other) const = default;
+
+ private:
+  void check_stage(const StageMatrix& stage) const;
+
+  std::size_t ranks_ = 0;
+  std::vector<StageMatrix> stages_;
+};
+
+/// OR the stages of `local` into `global`, translating local rank r to
+/// global rank rank_map[r], starting at stage `first_stage` of `global`
+/// (extending `global` with empty stages as needed). This is the
+/// embedding primitive of the hierarchical composition (Section VII-B):
+/// "merging shorter sequences with longer ones as early as possible".
+void embed_schedule(Schedule& global, const Schedule& local,
+                    const std::vector<std::size_t>& rank_map,
+                    std::size_t first_stage);
+
+/// Pretty-print all stages, one matrix per stage with a header line.
+std::ostream& operator<<(std::ostream& os, const Schedule& schedule);
+
+}  // namespace optibar

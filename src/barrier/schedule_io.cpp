@@ -1,0 +1,104 @@
+#include "barrier/schedule_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+namespace {
+constexpr const char* kMagic = "optibar-schedule";
+}
+
+void save_schedule(std::ostream& os, const StoredSchedule& stored) {
+  const Schedule& s = stored.schedule;
+  OPTIBAR_REQUIRE(stored.awaited_stages.empty() ||
+                      stored.awaited_stages.size() == s.stage_count(),
+                  "awaited_stages must be empty or match stage count");
+  os << kMagic << " v1\n";
+  os << "P " << s.ranks() << '\n';
+  os << "stages " << s.stage_count() << '\n';
+  os << "awaited";
+  if (stored.awaited_stages.empty()) {
+    for (std::size_t i = 0; i < s.stage_count(); ++i) {
+      os << " 0";
+    }
+  } else {
+    for (bool awaited : stored.awaited_stages) {
+      os << ' ' << (awaited ? 1 : 0);
+    }
+  }
+  os << '\n';
+  for (std::size_t st = 0; st < s.stage_count(); ++st) {
+    os << "S" << st << '\n';
+    const StageMatrix& m = s.stage(st);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      for (std::size_t c = 0; c < m.cols(); ++c) {
+        os << static_cast<int>(m(r, c)) << (c + 1 == m.cols() ? '\n' : ' ');
+      }
+    }
+  }
+  OPTIBAR_REQUIRE(os.good(), "I/O error while writing schedule");
+}
+
+StoredSchedule load_schedule(std::istream& is) {
+  std::string magic;
+  std::string version;
+  is >> magic >> version;
+  OPTIBAR_REQUIRE(magic == kMagic,
+                  "not an optibar schedule (magic '" << magic << "')");
+  OPTIBAR_REQUIRE(version == "v1", "unsupported schedule version " << version);
+
+  std::string tag;
+  std::size_t p = 0;
+  std::size_t stages = 0;
+  is >> tag >> p;
+  OPTIBAR_REQUIRE(tag == "P" && p > 0, "malformed schedule header (P)");
+  is >> tag >> stages;
+  OPTIBAR_REQUIRE(tag == "stages", "malformed schedule header (stages)");
+
+  StoredSchedule out;
+  out.schedule = Schedule(p);
+  is >> tag;
+  OPTIBAR_REQUIRE(tag == "awaited", "malformed schedule header (awaited)");
+  out.awaited_stages.resize(stages);
+  for (std::size_t i = 0; i < stages; ++i) {
+    int flag = 0;
+    is >> flag;
+    OPTIBAR_REQUIRE(flag == 0 || flag == 1, "awaited flag must be 0/1");
+    out.awaited_stages[i] = flag == 1;
+  }
+  for (std::size_t st = 0; st < stages; ++st) {
+    is >> tag;
+    OPTIBAR_REQUIRE(tag == "S" + std::to_string(st),
+                    "expected stage tag S" << st << ", got " << tag);
+    StageMatrix m(p, p, 0);
+    for (std::size_t r = 0; r < p; ++r) {
+      for (std::size_t c = 0; c < p; ++c) {
+        int v = 0;
+        is >> v;
+        OPTIBAR_REQUIRE(v == 0 || v == 1, "stage cell must be 0/1");
+        m(r, c) = static_cast<std::uint8_t>(v);
+      }
+    }
+    out.schedule.append_stage(std::move(m));
+  }
+  OPTIBAR_REQUIRE(is.good() || is.eof(), "I/O error while reading schedule");
+  return out;
+}
+
+void save_schedule_file(const std::string& path, const StoredSchedule& stored) {
+  std::ofstream os(path);
+  OPTIBAR_REQUIRE(os.is_open(), "cannot open " << path << " for writing");
+  save_schedule(os, stored);
+}
+
+StoredSchedule load_schedule_file(const std::string& path) {
+  std::ifstream is(path);
+  OPTIBAR_REQUIRE(is.is_open(), "cannot open " << path << " for reading");
+  return load_schedule(is);
+}
+
+}  // namespace optibar

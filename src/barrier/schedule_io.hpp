@@ -1,0 +1,32 @@
+// Schedule serialisation.
+//
+// Tuned schedules are artefacts worth keeping: the CLI writes them next
+// to the profile they were tuned from, and the runtime library
+// (src/core/library.hpp) indexes them at barrier-call time — the
+// "solution which stores the profile in a manner which can be
+// efficiently indexed at run-time" the paper's Section VIII asks for.
+// The format is versioned text: stage matrices as 0/1 rows, plus the
+// per-stage awaited (departure) flags the Eq. 2 predictor needs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "barrier/schedule.hpp"
+
+namespace optibar {
+
+/// A schedule plus the departure-stage flags produced by the composer.
+struct StoredSchedule {
+  Schedule schedule{1};
+  std::vector<bool> awaited_stages;  ///< empty = all Eq. 1
+};
+
+void save_schedule(std::ostream& os, const StoredSchedule& stored);
+StoredSchedule load_schedule(std::istream& is);
+
+void save_schedule_file(const std::string& path, const StoredSchedule& stored);
+StoredSchedule load_schedule_file(const std::string& path);
+
+}  // namespace optibar

@@ -1,0 +1,79 @@
+/*
+ * optibar C API — topology-adaptive barriers for unmodified MPI codes.
+ *
+ * Section VIII of Meyer & Elster (IPDPS 2011) proposes "a library
+ * implementation which would benefit unmodified application codes" built
+ * on "a solution which stores the profile in a manner which can be
+ * efficiently indexed at run-time". This header is that interface for C
+ * (and, via ISO_C_BINDING, Fortran) MPI applications:
+ *
+ *   1. the admin profiles the machine once (optibar CLI) and installs
+ *      the profile file;
+ *   2. the application opens the library against that file;
+ *   3. for its communicator (world or any rank subset) it requests a
+ *      *plan*: the tuned barrier flattened into a per-rank list of
+ *      point-to-point operations;
+ *   4. at each barrier call the application replays its rank's ops with
+ *      its own MPI calls: MPI_Issend / MPI_Irecv per op (the op's stage
+ *      field is the tag), MPI_Waitall wherever stage_end is set.
+ *
+ * All functions are thread-safe. Failing functions return NULL / 0 and,
+ * when an error buffer is supplied, copy a message into it.
+ */
+#ifndef OPTIBAR_CAPI_H
+#define OPTIBAR_CAPI_H
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct optibar_library_s optibar_library;
+typedef struct optibar_plan_s optibar_plan;
+
+/* One point-to-point operation of a rank's barrier sequence. */
+typedef struct {
+  int stage;     /* stage index; use as the MPI tag (offset per episode) */
+  int is_send;   /* 1: synchronized send to `peer`; 0: receive from it */
+  int peer;      /* local rank within the plan's communicator */
+  int stage_end; /* 1: MPI_Waitall over the stage's requests after this op */
+} optibar_op;
+
+/* Open a library over a stored machine profile. NULL on failure. */
+optibar_library* optibar_open(const char* profile_path, char* errbuf,
+                              size_t errbuf_len);
+
+void optibar_close(optibar_library* library);
+
+/* Number of ranks covered by the profile; 0 on NULL. */
+size_t optibar_ranks(const optibar_library* library);
+
+/* Tuned plan for all ranks. Owned by the library; valid until close. */
+const optibar_plan* optibar_world_plan(optibar_library* library, char* errbuf,
+                                       size_t errbuf_len);
+
+/* Tuned plan for a rank subset (the subset order defines the plan's
+ * local rank numbering). Cached: repeated requests are lookups. */
+const optibar_plan* optibar_subset_plan(optibar_library* library,
+                                        const size_t* ranks, size_t count,
+                                        char* errbuf, size_t errbuf_len);
+
+/* Plan introspection. */
+size_t optibar_plan_ranks(const optibar_plan* plan);
+double optibar_plan_predicted_seconds(const optibar_plan* plan);
+size_t optibar_plan_stage_count(const optibar_plan* plan);
+
+/* Number of ops rank `rank` executes per barrier call; 0 on bad input. */
+size_t optibar_plan_op_count(const optibar_plan* plan, size_t rank);
+
+/* Copy up to `capacity` of rank `rank`'s ops into `out`; returns the
+ * number copied (equal to op_count when capacity suffices). */
+size_t optibar_plan_ops(const optibar_plan* plan, size_t rank,
+                        optibar_op* out, size_t capacity);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* OPTIBAR_CAPI_H */

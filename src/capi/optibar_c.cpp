@@ -1,0 +1,172 @@
+// Implementation of the C API over BarrierLibrary.
+#include "capi/optibar.h"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/library.hpp"
+#include "topology/profile.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using optibar::BarrierLibrary;
+using optibar::LibraryEntry;
+using optibar::Schedule;
+using optibar::TopologyProfile;
+
+void fill_error(char* errbuf, size_t errbuf_len, const char* message) {
+  if (errbuf == nullptr || errbuf_len == 0) {
+    return;
+  }
+  std::strncpy(errbuf, message, errbuf_len - 1);
+  errbuf[errbuf_len - 1] = '\0';
+}
+
+}  // namespace
+
+/// A tuned barrier flattened into per-rank op arrays.
+struct optibar_plan_s {
+  std::size_t ranks = 0;
+  std::size_t stages = 0;
+  double predicted_seconds = 0.0;
+  std::vector<std::vector<optibar_op>> per_rank;
+
+  explicit optibar_plan_s(const LibraryEntry& entry) {
+    const Schedule& schedule = entry.stored.schedule;
+    ranks = schedule.ranks();
+    stages = schedule.stage_count();
+    predicted_seconds = entry.predicted_cost;
+    per_rank.resize(ranks);
+    for (std::size_t rank = 0; rank < ranks; ++rank) {
+      std::vector<optibar_op>& ops = per_rank[rank];
+      for (std::size_t stage = 0; stage < stages; ++stage) {
+        const auto sends = schedule.targets_of(rank, stage);
+        const auto recvs = schedule.sources_of(rank, stage);
+        if (sends.empty() && recvs.empty()) {
+          continue;  // rank-local no-op stage eliminated
+        }
+        for (std::size_t dst : sends) {
+          ops.push_back(optibar_op{static_cast<int>(stage), 1,
+                                   static_cast<int>(dst), 0});
+        }
+        for (std::size_t src : recvs) {
+          ops.push_back(optibar_op{static_cast<int>(stage), 0,
+                                   static_cast<int>(src), 0});
+        }
+        ops.back().stage_end = 1;
+      }
+    }
+  }
+};
+
+/// The C handle: the C++ library plus plan storage keyed by entry.
+struct optibar_library_s {
+  // BarrierLibrary holds a mutex and is immovable; construct in place.
+  explicit optibar_library_s(TopologyProfile profile)
+      : library(std::move(profile)) {}
+
+  const optibar_plan* plan_for(const LibraryEntry& entry) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = plans.find(&entry);
+    if (it == plans.end()) {
+      it = plans.emplace(&entry, std::make_unique<optibar_plan_s>(entry))
+               .first;
+    }
+    return it->second.get();
+  }
+
+  BarrierLibrary library;
+  std::mutex mutex;
+  std::map<const LibraryEntry*, std::unique_ptr<optibar_plan_s>> plans;
+};
+
+extern "C" {
+
+optibar_library* optibar_open(const char* profile_path, char* errbuf,
+                              size_t errbuf_len) {
+  if (profile_path == nullptr) {
+    fill_error(errbuf, errbuf_len, "profile_path is NULL");
+    return nullptr;
+  }
+  try {
+    return new optibar_library_s(TopologyProfile::load_file(profile_path));
+  } catch (const std::exception& error) {
+    fill_error(errbuf, errbuf_len, error.what());
+    return nullptr;
+  }
+}
+
+void optibar_close(optibar_library* library) { delete library; }
+
+size_t optibar_ranks(const optibar_library* library) {
+  return library == nullptr ? 0 : library->library.ranks();
+}
+
+const optibar_plan* optibar_world_plan(optibar_library* library, char* errbuf,
+                                       size_t errbuf_len) {
+  if (library == nullptr) {
+    fill_error(errbuf, errbuf_len, "library is NULL");
+    return nullptr;
+  }
+  try {
+    return library->plan_for(library->library.full_barrier());
+  } catch (const std::exception& error) {
+    fill_error(errbuf, errbuf_len, error.what());
+    return nullptr;
+  }
+}
+
+const optibar_plan* optibar_subset_plan(optibar_library* library,
+                                        const size_t* ranks, size_t count,
+                                        char* errbuf, size_t errbuf_len) {
+  if (library == nullptr || ranks == nullptr || count == 0) {
+    fill_error(errbuf, errbuf_len, "invalid subset arguments");
+    return nullptr;
+  }
+  try {
+    const std::vector<std::size_t> subset(ranks, ranks + count);
+    return library->plan_for(library->library.barrier_for(subset));
+  } catch (const std::exception& error) {
+    fill_error(errbuf, errbuf_len, error.what());
+    return nullptr;
+  }
+}
+
+size_t optibar_plan_ranks(const optibar_plan* plan) {
+  return plan == nullptr ? 0 : plan->ranks;
+}
+
+double optibar_plan_predicted_seconds(const optibar_plan* plan) {
+  return plan == nullptr ? 0.0 : plan->predicted_seconds;
+}
+
+size_t optibar_plan_stage_count(const optibar_plan* plan) {
+  return plan == nullptr ? 0 : plan->stages;
+}
+
+size_t optibar_plan_op_count(const optibar_plan* plan, size_t rank) {
+  if (plan == nullptr || rank >= plan->ranks) {
+    return 0;
+  }
+  return plan->per_rank[rank].size();
+}
+
+size_t optibar_plan_ops(const optibar_plan* plan, size_t rank,
+                        optibar_op* out, size_t capacity) {
+  if (plan == nullptr || rank >= plan->ranks || out == nullptr) {
+    return 0;
+  }
+  const std::vector<optibar_op>& ops = plan->per_rank[rank];
+  const size_t n = capacity < ops.size() ? capacity : ops.size();
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = ops[i];
+  }
+  return n;
+}
+
+}  // extern "C"

@@ -1,0 +1,119 @@
+#include "cli/args.hpp"
+
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace optibar::cli {
+
+Args Args::parse(const std::vector<std::string>& tokens) {
+  Args args;
+  bool positional_only = false;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (positional_only || token.rfind("--", 0) != 0) {
+      args.positionals_.push_back(token);
+      continue;
+    }
+    if (token == "--") {
+      positional_only = true;
+      continue;
+    }
+    std::string key = token.substr(2);
+    OPTIBAR_REQUIRE(!key.empty(), "empty option name '--'");
+    std::string value;
+    const std::size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      OPTIBAR_REQUIRE(!key.empty(), "empty option name in '" << token << "'");
+    } else if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      value = tokens[++i];
+    }
+    OPTIBAR_REQUIRE(!args.options_.count(key),
+                    "option --" << key << " given twice");
+    args.options_[key] = value;
+  }
+  return args;
+}
+
+std::optional<std::string> Args::lookup(const std::string& key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool Args::has(const std::string& key) const {
+  return options_.count(key) > 0;
+}
+
+std::string Args::require(const std::string& key) const {
+  const auto value = lookup(key);
+  OPTIBAR_REQUIRE(value.has_value(), "missing required option --" << key);
+  OPTIBAR_REQUIRE(!value->empty(), "option --" << key << " needs a value");
+  return *value;
+}
+
+std::string Args::get_or(const std::string& key,
+                         const std::string& fallback) const {
+  const auto value = lookup(key);
+  return value.has_value() && !value->empty() ? *value : fallback;
+}
+
+namespace {
+
+std::size_t to_size(const std::string& key, const std::string& text) {
+  std::size_t result = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), result);
+  OPTIBAR_REQUIRE(ec == std::errc{} && ptr == text.data() + text.size(),
+                  "option --" << key << " expects an integer, got '" << text
+                              << "'");
+  return result;
+}
+
+double to_double(const std::string& key, const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    OPTIBAR_REQUIRE(consumed == text.size(), "trailing characters");
+    return value;
+  } catch (const Error&) {
+    throw;
+  } catch (...) {
+    OPTIBAR_FAIL("option --" << key << " expects a number, got '" << text
+                             << "'");
+  }
+}
+
+}  // namespace
+
+std::size_t Args::require_size(const std::string& key) const {
+  return to_size(key, require(key));
+}
+
+std::size_t Args::size_or(const std::string& key, std::size_t fallback) const {
+  const auto value = lookup(key);
+  if (!value.has_value() || value->empty()) {
+    return fallback;
+  }
+  return to_size(key, *value);
+}
+
+double Args::double_or(const std::string& key, double fallback) const {
+  const auto value = lookup(key);
+  if (!value.has_value() || value->empty()) {
+    return fallback;
+  }
+  return to_double(key, *value);
+}
+
+void Args::check_allowed(const std::set<std::string>& allowed) const {
+  for (const auto& [key, value] : options_) {
+    OPTIBAR_REQUIRE(allowed.count(key) > 0, "unknown option --" << key);
+  }
+}
+
+}  // namespace optibar::cli

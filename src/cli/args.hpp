@@ -1,0 +1,51 @@
+// Minimal command-line argument parser for the optibar CLI.
+//
+// Grammar: <command> [positionals] [--key value | --key=value | --flag]
+// Values never start with "--"; everything after a lone "--" is
+// positional. Each command validates its own required/allowed keys via
+// Args::require / Args::check_allowed, so typos fail loudly instead of
+// being ignored.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace optibar::cli {
+
+class Args {
+ public:
+  /// Parse tokens after the command name.
+  static Args parse(const std::vector<std::string>& tokens);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  bool has(const std::string& key) const;
+
+  /// Value of --key; throws optibar::Error when absent or when the
+  /// option was given as a bare flag.
+  std::string require(const std::string& key) const;
+
+  std::string get_or(const std::string& key,
+                     const std::string& fallback) const;
+
+  /// Numeric accessors with range validation.
+  std::size_t require_size(const std::string& key) const;
+  std::size_t size_or(const std::string& key, std::size_t fallback) const;
+  double double_or(const std::string& key, double fallback) const;
+
+  /// Throws when any parsed option is not in `allowed`.
+  void check_allowed(const std::set<std::string>& allowed) const;
+
+ private:
+  std::optional<std::string> lookup(const std::string& key) const;
+
+  std::vector<std::string> positionals_;
+  /// Empty string marks a bare flag.
+  std::map<std::string, std::string> options_;
+};
+
+}  // namespace optibar::cli

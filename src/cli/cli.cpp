@@ -1,0 +1,563 @@
+#include "cli/cli.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "barrier/algorithms.hpp"
+#include "barrier/analysis.hpp"
+#include "barrier/cost_model.hpp"
+#include "barrier/optimize.hpp"
+#include "barrier/schedule_io.hpp"
+#include "cli/args.hpp"
+#include "core/tuner.hpp"
+#include "netsim/engine.hpp"
+#include "netsim/trace_export.hpp"
+#include "profile/estimator.hpp"
+#include "profile/synthetic_engine.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/machine_file.hpp"
+#include "topology/mapping.hpp"
+#include "util/error.hpp"
+#include "util/heatmap.hpp"
+#include "util/table.hpp"
+
+namespace optibar::cli {
+
+namespace {
+
+MachineSpec machine_by_name(const std::string& name, std::size_t nodes) {
+  if (name == "quad") {
+    return nodes == 0 ? quad_cluster() : quad_cluster(nodes);
+  }
+  if (name == "hex") {
+    return nodes == 0 ? hex_cluster() : hex_cluster(nodes);
+  }
+  if (name == "skewed") {
+    return nodes == 0 ? skewed_cluster() : skewed_cluster(nodes);
+  }
+  OPTIBAR_FAIL("unknown machine '" << name << "' (quad, hex, skewed)");
+}
+
+Mapping mapping_by_name(const std::string& name, const MachineSpec& machine,
+                        std::size_t ranks) {
+  if (name == "block") {
+    return block_mapping(machine, ranks);
+  }
+  if (name == "round-robin" || name == "rr") {
+    return round_robin_mapping(machine, ranks);
+  }
+  OPTIBAR_FAIL("unknown mapping '" << name << "' (block, round-robin)");
+}
+
+Schedule algorithm_by_name(const std::string& name, std::size_t ranks) {
+  if (name == "linear") {
+    return linear_barrier(ranks);
+  }
+  if (name == "dissemination") {
+    return dissemination_barrier(ranks);
+  }
+  if (name == "tree") {
+    return tree_barrier(ranks);
+  }
+  if (name == "heap-tree") {
+    return heap_tree_barrier(ranks);
+  }
+  if (name == "kary4-tree") {
+    return kary_tree_barrier(ranks, 4);
+  }
+  if (name == "pairwise-exchange") {
+    return pairwise_exchange_barrier(ranks);
+  }
+  if (name == "radix4-dissemination") {
+    return radix_dissemination_barrier(ranks, 4);
+  }
+  OPTIBAR_FAIL("unknown algorithm '"
+               << name
+               << "' (linear, dissemination, tree, heap-tree, kary4-tree, "
+                  "pairwise-exchange, radix4-dissemination)");
+}
+
+/// Load either --schedule or --algorithm against a loaded profile.
+StoredSchedule schedule_from_args(const Args& args,
+                                  const TopologyProfile& profile) {
+  OPTIBAR_REQUIRE(args.has("schedule") != args.has("algorithm"),
+                  "give exactly one of --schedule and --algorithm");
+  if (args.has("schedule")) {
+    StoredSchedule stored = load_schedule_file(args.require("schedule"));
+    OPTIBAR_REQUIRE(stored.schedule.ranks() == profile.ranks(),
+                    "schedule has " << stored.schedule.ranks()
+                                    << " ranks, profile "
+                                    << profile.ranks());
+    return stored;
+  }
+  StoredSchedule stored;
+  stored.schedule =
+      algorithm_by_name(args.require("algorithm"), profile.ranks());
+  return stored;
+}
+
+int cmd_machines(const Args& args, std::ostream& out) {
+  args.check_allowed({});
+  Table table({"name", "nodes", "sockets", "cores/socket", "cores",
+               "internode_O[us]", "internode_L[us]"});
+  for (const MachineSpec& m :
+       {quad_cluster(), hex_cluster(), skewed_cluster()}) {
+    table.add_row({m.name(), Table::num(m.nodes()),
+                   Table::num(m.sockets_per_node()),
+                   Table::num(m.cores_per_socket()),
+                   Table::num(m.total_cores()),
+                   Table::num(m.tiers().inter_node.overhead * 1e6, 1),
+                   Table::num(m.tiers().inter_node.latency * 1e6, 1)});
+  }
+  table.print(out);
+  out << "\nuse --machine quad|hex|skewed (optionally --nodes N)\n";
+  return 0;
+}
+
+int cmd_profile(const Args& args, std::ostream& out) {
+  args.check_allowed({"machine", "machine-file", "nodes", "ranks", "mapping",
+                      "estimate", "noise", "median", "heterogeneity", "seed",
+                      "reps", "out"});
+  const std::size_t ranks = args.require_size("ranks");
+  OPTIBAR_REQUIRE(args.has("machine") != args.has("machine-file"),
+                  "give exactly one of --machine and --machine-file");
+  if (args.has("machine-file")) {
+    // Machine description from disk; irregular machines use identity
+    // rank placement and ground-truth generation.
+    const MachineFile parsed = load_machine_file(args.require("machine-file"));
+    OPTIBAR_REQUIRE(
+        !args.has("estimate"),
+        "--estimate is only supported with the built-in machine presets");
+    TopologyProfile profile = [&] {
+      if (parsed.uniform) {
+        const MachineSpec machine = parsed.to_spec();
+        const Mapping mapping = mapping_by_name(
+            args.get_or("mapping", "round-robin"), machine, ranks);
+        GenerateOptions options;
+        options.heterogeneity = args.double_or("heterogeneity", 0.0);
+        options.seed = args.size_or("seed", 42);
+        return generate_profile(machine, mapping, options);
+      }
+      return generate_profile(parsed.to_custom(), ranks);
+    }();
+    const std::string path = args.require("out");
+    profile.save_file(path);
+    out << "wrote " << ranks << "-rank profile of " << parsed.name << " ("
+        << (parsed.uniform ? "uniform" : "irregular") << " machine file) to "
+        << path << "\n";
+    return 0;
+  }
+  const MachineSpec machine =
+      machine_by_name(args.require("machine"), args.size_or("nodes", 0));
+  const Mapping mapping =
+      mapping_by_name(args.get_or("mapping", "round-robin"), machine, ranks);
+
+  TopologyProfile profile = [&] {
+    if (!args.has("estimate")) {
+      GenerateOptions options;
+      options.heterogeneity = args.double_or("heterogeneity", 0.0);
+      options.seed = args.size_or("seed", 42);
+      return generate_profile(machine, mapping, options);
+    }
+    SyntheticEngineOptions engine_options;
+    engine_options.noise = args.double_or("noise", 0.02);
+    engine_options.seed = args.size_or("seed", 7);
+    SyntheticEngine engine(machine, mapping, engine_options);
+    EstimatorOptions est;
+    est.repetitions = args.size_or("reps", 25);
+    if (args.has("median")) {
+      est.aggregator = SampleAggregator::kMedian;
+    }
+    return estimate_profile(engine, est);
+  }();
+
+  const std::string path = args.require("out");
+  profile.save_file(path);
+  out << "wrote " << ranks << "-rank profile of " << machine.name() << " ("
+      << mapping.policy() << " mapping"
+      << (args.has("estimate") ? ", estimated" : ", ground truth") << ") to "
+      << path << "\n";
+  return 0;
+}
+
+int cmd_heatmap(const Args& args, std::ostream& out) {
+  args.check_allowed({"profile", "matrix"});
+  const TopologyProfile profile =
+      TopologyProfile::load_file(args.require("profile"));
+  const std::string which = args.get_or("matrix", "L");
+  OPTIBAR_REQUIRE(which == "L" || which == "O",
+                  "--matrix must be L or O, got " << which);
+  out << which << " matrix heat map, " << profile.ranks() << " ranks:\n";
+  out << render_heatmap(which == "L" ? profile.latency()
+                                     : profile.overhead());
+  return 0;
+}
+
+int cmd_tune(const Args& args, std::ostream& out) {
+  args.check_allowed({"profile", "extended", "optimize", "sparseness",
+                      "schedule-out", "code-out", "function"});
+  const TopologyProfile profile =
+      TopologyProfile::load_file(args.require("profile"));
+  TuneOptions options;
+  options.function_name = args.get_or("function", "optibar_barrier");
+  options.clustering.sss.sparseness = args.double_or("sparseness", 0.35);
+  if (args.has("extended")) {
+    options.composition.algorithms = extended_algorithms();
+  }
+  const TuneResult tuned = tune_barrier(profile, options);
+
+  out << describe_tree(tuned.cluster_tree());
+  out << tuned.barrier().describe();
+  out.setf(std::ios::scientific);
+  out << "predicted cost: " << tuned.predicted_cost() << " s\n";
+
+  Schedule final_schedule = tuned.schedule();
+  std::vector<bool> awaited = tuned.barrier().awaited_stages;
+  if (args.has("optimize")) {
+    const OptimizeResult optimized =
+        optimize_schedule(final_schedule, tuned.profile());
+    out << "post-optimization: " << optimized.signals_removed
+        << " signals pruned, " << optimized.stages_fused
+        << " stages fused, predicted " << optimized.cost_before << " -> "
+        << optimized.cost_after << " s\n";
+    final_schedule = optimized.schedule;
+    // Stage identities changed; conservative Eq. 1 pricing from here on.
+    awaited.clear();
+  }
+
+  if (args.has("schedule-out")) {
+    StoredSchedule stored;
+    stored.schedule = final_schedule;
+    stored.awaited_stages = awaited;
+    save_schedule_file(args.require("schedule-out"), stored);
+    out << "schedule written to " << args.require("schedule-out") << "\n";
+  }
+  if (args.has("code-out")) {
+    std::ofstream code(args.require("code-out"));
+    OPTIBAR_REQUIRE(code.is_open(),
+                    "cannot open " << args.require("code-out"));
+    code << generate_cpp(final_schedule,
+                         args.get_or("function", "optibar_barrier"))
+                .source;
+    out << "generated source written to " << args.require("code-out") << "\n";
+  }
+  return 0;
+}
+
+int cmd_predict(const Args& args, std::ostream& out) {
+  args.check_allowed({"profile", "schedule", "algorithm"});
+  const TopologyProfile profile =
+      TopologyProfile::load_file(args.require("profile"));
+  const StoredSchedule stored = schedule_from_args(args, profile);
+  PredictOptions options;
+  options.awaited_stages = stored.awaited_stages;
+  const Prediction prediction =
+      predict(stored.schedule, profile, options);
+  out.setf(std::ios::scientific);
+  out << "predicted critical path: " << prediction.critical_path << " s over "
+      << stored.schedule.stage_count() << " stages\n";
+  for (std::size_t s = 0; s < prediction.stage_increment.size(); ++s) {
+    out << "  stage " << s << ": +" << prediction.stage_increment[s] << " s\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args, std::ostream& out) {
+  args.check_allowed(
+      {"profile", "schedule", "algorithm", "reps", "jitter", "seed"});
+  const TopologyProfile profile =
+      TopologyProfile::load_file(args.require("profile"));
+  const StoredSchedule stored = schedule_from_args(args, profile);
+  OPTIBAR_REQUIRE(stored.schedule.is_barrier(),
+                  "refusing to simulate a non-barrier pattern");
+  SimOptions options;
+  options.jitter = args.double_or("jitter", 0.03);
+  options.seed = args.size_or("seed", 2011);
+  const std::size_t reps = args.size_or("reps", 25);
+  const double mean_time =
+      simulate_mean_time(stored.schedule, profile, options, reps);
+  out.setf(std::ios::scientific);
+  out << "simulated barrier time: " << mean_time << " s (mean of " << reps
+      << " repetitions, jitter " << options.jitter << ")\n";
+  return 0;
+}
+
+int cmd_compare(const Args& args, std::ostream& out) {
+  args.check_allowed({"profile", "reps", "jitter", "seed", "extended"});
+  const TopologyProfile profile =
+      TopologyProfile::load_file(args.require("profile"));
+  const std::size_t p = profile.ranks();
+  SimOptions sim_options;
+  sim_options.jitter = args.double_or("jitter", 0.03);
+  sim_options.seed = args.size_or("seed", 2011);
+  const std::size_t reps = args.size_or("reps", 25);
+
+  TuneOptions tune_options;
+  if (args.has("extended")) {
+    tune_options.composition.algorithms = extended_algorithms();
+  }
+  const TuneResult tuned = tune_barrier(profile, tune_options);
+
+  Table table({"algorithm", "stages", "signals", "predicted[s]",
+               "simulated[s]"});
+  auto add = [&](const std::string& name, const Schedule& schedule,
+                 const std::vector<bool>& awaited) {
+    PredictOptions predict_options;
+    predict_options.awaited_stages = awaited;
+    table.add_row(
+        {name, Table::num(schedule.stage_count()),
+         Table::num(schedule.total_signals()),
+         Table::num(predicted_time(schedule, profile, predict_options), 8),
+         Table::num(simulate_mean_time(schedule, profile, sim_options, reps),
+                    8)});
+  };
+  add("linear", linear_barrier(p), {});
+  add("dissemination", dissemination_barrier(p), {});
+  add("tree (MPI)", tree_barrier(p), {});
+  add("hybrid (tuned)", tuned.schedule(), tuned.barrier().awaited_stages);
+  table.print(out);
+  return 0;
+}
+
+int cmd_trace(const Args& args, std::ostream& out) {
+  args.check_allowed({"profile", "schedule", "algorithm", "seed", "jitter",
+                      "format"});
+  const TopologyProfile profile =
+      TopologyProfile::load_file(args.require("profile"));
+  const StoredSchedule stored = schedule_from_args(args, profile);
+  OPTIBAR_REQUIRE(stored.schedule.is_barrier(),
+                  "refusing to trace a non-barrier pattern");
+  SimOptions options;
+  options.record_trace = true;
+  options.jitter = args.double_or("jitter", 0.0);
+  options.seed = args.size_or("seed", 2011);
+  const SimResult result = simulate(stored.schedule, profile, options);
+  const std::string format = args.get_or("format", "csv");
+  if (format == "csv") {
+    write_trace_csv(out, result);
+  } else if (format == "chrome") {
+    write_trace_chrome_json(out, result);
+  } else {
+    OPTIBAR_FAIL("--format must be csv or chrome, got " << format);
+  }
+  return 0;
+}
+
+int cmd_sweep(const Args& args, std::ostream& out) {
+  args.check_allowed({"machine", "machine-file", "nodes", "from", "to",
+                      "mapping", "reps", "jitter", "seed"});
+  OPTIBAR_REQUIRE(args.has("machine") != args.has("machine-file"),
+                  "give exactly one of --machine and --machine-file");
+  const std::size_t from = args.size_or("from", 2);
+  OPTIBAR_REQUIRE(from >= 2, "--from must be >= 2");
+  SimOptions sim;
+  sim.jitter = args.double_or("jitter", 0.03);
+  sim.seed = args.size_or("seed", 2011);
+  const std::size_t reps = args.size_or("reps", 25);
+
+  // Per-P profile factory for either machine source.
+  std::function<TopologyProfile(std::size_t)> profile_for;
+  std::size_t capacity = 0;
+  if (args.has("machine")) {
+    const MachineSpec machine =
+        machine_by_name(args.require("machine"), args.size_or("nodes", 0));
+    const std::string mapping_name = args.get_or("mapping", "round-robin");
+    capacity = machine.total_cores();
+    profile_for = [machine, mapping_name](std::size_t p) {
+      return generate_profile(
+          machine, mapping_by_name(mapping_name, machine, p),
+          GenerateOptions{});
+    };
+  } else {
+    const MachineFile parsed = load_machine_file(args.require("machine-file"));
+    if (parsed.uniform) {
+      const MachineSpec machine = parsed.to_spec();
+      const std::string mapping_name = args.get_or("mapping", "round-robin");
+      capacity = machine.total_cores();
+      profile_for = [machine, mapping_name](std::size_t p) {
+        return generate_profile(
+            machine, mapping_by_name(mapping_name, machine, p),
+            GenerateOptions{});
+      };
+    } else {
+      const CustomMachine machine = parsed.to_custom();
+      capacity = machine.total_cores();
+      profile_for = [machine](std::size_t p) {
+        return generate_profile(machine, p);
+      };
+    }
+  }
+  const std::size_t to = args.size_or("to", capacity);
+  OPTIBAR_REQUIRE(to >= from && to <= capacity,
+                  "--to must be in [" << from << ", " << capacity << "]");
+
+  Table table({"P", "linear", "dissemination", "tree", "hybrid",
+               "hybrid_root"});
+  for (std::size_t p = from; p <= to; ++p) {
+    const TopologyProfile profile = profile_for(p);
+    const TuneResult tuned = tune_barrier(profile);
+    auto measured = [&](const Schedule& s) {
+      return Table::num(simulate_mean_time(s, profile, sim, reps), 8);
+    };
+    table.add_row({Table::num(p), measured(linear_barrier(p)),
+                   measured(dissemination_barrier(p)),
+                   measured(tree_barrier(p)), measured(tuned.schedule()),
+                   tuned.barrier().root_algorithm});
+  }
+  table.print(out);
+  out << "\nCSV:\n";
+  table.print_csv(out);
+  return 0;
+}
+
+int cmd_workload(const Args& args, std::ostream& out) {
+  args.check_allowed({"profile", "schedule", "algorithm", "episodes",
+                      "compute", "skew", "seed", "jitter", "timeline"});
+  const TopologyProfile profile =
+      TopologyProfile::load_file(args.require("profile"));
+  const StoredSchedule stored = schedule_from_args(args, profile);
+  OPTIBAR_REQUIRE(stored.schedule.is_barrier(),
+                  "refusing to run a non-barrier pattern");
+  WorkloadOptions options;
+  options.episodes = args.size_or("episodes", 50);
+  options.compute_mean = args.double_or("compute", 3e-4);
+  options.compute_stddev = args.double_or("skew", 0.0);
+  options.sim.seed = args.size_or("seed", 2011);
+  options.sim.jitter = args.double_or("jitter", 0.0);
+  const WorkloadResult result =
+      simulate_workload(stored.schedule, profile, options);
+  out.setf(std::ios::scientific);
+  out << "bulk-synchronous workload: " << options.episodes
+      << " episodes, compute " << options.compute_mean << " s +- "
+      << options.compute_stddev << " s\n"
+      << "mean barrier span: " << result.mean_barrier_time() << " s\n"
+      << "total synchronization wait: " << result.total_wait() << " s\n"
+      << "makespan: " << result.makespan << " s\n";
+  if (args.has("timeline")) {
+    SimOptions one;
+    one.seed = options.sim.seed;
+    one.jitter = options.sim.jitter;
+    one.record_trace = true;
+    const SimResult episode = simulate(stored.schedule, profile, one);
+    out << "\nsingle-episode " << render_timeline(episode);
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& args, std::ostream& out) {
+  args.check_allowed(
+      {"schedule", "machine", "machine-file", "nodes", "mapping"});
+  const StoredSchedule stored =
+      load_schedule_file(args.require("schedule"));
+  OPTIBAR_REQUIRE(args.has("machine") != args.has("machine-file"),
+                  "give exactly one of --machine and --machine-file");
+  if (args.has("machine-file")) {
+    const MachineFile parsed = load_machine_file(args.require("machine-file"));
+    if (!parsed.uniform) {
+      out << describe_usage(stored.schedule, parsed.to_custom());
+      return 0;
+    }
+    const MachineSpec machine = parsed.to_spec();
+    const Mapping mapping =
+        mapping_by_name(args.get_or("mapping", "round-robin"), machine,
+                        stored.schedule.ranks());
+    out << describe_usage(stored.schedule, machine, mapping);
+    return 0;
+  }
+  const MachineSpec machine =
+      machine_by_name(args.require("machine"), args.size_or("nodes", 0));
+  const Mapping mapping =
+      mapping_by_name(args.get_or("mapping", "round-robin"), machine,
+                      stored.schedule.ranks());
+  out << describe_usage(stored.schedule, machine, mapping);
+  return 0;
+}
+
+int cmd_validate(const Args& args, std::ostream& out) {
+  args.check_allowed({"schedule"});
+  const StoredSchedule stored =
+      load_schedule_file(args.require("schedule"));
+  const bool valid = stored.schedule.is_barrier();
+  out << "ranks: " << stored.schedule.ranks() << "\n"
+      << "stages: " << stored.schedule.stage_count() << " ("
+      << stored.schedule.nonempty_stage_count() << " non-empty)\n"
+      << "signals: " << stored.schedule.total_signals() << "\n"
+      << "barrier (Eq. 3): " << (valid ? "yes" : "NO") << "\n";
+  return valid ? 0 : 2;
+}
+
+using Command = std::function<int(const Args&, std::ostream&)>;
+
+const std::map<std::string, Command>& command_table() {
+  static const std::map<std::string, Command> commands{
+      {"machines", cmd_machines}, {"profile", cmd_profile},
+      {"heatmap", cmd_heatmap},   {"tune", cmd_tune},
+      {"predict", cmd_predict},   {"simulate", cmd_simulate},
+      {"compare", cmd_compare},   {"analyze", cmd_analyze},
+      {"validate", cmd_validate}, {"trace", cmd_trace},
+      {"workload", cmd_workload}, {"sweep", cmd_sweep},
+  };
+  return commands;
+}
+
+}  // namespace
+
+std::string usage_text() {
+  std::ostringstream os;
+  os << "optibar — topology-adaptive barrier synthesis "
+        "(Meyer & Elster, IPDPS 2011 reproduction)\n\n"
+        "commands:\n"
+        "  machines                         list machine presets\n"
+        "  profile  (--machine M | --machine-file F) --ranks P --out FILE\n"
+        "           [--mapping block|rr]\n"
+        "           [--nodes N] [--estimate [--noise X] [--median] "
+        "[--reps N]] [--heterogeneity X] [--seed N]\n"
+        "  heatmap  --profile FILE [--matrix L|O]\n"
+        "  tune     --profile FILE [--extended] [--optimize]\n"
+        "           [--sparseness A]  # SSS alpha, paper default 0.35\n"
+        "           [--schedule-out FILE]\n"
+        "           [--code-out FILE] [--function NAME]\n"
+        "  predict  --profile FILE (--schedule FILE | --algorithm NAME)\n"
+        "  simulate --profile FILE (--schedule FILE | --algorithm NAME)\n"
+        "           [--reps N] [--jitter X] [--seed N]\n"
+        "  compare  --profile FILE [--reps N] [--jitter X] [--extended]\n"
+        "  analyze  --schedule FILE (--machine M | --machine-file F)\n"
+        "           [--nodes N] [--mapping block|rr]\n"
+        "  validate --schedule FILE\n"
+        "  trace    --profile FILE (--schedule FILE | --algorithm NAME)\n"
+        "           [--format csv|chrome] [--jitter X] [--seed N]\n"
+        "  workload --profile FILE (--schedule FILE | --algorithm NAME)\n"
+        "           [--episodes N] [--compute S] [--skew S] [--timeline]\n"
+        "  sweep    (--machine M | --machine-file F) [--from P] [--to P]\n"
+        "           [--mapping block|rr] [--reps N]  # figure-style series\n"
+        "  help\n";
+  return os.str();
+}
+
+int run_cli(const std::vector<std::string>& arguments, std::ostream& out,
+            std::ostream& err) {
+  if (arguments.empty() || arguments[0] == "help" ||
+      arguments[0] == "--help") {
+    out << usage_text();
+    return arguments.empty() ? 1 : 0;
+  }
+  const auto& commands = command_table();
+  const auto it = commands.find(arguments[0]);
+  if (it == commands.end()) {
+    err << "unknown command '" << arguments[0] << "'\n\n" << usage_text();
+    return 1;
+  }
+  try {
+    const Args args = Args::parse(
+        std::vector<std::string>(arguments.begin() + 1, arguments.end()));
+    return it->second(args, out);
+  } catch (const Error& error) {
+    err << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace optibar::cli

@@ -1,0 +1,49 @@
+// The optibar command-line tool, as a library so tests can drive it.
+//
+// Subcommands cover the full Figure 1 workflow from a shell:
+//
+//   optibar machines
+//       list the built-in machine presets
+//   optibar profile --machine quad --ranks 40 [--mapping round-robin]
+//                   [--nodes N] [--estimate [--noise X] [--median]]
+//                   [--heterogeneity X] --out profile.txt
+//       produce a topology profile (ground truth, or through the
+//       Section IV-A estimator against the synthetic engine)
+//   optibar heatmap --profile profile.txt [--matrix L|O]
+//       render the matrix as an ASCII heat map (Figure 9)
+//   optibar tune --profile profile.txt [--extended]
+//                [--schedule-out s.txt] [--code-out barrier.hpp]
+//       run clustering + greedy composition; report and save artefacts
+//   optibar predict --profile profile.txt
+//                   (--schedule s.txt | --algorithm tree)
+//       price a schedule with the Eq. 1-3 model
+//   optibar simulate --profile profile.txt
+//                    (--schedule s.txt | --algorithm tree)
+//                    [--reps N] [--jitter X] [--seed N]
+//       execute on the discrete-event engine
+//   optibar compare --profile profile.txt [--reps N]
+//       one table: every classic algorithm + the tuned hybrid,
+//       predicted and simulated
+//   optibar analyze --schedule s.txt --machine quad [--nodes N]
+//                   [--mapping round-robin]
+//       link-tier usage report for a stored schedule
+//   optibar validate --schedule s.txt
+//       Eq. 3 barrier check plus structural statistics
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace optibar::cli {
+
+/// Run one CLI invocation. `arguments` excludes the program name.
+/// Returns the process exit code; normal output goes to `out`,
+/// diagnostics to `err`.
+int run_cli(const std::vector<std::string>& arguments, std::ostream& out,
+            std::ostream& err);
+
+/// The help text printed by `optibar help` and on usage errors.
+std::string usage_text();
+
+}  // namespace optibar::cli

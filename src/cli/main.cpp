@@ -1,0 +1,12 @@
+// Entry point of the `optibar` command-line tool. All logic lives in
+// cli.cpp so the test suite can drive it in-process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> arguments(argv + 1, argv + argc);
+  return optibar::cli::run_cli(arguments, std::cout, std::cerr);
+}

@@ -1,0 +1,96 @@
+#include "core/cluster_tree.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+std::size_t ClusterNode::height() const {
+  std::size_t h = 0;
+  for (const ClusterNode& child : children) {
+    h = std::max(h, child.height() + 1);
+  }
+  return h;
+}
+
+std::size_t ClusterNode::tree_size() const {
+  std::size_t n = 1;
+  for (const ClusterNode& child : children) {
+    n += child.tree_size();
+  }
+  return n;
+}
+
+namespace {
+
+ClusterNode build_node(const TopologyProfile& profile,
+                       std::vector<std::size_t> ranks,
+                       const ClusterTreeOptions& options, std::size_t depth) {
+  ClusterNode node;
+  node.ranks = std::move(ranks);
+  if (node.ranks.size() <= 1 || depth >= options.max_depth) {
+    return node;
+  }
+
+  const std::vector<std::size_t>& members = node.ranks;
+  const auto clusters = sss_cluster(
+      members.size(),
+      [&](std::size_t a, std::size_t b) {
+        return profile.distance(members[a], members[b]);
+      },
+      options.sss);
+
+  // No split, or a degenerate all-singleton split: leaf.
+  if (clusters.size() <= 1 || clusters.size() == members.size()) {
+    return node;
+  }
+
+  for (const auto& cluster : clusters) {
+    std::vector<std::size_t> child_ranks;
+    child_ranks.reserve(cluster.size());
+    for (std::size_t local : cluster) {
+      child_ranks.push_back(members[local]);
+    }
+    node.children.push_back(
+        build_node(profile, std::move(child_ranks), options, depth + 1));
+  }
+  return node;
+}
+
+void describe_node(const ClusterNode& node, std::size_t depth,
+                   std::ostringstream& os) {
+  os << std::string(2 * depth, ' ')
+     << (node.is_leaf() ? "leaf" : "cluster") << " [";
+  for (std::size_t i = 0; i < node.ranks.size(); ++i) {
+    os << (i ? " " : "") << node.ranks[i];
+  }
+  os << "] rep=" << node.representative() << '\n';
+  for (const ClusterNode& child : node.children) {
+    describe_node(child, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+ClusterNode build_cluster_tree(const TopologyProfile& profile,
+                               const ClusterTreeOptions& options) {
+  OPTIBAR_REQUIRE(profile.ranks() > 0, "empty profile");
+  OPTIBAR_REQUIRE(profile.is_symmetric(1e-6),
+                  "cluster tree needs a symmetric profile; call "
+                  "TopologyProfile::symmetrized() first");
+  std::vector<std::size_t> all(profile.ranks());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = i;
+  }
+  return build_node(profile, std::move(all), options, 0);
+}
+
+std::string describe_tree(const ClusterNode& root) {
+  std::ostringstream os;
+  describe_node(root, 0, os);
+  return os.str();
+}
+
+}  // namespace optibar

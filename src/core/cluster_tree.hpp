@@ -1,0 +1,58 @@
+// Hierarchical cluster tree over a topology profile (Section VII-A).
+//
+// "The outcome of the clustering process is a representation of the
+//  topology as a tree, with more closely connected clusters towards the
+//  leaves. The topology of our test systems result in a two-level
+//  hierarchy, but the tree construction works with any number of
+//  levels."
+//
+// Construction applies SSS recursively on each cluster's restricted
+// distance submatrix. Recursion stops when a cluster is a singleton,
+// when SSS cannot split it (one cluster), or when a split degenerates to
+// all-singletons — the latter means the remaining distances carry no
+// exploitable hierarchy at this sparseness (on the paper's machines,
+// everything below node level looks like this at alpha = 0.35).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/sss.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+struct ClusterNode {
+  /// Global ranks of this cluster; the representative (local barrier
+  /// root) first, then ascending.
+  std::vector<std::size_t> ranks;
+  /// Child clusters; empty for leaves.
+  std::vector<ClusterNode> children;
+
+  bool is_leaf() const { return children.empty(); }
+  std::size_t representative() const { return ranks.front(); }
+
+  /// Number of levels below (a leaf has height 0).
+  std::size_t height() const;
+  /// Total node count including this one.
+  std::size_t tree_size() const;
+};
+
+struct ClusterTreeOptions {
+  SssOptions sss;
+  /// Hard recursion cap; the tree of a sane profile is shallow, this
+  /// guards against adversarial metrics.
+  std::size_t max_depth = 16;
+};
+
+/// Build the cluster tree of all ranks of the profile. The profile must
+/// be symmetric (SSS needs a metric); symmetrize first if estimated
+/// matrices carry sampling asymmetry.
+ClusterNode build_cluster_tree(const TopologyProfile& profile,
+                               const ClusterTreeOptions& options = {});
+
+/// Multi-line rendering, one line per tree node with indentation.
+std::string describe_tree(const ClusterNode& root);
+
+}  // namespace optibar

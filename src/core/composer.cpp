@@ -1,0 +1,227 @@
+#include "core/composer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "barrier/cost_model.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+
+namespace {
+
+/// Greedy pick of the cheapest component algorithm for one local
+/// barrier among `participants` (global ranks).
+struct Pick {
+  const ComponentAlgorithm* algorithm = nullptr;
+  Schedule local_arrival{1};
+  double scored_cost = 0.0;
+};
+
+Pick pick_algorithm(const TopologyProfile& profile,
+                    const std::vector<std::size_t>& participants, bool is_root,
+                    const std::vector<ComponentAlgorithm>& algorithms) {
+  OPTIBAR_REQUIRE(!algorithms.empty(), "no candidate algorithms");
+  const TopologyProfile local_profile = profile.restrict_to(participants);
+  Pick best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const ComponentAlgorithm& algo : algorithms) {
+    Schedule arrival = algo.arrival(participants.size());
+    const double cost = predicted_time(arrival, local_profile);
+    // Arrival x 2 approximates the matching departure, except a
+    // self-completing algorithm at the root needs no departure at all.
+    const double multiplier = (is_root && algo.self_completing) ? 1.0 : 2.0;
+    const double score = multiplier * cost;
+    if (score < best_score) {
+      best_score = score;
+      best = Pick{&algo, std::move(arrival), score};
+    }
+  }
+  return best;
+}
+
+struct ArrivalBuild {
+  Schedule arrival;          ///< global-rank arrival schedule
+  std::size_t level_start;   ///< stage at which this node's own block begins
+};
+
+struct CandidateSets {
+  const std::vector<ComponentAlgorithm>* sub_levels;
+  const std::vector<ComponentAlgorithm>* root;
+};
+
+ArrivalBuild build_arrival(const TopologyProfile& profile,
+                           const ClusterNode& node, bool is_root,
+                           std::size_t depth, const CandidateSets& candidates,
+                           std::vector<LevelChoice>& choices) {
+  const std::size_t p = profile.ranks();
+  ArrivalBuild out{Schedule(p), 0};
+  if (node.ranks.size() == 1) {
+    return out;  // a lone rank has nothing to collect
+  }
+
+  // Children first, all starting at stage 0 (merge-early); the local
+  // block over the representatives starts after the longest child.
+  std::vector<std::size_t> participants;
+  if (node.is_leaf()) {
+    participants = node.ranks;
+  } else {
+    std::size_t longest_child = 0;
+    for (const ClusterNode& child : node.children) {
+      participants.push_back(child.representative());
+      ArrivalBuild sub = build_arrival(profile, child, /*is_root=*/false,
+                                       depth + 1, candidates, choices);
+      longest_child = std::max(longest_child, sub.arrival.stage_count());
+      std::vector<std::size_t> identity(p);
+      for (std::size_t i = 0; i < p; ++i) {
+        identity[i] = i;
+      }
+      embed_schedule(out.arrival, sub.arrival, identity, 0);
+    }
+    out.level_start = longest_child;
+  }
+
+  const Pick pick = pick_algorithm(
+      profile, participants, is_root,
+      is_root ? *candidates.root : *candidates.sub_levels);
+  choices.push_back(LevelChoice{depth, participants, pick.algorithm->name,
+                                pick.scored_cost});
+  embed_schedule(out.arrival, pick.local_arrival, participants,
+                 out.level_start);
+  return out;
+}
+
+/// Sub-schedule of stages [0, count).
+Schedule stage_prefix(const Schedule& schedule, std::size_t count) {
+  Schedule out(schedule.ranks());
+  for (std::size_t s = 0; s < count; ++s) {
+    out.append_stage(schedule.stage(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ComposedBarrier::describe() const {
+  std::ostringstream os;
+  os << "hybrid barrier: " << schedule.stage_count() << " stages ("
+     << arrival_stages << " arrival), root algorithm " << root_algorithm
+     << (root_self_completing ? " (self-completing, no root departure)" : "")
+     << '\n';
+  for (const LevelChoice& choice : choices) {
+    os << std::string(2 * choice.depth, ' ') << "depth " << choice.depth
+       << ": " << choice.algorithm << " over {";
+    for (std::size_t i = 0; i < choice.participants.size(); ++i) {
+      os << (i ? " " : "") << choice.participants[i];
+    }
+    os << "} score " << choice.scored_cost << '\n';
+  }
+  return os.str();
+}
+
+ComposedBarrier compose_barrier(const TopologyProfile& profile,
+                                const ClusterNode& tree,
+                                const ComposeOptions& options) {
+  const std::size_t p = profile.ranks();
+  OPTIBAR_REQUIRE(tree.ranks.size() == p,
+                  "cluster tree covers " << tree.ranks.size() << " ranks, "
+                                         << "profile has " << p);
+
+  ComposedBarrier out;
+  if (p == 1) {
+    out.schedule = Schedule(1);
+    out.root_algorithm = "trivial";
+    return out;
+  }
+
+  const CandidateSets candidates{
+      &options.algorithms, options.root_algorithms.empty()
+                               ? &options.algorithms
+                               : &options.root_algorithms};
+  std::vector<LevelChoice> choices;
+  ArrivalBuild build = build_arrival(profile, tree, /*is_root=*/true,
+                                     /*depth=*/0, candidates, choices);
+
+  // The root-level decision is recorded last by the post-order recursion.
+  OPTIBAR_ASSERT(!choices.empty(), "composition produced no level choices");
+  const LevelChoice& root_choice = choices.back();
+  OPTIBAR_ASSERT(root_choice.depth == 0, "root choice not at depth 0");
+  const std::vector<ComponentAlgorithm>& root_set = *candidates.root;
+  const auto root_algo = std::find_if(
+      root_set.begin(), root_set.end(),
+      [&](const ComponentAlgorithm& a) { return a.name == root_choice.algorithm; });
+  OPTIBAR_ASSERT(root_algo != root_set.end(), "root algorithm lost");
+
+  out.root_algorithm = root_algo->name;
+  out.root_self_completing = root_algo->self_completing;
+  // Report choices root-first for readability.
+  std::reverse(choices.begin(), choices.end());
+  out.choices = std::move(choices);
+
+  // Departure: reversed transposes of the arrival. When the root block
+  // is self-completing it is omitted from the transposition.
+  const Schedule& arrival = build.arrival;
+  const Schedule departure_base =
+      out.root_self_completing ? stage_prefix(arrival, build.level_start)
+                               : arrival;
+  const Schedule departure = departure_base.transposed_reversed();
+
+  Schedule full = arrival.concatenated(departure);
+  // Compact no-op stages; track which surviving stages are departures.
+  std::vector<bool> awaited;
+  Schedule compacted(p);
+  for (std::size_t s = 0; s < full.stage_count(); ++s) {
+    if (full.stage(s).all_zero()) {
+      continue;
+    }
+    compacted.append_stage(full.stage(s));
+    awaited.push_back(s >= arrival.stage_count());
+  }
+  out.arrival_stages = 0;
+  for (std::size_t s = 0; s < awaited.size(); ++s) {
+    if (!awaited[s]) {
+      out.arrival_stages = s + 1;
+    }
+  }
+  out.schedule = std::move(compacted);
+  out.awaited_stages = std::move(awaited);
+
+  OPTIBAR_ASSERT(out.schedule.is_barrier(),
+                 "composed schedule fails the Eq. 3 barrier check");
+  return out;
+}
+
+ComposedBarrier compose_barrier_searched(const TopologyProfile& profile,
+                                         const ClusterNode& tree,
+                                         const ComposeOptions& options) {
+  OPTIBAR_REQUIRE(!options.algorithms.empty(), "no candidate algorithms");
+  auto priced = [&](const ComposedBarrier& barrier) {
+    PredictOptions predict_options;
+    predict_options.awaited_stages = barrier.awaited_stages;
+    return predicted_time(barrier.schedule, profile, predict_options);
+  };
+
+  ComposedBarrier best = compose_barrier(profile, tree, options);
+  double best_cost = priced(best);
+
+  const std::vector<ComponentAlgorithm>& root_set =
+      options.root_algorithms.empty() ? options.algorithms
+                                      : options.root_algorithms;
+  for (const ComponentAlgorithm& sub : options.algorithms) {
+    for (const ComponentAlgorithm& root : root_set) {
+      ComposeOptions fixed;
+      fixed.algorithms = {sub};
+      fixed.root_algorithms = {root};
+      ComposedBarrier candidate = compose_barrier(profile, tree, fixed);
+      const double cost = priced(candidate);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = std::move(candidate);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace optibar

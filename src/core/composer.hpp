@@ -1,0 +1,89 @@
+// Hierarchical barrier composition (Section VII-B).
+//
+// "The overall approach is to traverse the tree of clusters and evaluate
+//  all three algorithms on the cluster level, greedily selecting the one
+//  with the lowest predicted cost of its arrival phases. The next step
+//  is to traverse the tree bottom-up, combining the local barriers on
+//  the same level into an overall structure for complete arrival, before
+//  inferring the departure phases by a reversed sequence of transpose
+//  matrices."
+//
+// Details implemented exactly as described:
+//   - greedy scores are arrival-phase predicted cost x 2, except a
+//     self-completing algorithm (dissemination) evaluated at the *root*
+//     level, which needs no departure and scores x 1;
+//   - when local patterns of differing stage counts combine, shorter
+//     sequences merge into the longer ones as early as possible (all
+//     children start at stage 0; the parent-level pattern starts after
+//     the longest child);
+//   - the departure phase is the reversed sequence of transposed arrival
+//     matrices, omitting the root level when the root algorithm is
+//     self-completing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "barrier/algorithms.hpp"
+#include "barrier/schedule.hpp"
+#include "core/cluster_tree.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+struct ComposeOptions {
+  /// Candidate component algorithms; defaults to the paper's three.
+  std::vector<ComponentAlgorithm> algorithms = paper_algorithms();
+  /// Candidates for the root level only; empty = use `algorithms`.
+  /// Used by the global search below, occasionally useful directly
+  /// (e.g. force dissemination across the top-level slow links).
+  std::vector<ComponentAlgorithm> root_algorithms;
+};
+
+/// Record of one greedy decision, for reporting (Figure 10) and tests.
+struct LevelChoice {
+  std::size_t depth = 0;  ///< 0 = root level of the cluster tree
+  /// Global ranks participating in this local barrier: a leaf cluster's
+  /// members, or the representatives of an inner node's children.
+  std::vector<std::size_t> participants;
+  std::string algorithm;
+  double scored_cost = 0.0;  ///< multiplier-adjusted predicted cost
+};
+
+struct ComposedBarrier {
+  /// The complete hybrid barrier (arrival + departure), compacted.
+  Schedule schedule{1};
+  /// Per-stage Eq. 2 flags: true on departure stages (receivers are
+  /// known to be waiting inside the barrier).
+  std::vector<bool> awaited_stages;
+  /// Stage count of the arrival part of `schedule`.
+  std::size_t arrival_stages = 0;
+  /// Greedy decisions, root level first.
+  std::vector<LevelChoice> choices;
+  std::string root_algorithm;
+  bool root_self_completing = false;
+
+  /// Human-readable choice summary, one line per level decision.
+  std::string describe() const;
+};
+
+/// Compose the hybrid barrier for the given profile and cluster tree.
+/// The tree must cover ranks 0..profile.ranks()-1 exactly.
+ComposedBarrier compose_barrier(const TopologyProfile& profile,
+                                const ClusterNode& tree,
+                                const ComposeOptions& options = {});
+
+/// Global alternative to the per-cluster greedy: evaluate every
+/// (sub-level algorithm, root algorithm) uniform assignment by the
+/// *full-schedule* predicted cost (Eq. 2 on departures) — |A|^2
+/// compositions — plus the plain greedy result, and return the
+/// cheapest. The greedy scores levels in isolation with the x2 arrival
+/// approximation; this search prices interactions (stage alignment,
+/// actual departure costs) exactly, at |A|^2 times the cost. Used by
+/// bench_ablation_algorithms to bound what greediness gives away.
+ComposedBarrier compose_barrier_searched(const TopologyProfile& profile,
+                                         const ClusterNode& tree,
+                                         const ComposeOptions& options = {});
+
+}  // namespace optibar

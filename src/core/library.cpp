@@ -1,0 +1,60 @@
+#include "core/library.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+BarrierLibrary::BarrierLibrary(TopologyProfile profile, TuneOptions options)
+    : profile_(std::move(profile)), options_(std::move(options)) {
+  OPTIBAR_REQUIRE(profile_.ranks() > 0, "empty profile");
+}
+
+BarrierLibrary BarrierLibrary::from_profile_file(const std::string& path,
+                                                 TuneOptions options) {
+  return BarrierLibrary(TopologyProfile::load_file(path), std::move(options));
+}
+
+const LibraryEntry& BarrierLibrary::full_barrier() {
+  std::vector<std::size_t> all(profile_.ranks());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = i;
+  }
+  return barrier_for(all);
+}
+
+const LibraryEntry& BarrierLibrary::barrier_for(
+    const std::vector<std::size_t>& ranks) {
+  OPTIBAR_REQUIRE(!ranks.empty(), "empty rank subset");
+  std::set<std::size_t> seen;
+  for (std::size_t r : ranks) {
+    OPTIBAR_REQUIRE(r < profile_.ranks(),
+                    "rank " << r << " out of range (" << profile_.ranks()
+                            << ")");
+    OPTIBAR_REQUIRE(seen.insert(r).second, "duplicate rank " << r);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(ranks);
+  if (it != cache_.end()) {
+    return *it->second;
+  }
+
+  const TopologyProfile local = profile_.restrict_to(ranks);
+  const TuneResult tuned = tune_barrier(local, options_);
+  auto entry = std::make_unique<LibraryEntry>();
+  entry->global_ranks = ranks;
+  entry->stored.schedule = tuned.schedule();
+  entry->stored.awaited_stages = tuned.barrier().awaited_stages;
+  entry->compiled = CompiledBarrier(tuned.schedule());
+  entry->predicted_cost = tuned.predicted_cost();
+  return *cache_.emplace(ranks, std::move(entry)).first->second;
+}
+
+std::size_t BarrierLibrary::cache_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace optibar

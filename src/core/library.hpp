@@ -1,0 +1,75 @@
+// Runtime barrier library (Section VIII).
+//
+// "Another appealing direction would be to employ this method in a
+//  library implementation which would benefit unmodified application
+//  codes. ... Implementing a solution which stores the profile in a
+//  manner which can be efficiently indexed at run-time would alleviate
+//  this problem."
+//
+// BarrierLibrary is that solution: it owns a machine profile (typically
+// loaded from the file the profiling step wrote) and serves tuned,
+// compiled barriers on demand — for the full rank set or for any
+// sub-communicator (rank subset) — caching each tuned result so repeated
+// barrier construction is a hash lookup, not a re-run of the tuner.
+// Thread-safe: rank threads may request barriers concurrently.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "barrier/schedule_io.hpp"
+#include "core/codegen.hpp"
+#include "core/tuner.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+/// One cached tuning result for a rank subset. Rank indices inside the
+/// compiled barrier are *local* (0..k-1) in the order of the subset the
+/// caller passed; the caller owns the local<->global translation, as a
+/// sub-communicator implementation would.
+struct LibraryEntry {
+  std::vector<std::size_t> global_ranks;
+  StoredSchedule stored;
+  CompiledBarrier compiled{Schedule(1)};
+  double predicted_cost = 0.0;
+};
+
+class BarrierLibrary {
+ public:
+  /// Takes the machine profile measured by the profiling step.
+  explicit BarrierLibrary(TopologyProfile profile, TuneOptions options = {});
+
+  /// Load the profile from disk (the Figure 1 decoupling).
+  static BarrierLibrary from_profile_file(const std::string& path,
+                                          TuneOptions options = {});
+
+  std::size_t ranks() const { return profile_.ranks(); }
+  const TopologyProfile& profile() const { return profile_; }
+
+  /// Tuned barrier over all ranks. First call tunes; later calls hit the
+  /// cache.
+  const LibraryEntry& full_barrier();
+
+  /// Tuned barrier over a rank subset (a sub-communicator). The subset
+  /// must be non-empty, in-range and duplicate-free; order defines the
+  /// local rank numbering.
+  const LibraryEntry& barrier_for(const std::vector<std::size_t>& ranks);
+
+  /// Number of distinct tuned subsets currently cached.
+  std::size_t cache_size() const;
+
+ private:
+  TopologyProfile profile_;
+  TuneOptions options_;
+  mutable std::mutex mutex_;
+  // Keyed by the subset in caller order (order defines local numbering,
+  // so differently-ordered subsets are genuinely different barriers).
+  std::map<std::vector<std::size_t>, std::unique_ptr<LibraryEntry>> cache_;
+};
+
+}  // namespace optibar

@@ -1,0 +1,133 @@
+#include "core/retune.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "barrier/cost_model.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+
+DriftMonitor::DriftMonitor(TopologyProfile baseline, double alpha)
+    : baseline_(baseline), current_(std::move(baseline)), alpha_(alpha) {
+  OPTIBAR_REQUIRE(alpha_ > 0.0 && alpha_ <= 1.0,
+                  "EWMA alpha must be in (0,1], got " << alpha_);
+}
+
+void DriftMonitor::observe_overhead(std::size_t i, std::size_t j,
+                                    double seconds) {
+  OPTIBAR_REQUIRE(i < current_.ranks() && j < current_.ranks(),
+                  "rank out of range");
+  OPTIBAR_REQUIRE(seconds >= 0.0, "negative observation");
+  Matrix<double> o = current_.overhead();
+  o(i, j) = (1.0 - alpha_) * o(i, j) + alpha_ * seconds;
+  if (i != j) {
+    o(j, i) = (1.0 - alpha_) * o(j, i) + alpha_ * seconds;
+  }
+  current_ = TopologyProfile(std::move(o), current_.latency());
+  ++observations_;
+}
+
+void DriftMonitor::observe_latency(std::size_t i, std::size_t j,
+                                   double seconds) {
+  OPTIBAR_REQUIRE(i < current_.ranks() && j < current_.ranks(),
+                  "rank out of range");
+  OPTIBAR_REQUIRE(i != j, "latency observation needs distinct ranks");
+  OPTIBAR_REQUIRE(seconds >= 0.0, "negative observation");
+  Matrix<double> l = current_.latency();
+  l(i, j) = (1.0 - alpha_) * l(i, j) + alpha_ * seconds;
+  l(j, i) = (1.0 - alpha_) * l(j, i) + alpha_ * seconds;
+  current_ = TopologyProfile(current_.overhead(), std::move(l));
+  ++observations_;
+}
+
+double DriftMonitor::max_drift() const {
+  double worst = 0.0;
+  auto scan = [&worst](const Matrix<double>& now, const Matrix<double>& base) {
+    for (std::size_t i = 0; i < now.rows(); ++i) {
+      for (std::size_t j = 0; j < now.cols(); ++j) {
+        const double reference = std::abs(base(i, j));
+        if (reference == 0.0) {
+          continue;
+        }
+        worst = std::max(worst, std::abs(now(i, j) - base(i, j)) / reference);
+      }
+    }
+  };
+  scan(current_.overhead(), baseline_.overhead());
+  scan(current_.latency(), baseline_.latency());
+  return worst;
+}
+
+void DriftMonitor::rebaseline() { baseline_ = current_; }
+
+RetuneDecision evaluate_retune(double current_cost_seconds,
+                               double candidate_cost_seconds,
+                               double retune_overhead_seconds,
+                               double expected_remaining_calls) {
+  OPTIBAR_REQUIRE(retune_overhead_seconds >= 0.0, "negative overhead");
+  OPTIBAR_REQUIRE(expected_remaining_calls >= 0.0, "negative call estimate");
+  RetuneDecision decision;
+  decision.gain_per_call = current_cost_seconds - candidate_cost_seconds;
+  if (decision.gain_per_call <= 0.0) {
+    decision.break_even_calls = std::numeric_limits<double>::infinity();
+    return decision;  // candidate is not better: never re-tune
+  }
+  decision.break_even_calls =
+      retune_overhead_seconds / decision.gain_per_call;
+  decision.retune = expected_remaining_calls > decision.break_even_calls;
+  return decision;
+}
+
+AdaptiveBarrierController::AdaptiveBarrierController(
+    const TopologyProfile& initial, ControllerOptions options)
+    : options_(std::move(options)),
+      monitor_(initial, options_.alpha),
+      active_(tune_barrier(initial, options_.tuning)) {
+  predicted_cost_ = active_.predicted_cost();
+}
+
+const Schedule& AdaptiveBarrierController::schedule() const {
+  return active_.schedule();
+}
+
+const std::vector<bool>& AdaptiveBarrierController::awaited_stages() const {
+  return active_.barrier().awaited_stages;
+}
+
+bool AdaptiveBarrierController::reevaluate(double expected_remaining_calls) {
+  if (monitor_.max_drift() < options_.drift_threshold) {
+    return false;
+  }
+
+  // Tune against the drifted view, timing the work so the measured
+  // overhead enters the amortization rule when none was configured.
+  const auto start = std::chrono::steady_clock::now();
+  TuneResult candidate = tune_barrier(monitor_.current(), options_.tuning);
+  const double measured_overhead =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double overhead = options_.retune_overhead > 0.0
+                              ? options_.retune_overhead
+                              : measured_overhead;
+
+  // Both costs priced on the same (drifted, symmetrized) profile.
+  PredictOptions active_options;
+  active_options.awaited_stages = active_.barrier().awaited_stages;
+  const double current_cost =
+      predicted_time(active_.schedule(), candidate.profile(), active_options);
+
+  last_decision_ = evaluate_retune(current_cost, candidate.predicted_cost(),
+                                   overhead, expected_remaining_calls);
+  if (!last_decision_.retune) {
+    return false;
+  }
+  active_ = std::move(candidate);
+  predicted_cost_ = active_.predicted_cost();
+  ++retunes_;
+  monitor_.rebaseline();
+  return true;
+}
+
+}  // namespace optibar

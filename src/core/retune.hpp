@@ -1,0 +1,123 @@
+// Dynamic re-tuning under changing conditions (Section VIII).
+//
+// "As the presented work captures its topological model statically,
+//  predictions do not consider run-time effects of contention and
+//  congestion which could be caused by background load. With a
+//  topological model ready, the generation and evaluation of adapted
+//  patterns requires on the order of 0.1 seconds, making it feasible to
+//  periodically re-evaluate ... This would only make it worthwhile to
+//  adapt the algorithm when the overhead could be amortized over a
+//  sufficient number of subsequent synchronizations. Developing an
+//  efficient scheme to estimate the profitability of dynamically
+//  altering methods makes an interesting topic for further study."
+//
+// This module implements that further study:
+//   - DriftMonitor folds cheap incremental pairwise observations into an
+//     EWMA copy of the profile and reports the drift vs the tuned
+//     baseline;
+//   - evaluate_retune() is the amortization rule: re-tune only when the
+//     per-call gain times the expected remaining calls exceeds the
+//     re-tuning overhead;
+//   - AdaptiveBarrierController ties them together into a drop-in
+//     controller that owns the current schedule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "barrier/schedule.hpp"
+#include "core/tuner.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+/// Folds runtime observations of pairwise costs into an exponentially
+/// weighted moving copy of a baseline profile.
+class DriftMonitor {
+ public:
+  /// `alpha` is the EWMA weight of a new observation, in (0, 1].
+  explicit DriftMonitor(TopologyProfile baseline, double alpha = 0.25);
+
+  /// Fold one observed startup cost for the pair (i, j). Symmetric:
+  /// updates both directions.
+  void observe_overhead(std::size_t i, std::size_t j, double seconds);
+
+  /// Fold one observed marginal latency for the pair (i, j).
+  void observe_latency(std::size_t i, std::size_t j, double seconds);
+
+  /// The drifted profile (baseline entries where nothing was observed).
+  const TopologyProfile& current() const { return current_; }
+  const TopologyProfile& baseline() const { return baseline_; }
+
+  /// Largest relative deviation of any observed entry from the baseline;
+  /// 0 when nothing has drifted.
+  double max_drift() const;
+
+  std::size_t observation_count() const { return observations_; }
+
+  /// Re-anchor the baseline to the current view (after a re-tune).
+  void rebaseline();
+
+ private:
+  TopologyProfile baseline_;
+  TopologyProfile current_;
+  double alpha_;
+  std::size_t observations_ = 0;
+};
+
+/// Amortization verdict for one potential re-tune.
+struct RetuneDecision {
+  bool retune = false;
+  double gain_per_call = 0.0;     ///< seconds saved per barrier call
+  double break_even_calls = 0.0;  ///< calls needed to pay the overhead
+};
+
+/// The profitability rule: re-tune iff
+///   (current_cost - candidate_cost) * expected_calls > retune_overhead.
+RetuneDecision evaluate_retune(double current_cost_seconds,
+                               double candidate_cost_seconds,
+                               double retune_overhead_seconds,
+                               double expected_remaining_calls);
+
+struct ControllerOptions {
+  /// Relative drift that triggers a re-evaluation.
+  double drift_threshold = 0.20;
+  /// Cost of one re-tune, seconds. Zero means "measure it live" (wall
+  /// clock around the tuner, matching the paper's ~0.1 s figure).
+  double retune_overhead = 0.0;
+  /// EWMA weight for the drift monitor.
+  double alpha = 0.25;
+  TuneOptions tuning;
+};
+
+/// Owns the active barrier schedule; callers report observations and
+/// periodically ask it to re-evaluate.
+class AdaptiveBarrierController {
+ public:
+  explicit AdaptiveBarrierController(const TopologyProfile& initial,
+                                     ControllerOptions options = {});
+
+  const Schedule& schedule() const;
+  const std::vector<bool>& awaited_stages() const;
+  double predicted_cost() const { return predicted_cost_; }
+  std::size_t retune_count() const { return retunes_; }
+  DriftMonitor& monitor() { return monitor_; }
+
+  /// Re-evaluate against the drifted profile. Tunes a candidate only if
+  /// drift exceeds the threshold; applies it only if amortizable over
+  /// `expected_remaining_calls`. Returns whether the schedule changed.
+  bool reevaluate(double expected_remaining_calls);
+
+  /// The decision of the last reevaluate() that got past the drift gate.
+  const RetuneDecision& last_decision() const { return last_decision_; }
+
+ private:
+  ControllerOptions options_;
+  DriftMonitor monitor_;
+  TuneResult active_;
+  double predicted_cost_ = 0.0;
+  std::size_t retunes_ = 0;
+  RetuneDecision last_decision_;
+};
+
+}  // namespace optibar

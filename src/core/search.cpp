@@ -1,0 +1,172 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "barrier/algorithms.hpp"
+#include "barrier/cost_model.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+
+namespace {
+
+/// DFS state: enumerates every off-diagonal incidence matrix per stage
+/// with branch-and-bound on the running critical path.
+class Searcher {
+ public:
+  Searcher(const TopologyProfile& profile, const SearchOptions& options)
+      : profile_(profile), options_(options), p_(profile.ranks()) {
+    // Bit k of a stage mask encodes edge k in this list.
+    for (std::size_t i = 0; i < p_; ++i) {
+      for (std::size_t j = 0; j < p_; ++j) {
+        if (i != j) {
+          edges_.emplace_back(i, j);
+        }
+      }
+    }
+    OPTIBAR_ASSERT(edges_.size() < 64, "edge mask overflows 64 bits");
+  }
+
+  SearchResult run() {
+    seed_incumbents();
+    std::vector<double> ready(p_, 0.0);
+    Schedule prefix(p_);
+    dfs(prefix, BoolMatrix::identity(p_), ready);
+    result_.nodes_explored = nodes_;
+    return std::move(result_);
+  }
+
+ private:
+  /// Start from the classic algorithms so pruning has a tight incumbent.
+  void seed_incumbents() {
+    for (const Schedule& candidate :
+         {linear_barrier(p_), dissemination_barrier(p_), tree_barrier(p_)}) {
+      if (candidate.stage_count() > options_.max_stages) {
+        continue;
+      }
+      const double cost = predicted_time(candidate, profile_);
+      if (result_.best.ranks() != p_ || result_.best.stage_count() == 0 ||
+          cost < result_.cost) {
+        result_.best = candidate;
+        result_.cost = cost;
+      }
+    }
+    if (result_.best.ranks() != p_) {
+      // No classic algorithm fits in max_stages; fall back to linear as
+      // a (possibly over-long) incumbent so `cost` is meaningful.
+      result_.best = linear_barrier(p_);
+      result_.cost = predicted_time(result_.best, profile_);
+    }
+  }
+
+  /// Apply one stage mask to the readiness vector (Eq. 1 costing, same
+  /// recurrence as predict()); returns the new readiness.
+  std::vector<double> advance(const std::vector<double>& ready,
+                              const StageMatrix& stage) const {
+    std::vector<double> next(p_);
+    std::vector<std::size_t> targets;
+    std::vector<double> batch_done(p_, 0.0);
+    for (std::size_t i = 0; i < p_; ++i) {
+      targets.clear();
+      for (std::size_t j = 0; j < p_; ++j) {
+        if (stage(i, j)) {
+          targets.push_back(j);
+        }
+      }
+      batch_done[i] =
+          ready[i] + step_cost(profile_, i, targets, /*awaited=*/false);
+      next[i] = batch_done[i];
+    }
+    for (std::size_t i = 0; i < p_; ++i) {
+      for (std::size_t j = 0; j < p_; ++j) {
+        if (stage(i, j)) {
+          next[j] = std::max(next[j], batch_done[i]);
+        }
+      }
+    }
+    // Receiver-side serial processing, mirroring predict() so oracle and
+    // greedy costs are directly comparable.
+    for (std::size_t j = 0; j < p_; ++j) {
+      double processing = 0.0;
+      for (std::size_t i = 0; i < p_; ++i) {
+        if (stage(i, j)) {
+          processing += profile_.l(i, j);
+        }
+      }
+      next[j] += processing;
+    }
+    return next;
+  }
+
+  StageMatrix stage_from_mask(std::uint64_t mask) const {
+    StageMatrix m(p_, p_, 0);
+    for (std::size_t k = 0; k < edges_.size(); ++k) {
+      if (mask & (std::uint64_t{1} << k)) {
+        m(edges_[k].first, edges_[k].second) = 1;
+      }
+    }
+    return m;
+  }
+
+  void dfs(Schedule& prefix, const BoolMatrix& knowledge,
+           const std::vector<double>& ready) {
+    if (options_.node_budget != 0 && nodes_ >= options_.node_budget) {
+      return;
+    }
+    ++nodes_;
+    if (knowledge.all_nonzero()) {
+      const double cost = *std::max_element(ready.begin(), ready.end());
+      if (cost < result_.cost) {
+        result_.best = prefix;
+        result_.cost = cost;
+      }
+      return;  // extending a finished barrier only adds cost
+    }
+    if (prefix.stage_count() >= options_.max_stages) {
+      return;
+    }
+    const std::uint64_t limit = std::uint64_t{1} << edges_.size();
+    for (std::uint64_t mask = 1; mask < limit; ++mask) {
+      StageMatrix stage = stage_from_mask(mask);
+      const std::vector<double> next = advance(ready, stage);
+      if (*std::max_element(next.begin(), next.end()) >= result_.cost) {
+        continue;  // bound: costs only grow with further stages
+      }
+      const BoolMatrix next_knowledge =
+          bool_add(knowledge, bool_multiply(knowledge, stage));
+      prefix.append_stage(std::move(stage));
+      dfs(prefix, next_knowledge, next);
+      prefix.pop_stage();
+    }
+  }
+
+  const TopologyProfile& profile_;
+  SearchOptions options_;
+  std::size_t p_;
+  std::vector<std::pair<std::size_t, std::size_t>> edges_;
+  SearchResult result_;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace
+
+SearchResult exhaustive_search(const TopologyProfile& profile,
+                               const SearchOptions& options) {
+  OPTIBAR_REQUIRE(profile.ranks() >= 1, "empty profile");
+  OPTIBAR_REQUIRE(profile.ranks() <= options.max_ranks,
+                  "exhaustive search over " << profile.ranks()
+                                            << " ranks exceeds the cap of "
+                                            << options.max_ranks
+                                            << "; raise max_ranks knowingly");
+  OPTIBAR_REQUIRE(options.max_stages >= 1, "need at least one stage");
+  if (profile.ranks() == 1) {
+    SearchResult r;
+    r.best = Schedule(1);
+    r.cost = 0.0;
+    return r;
+  }
+  return Searcher(profile, options).run();
+}
+
+}  // namespace optibar

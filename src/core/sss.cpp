@@ -1,0 +1,51 @@
+#include "core/sss.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+std::vector<std::vector<std::size_t>> sss_cluster(std::size_t n,
+                                                  const DistanceFn& distance,
+                                                  const SssOptions& options) {
+  OPTIBAR_REQUIRE(n > 0, "sss_cluster of zero points");
+  OPTIBAR_REQUIRE(distance, "null distance function");
+  OPTIBAR_REQUIRE(options.sparseness > 0.0 && options.sparseness < 1.0,
+                  "sparseness must be in (0,1), got " << options.sparseness);
+
+  // Diameter: the largest pairwise distance.
+  double diameter = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      diameter = std::max(diameter, distance(i, j));
+    }
+  }
+  const double threshold = options.sparseness * diameter;
+
+  std::vector<std::size_t> centers{0};
+  std::vector<std::vector<std::size_t>> clusters{{0}};
+  for (std::size_t p = 1; p < n; ++p) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_cluster = 0;
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      const double d = distance(p, centers[c]);
+      if (d < best) {
+        best = d;
+        best_cluster = c;
+      }
+    }
+    if (best > threshold) {
+      centers.push_back(p);
+      clusters.push_back({p});
+    } else {
+      clusters[best_cluster].push_back(p);
+    }
+  }
+  // Members are appended in ascending index order after the center, so
+  // the required ordering already holds.
+  return clusters;
+}
+
+}  // namespace optibar

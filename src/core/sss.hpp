@@ -1,0 +1,38 @@
+// Sparse Spatial Selection (SSS) clustering (Section VII-A).
+//
+// The paper discovers closely-coupled rank subsets with SSS clustering
+// (Brisaboa et al.), chosen over k-means because it only requires a
+// metric space, not Cartesian coordinates: "This method only requires
+// that clustered points reside in a metric space... The use of this
+// method is our reason for requiring symmetry of the topological
+// profile."
+//
+// The algorithm: the first point is a center ("with rank 0 as a member
+// of the first cluster"); each subsequent point becomes a new center iff
+// its distance to every existing center exceeds alpha * diameter (the
+// paper uses alpha = 0.35); otherwise it joins its nearest center's
+// cluster. Deterministic given point order — no seeding, unlike k-means.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace optibar {
+
+/// Symmetric distance oracle over point indices [0, n).
+using DistanceFn = std::function<double(std::size_t, std::size_t)>;
+
+struct SssOptions {
+  /// Sparseness parameter: new-center threshold as a fraction of the
+  /// diameter (paper: "a sparseness parameter of 35% of diameter").
+  double sparseness = 0.35;
+};
+
+/// Cluster point indices 0..n-1. Each returned cluster lists its member
+/// indices in ascending order with the center first; clusters appear in
+/// center-discovery order (so point 0's cluster is first).
+std::vector<std::vector<std::size_t>> sss_cluster(
+    std::size_t n, const DistanceFn& distance, const SssOptions& options = {});
+
+}  // namespace optibar

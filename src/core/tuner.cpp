@@ -1,0 +1,40 @@
+#include "core/tuner.hpp"
+
+#include "barrier/cost_model.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+
+TuneResult::TuneResult(TopologyProfile profile, ClusterNode tree,
+                       ComposedBarrier barrier, double predicted_cost,
+                       std::string function_name)
+    : profile_(std::move(profile)),
+      tree_(std::move(tree)),
+      barrier_(std::move(barrier)),
+      predicted_cost_(predicted_cost),
+      function_name_(std::move(function_name)) {}
+
+GeneratedCode TuneResult::generated_code() const {
+  return generate_cpp(schedule(), function_name_);
+}
+
+TuneResult tune_barrier(const TopologyProfile& profile,
+                        const TuneOptions& options) {
+  OPTIBAR_REQUIRE(profile.ranks() > 0, "empty profile");
+  // Estimated matrices carry sampling asymmetry; the clustering metric
+  // requires symmetry (Section VII-A), so normalise first.
+  TopologyProfile symmetric = profile.symmetrized();
+  ClusterNode tree = build_cluster_tree(symmetric, options.clustering);
+  ComposedBarrier barrier =
+      compose_barrier(symmetric, tree, options.composition);
+
+  PredictOptions predict_options;
+  predict_options.awaited_stages = barrier.awaited_stages;
+  const double cost =
+      predicted_time(barrier.schedule, symmetric, predict_options);
+
+  return TuneResult(std::move(symmetric), std::move(tree), std::move(barrier),
+                    cost, options.function_name);
+}
+
+}  // namespace optibar

@@ -1,0 +1,58 @@
+// AdaptiveTuner: the end-to-end pipeline of Figure 1's right half.
+//
+// profile (from disk or an estimator) -> symmetrize -> SSS cluster tree
+// -> greedy hybrid composition -> predicted cost + generated code.
+// This is the single entry point a library user needs; the individual
+// stages remain available for ablation and inspection.
+#pragma once
+
+#include <string>
+
+#include "core/cluster_tree.hpp"
+#include "core/codegen.hpp"
+#include "core/composer.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+struct TuneOptions {
+  ClusterTreeOptions clustering;
+  ComposeOptions composition;
+  /// Name of the function emitted by generated_code().
+  std::string function_name = "optibar_barrier";
+};
+
+class TuneResult {
+ public:
+  TuneResult(TopologyProfile profile, ClusterNode tree, ComposedBarrier barrier,
+             double predicted_cost, std::string function_name);
+
+  /// The symmetrized profile the decisions were made against.
+  const TopologyProfile& profile() const { return profile_; }
+  const ClusterNode& cluster_tree() const { return tree_; }
+  const ComposedBarrier& barrier() const { return barrier_; }
+  const Schedule& schedule() const { return barrier_.schedule; }
+
+  /// Predicted critical-path cost of the hybrid barrier (Eq. 2 applied
+  /// to departure stages).
+  double predicted_cost() const { return predicted_cost_; }
+
+  /// Specialised C++ source for the hybrid barrier (Section VII-C).
+  GeneratedCode generated_code() const;
+
+  /// Specialised in-process executor.
+  CompiledBarrier compiled() const { return CompiledBarrier(schedule()); }
+
+ private:
+  TopologyProfile profile_;
+  ClusterNode tree_;
+  ComposedBarrier barrier_;
+  double predicted_cost_;
+  std::string function_name_;
+};
+
+/// Run the full tuning pipeline on a profile.
+TuneResult tune_barrier(const TopologyProfile& profile,
+                        const TuneOptions& options = {});
+
+}  // namespace optibar

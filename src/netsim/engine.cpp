@@ -1,0 +1,346 @@
+#include "netsim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "netsim/event_queue.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace optibar {
+
+double SimResult::barrier_time() const {
+  OPTIBAR_REQUIRE(!completion.empty(), "empty SimResult");
+  OPTIBAR_REQUIRE(!deadlocked, "barrier_time of a deadlocked run");
+  const double latest_exit =
+      *std::max_element(completion.begin(), completion.end());
+  const double latest_entry = *std::max_element(entry.begin(), entry.end());
+  return latest_exit - latest_entry;
+}
+
+double SimResult::completion_time() const {
+  OPTIBAR_REQUIRE(!completion.empty(), "empty SimResult");
+  OPTIBAR_REQUIRE(!deadlocked, "completion_time of a deadlocked run");
+  return *std::max_element(completion.begin(), completion.end());
+}
+
+namespace {
+
+/// Per-rank execution state inside the event loop.
+struct RankState {
+  std::size_t stage = 0;        ///< stage currently being executed
+  bool entered = false;         ///< has the rank entered the barrier yet
+  std::size_t recvs_pending = 0;
+  std::size_t sends_pending = 0;  ///< unmatched sends (sync) or 0/1 token (async)
+  bool done = false;
+};
+
+struct BufferedMessage {
+  std::size_t src = 0;
+  double injected = 0.0;
+};
+
+class Simulation {
+ public:
+  Simulation(const Schedule& schedule, const TopologyProfile& profile,
+             const SimOptions& options)
+      : schedule_(schedule),
+        profile_(profile),
+        options_(options),
+        p_(schedule.ranks()),
+        rng_(options.seed),
+        states_(p_),
+        buffered_(schedule.stage_count(),
+                  std::vector<std::vector<BufferedMessage>>(p_)) {
+    OPTIBAR_REQUIRE(profile_.ranks() == p_, "profile/schedule rank mismatch");
+    OPTIBAR_REQUIRE(options_.jitter >= 0.0, "negative jitter");
+    OPTIBAR_REQUIRE(options_.spike_probability >= 0.0 &&
+                        options_.spike_probability <= 1.0,
+                    "spike_probability outside [0,1]");
+    recv_busy_.assign(p_, 0.0);
+    if (!options_.egress_resource_of.empty()) {
+      OPTIBAR_REQUIRE(options_.egress_resource_of.size() == p_,
+                      "egress_resource_of size mismatch");
+      std::size_t max_resource = 0;
+      for (std::size_t res : options_.egress_resource_of) {
+        max_resource = std::max(max_resource, res);
+      }
+      egress_busy_.assign(max_resource + 1, 0.0);
+    }
+    result_.completion.assign(p_, 0.0);
+    result_.entry.assign(p_, 0.0);
+    if (!options_.entry_times.empty()) {
+      OPTIBAR_REQUIRE(options_.entry_times.size() == p_,
+                      "entry_times size mismatch");
+      result_.entry = options_.entry_times;
+    }
+  }
+
+  SimResult run() {
+    std::vector<bool> crashed(p_, false);
+    for (std::size_t rank : options_.crashed_ranks) {
+      OPTIBAR_REQUIRE(rank < p_, "crashed rank " << rank << " out of range");
+      crashed[rank] = true;
+    }
+    for (std::size_t i = 0; i < p_; ++i) {
+      if (crashed[i]) {
+        continue;  // the rank died before calling the barrier
+      }
+      const double t = result_.entry[i];
+      queue_.schedule(t, [this, i, t] { enter_barrier(i, t); });
+    }
+    queue_.run();
+    for (std::size_t i = 0; i < p_; ++i) {
+      if (states_[i].done) {
+        continue;
+      }
+      // Without injected crashes an unfinished rank is an engine bug.
+      OPTIBAR_ASSERT(!options_.crashed_ranks.empty(),
+                     "rank " << i << " never completed: simulator deadlock");
+      result_.deadlocked = true;
+      result_.stuck_ranks.push_back(i);
+      result_.completion[i] = std::numeric_limits<double>::infinity();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  /// One stochastic cost contribution: base scaled by jitter and
+  /// occasionally hit by a background-load spike.
+  double perturb(double base) {
+    double value = base;
+    if (options_.jitter > 0.0) {
+      const double factor = 1.0 + options_.jitter * rng_.next_normal();
+      value *= std::max(0.05, factor);
+    }
+    if (options_.spike_probability > 0.0 &&
+        rng_.next_double() < options_.spike_probability) {
+      value += options_.spike_scale * base;
+    }
+    return value;
+  }
+
+  void enter_barrier(std::size_t rank, double now) {
+    states_[rank].entered = true;
+    enter_stage(rank, 0, now);
+  }
+
+  void enter_stage(std::size_t rank, std::size_t stage, double now) {
+    RankState& st = states_[rank];
+    st.stage = stage;
+    if (stage == schedule_.stage_count()) {
+      st.done = true;
+      result_.completion[rank] = now;
+      return;
+    }
+
+    const std::vector<std::size_t> sources = schedule_.sources_of(rank, stage);
+    const std::vector<std::size_t> targets = schedule_.targets_of(rank, stage);
+    st.recvs_pending = sources.size();
+    st.sends_pending = options_.synchronous_sends ? targets.size()
+                                                  : (targets.empty() ? 0 : 1);
+
+    // Serial injection: first message pays O, the rest pay L each
+    // (exactly the quantity the Section IV-A L benchmark measures).
+    double inject = now;
+    for (std::size_t idx = 0; idx < targets.size(); ++idx) {
+      const std::size_t dst = targets[idx];
+      const double base = idx == 0 ? profile_.o(rank, dst)
+                                   : profile_.l(rank, dst);
+      inject += perturb(base);
+      queue_.schedule(inject, [this, rank, dst, stage] {
+        on_inject(rank, dst, stage, queue_.now());
+      });
+    }
+    if (!options_.synchronous_sends && !targets.empty()) {
+      // Async mode: the send side of the stage completes at the last
+      // injection, independent of matching.
+      queue_.schedule(inject, [this, rank, stage] {
+        RankState& sender = states_[rank];
+        OPTIBAR_ASSERT(sender.stage == stage, "stale async-send token");
+        OPTIBAR_ASSERT(sender.sends_pending == 1, "async token misuse");
+        sender.sends_pending = 0;
+        maybe_complete_stage(rank, queue_.now());
+      });
+    }
+
+    // Messages that arrived before we entered this stage match now.
+    for (const BufferedMessage& msg : buffered_[stage][rank]) {
+      match(msg.src, rank, stage, now, msg.injected);
+    }
+    buffered_[stage][rank].clear();
+
+    maybe_complete_stage(rank, now);
+  }
+
+  void on_inject(std::size_t src, std::size_t dst, std::size_t stage,
+                 double now) {
+    // Shared-egress contention: a remote-bound message must acquire the
+    // sender's egress resource; if busy, retry when it frees up.
+    if (!options_.egress_resource_of.empty() &&
+        options_.egress_resource_of[src] != options_.egress_resource_of[dst]) {
+      const std::size_t resource = options_.egress_resource_of[src];
+      if (egress_busy_[resource] > now) {
+        queue_.schedule(egress_busy_[resource], [this, src, dst, stage] {
+          on_inject(src, dst, stage, queue_.now());
+        });
+        return;
+      }
+      egress_busy_[resource] = now + perturb(profile_.l(src, dst));
+    }
+    RankState& receiver = states_[dst];
+    if (receiver.entered && receiver.stage == stage) {
+      match(src, dst, stage, now, now);
+      return;
+    }
+    // The receiver cannot be past this stage: completing it requires
+    // matching this very message.
+    OPTIBAR_ASSERT(!receiver.entered || receiver.stage < stage,
+                   "receiver " << dst << " advanced past stage " << stage
+                               << " with unmatched inbound message");
+    buffered_[stage][dst].push_back(BufferedMessage{src, now});
+  }
+
+  /// A message has arrived (or was found buffered at stage entry): run
+  /// it through the receiver's serial completion processing, then
+  /// finalize the match once processing is done.
+  void match(std::size_t src, std::size_t dst, std::size_t stage, double now,
+             double injected) {
+    if (!options_.receiver_processing) {
+      finalize_match(src, dst, stage, now, injected);
+      return;
+    }
+    const double done =
+        std::max(now, recv_busy_[dst]) + perturb(profile_.l(src, dst));
+    recv_busy_[dst] = done;
+    queue_.schedule(done, [this, src, dst, stage, injected] {
+      finalize_match(src, dst, stage, queue_.now(), injected);
+    });
+  }
+
+  void finalize_match(std::size_t src, std::size_t dst, std::size_t stage,
+                      double now, double injected) {
+    if (options_.record_trace) {
+      result_.trace.push_back(MessageTrace{stage, src, dst, injected, now});
+    }
+    RankState& receiver = states_[dst];
+    OPTIBAR_ASSERT(receiver.recvs_pending > 0,
+                   "unexpected message " << src << "->" << dst << " in stage "
+                                         << stage);
+    --receiver.recvs_pending;
+    maybe_complete_stage(dst, now);
+
+    if (options_.synchronous_sends) {
+      RankState& sender = states_[src];
+      OPTIBAR_ASSERT(sender.stage == stage && sender.sends_pending > 0,
+                     "match for sender " << src
+                                         << " in unexpected stage state");
+      --sender.sends_pending;
+      maybe_complete_stage(src, now);
+    }
+  }
+
+  void maybe_complete_stage(std::size_t rank, double now) {
+    RankState& st = states_[rank];
+    if (st.done || st.recvs_pending > 0 || st.sends_pending > 0) {
+      return;
+    }
+    enter_stage(rank, st.stage + 1, now);
+  }
+
+  const Schedule& schedule_;
+  const TopologyProfile& profile_;
+  const SimOptions& options_;
+  std::size_t p_;
+  Rng rng_;
+  EventQueue queue_;
+  std::vector<RankState> states_;
+  std::vector<double> recv_busy_;
+  std::vector<double> egress_busy_;
+  std::vector<std::vector<std::vector<BufferedMessage>>> buffered_;
+  SimResult result_;
+};
+
+}  // namespace
+
+SimResult simulate(const Schedule& schedule, const TopologyProfile& profile,
+                   const SimOptions& options) {
+  return Simulation(schedule, profile, options).run();
+}
+
+double simulate_mean_time(const Schedule& schedule,
+                          const TopologyProfile& profile,
+                          const SimOptions& options, std::size_t repetitions) {
+  OPTIBAR_REQUIRE(repetitions > 0, "repetitions must be positive");
+  double total = 0.0;
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    SimOptions rep_options = options;
+    rep_options.seed = options.seed + 0x9E3779B9ULL * (rep + 1);
+    total += simulate(schedule, profile, rep_options).barrier_time();
+  }
+  return total / static_cast<double>(repetitions);
+}
+
+std::vector<std::size_t> node_egress_resources(const MachineSpec& machine,
+                                               const Mapping& mapping) {
+  std::vector<std::size_t> resources(mapping.size());
+  for (std::size_t rank = 0; rank < mapping.size(); ++rank) {
+    resources[rank] = machine.location(mapping.core_of(rank)).node;
+  }
+  return resources;
+}
+
+double WorkloadResult::mean_barrier_time() const {
+  OPTIBAR_REQUIRE(!episode_barrier_times.empty(), "empty workload result");
+  double total = 0.0;
+  for (double t : episode_barrier_times) {
+    total += t;
+  }
+  return total / static_cast<double>(episode_barrier_times.size());
+}
+
+double WorkloadResult::total_wait() const {
+  double total = 0.0;
+  for (double w : rank_wait_total) {
+    total += w;
+  }
+  return total;
+}
+
+WorkloadResult simulate_workload(const Schedule& schedule,
+                                 const TopologyProfile& profile,
+                                 const WorkloadOptions& options) {
+  OPTIBAR_REQUIRE(options.episodes > 0, "workload needs at least one episode");
+  OPTIBAR_REQUIRE(options.compute_mean >= 0.0 && options.compute_stddev >= 0.0,
+                  "compute parameters must be non-negative");
+  OPTIBAR_REQUIRE(options.sim.entry_times.empty(),
+                  "workload owns the entry times; leave sim.entry_times empty");
+  const std::size_t p = schedule.ranks();
+  Rng rng(options.sim.seed ^ 0xB5297A4D3F84D5A9ULL);
+
+  WorkloadResult result;
+  result.rank_wait_total.assign(p, 0.0);
+  std::vector<double> completion(p, 0.0);
+  for (std::size_t episode = 0; episode < options.episodes; ++episode) {
+    SimOptions sim = options.sim;
+    sim.seed = options.sim.seed + 0x9E3779B9ULL * (episode + 1);
+    sim.entry_times.resize(p);
+    for (std::size_t rank = 0; rank < p; ++rank) {
+      const double compute = std::max(
+          0.0, rng.normal(options.compute_mean, options.compute_stddev));
+      sim.entry_times[rank] = completion[rank] + compute;
+    }
+    const SimResult episode_result = simulate(schedule, profile, sim);
+    result.episode_barrier_times.push_back(episode_result.barrier_time());
+    for (std::size_t rank = 0; rank < p; ++rank) {
+      result.rank_wait_total[rank] +=
+          episode_result.completion[rank] - episode_result.entry[rank];
+    }
+    completion = episode_result.completion;
+  }
+  result.makespan =
+      *std::max_element(completion.begin(), completion.end());
+  return result;
+}
+
+}  // namespace optibar

@@ -1,0 +1,159 @@
+// Discrete-event execution of barrier schedules.
+//
+// This engine stands in for "measured execution time" on the paper's
+// physical clusters. It executes a Schedule message by message against a
+// ground-truth TopologyProfile, with a *finer* model than the Eq. 1/2
+// predictor uses — which is precisely why predicted and measured curves
+// differ in Figures 5-8 while sharing their shape:
+//
+//   - a sender's messages within a stage are injected serially (NIC
+//     occupancy): the first at start + O(i,j0), each subsequent one L
+//     later, mirroring what the L benchmark of Section IV-A measures;
+//   - synchronized-send semantics (MPI_Issend, Section III): a message
+//     only *matches* once the receiver has entered the stage, and the
+//     sender's stage does not complete until all its sends have matched;
+//   - optional multiplicative per-message noise and rare background-load
+//     spikes (the paper ran under per-node-exclusive but otherwise shared
+//     conditions, Section IV-B).
+//
+// Execution is event-driven over virtual time and fully deterministic
+// for a fixed seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "barrier/schedule.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+struct SimOptions {
+  /// Synchronized-send coupling (MPI_Issend). Disable to model eager
+  /// fire-and-forget sends.
+  bool synchronous_sends = true;
+
+  /// Serial receive-completion processing: each incoming message
+  /// occupies the receiver for its marginal latency L(src,dst) after
+  /// arrival (see cost_model.hpp for why both engines model this).
+  /// Disable for a free-receive model (bench_ablation_model).
+  bool receiver_processing = true;
+
+  /// Relative standard deviation of per-message multiplicative jitter on
+  /// each O/L contribution; 0 disables noise entirely.
+  double jitter = 0.0;
+
+  /// Probability that a message hits a background-load spike, and the
+  /// spike magnitude as a multiple of the message's base cost.
+  double spike_probability = 0.0;
+  double spike_scale = 10.0;
+
+  /// Per-rank barrier entry times (seconds); empty = all enter at 0.
+  /// Used for the paper's delay-injection correctness check (Section VI).
+  std::vector<double> entry_times;
+
+  /// Optional shared-egress contention (one of the "terms for further
+  /// phenomena" Section VI-A says would be needed for absolute
+  /// accuracy): egress_resource_of[rank] assigns each rank an egress
+  /// resource, typically its node's NIC. A message whose endpoints sit
+  /// on different resources occupies the sender's resource for its
+  /// marginal latency, so concurrent remote messages from co-located
+  /// ranks serialize — this is what punishes high-fan-out algorithms
+  /// (dissemination) on commodity GbE nodes. Empty disables.
+  std::vector<std::size_t> egress_resource_of;
+
+  /// Record a per-message trace (inject/match times) for diagnostics.
+  bool record_trace = false;
+
+  /// Failure injection: these ranks never enter the barrier (process
+  /// death before the call). A correct barrier must then deadlock — no
+  /// surviving rank may exit (that is the Eq. 3 guarantee seen from the
+  /// failure side). The engine reports the stuck ranks instead of
+  /// treating the hang as an internal error.
+  std::vector<std::size_t> crashed_ranks;
+
+  std::uint64_t seed = 1;
+};
+
+/// One recorded message (record_trace only).
+struct MessageTrace {
+  std::size_t stage = 0;
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double injected = 0.0;  ///< when the message left the sender
+  double matched = 0.0;   ///< when the receiver matched it
+};
+
+struct SimResult {
+  /// Virtual time at which each rank left the barrier; infinity for
+  /// ranks that never completed (crash-injection runs).
+  std::vector<double> completion;
+  /// Entry time of each rank (copy of options or zeros).
+  std::vector<double> entry;
+  std::vector<MessageTrace> trace;
+
+  /// True when at least one rank never left the barrier (only possible
+  /// with crash injection; anything else is an engine invariant error).
+  bool deadlocked = false;
+  /// The ranks that never completed, ascending (crashed ranks plus
+  /// everyone transitively blocked on them).
+  std::vector<std::size_t> stuck_ranks;
+
+  /// The measured barrier cost: latest exit minus latest entry — the
+  /// span during which at least one rank is blocked purely by the
+  /// barrier's signalling. Throws when the run deadlocked.
+  double barrier_time() const;
+  /// Latest exit time. Throws when the run deadlocked.
+  double completion_time() const;
+};
+
+/// Execute `schedule` once. Requires schedule.is_barrier() callers can
+/// check separately; the engine itself only requires well-formed stages.
+SimResult simulate(const Schedule& schedule, const TopologyProfile& profile,
+                   const SimOptions& options = {});
+
+/// Mean barrier_time over `repetitions` runs with derived seeds — the
+/// netsim analogue of the paper's 25-repetition means.
+double simulate_mean_time(const Schedule& schedule,
+                          const TopologyProfile& profile,
+                          const SimOptions& options, std::size_t repetitions);
+
+/// Build the egress resource map "one NIC per node" for a placement:
+/// resource_of[rank] = node hosting the rank.
+std::vector<std::size_t> node_egress_resources(const MachineSpec& machine,
+                                               const Mapping& mapping);
+
+/// A bulk-synchronous workload: `episodes` rounds of (per-rank compute,
+/// barrier). Compute times draw from a normal distribution truncated at
+/// zero — the skew between ranks is what the barrier absorbs, and what
+/// makes repeated-barrier cost differ from the all-enter-at-once case.
+struct WorkloadOptions {
+  std::size_t episodes = 10;
+  double compute_mean = 1e-4;    ///< seconds of compute per rank per round
+  double compute_stddev = 1e-5;  ///< per-rank, per-round skew
+  SimOptions sim;                ///< engine options for every episode
+};
+
+struct WorkloadResult {
+  /// Barrier span (latest exit - latest entry) of each episode.
+  std::vector<double> episode_barrier_times;
+  /// Per-rank wait: barrier exit minus own entry, accumulated over all
+  /// episodes — the synchronization overhead an application perceives.
+  std::vector<double> rank_wait_total;
+  /// Virtual time at which the whole workload finished.
+  double makespan = 0.0;
+
+  double mean_barrier_time() const;
+  double total_wait() const;
+};
+
+/// Simulate the bulk-synchronous workload: episode e's entry times are
+/// episode e-1's completions plus fresh compute draws.
+WorkloadResult simulate_workload(const Schedule& schedule,
+                                 const TopologyProfile& profile,
+                                 const WorkloadOptions& options = {});
+
+}  // namespace optibar

@@ -1,0 +1,110 @@
+#include "netsim/trace_export.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+void write_trace_csv(std::ostream& os, const SimResult& result) {
+  os << "stage,src,dst,injected,matched,duration\n";
+  os << std::setprecision(17) << std::scientific;
+  for (const MessageTrace& m : result.trace) {
+    os << m.stage << ',' << m.src << ',' << m.dst << ',' << m.injected << ','
+       << m.matched << ',' << (m.matched - m.injected) << '\n';
+  }
+  OPTIBAR_REQUIRE(os.good(), "I/O error while writing trace CSV");
+}
+
+void write_trace_chrome_json(std::ostream& os, const SimResult& result,
+                             double time_scale) {
+  OPTIBAR_REQUIRE(time_scale > 0.0, "time_scale must be positive");
+  os << "[\n";
+  bool first = true;
+  auto emit = [&](const std::string& json) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << json;
+  };
+  os << std::setprecision(12);
+  for (const MessageTrace& m : result.trace) {
+    std::ostringstream event;
+    event << std::setprecision(12);
+    event << R"({"name":"s)" << m.stage << ' ' << m.src << "->" << m.dst
+          << R"(","ph":"X","pid":0,"tid":)" << m.src << R"(,"ts":)"
+          << m.injected * time_scale << R"(,"dur":)"
+          << (m.matched - m.injected) * time_scale
+          << R"(,"args":{"stage":)" << m.stage << R"(,"dst":)" << m.dst
+          << "}}";
+    emit(event.str());
+  }
+  // One instant event per rank exit so completion is visible.
+  for (std::size_t rank = 0; rank < result.completion.size(); ++rank) {
+    std::ostringstream event;
+    event << std::setprecision(12);
+    event << R"({"name":"exit","ph":"i","pid":0,"tid":)" << rank
+          << R"(,"ts":)" << result.completion[rank] * time_scale
+          << R"(,"s":"t"})";
+    emit(event.str());
+  }
+  os << "\n]\n";
+  OPTIBAR_REQUIRE(os.good(), "I/O error while writing trace JSON");
+}
+
+std::string render_timeline(const SimResult& result, std::size_t width) {
+  OPTIBAR_REQUIRE(width >= 8, "timeline width must be >= 8 columns");
+  OPTIBAR_REQUIRE(!result.completion.empty(), "empty result");
+  const std::size_t p = result.completion.size();
+
+  double t_min = result.entry[0];
+  double t_max = result.completion[0];
+  for (std::size_t r = 0; r < p; ++r) {
+    t_min = std::min(t_min, result.entry[r]);
+    t_max = std::max(t_max, result.completion[r]);
+  }
+  const double span = t_max - t_min;
+  auto column = [&](double t) {
+    if (span <= 0.0) {
+      return std::size_t{0};
+    }
+    const double fraction = (t - t_min) / span;
+    return std::min(width - 1,
+                    static_cast<std::size_t>(fraction *
+                                             static_cast<double>(width)));
+  };
+
+  std::vector<std::string> rows(p, std::string(width, ' '));
+  for (std::size_t r = 0; r < p; ++r) {
+    const std::size_t from = column(result.entry[r]);
+    const std::size_t to = column(result.completion[r]);
+    for (std::size_t c = from; c <= to; ++c) {
+      rows[r][c] = '-';
+    }
+    rows[r][to] = '|';
+  }
+  for (const MessageTrace& m : result.trace) {
+    const char mark = static_cast<char>('0' + m.stage % 10);
+    const std::size_t from = column(m.injected);
+    const std::size_t to = column(m.matched);
+    for (std::size_t c = from; c <= to; ++c) {
+      char& cell = rows[m.src][c];
+      cell = (cell == '-' || cell == ' ') ? mark : (cell == mark ? mark : '#');
+    }
+  }
+
+  std::ostringstream os;
+  os << "timeline over " << span << " s (" << width << " cols, '-' in "
+     << "barrier, digits = stage of in-flight sends, '|' exit):\n";
+  for (std::size_t r = 0; r < p; ++r) {
+    os << (r < 10 ? " r" : "r") << r << " " << rows[r] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace optibar

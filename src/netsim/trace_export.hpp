@@ -1,0 +1,34 @@
+// Export of per-message simulation traces.
+//
+// With SimOptions::record_trace the engine logs every signal's injection
+// and match times. These exporters turn that log into
+//   - CSV (stage, src, dst, injected, matched, duration) for analysis,
+//   - Chrome trace-event JSON ("chrome://tracing" / Perfetto), one
+//     timeline row per rank, so a barrier's wavefront is visible
+//     interactively.
+#pragma once
+
+#include <ostream>
+
+#include "netsim/engine.hpp"
+
+namespace optibar {
+
+/// CSV with a header row; times in seconds (full precision).
+void write_trace_csv(std::ostream& os, const SimResult& result);
+
+/// Chrome trace-event JSON. Virtual seconds are scaled by `time_scale`
+/// into the microsecond field the format expects; the default (1e9)
+/// renders one virtual microsecond as one displayed millisecond, which
+/// keeps sub-microsecond signals visible.
+void write_trace_chrome_json(std::ostream& os, const SimResult& result,
+                             double time_scale = 1e9);
+
+/// Terminal Gantt chart of the barrier: one row per rank, `-` while the
+/// rank is inside the barrier, digits/`#` where its messages are in
+/// flight (the digit is the stage number mod 10; `#` marks overlap),
+/// `|` at exit. Requires a recorded trace for the message marks; works
+/// without one (entry/exit only). `width` is the number of time columns.
+std::string render_timeline(const SimResult& result, std::size_t width = 72);
+
+}  // namespace optibar

@@ -1,0 +1,89 @@
+#include "profile/estimator.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace optibar {
+
+namespace {
+
+/// Aggregate of `repetitions` invocations of `sample` under the
+/// configured statistic.
+template <typename SampleFn>
+double aggregate_of(std::size_t repetitions, SampleAggregator aggregator,
+                    SampleFn&& sample) {
+  std::vector<double> values;
+  values.reserve(repetitions);
+  for (std::size_t r = 0; r < repetitions; ++r) {
+    values.push_back(sample());
+  }
+  return aggregator == SampleAggregator::kMedian ? median(values)
+                                                 : mean(values);
+}
+
+}  // namespace
+
+double estimate_overhead(MeasurementEngine& engine, std::size_t i,
+                         std::size_t j, const EstimatorOptions& options) {
+  OPTIBAR_REQUIRE(options.repetitions > 0, "repetitions must be positive");
+  OPTIBAR_REQUIRE(options.max_payload_exponent >= 1,
+                  "need at least two payload sizes for a regression");
+  std::vector<double> x;
+  std::vector<double> y;
+  for (std::size_t e = 0; e <= options.max_payload_exponent; ++e) {
+    const std::size_t bytes = std::size_t{1} << e;
+    x.push_back(static_cast<double>(bytes));
+    y.push_back(aggregate_of(options.repetitions, options.aggregator, [&] {
+      return engine.roundtrip_seconds(i, j, bytes);
+    }));
+  }
+  const LinearFit fit = least_squares(x, y);
+  // A round trip traverses the link twice; symmetric links let us halve.
+  return fit.intercept / 2.0;
+}
+
+double estimate_latency(MeasurementEngine& engine, std::size_t i,
+                        std::size_t j, const EstimatorOptions& options) {
+  OPTIBAR_REQUIRE(options.repetitions > 0, "repetitions must be positive");
+  OPTIBAR_REQUIRE(options.max_batch >= 2,
+                  "need at least two batch sizes for a regression");
+  std::vector<double> x;
+  std::vector<double> y;
+  for (std::size_t n = 1; n <= options.max_batch; ++n) {
+    x.push_back(static_cast<double>(n));
+    y.push_back(aggregate_of(options.repetitions, options.aggregator,
+                              [&] { return engine.batch_seconds(i, j, n); }));
+  }
+  return least_squares(x, y).slope;
+}
+
+double estimate_self_overhead(MeasurementEngine& engine, std::size_t i,
+                              const EstimatorOptions& options) {
+  OPTIBAR_REQUIRE(options.repetitions > 0, "repetitions must be positive");
+  return aggregate_of(options.repetitions, options.aggregator,
+                      [&] { return engine.noop_seconds(i); });
+}
+
+TopologyProfile estimate_profile(MeasurementEngine& engine,
+                                 const EstimatorOptions& options) {
+  const std::size_t p = engine.ranks();
+  OPTIBAR_REQUIRE(p > 0, "engine reports zero ranks");
+  Matrix<double> o(p, p);
+  Matrix<double> l(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i + 1; j < p; ++j) {
+      const double oij = estimate_overhead(engine, i, j, options);
+      const double lij = estimate_latency(engine, i, j, options);
+      o(i, j) = o(j, i) = oij;
+      l(i, j) = l(j, i) = lij;
+    }
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    o(i, i) = estimate_self_overhead(engine, i, options);
+  }
+  return TopologyProfile(std::move(o), std::move(l));
+}
+
+}  // namespace optibar

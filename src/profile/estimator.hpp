@@ -1,0 +1,58 @@
+// Profile estimation: the Section IV-A benchmarking method.
+//
+// For each unordered pair (i, j):
+//   O_ij — round-trips of payloads 2^0 .. 2^max_payload_exponent bytes,
+//          `repetitions` samples per size averaged, least-squares line
+//          over (bytes, mean seconds); half the intercept (the link is
+//          assumed symmetric, so a round trip is twice a one-way signal)
+//          is the startup-cost estimate.
+//   L_ij — batches of 1 .. max_batch zero-payload messages, means per
+//          count, least-squares gradient.
+// And per rank: O_ii as the mean of `repetitions` no-op initiations.
+//
+// The paper keeps samples "purposely quite small" (25) because the
+// |P|^2 sweep dominates profiling time; the defaults mirror that.
+#pragma once
+
+#include <cstddef>
+
+#include "profile/measurement.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+/// How the repetitions of one sample point are aggregated. The paper
+/// uses the arithmetic mean; under background-load interference the mean
+/// is badly biased by spikes (see bench_profile_accuracy), so the median
+/// is offered as a robust alternative — an instance of the "further
+/// refinement" Section IV-B leaves open.
+enum class SampleAggregator { kMean, kMedian };
+
+struct EstimatorOptions {
+  /// Payload sizes are 2^0 .. 2^max_payload_exponent bytes (paper: 20).
+  std::size_t max_payload_exponent = 20;
+  /// Batch sizes are 1 .. max_batch messages (paper: 32).
+  std::size_t max_batch = 32;
+  /// Repetitions aggregated per sample point (paper: 25).
+  std::size_t repetitions = 25;
+  SampleAggregator aggregator = SampleAggregator::kMean;
+};
+
+/// Estimate one pair's startup cost O_ij (== O_ji).
+double estimate_overhead(MeasurementEngine& engine, std::size_t i,
+                         std::size_t j, const EstimatorOptions& options = {});
+
+/// Estimate one pair's marginal latency L_ij (== L_ji).
+double estimate_latency(MeasurementEngine& engine, std::size_t i,
+                        std::size_t j, const EstimatorOptions& options = {});
+
+/// Estimate one rank's software overhead O_ii.
+double estimate_self_overhead(MeasurementEngine& engine, std::size_t i,
+                              const EstimatorOptions& options = {});
+
+/// Run the full |P|(|P|-1)/2 pairwise sweep plus |P| self tests and
+/// assemble the symmetric profile.
+TopologyProfile estimate_profile(MeasurementEngine& engine,
+                                 const EstimatorOptions& options = {});
+
+}  // namespace optibar

@@ -1,0 +1,41 @@
+// Measurement engine interface for topology profiling.
+//
+// Section IV-A derives the O and L matrices from three primitive
+// experiments; MeasurementEngine abstracts exactly those primitives so
+// the same estimator code runs against
+//   - SyntheticEngine: closed-form costs of a simulated machine plus
+//     seeded measurement noise (lets tests compare estimates against a
+//     known ground truth, which the paper could not do), and
+//   - SimMpiEngine: wall-clock measurements over the in-process
+//     thread runtime (the closest analogue of the paper's MPI runs).
+#pragma once
+
+#include <cstddef>
+
+namespace optibar {
+
+class MeasurementEngine {
+ public:
+  virtual ~MeasurementEngine() = default;
+
+  /// Number of ranks this engine can measure.
+  virtual std::size_t ranks() const = 0;
+
+  /// One round-trip of a `payload_bytes`-byte message i -> j -> i,
+  /// in seconds. Used with growing payloads; the regression intercept
+  /// estimates 2 * O_ij (Hockney-style startup cost).
+  virtual double roundtrip_seconds(std::size_t i, std::size_t j,
+                                   std::size_t payload_bytes) = 0;
+
+  /// Time for i to issue a batch of `message_count` zero-payload
+  /// messages to j, in seconds. The regression gradient over growing
+  /// counts estimates L_ij.
+  virtual double batch_seconds(std::size_t i, std::size_t j,
+                               std::size_t message_count) = 0;
+
+  /// Time for i to initiate communication requests that cause no
+  /// transmission, in seconds: the O_ii software overhead.
+  virtual double noop_seconds(std::size_t i) = 0;
+};
+
+}  // namespace optibar

@@ -1,0 +1,53 @@
+// Wall-clock measurement engine over the in-process thread runtime.
+//
+// The closest in-process analogue of the paper's actual procedure: each
+// primitive experiment is executed by two real rank threads exchanging
+// signals through a Communicator whose LatencyModel injects the simulated
+// machine's link delays, and timed with the steady clock. Payload
+// transfer time is modelled inside the engine (signals carry no bytes)
+// so the Hockney regression has a slope to fit.
+//
+// Wall-clock noise on an oversubscribed host is large relative to
+// microsecond link costs; the latency model is therefore scaled up (see
+// `latency_scale`) and estimates are descaled on the way out. Use
+// SyntheticEngine for precision work; this engine exists to demonstrate
+// the method end-to-end on real threads.
+#pragma once
+
+#include "profile/measurement.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+struct SimMpiEngineOptions {
+  /// Multiplier applied to all simulated link delays before execution
+  /// and divided back out of measurements, lifting microsecond costs
+  /// above scheduler granularity.
+  double latency_scale = 1000.0;
+  /// Modelled bandwidth (bytes/second) before scaling.
+  double bandwidth = 1.25e8;
+};
+
+class SimMpiEngine final : public MeasurementEngine {
+ public:
+  SimMpiEngine(const MachineSpec& machine, const Mapping& mapping,
+               const SimMpiEngineOptions& options = {});
+
+  std::size_t ranks() const override;
+
+  double roundtrip_seconds(std::size_t i, std::size_t j,
+                           std::size_t payload_bytes) override;
+  double batch_seconds(std::size_t i, std::size_t j,
+                       std::size_t message_count) override;
+  double noop_seconds(std::size_t i) override;
+
+  const TopologyProfile& ground_truth() const { return truth_; }
+
+ private:
+  SimMpiEngineOptions options_;
+  TopologyProfile truth_;
+};
+
+}  // namespace optibar

@@ -1,0 +1,119 @@
+#include "profile/sparse_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace optibar {
+
+SparseEstimate estimate_profile_sparse(MeasurementEngine& engine,
+                                       const RankGroups& groups,
+                                       const SparseEstimateOptions& options) {
+  OPTIBAR_REQUIRE(groups.size() >= 2, "need at least two locality groups");
+  const std::size_t group_size = groups.front().size();
+  OPTIBAR_REQUIRE(group_size > 0, "empty group");
+  std::size_t total = 0;
+  for (const auto& group : groups) {
+    OPTIBAR_REQUIRE(group.size() == group_size,
+                    "groups must have equal size");
+    total += group.size();
+  }
+  OPTIBAR_REQUIRE(total == engine.ranks(),
+                  "groups must partition all " << engine.ranks() << " ranks");
+
+  SparseEstimate result{TopologyProfile(Matrix<double>(total, total),
+                                        Matrix<double>(total, total)),
+                        0, total * (total - 1) / 2, 0.0};
+  Matrix<double> o(total, total);
+  Matrix<double> l(total, total);
+
+  const auto& rep = groups[0];
+  const auto& rep2 = groups[1];
+
+  // Representative intra-group block (group 0, unordered pairs).
+  for (std::size_t a = 0; a < group_size; ++a) {
+    for (std::size_t b = a + 1; b < group_size; ++b) {
+      const double oij =
+          estimate_overhead(engine, rep[a], rep[b], options.estimation);
+      const double lij =
+          estimate_latency(engine, rep[a], rep[b], options.estimation);
+      o(rep[a], rep[b]) = o(rep[b], rep[a]) = oij;
+      l(rep[a], rep[b]) = l(rep[b], rep[a]) = lij;
+      ++result.measured_pairs;
+    }
+  }
+  // Representative inter-group block (group 0 x group 1).
+  for (std::size_t a = 0; a < group_size; ++a) {
+    for (std::size_t b = 0; b < group_size; ++b) {
+      const double oij =
+          estimate_overhead(engine, rep[a], rep2[b], options.estimation);
+      const double lij =
+          estimate_latency(engine, rep[a], rep2[b], options.estimation);
+      o(rep[a], rep2[b]) = o(rep2[b], rep[a]) = oij;
+      l(rep[a], rep2[b]) = l(rep2[b], rep[a]) = lij;
+      ++result.measured_pairs;
+    }
+  }
+  // Self overheads: measure group 0's ranks, replicate positionally.
+  for (std::size_t a = 0; a < group_size; ++a) {
+    const double oii =
+        estimate_self_overhead(engine, rep[a], options.estimation);
+    for (const auto& group : groups) {
+      o(group[a], group[a]) = oii;
+    }
+  }
+
+  result.profile = replicate_profile(
+      TopologyProfile(std::move(o), std::move(l)), groups);
+
+  // Spot-check randomly chosen unmeasured pairs against replication
+  // (the paper: "Running the full set of tests can verify that the
+  // communication characteristics ... does not differ radically").
+  if (options.verify_pairs > 0) {
+    Rng rng(options.verify_seed);
+    // Group index of each rank, to skip the measured blocks.
+    std::vector<std::size_t> group_of(total, 0);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (std::size_t rank : groups[g]) {
+        group_of[rank] = g;
+      }
+    }
+    std::size_t checked = 0;
+    std::size_t attempts = 0;
+    while (checked < options.verify_pairs && attempts < 64 * options.verify_pairs) {
+      ++attempts;
+      const std::size_t i = rng.next_below(total);
+      const std::size_t j = rng.next_below(total);
+      if (i == j) {
+        continue;
+      }
+      const bool measured_block =
+          (group_of[i] == 0 && group_of[j] == 0) ||
+          (group_of[i] == 0 && group_of[j] == 1) ||
+          (group_of[i] == 1 && group_of[j] == 0);
+      if (measured_block) {
+        continue;
+      }
+      const double measured =
+          estimate_overhead(engine, i, j, options.estimation);
+      ++result.measured_pairs;
+      ++checked;
+      const double replicated = result.profile.o(i, j);
+      const double deviation =
+          std::abs(measured - replicated) / std::max(measured, replicated);
+      result.worst_verified_deviation =
+          std::max(result.worst_verified_deviation, deviation);
+      OPTIBAR_REQUIRE(deviation <= options.verify_tolerance,
+                      "uniformity verification failed for pair ("
+                          << i << "," << j << "): measured " << measured
+                          << " vs replicated " << replicated << " ("
+                          << deviation * 100 << "% off); the machine is not "
+                          << "group-uniform — run the full sweep");
+    }
+  }
+  return result;
+}
+
+}  // namespace optibar

@@ -1,0 +1,56 @@
+// Sparse profiling via submatrix replication (Section IV-B, realised).
+//
+// "Introducing a modest amount of a priori knowledge about interconnect
+//  structure can significantly reduce the work involved in profiling ...
+//  a great deal of duplicate effort could be rationalized by
+//  constructing P x P matrices from replicating component submatrices."
+//
+// The paper measures all |P|^2 pairs anyway (to avoid assuming node
+// uniformity); this module implements the shortcut it describes: given
+// the locality groups (typically one per node), measure only
+//   - the intra-group pairs of the first group, and
+//   - the inter-group pairs between the first two groups,
+// then replicate. For N equal groups of g ranks this needs
+// g(g-1)/2 + g^2 pairwise tests instead of Ng(Ng-1)/2 — an ~N^2/2-fold
+// saving at large N. A verification mode spot-checks `verify_pairs`
+// randomly chosen unmeasured pairs against their replicated values, the
+// paper's suggestion of "running the full set of tests [to] verify".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "profile/estimator.hpp"
+#include "profile/measurement.hpp"
+#include "topology/replicate.hpp"
+
+namespace optibar {
+
+struct SparseEstimateOptions {
+  EstimatorOptions estimation;
+  /// Randomly sampled unmeasured pairs re-measured to validate the
+  /// uniformity assumption; 0 disables verification.
+  std::size_t verify_pairs = 0;
+  /// Verification fails when a spot-checked pair deviates from its
+  /// replicated value by more than this relative tolerance.
+  double verify_tolerance = 0.25;
+  std::uint64_t verify_seed = 123;
+};
+
+struct SparseEstimate {
+  TopologyProfile profile;
+  /// Pairwise measurements actually performed vs the full-sweep count.
+  std::size_t measured_pairs = 0;
+  std::size_t full_sweep_pairs = 0;
+  /// Worst relative deviation seen during verification (0 when skipped).
+  double worst_verified_deviation = 0.0;
+};
+
+/// Estimate a full profile from representative measurements only.
+/// `groups` must partition 0..engine.ranks()-1 into equal-size locality
+/// groups (at least two). Throws when verification exceeds tolerance.
+SparseEstimate estimate_profile_sparse(MeasurementEngine& engine,
+                                       const RankGroups& groups,
+                                       const SparseEstimateOptions& options = {});
+
+}  // namespace optibar

@@ -1,0 +1,68 @@
+#include "profile/synthetic_engine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+SyntheticEngine::SyntheticEngine(const MachineSpec& machine,
+                                 const Mapping& mapping,
+                                 const SyntheticEngineOptions& options)
+    : machine_(machine),
+      mapping_(mapping),
+      options_(options),
+      truth_(generate_profile(machine, mapping)),
+      rng_(options.seed) {
+  OPTIBAR_REQUIRE(options_.noise >= 0.0, "negative noise");
+  OPTIBAR_REQUIRE(options_.intra_node_bandwidth > 0.0 &&
+                      options_.inter_node_bandwidth > 0.0,
+                  "bandwidths must be positive");
+}
+
+double SyntheticEngine::perturb(double base) {
+  double value = base;
+  if (options_.noise > 0.0) {
+    value *= std::max(0.05, 1.0 + options_.noise * rng_.next_normal());
+  }
+  if (options_.interference_probability > 0.0 &&
+      rng_.next_double() < options_.interference_probability) {
+    value += options_.interference_scale * base;
+  }
+  return value;
+}
+
+double SyntheticEngine::bandwidth(std::size_t i, std::size_t j) const {
+  const LinkLevel level =
+      machine_.link_level(mapping_.core_of(i), mapping_.core_of(j));
+  return level == LinkLevel::kInterNode ? options_.inter_node_bandwidth
+                                        : options_.intra_node_bandwidth;
+}
+
+double SyntheticEngine::roundtrip_seconds(std::size_t i, std::size_t j,
+                                          std::size_t payload_bytes) {
+  OPTIBAR_REQUIRE(i != j, "roundtrip requires distinct ranks");
+  const double transfer =
+      static_cast<double>(payload_bytes) / bandwidth(i, j);
+  const double one_way_ij = truth_.o(i, j) + transfer;
+  const double one_way_ji = truth_.o(j, i) + transfer;
+  return perturb(one_way_ij + one_way_ji);
+}
+
+double SyntheticEngine::batch_seconds(std::size_t i, std::size_t j,
+                                      std::size_t message_count) {
+  OPTIBAR_REQUIRE(i != j, "batch requires distinct ranks");
+  OPTIBAR_REQUIRE(message_count >= 1, "batch of zero messages");
+  // First message pays the full startup O; each subsequent message adds
+  // the marginal L — the quantity the gradient estimator recovers.
+  const double base =
+      truth_.o(i, j) +
+      static_cast<double>(message_count - 1) * truth_.l(i, j);
+  return perturb(base);
+}
+
+double SyntheticEngine::noop_seconds(std::size_t i) {
+  return perturb(truth_.o(i, i));
+}
+
+}  // namespace optibar

@@ -1,0 +1,67 @@
+// Closed-form measurement engine over a simulated machine.
+//
+// Substitutes for running the Section IV-A benchmarks on real hardware:
+// measurement outcomes are generated from the machine's ground-truth
+// link costs plus a Hockney bandwidth term and seeded multiplicative
+// noise, reproducing the sampling-noise conditions the paper describes
+// ("runs which did not allocate the full set of nodes were subject to
+// interference", Section IV-B). Because the ground truth is known,
+// tests can quantify estimator error exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "profile/measurement.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "topology/profile.hpp"
+#include "util/rng.hpp"
+
+namespace optibar {
+
+struct SyntheticEngineOptions {
+  /// Hockney bandwidth per tier, bytes/second (payload cost = bytes/bw).
+  double intra_node_bandwidth = 3.0e9;
+  double inter_node_bandwidth = 1.25e8;  // gigabit ethernet
+
+  /// Relative stddev of multiplicative measurement noise.
+  double noise = 0.02;
+
+  /// Probability of an interference spike on one measurement, and its
+  /// magnitude relative to the base cost (background load on shared
+  /// nodes).
+  double interference_probability = 0.0;
+  double interference_scale = 5.0;
+
+  std::uint64_t seed = 7;
+};
+
+class SyntheticEngine final : public MeasurementEngine {
+ public:
+  SyntheticEngine(const MachineSpec& machine, const Mapping& mapping,
+                  const SyntheticEngineOptions& options = {});
+
+  std::size_t ranks() const override { return truth_.ranks(); }
+
+  double roundtrip_seconds(std::size_t i, std::size_t j,
+                           std::size_t payload_bytes) override;
+  double batch_seconds(std::size_t i, std::size_t j,
+                       std::size_t message_count) override;
+  double noop_seconds(std::size_t i) override;
+
+  /// The exact profile a perfect estimator would recover.
+  const TopologyProfile& ground_truth() const { return truth_; }
+
+ private:
+  double perturb(double base);
+  double bandwidth(std::size_t i, std::size_t j) const;
+
+  MachineSpec machine_;
+  Mapping mapping_;
+  SyntheticEngineOptions options_;
+  TopologyProfile truth_;
+  Rng rng_;
+};
+
+}  // namespace optibar

@@ -1,0 +1,101 @@
+#include "simmpi/communicator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace optibar::simmpi {
+
+Communicator::Communicator(std::size_t size, LatencyModel latency)
+    : size_(size), latency_(std::move(latency)) {
+  OPTIBAR_REQUIRE(size_ > 0, "communicator needs at least one rank");
+  OPTIBAR_REQUIRE(latency_, "null latency model");
+}
+
+void Communicator::check_rank(std::size_t rank, const char* what) const {
+  OPTIBAR_REQUIRE(rank < size_,
+                  what << " rank " << rank << " out of range (size " << size_
+                       << ")");
+}
+
+Request Communicator::issend(std::size_t src, std::size_t dst, int tag) {
+  check_rank(src, "source");
+  check_rank(dst, "destination");
+  OPTIBAR_REQUIRE(src != dst, "issend to self (rank " << src << ")");
+
+  auto request = std::make_shared<RequestState>();
+  const Clock::time_point now = Clock::now();
+  const Clock::time_point delivered = now + latency_(src, dst);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Channel& channel = channels_[ChannelKey{src, dst, tag}];
+  if (!channel.recvs.empty()) {
+    // A receive is already waiting: match immediately. The receiver sees
+    // the signal after the link delay; the sender's synchronized-send
+    // completion also covers the delivery (round-trip halves, Section
+    // IV-A symmetry assumption).
+    PendingOp recv = std::move(channel.recvs.front());
+    channel.recvs.pop_front();
+    recv.request->fulfil(delivered);
+    request->fulfil(delivered);
+  } else {
+    channel.sends.push_back(PendingOp{request, now});
+  }
+  return request;
+}
+
+Request Communicator::irecv(std::size_t src, std::size_t dst, int tag) {
+  check_rank(src, "source");
+  check_rank(dst, "destination");
+  OPTIBAR_REQUIRE(src != dst, "irecv from self (rank " << dst << ")");
+
+  auto request = std::make_shared<RequestState>();
+  const Clock::time_point now = Clock::now();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Channel& channel = channels_[ChannelKey{src, dst, tag}];
+  if (!channel.sends.empty()) {
+    PendingOp send = std::move(channel.sends.front());
+    channel.sends.pop_front();
+    const Clock::time_point delivered = send.posted_at + latency_(src, dst);
+    // Delivery is never before the receive is posted.
+    const Clock::time_point visible = std::max(delivered, now);
+    send.request->fulfil(visible);
+    request->fulfil(visible);
+  } else {
+    channel.recvs.push_back(PendingOp{request, now});
+  }
+  return request;
+}
+
+void Communicator::wait_all(std::span<const Request> requests) {
+  for (const Request& request : requests) {
+    OPTIBAR_REQUIRE(request != nullptr, "null request in wait_all");
+    request->wait();
+  }
+}
+
+bool Communicator::wait_all_for(std::span<const Request> requests,
+                                Clock::duration timeout) {
+  const Clock::time_point deadline = Clock::now() + timeout;
+  for (const Request& request : requests) {
+    OPTIBAR_REQUIRE(request != nullptr, "null request in wait_all_for");
+    const Clock::duration remaining = deadline - Clock::now();
+    if (remaining <= Clock::duration::zero() ||
+        !request->wait_for(remaining)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Communicator::unmatched_operations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, channel] : channels_) {
+    n += channel.sends.size() + channel.recvs.size();
+  }
+  return n;
+}
+
+}  // namespace optibar::simmpi

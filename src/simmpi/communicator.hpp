@@ -1,0 +1,82 @@
+// The simmpi communicator: matching engine for point-to-point signals.
+//
+// Exposes the minimal MPI subset the paper's barrier interpreter needs:
+//   issend(dst, tag)  — nonblocking synchronized zero-byte send; the
+//                       returned request completes only once the
+//                       matching receive is posted (MPI_Issend, i.e.
+//                       "local completion is an indication that both
+//                       processes have been involved", Section III)
+//   irecv(src, tag)   — nonblocking receive from a specific source
+//   wait_all          — block until a set of requests completes
+//
+// Messages carry no payload: a barrier is pure signalling. Matching is
+// per (src, dst, tag) channel in FIFO order, under one board mutex —
+// adequate for the rank counts of in-process tests, and the injected
+// LatencyModel (not lock contention) dominates simulated behaviour.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "simmpi/latency_model.hpp"
+#include "simmpi/request.hpp"
+
+namespace optibar::simmpi {
+
+class Communicator {
+ public:
+  explicit Communicator(std::size_t size,
+                        LatencyModel latency = uniform_latency());
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  std::size_t size() const { return size_; }
+
+  /// Post a synchronized send of a zero-byte signal src -> dst.
+  Request issend(std::size_t src, std::size_t dst, int tag);
+
+  /// Post a receive at dst for a signal from src.
+  Request irecv(std::size_t src, std::size_t dst, int tag);
+
+  /// Wait for every request (order-independent).
+  static void wait_all(std::span<const Request> requests);
+
+  /// Bounded wait over a request set: true when all completed within
+  /// the budget (checked jointly, not per request). On false, some
+  /// requests may still be pending — the caller decides whether to keep
+  /// waiting or declare the peer dead.
+  static bool wait_all_for(std::span<const Request> requests,
+                           Clock::duration timeout);
+
+  /// Number of posted-but-unmatched operations (diagnostics; a correct
+  /// barrier execution ends with zero).
+  std::size_t unmatched_operations() const;
+
+ private:
+  struct PendingOp {
+    Request request;
+    Clock::time_point posted_at;
+  };
+
+  using ChannelKey = std::tuple<std::size_t, std::size_t, int>;
+
+  struct Channel {
+    std::deque<PendingOp> sends;
+    std::deque<PendingOp> recvs;
+  };
+
+  void check_rank(std::size_t rank, const char* what) const;
+
+  std::size_t size_;
+  LatencyModel latency_;
+  mutable std::mutex mutex_;
+  std::map<ChannelKey, Channel> channels_;
+};
+
+}  // namespace optibar::simmpi

@@ -1,0 +1,73 @@
+#include "simmpi/executor.hpp"
+
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace optibar::simmpi {
+
+ScheduleExecutor::ScheduleExecutor(const Schedule& schedule)
+    : stages_(schedule.stage_count()) {
+  OPTIBAR_REQUIRE(schedule.is_barrier(),
+                  "refusing to execute a signal pattern that is not a "
+                  "barrier (Eq. 3 check failed)");
+  const std::size_t p = schedule.ranks();
+  ops_.assign(p, std::vector<StageOps>(stages_));
+  for (std::size_t r = 0; r < p; ++r) {
+    for (std::size_t s = 0; s < stages_; ++s) {
+      ops_[r][s].send_to = schedule.targets_of(r, s);
+      ops_[r][s].recv_from = schedule.sources_of(r, s);
+    }
+  }
+}
+
+void ScheduleExecutor::execute(RankContext& ctx, int episode) const {
+  const std::size_t rank = ctx.rank();
+  OPTIBAR_REQUIRE(rank < ops_.size(), "rank out of range for this executor");
+  OPTIBAR_REQUIRE(ctx.size() == ops_.size(),
+                  "communicator size " << ctx.size()
+                                       << " != schedule rank count "
+                                       << ops_.size());
+  std::vector<Request> requests;
+  for (std::size_t s = 0; s < stages_; ++s) {
+    const StageOps& ops = ops_[rank][s];
+    // Tag = (episode, stage) so repeated barrier calls cannot cross-match.
+    const int tag =
+        episode * static_cast<int>(stages_) + static_cast<int>(s);
+    requests.clear();
+    requests.reserve(ops.send_to.size() + ops.recv_from.size());
+    for (std::size_t dst : ops.send_to) {
+      requests.push_back(ctx.issend(dst, tag));
+    }
+    for (std::size_t src : ops.recv_from) {
+      requests.push_back(ctx.irecv(src, tag));
+    }
+    RankContext::wait_all(requests);
+  }
+}
+
+std::vector<std::chrono::nanoseconds> ScheduleExecutor::run_once(
+    LatencyModel latency,
+    std::vector<std::chrono::nanoseconds> entry_delays) const {
+  const std::size_t p = ops_.size();
+  if (!entry_delays.empty()) {
+    OPTIBAR_REQUIRE(entry_delays.size() == p, "entry_delays size mismatch");
+  }
+  std::vector<std::chrono::nanoseconds> exits(p);
+  Communicator comm(p, std::move(latency));
+  const Clock::time_point start = Clock::now();
+  run_ranks(comm, [&](RankContext& ctx) {
+    const std::size_t r = ctx.rank();
+    if (!entry_delays.empty() && entry_delays[r].count() > 0) {
+      std::this_thread::sleep_for(entry_delays[r]);
+    }
+    execute(ctx);
+    exits[r] = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        Clock::now() - start);
+  });
+  OPTIBAR_ASSERT(comm.unmatched_operations() == 0,
+                 "barrier left unmatched operations on the communicator");
+  return exits;
+}
+
+}  // namespace optibar::simmpi

@@ -1,0 +1,24 @@
+#include "simmpi/latency_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace optibar::simmpi {
+
+LatencyModel uniform_latency() {
+  return [](std::size_t, std::size_t) { return std::chrono::nanoseconds{0}; };
+}
+
+LatencyModel profile_latency(const TopologyProfile& profile, double scale) {
+  OPTIBAR_REQUIRE(scale >= 0.0, "negative latency scale");
+  // Copy the O matrix by value so the model outlives the profile.
+  Matrix<double> o = profile.overhead();
+  return [o, scale](std::size_t src, std::size_t dst) {
+    const double seconds = o(src, dst) * scale;
+    return std::chrono::nanoseconds{
+        static_cast<std::int64_t>(std::llround(seconds * 1e9))};
+  };
+}
+
+}  // namespace optibar::simmpi

@@ -1,0 +1,32 @@
+// Injected pairwise latency for the in-process runtime.
+//
+// The paper controls heterogeneity through processor affinity on a real
+// multi-layer interconnect. In a single shared-memory process all ranks
+// are equidistant, so we re-introduce the heterogeneous structure
+// explicitly: a LatencyModel maps (src, dst) to a one-way delivery delay,
+// typically derived from a TopologyProfile's O matrix scaled to
+// wall-clock magnitudes the thread scheduler can honour.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+
+#include "topology/profile.hpp"
+
+namespace optibar::simmpi {
+
+/// Returns the one-way delivery delay of a message src -> dst.
+using LatencyModel =
+    std::function<std::chrono::nanoseconds(std::size_t src, std::size_t dst)>;
+
+/// No injected delay — the runtime behaves like a uniform SMP.
+LatencyModel uniform_latency();
+
+/// Delay(src, dst) = profile.O(src, dst) seconds scaled by `scale`.
+/// The scale exists because realistic microsecond-level delays are below
+/// scheduler granularity; tests use scales that make tiers observable.
+LatencyModel profile_latency(const TopologyProfile& profile,
+                             double scale = 1.0);
+
+}  // namespace optibar::simmpi

@@ -1,0 +1,88 @@
+// Nonblocking communication requests.
+//
+// simmpi mirrors the slice of MPI the paper's general barrier
+// interpreter uses (Section VI): nonblocking synchronized sends
+// (MPI_Issend), nonblocking receives, and wait-all. A Request is a
+// shared handle to the completion state of one operation; both the
+// issuing rank (via wait) and the matching logic (via the message board)
+// touch it, hence the shared ownership and internal synchronisation.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace optibar::simmpi {
+
+using Clock = std::chrono::steady_clock;
+
+/// Completion state of one nonblocking operation.
+///
+/// `complete` flips exactly once, under `mutex`, when the operation
+/// matches its counterpart. `ready_at` carries the simulated link
+/// latency: wait() returns no earlier than this point, which is how a
+/// heterogeneous topology is injected into a shared-memory process.
+struct RequestState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool complete = false;
+  Clock::time_point ready_at{};
+
+  /// Mark complete with the given earliest-visible time and wake waiters.
+  void fulfil(Clock::time_point visible_at) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      complete = true;
+      ready_at = visible_at;
+    }
+    cv.notify_all();
+  }
+
+  /// Block until fulfilled, then until the simulated delivery time.
+  void wait() {
+    Clock::time_point until;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [this] { return complete; });
+      until = ready_at;
+    }
+    if (until > Clock::now()) {
+      std::this_thread::sleep_until(until);
+    }
+  }
+
+  /// Nonblocking completion probe (MPI_Test analogue).
+  bool test() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return complete && ready_at <= Clock::now();
+  }
+
+  /// Bounded wait: true when the operation completed (and its delivery
+  /// time passed) within `timeout`. The failure-detection primitive a
+  /// runtime needs when a peer may have died mid-barrier — plain MPI
+  /// would hang, this reports.
+  bool wait_for(Clock::duration timeout) {
+    const Clock::time_point deadline = Clock::now() + timeout;
+    Clock::time_point until;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      if (!cv.wait_until(lock, deadline, [this] { return complete; })) {
+        return false;
+      }
+      until = ready_at;
+    }
+    if (until > deadline) {
+      return false;
+    }
+    if (until > Clock::now()) {
+      std::this_thread::sleep_until(until);
+    }
+    return true;
+  }
+};
+
+using Request = std::shared_ptr<RequestState>;
+
+}  // namespace optibar::simmpi

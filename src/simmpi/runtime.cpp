@@ -1,0 +1,44 @@
+#include "simmpi/runtime.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace optibar::simmpi {
+
+void run_ranks(Communicator& comm, const RankFunction& fn) {
+  OPTIBAR_REQUIRE(fn, "null rank function");
+  const std::size_t p = comm.size();
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  std::vector<std::exception_ptr> errors(p);
+
+  for (std::size_t r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        RankContext ctx(comm, r);
+        fn(ctx);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+void run_ranks(std::size_t ranks, const RankFunction& fn,
+               LatencyModel latency) {
+  Communicator comm(ranks, std::move(latency));
+  run_ranks(comm, fn);
+}
+
+}  // namespace optibar::simmpi

@@ -1,0 +1,55 @@
+// Rank-thread runtime.
+//
+// run_ranks spawns one thread per rank, gives each a RankContext bound to
+// a shared Communicator, and joins them, propagating the first exception
+// thrown by any rank. This is the in-process analogue of mpirun over the
+// paper's affinity-pinned processes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "simmpi/communicator.hpp"
+
+namespace optibar::simmpi {
+
+/// Per-rank view handed to the rank function: carries the rank id and
+/// forwards to the shared communicator.
+class RankContext {
+ public:
+  RankContext(Communicator& comm, std::size_t rank)
+      : comm_(&comm), rank_(rank) {}
+
+  std::size_t rank() const { return rank_; }
+  std::size_t size() const { return comm_->size(); }
+
+  Request issend(std::size_t dst, int tag) {
+    return comm_->issend(rank_, dst, tag);
+  }
+  Request irecv(std::size_t src, int tag) {
+    return comm_->irecv(src, rank_, tag);
+  }
+  static void wait_all(std::span<const Request> requests) {
+    Communicator::wait_all(requests);
+  }
+
+  Communicator& communicator() { return *comm_; }
+
+ private:
+  Communicator* comm_;
+  std::size_t rank_;
+};
+
+using RankFunction = std::function<void(RankContext&)>;
+
+/// Run `fn` once per rank on `comm.size()` threads. Blocks until all
+/// ranks return; rethrows the first rank exception after joining all
+/// threads (so no thread is leaked on failure).
+void run_ranks(Communicator& comm, const RankFunction& fn);
+
+/// Convenience: build a communicator of `ranks` ranks with the given
+/// latency model and run `fn`.
+void run_ranks(std::size_t ranks, const RankFunction& fn,
+               LatencyModel latency = uniform_latency());
+
+}  // namespace optibar::simmpi

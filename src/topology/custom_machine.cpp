@@ -1,0 +1,86 @@
+#include "topology/custom_machine.hpp"
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+CustomMachine::CustomMachine(std::string name, std::vector<NodeShape> nodes,
+                             LatencyTiers tiers)
+    : name_(std::move(name)), nodes_(std::move(nodes)), tiers_(tiers) {
+  OPTIBAR_REQUIRE(!nodes_.empty(), "machine needs at least one node");
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const NodeShape& node = nodes_[n];
+    OPTIBAR_REQUIRE(!node.sockets.empty(),
+                    "node " << n << " needs at least one socket");
+    for (std::size_t s = 0; s < node.sockets.size(); ++s) {
+      const SocketShape& socket = node.sockets[s];
+      OPTIBAR_REQUIRE(socket.cores > 0,
+                      "node " << n << " socket " << s << " has zero cores");
+      OPTIBAR_REQUIRE(socket.cores_per_cache > 0 &&
+                          socket.cores % socket.cores_per_cache == 0,
+                      "node " << n << " socket " << s
+                              << ": cores_per_cache must divide cores");
+      for (std::size_t c = 0; c < socket.cores; ++c) {
+        locations_.push_back(Location{n, s, c});
+      }
+      total_cores_ += socket.cores;
+    }
+  }
+}
+
+CustomMachine::Location CustomMachine::location(std::size_t core_id) const {
+  OPTIBAR_REQUIRE(core_id < total_cores_,
+                  "core " << core_id << " out of range (" << total_cores_
+                          << ")");
+  return locations_[core_id];
+}
+
+LinkLevel CustomMachine::link_level(std::size_t core_a,
+                                    std::size_t core_b) const {
+  if (core_a == core_b) {
+    return LinkLevel::kSelf;
+  }
+  const Location a = location(core_a);
+  const Location b = location(core_b);
+  if (a.node != b.node) {
+    return LinkLevel::kInterNode;
+  }
+  if (a.socket != b.socket) {
+    return LinkLevel::kCrossSocket;
+  }
+  const std::size_t per_cache =
+      nodes_[a.node].sockets[a.socket].cores_per_cache;
+  if (a.core / per_cache == b.core / per_cache) {
+    return LinkLevel::kSharedCache;
+  }
+  return LinkLevel::kSameChip;
+}
+
+LinkCost CustomMachine::link_cost(std::size_t core_a,
+                                  std::size_t core_b) const {
+  const LinkLevel level = link_level(core_a, core_b);
+  if (level == LinkLevel::kSelf) {
+    return LinkCost{tiers_.self_overhead, 0.0};
+  }
+  return tiers_.at(level);
+}
+
+TopologyProfile generate_profile(const CustomMachine& machine,
+                                 std::size_t ranks) {
+  OPTIBAR_REQUIRE(ranks > 0, "need at least one rank");
+  OPTIBAR_REQUIRE(ranks <= machine.total_cores(),
+                  ranks << " ranks exceed " << machine.total_cores()
+                        << " cores");
+  Matrix<double> o(ranks, ranks);
+  Matrix<double> l(ranks, ranks);
+  for (std::size_t i = 0; i < ranks; ++i) {
+    for (std::size_t j = 0; j < ranks; ++j) {
+      const LinkCost cost = machine.link_cost(i, j);
+      o(i, j) = cost.overhead;
+      l(i, j) = cost.latency;
+    }
+  }
+  return TopologyProfile(std::move(o), std::move(l));
+}
+
+}  // namespace optibar

@@ -1,0 +1,69 @@
+// Irregular machine descriptions.
+//
+// MachineSpec covers the paper's homogeneous clusters; real installations
+// mix node generations and core counts. CustomMachine describes an
+// explicit list of nodes, each with its own sockets and per-socket core
+// counts (and cache-sharing degree), under one latency tier table. It
+// provides the same two queries profile generation needs — the total
+// core count and the link tier between two cores — so the rest of the
+// pipeline (O/L generation, clustering, composition) is untouched: the
+// method only ever sees matrices.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "topology/latency.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+struct SocketShape {
+  std::size_t cores = 0;
+  /// Cores sharing a last-level cache slice; must divide `cores`.
+  std::size_t cores_per_cache = 1;
+};
+
+struct NodeShape {
+  std::vector<SocketShape> sockets;
+};
+
+class CustomMachine {
+ public:
+  CustomMachine(std::string name, std::vector<NodeShape> nodes,
+                LatencyTiers tiers);
+
+  const std::string& name() const { return name_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t total_cores() const { return total_cores_; }
+  const LatencyTiers& tiers() const { return tiers_; }
+  const std::vector<NodeShape>& nodes() const { return nodes_; }
+
+  /// Hierarchy coordinates of a global core id (numbered node-major,
+  /// then socket-major).
+  struct Location {
+    std::size_t node = 0;
+    std::size_t socket = 0;
+    std::size_t core = 0;
+  };
+  Location location(std::size_t core_id) const;
+
+  LinkLevel link_level(std::size_t core_a, std::size_t core_b) const;
+  LinkCost link_cost(std::size_t core_a, std::size_t core_b) const;
+
+ private:
+  std::string name_;
+  std::vector<NodeShape> nodes_;
+  LatencyTiers tiers_;
+  std::size_t total_cores_ = 0;
+  /// Flattened per-core coordinates for O(1) lookup.
+  std::vector<Location> locations_;
+};
+
+/// Ground-truth profile of an irregular machine with rank r on core r
+/// (ranks must not exceed total_cores; fewer ranks use the first cores).
+TopologyProfile generate_profile(const CustomMachine& machine,
+                                 std::size_t ranks);
+
+}  // namespace optibar

@@ -1,0 +1,70 @@
+#include "topology/generate.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace optibar {
+
+namespace {
+
+/// Deterministic symmetric per-pair jitter factor in
+/// [1 - amplitude, 1 + amplitude]; depends only on (seed, min(i,j),
+/// max(i,j)) so both directions and repeated runs agree.
+double pair_jitter(std::uint64_t seed, std::size_t i, std::size_t j,
+                   double amplitude) {
+  if (amplitude == 0.0) {
+    return 1.0;
+  }
+  const std::size_t lo = i < j ? i : j;
+  const std::size_t hi = i < j ? j : i;
+  Rng rng(seed ^ (0x51ED270B2F6E69ULL * (lo + 1)) ^
+          (0xA24BAED4963EE407ULL * (hi + 1)));
+  return 1.0 + amplitude * (2.0 * rng.next_double() - 1.0);
+}
+
+/// Directed jitter factor: depends on the ordered pair, so (i, j) and
+/// (j, i) draw independently.
+double directed_jitter(std::uint64_t seed, std::size_t i, std::size_t j,
+                       double amplitude) {
+  if (amplitude == 0.0) {
+    return 1.0;
+  }
+  Rng rng(seed ^ (0x7C0FFEE1234567ULL * (i + 1)) ^
+          (0x1D872B41C3F5A9ULL * (j + 1)));
+  return 1.0 + amplitude * (2.0 * rng.next_double() - 1.0);
+}
+
+}  // namespace
+
+TopologyProfile generate_profile(const MachineSpec& machine,
+                                 const Mapping& mapping,
+                                 const GenerateOptions& options) {
+  OPTIBAR_REQUIRE(options.heterogeneity >= 0.0 && options.heterogeneity < 1.0,
+                  "heterogeneity must be in [0,1), got "
+                      << options.heterogeneity);
+  OPTIBAR_REQUIRE(options.asymmetry >= 0.0 && options.asymmetry < 1.0,
+                  "asymmetry must be in [0,1), got " << options.asymmetry);
+  const std::size_t p = mapping.size();
+  Matrix<double> o(p, p);
+  Matrix<double> l(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      const LinkCost cost =
+          machine.link_cost(mapping.core_of(i), mapping.core_of(j));
+      const double jitter =
+          i == j ? 1.0
+                 : pair_jitter(options.seed, i, j, options.heterogeneity) *
+                       directed_jitter(options.seed, i, j, options.asymmetry);
+      o(i, j) = cost.overhead * jitter;
+      l(i, j) = cost.latency * jitter;
+    }
+  }
+  return TopologyProfile(std::move(o), std::move(l));
+}
+
+TopologyProfile generate_profile(const MachineSpec& machine, std::size_t ranks,
+                                 const GenerateOptions& options) {
+  return generate_profile(machine, block_mapping(machine, ranks), options);
+}
+
+}  // namespace optibar

@@ -1,0 +1,49 @@
+// Ground-truth profile generation from a machine description.
+//
+// This is the substitute for running the Section IV-A benchmarks on a
+// physical cluster: given a MachineSpec, a rank Mapping and optionally a
+// deterministic heterogeneity jitter, produce the exact O and L matrices
+// the machine "really" has. The discrete-event simulator consumes these
+// as its ground truth; the profile *estimator* (src/profile) then
+// re-derives them through the paper's measurement procedure, so tests
+// can quantify estimation error against a known answer — something the
+// paper could not do on real hardware.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+struct GenerateOptions {
+  /// Relative, per-pair multiplicative jitter amplitude; 0 disables.
+  /// Jitter is symmetric (jitter(i,j) == jitter(j,i)) so the generated
+  /// profile remains a metric, and deterministic in `seed`.
+  double heterogeneity = 0.0;
+
+  std::uint64_t seed = 42;
+
+  /// Relative, *directed* multiplicative jitter amplitude; 0 disables.
+  /// Section IV-A assumes symmetric links "to simplify the adaptive
+  /// implementation ... but note that extending the cost matrices to
+  /// cover asymmetric links is trivial" — this knob exercises that
+  /// extension (e.g. duplex imbalance, asymmetric routes). The cost
+  /// model and simulator consume directed entries as-is; only the
+  /// clustering metric requires symmetrization (handled by the tuner).
+  double asymmetry = 0.0;
+};
+
+/// Ground-truth profile for `ranks` ranks placed by `mapping` on
+/// `machine`.
+TopologyProfile generate_profile(const MachineSpec& machine,
+                                 const Mapping& mapping,
+                                 const GenerateOptions& options = {});
+
+/// Convenience: block mapping over the given rank count.
+TopologyProfile generate_profile(const MachineSpec& machine, std::size_t ranks,
+                                 const GenerateOptions& options = {});
+
+}  // namespace optibar

@@ -1,0 +1,39 @@
+#include "topology/latency.hpp"
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+const char* to_string(LinkLevel level) {
+  switch (level) {
+    case LinkLevel::kSelf:
+      return "self";
+    case LinkLevel::kSharedCache:
+      return "shared-cache";
+    case LinkLevel::kSameChip:
+      return "same-chip";
+    case LinkLevel::kCrossSocket:
+      return "cross-socket";
+    case LinkLevel::kInterNode:
+      return "inter-node";
+  }
+  OPTIBAR_FAIL("unknown LinkLevel");
+}
+
+const LinkCost& LatencyTiers::at(LinkLevel level) const {
+  switch (level) {
+    case LinkLevel::kSharedCache:
+      return shared_cache;
+    case LinkLevel::kSameChip:
+      return same_chip;
+    case LinkLevel::kCrossSocket:
+      return cross_socket;
+    case LinkLevel::kInterNode:
+      return inter_node;
+    case LinkLevel::kSelf:
+      break;
+  }
+  OPTIBAR_FAIL("LatencyTiers::at called with kSelf; use self_overhead");
+}
+
+}  // namespace optibar

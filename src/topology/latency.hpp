@@ -1,0 +1,47 @@
+// Latency tiers of a hierarchical interconnect.
+//
+// The paper's topological model reduces every pair of processes to two
+// scalars (Section IV): O_ij, the startup overhead of targeting j from i,
+// and L_ij, the marginal latency of adding one more message to a batch.
+// On the clustered-SMP machines of the paper those scalars fall into a
+// small number of tiers determined by where the two cores sit in the
+// hierarchy. This header names those tiers; topology/generate.hpp turns a
+// (MachineSpec, Mapping, LatencyTiers) triple into ground-truth O and L
+// matrices, which stand in for the paper's physical testbeds.
+#pragma once
+
+namespace optibar {
+
+/// Relationship between the cores hosting two ranks, ordered from
+/// closest to farthest.
+enum class LinkLevel {
+  kSelf,         ///< i == j (the O_ii software-overhead diagonal)
+  kSharedCache,  ///< cores sharing a last-level cache slice (core pair)
+  kSameChip,     ///< same socket, distinct cache slices
+  kCrossSocket,  ///< same node, different sockets
+  kInterNode,    ///< different nodes (cluster interconnect)
+};
+
+/// Human-readable name ("self", "shared-cache", ...).
+const char* to_string(LinkLevel level);
+
+/// The (O, L) pair of one tier, in seconds.
+struct LinkCost {
+  double overhead = 0.0;  ///< O: startup cost of the first message
+  double latency = 0.0;   ///< L: marginal cost per additional message
+};
+
+/// Full tier table of a machine. Defaults are zero; use the calibrated
+/// presets in machine.hpp.
+struct LatencyTiers {
+  double self_overhead = 0.0;  ///< O_ii: cost of initiating zero messages
+  LinkCost shared_cache;
+  LinkCost same_chip;
+  LinkCost cross_socket;
+  LinkCost inter_node;
+
+  /// Tier lookup for off-diagonal levels.
+  const LinkCost& at(LinkLevel level) const;
+};
+
+}  // namespace optibar

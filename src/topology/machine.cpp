@@ -1,0 +1,126 @@
+#include "topology/machine.hpp"
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+MachineSpec::MachineSpec(std::string name, std::size_t nodes,
+                         std::size_t sockets_per_node,
+                         std::size_t cores_per_socket,
+                         std::size_t cores_per_cache, LatencyTiers tiers)
+    : name_(std::move(name)),
+      nodes_(nodes),
+      sockets_per_node_(sockets_per_node),
+      cores_per_socket_(cores_per_socket),
+      cores_per_cache_(cores_per_cache),
+      tiers_(tiers) {
+  OPTIBAR_REQUIRE(nodes_ > 0, "machine needs at least one node");
+  OPTIBAR_REQUIRE(sockets_per_node_ > 0, "machine needs at least one socket");
+  OPTIBAR_REQUIRE(cores_per_socket_ > 0, "machine needs at least one core");
+  OPTIBAR_REQUIRE(cores_per_cache_ > 0 && cores_per_socket_ % cores_per_cache_ == 0,
+                  "cores_per_cache must divide cores_per_socket ("
+                      << cores_per_cache_ << " vs " << cores_per_socket_ << ")");
+}
+
+CoreLocation MachineSpec::location(std::size_t core_id) const {
+  OPTIBAR_REQUIRE(core_id < total_cores(),
+                  "core id " << core_id << " out of range for "
+                             << total_cores() << " cores");
+  CoreLocation loc;
+  loc.node = core_id / cores_per_node();
+  const std::size_t within = core_id % cores_per_node();
+  loc.socket = within / cores_per_socket_;
+  loc.core = within % cores_per_socket_;
+  return loc;
+}
+
+std::size_t MachineSpec::core_id(const CoreLocation& loc) const {
+  OPTIBAR_REQUIRE(loc.node < nodes_ && loc.socket < sockets_per_node_ &&
+                      loc.core < cores_per_socket_,
+                  "core location out of range");
+  return loc.node * cores_per_node() + loc.socket * cores_per_socket_ + loc.core;
+}
+
+LinkLevel MachineSpec::link_level(std::size_t core_a, std::size_t core_b) const {
+  if (core_a == core_b) {
+    return LinkLevel::kSelf;
+  }
+  const CoreLocation a = location(core_a);
+  const CoreLocation b = location(core_b);
+  if (a.node != b.node) {
+    return LinkLevel::kInterNode;
+  }
+  if (a.socket != b.socket) {
+    return LinkLevel::kCrossSocket;
+  }
+  if (a.core / cores_per_cache_ == b.core / cores_per_cache_) {
+    return LinkLevel::kSharedCache;
+  }
+  return LinkLevel::kSameChip;
+}
+
+LinkCost MachineSpec::link_cost(std::size_t core_a, std::size_t core_b) const {
+  const LinkLevel level = link_level(core_a, core_b);
+  if (level == LinkLevel::kSelf) {
+    return LinkCost{tiers_.self_overhead, 0.0};
+  }
+  return tiers_.at(level);
+}
+
+MachineSpec MachineSpec::first_nodes(std::size_t node_count) const {
+  OPTIBAR_REQUIRE(node_count > 0 && node_count <= nodes_,
+                  "first_nodes(" << node_count << ") on a " << nodes_
+                                 << "-node machine");
+  return MachineSpec(name_ + "[" + std::to_string(node_count) + " nodes]",
+                     node_count, sockets_per_node_, cores_per_socket_,
+                     cores_per_cache_, tiers_);
+}
+
+MachineSpec quad_cluster(std::size_t nodes) {
+  // Calibration targets (see DESIGN.md): GbE startup ~50us dominates;
+  // node-local L tiers reproduce the ~4x on-chip/off-chip ratio visible
+  // in Figure 9 (~1.5e-7 s on-chip vs ~6e-7 s cross-socket).
+  LatencyTiers tiers;
+  tiers.self_overhead = 1.5e-6;
+  tiers.shared_cache = {2.0e-6, 1.2e-7};
+  tiers.same_chip = {2.5e-6, 1.5e-7};
+  tiers.cross_socket = {4.0e-6, 6.0e-7};
+  // GbE through a kernel TCP stack: ~25us one-way startup and ~14us of
+  // per-message processing, so fan-in/fan-out batches serialize — the
+  // effect that makes the linear barrier degrade with P in Figure 5.
+  tiers.inter_node = {2.5e-5, 1.4e-5};
+  return MachineSpec("quad-cluster (dual quad-core, GbE)", nodes,
+                     /*sockets_per_node=*/2, /*cores_per_socket=*/4,
+                     /*cores_per_cache=*/2, tiers);
+}
+
+MachineSpec hex_cluster(std::size_t nodes) {
+  // Opteron 2431: six cores behind a shared L3, so the whole socket is
+  // one cache domain; slightly slower NIC path than the quad cluster.
+  LatencyTiers tiers;
+  tiers.self_overhead = 1.6e-6;
+  tiers.shared_cache = {2.2e-6, 1.4e-7};
+  tiers.same_chip = {2.2e-6, 1.4e-7};  // one L3 per socket: same as cache tier
+  tiers.cross_socket = {4.5e-6, 5.5e-7};
+  tiers.inter_node = {2.8e-5, 1.5e-5};
+  return MachineSpec("hex-cluster (dual hex-core, GbE)", nodes,
+                     /*sockets_per_node=*/2, /*cores_per_socket=*/6,
+                     /*cores_per_cache=*/6, tiers);
+}
+
+MachineSpec skewed_cluster(std::size_t nodes) {
+  // An artificial tier table with an unusually expensive cross-socket
+  // link (e.g. a saturated inter-die fabric). Exercises that adaptation
+  // follows the profile rather than assumptions about which tier is slow.
+  LatencyTiers tiers;
+  tiers.self_overhead = 1.0e-6;
+  tiers.shared_cache = {1.5e-6, 1.0e-7};
+  tiers.same_chip = {2.0e-6, 2.0e-7};
+  tiers.cross_socket = {8.0e-5, 2.0e-5};  // slower than the network
+  tiers.inter_node = {4.0e-5, 9.0e-6};
+  return MachineSpec("skewed-cluster (pathological cross-socket)", nodes,
+                     /*sockets_per_node=*/2, /*cores_per_socket=*/4,
+                     /*cores_per_cache=*/4, tiers);
+}
+
+}  // namespace optibar

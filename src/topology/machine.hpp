@@ -1,0 +1,93 @@
+// Hierarchical machine description.
+//
+// Substitute for the paper's physical testbeds: an 8-node cluster of dual
+// quad-core Xeon E5405 nodes and a 10-node cluster of dual hex-core
+// Opteron 2431 nodes, both on gigabit ethernet (Section VI). A
+// MachineSpec captures exactly what the paper's method consumes — the
+// hierarchy (cluster / node / socket / cache slice / core) and the link
+// cost tier between any two cores. The presets quad_cluster() and
+// hex_cluster() are calibrated so that the generated O/L matrices have
+// the magnitudes and ratios reported in the paper (e.g. the ~4x on-chip
+// vs off-chip L ratio of Figure 9 and ~50 microsecond GbE startup).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "topology/latency.hpp"
+
+namespace optibar {
+
+/// Position of one core in the machine hierarchy.
+struct CoreLocation {
+  std::size_t node = 0;
+  std::size_t socket = 0;
+  std::size_t core = 0;  ///< index within the socket
+
+  bool operator==(const CoreLocation&) const = default;
+};
+
+/// A homogeneous cluster of SMP nodes: `nodes` x `sockets_per_node` x
+/// `cores_per_socket` cores, with one latency tier table. Cores within a
+/// socket are grouped into cache slices of `cores_per_cache` cores
+/// sharing a last-level cache (2 on the Xeon E5405, whose 2x6MB L2 is
+/// shared by core pairs).
+class MachineSpec {
+ public:
+  MachineSpec(std::string name, std::size_t nodes, std::size_t sockets_per_node,
+              std::size_t cores_per_socket, std::size_t cores_per_cache,
+              LatencyTiers tiers);
+
+  const std::string& name() const { return name_; }
+  std::size_t nodes() const { return nodes_; }
+  std::size_t sockets_per_node() const { return sockets_per_node_; }
+  std::size_t cores_per_socket() const { return cores_per_socket_; }
+  std::size_t cores_per_cache() const { return cores_per_cache_; }
+  std::size_t cores_per_node() const {
+    return sockets_per_node_ * cores_per_socket_;
+  }
+  std::size_t total_cores() const { return nodes_ * cores_per_node(); }
+  const LatencyTiers& tiers() const { return tiers_; }
+
+  /// Decompose a global core id into its hierarchy coordinates. Cores
+  /// are numbered node-major, then socket-major.
+  CoreLocation location(std::size_t core_id) const;
+
+  /// Inverse of location().
+  std::size_t core_id(const CoreLocation& loc) const;
+
+  /// Topological relationship between two cores.
+  LinkLevel link_level(std::size_t core_a, std::size_t core_b) const;
+
+  /// Link cost tier between two cores; for core_a == core_b the overhead
+  /// is self_overhead and the latency 0.
+  LinkCost link_cost(std::size_t core_a, std::size_t core_b) const;
+
+  /// Restrict the machine to its first `nodes` nodes (e.g. the 3-node
+  /// sub-cluster of Figure 10). Keeps tiers and per-node shape.
+  MachineSpec first_nodes(std::size_t node_count) const;
+
+ private:
+  std::string name_;
+  std::size_t nodes_;
+  std::size_t sockets_per_node_;
+  std::size_t cores_per_socket_;
+  std::size_t cores_per_cache_;
+  LatencyTiers tiers_;
+};
+
+/// Paper testbed 1: 8 nodes x dual quad-core (Intel Xeon E5405-like),
+/// gigabit ethernet, pairwise-shared L2.
+MachineSpec quad_cluster(std::size_t nodes = 8);
+
+/// Paper testbed 2: 10 nodes x dual hex-core (AMD Opteron 2431-like),
+/// gigabit ethernet, per-socket shared L3.
+MachineSpec hex_cluster(std::size_t nodes = 10);
+
+/// A deliberately lopsided machine used by tests and the custom-topology
+/// example: mixed node sizes are not representable by MachineSpec, so
+/// this returns a *uniform* machine with unusually skewed tier costs
+/// (slow cross-socket relative to inter-node) to exercise adaptation.
+MachineSpec skewed_cluster(std::size_t nodes = 4);
+
+}  // namespace optibar

@@ -1,0 +1,259 @@
+#include "topology/machine_file.hpp"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+namespace {
+
+/// Key-value scanner for one line's remaining tokens: `k1 v1 k2 v2 ...`.
+class TokenStream {
+ public:
+  explicit TokenStream(std::istringstream& in, std::size_t line)
+      : in_(in), line_(line) {}
+
+  bool next(std::string& out) { return static_cast<bool>(in_ >> out); }
+
+  std::string expect(const char* what) {
+    std::string token;
+    OPTIBAR_REQUIRE(next(token),
+                    "line " << line_ << ": expected " << what);
+    return token;
+  }
+
+  double expect_double(const char* what) {
+    const std::string token = expect(what);
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(token, &used);
+      OPTIBAR_REQUIRE(used == token.size(), "trailing characters");
+      return value;
+    } catch (const Error&) {
+      throw;
+    } catch (...) {
+      OPTIBAR_FAIL("line " << line_ << ": '" << token << "' is not a number ("
+                           << what << ")");
+    }
+  }
+
+  std::size_t expect_size(const char* what) {
+    const double value = expect_double(what);
+    OPTIBAR_REQUIRE(value >= 0 && value == static_cast<std::size_t>(value),
+                    "line " << line_ << ": " << what
+                            << " must be a non-negative integer");
+    return static_cast<std::size_t>(value);
+  }
+
+  void expect_end() {
+    std::string extra;
+    OPTIBAR_REQUIRE(!next(extra),
+                    "line " << line_ << ": unexpected token '" << extra << "'");
+  }
+
+  std::size_t line() const { return line_; }
+
+ private:
+  std::istringstream& in_;
+  std::size_t line_;
+};
+
+/// Parse `cores N cache M sockets K` style key/value pairs into a map.
+std::map<std::string, std::size_t> parse_pairs(TokenStream& tokens) {
+  std::map<std::string, std::size_t> out;
+  std::string key;
+  while (tokens.next(key)) {
+    OPTIBAR_REQUIRE(!out.count(key),
+                    "line " << tokens.line() << ": duplicate key '" << key
+                            << "'");
+    out[key] = tokens.expect_size(key.c_str());
+  }
+  return out;
+}
+
+std::size_t take(std::map<std::string, std::size_t>& pairs,
+                 const std::string& key, std::size_t line) {
+  const auto it = pairs.find(key);
+  OPTIBAR_REQUIRE(it != pairs.end(),
+                  "line " << line << ": missing '" << key << "'");
+  const std::size_t value = it->second;
+  pairs.erase(it);
+  return value;
+}
+
+std::size_t take_or(std::map<std::string, std::size_t>& pairs,
+                    const std::string& key, std::size_t fallback) {
+  const auto it = pairs.find(key);
+  if (it == pairs.end()) {
+    return fallback;
+  }
+  const std::size_t value = it->second;
+  pairs.erase(it);
+  return value;
+}
+
+void require_empty(const std::map<std::string, std::size_t>& pairs,
+                   std::size_t line) {
+  OPTIBAR_REQUIRE(pairs.empty(), "line " << line << ": unknown key '"
+                                         << pairs.begin()->first << "'");
+}
+
+}  // namespace
+
+MachineFile parse_machine_file(std::istream& is) {
+  MachineFile file;
+  bool seen_shape = false;
+  bool tier_seen[5] = {false, false, false, false, false};
+
+  std::string raw_line;
+  std::size_t line_number = 0;
+  while (std::getline(is, raw_line)) {
+    ++line_number;
+    // Strip comments.
+    const std::size_t hash = raw_line.find('#');
+    if (hash != std::string::npos) {
+      raw_line.erase(hash);
+    }
+    std::istringstream in(raw_line);
+    std::string keyword;
+    if (!(in >> keyword)) {
+      continue;  // blank / comment-only line
+    }
+    TokenStream tokens(in, line_number);
+
+    if (keyword == "machine") {
+      // Rest of the line (unquoted or quoted) is the name.
+      std::string rest;
+      std::getline(in, rest);
+      const std::size_t first = rest.find_first_not_of(" \t\"");
+      const std::size_t last = rest.find_last_not_of(" \t\"");
+      OPTIBAR_REQUIRE(first != std::string::npos,
+                      "line " << line_number << ": machine needs a name");
+      file.name = rest.substr(first, last - first + 1);
+      continue;
+    }
+
+    if (keyword == "tier") {
+      const std::string which = tokens.expect("tier name");
+      double o = 0.0;
+      double l = 0.0;
+      bool have_o = false;
+      std::string key;
+      while (tokens.next(key)) {
+        if (key == "o") {
+          o = tokens.expect_double("o");
+          have_o = true;
+        } else if (key == "l") {
+          l = tokens.expect_double("l");
+        } else {
+          OPTIBAR_FAIL("line " << line_number << ": unknown tier key '" << key
+                               << "' (o, l)");
+        }
+      }
+      OPTIBAR_REQUIRE(have_o, "line " << line_number << ": tier needs 'o'");
+      OPTIBAR_REQUIRE(o >= 0.0 && l >= 0.0,
+                      "line " << line_number << ": costs must be >= 0");
+      if (which == "self") {
+        file.tiers.self_overhead = o;
+        tier_seen[0] = true;
+      } else if (which == "cache") {
+        file.tiers.shared_cache = {o, l};
+        tier_seen[1] = true;
+      } else if (which == "chip") {
+        file.tiers.same_chip = {o, l};
+        tier_seen[2] = true;
+      } else if (which == "socket") {
+        file.tiers.cross_socket = {o, l};
+        tier_seen[3] = true;
+      } else if (which == "node") {
+        file.tiers.inter_node = {o, l};
+        tier_seen[4] = true;
+      } else {
+        OPTIBAR_FAIL("line " << line_number << ": unknown tier '" << which
+                             << "' (self, cache, chip, socket, node)");
+      }
+      continue;
+    }
+
+    if (keyword == "shape") {
+      OPTIBAR_REQUIRE(!seen_shape, "line " << line_number
+                                           << ": duplicate 'shape'");
+      OPTIBAR_REQUIRE(file.node_shapes.empty(),
+                      "line " << line_number
+                              << ": 'shape' cannot mix with 'node' lines");
+      auto pairs = parse_pairs(tokens);
+      file.nodes = take(pairs, "nodes", line_number);
+      file.sockets = take(pairs, "sockets", line_number);
+      file.cores = take(pairs, "cores", line_number);
+      file.cache = take_or(pairs, "cache", file.cores);
+      require_empty(pairs, line_number);
+      seen_shape = true;
+      continue;
+    }
+
+    if (keyword == "node") {
+      OPTIBAR_REQUIRE(!seen_shape,
+                      "line " << line_number
+                              << ": 'node' lines cannot mix with 'shape'");
+      auto pairs = parse_pairs(tokens);
+      const std::size_t sockets = take(pairs, "sockets", line_number);
+      const std::size_t cores = take(pairs, "cores", line_number);
+      const std::size_t cache = take_or(pairs, "cache", cores);
+      require_empty(pairs, line_number);
+      OPTIBAR_REQUIRE(sockets > 0 && cores > 0,
+                      "line " << line_number
+                              << ": sockets and cores must be positive");
+      NodeShape node;
+      node.sockets.assign(sockets, SocketShape{cores, cache});
+      file.node_shapes.push_back(std::move(node));
+      continue;
+    }
+
+    OPTIBAR_FAIL("line " << line_number << ": unknown keyword '" << keyword
+                         << "' (machine, tier, shape, node)");
+  }
+
+  for (bool seen : tier_seen) {
+    OPTIBAR_REQUIRE(
+        seen, "machine file must define all five tiers "
+              "(self, cache, chip, socket, node)");
+  }
+  OPTIBAR_REQUIRE(seen_shape || !file.node_shapes.empty(),
+                  "machine file needs a 'shape' or at least one 'node' line");
+
+  file.uniform = seen_shape;
+  if (seen_shape) {
+    NodeShape node;
+    node.sockets.assign(file.sockets, SocketShape{file.cores, file.cache});
+    file.node_shapes.assign(file.nodes, node);
+  }
+  // Validate through construction.
+  (void)file.to_custom();
+  if (file.uniform) {
+    (void)file.to_spec();
+  }
+  return file;
+}
+
+MachineSpec MachineFile::to_spec() const {
+  OPTIBAR_REQUIRE(uniform,
+                  "machine file describes an irregular machine; uniform "
+                  "MachineSpec unavailable (use to_custom)");
+  return MachineSpec(name, nodes, sockets, cores, cache, tiers);
+}
+
+CustomMachine MachineFile::to_custom() const {
+  return CustomMachine(name, node_shapes, tiers);
+}
+
+MachineFile load_machine_file(const std::string& path) {
+  std::ifstream is(path);
+  OPTIBAR_REQUIRE(is.is_open(), "cannot open " << path << " for reading");
+  return parse_machine_file(is);
+}
+
+}  // namespace optibar

@@ -1,0 +1,56 @@
+// Machine description files.
+//
+// Lets a machine be described in a small text format instead of C++ —
+// the piece a site admin actually edits. Supports the uniform clusters
+// of the paper and irregular installations (mixed node generations),
+// which MachineSpec cannot express:
+//
+//   # comment
+//   machine "lab cluster"
+//   tier self   o 1.5e-6
+//   tier cache  o 2.0e-6 l 1.2e-7
+//   tier chip   o 2.5e-6 l 1.5e-7
+//   tier socket o 4.0e-6 l 6.0e-7
+//   tier node   o 2.5e-5 l 1.4e-5
+//   shape nodes 8 sockets 2 cores 4 cache 2      # uniform...
+//   # ...or, instead of `shape`, one line per node:
+//   # node sockets 2 cores 4 cache 2
+//   # node sockets 2 cores 6 cache 6
+//
+// `o` is the startup overhead O and `l` the marginal latency L of the
+// tier, in seconds. All five tiers are required; exactly one of `shape`
+// or at least one `node` line must be present.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "topology/custom_machine.hpp"
+#include "topology/machine.hpp"
+
+namespace optibar {
+
+struct MachineFile {
+  std::string name = "unnamed machine";
+  LatencyTiers tiers;
+  /// True when the file used `shape` (a homogeneous grid).
+  bool uniform = false;
+  // Valid when uniform:
+  std::size_t nodes = 0;
+  std::size_t sockets = 0;
+  std::size_t cores = 0;
+  std::size_t cache = 1;
+  /// Always populated (one entry per node).
+  std::vector<NodeShape> node_shapes;
+
+  /// Homogeneous MachineSpec; throws unless `uniform`.
+  MachineSpec to_spec() const;
+  /// Irregular machine covering both cases.
+  CustomMachine to_custom() const;
+};
+
+MachineFile parse_machine_file(std::istream& is);
+MachineFile load_machine_file(const std::string& path);
+
+}  // namespace optibar

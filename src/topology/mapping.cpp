@@ -1,0 +1,84 @@
+#include "topology/mapping.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+Mapping::Mapping(const MachineSpec& machine,
+                 std::vector<std::size_t> rank_to_core, std::string policy_name)
+    : rank_to_core_(std::move(rank_to_core)),
+      policy_name_(std::move(policy_name)) {
+  OPTIBAR_REQUIRE(!rank_to_core_.empty(), "mapping must place at least one rank");
+  std::set<std::size_t> seen;
+  for (std::size_t core : rank_to_core_) {
+    OPTIBAR_REQUIRE(core < machine.total_cores(),
+                    "mapped core " << core << " out of range ("
+                                   << machine.total_cores() << " cores)");
+    OPTIBAR_REQUIRE(seen.insert(core).second,
+                    "core " << core << " mapped to more than one rank");
+  }
+}
+
+std::size_t Mapping::core_of(std::size_t rank) const {
+  OPTIBAR_REQUIRE(rank < rank_to_core_.size(),
+                  "rank " << rank << " out of range for mapping of "
+                          << rank_to_core_.size());
+  return rank_to_core_[rank];
+}
+
+std::size_t Mapping::nodes_used(const MachineSpec& machine) const {
+  std::set<std::size_t> nodes;
+  for (std::size_t core : rank_to_core_) {
+    nodes.insert(machine.location(core).node);
+  }
+  return nodes.size();
+}
+
+namespace {
+
+std::size_t nodes_to_allocate(const MachineSpec& machine, std::size_t ranks) {
+  const std::size_t per_node = machine.cores_per_node();
+  const std::size_t needed = (ranks + per_node - 1) / per_node;
+  OPTIBAR_REQUIRE(needed <= machine.nodes(),
+                  ranks << " ranks exceed machine capacity of "
+                        << machine.total_cores() << " cores");
+  return needed;
+}
+
+}  // namespace
+
+Mapping block_mapping(const MachineSpec& machine, std::size_t ranks) {
+  OPTIBAR_REQUIRE(ranks > 0, "block_mapping of zero ranks");
+  nodes_to_allocate(machine, ranks);  // capacity check
+  std::vector<std::size_t> table(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    table[r] = r;  // core numbering is already node-major
+  }
+  return Mapping(machine, std::move(table), "block");
+}
+
+Mapping round_robin_mapping(const MachineSpec& machine, std::size_t ranks) {
+  OPTIBAR_REQUIRE(ranks > 0, "round_robin_mapping of zero ranks");
+  const std::size_t nodes = nodes_to_allocate(machine, ranks);
+  const std::size_t per_node = machine.cores_per_node();
+  std::vector<std::size_t> table(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    const std::size_t node = r % nodes;
+    const std::size_t slot = r / nodes;
+    OPTIBAR_REQUIRE(slot < per_node,
+                    "round-robin overflow: rank " << r << " needs slot "
+                                                  << slot << " on node "
+                                                  << node);
+    table[r] = node * per_node + slot;
+  }
+  return Mapping(machine, std::move(table), "round-robin");
+}
+
+Mapping custom_mapping(const MachineSpec& machine,
+                       std::vector<std::size_t> rank_to_core) {
+  return Mapping(machine, std::move(rank_to_core), "custom");
+}
+
+}  // namespace optibar

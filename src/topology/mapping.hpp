@@ -1,0 +1,57 @@
+// Rank-to-core mappings (affinity control).
+//
+// The paper pins each MPI rank to one core with sched_setaffinity and a
+// one-to-one rank/core initializer (Section III); all of its topology
+// profiles are taken *under a fixed mapping*, and the validity of a
+// prediction depends on running under the same mapping. We model the
+// mapping explicitly as a permutation-like table rank -> core id.
+//
+// Two policies matter for reproducing the paper:
+//   - block: consecutive ranks fill a node before moving on,
+//   - round_robin: ranks are dealt across the allocated nodes one by one
+//     (the scheduler behaviour on the quad-core cluster that produces the
+//     odd/even oscillation of the dissemination barrier in Figure 5).
+// Both allocate ceil(P / cores_per_node) nodes, matching the paper's
+// "2-node (9 through 16 process) case" reading.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "topology/machine.hpp"
+
+namespace optibar {
+
+/// Immutable rank -> core assignment for P ranks on a machine.
+class Mapping {
+ public:
+  /// Build from an explicit table; cores must be in range and distinct.
+  Mapping(const MachineSpec& machine, std::vector<std::size_t> rank_to_core,
+          std::string policy_name);
+
+  std::size_t size() const { return rank_to_core_.size(); }
+  std::size_t core_of(std::size_t rank) const;
+  const std::vector<std::size_t>& table() const { return rank_to_core_; }
+  const std::string& policy() const { return policy_name_; }
+
+  /// Number of distinct nodes this mapping touches.
+  std::size_t nodes_used(const MachineSpec& machine) const;
+
+ private:
+  std::vector<std::size_t> rank_to_core_;
+  std::string policy_name_;
+};
+
+/// Consecutive ranks fill each node in turn.
+Mapping block_mapping(const MachineSpec& machine, std::size_t ranks);
+
+/// Ranks dealt round-robin over the ceil(P / cores_per_node) allocated
+/// nodes; within a node, slots fill in order (socket 0 first).
+Mapping round_robin_mapping(const MachineSpec& machine, std::size_t ranks);
+
+/// User-supplied table (validated).
+Mapping custom_mapping(const MachineSpec& machine,
+                       std::vector<std::size_t> rank_to_core);
+
+}  // namespace optibar

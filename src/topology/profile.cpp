@@ -1,0 +1,138 @@
+#include "topology/profile.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+namespace {
+constexpr const char* kMagic = "optibar-profile";
+constexpr int kVersion = 1;
+}  // namespace
+
+TopologyProfile::TopologyProfile(Matrix<double> overhead, Matrix<double> latency)
+    : overhead_(std::move(overhead)), latency_(std::move(latency)) {
+  OPTIBAR_REQUIRE(overhead_.square(), "O matrix must be square");
+  OPTIBAR_REQUIRE(latency_.square(), "L matrix must be square");
+  OPTIBAR_REQUIRE(overhead_.rows() == latency_.rows(),
+                  "O and L must have the same rank count ("
+                      << overhead_.rows() << " vs " << latency_.rows() << ")");
+}
+
+bool TopologyProfile::is_symmetric(double relative_tolerance) const {
+  const double scale =
+      overhead_.empty() ? 0.0 : std::max(overhead_.max_element(), 0.0);
+  const double tol = relative_tolerance * (scale > 0.0 ? scale : 1.0);
+  for (std::size_t i = 0; i < ranks(); ++i) {
+    for (std::size_t j = i + 1; j < ranks(); ++j) {
+      if (std::abs(overhead_(i, j) - overhead_(j, i)) > tol ||
+          std::abs(latency_(i, j) - latency_(j, i)) > tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TopologyProfile TopologyProfile::symmetrized() const {
+  Matrix<double> o = overhead_;
+  Matrix<double> l = latency_;
+  for (std::size_t i = 0; i < ranks(); ++i) {
+    for (std::size_t j = i + 1; j < ranks(); ++j) {
+      const double mo = 0.5 * (o(i, j) + o(j, i));
+      const double ml = 0.5 * (l(i, j) + l(j, i));
+      o(i, j) = o(j, i) = mo;
+      l(i, j) = l(j, i) = ml;
+    }
+  }
+  return TopologyProfile(std::move(o), std::move(l));
+}
+
+double TopologyProfile::distance(std::size_t i, std::size_t j) const {
+  if (i == j) {
+    return 0.0;
+  }
+  return 0.5 * (overhead_(i, j) + overhead_(j, i));
+}
+
+double TopologyProfile::diameter() const {
+  double d = 0.0;
+  for (std::size_t i = 0; i < ranks(); ++i) {
+    for (std::size_t j = i + 1; j < ranks(); ++j) {
+      d = std::max(d, distance(i, j));
+    }
+  }
+  return d;
+}
+
+TopologyProfile TopologyProfile::restrict_to(
+    const std::vector<std::size_t>& subset) const {
+  OPTIBAR_REQUIRE(!subset.empty(), "restrict_to empty rank set");
+  return TopologyProfile(overhead_.submatrix(subset), latency_.submatrix(subset));
+}
+
+void TopologyProfile::save(std::ostream& os) const {
+  os << kMagic << " v" << kVersion << '\n';
+  os << "P " << ranks() << '\n';
+  os << std::setprecision(17) << std::scientific;
+  auto dump = [&](const char* tag, const Matrix<double>& m) {
+    os << tag << '\n';
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      for (std::size_t c = 0; c < m.cols(); ++c) {
+        os << m(r, c) << (c + 1 == m.cols() ? '\n' : ' ');
+      }
+    }
+  };
+  dump("O", overhead_);
+  dump("L", latency_);
+  OPTIBAR_REQUIRE(os.good(), "I/O error while writing profile");
+}
+
+TopologyProfile TopologyProfile::load(std::istream& is) {
+  std::string magic;
+  std::string version;
+  is >> magic >> version;
+  OPTIBAR_REQUIRE(magic == kMagic,
+                  "not an optibar profile (magic '" << magic << "')");
+  OPTIBAR_REQUIRE(version == "v1", "unsupported profile version " << version);
+  std::string tag;
+  std::size_t p = 0;
+  is >> tag >> p;
+  OPTIBAR_REQUIRE(tag == "P" && p > 0, "malformed profile header");
+  auto read_matrix = [&](const char* expected_tag) {
+    is >> tag;
+    OPTIBAR_REQUIRE(tag == expected_tag,
+                    "expected matrix tag " << expected_tag << ", got " << tag);
+    Matrix<double> m(p, p);
+    for (std::size_t r = 0; r < p; ++r) {
+      for (std::size_t c = 0; c < p; ++c) {
+        is >> m(r, c);
+      }
+    }
+    OPTIBAR_REQUIRE(is.good() || is.eof(), "I/O error while reading profile");
+    return m;
+  };
+  Matrix<double> o = read_matrix("O");
+  Matrix<double> l = read_matrix("L");
+  return TopologyProfile(std::move(o), std::move(l));
+}
+
+void TopologyProfile::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  OPTIBAR_REQUIRE(os.is_open(), "cannot open " << path << " for writing");
+  save(os);
+}
+
+TopologyProfile TopologyProfile::load_file(const std::string& path) {
+  std::ifstream is(path);
+  OPTIBAR_REQUIRE(is.is_open(), "cannot open " << path << " for reading");
+  return load(is);
+}
+
+}  // namespace optibar

@@ -1,0 +1,71 @@
+// The topological profile: the paper's O and L matrices.
+//
+// For a P-process setup the model of Section IV is two P x P matrices:
+//   O(i,j), i != j : startup cost of sending one message from i to j
+//   O(i,i)         : cost of initiating a transmission with zero messages
+//   L(i,j)         : marginal latency of adding one message from i to j
+//                    to a non-empty batch
+// Profiles are stored on disk to decouple the (expensive, machine-
+// occupying) profiling step from the (cheap, offline) tuning step —
+// Figure 1's central arrow. The text format is versioned and
+// round-trippable to full double precision.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace optibar {
+
+class TopologyProfile {
+ public:
+  TopologyProfile() = default;
+
+  /// Takes ownership of square, equally-sized O and L matrices.
+  TopologyProfile(Matrix<double> overhead, Matrix<double> latency);
+
+  std::size_t ranks() const { return overhead_.rows(); }
+
+  const Matrix<double>& overhead() const { return overhead_; }
+  const Matrix<double>& latency() const { return latency_; }
+
+  double o(std::size_t i, std::size_t j) const { return overhead_(i, j); }
+  double l(std::size_t i, std::size_t j) const { return latency_(i, j); }
+
+  /// Symmetric-link check (Section IV-A assumes O_ij == O_ji); tolerance
+  /// is relative to the matrix magnitude.
+  bool is_symmetric(double relative_tolerance = 1e-9) const;
+
+  /// Replace O and L by their symmetric parts (arithmetic mean of the
+  /// two directions). Used before clustering, which needs a metric.
+  TopologyProfile symmetrized() const;
+
+  /// Metric used for rank clustering (Section VII-A): the symmetrized
+  /// one-message cost O(i,j); zero iff i == j for a valid profile.
+  double distance(std::size_t i, std::size_t j) const;
+
+  /// Largest pairwise distance — the "diameter" whose fraction
+  /// parameterises SSS clustering.
+  double diameter() const;
+
+  /// Restrict the profile to a subset of ranks (submatrix extraction),
+  /// preserving order of `ranks`.
+  TopologyProfile restrict_to(const std::vector<std::size_t>& ranks) const;
+
+  void save(std::ostream& os) const;
+  static TopologyProfile load(std::istream& is);
+
+  void save_file(const std::string& path) const;
+  static TopologyProfile load_file(const std::string& path);
+
+  bool operator==(const TopologyProfile& other) const = default;
+
+ private:
+  Matrix<double> overhead_;
+  Matrix<double> latency_;
+};
+
+}  // namespace optibar

@@ -1,0 +1,77 @@
+#include "topology/replicate.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+TopologyProfile replicate_profile(const TopologyProfile& measured,
+                                  const RankGroups& groups) {
+  OPTIBAR_REQUIRE(groups.size() >= 2, "replication needs at least two groups");
+  const std::size_t group_size = groups.front().size();
+  OPTIBAR_REQUIRE(group_size > 0, "empty group");
+  std::size_t total = 0;
+  for (const auto& g : groups) {
+    OPTIBAR_REQUIRE(g.size() == group_size,
+                    "replication requires equal-size groups (" << g.size()
+                                                               << " vs "
+                                                               << group_size
+                                                               << ")");
+    for (std::size_t rank : g) {
+      OPTIBAR_REQUIRE(rank < measured.ranks(), "group rank out of range");
+    }
+    total += g.size();
+  }
+  OPTIBAR_REQUIRE(total == measured.ranks(),
+                  "groups must partition all " << measured.ranks() << " ranks");
+
+  const auto& o_src = measured.overhead();
+  const auto& l_src = measured.latency();
+  Matrix<double> o(total, total);
+  Matrix<double> l(total, total);
+
+  // Representative submatrices: intra from group 0, inter from the
+  // (group 0 -> group 1) block, both read positionally.
+  const auto& rep = groups[0];
+  const auto& rep2 = groups[1];
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    for (std::size_t gj = 0; gj < groups.size(); ++gj) {
+      for (std::size_t a = 0; a < group_size; ++a) {
+        for (std::size_t b = 0; b < group_size; ++b) {
+          const std::size_t dst_r = groups[gi][a];
+          const std::size_t dst_c = groups[gj][b];
+          const std::size_t src_r = rep[a];
+          const std::size_t src_c = gi == gj ? rep[b] : rep2[b];
+          o(dst_r, dst_c) = o_src(src_r, src_c);
+          l(dst_r, dst_c) = l_src(src_r, src_c);
+        }
+      }
+    }
+  }
+  return TopologyProfile(std::move(o), std::move(l));
+}
+
+double max_relative_deviation(const TopologyProfile& a,
+                              const TopologyProfile& b) {
+  OPTIBAR_REQUIRE(a.ranks() == b.ranks(),
+                  "profiles differ in rank count: " << a.ranks() << " vs "
+                                                    << b.ranks());
+  double worst = 0.0;
+  auto scan = [&](const Matrix<double>& ma, const Matrix<double>& mb) {
+    for (std::size_t i = 0; i < ma.rows(); ++i) {
+      for (std::size_t j = 0; j < ma.cols(); ++j) {
+        const double denom = std::max(std::abs(ma(i, j)), std::abs(mb(i, j)));
+        if (denom == 0.0) {
+          continue;
+        }
+        worst = std::max(worst, std::abs(ma(i, j) - mb(i, j)) / denom);
+      }
+    }
+  };
+  scan(a.overhead(), b.overhead());
+  scan(a.latency(), b.latency());
+  return worst;
+}
+
+}  // namespace optibar

@@ -1,0 +1,40 @@
+// Profile construction by submatrix replication (Section IV-B).
+//
+// The paper notes that the |P|^2 pairwise tests "can absorb a significant
+// amount of run time for large |P|", and that a-priori knowledge of the
+// interconnect lets one measure a single representative node pair and
+// replicate: "a great deal of duplicate effort could be rationalized by
+// constructing P x P matrices from replicating component submatrices".
+// The paper describes but deliberately does not use this; we implement it
+// (with a verification helper) so the saving is available and testable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+/// Partition of ranks into locality groups (typically one per node), in
+/// rank order within each group.
+using RankGroups = std::vector<std::vector<std::size_t>>;
+
+/// Build a full P x P profile from measurements of a representative
+/// intra-group submatrix and a representative inter-group pair:
+///   - within every group, the O/L submatrix of `groups[0]` is replicated
+///     positionally (groups must all have the same size);
+///   - between any two distinct groups, the representative value is the
+///     positional submatrix between groups[0] and groups[1].
+/// Requires at least two groups of equal size.
+TopologyProfile replicate_profile(const TopologyProfile& measured,
+                                  const RankGroups& groups);
+
+/// Largest relative element-wise deviation between two same-size
+/// profiles; the paper's observation "results did show similar
+/// submatrices corresponding to similar subsystems" is checked by this
+/// being small between a measured and a replicated profile.
+double max_relative_deviation(const TopologyProfile& a,
+                              const TopologyProfile& b);
+
+}  // namespace optibar

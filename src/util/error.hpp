@@ -1,0 +1,68 @@
+// Error handling primitives for the optibar library.
+//
+// All library-level precondition violations throw optibar::Error, which
+// carries a formatted message. OPTIBAR_REQUIRE is the standard guard used
+// at public API boundaries; internal invariants use OPTIBAR_ASSERT which
+// compiles to the same check (we never silently disable invariant checks:
+// barrier correctness bugs are far more expensive than a branch).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace optibar {
+
+/// Exception type thrown on any precondition or invariant violation
+/// inside the optibar library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(std::string_view file, int line,
+                               std::string_view cond,
+                               const std::string& message) {
+  std::ostringstream os;
+  os << "optibar error at " << file << ":" << line;
+  if (!cond.empty()) {
+    os << " [" << cond << "]";
+  }
+  if (!message.empty()) {
+    os << ": " << message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace optibar
+
+/// Check a caller-facing precondition; throws optibar::Error on failure.
+/// The message argument is streamed, so `OPTIBAR_REQUIRE(n > 0, "n=" << n)`
+/// works.
+#define OPTIBAR_REQUIRE(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream optibar_require_os_;                            \
+      optibar_require_os_ << msg; /* NOLINT */                           \
+      ::optibar::detail::raise(__FILE__, __LINE__, #cond,                \
+                               optibar_require_os_.str());               \
+    }                                                                    \
+  } while (false)
+
+/// Check an internal invariant. Same behaviour as OPTIBAR_REQUIRE; kept
+/// as a separate macro so call sites document intent.
+#define OPTIBAR_ASSERT(cond, msg) OPTIBAR_REQUIRE(cond, msg)
+
+/// Signal an unconditionally-reached error path.
+#define OPTIBAR_FAIL(msg)                                                \
+  do {                                                                   \
+    std::ostringstream optibar_fail_os_;                                 \
+    optibar_fail_os_ << msg; /* NOLINT */                                \
+    ::optibar::detail::raise(__FILE__, __LINE__, "",                     \
+                             optibar_fail_os_.str());                    \
+  } while (false)

@@ -1,0 +1,92 @@
+#include "util/fidelity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+namespace {
+
+/// Average ranks (1-based) with ties sharing the mean of their span.
+std::vector<double> average_ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    const double shared = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = shared;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  const auto n = static_cast<double>(a.size());
+  double ma = 0.0;
+  double mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double saa = 0.0;
+  double sbb = 0.0;
+  double sab = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    saa += da * da;
+    sbb += db * db;
+    sab += da * db;
+  }
+  OPTIBAR_REQUIRE(saa > 0.0 && sbb > 0.0,
+                  "correlation undefined for a constant series");
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace
+
+double spearman_correlation(std::span<const double> a,
+                            std::span<const double> b) {
+  OPTIBAR_REQUIRE(a.size() == b.size(), "series lengths differ");
+  OPTIBAR_REQUIRE(a.size() >= 2, "need at least two points");
+  return pearson(average_ranks(a), average_ranks(b));
+}
+
+FidelityStats fidelity(std::span<const double> predicted,
+                       std::span<const double> measured) {
+  OPTIBAR_REQUIRE(predicted.size() == measured.size(),
+                  "series lengths differ");
+  OPTIBAR_REQUIRE(predicted.size() >= 2, "need at least two points");
+  FidelityStats stats;
+  stats.points = predicted.size();
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    OPTIBAR_REQUIRE(measured[i] > 0.0, "measured values must be positive");
+    const double abs_error = std::abs(predicted[i] - measured[i]);
+    stats.mean_abs_error += abs_error;
+    stats.max_abs_error = std::max(stats.max_abs_error, abs_error);
+    stats.mean_rel_error += abs_error / measured[i];
+  }
+  stats.mean_abs_error /= static_cast<double>(stats.points);
+  stats.mean_rel_error /= static_cast<double>(stats.points);
+  stats.rank_correlation = spearman_correlation(predicted, measured);
+  return stats;
+}
+
+}  // namespace optibar

@@ -1,0 +1,38 @@
+// Prediction-fidelity metrics.
+//
+// Section VI argues the coupled model "clearly captures the interaction
+// between the algorithm and topology ... immediately visible from the
+// shape of the graphs, and their relative displacements, to an error of
+// approximately 200us". This header quantifies that argument: absolute
+// and relative error statistics, plus Spearman rank correlation between
+// a predicted and a measured series — the formal version of "the shapes
+// match and the ordering is right".
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace optibar {
+
+/// Spearman rank correlation (Pearson correlation of average ranks;
+/// handles ties). Returns a value in [-1, 1]; requires >= 2 points and
+/// at least one distinct value per series.
+double spearman_correlation(std::span<const double> a,
+                            std::span<const double> b);
+
+struct FidelityStats {
+  std::size_t points = 0;
+  double mean_abs_error = 0.0;
+  double max_abs_error = 0.0;
+  /// Mean of |predicted - measured| / measured.
+  double mean_rel_error = 0.0;
+  /// Spearman correlation between the two series.
+  double rank_correlation = 0.0;
+};
+
+/// Compare a predicted against a measured series (same length, measured
+/// entries must be positive).
+FidelityStats fidelity(std::span<const double> predicted,
+                       std::span<const double> measured);
+
+}  // namespace optibar

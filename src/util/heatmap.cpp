@@ -1,0 +1,51 @@
+#include "util/heatmap.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+std::string render_heatmap(const Matrix<double>& m,
+                           const HeatmapOptions& options) {
+  OPTIBAR_REQUIRE(!m.empty(), "render_heatmap of empty matrix");
+  OPTIBAR_REQUIRE(!options.ramp.empty(), "empty glyph ramp");
+  OPTIBAR_REQUIRE(options.cell_width >= 1, "cell_width must be >= 1");
+
+  const double lo = m.min_element();
+  const double hi = m.max_element();
+  const double span = hi - lo;
+  const auto levels = options.ramp.size();
+
+  auto glyph = [&](double v) {
+    std::size_t level = 0;
+    if (span > 0.0) {
+      const double t = (v - lo) / span;
+      level = std::min(levels - 1,
+                       static_cast<std::size_t>(t * static_cast<double>(levels)));
+    }
+    return options.ramp[level];
+  };
+
+  std::ostringstream os;
+  if (options.axes) {
+    os << "    ";
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << (c % 10) << std::string(static_cast<std::size_t>(options.cell_width - 1), ' ');
+    }
+    os << '\n';
+  }
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (options.axes) {
+      os << (r < 10 ? " " : "") << r << "  ";
+    }
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << std::string(static_cast<std::size_t>(options.cell_width), glyph(m(r, c)));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace optibar

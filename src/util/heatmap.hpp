@@ -1,0 +1,29 @@
+// ASCII heat map rendering of a cost matrix.
+//
+// Reproduces Figure 9 of the paper ("L Matrix Heat Map, 2x4 cores") in a
+// terminal: each cell is shaded by one of a ramp of glyphs proportional
+// to its value, so the two dark on-chip 4x4 blocks of a dual quad-core
+// node are directly visible in bench output.
+#pragma once
+
+#include <string>
+
+#include "util/matrix.hpp"
+
+namespace optibar {
+
+struct HeatmapOptions {
+  /// Glyph ramp from lowest to highest value.
+  std::string ramp = " .:-=+*#%@";
+  /// Print row/column indices around the map.
+  bool axes = true;
+  /// Width of each cell in characters (>= 1); 2 reads better.
+  int cell_width = 2;
+};
+
+/// Render the matrix as an ASCII heat map. Values are normalised to the
+/// matrix min/max; a constant matrix renders with the lowest glyph.
+std::string render_heatmap(const Matrix<double>& m,
+                           const HeatmapOptions& options = {});
+
+}  // namespace optibar

@@ -1,0 +1,9 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace optibar {
+
+double Rng::sqrt_neg2_log(double s) { return std::sqrt(-2.0 * std::log(s) / s); }
+
+}  // namespace optibar

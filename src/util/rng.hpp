@@ -1,0 +1,110 @@
+// Deterministic random number generation.
+//
+// Everything stochastic in optibar (measurement noise, clustering
+// tie-breaks, synthetic workloads) draws from this generator so that
+// benches and tests are reproducible bit-for-bit across runs. The
+// implementation is xoshiro256**, seeded through SplitMix64 as its
+// authors recommend; we avoid std::mt19937 because its distributions are
+// not specified identically across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+/// xoshiro256** PRNG with SplitMix64 seeding. Regular value type; copy
+/// to fork a stream deterministically.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 expansion of the single seed word into full state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    // 53 high-quality bits -> [0,1) with full double precision.
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    OPTIBAR_REQUIRE(lo <= hi, "uniform: lo > hi");
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). n must be positive. Uses rejection
+  /// sampling to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t n) {
+    OPTIBAR_REQUIRE(n > 0, "next_below(0)");
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) {
+        return r % n;
+      }
+    }
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double next_normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = sqrt_neg2_log(s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mu, double sigma) { return mu + sigma * next_normal(); }
+
+  /// Fork a statistically independent child stream, e.g. one per rank.
+  Rng fork(std::uint64_t stream_id) {
+    return Rng(next_u64() ^ (stream_id * 0xD1342543DE82EF95ULL + 0x2545F4914F6CDD1DULL));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  static double sqrt_neg2_log(double s);
+
+  std::uint64_t state_[4] = {};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace optibar

@@ -1,0 +1,101 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+LinearFit least_squares(std::span<const double> x, std::span<const double> y) {
+  OPTIBAR_REQUIRE(x.size() == y.size(),
+                  "least_squares: x and y differ in length (" << x.size()
+                                                              << " vs "
+                                                              << y.size()
+                                                              << ")");
+  OPTIBAR_REQUIRE(x.size() >= 2, "least_squares: need at least 2 points");
+
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  OPTIBAR_REQUIRE(sxx > 0.0, "least_squares: all x values are identical");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  // r^2 = explained variance / total variance; define as 1 for a
+  // degenerate all-equal-y sample (the line fits perfectly).
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+double mean(std::span<const double> values) {
+  OPTIBAR_REQUIRE(!values.empty(), "mean of empty sample");
+  double s = 0.0;
+  for (double v : values) {
+    s += v;
+  }
+  return s / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  const double m = mean(values);
+  double s = 0.0;
+  for (double v : values) {
+    s += (v - m) * (v - m);
+  }
+  return s / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+double percentile(std::span<const double> values, double p) {
+  OPTIBAR_REQUIRE(!values.empty(), "percentile of empty sample");
+  OPTIBAR_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]: " << p);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> values) {
+  OPTIBAR_REQUIRE(!values.empty(), "summarize of empty sample");
+  Summary s;
+  s.count = values.size();
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.p50 = percentile(values, 50.0);
+  s.p95 = percentile(values, 95.0);
+  s.max = *std::max_element(values.begin(), values.end());
+  return s;
+}
+
+}  // namespace optibar

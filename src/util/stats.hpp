@@ -1,0 +1,52 @@
+// Small statistics toolkit.
+//
+// The paper's topology model is estimated from repeated measurements:
+//   - O_ij is the *intercept* of a least-squares line fit over message
+//     sizes (the Hockney-model startup cost, Section IV-A),
+//   - L_ij is the *gradient* of a least-squares line fit over message
+//     counts,
+//   - O_ii and each sample point are arithmetic means of 25 repetitions.
+// This header provides exactly those primitives plus the usual summary
+// statistics used by the benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace optibar {
+
+/// Result of an ordinary least squares fit y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 means a perfect fit.
+  double r_squared = 0.0;
+};
+
+/// Ordinary least-squares fit by the method of, well, least squares.
+/// Requires at least two distinct x values.
+LinearFit least_squares(std::span<const double> x, std::span<const double> y);
+
+double mean(std::span<const double> values);
+double variance(std::span<const double> values);  // population variance
+double stddev(std::span<const double> values);
+double median(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> values, double p);
+
+/// Summary of a sample, as printed by the bench harnesses.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+}  // namespace optibar

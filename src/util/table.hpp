@@ -1,0 +1,41 @@
+// Plain-text table and CSV emission for the bench harnesses.
+//
+// Every figure-reproduction bench prints (a) a human-readable aligned
+// table and (b) machine-readable CSV, so EXPERIMENTS.md numbers can be
+// traced to a bench run verbatim.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace optibar {
+
+/// Column-aligned table accumulated row by row, printed on demand.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 6);
+  static std::string num(std::size_t v);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Print with padded, space-separated columns.
+  void print(std::ostream& os) const;
+
+  /// Print as RFC-4180-ish CSV (no quoting needed for our content, but
+  /// cells containing commas are quoted anyway).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace optibar

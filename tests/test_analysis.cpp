@@ -1,0 +1,177 @@
+// Tests for schedule analysis: link-tier usage, stage structure, and
+// critical-path decomposition — the quantitative backing for Section
+// VI-A's "reduced use of the slower links" observations.
+#include "barrier/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "barrier/algorithms.hpp"
+#include "core/tuner.hpp"
+#include "topology/generate.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TEST(LinkUsage, CountsSignalsByTier) {
+  const MachineSpec m = quad_cluster(2);
+  const Mapping mapping = block_mapping(m, 16);
+  // Linear barrier over 16 ranks: each off-root rank signals rank 0 and
+  // back. Rank 0's peers: 1 shared-cache (rank 1), 2 same-chip (2,3),
+  // 4 cross-socket (4-7), 8 inter-node (8-15); twice for the two phases.
+  const LinkUsage usage = link_usage(linear_barrier(16), m, mapping);
+  EXPECT_EQ(usage.shared_cache, 2u);
+  EXPECT_EQ(usage.same_chip, 4u);
+  EXPECT_EQ(usage.cross_socket, 8u);
+  EXPECT_EQ(usage.inter_node, 16u);
+  EXPECT_EQ(usage.total(), 30u);
+}
+
+TEST(LinkUsage, TreeUsesFewerSlowLinksThanDissemination) {
+  // The Section VI-A claim, quantified: in the 4-node region the tree
+  // barrier crosses nodes less than dissemination does.
+  const MachineSpec m = quad_cluster();
+  for (std::size_t p : {26u, 28u, 30u}) {
+    const Mapping mapping = round_robin_mapping(m, p);
+    const LinkUsage tree = link_usage(tree_barrier(p), m, mapping);
+    const LinkUsage diss = link_usage(dissemination_barrier(p), m, mapping);
+    EXPECT_LT(tree.inter_node, diss.inter_node) << "P=" << p;
+  }
+}
+
+TEST(LinkUsage, HybridUsesFewerSlowLinksThanTree) {
+  const MachineSpec m = quad_cluster();
+  const std::size_t p = 40;
+  const Mapping mapping = round_robin_mapping(m, p);
+  const TopologyProfile profile = generate_profile(m, mapping);
+  const TuneResult tuned = tune_barrier(profile);
+  const LinkUsage hybrid = link_usage(tuned.schedule(), m, mapping);
+  const LinkUsage tree = link_usage(tree_barrier(p), m, mapping);
+  EXPECT_LT(hybrid.inter_node, tree.inter_node);
+}
+
+TEST(LinkUsage, MappingMismatchThrows) {
+  const MachineSpec m = quad_cluster();
+  EXPECT_THROW(link_usage(tree_barrier(8), m, block_mapping(m, 4)), Error);
+}
+
+TEST(LinkUsage, AtRejectsSelf) {
+  LinkUsage usage;
+  EXPECT_THROW(usage.at(LinkLevel::kSelf), Error);
+  usage.at(LinkLevel::kInterNode) = 3;
+  EXPECT_EQ(usage.inter_node, 3u);
+}
+
+TEST(StageProfiles, StructureOfLinearBarrier) {
+  const auto stages = stage_profiles(linear_barrier(8));
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].signals, 7u);
+  EXPECT_EQ(stages[0].max_fan_in, 7u);   // root gathers everyone
+  EXPECT_EQ(stages[0].max_fan_out, 1u);
+  EXPECT_EQ(stages[1].max_fan_out, 7u);  // root broadcasts
+  EXPECT_EQ(stages[0].active_ranks, 8u);
+}
+
+TEST(StageProfiles, DisseminationIsFullyActive) {
+  const auto stages = stage_profiles(dissemination_barrier(16));
+  for (const StageProfile& stage : stages) {
+    EXPECT_EQ(stage.signals, 16u);
+    EXPECT_EQ(stage.max_fan_in, 1u);
+    EXPECT_EQ(stage.max_fan_out, 1u);
+    EXPECT_EQ(stage.active_ranks, 16u);
+  }
+}
+
+TEST(StageProfiles, TierAwareVariantCountsInterNode) {
+  const MachineSpec m = quad_cluster();
+  const std::size_t p = 16;  // 2 nodes, block mapping
+  const Mapping mapping = block_mapping(m, p);
+  const auto stages = stage_profiles(tree_barrier(p), m, mapping);
+  // Arrival stages 0..2 are node-local; stage 3 (8 -> 0) crosses nodes.
+  EXPECT_EQ(stages[0].inter_node_signals, 0u);
+  EXPECT_EQ(stages[1].inter_node_signals, 0u);
+  EXPECT_EQ(stages[2].inter_node_signals, 0u);
+  EXPECT_EQ(stages[3].inter_node_signals, 1u);
+}
+
+TEST(Breakdown, TiersSumToCriticalPath) {
+  const MachineSpec m = quad_cluster();
+  const std::size_t p = 32;
+  const Mapping mapping = round_robin_mapping(m, p);
+  const TopologyProfile profile = generate_profile(m, mapping);
+  for (const Schedule& s :
+       {linear_barrier(p), dissemination_barrier(p), tree_barrier(p)}) {
+    const CriticalPathBreakdown breakdown =
+        critical_path_breakdown(s, profile, m, mapping);
+    EXPECT_NEAR(breakdown.total, predicted_time(s, profile), 1e-12);
+    EXPECT_GE(breakdown.inter_node, 0.0);
+  }
+}
+
+TEST(Breakdown, InterNodeDominatesAtClusterScale) {
+  const MachineSpec m = quad_cluster();
+  const std::size_t p = 48;
+  const Mapping mapping = round_robin_mapping(m, p);
+  const TopologyProfile profile = generate_profile(m, mapping);
+  const CriticalPathBreakdown breakdown =
+      critical_path_breakdown(tree_barrier(p), profile, m, mapping);
+  EXPECT_GT(breakdown.inter_node, 0.9 * breakdown.total);
+}
+
+TEST(Breakdown, SingleNodeHasNoInterNodeTime) {
+  const MachineSpec m = quad_cluster(1);
+  const Mapping mapping = block_mapping(m, 8);
+  const TopologyProfile profile = generate_profile(m, mapping);
+  const CriticalPathBreakdown breakdown =
+      critical_path_breakdown(tree_barrier(8), profile, m, mapping);
+  EXPECT_DOUBLE_EQ(breakdown.inter_node, 0.0);
+  EXPECT_GT(breakdown.total, 0.0);
+}
+
+TEST(Breakdown, RespectsAwaitedStages) {
+  const MachineSpec m = quad_cluster();
+  const std::size_t p = 24;
+  const Mapping mapping = round_robin_mapping(m, p);
+  const TopologyProfile profile = generate_profile(m, mapping);
+  const TuneResult tuned = tune_barrier(profile);
+  PredictOptions opts;
+  opts.awaited_stages = tuned.barrier().awaited_stages;
+  const CriticalPathBreakdown breakdown = critical_path_breakdown(
+      tuned.schedule(), tuned.profile(), m, mapping, opts);
+  EXPECT_NEAR(breakdown.total, tuned.predicted_cost(), 1e-12);
+}
+
+TEST(LinkUsage, IrregularMachineVariant) {
+  LatencyTiers tiers;
+  tiers.self_overhead = 1e-6;
+  tiers.shared_cache = {2e-6, 1e-7};
+  tiers.same_chip = {2.5e-6, 1.5e-7};
+  tiers.cross_socket = {4e-6, 6e-7};
+  tiers.inter_node = {2.5e-5, 1.4e-5};
+  std::vector<NodeShape> nodes(2);
+  nodes[0].sockets = {SocketShape{4, 4}};
+  nodes[1].sockets = {SocketShape{4, 4}};
+  const CustomMachine machine("two-nodes", std::move(nodes), tiers);
+  // Linear barrier over all 8 cores: rank 0's peers 1-3 local,
+  // 4-7 remote, both directions.
+  const LinkUsage usage = link_usage(linear_barrier(8), machine);
+  EXPECT_EQ(usage.inter_node, 8u);
+  EXPECT_EQ(usage.total(), 14u);
+  const std::string text = describe_usage(linear_barrier(8), machine);
+  EXPECT_NE(text.find("inter-node 8"), std::string::npos);
+  EXPECT_NE(text.find("stage 0"), std::string::npos);
+  // More ranks than cores is rejected.
+  EXPECT_THROW(link_usage(linear_barrier(9), machine), Error);
+}
+
+TEST(DescribeUsage, MentionsTiersAndStages) {
+  const MachineSpec m = quad_cluster(2);
+  const Mapping mapping = block_mapping(m, 16);
+  const std::string text = describe_usage(tree_barrier(16), m, mapping);
+  EXPECT_NE(text.find("inter-node"), std::string::npos);
+  EXPECT_NE(text.find("stage 0"), std::string::npos);
+  EXPECT_NE(text.find("fan-out"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optibar

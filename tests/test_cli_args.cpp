@@ -1,0 +1,77 @@
+// Tests for the CLI argument parser.
+#include "cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace optibar::cli {
+namespace {
+
+TEST(CliArgs, ParsesKeyValuePairs) {
+  const Args args = Args::parse({"--machine", "quad", "--ranks", "40"});
+  EXPECT_EQ(args.require("machine"), "quad");
+  EXPECT_EQ(args.require_size("ranks"), 40u);
+}
+
+TEST(CliArgs, ParsesEqualsSyntax) {
+  const Args args = Args::parse({"--ranks=64", "--noise=0.05"});
+  EXPECT_EQ(args.require_size("ranks"), 64u);
+  EXPECT_DOUBLE_EQ(args.double_or("noise", 0.0), 0.05);
+}
+
+TEST(CliArgs, ParsesBareFlags) {
+  const Args args = Args::parse({"--estimate", "--ranks", "8"});
+  EXPECT_TRUE(args.has("estimate"));
+  EXPECT_FALSE(args.has("median"));
+  // A bare flag has no value to require.
+  EXPECT_THROW(args.require("estimate"), Error);
+}
+
+TEST(CliArgs, PositionalsAndDoubleDash) {
+  const Args args = Args::parse({"a", "--k", "v", "--", "--not-an-option"});
+  EXPECT_EQ(args.positionals(),
+            (std::vector<std::string>{"a", "--not-an-option"}));
+  EXPECT_EQ(args.require("k"), "v");
+}
+
+TEST(CliArgs, DefaultsApplyWhenAbsent) {
+  const Args args = Args::parse({});
+  EXPECT_EQ(args.get_or("mapping", "round-robin"), "round-robin");
+  EXPECT_EQ(args.size_or("reps", 25), 25u);
+  EXPECT_DOUBLE_EQ(args.double_or("jitter", 0.03), 0.03);
+}
+
+TEST(CliArgs, RejectsDuplicates) {
+  EXPECT_THROW(Args::parse({"--k", "1", "--k", "2"}), Error);
+}
+
+TEST(CliArgs, RejectsMalformedNumbers) {
+  const Args args = Args::parse({"--ranks", "abc", "--noise", "x1"});
+  EXPECT_THROW(args.require_size("ranks"), Error);
+  EXPECT_THROW(args.double_or("noise", 0.0), Error);
+}
+
+TEST(CliArgs, RejectsEmptyOptionNames) {
+  EXPECT_THROW(Args::parse({"--=v"}), Error);
+}
+
+TEST(CliArgs, RequireReportsMissing) {
+  const Args args = Args::parse({});
+  EXPECT_THROW(args.require("profile"), Error);
+}
+
+TEST(CliArgs, CheckAllowedCatchesTypos) {
+  const Args args = Args::parse({"--ranks", "4", "--machnie", "quad"});
+  EXPECT_THROW(args.check_allowed({"ranks", "machine"}), Error);
+  EXPECT_NO_THROW(args.check_allowed({"ranks", "machnie"}));
+}
+
+TEST(CliArgs, NegativeNumbersAsValues) {
+  // "-1" does not start with "--", so it parses as a value.
+  const Args args = Args::parse({"--offset", "-1.5"});
+  EXPECT_DOUBLE_EQ(args.double_or("offset", 0.0), -1.5);
+}
+
+}  // namespace
+}  // namespace optibar::cli

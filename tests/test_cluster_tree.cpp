@@ -1,0 +1,174 @@
+// Tests for the hierarchical cluster tree (Section VII-A): node-level
+// granularity on the paper's machines, termination, and structure under
+// both mappings.
+#include "core/cluster_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+void collect_leaf_ranks(const ClusterNode& node, std::set<std::size_t>& out) {
+  if (node.is_leaf()) {
+    for (std::size_t r : node.ranks) {
+      EXPECT_TRUE(out.insert(r).second) << "rank " << r << " in two leaves";
+    }
+    return;
+  }
+  for (const ClusterNode& child : node.children) {
+    collect_leaf_ranks(child, out);
+  }
+}
+
+TEST(ClusterTree, SingleRankIsALeaf) {
+  const MachineSpec m = quad_cluster(1);
+  const TopologyProfile p = generate_profile(m, 1);
+  const ClusterNode tree = build_cluster_tree(p);
+  EXPECT_TRUE(tree.is_leaf());
+  EXPECT_EQ(tree.ranks, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(tree.height(), 0u);
+  EXPECT_EQ(tree.tree_size(), 1u);
+}
+
+TEST(ClusterTree, SingleNodeMachineIsFlat) {
+  // Within one node all SSS clusters are singletons at alpha=0.35, so
+  // the tree must not recurse (the two-level hierarchy of the paper).
+  const MachineSpec m = quad_cluster(1);
+  const TopologyProfile p = generate_profile(m, 8);
+  const ClusterNode tree = build_cluster_tree(p);
+  EXPECT_TRUE(tree.is_leaf());
+  EXPECT_EQ(tree.ranks.size(), 8u);
+}
+
+TEST(ClusterTree, MultiNodeQuadClusterHasNodeChildren) {
+  const MachineSpec m = quad_cluster();
+  const std::size_t p = 32;
+  const TopologyProfile profile =
+      generate_profile(m, block_mapping(m, p), GenerateOptions{});
+  const ClusterNode tree = build_cluster_tree(profile);
+  ASSERT_EQ(tree.children.size(), 4u);
+  EXPECT_EQ(tree.height(), 1u);
+  for (const ClusterNode& child : tree.children) {
+    EXPECT_TRUE(child.is_leaf());
+    EXPECT_EQ(child.ranks.size(), 8u);
+    // All ranks of a child share a node under block mapping.
+    const std::size_t node = child.ranks.front() / 8;
+    for (std::size_t r : child.ranks) {
+      EXPECT_EQ(r / 8, node);
+    }
+  }
+}
+
+TEST(ClusterTree, LeavesPartitionAllRanks) {
+  const MachineSpec m = hex_cluster();
+  for (std::size_t p : {2u, 13u, 24u, 60u, 120u}) {
+    const TopologyProfile profile =
+        generate_profile(m, round_robin_mapping(m, p), GenerateOptions{});
+    const ClusterNode tree = build_cluster_tree(profile);
+    std::set<std::size_t> leaves;
+    collect_leaf_ranks(tree, leaves);
+    EXPECT_EQ(leaves.size(), p) << "P=" << p;
+  }
+}
+
+TEST(ClusterTree, RepresentativeIsFirstRank) {
+  const MachineSpec m = quad_cluster();
+  const TopologyProfile profile =
+      generate_profile(m, block_mapping(m, 24), GenerateOptions{});
+  const ClusterNode tree = build_cluster_tree(profile);
+  EXPECT_EQ(tree.representative(), 0u);
+  for (const ClusterNode& child : tree.children) {
+    EXPECT_EQ(child.representative(), child.ranks.front());
+  }
+}
+
+TEST(ClusterTree, RequiresSymmetricProfile) {
+  Matrix<double> o(2, 2, 1e-6);
+  o(0, 1) = 9e-6;
+  o(1, 0) = 1e-6;
+  const TopologyProfile asym(std::move(o), Matrix<double>(2, 2, 0.0));
+  EXPECT_THROW(build_cluster_tree(asym), Error);
+  EXPECT_NO_THROW(build_cluster_tree(asym.symmetrized()));
+}
+
+TEST(ClusterTree, JitterDoesNotBreakNodeGranularity) {
+  // 20% per-pair heterogeneity leaves the node structure intact because
+  // the inter/intra gap is an order of magnitude.
+  const MachineSpec m = quad_cluster();
+  const TopologyProfile profile = generate_profile(
+      m, block_mapping(m, 40), GenerateOptions{0.2, 31});
+  const ClusterNode tree = build_cluster_tree(profile);
+  EXPECT_EQ(tree.children.size(), 5u);
+}
+
+/// An 8-rank metric with nested gaps (pairs of 1, groups of 10, global
+/// 100) so that alpha = 0.35 peels one level per recursion — the "works
+/// with any number of levels" claim.
+TopologyProfile nested_metric_profile() {
+  const std::size_t p = 8;
+  Matrix<double> o(p, p, 0.0);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      if (i == j) {
+        o(i, j) = 0.1;
+      } else if (i / 2 == j / 2) {
+        o(i, j) = 1.0;
+      } else if (i / 4 == j / 4) {
+        o(i, j) = 10.0;
+      } else {
+        o(i, j) = 100.0;
+      }
+    }
+  }
+  return TopologyProfile(std::move(o), Matrix<double>(p, p, 0.0));
+}
+
+TEST(ClusterTree, DeeperHierarchyWithNestedGaps) {
+  const ClusterNode tree = build_cluster_tree(nested_metric_profile());
+  // Level 1: two groups of four; level 2: pairs; pairs are leaves.
+  ASSERT_EQ(tree.children.size(), 2u);
+  EXPECT_EQ(tree.height(), 2u);
+  for (const ClusterNode& group : tree.children) {
+    ASSERT_EQ(group.children.size(), 2u) << "group did not split into pairs";
+    for (const ClusterNode& pair : group.children) {
+      EXPECT_TRUE(pair.is_leaf());
+      EXPECT_EQ(pair.ranks.size(), 2u);
+    }
+  }
+}
+
+TEST(ClusterTree, MaxDepthStopsRecursion) {
+  ClusterTreeOptions opts;
+  opts.max_depth = 1;
+  const ClusterNode tree = build_cluster_tree(nested_metric_profile(), opts);
+  EXPECT_EQ(tree.height(), 1u);  // groups found, pairs suppressed
+}
+
+TEST(ClusterTree, DescribeTreeListsAllNodes) {
+  const MachineSpec m = quad_cluster();
+  const TopologyProfile profile =
+      generate_profile(m, block_mapping(m, 16), GenerateOptions{});
+  const ClusterNode tree = build_cluster_tree(profile);
+  const std::string text = describe_tree(tree);
+  EXPECT_NE(text.find("cluster"), std::string::npos);
+  EXPECT_NE(text.find("leaf"), std::string::npos);
+  EXPECT_NE(text.find("rep=0"), std::string::npos);
+}
+
+TEST(ClusterTree, TreeSizeCountsAllNodes) {
+  const MachineSpec m = quad_cluster();
+  const TopologyProfile profile =
+      generate_profile(m, block_mapping(m, 32), GenerateOptions{});
+  const ClusterNode tree = build_cluster_tree(profile);
+  EXPECT_EQ(tree.tree_size(), 1u + tree.children.size());
+}
+
+}  // namespace
+}  // namespace optibar

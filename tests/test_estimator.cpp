@@ -1,0 +1,213 @@
+// Tests for the Section IV-A profile estimator: against the synthetic
+// engine the ground truth is known, so estimation error is quantifiable
+// exactly — the check the paper's hardware-bound methodology could not
+// perform.
+#include "profile/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "profile/synthetic_engine.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "topology/replicate.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+SyntheticEngineOptions quiet() {
+  SyntheticEngineOptions opts;
+  opts.noise = 0.0;
+  return opts;
+}
+
+TEST(Estimator, NoiseFreeOverheadIsExact) {
+  const MachineSpec m = quad_cluster(2);
+  const Mapping map = block_mapping(m, 16);
+  SyntheticEngine engine(m, map, quiet());
+  EstimatorOptions opts;
+  opts.repetitions = 1;
+  // Intra-node pair and inter-node pair.
+  EXPECT_NEAR(estimate_overhead(engine, 0, 1, opts),
+              engine.ground_truth().o(0, 1),
+              1e-3 * engine.ground_truth().o(0, 1));
+  EXPECT_NEAR(estimate_overhead(engine, 0, 8, opts),
+              engine.ground_truth().o(0, 8),
+              1e-3 * engine.ground_truth().o(0, 8));
+}
+
+TEST(Estimator, NoiseFreeLatencyIsExact) {
+  const MachineSpec m = quad_cluster(2);
+  const Mapping map = block_mapping(m, 16);
+  SyntheticEngine engine(m, map, quiet());
+  EstimatorOptions opts;
+  opts.repetitions = 1;
+  EXPECT_NEAR(estimate_latency(engine, 0, 8, opts),
+              engine.ground_truth().l(0, 8),
+              1e-9 * engine.ground_truth().l(0, 8) + 1e-15);
+}
+
+TEST(Estimator, NoiseFreeSelfOverheadIsExact) {
+  const MachineSpec m = quad_cluster(1);
+  const Mapping map = block_mapping(m, 4);
+  SyntheticEngine engine(m, map, quiet());
+  EstimatorOptions opts;
+  opts.repetitions = 1;
+  EXPECT_DOUBLE_EQ(estimate_self_overhead(engine, 2, opts),
+                   engine.ground_truth().o(2, 2));
+}
+
+TEST(Estimator, FullProfileRecoversGroundTruthUnderNoise) {
+  // Paper-default sampling (25 reps) with 2% multiplicative noise must
+  // recover every O and L entry within a tight relative band.
+  const MachineSpec m = quad_cluster(2);
+  const Mapping map = block_mapping(m, 12);
+  SyntheticEngineOptions eopts;
+  eopts.noise = 0.02;
+  SyntheticEngine engine(m, map, eopts);
+  const TopologyProfile est = estimate_profile(engine);
+  const TopologyProfile& truth = engine.ground_truth();
+  for (std::size_t i = 0; i < est.ranks(); ++i) {
+    for (std::size_t j = 0; j < est.ranks(); ++j) {
+      if (i == j) {
+        EXPECT_NEAR(est.o(i, i), truth.o(i, i), 0.05 * truth.o(i, i));
+        continue;
+      }
+      EXPECT_NEAR(est.o(i, j), truth.o(i, j), 0.20 * truth.o(i, j))
+          << "O(" << i << "," << j << ")";
+      EXPECT_NEAR(est.l(i, j), truth.l(i, j), 0.20 * truth.l(i, j))
+          << "L(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Estimator, EstimatedProfileIsSymmetricByConstruction) {
+  const MachineSpec m = hex_cluster(1);
+  const Mapping map = block_mapping(m, 6);
+  SyntheticEngineOptions eopts;
+  eopts.noise = 0.05;
+  SyntheticEngine engine(m, map, eopts);
+  EXPECT_TRUE(estimate_profile(engine).is_symmetric());
+}
+
+TEST(Estimator, TierStructureSurvivesEstimation) {
+  // The estimate must preserve the inter-node >> intra-node gap that
+  // drives all downstream decisions.
+  const MachineSpec m = quad_cluster(2);
+  const Mapping map = block_mapping(m, 16);
+  SyntheticEngineOptions eopts;
+  eopts.noise = 0.05;
+  SyntheticEngine engine(m, map, eopts);
+  const TopologyProfile est = estimate_profile(engine);
+  EXPECT_GT(est.o(0, 8), 5.0 * est.o(0, 1));
+}
+
+TEST(Estimator, InterferenceSpikesBiasButDoNotBreakStructure) {
+  // "runs ... were subject to interference from unrelated load":
+  // occasional 5x spikes must not invert the tier ordering.
+  const MachineSpec m = quad_cluster(2);
+  const Mapping map = block_mapping(m, 10);
+  SyntheticEngineOptions eopts;
+  eopts.noise = 0.05;
+  eopts.interference_probability = 0.02;
+  SyntheticEngine engine(m, map, eopts);
+  const TopologyProfile est = estimate_profile(engine);
+  EXPECT_GT(est.o(0, 8), est.o(0, 1));
+}
+
+TEST(Estimator, ReplicationFromEstimatesApproximatesFullEstimate) {
+  // Section IV-B: estimate only a representative node pair, replicate,
+  // and compare against the full estimated profile.
+  const MachineSpec m = quad_cluster(3);
+  const Mapping map = block_mapping(m, 24);
+  SyntheticEngineOptions eopts;
+  eopts.noise = 0.01;
+  SyntheticEngine engine(m, map, eopts);
+  const TopologyProfile full = estimate_profile(engine);
+  RankGroups groups{{0, 1, 2, 3, 4, 5, 6, 7},
+                    {8, 9, 10, 11, 12, 13, 14, 15},
+                    {16, 17, 18, 19, 20, 21, 22, 23}};
+  const TopologyProfile replicated = replicate_profile(full, groups);
+  EXPECT_LT(max_relative_deviation(full, replicated), 0.15);
+}
+
+TEST(Estimator, MedianAggregatorResistsInterferenceSpikes) {
+  // Under rare 5x background-load spikes the paper's arithmetic-mean
+  // protocol is badly biased; the median recovers the truth.
+  const MachineSpec m = quad_cluster(2);
+  const Mapping map = block_mapping(m, 10);
+  SyntheticEngineOptions eopts;
+  eopts.noise = 0.02;
+  eopts.interference_probability = 0.08;
+  eopts.interference_scale = 5.0;
+
+  SyntheticEngine mean_engine(m, map, eopts);
+  SyntheticEngine median_engine(m, map, eopts);
+  EstimatorOptions mean_opts;
+  EstimatorOptions median_opts;
+  median_opts.aggregator = SampleAggregator::kMedian;
+
+  const double truth = mean_engine.ground_truth().o(0, 8);
+  const double with_mean =
+      estimate_overhead(mean_engine, 0, 8, mean_opts);
+  const double with_median =
+      estimate_overhead(median_engine, 0, 8, median_opts);
+  EXPECT_LT(std::abs(with_median - truth), std::abs(with_mean - truth));
+  EXPECT_NEAR(with_median, truth, 0.15 * truth);
+}
+
+TEST(Estimator, MedianMatchesMeanWithoutNoise) {
+  const MachineSpec m = quad_cluster(1);
+  SyntheticEngine engine(m, block_mapping(m, 4), quiet());
+  EstimatorOptions median_opts;
+  median_opts.aggregator = SampleAggregator::kMedian;
+  median_opts.repetitions = 3;
+  EstimatorOptions mean_opts;
+  mean_opts.repetitions = 3;
+  EXPECT_NEAR(estimate_overhead(engine, 0, 2, median_opts),
+              estimate_overhead(engine, 0, 2, mean_opts), 1e-12);
+}
+
+TEST(Estimator, RejectsDegenerateOptions) {
+  const MachineSpec m = quad_cluster(1);
+  SyntheticEngine engine(m, block_mapping(m, 2), quiet());
+  EstimatorOptions no_reps;
+  no_reps.repetitions = 0;
+  EXPECT_THROW(estimate_overhead(engine, 0, 1, no_reps), Error);
+  EstimatorOptions one_payload;
+  one_payload.max_payload_exponent = 0;
+  EXPECT_THROW(estimate_overhead(engine, 0, 1, one_payload), Error);
+  EstimatorOptions one_batch;
+  one_batch.max_batch = 1;
+  EXPECT_THROW(estimate_latency(engine, 0, 1, one_batch), Error);
+}
+
+TEST(SyntheticEngine, ValidatesInputs) {
+  const MachineSpec m = quad_cluster(1);
+  SyntheticEngine engine(m, block_mapping(m, 4), quiet());
+  EXPECT_THROW(engine.roundtrip_seconds(1, 1, 8), Error);
+  EXPECT_THROW(engine.batch_seconds(1, 1, 4), Error);
+  EXPECT_THROW(engine.batch_seconds(0, 1, 0), Error);
+}
+
+TEST(SyntheticEngine, RoundtripGrowsWithPayload) {
+  const MachineSpec m = quad_cluster(2);
+  SyntheticEngine engine(m, block_mapping(m, 16), quiet());
+  EXPECT_LT(engine.roundtrip_seconds(0, 8, 1),
+            engine.roundtrip_seconds(0, 8, 1 << 20));
+}
+
+TEST(SyntheticEngine, BatchGrowsLinearly) {
+  const MachineSpec m = quad_cluster(2);
+  SyntheticEngine engine(m, block_mapping(m, 16), quiet());
+  const double one = engine.batch_seconds(0, 8, 1);
+  const double two = engine.batch_seconds(0, 8, 2);
+  const double three = engine.batch_seconds(0, 8, 3);
+  EXPECT_NEAR(three - two, two - one, 1e-12);
+}
+
+}  // namespace
+}  // namespace optibar

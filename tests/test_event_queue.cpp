@@ -1,0 +1,93 @@
+// Tests for the deterministic discrete-event queue.
+#include "netsim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(10); });
+  q.schedule(1.0, [&] { order.push_back(20); });
+  q.schedule(1.0, [&] { order.push_back(30); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule(5.5, [&] { seen = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(q.now(), 5.5);
+}
+
+TEST(EventQueue, EventsMayScheduleFurtherEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule(1.0, [&] {
+    times.push_back(q.now());
+    q.schedule(2.0, [&] { times.push_back(q.now()); });
+  });
+  q.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule(2.0, [&] {
+    EXPECT_THROW(q.schedule(1.0, [] {}), Error);
+  });
+  q.run();
+}
+
+TEST(EventQueue, SchedulingAtNowIsAllowed) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { q.schedule(1.0, [&] { ++fired; }); });
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, StepOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.step(), Error);
+}
+
+TEST(EventQueue, PendingCountsScheduledEvents) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.step();
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunawayCascadeIsCaught) {
+  EventQueue q;
+  // An event that perpetually reschedules itself must trip the guard.
+  std::function<void()> loop = [&] { q.schedule(q.now() + 1.0, loop); };
+  q.schedule(0.0, loop);
+  EXPECT_THROW(q.run(/*max_events=*/1000), Error);
+}
+
+}  // namespace
+}  // namespace optibar

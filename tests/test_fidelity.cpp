@@ -1,0 +1,134 @@
+// Tests for the prediction-fidelity metrics, including the model-level
+// claim they exist to quantify: high rank correlation between predicted
+// and simulated series on the paper's machines.
+#include "util/fidelity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "barrier/algorithms.hpp"
+#include "barrier/cost_model.hpp"
+#include "netsim/engine.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TEST(Spearman, PerfectMonotoneIsOne) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{10, 200, 300, 4000, 50000};
+  EXPECT_NEAR(spearman_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, ReversedIsMinusOne) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{9, 7, 5, 3};
+  EXPECT_NEAR(spearman_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> a{1, 2, 2, 3};
+  const std::vector<double> b{1, 2, 2, 3};
+  EXPECT_NEAR(spearman_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, UncorrelatedIsNearZero) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{2, 1, 4, 3};
+  const double rho = spearman_correlation(a, b);
+  EXPECT_GT(rho, -0.5);
+  EXPECT_LT(rho, 0.7);
+}
+
+TEST(Spearman, RejectsDegenerateInputs) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(spearman_correlation(one, one), Error);
+  const std::vector<double> constant{2.0, 2.0, 2.0};
+  const std::vector<double> varying{1.0, 2.0, 3.0};
+  EXPECT_THROW(spearman_correlation(constant, varying), Error);
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1, 2, 3};
+  EXPECT_THROW(spearman_correlation(a, b), Error);
+}
+
+TEST(Fidelity, ExactPredictionHasZeroError) {
+  const std::vector<double> v{1e-4, 2e-4, 3e-4};
+  const FidelityStats stats = fidelity(v, v);
+  EXPECT_DOUBLE_EQ(stats.mean_abs_error, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_abs_error, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_rel_error, 0.0);
+  EXPECT_NEAR(stats.rank_correlation, 1.0, 1e-12);
+  EXPECT_EQ(stats.points, 3u);
+}
+
+TEST(Fidelity, ConstantOffsetShowsInAbsNotRankError) {
+  // The paper's observation: a ~200us offset "represents a decreasing
+  // percentile" and does not disturb the ordering.
+  const std::vector<double> measured{1e-4, 3e-4, 6e-4, 9e-4};
+  std::vector<double> predicted;
+  for (double v : measured) {
+    predicted.push_back(v + 2e-4);
+  }
+  const FidelityStats stats = fidelity(predicted, measured);
+  EXPECT_NEAR(stats.mean_abs_error, 2e-4, 1e-12);
+  EXPECT_NEAR(stats.rank_correlation, 1.0, 1e-12);
+}
+
+TEST(Fidelity, RejectsNonPositiveMeasurements) {
+  const std::vector<double> predicted{1.0, 2.0};
+  const std::vector<double> measured{1.0, 0.0};
+  EXPECT_THROW(fidelity(predicted, measured), Error);
+}
+
+TEST(Fidelity, ModelTracksSimulatorAcrossTheQuadSweep) {
+  // The quantitative form of Figure 5's conclusion: across P = 2..64 the
+  // predicted series of each algorithm orders like the simulated one
+  // (rank correlation > 0.95) with modest relative error.
+  const MachineSpec m = quad_cluster();
+  struct Algo {
+    const char* name;
+    Schedule (*make)(std::size_t);
+  };
+  for (const Algo& algo :
+       {Algo{"linear", linear_barrier}, Algo{"diss", dissemination_barrier},
+        Algo{"tree", tree_barrier}}) {
+    std::vector<double> predicted;
+    std::vector<double> simulated;
+    for (std::size_t p = 2; p <= 64; p += 2) {
+      const TopologyProfile profile =
+          generate_profile(m, round_robin_mapping(m, p));
+      const Schedule s = algo.make(p);
+      predicted.push_back(predicted_time(s, profile));
+      simulated.push_back(simulate(s, profile).barrier_time());
+    }
+    const FidelityStats stats = fidelity(predicted, simulated);
+    EXPECT_GT(stats.rank_correlation, 0.95) << algo.name;
+    EXPECT_LT(stats.mean_rel_error, 0.5) << algo.name;
+  }
+}
+
+TEST(Fidelity, CrossAlgorithmOrderingAtFixedSize) {
+  // At a fixed P the model must order the algorithm set like the
+  // simulator — the property the greedy tuner depends on.
+  const MachineSpec m = quad_cluster();
+  const std::size_t p = 40;
+  const TopologyProfile profile =
+      generate_profile(m, round_robin_mapping(m, p));
+  std::vector<double> predicted;
+  std::vector<double> simulated;
+  for (const Schedule& s :
+       {linear_barrier(p), dissemination_barrier(p), tree_barrier(p),
+        heap_tree_barrier(p), pairwise_exchange_barrier(p), ring_barrier(p),
+        radix_dissemination_barrier(p, 4)}) {
+    predicted.push_back(predicted_time(s, profile));
+    simulated.push_back(simulate(s, profile).barrier_time());
+  }
+  EXPECT_GT(spearman_correlation(predicted, simulated), 0.9);
+}
+
+}  // namespace
+}  // namespace optibar

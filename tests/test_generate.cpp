@@ -1,0 +1,105 @@
+// Tests for ground-truth profile generation: tier placement, mapping
+// dependence, jitter determinism and symmetry.
+#include "topology/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TEST(Generate, DiagonalIsSelfOverhead) {
+  const MachineSpec m = quad_cluster();
+  const TopologyProfile p = generate_profile(m, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(p.o(i, i), m.tiers().self_overhead);
+    EXPECT_DOUBLE_EQ(p.l(i, i), 0.0);
+  }
+}
+
+TEST(Generate, BlockMappingPlacesTiers) {
+  const MachineSpec m = quad_cluster();
+  const TopologyProfile p = generate_profile(m, 16);
+  const LatencyTiers& t = m.tiers();
+  // Ranks 0,1 share a cache slice; 0,2 share a chip; 0,4 cross sockets;
+  // 0,8 cross nodes (block mapping == core numbering).
+  EXPECT_DOUBLE_EQ(p.o(0, 1), t.shared_cache.overhead);
+  EXPECT_DOUBLE_EQ(p.o(0, 2), t.same_chip.overhead);
+  EXPECT_DOUBLE_EQ(p.o(0, 4), t.cross_socket.overhead);
+  EXPECT_DOUBLE_EQ(p.o(0, 8), t.inter_node.overhead);
+  EXPECT_DOUBLE_EQ(p.l(0, 8), t.inter_node.latency);
+}
+
+TEST(Generate, RoundRobinMappingChangesNeighborTiers) {
+  const MachineSpec m = quad_cluster();
+  const TopologyProfile p =
+      generate_profile(m, round_robin_mapping(m, 16), GenerateOptions{});
+  const LatencyTiers& t = m.tiers();
+  // Under round-robin over 2 nodes, adjacent ranks live on different
+  // nodes: the rank-distance-1 link is inter-node, rank-distance-2 is
+  // the local shared-cache pair.
+  EXPECT_DOUBLE_EQ(p.o(0, 1), t.inter_node.overhead);
+  EXPECT_DOUBLE_EQ(p.o(0, 2), t.shared_cache.overhead);
+}
+
+TEST(Generate, ProfileIsSymmetricWithoutJitter) {
+  const TopologyProfile p = generate_profile(hex_cluster(), 24);
+  EXPECT_TRUE(p.is_symmetric());
+}
+
+TEST(Generate, JitterKeepsSymmetry) {
+  const TopologyProfile p =
+      generate_profile(quad_cluster(), 32, GenerateOptions{0.3, 5});
+  EXPECT_TRUE(p.is_symmetric());
+}
+
+TEST(Generate, JitterIsDeterministicInSeed) {
+  const GenerateOptions opts{0.25, 77};
+  const TopologyProfile a = generate_profile(quad_cluster(), 24, opts);
+  const TopologyProfile b = generate_profile(quad_cluster(), 24, opts);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Generate, DifferentSeedsDiffer) {
+  const TopologyProfile a =
+      generate_profile(quad_cluster(), 24, GenerateOptions{0.25, 1});
+  const TopologyProfile b =
+      generate_profile(quad_cluster(), 24, GenerateOptions{0.25, 2});
+  EXPECT_NE(a, b);
+}
+
+TEST(Generate, JitterStaysWithinAmplitude) {
+  const MachineSpec m = quad_cluster();
+  const double amp = 0.2;
+  const TopologyProfile p =
+      generate_profile(m, 16, GenerateOptions{amp, 3});
+  const TopologyProfile base = generate_profile(m, 16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      if (i == j) {
+        continue;
+      }
+      const double ratio = p.o(i, j) / base.o(i, j);
+      EXPECT_GE(ratio, 1.0 - amp - 1e-12);
+      EXPECT_LE(ratio, 1.0 + amp + 1e-12);
+    }
+  }
+}
+
+TEST(Generate, InvalidHeterogeneityThrows) {
+  EXPECT_THROW(generate_profile(quad_cluster(), 8, GenerateOptions{-0.1, 1}),
+               Error);
+  EXPECT_THROW(generate_profile(quad_cluster(), 8, GenerateOptions{1.0, 1}),
+               Error);
+}
+
+TEST(Generate, InterNodeDwarfsIntraNode) {
+  // The performance gap between inter-node and intra-node communication
+  // "overshadows" the on-chip hierarchies (Section III).
+  const TopologyProfile p = generate_profile(quad_cluster(), 16);
+  EXPECT_GT(p.o(0, 8) / p.o(0, 4), 5.0);
+}
+
+}  // namespace
+}  // namespace optibar

@@ -1,0 +1,85 @@
+// Tests for the ASCII heat map renderer (Figure 9 reproduction support).
+#include "util/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TEST(Heatmap, EmptyMatrixThrows) {
+  Matrix<double> m;
+  EXPECT_THROW(render_heatmap(m), Error);
+}
+
+TEST(Heatmap, ConstantMatrixUsesLowestGlyph) {
+  Matrix<double> m(2, 2, 3.0);
+  HeatmapOptions opts;
+  opts.axes = false;
+  opts.cell_width = 1;
+  opts.ramp = ".#";
+  const std::string out = render_heatmap(m, opts);
+  EXPECT_EQ(out, "..\n..\n");
+}
+
+TEST(Heatmap, ExtremesMapToRampEnds) {
+  Matrix<double> m{{0.0, 1.0}};
+  HeatmapOptions opts;
+  opts.axes = false;
+  opts.cell_width = 1;
+  opts.ramp = ".#";
+  EXPECT_EQ(render_heatmap(m, opts), ".#\n");
+}
+
+TEST(Heatmap, MidValueMapsToMiddleGlyph) {
+  Matrix<double> m{{0.0, 0.5, 1.0}};
+  HeatmapOptions opts;
+  opts.axes = false;
+  opts.cell_width = 1;
+  opts.ramp = "abcd";
+  // 0.5 normalised -> level 2 of 4 ('c').
+  EXPECT_EQ(render_heatmap(m, opts), "acd\n");
+}
+
+TEST(Heatmap, BlockStructureIsVisible) {
+  // A 4x4 matrix with a cheap 2x2 diagonal block structure, like the
+  // on-chip blocks of Figure 9.
+  Matrix<double> m(4, 4, 6.0e-7);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i / 2 == j / 2) {
+        m(i, j) = 1.5e-7;
+      }
+    }
+  }
+  HeatmapOptions opts;
+  opts.axes = false;
+  opts.cell_width = 1;
+  opts.ramp = ".#";
+  EXPECT_EQ(render_heatmap(m, opts), "..##\n..##\n##..\n##..\n");
+}
+
+TEST(Heatmap, AxesAddIndexGutter) {
+  Matrix<double> m(1, 3, 0.0);
+  HeatmapOptions opts;
+  opts.axes = true;
+  opts.cell_width = 1;
+  const std::string out = render_heatmap(m, opts);
+  // First line is the column index ruler, second starts with the row id.
+  EXPECT_NE(out.find("012"), std::string::npos);
+  EXPECT_NE(out.find(" 0  "), std::string::npos);
+}
+
+TEST(Heatmap, RejectsBadOptions) {
+  Matrix<double> m(1, 1, 0.0);
+  HeatmapOptions no_ramp;
+  no_ramp.ramp = "";
+  EXPECT_THROW(render_heatmap(m, no_ramp), Error);
+  HeatmapOptions zero_width;
+  zero_width.cell_width = 0;
+  EXPECT_THROW(render_heatmap(m, zero_width), Error);
+}
+
+}  // namespace
+}  // namespace optibar

@@ -1,0 +1,136 @@
+// Tests for the runtime BarrierLibrary (Section VIII's "library
+// implementation which would benefit unmodified application codes").
+#include "core/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "barrier/algorithms.hpp"
+#include "barrier/cost_model.hpp"
+#include "simmpi/runtime.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TopologyProfile cluster_profile(std::size_t ranks) {
+  const MachineSpec m = quad_cluster();
+  return generate_profile(m, round_robin_mapping(m, ranks));
+}
+
+TEST(Library, FullBarrierIsTunedAndValid) {
+  BarrierLibrary library(cluster_profile(24));
+  const LibraryEntry& entry = library.full_barrier();
+  EXPECT_TRUE(entry.stored.schedule.is_barrier());
+  EXPECT_EQ(entry.stored.schedule.ranks(), 24u);
+  EXPECT_GT(entry.predicted_cost, 0.0);
+  EXPECT_EQ(entry.global_ranks.size(), 24u);
+}
+
+TEST(Library, RepeatedRequestsHitTheCache) {
+  BarrierLibrary library(cluster_profile(16));
+  const LibraryEntry& a = library.full_barrier();
+  const LibraryEntry& b = library.full_barrier();
+  EXPECT_EQ(&a, &b);  // same cached object
+  EXPECT_EQ(library.cache_size(), 1u);
+}
+
+TEST(Library, SubCommunicatorUsesLocalNumbering) {
+  BarrierLibrary library(cluster_profile(32));
+  // A sub-communicator of one node's ranks (round-robin: node 0 hosts
+  // ranks 0, 4, 8, ... for 32 ranks over 4 nodes).
+  const std::vector<std::size_t> subset{0, 4, 8, 12, 16, 20, 24, 28};
+  const LibraryEntry& entry = library.barrier_for(subset);
+  EXPECT_EQ(entry.stored.schedule.ranks(), subset.size());
+  EXPECT_TRUE(entry.stored.schedule.is_barrier());
+  EXPECT_EQ(entry.global_ranks, subset);
+  EXPECT_EQ(library.cache_size(), 1u);
+}
+
+TEST(Library, SubsetCostReflectsItsTopology) {
+  BarrierLibrary library(cluster_profile(32));
+  // All ranks of one node (cheap links) vs one rank per node (slow).
+  const LibraryEntry& local = library.barrier_for({0, 4, 8, 12});
+  const LibraryEntry& remote = library.barrier_for({0, 1, 2, 3});
+  // Round-robin over 4 nodes: ranks 0,4,8,12 share node 0; ranks
+  // 0,1,2,3 are one per node.
+  EXPECT_LT(local.predicted_cost, remote.predicted_cost);
+}
+
+TEST(Library, DifferentOrderingsAreDifferentEntries) {
+  BarrierLibrary library(cluster_profile(8));
+  library.barrier_for({0, 1, 2});
+  library.barrier_for({2, 1, 0});
+  EXPECT_EQ(library.cache_size(), 2u);
+}
+
+TEST(Library, ValidatesSubsets) {
+  BarrierLibrary library(cluster_profile(8));
+  EXPECT_THROW(library.barrier_for({}), Error);
+  EXPECT_THROW(library.barrier_for({0, 0}), Error);
+  EXPECT_THROW(library.barrier_for({0, 8}), Error);
+}
+
+TEST(Library, CompiledBarrierExecutesOnThreads) {
+  BarrierLibrary library(cluster_profile(12));
+  const LibraryEntry& entry = library.full_barrier();
+  simmpi::Communicator comm(12);
+  simmpi::run_ranks(comm, [&](simmpi::RankContext& ctx) {
+    entry.compiled.execute(ctx);
+  });
+  EXPECT_EQ(comm.unmatched_operations(), 0u);
+}
+
+TEST(Library, ConcurrentRequestsAreSafe) {
+  BarrierLibrary library(cluster_profile(24));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        const std::vector<std::size_t> subset{0, static_cast<std::size_t>(t) + 1,
+                                              static_cast<std::size_t>(t) + 9};
+        const LibraryEntry& entry = library.barrier_for(subset);
+        if (!entry.stored.schedule.is_barrier()) {
+          ++failures;
+        }
+        library.full_barrier();
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(library.cache_size(), 9u);  // 8 subsets + the full set
+}
+
+TEST(Library, LoadsProfileFromDisk) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "optibar_library_profile.txt";
+  cluster_profile(16).save_file(path.string());
+  BarrierLibrary library = BarrierLibrary::from_profile_file(path.string());
+  EXPECT_EQ(library.ranks(), 16u);
+  EXPECT_TRUE(library.full_barrier().stored.schedule.is_barrier());
+  std::filesystem::remove(path);
+}
+
+TEST(Library, EntryPredictionMatchesDirectTuning) {
+  const TopologyProfile profile = cluster_profile(20);
+  BarrierLibrary library(profile);
+  const LibraryEntry& entry = library.full_barrier();
+  const TuneResult direct = tune_barrier(profile);
+  EXPECT_EQ(entry.stored.schedule, direct.schedule());
+  EXPECT_DOUBLE_EQ(entry.predicted_cost, direct.predicted_cost());
+}
+
+}  // namespace
+}  // namespace optibar

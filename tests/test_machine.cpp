@@ -1,0 +1,154 @@
+// Tests for the hierarchical machine model: coordinate decomposition and
+// link-level classification across the cluster / node / socket / cache
+// layers.
+#include "topology/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TEST(Machine, QuadClusterShape) {
+  const MachineSpec m = quad_cluster();
+  EXPECT_EQ(m.nodes(), 8u);
+  EXPECT_EQ(m.sockets_per_node(), 2u);
+  EXPECT_EQ(m.cores_per_socket(), 4u);
+  EXPECT_EQ(m.cores_per_node(), 8u);
+  EXPECT_EQ(m.total_cores(), 64u);
+}
+
+TEST(Machine, HexClusterShape) {
+  const MachineSpec m = hex_cluster();
+  EXPECT_EQ(m.nodes(), 10u);
+  EXPECT_EQ(m.cores_per_node(), 12u);
+  EXPECT_EQ(m.total_cores(), 120u);
+}
+
+TEST(Machine, LocationRoundTrips) {
+  const MachineSpec m = quad_cluster();
+  for (std::size_t core = 0; core < m.total_cores(); ++core) {
+    EXPECT_EQ(m.core_id(m.location(core)), core);
+  }
+}
+
+TEST(Machine, LocationDecomposition) {
+  const MachineSpec m = quad_cluster();
+  // Core 13 = node 1 (cores 8..15), socket 0 (cores 8..11)? No:
+  // within-node index 5 -> socket 1, core 1.
+  const CoreLocation loc = m.location(13);
+  EXPECT_EQ(loc.node, 1u);
+  EXPECT_EQ(loc.socket, 1u);
+  EXPECT_EQ(loc.core, 1u);
+}
+
+TEST(Machine, LocationOutOfRangeThrows) {
+  const MachineSpec m = quad_cluster();
+  EXPECT_THROW(m.location(64), Error);
+  EXPECT_THROW(m.core_id(CoreLocation{8, 0, 0}), Error);
+}
+
+TEST(Machine, LinkLevelSelf) {
+  const MachineSpec m = quad_cluster();
+  EXPECT_EQ(m.link_level(5, 5), LinkLevel::kSelf);
+}
+
+TEST(Machine, LinkLevelSharedCachePairsOnQuad) {
+  // Xeon E5405: cores_per_cache = 2, so cores (0,1) share cache but
+  // (1,2) do not.
+  const MachineSpec m = quad_cluster();
+  EXPECT_EQ(m.link_level(0, 1), LinkLevel::kSharedCache);
+  EXPECT_EQ(m.link_level(1, 2), LinkLevel::kSameChip);
+  EXPECT_EQ(m.link_level(2, 3), LinkLevel::kSharedCache);
+}
+
+TEST(Machine, LinkLevelCrossSocketAndInterNode) {
+  const MachineSpec m = quad_cluster();
+  EXPECT_EQ(m.link_level(0, 4), LinkLevel::kCrossSocket);   // socket 0 vs 1
+  EXPECT_EQ(m.link_level(3, 7), LinkLevel::kCrossSocket);
+  EXPECT_EQ(m.link_level(0, 8), LinkLevel::kInterNode);     // node 0 vs 1
+  EXPECT_EQ(m.link_level(7, 63), LinkLevel::kInterNode);
+}
+
+TEST(Machine, LinkLevelIsSymmetric) {
+  const MachineSpec m = quad_cluster();
+  for (std::size_t a = 0; a < 16; ++a) {
+    for (std::size_t b = 0; b < 16; ++b) {
+      EXPECT_EQ(m.link_level(a, b), m.link_level(b, a))
+          << "cores " << a << "," << b;
+    }
+  }
+}
+
+TEST(Machine, HexClusterWholeSocketSharesCache) {
+  // Opteron 2431: one L3 per socket, so any two cores of a socket are
+  // at the shared-cache level.
+  const MachineSpec m = hex_cluster();
+  EXPECT_EQ(m.link_level(0, 5), LinkLevel::kSharedCache);
+  EXPECT_EQ(m.link_level(0, 6), LinkLevel::kCrossSocket);
+}
+
+TEST(Machine, LinkCostMatchesTier) {
+  const MachineSpec m = quad_cluster();
+  const LatencyTiers& tiers = m.tiers();
+  EXPECT_DOUBLE_EQ(m.link_cost(0, 8).overhead, tiers.inter_node.overhead);
+  EXPECT_DOUBLE_EQ(m.link_cost(0, 4).latency, tiers.cross_socket.latency);
+  EXPECT_DOUBLE_EQ(m.link_cost(3, 3).overhead, tiers.self_overhead);
+  EXPECT_DOUBLE_EQ(m.link_cost(3, 3).latency, 0.0);
+}
+
+TEST(Machine, TierOrderingReflectsHierarchy) {
+  // Costs must grow with topological distance on both preset machines.
+  for (const MachineSpec& m : {quad_cluster(), hex_cluster()}) {
+    const LatencyTiers& t = m.tiers();
+    EXPECT_LE(t.shared_cache.overhead, t.same_chip.overhead);
+    EXPECT_LT(t.same_chip.overhead, t.cross_socket.overhead);
+    EXPECT_LT(t.cross_socket.overhead, t.inter_node.overhead);
+    EXPECT_LE(t.shared_cache.latency, t.same_chip.latency);
+    EXPECT_LT(t.same_chip.latency, t.cross_socket.latency);
+    EXPECT_LT(t.cross_socket.latency, t.inter_node.latency);
+  }
+}
+
+TEST(Machine, Figure9LatencyRatioAboutFourX) {
+  // "around a factor 4 observable difference between on-chip and
+  //  off-chip messages" (Section VII-A, Figure 9).
+  const LatencyTiers& t = quad_cluster().tiers();
+  const double ratio = t.cross_socket.latency / t.same_chip.latency;
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(Machine, FirstNodesRestrictsCluster) {
+  const MachineSpec m = quad_cluster().first_nodes(3);
+  EXPECT_EQ(m.nodes(), 3u);
+  EXPECT_EQ(m.total_cores(), 24u);
+  EXPECT_EQ(m.cores_per_node(), 8u);
+  EXPECT_THROW(quad_cluster().first_nodes(0), Error);
+  EXPECT_THROW(quad_cluster().first_nodes(9), Error);
+}
+
+TEST(Machine, InvalidShapesThrow) {
+  LatencyTiers tiers;
+  EXPECT_THROW(MachineSpec("bad", 0, 1, 1, 1, tiers), Error);
+  EXPECT_THROW(MachineSpec("bad", 1, 0, 1, 1, tiers), Error);
+  EXPECT_THROW(MachineSpec("bad", 1, 1, 0, 1, tiers), Error);
+  // cores_per_cache must divide cores_per_socket
+  EXPECT_THROW(MachineSpec("bad", 1, 1, 4, 3, tiers), Error);
+}
+
+TEST(Machine, LinkLevelNames) {
+  EXPECT_STREQ(to_string(LinkLevel::kSelf), "self");
+  EXPECT_STREQ(to_string(LinkLevel::kInterNode), "inter-node");
+}
+
+TEST(Machine, SkewedClusterInvertsTierOrder) {
+  // The pathological preset must have cross-socket slower than the
+  // network — that is its entire purpose.
+  const LatencyTiers& t = skewed_cluster().tiers();
+  EXPECT_GT(t.cross_socket.overhead, t.inter_node.overhead);
+}
+
+}  // namespace
+}  // namespace optibar

@@ -1,0 +1,275 @@
+// Tests for irregular machines and the machine description file format.
+#include "topology/machine_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iomanip>
+#include <sstream>
+
+#include "core/tuner.hpp"
+#include "topology/generate.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace optibar {
+namespace {
+
+constexpr const char* kTierBlock =
+    "tier self   o 1.5e-6\n"
+    "tier cache  o 2.0e-6 l 1.2e-7\n"
+    "tier chip   o 2.5e-6 l 1.5e-7\n"
+    "tier socket o 4.0e-6 l 6.0e-7\n"
+    "tier node   o 2.5e-5 l 1.4e-5\n";
+
+MachineFile parse(const std::string& text) {
+  std::istringstream is(text);
+  return parse_machine_file(is);
+}
+
+// ---- CustomMachine ----
+
+TEST(CustomMachine, FlattensIrregularShapes) {
+  LatencyTiers tiers;
+  tiers.self_overhead = 1e-6;
+  tiers.shared_cache = {2e-6, 1e-7};
+  tiers.same_chip = {3e-6, 2e-7};
+  tiers.cross_socket = {4e-6, 3e-7};
+  tiers.inter_node = {2e-5, 1e-5};
+  std::vector<NodeShape> nodes(2);
+  nodes[0].sockets = {SocketShape{4, 2}, SocketShape{4, 2}};  // 8 cores
+  nodes[1].sockets = {SocketShape{6, 6}};                     // 6 cores
+  const CustomMachine m("mixed", std::move(nodes), tiers);
+  EXPECT_EQ(m.total_cores(), 14u);
+  EXPECT_EQ(m.node_count(), 2u);
+  // Core 9 = node 1, socket 0, core 1.
+  const auto loc = m.location(9);
+  EXPECT_EQ(loc.node, 1u);
+  EXPECT_EQ(loc.socket, 0u);
+  EXPECT_EQ(loc.core, 1u);
+}
+
+TEST(CustomMachine, LinkLevelsRespectPerSocketCacheDegree) {
+  LatencyTiers tiers;
+  tiers.self_overhead = 1e-6;
+  tiers.shared_cache = {2e-6, 1e-7};
+  tiers.same_chip = {3e-6, 2e-7};
+  tiers.cross_socket = {4e-6, 3e-7};
+  tiers.inter_node = {2e-5, 1e-5};
+  std::vector<NodeShape> nodes(2);
+  nodes[0].sockets = {SocketShape{4, 2}};  // pairwise caches
+  nodes[1].sockets = {SocketShape{4, 4}};  // whole-socket cache
+  const CustomMachine m("mixed-cache", std::move(nodes), tiers);
+  EXPECT_EQ(m.link_level(0, 1), LinkLevel::kSharedCache);
+  EXPECT_EQ(m.link_level(1, 2), LinkLevel::kSameChip);   // node 0: pairs
+  EXPECT_EQ(m.link_level(5, 6), LinkLevel::kSharedCache);  // node 1: whole
+  EXPECT_EQ(m.link_level(0, 4), LinkLevel::kInterNode);
+  EXPECT_EQ(m.link_level(2, 2), LinkLevel::kSelf);
+}
+
+TEST(CustomMachine, RejectsDegenerateShapes) {
+  LatencyTiers tiers;
+  EXPECT_THROW(CustomMachine("bad", {}, tiers), Error);
+  std::vector<NodeShape> no_sockets(1);
+  EXPECT_THROW(CustomMachine("bad", no_sockets, tiers), Error);
+  std::vector<NodeShape> bad_cache(1);
+  bad_cache[0].sockets = {SocketShape{4, 3}};  // 3 does not divide 4
+  EXPECT_THROW(CustomMachine("bad", bad_cache, tiers), Error);
+}
+
+TEST(CustomMachine, ProfileGenerationAndTuning) {
+  LatencyTiers tiers;
+  tiers.self_overhead = 1e-6;
+  tiers.shared_cache = {2e-6, 1e-7};
+  tiers.same_chip = {2.5e-6, 1.5e-7};
+  tiers.cross_socket = {4e-6, 6e-7};
+  tiers.inter_node = {2.5e-5, 1.4e-5};
+  std::vector<NodeShape> nodes(3);
+  nodes[0].sockets = {SocketShape{4, 2}, SocketShape{4, 2}};
+  nodes[1].sockets = {SocketShape{6, 6}, SocketShape{6, 6}};
+  nodes[2].sockets = {SocketShape{2, 2}};
+  const CustomMachine m("mixed-generations", std::move(nodes), tiers);
+  const TopologyProfile profile = generate_profile(m, m.total_cores());
+  EXPECT_EQ(profile.ranks(), 22u);
+  EXPECT_TRUE(profile.is_symmetric());
+  // The tuner must find the three (unequal) node clusters.
+  const TuneResult tuned = tune_barrier(profile);
+  EXPECT_TRUE(tuned.schedule().is_barrier());
+  ASSERT_EQ(tuned.cluster_tree().children.size(), 3u);
+  EXPECT_EQ(tuned.cluster_tree().children[0].ranks.size(), 8u);
+  EXPECT_EQ(tuned.cluster_tree().children[1].ranks.size(), 12u);
+  EXPECT_EQ(tuned.cluster_tree().children[2].ranks.size(), 2u);
+}
+
+TEST(CustomMachine, PartialRankCountsUseFirstCores) {
+  LatencyTiers tiers;
+  tiers.self_overhead = 1e-6;
+  tiers.shared_cache = {2e-6, 1e-7};
+  tiers.same_chip = {2.5e-6, 1.5e-7};
+  tiers.cross_socket = {4e-6, 6e-7};
+  tiers.inter_node = {2.5e-5, 1.4e-5};
+  std::vector<NodeShape> nodes(2);
+  nodes[0].sockets = {SocketShape{4, 4}};
+  nodes[1].sockets = {SocketShape{4, 4}};
+  const CustomMachine m("small", std::move(nodes), tiers);
+  const TopologyProfile profile = generate_profile(m, 5);
+  EXPECT_EQ(profile.ranks(), 5u);
+  EXPECT_DOUBLE_EQ(profile.o(0, 4), tiers.inter_node.overhead);
+  EXPECT_THROW(generate_profile(m, 9), Error);
+  EXPECT_THROW(generate_profile(m, 0), Error);
+}
+
+// ---- Machine file parsing ----
+
+TEST(MachineFile, ParsesUniformShape) {
+  const MachineFile file = parse(std::string("machine \"test rig\"\n") +
+                                 kTierBlock +
+                                 "shape nodes 8 sockets 2 cores 4 cache 2\n");
+  EXPECT_TRUE(file.uniform);
+  EXPECT_EQ(file.name, "test rig");
+  const MachineSpec spec = file.to_spec();
+  EXPECT_EQ(spec.total_cores(), 64u);
+  EXPECT_EQ(spec.cores_per_cache(), 2u);
+  EXPECT_DOUBLE_EQ(spec.tiers().inter_node.latency, 1.4e-5);
+  // to_custom works for uniform files too.
+  EXPECT_EQ(file.to_custom().total_cores(), 64u);
+}
+
+TEST(MachineFile, ParsesIrregularNodes) {
+  const MachineFile file = parse(std::string(kTierBlock) +
+                                 "node sockets 2 cores 4 cache 2\n"
+                                 "node sockets 2 cores 6 cache 6\n"
+                                 "node sockets 1 cores 8\n");  // cache=cores
+  EXPECT_FALSE(file.uniform);
+  const CustomMachine m = file.to_custom();
+  EXPECT_EQ(m.node_count(), 3u);
+  EXPECT_EQ(m.total_cores(), 8u + 12u + 8u);
+  EXPECT_THROW(file.to_spec(), Error);
+}
+
+TEST(MachineFile, CommentsAndBlankLinesIgnored) {
+  const MachineFile file = parse(std::string("# header comment\n\n") +
+                                 kTierBlock +
+                                 "shape nodes 2 sockets 1 cores 2  # inline\n");
+  EXPECT_EQ(file.to_spec().total_cores(), 4u);
+  // cache defaults to cores when omitted.
+  EXPECT_EQ(file.cache, 2u);
+}
+
+TEST(MachineFile, RejectsMissingTiers) {
+  EXPECT_THROW(parse("shape nodes 2 sockets 1 cores 2\n"), Error);
+  EXPECT_THROW(parse(std::string("tier self o 1e-6\n") +
+                     "shape nodes 2 sockets 1 cores 2\n"),
+               Error);
+}
+
+TEST(MachineFile, RejectsShapeAndNodeMix) {
+  EXPECT_THROW(parse(std::string(kTierBlock) +
+                     "shape nodes 2 sockets 1 cores 2\n"
+                     "node sockets 1 cores 2\n"),
+               Error);
+  EXPECT_THROW(parse(std::string(kTierBlock) +
+                     "node sockets 1 cores 2\n"
+                     "shape nodes 2 sockets 1 cores 2\n"),
+               Error);
+}
+
+TEST(MachineFile, RejectsMalformedLines) {
+  EXPECT_THROW(parse("bogus keyword\n"), Error);
+  EXPECT_THROW(parse("tier warp o 1e-6\n"), Error);
+  EXPECT_THROW(parse("tier self x 1e-6\n"), Error);
+  EXPECT_THROW(parse(std::string(kTierBlock) +
+                     "shape nodes 2 sockets 1\n"),  // missing cores
+               Error);
+  EXPECT_THROW(parse(std::string(kTierBlock) +
+                     "shape nodes 2 sockets 1 cores two\n"),
+               Error);
+  EXPECT_THROW(parse(std::string(kTierBlock) +
+                     "shape nodes 2 sockets 1 cores 4 warp 9\n"),
+               Error);
+  EXPECT_THROW(parse("machine\n"), Error);  // missing name
+}
+
+TEST(MachineFile, MissingFileThrows) {
+  EXPECT_THROW(load_machine_file("/nonexistent/machine.txt"), Error);
+}
+
+TEST(MachineFile, PropertyRandomShapesRoundTripThroughText) {
+  // Fuzz the writer-side contract: serialise random machine shapes into
+  // the text format by hand, parse them back, and compare the derived
+  // machines structurally.
+  Rng rng(314);
+  for (int round = 0; round < 12; ++round) {
+    const bool uniform = rng.next_below(2) == 0;
+    std::ostringstream file;
+    file << std::setprecision(17);  // full double round trip
+    file << "machine \"fuzz " << round << "\"\n";
+    const double self = rng.uniform(5e-7, 3e-6);
+    file << "tier self o " << self << "\n";
+    double o = rng.uniform(1e-6, 4e-6);
+    double l = rng.uniform(5e-8, 4e-7);
+    const char* tiers[] = {"cache", "chip", "socket", "node"};
+    std::vector<double> o_values;
+    std::vector<double> l_values;
+    for (const char* tier : tiers) {
+      file << "tier " << tier << " o " << o << " l " << l << "\n";
+      o_values.push_back(o);
+      l_values.push_back(l);
+      o *= rng.uniform(1.2, 8.0);
+      l *= rng.uniform(1.2, 8.0);
+    }
+    std::size_t total_nodes = 1 + rng.next_below(4);
+    if (uniform) {
+      const std::size_t sockets = 1 + rng.next_below(3);
+      const std::size_t cores = 2 + rng.next_below(3);
+      std::vector<std::size_t> divisors;
+      for (std::size_t d = 1; d <= cores; ++d) {
+        if (cores % d == 0) {
+          divisors.push_back(d);
+        }
+      }
+      const std::size_t cache = divisors[rng.next_below(divisors.size())];
+      file << "shape nodes " << total_nodes << " sockets " << sockets
+           << " cores " << cores << " cache " << cache << "\n";
+    } else {
+      for (std::size_t n = 0; n < total_nodes; ++n) {
+        const std::size_t sockets = 1 + rng.next_below(3);
+        const std::size_t cores = 2 + rng.next_below(3);
+        std::vector<std::size_t> divisors;
+        for (std::size_t d = 1; d <= cores; ++d) {
+          if (cores % d == 0) {
+            divisors.push_back(d);
+          }
+        }
+        const std::size_t cache = divisors[rng.next_below(divisors.size())];
+        file << "node sockets " << sockets << " cores " << cores
+             << " cache " << cache << "\n";
+      }
+    }
+    const MachineFile parsed = parse(file.str());
+    EXPECT_EQ(parsed.uniform, uniform) << "round " << round;
+    const CustomMachine machine = parsed.to_custom();
+    EXPECT_EQ(machine.node_count(), total_nodes) << "round " << round;
+    EXPECT_DOUBLE_EQ(machine.tiers().self_overhead, self);
+    EXPECT_DOUBLE_EQ(machine.tiers().inter_node.overhead, o_values[3]);
+    EXPECT_DOUBLE_EQ(machine.tiers().inter_node.latency, l_values[3]);
+    // Every parsed machine generates a usable profile and tunes.
+    const TopologyProfile profile =
+        generate_profile(machine, machine.total_cores());
+    EXPECT_TRUE(tune_barrier(profile).schedule().is_barrier())
+        << "round " << round;
+  }
+}
+
+TEST(MachineFile, EndToEndIrregularTuning) {
+  const MachineFile file = parse(std::string(kTierBlock) +
+                                 "node sockets 2 cores 4 cache 2\n"
+                                 "node sockets 2 cores 6 cache 6\n");
+  const CustomMachine m = file.to_custom();
+  const TopologyProfile profile = generate_profile(m, m.total_cores());
+  const TuneResult tuned = tune_barrier(profile);
+  EXPECT_TRUE(tuned.schedule().is_barrier());
+  EXPECT_EQ(tuned.cluster_tree().children.size(), 2u);
+}
+
+}  // namespace
+}  // namespace optibar

@@ -1,0 +1,115 @@
+// Tests for rank-to-core mappings (affinity control), including the
+// round-robin placement that produces Figure 5's odd/even oscillation.
+#include "topology/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TEST(Mapping, BlockFillsNodeByNode) {
+  const MachineSpec m = quad_cluster();
+  const Mapping map = block_mapping(m, 10);
+  // Ranks 0..7 on node 0, ranks 8..9 on node 1.
+  for (std::size_t r = 0; r < 8; ++r) {
+    EXPECT_EQ(m.location(map.core_of(r)).node, 0u) << "rank " << r;
+  }
+  EXPECT_EQ(m.location(map.core_of(8)).node, 1u);
+  EXPECT_EQ(m.location(map.core_of(9)).node, 1u);
+}
+
+TEST(Mapping, RoundRobinDealsAcrossAllocatedNodes) {
+  const MachineSpec m = quad_cluster();
+  // 10 ranks need ceil(10/8) = 2 nodes; round-robin alternates.
+  const Mapping map = round_robin_mapping(m, 10);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(m.location(map.core_of(r)).node, r % 2) << "rank " << r;
+  }
+}
+
+TEST(Mapping, RoundRobinPaperReadingOfTwoNodeCase) {
+  // "the 2-node (9 through 16 process) case" — P=9..16 must allocate
+  // exactly 2 nodes on the dual quad-core cluster.
+  const MachineSpec m = quad_cluster();
+  for (std::size_t p = 9; p <= 16; ++p) {
+    EXPECT_EQ(round_robin_mapping(m, p).nodes_used(m), 2u) << "P=" << p;
+  }
+  EXPECT_EQ(round_robin_mapping(m, 8).nodes_used(m), 1u);
+  EXPECT_EQ(round_robin_mapping(m, 17).nodes_used(m), 3u);
+}
+
+TEST(Mapping, CoresAreDistinct) {
+  const MachineSpec m = quad_cluster();
+  for (std::size_t p : {1u, 7u, 8u, 9u, 31u, 64u}) {
+    for (const Mapping& map :
+         {block_mapping(m, p), round_robin_mapping(m, p)}) {
+      std::set<std::size_t> cores(map.table().begin(), map.table().end());
+      EXPECT_EQ(cores.size(), p) << "policy " << map.policy() << " P=" << p;
+    }
+  }
+}
+
+TEST(Mapping, FullMachineMappingsCoverAllCores) {
+  const MachineSpec m = quad_cluster();
+  const Mapping block = block_mapping(m, 64);
+  const Mapping rr = round_robin_mapping(m, 64);
+  std::set<std::size_t> block_cores(block.table().begin(), block.table().end());
+  std::set<std::size_t> rr_cores(rr.table().begin(), rr.table().end());
+  EXPECT_EQ(block_cores.size(), 64u);
+  EXPECT_EQ(rr_cores.size(), 64u);
+}
+
+TEST(Mapping, RoundRobinWithinNodeSlotsFillInOrder) {
+  const MachineSpec m = quad_cluster();
+  const Mapping map = round_robin_mapping(m, 16);
+  // Node 0 hosts ranks 0,2,4,...,14 at slots 0..7.
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(map.core_of(2 * k), k);
+  }
+  // Node 1 hosts ranks 1,3,...,15 at cores 8..15.
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(map.core_of(2 * k + 1), 8 + k);
+  }
+}
+
+TEST(Mapping, CapacityOverflowThrows) {
+  const MachineSpec m = quad_cluster();
+  EXPECT_THROW(block_mapping(m, 65), Error);
+  EXPECT_THROW(round_robin_mapping(m, 65), Error);
+}
+
+TEST(Mapping, ZeroRanksThrows) {
+  const MachineSpec m = quad_cluster();
+  EXPECT_THROW(block_mapping(m, 0), Error);
+  EXPECT_THROW(round_robin_mapping(m, 0), Error);
+}
+
+TEST(Mapping, CustomMappingValidates) {
+  const MachineSpec m = quad_cluster();
+  const Mapping map = custom_mapping(m, {3, 1, 60});
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.core_of(2), 60u);
+  EXPECT_THROW(custom_mapping(m, {0, 0}), Error);    // duplicate core
+  EXPECT_THROW(custom_mapping(m, {99}), Error);      // out of range
+  EXPECT_THROW(custom_mapping(m, {}), Error);        // empty
+}
+
+TEST(Mapping, CoreOfOutOfRangeThrows) {
+  const MachineSpec m = quad_cluster();
+  const Mapping map = block_mapping(m, 4);
+  EXPECT_THROW(map.core_of(4), Error);
+}
+
+TEST(Mapping, PolicyNamesAreRecorded) {
+  const MachineSpec m = quad_cluster();
+  EXPECT_EQ(block_mapping(m, 2).policy(), "block");
+  EXPECT_EQ(round_robin_mapping(m, 2).policy(), "round-robin");
+  EXPECT_EQ(custom_mapping(m, {0}).policy(), "custom");
+}
+
+}  // namespace
+}  // namespace optibar

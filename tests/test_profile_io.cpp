@@ -1,0 +1,133 @@
+// Tests for TopologyProfile: invariants, symmetry handling, restriction,
+// and the on-disk format (Figure 1 decouples profiling from tuning via
+// profiles stored on disk).
+#include "topology/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TopologyProfile small_profile() {
+  Matrix<double> o{{1e-6, 2e-6, 3e-6},
+                   {2e-6, 1e-6, 4e-6},
+                   {3e-6, 4e-6, 1e-6}};
+  Matrix<double> l{{0.0, 2e-7, 3e-7},
+                   {2e-7, 0.0, 4e-7},
+                   {3e-7, 4e-7, 0.0}};
+  return TopologyProfile(std::move(o), std::move(l));
+}
+
+TEST(Profile, ConstructionValidatesShape) {
+  EXPECT_THROW(TopologyProfile(Matrix<double>(2, 3), Matrix<double>(2, 2)),
+               Error);
+  EXPECT_THROW(TopologyProfile(Matrix<double>(2, 2), Matrix<double>(3, 3)),
+               Error);
+}
+
+TEST(Profile, AccessorsReadMatrices) {
+  const TopologyProfile p = small_profile();
+  EXPECT_EQ(p.ranks(), 3u);
+  EXPECT_DOUBLE_EQ(p.o(0, 1), 2e-6);
+  EXPECT_DOUBLE_EQ(p.l(1, 2), 4e-7);
+  EXPECT_DOUBLE_EQ(p.o(2, 2), 1e-6);
+}
+
+TEST(Profile, SymmetryDetection) {
+  EXPECT_TRUE(small_profile().is_symmetric());
+  Matrix<double> o(2, 2, 1e-6);
+  o(0, 1) = 5e-6;
+  o(1, 0) = 1e-6;
+  TopologyProfile asym(std::move(o), Matrix<double>(2, 2, 0.0));
+  EXPECT_FALSE(asym.is_symmetric());
+  // Symmetrizing averages the two directions.
+  const TopologyProfile sym = asym.symmetrized();
+  EXPECT_TRUE(sym.is_symmetric());
+  EXPECT_DOUBLE_EQ(sym.o(0, 1), 3e-6);
+  EXPECT_DOUBLE_EQ(sym.o(1, 0), 3e-6);
+}
+
+TEST(Profile, DistanceIsSymmetrizedOverheadWithZeroDiagonal) {
+  const TopologyProfile p = small_profile();
+  EXPECT_DOUBLE_EQ(p.distance(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(p.distance(0, 2), 3e-6);
+  EXPECT_DOUBLE_EQ(p.distance(2, 0), 3e-6);
+}
+
+TEST(Profile, DiameterIsMaxPairwiseDistance) {
+  EXPECT_DOUBLE_EQ(small_profile().diameter(), 4e-6);
+}
+
+TEST(Profile, RestrictToExtractsSubmatrices) {
+  const TopologyProfile p = small_profile();
+  const TopologyProfile sub = p.restrict_to({0, 2});
+  EXPECT_EQ(sub.ranks(), 2u);
+  EXPECT_DOUBLE_EQ(sub.o(0, 1), 3e-6);
+  EXPECT_DOUBLE_EQ(sub.l(1, 0), 3e-7);
+  EXPECT_THROW(p.restrict_to({}), Error);
+}
+
+TEST(Profile, StreamRoundTripIsExact) {
+  const TopologyProfile p = small_profile();
+  std::stringstream ss;
+  p.save(ss);
+  const TopologyProfile q = TopologyProfile::load(ss);
+  EXPECT_EQ(p, q);
+}
+
+TEST(Profile, RoundTripPreservesFullDoublePrecision) {
+  Matrix<double> o(1, 1, 1.0 / 3.0);
+  Matrix<double> l(1, 1, 2.0e-301);
+  const TopologyProfile p(std::move(o), std::move(l));
+  std::stringstream ss;
+  p.save(ss);
+  const TopologyProfile q = TopologyProfile::load(ss);
+  EXPECT_EQ(p, q);
+}
+
+TEST(Profile, LoadRejectsWrongMagic) {
+  std::stringstream ss("not-a-profile v1\nP 1\n");
+  EXPECT_THROW(TopologyProfile::load(ss), Error);
+}
+
+TEST(Profile, LoadRejectsWrongVersion) {
+  std::stringstream ss("optibar-profile v9\nP 1\nO\n0\nL\n0\n");
+  EXPECT_THROW(TopologyProfile::load(ss), Error);
+}
+
+TEST(Profile, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "optibar_test_profile.txt";
+  const TopologyProfile p =
+      generate_profile(quad_cluster(), 16, GenerateOptions{});
+  p.save_file(path.string());
+  const TopologyProfile q = TopologyProfile::load_file(path.string());
+  EXPECT_EQ(p, q);
+  std::remove(path.string().c_str());
+}
+
+TEST(Profile, LoadMissingFileThrows) {
+  EXPECT_THROW(TopologyProfile::load_file("/nonexistent/dir/profile.txt"),
+               Error);
+}
+
+TEST(Profile, GeneratedClusterProfileRoundTripsThroughDisk) {
+  // End-to-end: a full 64-rank machine profile survives serialisation
+  // bit-for-bit, which is what makes Figure 1's decoupling valid.
+  const TopologyProfile p =
+      generate_profile(quad_cluster(), 64, GenerateOptions{0.2, 11});
+  std::stringstream ss;
+  p.save(ss);
+  EXPECT_EQ(TopologyProfile::load(ss), p);
+}
+
+}  // namespace
+}  // namespace optibar

@@ -1,0 +1,93 @@
+// Tests for Section IV-B submatrix replication: on a homogeneous machine
+// the replicated profile must equal the fully measured one.
+#include "topology/replicate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+RankGroups node_groups(std::size_t nodes, std::size_t per_node) {
+  RankGroups groups(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    for (std::size_t c = 0; c < per_node; ++c) {
+      groups[n].push_back(n * per_node + c);
+    }
+  }
+  return groups;
+}
+
+TEST(Replicate, ExactOnHomogeneousMachine) {
+  // "results did show similar submatrices corresponding to similar
+  //  subsystems, suggesting that this could have been assumed and
+  //  exploited without significant loss of information."
+  const MachineSpec m = quad_cluster(4);
+  const TopologyProfile full = generate_profile(m, 32);
+  const TopologyProfile replicated =
+      replicate_profile(full, node_groups(4, 8));
+  EXPECT_DOUBLE_EQ(max_relative_deviation(full, replicated), 0.0);
+}
+
+TEST(Replicate, ExactOnHexClusterToo) {
+  const MachineSpec m = hex_cluster(3);
+  const TopologyProfile full = generate_profile(m, 36);
+  const TopologyProfile replicated =
+      replicate_profile(full, node_groups(3, 12));
+  EXPECT_DOUBLE_EQ(max_relative_deviation(full, replicated), 0.0);
+}
+
+TEST(Replicate, SmallDeviationUnderJitter) {
+  // With per-pair heterogeneity the replication is approximate; the
+  // deviation is bounded by the jitter amplitude band.
+  const MachineSpec m = quad_cluster(4);
+  const TopologyProfile full =
+      generate_profile(m, 32, GenerateOptions{0.05, 21});
+  const TopologyProfile replicated =
+      replicate_profile(full, node_groups(4, 8));
+  const double deviation = max_relative_deviation(full, replicated);
+  EXPECT_GT(deviation, 0.0);
+  EXPECT_LT(deviation, 0.2);  // two jitter half-widths
+}
+
+TEST(Replicate, PreservesDiagonal) {
+  const MachineSpec m = quad_cluster(2);
+  const TopologyProfile full = generate_profile(m, 16);
+  const TopologyProfile replicated =
+      replicate_profile(full, node_groups(2, 8));
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(replicated.o(i, i), full.o(i, i));
+  }
+}
+
+TEST(Replicate, RejectsBadGroupings) {
+  const TopologyProfile p = generate_profile(quad_cluster(2), 16);
+  EXPECT_THROW(replicate_profile(p, {}), Error);
+  EXPECT_THROW(replicate_profile(p, {{0, 1}}), Error);  // single group
+  // Unequal group sizes.
+  RankGroups uneven{{0, 1, 2}, {3}};
+  EXPECT_THROW(replicate_profile(p, uneven), Error);
+  // Not a partition of all ranks.
+  RankGroups partial{{0, 1}, {2, 3}};
+  EXPECT_THROW(replicate_profile(p, partial), Error);
+  // Out-of-range rank.
+  RankGroups groups = node_groups(2, 8);
+  groups[1][7] = 99;
+  EXPECT_THROW(replicate_profile(p, groups), Error);
+}
+
+TEST(Replicate, DeviationMetricBasics) {
+  const TopologyProfile a = generate_profile(quad_cluster(2), 8);
+  EXPECT_DOUBLE_EQ(max_relative_deviation(a, a), 0.0);
+  const TopologyProfile b = generate_profile(hex_cluster(2), 8);
+  EXPECT_GT(max_relative_deviation(a, b), 0.0);
+  const TopologyProfile c = generate_profile(quad_cluster(2), 16);
+  EXPECT_THROW(max_relative_deviation(a, c), Error);
+}
+
+}  // namespace
+}  // namespace optibar

@@ -1,0 +1,187 @@
+// Tests for dynamic re-tuning: drift monitoring, the amortization rule,
+// and the adaptive controller end to end (Section VIII future work).
+#include "core/retune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "barrier/cost_model.hpp"
+#include "netsim/engine.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TopologyProfile base_profile(std::size_t ranks = 16) {
+  const MachineSpec m = quad_cluster();
+  return generate_profile(m, round_robin_mapping(m, ranks));
+}
+
+/// The "conditions changed" truth used by the controller tests: the
+/// same machine under a *different* rank placement (block instead of
+/// round-robin). This models the affinity drift the paper warns about —
+/// "valid predictions require consistency between the run time
+/// conditions reflected in the profile and those of an experimental
+/// verification" — and guarantees the old schedule's locality
+/// assumptions are wrong, so a re-tune has something to win.
+TopologyProfile remapped_profile(std::size_t ranks = 16) {
+  const MachineSpec m = quad_cluster();
+  return generate_profile(m, block_mapping(m, ranks));
+}
+
+void feed_observations(AdaptiveBarrierController& controller,
+                       const TopologyProfile& truth) {
+  for (std::size_t i = 0; i < truth.ranks(); ++i) {
+    for (std::size_t j = i + 1; j < truth.ranks(); ++j) {
+      controller.monitor().observe_overhead(i, j, truth.o(i, j));
+      controller.monitor().observe_latency(i, j, truth.l(i, j));
+    }
+  }
+}
+
+TEST(DriftMonitor, StartsWithZeroDrift) {
+  DriftMonitor monitor(base_profile());
+  EXPECT_DOUBLE_EQ(monitor.max_drift(), 0.0);
+  EXPECT_EQ(monitor.observation_count(), 0u);
+}
+
+TEST(DriftMonitor, EwmaConvergesToObservations) {
+  TopologyProfile profile = base_profile();
+  const double old_value = profile.o(0, 1);
+  DriftMonitor monitor(std::move(profile), /*alpha=*/0.5);
+  const double target = old_value * 3.0;
+  for (int i = 0; i < 30; ++i) {
+    monitor.observe_overhead(0, 1, target);
+  }
+  EXPECT_NEAR(monitor.current().o(0, 1), target, 1e-3 * target);
+  EXPECT_NEAR(monitor.current().o(1, 0), target, 1e-3 * target);
+  EXPECT_NEAR(monitor.max_drift(), 2.0, 0.01);  // 3x = 200% drift
+}
+
+TEST(DriftMonitor, SingleObservationMovesByAlpha) {
+  TopologyProfile profile = base_profile();
+  const double old_value = profile.o(0, 8);
+  DriftMonitor monitor(std::move(profile), /*alpha=*/0.25);
+  monitor.observe_overhead(0, 8, 2.0 * old_value);
+  EXPECT_NEAR(monitor.current().o(0, 8), 1.25 * old_value, 1e-12);
+}
+
+TEST(DriftMonitor, LatencyObservationsUpdateL) {
+  TopologyProfile profile = base_profile();
+  const double old_value = profile.l(0, 1);
+  DriftMonitor monitor(std::move(profile), /*alpha=*/1.0);
+  monitor.observe_latency(0, 1, 5.0 * old_value);
+  EXPECT_DOUBLE_EQ(monitor.current().l(0, 1), 5.0 * old_value);
+  EXPECT_DOUBLE_EQ(monitor.current().l(1, 0), 5.0 * old_value);
+}
+
+TEST(DriftMonitor, RebaselineZeroesDrift) {
+  DriftMonitor monitor(base_profile(), 1.0);
+  monitor.observe_overhead(0, 1, 1.0);
+  EXPECT_GT(monitor.max_drift(), 0.0);
+  monitor.rebaseline();
+  EXPECT_DOUBLE_EQ(monitor.max_drift(), 0.0);
+}
+
+TEST(DriftMonitor, RejectsBadInputs) {
+  EXPECT_THROW(DriftMonitor(base_profile(), 0.0), Error);
+  EXPECT_THROW(DriftMonitor(base_profile(), 1.5), Error);
+  DriftMonitor monitor(base_profile());
+  EXPECT_THROW(monitor.observe_overhead(0, 99, 1e-6), Error);
+  EXPECT_THROW(monitor.observe_overhead(0, 1, -1.0), Error);
+  EXPECT_THROW(monitor.observe_latency(3, 3, 1e-6), Error);
+}
+
+TEST(Amortization, RetunesWhenGainCoversOverhead) {
+  // Gain 10us/call, overhead 0.1s -> break-even at 10,000 calls.
+  const RetuneDecision d = evaluate_retune(1e-4, 9e-5, 0.1, 20'000);
+  EXPECT_TRUE(d.retune);
+  EXPECT_NEAR(d.gain_per_call, 1e-5, 1e-12);
+  EXPECT_NEAR(d.break_even_calls, 10'000.0, 1.0);
+}
+
+TEST(Amortization, DeclinesShortHorizons) {
+  const RetuneDecision d = evaluate_retune(1e-4, 9e-5, 0.1, 5'000);
+  EXPECT_FALSE(d.retune);
+  EXPECT_NEAR(d.break_even_calls, 10'000.0, 1.0);
+}
+
+TEST(Amortization, NeverRetunesForWorseCandidate) {
+  const RetuneDecision d = evaluate_retune(1e-4, 2e-4, 0.0, 1e12);
+  EXPECT_FALSE(d.retune);
+  EXPECT_TRUE(std::isinf(d.break_even_calls));
+}
+
+TEST(Amortization, ZeroOverheadRetunesOnAnyGain) {
+  const RetuneDecision d = evaluate_retune(1e-4, 9.9e-5, 0.0, 1.0);
+  EXPECT_TRUE(d.retune);
+  EXPECT_DOUBLE_EQ(d.break_even_calls, 0.0);
+}
+
+TEST(Controller, NoDriftNoRetune) {
+  AdaptiveBarrierController controller(base_profile());
+  EXPECT_FALSE(controller.reevaluate(1e9));
+  EXPECT_EQ(controller.retune_count(), 0u);
+}
+
+TEST(Controller, AdaptsToChangedPlacement) {
+  // The placement changed from round-robin to block; the old schedule's
+  // "node-local" sub-barriers now cross nodes. Feed observations,
+  // re-evaluate with a long horizon, and check the controller both
+  // re-tunes and actually improves the simulated cost on the new truth.
+  const TopologyProfile before = base_profile();
+  const TopologyProfile after = remapped_profile();
+
+  ControllerOptions options;
+  options.drift_threshold = 0.5;
+  options.alpha = 1.0;  // adopt observations immediately
+  AdaptiveBarrierController controller(before, options);
+  const Schedule original = controller.schedule();
+
+  feed_observations(controller, after);
+  EXPECT_GT(controller.monitor().max_drift(), 0.5);
+
+  ASSERT_TRUE(controller.reevaluate(/*expected_remaining_calls=*/1e9));
+  EXPECT_EQ(controller.retune_count(), 1u);
+  EXPECT_GT(controller.last_decision().gain_per_call, 0.0);
+
+  // The new schedule must beat the old one on the re-mapped machine.
+  const double old_cost = simulate(original, after).barrier_time();
+  const double new_cost = simulate(controller.schedule(), after).barrier_time();
+  EXPECT_LT(new_cost, old_cost);
+
+  // Drift was re-anchored.
+  EXPECT_DOUBLE_EQ(controller.monitor().max_drift(), 0.0);
+}
+
+TEST(Controller, DeclinesUnamortizableRetune) {
+  ControllerOptions options;
+  options.drift_threshold = 0.5;
+  options.alpha = 1.0;
+  options.retune_overhead = 10.0;  // absurdly expensive re-tune
+  AdaptiveBarrierController controller(base_profile(), options);
+  feed_observations(controller, remapped_profile());
+  // One call left: a 10 s overhead can never pay off.
+  EXPECT_FALSE(controller.reevaluate(/*expected_remaining_calls=*/1.0));
+  EXPECT_EQ(controller.retune_count(), 0u);
+  EXPECT_FALSE(controller.last_decision().retune);
+  EXPECT_GT(controller.last_decision().break_even_calls, 1.0);
+}
+
+TEST(Controller, MeasuredOverheadIsUsedWhenUnconfigured) {
+  // With retune_overhead = 0 the controller times the tuner itself; a
+  // huge horizon must then accept any positive gain.
+  ControllerOptions options;
+  options.drift_threshold = 0.5;
+  options.alpha = 1.0;
+  AdaptiveBarrierController controller(base_profile(), options);
+  feed_observations(controller, remapped_profile());
+  EXPECT_TRUE(controller.reevaluate(1e15));
+}
+
+}  // namespace
+}  // namespace optibar

@@ -1,0 +1,129 @@
+// Tests for the deterministic RNG: reproducibility, distribution sanity,
+// stream independence.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, CopyForksIdenticalStream) {
+  Rng a(55);
+  a.next_u64();
+  Rng b = a;  // value semantics: identical continuation
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(9);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    total += rng.uniform(0.0, 10.0);
+  }
+  EXPECT_NEAR(total / n, 5.0, 0.05);
+}
+
+TEST(Rng, NextBelowStaysInRangeAndCoversAll) {
+  Rng rng(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(11);
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(12);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mu = sum / n;
+  const double sigma = std::sqrt(sum_sq / n - mu * mu);
+  EXPECT_NEAR(mu, 0.0, 0.02);
+  EXPECT_NEAR(sigma, 1.0, 0.02);
+}
+
+TEST(Rng, ScaledNormal) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.normal(5.0, 0.5);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated) {
+  Rng parent(42);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+}  // namespace
+}  // namespace optibar

@@ -1,0 +1,174 @@
+// Tests for Schedule: Eq. 3 knowledge recurrence, barrier detection,
+// transforms, and the embedding primitive of the hierarchical composer.
+#include "barrier/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "barrier/algorithms.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+StageMatrix stage_with(std::size_t p,
+                       std::initializer_list<std::pair<std::size_t, std::size_t>>
+                           edges) {
+  StageMatrix m(p, p, 0);
+  for (const auto& [i, j] : edges) {
+    m(i, j) = 1;
+  }
+  return m;
+}
+
+TEST(Schedule, EmptyScheduleIsBarrierOnlyForOneRank) {
+  EXPECT_TRUE(Schedule(1).is_barrier());
+  EXPECT_FALSE(Schedule(2).is_barrier());
+}
+
+TEST(Schedule, RejectsSelfSignals) {
+  Schedule s(2);
+  StageMatrix bad(2, 2, 0);
+  bad(0, 0) = 1;
+  EXPECT_THROW(s.append_stage(bad), Error);
+}
+
+TEST(Schedule, RejectsWrongShapeStage) {
+  Schedule s(3);
+  EXPECT_THROW(s.append_stage(StageMatrix(2, 2, 0)), Error);
+}
+
+TEST(Schedule, TargetsAndSourcesReadRowsAndColumns) {
+  Schedule s(3);
+  s.append_stage(stage_with(3, {{0, 1}, {0, 2}, {2, 1}}));
+  EXPECT_EQ(s.targets_of(0, 0), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(s.targets_of(1, 0), (std::vector<std::size_t>{}));
+  EXPECT_EQ(s.sources_of(1, 0), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(s.sources_of(0, 0), (std::vector<std::size_t>{}));
+}
+
+TEST(Schedule, KnowledgeRecurrenceMatchesEquation3ByHand) {
+  // P=2 linear: S0 = {1->0}, S1 = {0->1}.
+  Schedule s(2);
+  s.append_stage(stage_with(2, {{1, 0}}));
+  // K0 = I + S0: rank 0 knows both arrivals, rank 1 only its own.
+  const BoolMatrix k0 = s.knowledge_after(0);
+  EXPECT_EQ(k0(0, 0), 1);
+  EXPECT_EQ(k0(1, 0), 1);
+  EXPECT_EQ(k0(0, 1), 0);
+  EXPECT_EQ(k0(1, 1), 1);
+  EXPECT_FALSE(s.is_barrier());
+  s.append_stage(stage_with(2, {{0, 1}}));
+  EXPECT_TRUE(s.final_knowledge().all_nonzero());
+  EXPECT_TRUE(s.is_barrier());
+}
+
+TEST(Schedule, OneDirectionOnlyIsNotABarrier) {
+  Schedule s(2);
+  s.append_stage(stage_with(2, {{0, 1}}));
+  EXPECT_FALSE(s.is_barrier());  // rank 0 never learns of rank 1's arrival
+}
+
+TEST(Schedule, KnowledgePropagatesTransitively) {
+  // 0 -> 1 in stage 0, 1 -> 2 in stage 1: rank 2 must know rank 0.
+  Schedule s(3);
+  s.append_stage(stage_with(3, {{0, 1}}));
+  s.append_stage(stage_with(3, {{1, 2}}));
+  const BoolMatrix k = s.final_knowledge();
+  EXPECT_EQ(k(0, 2), 1);
+  EXPECT_EQ(k(1, 2), 1);
+}
+
+TEST(Schedule, OrderOfStagesMatters) {
+  // The same two stages in the opposite order break transitivity.
+  Schedule s(3);
+  s.append_stage(stage_with(3, {{1, 2}}));
+  s.append_stage(stage_with(3, {{0, 1}}));
+  const BoolMatrix k = s.final_knowledge();
+  EXPECT_EQ(k(0, 2), 0);
+}
+
+TEST(Schedule, TransposedReversedOfGatherIsBroadcast) {
+  const Schedule arrival = tree_arrival(8);
+  const Schedule departure = arrival.transposed_reversed();
+  EXPECT_EQ(departure.stage_count(), arrival.stage_count());
+  // First departure stage is the transpose of the last arrival stage.
+  EXPECT_EQ(departure.stage(0),
+            arrival.stage(arrival.stage_count() - 1).transposed());
+  // Gather + broadcast = full barrier.
+  EXPECT_TRUE(arrival.concatenated(departure).is_barrier());
+}
+
+TEST(Schedule, ConcatenateRequiresSameRankCount) {
+  EXPECT_THROW(Schedule(2).concatenated(Schedule(3)), Error);
+}
+
+TEST(Schedule, CompactedDropsEmptyStagesOnly) {
+  Schedule s(2);
+  s.append_stage(stage_with(2, {{1, 0}}));
+  s.append_stage(StageMatrix(2, 2, 0));
+  s.append_stage(stage_with(2, {{0, 1}}));
+  const Schedule c = s.compacted();
+  EXPECT_EQ(c.stage_count(), 2u);
+  EXPECT_TRUE(c.is_barrier());
+  EXPECT_EQ(s.nonempty_stage_count(), 2u);
+}
+
+TEST(Schedule, TotalSignalsCounts) {
+  const Schedule s = linear_barrier(5);
+  // 4 arrival + 4 departure signals.
+  EXPECT_EQ(s.total_signals(), 8u);
+}
+
+TEST(Schedule, PopStageUndoesAppend) {
+  Schedule s(2);
+  s.append_stage(stage_with(2, {{1, 0}}));
+  s.append_stage(stage_with(2, {{0, 1}}));
+  EXPECT_TRUE(s.is_barrier());
+  s.pop_stage();
+  EXPECT_EQ(s.stage_count(), 1u);
+  EXPECT_FALSE(s.is_barrier());
+  EXPECT_THROW(Schedule(2).pop_stage(), Error);
+}
+
+TEST(Schedule, EmbedMapsLocalRanksIntoGlobalSpace) {
+  // A 2-rank exchange embedded over global ranks {3, 1} of a 5-rank
+  // schedule, starting at stage 1.
+  Schedule local(2);
+  local.append_stage(stage_with(2, {{0, 1}}));
+  Schedule global(5);
+  embed_schedule(global, local, {3, 1}, 1);
+  EXPECT_EQ(global.stage_count(), 2u);
+  EXPECT_TRUE(global.stage(0).all_zero());
+  EXPECT_EQ(global.stage(1)(3, 1), 1);
+  EXPECT_EQ(global.stage(1).count_nonzero(), 1u);
+}
+
+TEST(Schedule, EmbedMergesWithExistingSignals) {
+  Schedule global(4);
+  global.append_stage(stage_with(4, {{0, 1}}));
+  Schedule local(2);
+  local.append_stage(stage_with(2, {{0, 1}}));
+  embed_schedule(global, local, {2, 3}, 0);
+  EXPECT_EQ(global.stage(0)(0, 1), 1);  // original preserved
+  EXPECT_EQ(global.stage(0)(2, 3), 1);  // embedded added
+}
+
+TEST(Schedule, EmbedValidatesRankMap) {
+  Schedule global(3);
+  Schedule local(2);
+  local.append_stage(stage_with(2, {{0, 1}}));
+  EXPECT_THROW(embed_schedule(global, local, {0}, 0), Error);      // arity
+  EXPECT_THROW(embed_schedule(global, local, {0, 5}, 0), Error);   // range
+}
+
+TEST(Schedule, StreamOutputMentionsShape) {
+  std::ostringstream os;
+  os << linear_barrier(3);
+  EXPECT_NE(os.str().find("3 ranks"), std::string::npos);
+  EXPECT_NE(os.str().find("2 stages"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optibar

@@ -1,0 +1,92 @@
+// Tests for the wall-clock measurement engine over the thread runtime —
+// the closest in-process analogue of the paper's actual MPI measurement
+// procedure. Link delays are scaled into milliseconds so scheduler noise
+// cannot drown them; tolerances are correspondingly loose.
+#include "profile/simmpi_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profile/estimator.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+SimMpiEngineOptions scaled() {
+  SimMpiEngineOptions options;
+  options.latency_scale = 200.0;  // microseconds -> sub-millisecond sleeps
+  return options;
+}
+
+TEST(SimMpiEngine, ValidatesArguments) {
+  const MachineSpec m = quad_cluster(1);
+  SimMpiEngine engine(m, block_mapping(m, 4), scaled());
+  EXPECT_EQ(engine.ranks(), 4u);
+  EXPECT_THROW(engine.roundtrip_seconds(1, 1, 8), Error);
+  EXPECT_THROW(engine.roundtrip_seconds(0, 9, 8), Error);
+  EXPECT_THROW(engine.batch_seconds(2, 2, 4), Error);
+  EXPECT_THROW(engine.batch_seconds(0, 1, 0), Error);
+  EXPECT_THROW(engine.noop_seconds(7), Error);
+  SimMpiEngineOptions bad;
+  bad.latency_scale = 0.0;
+  EXPECT_THROW(SimMpiEngine(m, block_mapping(m, 2), bad), Error);
+}
+
+TEST(SimMpiEngine, RoundtripCoversTwoLinkTraversals) {
+  const MachineSpec m = quad_cluster(2);
+  SimMpiEngine engine(m, block_mapping(m, 16), scaled());
+  // Inter-node pair: each direction sleeps O * scale; the measured
+  // round trip (descaled) must be at least 2*O and not wildly more.
+  const double truth = engine.ground_truth().o(0, 8);
+  const double measured = engine.roundtrip_seconds(0, 8, 1);
+  EXPECT_GE(measured, 2.0 * truth * 0.9);
+  EXPECT_LE(measured, 2.0 * truth * 3.0);  // scheduler slack
+}
+
+TEST(SimMpiEngine, RoundtripDistinguishesTiers) {
+  const MachineSpec m = quad_cluster(2);
+  SimMpiEngine engine(m, block_mapping(m, 16), scaled());
+  // Inter-node (25us) vs shared-cache (2us): the wall-clock measurement
+  // must preserve the order with a clear margin.
+  const double remote = engine.roundtrip_seconds(0, 8, 1);
+  const double local = engine.roundtrip_seconds(0, 1, 1);
+  EXPECT_GT(remote, 2.0 * local);
+}
+
+TEST(SimMpiEngine, BatchGrowsWithMessageCount) {
+  const MachineSpec m = quad_cluster(2);
+  SimMpiEngine engine(m, block_mapping(m, 16), scaled());
+  const double one = engine.batch_seconds(0, 8, 1);
+  const double eight = engine.batch_seconds(0, 8, 8);
+  // Seven extra issuance gaps of L * scale each.
+  const double truth_l = engine.ground_truth().l(0, 8);
+  EXPECT_GT(eight - one, 0.5 * 7 * truth_l);
+}
+
+TEST(SimMpiEngine, NoopApproximatesSelfOverhead) {
+  const MachineSpec m = quad_cluster(1);
+  SimMpiEngine engine(m, block_mapping(m, 4), scaled());
+  const double truth = engine.ground_truth().o(2, 2);
+  const double measured = engine.noop_seconds(2);
+  EXPECT_GE(measured, truth * 0.9);
+  EXPECT_LE(measured, truth * 5.0);
+}
+
+TEST(SimMpiEngine, EstimatorRecoversTierOrderingFromWallClock) {
+  // End to end through the Section IV-A estimator on real threads: the
+  // estimated inter-node O must clearly exceed the estimated local O.
+  const MachineSpec m = quad_cluster(2);
+  SimMpiEngine engine(m, block_mapping(m, 16), scaled());
+  EstimatorOptions fast;
+  fast.repetitions = 2;
+  fast.max_payload_exponent = 4;
+  fast.max_batch = 4;
+  const double remote_o = estimate_overhead(engine, 0, 8, fast);
+  const double local_o = estimate_overhead(engine, 0, 1, fast);
+  EXPECT_GT(remote_o, 2.0 * local_o);
+}
+
+}  // namespace
+}  // namespace optibar

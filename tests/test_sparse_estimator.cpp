@@ -1,0 +1,142 @@
+// Tests for Section IV-B sparse profiling: measurement savings, accuracy
+// against the full sweep, verification spot-checks, and the failure path
+// on a non-uniform machine.
+#include "profile/sparse_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/tuner.hpp"
+#include "netsim/engine.hpp"
+#include "profile/synthetic_engine.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+RankGroups node_groups(std::size_t nodes, std::size_t per_node) {
+  RankGroups groups(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    for (std::size_t c = 0; c < per_node; ++c) {
+      groups[n].push_back(n * per_node + c);
+    }
+  }
+  return groups;
+}
+
+EstimatorOptions fast_estimation() {
+  EstimatorOptions options;
+  options.repetitions = 3;
+  options.max_payload_exponent = 12;
+  options.max_batch = 8;
+  return options;
+}
+
+TEST(SparseEstimator, RecoversFullProfileOnUniformMachine) {
+  const MachineSpec m = quad_cluster(4);
+  const Mapping mapping = block_mapping(m, 32);
+  SyntheticEngineOptions quiet;
+  quiet.noise = 0.0;
+  SyntheticEngine engine(m, mapping, quiet);
+  SparseEstimateOptions options;
+  options.estimation = fast_estimation();
+  const SparseEstimate sparse =
+      estimate_profile_sparse(engine, node_groups(4, 8), options);
+  EXPECT_LT(max_relative_deviation(sparse.profile, engine.ground_truth()),
+            1e-6);
+}
+
+TEST(SparseEstimator, MeasuresFarFewerPairsThanTheFullSweep) {
+  const MachineSpec m = quad_cluster(8);
+  const Mapping mapping = block_mapping(m, 64);
+  SyntheticEngineOptions quiet;
+  quiet.noise = 0.0;
+  SyntheticEngine engine(m, mapping, quiet);
+  SparseEstimateOptions options;
+  options.estimation = fast_estimation();
+  const SparseEstimate sparse =
+      estimate_profile_sparse(engine, node_groups(8, 8), options);
+  // 8*7/2 intra + 8*8 inter = 92 measured vs 64*63/2 = 2016 full.
+  EXPECT_EQ(sparse.measured_pairs, 92u);
+  EXPECT_EQ(sparse.full_sweep_pairs, 2016u);
+  EXPECT_LT(sparse.measured_pairs * 20, sparse.full_sweep_pairs);
+}
+
+TEST(SparseEstimator, VerificationPassesOnUniformMachine) {
+  const MachineSpec m = quad_cluster(4);
+  const Mapping mapping = block_mapping(m, 32);
+  SyntheticEngineOptions eopts;
+  eopts.noise = 0.02;
+  SyntheticEngine engine(m, mapping, eopts);
+  SparseEstimateOptions options;
+  options.estimation = fast_estimation();
+  options.estimation.repetitions = 25;
+  options.verify_pairs = 10;
+  const SparseEstimate sparse =
+      estimate_profile_sparse(engine, node_groups(4, 8), options);
+  EXPECT_GT(sparse.worst_verified_deviation, 0.0);   // noise exists
+  EXPECT_LT(sparse.worst_verified_deviation, 0.25);  // but within band
+  EXPECT_EQ(sparse.measured_pairs, 28u + 64u + 10u);  // intra + inter + spot checks
+}
+
+TEST(SparseEstimator, VerificationCatchesNonUniformMachines) {
+  // When spot-checked pairs deviate from their replicated values beyond
+  // the tolerance, the sparse estimator must reject rather than return a
+  // profile that silently misrepresents the machine. Exercised
+  // deterministically by dialing the tolerance below the measurement
+  // noise floor.
+  const MachineSpec m = quad_cluster(4);
+  const Mapping mapping = block_mapping(m, 32);
+  SyntheticEngineOptions eopts;
+  eopts.noise = 0.05;
+  SyntheticEngine engine(m, mapping, eopts);
+  SparseEstimateOptions options;
+  options.estimation = fast_estimation();
+  options.verify_pairs = 5;
+  options.verify_tolerance = 1e-6;  // no noisy measurement can pass this
+  EXPECT_THROW(
+      estimate_profile_sparse(engine, node_groups(4, 8), options), Error);
+}
+
+TEST(SparseEstimator, RejectsBadGroupings) {
+  const MachineSpec m = quad_cluster(2);
+  SyntheticEngineOptions quiet;
+  quiet.noise = 0.0;
+  SyntheticEngine engine(m, block_mapping(m, 16), quiet);
+  SparseEstimateOptions options;
+  options.estimation = fast_estimation();
+  EXPECT_THROW(estimate_profile_sparse(engine, {}, options), Error);
+  EXPECT_THROW(
+      estimate_profile_sparse(engine, {{0, 1, 2, 3, 4, 5, 6, 7}}, options),
+      Error);
+  RankGroups uneven{{0, 1, 2, 3, 4, 5, 6, 7, 8}, {9, 10, 11, 12, 13, 14, 15}};
+  EXPECT_THROW(estimate_profile_sparse(engine, uneven, options), Error);
+}
+
+TEST(SparseEstimator, SparseProfileTunesLikeTheFullOne) {
+  // The point of the shortcut: the tuner must reach the same decision
+  // quality from the sparse profile.
+  const MachineSpec m = quad_cluster(4);
+  const Mapping mapping = block_mapping(m, 32);
+  SyntheticEngineOptions eopts;
+  eopts.noise = 0.02;
+  SyntheticEngine engine(m, mapping, eopts);
+  SparseEstimateOptions options;
+  options.estimation = fast_estimation();
+  options.estimation.repetitions = 25;
+  const SparseEstimate sparse =
+      estimate_profile_sparse(engine, node_groups(4, 8), options);
+
+  const auto from_sparse = tune_barrier(sparse.profile);
+  const auto from_truth = tune_barrier(engine.ground_truth());
+  const double simulated_sparse =
+      simulate(from_sparse.schedule(), engine.ground_truth()).barrier_time();
+  const double simulated_truth =
+      simulate(from_truth.schedule(), engine.ground_truth()).barrier_time();
+  EXPECT_LE(simulated_sparse, 1.15 * simulated_truth);
+}
+
+}  // namespace
+}  // namespace optibar

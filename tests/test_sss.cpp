@@ -1,0 +1,176 @@
+// Tests for Sparse Spatial Selection clustering (Section VII-A).
+#include "core/sss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+DistanceFn metric_from(const TopologyProfile& p) {
+  return [&p](std::size_t a, std::size_t b) { return p.distance(a, b); };
+}
+
+TEST(Sss, SinglePointIsOneCluster) {
+  const auto clusters =
+      sss_cluster(1, [](std::size_t, std::size_t) { return 0.0; });
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0], (std::vector<std::size_t>{0}));
+}
+
+TEST(Sss, AllEqualDistancesBelowThresholdGiveOneCluster) {
+  // diameter = d, every distance = d > 0.35 d -> all become centers.
+  // Conversely with all distances equal the threshold equals 0.35 * d,
+  // so everything splits into singletons.
+  const auto clusters = sss_cluster(
+      5, [](std::size_t a, std::size_t b) { return a == b ? 0.0 : 1.0; });
+  EXPECT_EQ(clusters.size(), 5u);
+}
+
+TEST(Sss, ZeroDiameterCollapsesToOneCluster) {
+  const auto clusters =
+      sss_cluster(4, [](std::size_t, std::size_t) { return 0.0; });
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 4u);
+}
+
+TEST(Sss, TwoWellSeparatedGroups) {
+  // Points 0..2 mutually close (0.01), points 3..5 mutually close,
+  // inter-group distance 1.0.
+  auto dist = [](std::size_t a, std::size_t b) {
+    if (a == b) {
+      return 0.0;
+    }
+    return (a / 3 == b / 3) ? 0.01 : 1.0;
+  };
+  const auto clusters = sss_cluster(6, dist);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(clusters[1], (std::vector<std::size_t>{3, 4, 5}));
+}
+
+TEST(Sss, CenterIsFirstMember) {
+  auto dist = [](std::size_t a, std::size_t b) {
+    if (a == b) {
+      return 0.0;
+    }
+    return (a / 2 == b / 2) ? 0.01 : 1.0;
+  };
+  const auto clusters = sss_cluster(4, dist);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].front(), 0u);
+  EXPECT_EQ(clusters[1].front(), 2u);
+}
+
+TEST(Sss, ClustersPartitionAllPoints) {
+  const MachineSpec m = quad_cluster();
+  const TopologyProfile p =
+      generate_profile(m, round_robin_mapping(m, 40), GenerateOptions{});
+  const auto clusters = sss_cluster(40, metric_from(p));
+  std::set<std::size_t> seen;
+  for (const auto& cluster : clusters) {
+    for (std::size_t member : cluster) {
+      EXPECT_TRUE(seen.insert(member).second) << "duplicate " << member;
+    }
+  }
+  EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(Sss, NodeGranularityOnQuadClusterBlockMapping) {
+  // "we get clusters of node-level granularity on our test systems."
+  const MachineSpec m = quad_cluster();
+  const std::size_t p = 32;  // 4 nodes
+  const TopologyProfile profile =
+      generate_profile(m, block_mapping(m, p), GenerateOptions{});
+  const auto clusters = sss_cluster(p, metric_from(profile));
+  ASSERT_EQ(clusters.size(), 4u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    ASSERT_EQ(clusters[c].size(), 8u);
+    for (std::size_t member : clusters[c]) {
+      EXPECT_EQ(member / 8, c) << "rank " << member << " in wrong cluster";
+    }
+  }
+}
+
+TEST(Sss, NodeGranularityUnderRoundRobinMapping) {
+  const MachineSpec m = quad_cluster();
+  const std::size_t p = 22;  // Figure 10's case: 3 nodes
+  const TopologyProfile profile =
+      generate_profile(m, round_robin_mapping(m, p), GenerateOptions{});
+  const auto clusters = sss_cluster(p, metric_from(profile));
+  ASSERT_EQ(clusters.size(), 3u);
+  // Under round-robin over 3 nodes, rank r lives on node r % 3.
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (std::size_t member : clusters[c]) {
+      EXPECT_EQ(member % 3, clusters[c].front() % 3)
+          << "cluster " << c << " mixes nodes";
+    }
+  }
+}
+
+TEST(Sss, NodeGranularityOnHexCluster) {
+  const MachineSpec m = hex_cluster();
+  const std::size_t p = 60;  // 5 nodes
+  const TopologyProfile profile =
+      generate_profile(m, block_mapping(m, p), GenerateOptions{});
+  const auto clusters = sss_cluster(p, metric_from(profile));
+  EXPECT_EQ(clusters.size(), 5u);
+}
+
+TEST(Sss, LowerSparsenessRefinesToSockets) {
+  // "Further lowering the sparseness parameter can refine the clustering
+  //  to cores on a chip..." — within one quad node, socket structure
+  //  appears at a smaller alpha.
+  const MachineSpec m = quad_cluster(1);
+  const TopologyProfile profile = generate_profile(m, 8);
+  // Threshold between same-chip (2.5us) and cross-socket (4.0us):
+  // sockets emerge.
+  SssOptions socket_level;
+  socket_level.sparseness = 0.7;
+  const auto sockets = sss_cluster(8, metric_from(profile), socket_level);
+  ASSERT_EQ(sockets.size(), 2u);
+  EXPECT_EQ(sockets[0], (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(sockets[1], (std::vector<std::size_t>{4, 5, 6, 7}));
+  // Threshold between shared-cache (2.0us) and same-chip (2.5us):
+  // "...and cores sharing cache."
+  SssOptions cache_level;
+  cache_level.sparseness = 0.55;
+  const auto pairs = sss_cluster(8, metric_from(profile), cache_level);
+  ASSERT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(pairs[3], (std::vector<std::size_t>{6, 7}));
+}
+
+TEST(Sss, DeterministicAcrossCalls) {
+  const MachineSpec m = hex_cluster();
+  const TopologyProfile p =
+      generate_profile(m, block_mapping(m, 48), GenerateOptions{0.1, 9});
+  const auto a = sss_cluster(48, metric_from(p));
+  const auto b = sss_cluster(48, metric_from(p));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sss, RejectsBadArguments) {
+  EXPECT_THROW(sss_cluster(0, [](std::size_t, std::size_t) { return 0.0; }),
+               Error);
+  EXPECT_THROW(sss_cluster(2, DistanceFn{}), Error);
+  SssOptions bad;
+  bad.sparseness = 0.0;
+  EXPECT_THROW(
+      sss_cluster(2, [](std::size_t, std::size_t) { return 1.0; }, bad),
+      Error);
+  bad.sparseness = 1.0;
+  EXPECT_THROW(
+      sss_cluster(2, [](std::size_t, std::size_t) { return 1.0; }, bad),
+      Error);
+}
+
+}  // namespace
+}  // namespace optibar

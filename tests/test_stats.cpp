@@ -1,0 +1,121 @@
+// Unit tests for the statistics toolkit, in particular the least-squares
+// fit that turns Section IV-A measurements into O (intercept) and L
+// (gradient) estimates.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace optibar {
+namespace {
+
+TEST(LeastSquares, RecoversExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double v : x) {
+    y.push_back(3.5 + 2.0 * v);
+  }
+  const LinearFit fit = least_squares(x, y);
+  EXPECT_NEAR(fit.intercept, 3.5, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LeastSquares, NegativeSlope) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{10, 8, 6, 4};
+  const LinearFit fit = least_squares(x, y);
+  EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 10.0, 1e-12);
+}
+
+TEST(LeastSquares, NoisyDataApproximatesTruth) {
+  Rng rng(99);
+  std::vector<double> x;
+  std::vector<double> y;
+  const double intercept = 5.0e-5;
+  const double slope = 5.0e-6;
+  for (int i = 1; i <= 64; ++i) {
+    x.push_back(i);
+    y.push_back(intercept + slope * i + rng.normal(0.0, 1.0e-7));
+  }
+  const LinearFit fit = least_squares(x, y);
+  EXPECT_NEAR(fit.intercept, intercept, 2.0e-6);
+  EXPECT_NEAR(fit.slope, slope, 1.0e-7);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LeastSquares, ConstantYHasZeroSlopeAndPerfectR2) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4, 4, 4};
+  const LinearFit fit = least_squares(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(LeastSquares, RejectsDegenerateInputs) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(least_squares(one, one), Error);
+  const std::vector<double> x{2.0, 2.0};
+  const std::vector<double> y{1.0, 3.0};
+  EXPECT_THROW(least_squares(x, y), Error);  // identical x values
+  const std::vector<double> x2{1.0, 2.0};
+  const std::vector<double> y3{1.0, 2.0, 3.0};
+  EXPECT_THROW(least_squares(x2, y3), Error);  // length mismatch
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  const std::vector<double> odd{3, 1, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99), 7.0);
+}
+
+TEST(Stats, PercentileRejectsBadInputs) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -1), Error);
+  EXPECT_THROW(percentile(v, 101), Error);
+  EXPECT_THROW(percentile(std::vector<double>{}, 50), Error);
+}
+
+TEST(Stats, SummarizeAggregates) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Stats, MeanOfEmptyThrows) {
+  EXPECT_THROW(mean(std::vector<double>{}), Error);
+}
+
+}  // namespace
+}  // namespace optibar

@@ -1,0 +1,68 @@
+// Tests for the table/CSV printer used by the figure benches.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TEST(Table, RequiresHeaders) { EXPECT_THROW(Table({}), Error); }
+
+TEST(Table, RejectsWrongArityRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), Error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), Error);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"P", "time"});
+  t.add_row({"2", "0.5"});
+  t.add_row({"100", "12.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_NE(out.find("P"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("12.25"), std::string::npos);
+  // Four lines exactly.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, CsvOutputIsCommaSeparated) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, CsvQuotesCellsWithCommas) {
+  Table t({"name"});
+  t.add_row({"a,b"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name\n\"a,b\"\n");
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(1.5, 2), "1.50");
+  EXPECT_EQ(Table::num(0.000123456, 6), "0.000123");
+  EXPECT_EQ(Table::num(std::size_t{42}), "42");
+}
+
+TEST(Table, RowCountTracksAdds) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace optibar

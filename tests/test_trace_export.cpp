@@ -1,0 +1,131 @@
+// Tests for simulation trace export (CSV and Chrome trace JSON).
+#include "netsim/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "barrier/algorithms.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+SimResult traced_run() {
+  const MachineSpec m = quad_cluster(2);
+  const TopologyProfile profile = generate_profile(m, 8);
+  SimOptions options;
+  options.record_trace = true;
+  return simulate(tree_barrier(8), profile, options);
+}
+
+TEST(TraceExport, CsvHasHeaderAndOneRowPerMessage) {
+  const SimResult result = traced_run();
+  std::ostringstream os;
+  write_trace_csv(os, result);
+  const std::string text = os.str();
+  EXPECT_EQ(text.find("stage,src,dst,injected,matched,duration"), 0u);
+  const auto lines = std::count(text.begin(), text.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), result.trace.size() + 1);
+}
+
+TEST(TraceExport, CsvDurationsAreNonNegative) {
+  const SimResult result = traced_run();
+  std::ostringstream os;
+  write_trace_csv(os, result);
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);  // header
+  while (std::getline(is, line)) {
+    const std::size_t last_comma = line.rfind(',');
+    ASSERT_NE(last_comma, std::string::npos);
+    EXPECT_GE(std::stod(line.substr(last_comma + 1)), 0.0);
+  }
+}
+
+TEST(TraceExport, ChromeJsonIsWellFormedArray) {
+  const SimResult result = traced_run();
+  std::ostringstream os;
+  write_trace_chrome_json(os, result);
+  const std::string text = os.str();
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_NE(text.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(text.find(R"("name":"exit")"), std::string::npos);
+  // Balanced braces, one complete event per message + one per rank.
+  const auto opens = std::count(text.begin(), text.end(), '{');
+  const auto closes = std::count(text.begin(), text.end(), '}');
+  EXPECT_EQ(opens, closes);
+  const auto events =
+      static_cast<std::size_t>(std::count_if(text.begin(), text.end(),
+                                             [](char c) { return c == 'X'; }));
+  (void)events;
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), 'X')),
+            result.trace.size());
+}
+
+TEST(TraceExport, ChromeJsonRejectsBadScale) {
+  const SimResult result = traced_run();
+  std::ostringstream os;
+  EXPECT_THROW(write_trace_chrome_json(os, result, 0.0), Error);
+  EXPECT_THROW(write_trace_chrome_json(os, result, -1.0), Error);
+}
+
+TEST(Timeline, RendersOneRowPerRankWithExits) {
+  const SimResult result = traced_run();
+  const std::string text = render_timeline(result, 40);
+  // One header + 8 rank rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 9);
+  // Every rank row ends in an exit mark: '|', or a message mark when a
+  // send span overlaps the exit column.
+  std::istringstream lines(text);
+  std::string line;
+  std::getline(lines, line);  // header
+  while (std::getline(lines, line)) {
+    const std::size_t last = line.find_last_not_of(' ');
+    ASSERT_NE(last, std::string::npos);
+    const char mark = line[last];
+    EXPECT_TRUE(mark == '|' || mark == '#' ||
+                (mark >= '0' && mark <= '9'))
+        << "row ends with '" << mark << "': " << line;
+  }
+  EXPECT_NE(text.find("r0"), std::string::npos);
+  EXPECT_NE(text.find("r7"), std::string::npos);
+}
+
+TEST(Timeline, MarksStagesWithDigits) {
+  const SimResult result = traced_run();
+  const std::string text = render_timeline(result, 64);
+  EXPECT_NE(text.find('0'), std::string::npos);  // stage-0 sends visible
+}
+
+TEST(Timeline, WorksWithoutTrace) {
+  const MachineSpec m = quad_cluster(1);
+  const TopologyProfile profile = generate_profile(m, 4);
+  const SimResult result = simulate(tree_barrier(4), profile);
+  const std::string text = render_timeline(result);
+  EXPECT_NE(text.find("r3"), std::string::npos);
+  EXPECT_NE(text.find('|'), std::string::npos);
+}
+
+TEST(Timeline, RejectsTinyWidth) {
+  const SimResult result = traced_run();
+  EXPECT_THROW(render_timeline(result, 4), Error);
+}
+
+TEST(TraceExport, EmptyTraceStillValid) {
+  const MachineSpec m = quad_cluster(1);
+  const TopologyProfile profile = generate_profile(m, 2);
+  const SimResult result = simulate(linear_barrier(2), profile);  // no trace
+  std::ostringstream csv;
+  write_trace_csv(csv, result);
+  EXPECT_EQ(csv.str(), "stage,src,dst,injected,matched,duration\n");
+  std::ostringstream json;
+  write_trace_chrome_json(json, result);
+  EXPECT_NE(json.str().find("exit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optibar
