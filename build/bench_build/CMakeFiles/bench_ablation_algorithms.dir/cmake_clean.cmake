@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_algorithms"
+  "../bench/bench_ablation_algorithms.pdb"
+  "CMakeFiles/bench_ablation_algorithms.dir/ablation_algorithms.cpp.o"
+  "CMakeFiles/bench_ablation_algorithms.dir/ablation_algorithms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_optimize"
+  "../bench/bench_ablation_optimize.pdb"
+  "CMakeFiles/bench_ablation_optimize.dir/ablation_optimize.cpp.o"
+  "CMakeFiles/bench_ablation_optimize.dir/ablation_optimize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sparseness"
+  "../bench/bench_ablation_sparseness.pdb"
+  "CMakeFiles/bench_ablation_sparseness.dir/ablation_sparseness.cpp.o"
+  "CMakeFiles/bench_ablation_sparseness.dir/ablation_sparseness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sparseness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

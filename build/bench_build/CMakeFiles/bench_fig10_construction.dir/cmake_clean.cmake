@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_construction"
+  "../bench/bench_fig10_construction.pdb"
+  "CMakeFiles/bench_fig10_construction.dir/fig10_construction.cpp.o"
+  "CMakeFiles/bench_fig10_construction.dir/fig10_construction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_generated_hex"
+  "../bench/bench_fig11_generated_hex.pdb"
+  "CMakeFiles/bench_fig11_generated_hex.dir/fig11_generated_hex.cpp.o"
+  "CMakeFiles/bench_fig11_generated_hex.dir/fig11_generated_hex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_generated_hex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_generated_quad"
+  "../bench/bench_fig11_generated_quad.pdb"
+  "CMakeFiles/bench_fig11_generated_quad.dir/fig11_generated_quad.cpp.o"
+  "CMakeFiles/bench_fig11_generated_quad.dir/fig11_generated_quad.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_generated_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

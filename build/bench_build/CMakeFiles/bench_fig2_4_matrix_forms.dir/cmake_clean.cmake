@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_4_matrix_forms"
+  "../bench/bench_fig2_4_matrix_forms.pdb"
+  "CMakeFiles/bench_fig2_4_matrix_forms.dir/fig2_4_matrix_forms.cpp.o"
+  "CMakeFiles/bench_fig2_4_matrix_forms.dir/fig2_4_matrix_forms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_4_matrix_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

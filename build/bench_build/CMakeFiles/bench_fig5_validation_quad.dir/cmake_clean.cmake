@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_validation_quad"
+  "../bench/bench_fig5_validation_quad.pdb"
+  "CMakeFiles/bench_fig5_validation_quad.dir/fig5_validation_quad.cpp.o"
+  "CMakeFiles/bench_fig5_validation_quad.dir/fig5_validation_quad.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_validation_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

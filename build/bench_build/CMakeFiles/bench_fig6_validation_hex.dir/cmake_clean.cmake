@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_validation_hex"
+  "../bench/bench_fig6_validation_hex.pdb"
+  "CMakeFiles/bench_fig6_validation_hex.dir/fig6_validation_hex.cpp.o"
+  "CMakeFiles/bench_fig6_validation_hex.dir/fig6_validation_hex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_validation_hex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_individual_quad"
+  "../bench/bench_fig7_individual_quad.pdb"
+  "CMakeFiles/bench_fig7_individual_quad.dir/fig7_individual_quad.cpp.o"
+  "CMakeFiles/bench_fig7_individual_quad.dir/fig7_individual_quad.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_individual_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_individual_quad.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_individual_quad.
+# This may be replaced when dependencies are built.

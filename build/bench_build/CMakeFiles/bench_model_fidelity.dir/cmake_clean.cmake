@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_model_fidelity"
+  "../bench/bench_model_fidelity.pdb"
+  "CMakeFiles/bench_model_fidelity.dir/model_fidelity.cpp.o"
+  "CMakeFiles/bench_model_fidelity.dir/model_fidelity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

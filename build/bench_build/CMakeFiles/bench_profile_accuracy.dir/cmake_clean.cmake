@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_profile_accuracy"
+  "../bench/bench_profile_accuracy.pdb"
+  "CMakeFiles/bench_profile_accuracy.dir/profile_accuracy.cpp.o"
+  "CMakeFiles/bench_profile_accuracy.dir/profile_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profile_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

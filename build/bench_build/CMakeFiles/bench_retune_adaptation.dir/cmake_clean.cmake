@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_retune_adaptation"
+  "../bench/bench_retune_adaptation.pdb"
+  "CMakeFiles/bench_retune_adaptation.dir/retune_adaptation.cpp.o"
+  "CMakeFiles/bench_retune_adaptation.dir/retune_adaptation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retune_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

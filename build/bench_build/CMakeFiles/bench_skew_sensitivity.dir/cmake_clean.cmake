@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_skew_sensitivity"
+  "../bench/bench_skew_sensitivity.pdb"
+  "CMakeFiles/bench_skew_sensitivity.dir/skew_sensitivity.cpp.o"
+  "CMakeFiles/bench_skew_sensitivity.dir/skew_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skew_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

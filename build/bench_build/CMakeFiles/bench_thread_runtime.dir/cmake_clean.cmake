@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thread_runtime"
+  "../bench/bench_thread_runtime.pdb"
+  "CMakeFiles/bench_thread_runtime.dir/thread_runtime.cpp.o"
+  "CMakeFiles/bench_thread_runtime.dir/thread_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thread_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

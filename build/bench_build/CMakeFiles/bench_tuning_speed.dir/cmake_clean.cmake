@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tuning_speed"
+  "../bench/bench_tuning_speed.pdb"
+  "CMakeFiles/bench_tuning_speed.dir/tuning_speed.cpp.o"
+  "CMakeFiles/bench_tuning_speed.dir/tuning_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tuning_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

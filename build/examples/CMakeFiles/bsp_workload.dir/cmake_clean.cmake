@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_workload.dir/bsp_workload.cpp.o"
+  "CMakeFiles/bsp_workload.dir/bsp_workload.cpp.o.d"
+  "bsp_workload"
+  "bsp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/library_app.cpp" "examples/CMakeFiles/library_app.dir/library_app.cpp.o" "gcc" "examples/CMakeFiles/library_app.dir/library_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/optibar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/optibar_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/optibar_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/optibar_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/barrier/CMakeFiles/optibar_barrier.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/optibar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/optibar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

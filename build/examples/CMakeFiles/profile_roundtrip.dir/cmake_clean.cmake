@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_roundtrip.dir/profile_roundtrip.cpp.o"
+  "CMakeFiles/profile_roundtrip.dir/profile_roundtrip.cpp.o.d"
+  "profile_roundtrip"
+  "profile_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

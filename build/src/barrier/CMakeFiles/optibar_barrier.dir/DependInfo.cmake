@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/barrier/algorithms.cpp" "src/barrier/CMakeFiles/optibar_barrier.dir/algorithms.cpp.o" "gcc" "src/barrier/CMakeFiles/optibar_barrier.dir/algorithms.cpp.o.d"
+  "/root/repo/src/barrier/analysis.cpp" "src/barrier/CMakeFiles/optibar_barrier.dir/analysis.cpp.o" "gcc" "src/barrier/CMakeFiles/optibar_barrier.dir/analysis.cpp.o.d"
+  "/root/repo/src/barrier/cost_model.cpp" "src/barrier/CMakeFiles/optibar_barrier.dir/cost_model.cpp.o" "gcc" "src/barrier/CMakeFiles/optibar_barrier.dir/cost_model.cpp.o.d"
+  "/root/repo/src/barrier/dependency_graph.cpp" "src/barrier/CMakeFiles/optibar_barrier.dir/dependency_graph.cpp.o" "gcc" "src/barrier/CMakeFiles/optibar_barrier.dir/dependency_graph.cpp.o.d"
+  "/root/repo/src/barrier/optimize.cpp" "src/barrier/CMakeFiles/optibar_barrier.dir/optimize.cpp.o" "gcc" "src/barrier/CMakeFiles/optibar_barrier.dir/optimize.cpp.o.d"
+  "/root/repo/src/barrier/schedule.cpp" "src/barrier/CMakeFiles/optibar_barrier.dir/schedule.cpp.o" "gcc" "src/barrier/CMakeFiles/optibar_barrier.dir/schedule.cpp.o.d"
+  "/root/repo/src/barrier/schedule_io.cpp" "src/barrier/CMakeFiles/optibar_barrier.dir/schedule_io.cpp.o" "gcc" "src/barrier/CMakeFiles/optibar_barrier.dir/schedule_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/optibar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/optibar_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

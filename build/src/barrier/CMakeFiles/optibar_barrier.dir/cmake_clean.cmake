@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optibar_barrier.dir/algorithms.cpp.o"
+  "CMakeFiles/optibar_barrier.dir/algorithms.cpp.o.d"
+  "CMakeFiles/optibar_barrier.dir/analysis.cpp.o"
+  "CMakeFiles/optibar_barrier.dir/analysis.cpp.o.d"
+  "CMakeFiles/optibar_barrier.dir/cost_model.cpp.o"
+  "CMakeFiles/optibar_barrier.dir/cost_model.cpp.o.d"
+  "CMakeFiles/optibar_barrier.dir/dependency_graph.cpp.o"
+  "CMakeFiles/optibar_barrier.dir/dependency_graph.cpp.o.d"
+  "CMakeFiles/optibar_barrier.dir/optimize.cpp.o"
+  "CMakeFiles/optibar_barrier.dir/optimize.cpp.o.d"
+  "CMakeFiles/optibar_barrier.dir/schedule.cpp.o"
+  "CMakeFiles/optibar_barrier.dir/schedule.cpp.o.d"
+  "CMakeFiles/optibar_barrier.dir/schedule_io.cpp.o"
+  "CMakeFiles/optibar_barrier.dir/schedule_io.cpp.o.d"
+  "liboptibar_barrier.a"
+  "liboptibar_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optibar_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

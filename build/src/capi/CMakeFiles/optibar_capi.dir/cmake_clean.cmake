@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optibar_capi.dir/optibar_c.cpp.o"
+  "CMakeFiles/optibar_capi.dir/optibar_c.cpp.o.d"
+  "liboptibar_capi.a"
+  "liboptibar_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optibar_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

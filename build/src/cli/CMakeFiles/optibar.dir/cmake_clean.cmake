@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optibar.dir/main.cpp.o"
+  "CMakeFiles/optibar.dir/main.cpp.o.d"
+  "optibar"
+  "optibar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optibar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

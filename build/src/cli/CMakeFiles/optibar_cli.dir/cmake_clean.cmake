@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optibar_cli.dir/args.cpp.o"
+  "CMakeFiles/optibar_cli.dir/args.cpp.o.d"
+  "CMakeFiles/optibar_cli.dir/cli.cpp.o"
+  "CMakeFiles/optibar_cli.dir/cli.cpp.o.d"
+  "liboptibar_cli.a"
+  "liboptibar_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optibar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

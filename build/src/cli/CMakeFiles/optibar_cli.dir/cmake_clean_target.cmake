@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboptibar_cli.a"
+)

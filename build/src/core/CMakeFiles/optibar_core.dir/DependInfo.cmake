@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_tree.cpp" "src/core/CMakeFiles/optibar_core.dir/cluster_tree.cpp.o" "gcc" "src/core/CMakeFiles/optibar_core.dir/cluster_tree.cpp.o.d"
+  "/root/repo/src/core/codegen.cpp" "src/core/CMakeFiles/optibar_core.dir/codegen.cpp.o" "gcc" "src/core/CMakeFiles/optibar_core.dir/codegen.cpp.o.d"
+  "/root/repo/src/core/composer.cpp" "src/core/CMakeFiles/optibar_core.dir/composer.cpp.o" "gcc" "src/core/CMakeFiles/optibar_core.dir/composer.cpp.o.d"
+  "/root/repo/src/core/library.cpp" "src/core/CMakeFiles/optibar_core.dir/library.cpp.o" "gcc" "src/core/CMakeFiles/optibar_core.dir/library.cpp.o.d"
+  "/root/repo/src/core/retune.cpp" "src/core/CMakeFiles/optibar_core.dir/retune.cpp.o" "gcc" "src/core/CMakeFiles/optibar_core.dir/retune.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/core/CMakeFiles/optibar_core.dir/search.cpp.o" "gcc" "src/core/CMakeFiles/optibar_core.dir/search.cpp.o.d"
+  "/root/repo/src/core/sss.cpp" "src/core/CMakeFiles/optibar_core.dir/sss.cpp.o" "gcc" "src/core/CMakeFiles/optibar_core.dir/sss.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/optibar_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/optibar_core.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/optibar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/optibar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/barrier/CMakeFiles/optibar_barrier.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/optibar_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

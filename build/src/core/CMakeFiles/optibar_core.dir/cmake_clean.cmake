@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optibar_core.dir/cluster_tree.cpp.o"
+  "CMakeFiles/optibar_core.dir/cluster_tree.cpp.o.d"
+  "CMakeFiles/optibar_core.dir/codegen.cpp.o"
+  "CMakeFiles/optibar_core.dir/codegen.cpp.o.d"
+  "CMakeFiles/optibar_core.dir/composer.cpp.o"
+  "CMakeFiles/optibar_core.dir/composer.cpp.o.d"
+  "CMakeFiles/optibar_core.dir/library.cpp.o"
+  "CMakeFiles/optibar_core.dir/library.cpp.o.d"
+  "CMakeFiles/optibar_core.dir/retune.cpp.o"
+  "CMakeFiles/optibar_core.dir/retune.cpp.o.d"
+  "CMakeFiles/optibar_core.dir/search.cpp.o"
+  "CMakeFiles/optibar_core.dir/search.cpp.o.d"
+  "CMakeFiles/optibar_core.dir/sss.cpp.o"
+  "CMakeFiles/optibar_core.dir/sss.cpp.o.d"
+  "CMakeFiles/optibar_core.dir/tuner.cpp.o"
+  "CMakeFiles/optibar_core.dir/tuner.cpp.o.d"
+  "liboptibar_core.a"
+  "liboptibar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optibar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

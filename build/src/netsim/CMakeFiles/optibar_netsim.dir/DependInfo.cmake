@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/engine.cpp" "src/netsim/CMakeFiles/optibar_netsim.dir/engine.cpp.o" "gcc" "src/netsim/CMakeFiles/optibar_netsim.dir/engine.cpp.o.d"
+  "/root/repo/src/netsim/trace_export.cpp" "src/netsim/CMakeFiles/optibar_netsim.dir/trace_export.cpp.o" "gcc" "src/netsim/CMakeFiles/optibar_netsim.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/optibar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/optibar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/barrier/CMakeFiles/optibar_barrier.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

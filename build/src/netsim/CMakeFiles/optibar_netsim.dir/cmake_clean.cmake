@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optibar_netsim.dir/engine.cpp.o"
+  "CMakeFiles/optibar_netsim.dir/engine.cpp.o.d"
+  "CMakeFiles/optibar_netsim.dir/trace_export.cpp.o"
+  "CMakeFiles/optibar_netsim.dir/trace_export.cpp.o.d"
+  "liboptibar_netsim.a"
+  "liboptibar_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optibar_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/estimator.cpp" "src/profile/CMakeFiles/optibar_profile.dir/estimator.cpp.o" "gcc" "src/profile/CMakeFiles/optibar_profile.dir/estimator.cpp.o.d"
+  "/root/repo/src/profile/simmpi_engine.cpp" "src/profile/CMakeFiles/optibar_profile.dir/simmpi_engine.cpp.o" "gcc" "src/profile/CMakeFiles/optibar_profile.dir/simmpi_engine.cpp.o.d"
+  "/root/repo/src/profile/sparse_estimator.cpp" "src/profile/CMakeFiles/optibar_profile.dir/sparse_estimator.cpp.o" "gcc" "src/profile/CMakeFiles/optibar_profile.dir/sparse_estimator.cpp.o.d"
+  "/root/repo/src/profile/synthetic_engine.cpp" "src/profile/CMakeFiles/optibar_profile.dir/synthetic_engine.cpp.o" "gcc" "src/profile/CMakeFiles/optibar_profile.dir/synthetic_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/optibar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/optibar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/optibar_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/barrier/CMakeFiles/optibar_barrier.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optibar_profile.dir/estimator.cpp.o"
+  "CMakeFiles/optibar_profile.dir/estimator.cpp.o.d"
+  "CMakeFiles/optibar_profile.dir/simmpi_engine.cpp.o"
+  "CMakeFiles/optibar_profile.dir/simmpi_engine.cpp.o.d"
+  "CMakeFiles/optibar_profile.dir/sparse_estimator.cpp.o"
+  "CMakeFiles/optibar_profile.dir/sparse_estimator.cpp.o.d"
+  "CMakeFiles/optibar_profile.dir/synthetic_engine.cpp.o"
+  "CMakeFiles/optibar_profile.dir/synthetic_engine.cpp.o.d"
+  "liboptibar_profile.a"
+  "liboptibar_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optibar_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/communicator.cpp" "src/simmpi/CMakeFiles/optibar_simmpi.dir/communicator.cpp.o" "gcc" "src/simmpi/CMakeFiles/optibar_simmpi.dir/communicator.cpp.o.d"
+  "/root/repo/src/simmpi/executor.cpp" "src/simmpi/CMakeFiles/optibar_simmpi.dir/executor.cpp.o" "gcc" "src/simmpi/CMakeFiles/optibar_simmpi.dir/executor.cpp.o.d"
+  "/root/repo/src/simmpi/latency_model.cpp" "src/simmpi/CMakeFiles/optibar_simmpi.dir/latency_model.cpp.o" "gcc" "src/simmpi/CMakeFiles/optibar_simmpi.dir/latency_model.cpp.o.d"
+  "/root/repo/src/simmpi/runtime.cpp" "src/simmpi/CMakeFiles/optibar_simmpi.dir/runtime.cpp.o" "gcc" "src/simmpi/CMakeFiles/optibar_simmpi.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/optibar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/optibar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/barrier/CMakeFiles/optibar_barrier.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

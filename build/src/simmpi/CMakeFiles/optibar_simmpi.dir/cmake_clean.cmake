@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optibar_simmpi.dir/communicator.cpp.o"
+  "CMakeFiles/optibar_simmpi.dir/communicator.cpp.o.d"
+  "CMakeFiles/optibar_simmpi.dir/executor.cpp.o"
+  "CMakeFiles/optibar_simmpi.dir/executor.cpp.o.d"
+  "CMakeFiles/optibar_simmpi.dir/latency_model.cpp.o"
+  "CMakeFiles/optibar_simmpi.dir/latency_model.cpp.o.d"
+  "CMakeFiles/optibar_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/optibar_simmpi.dir/runtime.cpp.o.d"
+  "liboptibar_simmpi.a"
+  "liboptibar_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optibar_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/custom_machine.cpp" "src/topology/CMakeFiles/optibar_topology.dir/custom_machine.cpp.o" "gcc" "src/topology/CMakeFiles/optibar_topology.dir/custom_machine.cpp.o.d"
+  "/root/repo/src/topology/generate.cpp" "src/topology/CMakeFiles/optibar_topology.dir/generate.cpp.o" "gcc" "src/topology/CMakeFiles/optibar_topology.dir/generate.cpp.o.d"
+  "/root/repo/src/topology/latency.cpp" "src/topology/CMakeFiles/optibar_topology.dir/latency.cpp.o" "gcc" "src/topology/CMakeFiles/optibar_topology.dir/latency.cpp.o.d"
+  "/root/repo/src/topology/machine.cpp" "src/topology/CMakeFiles/optibar_topology.dir/machine.cpp.o" "gcc" "src/topology/CMakeFiles/optibar_topology.dir/machine.cpp.o.d"
+  "/root/repo/src/topology/machine_file.cpp" "src/topology/CMakeFiles/optibar_topology.dir/machine_file.cpp.o" "gcc" "src/topology/CMakeFiles/optibar_topology.dir/machine_file.cpp.o.d"
+  "/root/repo/src/topology/mapping.cpp" "src/topology/CMakeFiles/optibar_topology.dir/mapping.cpp.o" "gcc" "src/topology/CMakeFiles/optibar_topology.dir/mapping.cpp.o.d"
+  "/root/repo/src/topology/profile.cpp" "src/topology/CMakeFiles/optibar_topology.dir/profile.cpp.o" "gcc" "src/topology/CMakeFiles/optibar_topology.dir/profile.cpp.o.d"
+  "/root/repo/src/topology/replicate.cpp" "src/topology/CMakeFiles/optibar_topology.dir/replicate.cpp.o" "gcc" "src/topology/CMakeFiles/optibar_topology.dir/replicate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/optibar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optibar_topology.dir/custom_machine.cpp.o"
+  "CMakeFiles/optibar_topology.dir/custom_machine.cpp.o.d"
+  "CMakeFiles/optibar_topology.dir/generate.cpp.o"
+  "CMakeFiles/optibar_topology.dir/generate.cpp.o.d"
+  "CMakeFiles/optibar_topology.dir/latency.cpp.o"
+  "CMakeFiles/optibar_topology.dir/latency.cpp.o.d"
+  "CMakeFiles/optibar_topology.dir/machine.cpp.o"
+  "CMakeFiles/optibar_topology.dir/machine.cpp.o.d"
+  "CMakeFiles/optibar_topology.dir/machine_file.cpp.o"
+  "CMakeFiles/optibar_topology.dir/machine_file.cpp.o.d"
+  "CMakeFiles/optibar_topology.dir/mapping.cpp.o"
+  "CMakeFiles/optibar_topology.dir/mapping.cpp.o.d"
+  "CMakeFiles/optibar_topology.dir/profile.cpp.o"
+  "CMakeFiles/optibar_topology.dir/profile.cpp.o.d"
+  "CMakeFiles/optibar_topology.dir/replicate.cpp.o"
+  "CMakeFiles/optibar_topology.dir/replicate.cpp.o.d"
+  "liboptibar_topology.a"
+  "liboptibar_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optibar_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optibar_util.dir/fidelity.cpp.o"
+  "CMakeFiles/optibar_util.dir/fidelity.cpp.o.d"
+  "CMakeFiles/optibar_util.dir/heatmap.cpp.o"
+  "CMakeFiles/optibar_util.dir/heatmap.cpp.o.d"
+  "CMakeFiles/optibar_util.dir/rng.cpp.o"
+  "CMakeFiles/optibar_util.dir/rng.cpp.o.d"
+  "CMakeFiles/optibar_util.dir/stats.cpp.o"
+  "CMakeFiles/optibar_util.dir/stats.cpp.o.d"
+  "CMakeFiles/optibar_util.dir/table.cpp.o"
+  "CMakeFiles/optibar_util.dir/table.cpp.o.d"
+  "liboptibar_util.a"
+  "liboptibar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optibar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

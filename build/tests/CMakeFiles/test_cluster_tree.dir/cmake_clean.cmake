@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_tree.dir/test_cluster_tree.cpp.o"
+  "CMakeFiles/test_cluster_tree.dir/test_cluster_tree.cpp.o.d"
+  "test_cluster_tree"
+  "test_cluster_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

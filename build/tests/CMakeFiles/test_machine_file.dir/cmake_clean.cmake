@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_file.dir/test_machine_file.cpp.o"
+  "CMakeFiles/test_machine_file.dir/test_machine_file.cpp.o.d"
+  "test_machine_file"
+  "test_machine_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retune.dir/test_retune.cpp.o"
+  "CMakeFiles/test_retune.dir/test_retune.cpp.o.d"
+  "test_retune"
+  "test_retune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

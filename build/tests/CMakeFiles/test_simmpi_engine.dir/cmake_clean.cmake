@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi_engine.dir/test_simmpi_engine.cpp.o"
+  "CMakeFiles/test_simmpi_engine.dir/test_simmpi_engine.cpp.o.d"
+  "test_simmpi_engine"
+  "test_simmpi_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
