@@ -8,9 +8,12 @@
 // paper's machine sizes.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "barrier/cost_model.hpp"
 #include "core/cluster_tree.hpp"
 #include "core/composer.hpp"
+#include "core/library.hpp"
 #include "core/tuner.hpp"
 #include "topology/generate.hpp"
 #include "topology/machine.hpp"
@@ -72,5 +75,46 @@ void BM_CodeGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CodeGeneration)->Arg(64)->Arg(120);
+
+// Parallel tuning engine: the same hex_cluster tune at widening thread
+// counts. Wall-clock (UseRealTime) is the honest metric — CPU time sums
+// over workers. Schedules are bit-identical at every width.
+void BM_TuneHexThreads(benchmark::State& state) {
+  const TopologyProfile profile = profile_for(120);
+  EngineOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tune_barrier(profile, options));
+  }
+}
+BENCHMARK(BM_TuneHexThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Batch tuning through the library cache: each iteration starts from a
+// cold cache and tunes one world subset plus every 10-rank block of a
+// 120-rank hex profile — the sub-communicator warm-up a job scheduler
+// would do at startup.
+void BM_LibraryTuneAllHex(benchmark::State& state) {
+  const TopologyProfile profile = profile_for(120);
+  std::vector<std::vector<std::size_t>> subsets;
+  std::vector<std::size_t> world(120);
+  for (std::size_t r = 0; r < world.size(); ++r) {
+    world[r] = r;
+  }
+  subsets.push_back(world);
+  for (std::size_t base = 0; base < 120; base += 10) {
+    std::vector<std::size_t> block(10);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      block[i] = base + i;
+    }
+    subsets.push_back(block);
+  }
+  EngineOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    BarrierLibrary library(profile, options);
+    benchmark::DoNotOptimize(library.tune_all(subsets));
+  }
+}
+BENCHMARK(BM_LibraryTuneAllHex)->Arg(1)->Arg(8)->UseRealTime();
 
 }  // namespace

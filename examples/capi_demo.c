@@ -23,18 +23,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  char errbuf[256];
-  optibar_library* library = optibar_open(argv[1], errbuf, sizeof errbuf);
+  /* threads=0: tune on one worker per hardware thread. Failures are
+   * reported through the thread-local status channel. */
+  optibar_library* library = optibar_open_v2(argv[1], 0);
   if (library == NULL) {
-    fprintf(stderr, "optibar_open failed: %s\n", errbuf);
+    fprintf(stderr, "optibar_open_v2 failed (%s): %s\n",
+            optibar_status_string(optibar_last_status()),
+            optibar_last_error());
     return 1;
   }
   printf("profile covers %zu ranks\n", optibar_ranks(library));
 
-  const optibar_plan* plan = optibar_world_plan(library, errbuf,
-                                                sizeof errbuf);
+  const optibar_plan* plan = optibar_world_plan_v2(library);
   if (plan == NULL) {
-    fprintf(stderr, "optibar_world_plan failed: %s\n", errbuf);
+    fprintf(stderr, "optibar_world_plan_v2 failed (%s): %s\n",
+            optibar_status_string(optibar_last_status()),
+            optibar_last_error());
     optibar_close(library);
     return 1;
   }

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Build the concurrency suite under ThreadSanitizer and run the
+# `tsan`-labelled tests (thread pool, library stress, C API).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-tsan -S . -DOPTIBAR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$(nproc)" --target \
+  test_thread_pool test_library_stress test_capi
+ctest --test-dir build-tsan -L tsan --output-on-failure

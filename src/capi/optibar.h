@@ -17,8 +17,22 @@
  *      its own MPI calls: MPI_Issend / MPI_Irecv per op (the op's stage
  *      field is the tag), MPI_Waitall wherever stage_end is set.
  *
- * All functions are thread-safe. Failing functions return NULL / 0 and,
- * when an error buffer is supplied, copy a message into it.
+ * All functions are thread-safe; distinct subsets tune in parallel and
+ * repeated plan requests are read-locked cache hits.
+ *
+ * ERROR MODEL. Every entry point sets a thread-local status code,
+ * readable via optibar_last_status(); on failure a thread-local
+ * message is readable via optibar_last_error(). Failing functions
+ * additionally return NULL / 0. The *_v2 entry points are the
+ * preferred spellings; the original errbuf-taking signatures remain as
+ * thin wrappers over them.
+ *
+ * MIGRATION from the errbuf API:
+ *     optibar_open(path, errbuf, len)       -> optibar_open_v2(path, 1)
+ *     optibar_world_plan(lib, errbuf, len)  -> optibar_world_plan_v2(lib)
+ *     optibar_subset_plan(lib, r, n, e, l)  -> optibar_subset_plan_v2(lib, r, n)
+ * and on NULL results read optibar_last_status() / optibar_last_error()
+ * instead of the buffer.
  */
 #ifndef OPTIBAR_CAPI_H
 #define OPTIBAR_CAPI_H
@@ -32,6 +46,25 @@ extern "C" {
 typedef struct optibar_library_s optibar_library;
 typedef struct optibar_plan_s optibar_plan;
 
+/* Outcome of the most recent optibar call on the calling thread. */
+typedef enum {
+  OPTIBAR_OK = 0,
+  OPTIBAR_ERR_INVALID_ARGUMENT = 1, /* NULL handle, bad rank/subset, ... */
+  OPTIBAR_ERR_IO = 2,               /* profile file unreadable/malformed */
+  OPTIBAR_ERR_TUNING = 3,           /* the tuning pipeline failed */
+  OPTIBAR_ERR_INTERNAL = 4          /* unexpected failure; report a bug */
+} optibar_status;
+
+/* Status of the most recent optibar call made by this thread. */
+optibar_status optibar_last_status(void);
+
+/* Message of the most recent failure on this thread; "" after success.
+ * The pointer stays valid until the thread's next optibar call. */
+const char* optibar_last_error(void);
+
+/* Static name of a status code, e.g. "OPTIBAR_ERR_IO". */
+const char* optibar_status_string(optibar_status status);
+
 /* One point-to-point operation of a rank's barrier sequence. */
 typedef struct {
   int stage;     /* stage index; use as the MPI tag (offset per episode) */
@@ -40,37 +73,64 @@ typedef struct {
   int stage_end; /* 1: MPI_Waitall over the stage's requests after this op */
 } optibar_op;
 
-/* Open a library over a stored machine profile. NULL on failure. */
-optibar_library* optibar_open(const char* profile_path, char* errbuf,
-                              size_t errbuf_len);
+/* Open a library over a stored machine profile. `threads` is the
+ * tuning engine's execution width: 1 = serial, 0 = one per hardware
+ * thread. NULL on failure (status: IO or INVALID_ARGUMENT). */
+optibar_library* optibar_open_v2(const char* profile_path, size_t threads);
 
 void optibar_close(optibar_library* library);
 
 /* Number of ranks covered by the profile; 0 on NULL. */
 size_t optibar_ranks(const optibar_library* library);
 
-/* Tuned plan for all ranks. Owned by the library; valid until close. */
-const optibar_plan* optibar_world_plan(optibar_library* library, char* errbuf,
-                                       size_t errbuf_len);
+/* Tuned plan for all ranks. Owned by the library; valid until close.
+ * NULL on failure (status: INVALID_ARGUMENT or TUNING). */
+const optibar_plan* optibar_world_plan_v2(optibar_library* library);
 
 /* Tuned plan for a rank subset (the subset order defines the plan's
- * local rank numbering). Cached: repeated requests are lookups. */
-const optibar_plan* optibar_subset_plan(optibar_library* library,
-                                        const size_t* ranks, size_t count,
-                                        char* errbuf, size_t errbuf_len);
+ * local rank numbering). Cached: repeated requests are lookups.
+ * NULL on failure (status: INVALID_ARGUMENT or TUNING). */
+const optibar_plan* optibar_subset_plan_v2(optibar_library* library,
+                                           const size_t* ranks, size_t count);
+
+/* Batch tuning: `count` subsets, concatenated into `ranks` with
+ * per-subset lengths in `counts` (subset s occupies ranks[sum(counts[0
+ * .. s-1]) .. +counts[s]]). Not-yet-cached subsets tune in parallel
+ * across the library's thread pool. Fills out_plans[0..count-1] and
+ * returns count; on failure returns 0 and sets the status (no plans
+ * are partially written). */
+size_t optibar_tune_all(optibar_library* library, const size_t* ranks,
+                        const size_t* counts, size_t count,
+                        const optibar_plan** out_plans);
 
 /* Plan introspection. */
 size_t optibar_plan_ranks(const optibar_plan* plan);
 double optibar_plan_predicted_seconds(const optibar_plan* plan);
 size_t optibar_plan_stage_count(const optibar_plan* plan);
 
-/* Number of ops rank `rank` executes per barrier call; 0 on bad input. */
+/* Number of ops rank `rank` executes per barrier call; 0 (with status
+ * INVALID_ARGUMENT) when `plan` is NULL or `rank` is out of range. */
 size_t optibar_plan_op_count(const optibar_plan* plan, size_t rank);
 
 /* Copy up to `capacity` of rank `rank`'s ops into `out`; returns the
- * number copied (equal to op_count when capacity suffices). */
+ * number copied (equal to op_count when capacity suffices), 0 with
+ * status INVALID_ARGUMENT on NULL plan/out or out-of-range rank. */
 size_t optibar_plan_ops(const optibar_plan* plan, size_t rank,
                         optibar_op* out, size_t capacity);
+
+/*
+ * DEPRECATED errbuf-based signatures — thin wrappers over the *_v2
+ * functions above (serial tuning, threads = 1). On failure they copy
+ * optibar_last_error() into errbuf (always NUL-terminated, truncating
+ * if needed). Prefer the *_v2 forms + optibar_last_status().
+ */
+optibar_library* optibar_open(const char* profile_path, char* errbuf,
+                              size_t errbuf_len);
+const optibar_plan* optibar_world_plan(optibar_library* library, char* errbuf,
+                                       size_t errbuf_len);
+const optibar_plan* optibar_subset_plan(optibar_library* library,
+                                        const size_t* ranks, size_t count,
+                                        char* errbuf, size_t errbuf_len);
 
 #ifdef __cplusplus
 }

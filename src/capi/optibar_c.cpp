@@ -1,10 +1,17 @@
 // Implementation of the C API over BarrierLibrary.
+//
+// Error model: every entry point records its outcome in thread-local
+// state (tl_status / tl_message) so concurrent callers never observe
+// each other's failures. The deprecated errbuf signatures are wrappers
+// that forward to the *_v2 forms and copy the thread-local message out.
 #include "capi/optibar.h"
 
-#include <cstring>
+#include <cstdio>
+#include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -15,16 +22,43 @@
 namespace {
 
 using optibar::BarrierLibrary;
+using optibar::EngineOptions;
 using optibar::LibraryEntry;
 using optibar::Schedule;
 using optibar::TopologyProfile;
 
-void fill_error(char* errbuf, size_t errbuf_len, const char* message) {
+thread_local optibar_status tl_status = OPTIBAR_OK;
+thread_local std::string tl_message;
+
+void set_ok() {
+  tl_status = OPTIBAR_OK;
+  tl_message.clear();
+}
+
+void set_error(optibar_status status, std::string message) {
+  tl_status = status;
+  tl_message = std::move(message);
+}
+
+/// Record the in-flight exception under `status`; unknown exception
+/// types degrade to OPTIBAR_ERR_INTERNAL.
+void set_caught(optibar_status status) {
+  try {
+    throw;
+  } catch (const std::exception& error) {
+    set_error(status, error.what());
+  } catch (...) {
+    set_error(OPTIBAR_ERR_INTERNAL, "unknown exception in optibar");
+  }
+}
+
+void fill_error(char* errbuf, size_t errbuf_len) {
   if (errbuf == nullptr || errbuf_len == 0) {
     return;
   }
-  std::strncpy(errbuf, message, errbuf_len - 1);
-  errbuf[errbuf_len - 1] = '\0';
+  // snprintf always NUL-terminates, truncating when tl_message is
+  // longer than the buffer.
+  std::snprintf(errbuf, errbuf_len, "%s", tl_message.c_str());
 }
 
 }  // namespace
@@ -65,13 +99,22 @@ struct optibar_plan_s {
 };
 
 /// The C handle: the C++ library plus plan storage keyed by entry.
+/// LibraryEntry pointers are stable for the library's lifetime, so an
+/// entry maps to exactly one flattened plan; the map is read-locked on
+/// hits so concurrent barrier setup scales.
 struct optibar_library_s {
-  // BarrierLibrary holds a mutex and is immovable; construct in place.
-  explicit optibar_library_s(TopologyProfile profile)
-      : library(std::move(profile)) {}
+  explicit optibar_library_s(TopologyProfile profile, EngineOptions options)
+      : library(std::move(profile), std::move(options)) {}
 
   const optibar_plan* plan_for(const LibraryEntry& entry) {
-    std::lock_guard<std::mutex> lock(mutex);
+    {
+      std::shared_lock<std::shared_mutex> read(mutex);
+      auto it = plans.find(&entry);
+      if (it != plans.end()) {
+        return it->second.get();
+      }
+    }
+    std::unique_lock<std::shared_mutex> write(mutex);
     auto it = plans.find(&entry);
     if (it == plans.end()) {
       it = plans.emplace(&entry, std::make_unique<optibar_plan_s>(entry))
@@ -81,92 +124,266 @@ struct optibar_library_s {
   }
 
   BarrierLibrary library;
-  std::mutex mutex;
+  std::shared_mutex mutex;
   std::map<const LibraryEntry*, std::unique_ptr<optibar_plan_s>> plans;
 };
 
+namespace {
+
+/// Shared subset screening so the C layer can distinguish caller bugs
+/// (INVALID_ARGUMENT) from tuning failures (TUNING). Returns false with
+/// the status already set.
+bool check_subset(const optibar_library* library, const size_t* ranks,
+                  size_t count) {
+  if (library == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "library is NULL");
+    return false;
+  }
+  if (ranks == nullptr || count == 0) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "empty rank subset");
+    return false;
+  }
+  const size_t world = library->library.ranks();
+  for (size_t i = 0; i < count; ++i) {
+    if (ranks[i] >= world) {
+      set_error(OPTIBAR_ERR_INVALID_ARGUMENT,
+                "rank " + std::to_string(ranks[i]) + " out of range (" +
+                    std::to_string(world) + ")");
+      return false;
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (ranks[j] == ranks[i]) {
+        set_error(OPTIBAR_ERR_INVALID_ARGUMENT,
+                  "duplicate rank " + std::to_string(ranks[i]));
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 extern "C" {
 
-optibar_library* optibar_open(const char* profile_path, char* errbuf,
-                              size_t errbuf_len) {
+optibar_status optibar_last_status(void) { return tl_status; }
+
+const char* optibar_last_error(void) { return tl_message.c_str(); }
+
+const char* optibar_status_string(optibar_status status) {
+  switch (status) {
+    case OPTIBAR_OK:
+      return "OPTIBAR_OK";
+    case OPTIBAR_ERR_INVALID_ARGUMENT:
+      return "OPTIBAR_ERR_INVALID_ARGUMENT";
+    case OPTIBAR_ERR_IO:
+      return "OPTIBAR_ERR_IO";
+    case OPTIBAR_ERR_TUNING:
+      return "OPTIBAR_ERR_TUNING";
+    case OPTIBAR_ERR_INTERNAL:
+      return "OPTIBAR_ERR_INTERNAL";
+  }
+  return "OPTIBAR_ERR_INTERNAL";
+}
+
+optibar_library* optibar_open_v2(const char* profile_path, size_t threads) {
   if (profile_path == nullptr) {
-    fill_error(errbuf, errbuf_len, "profile_path is NULL");
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "profile_path is NULL");
+    return nullptr;
+  }
+  TopologyProfile profile;
+  try {
+    profile = TopologyProfile::load_file(profile_path);
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_IO);
     return nullptr;
   }
   try {
-    return new optibar_library_s(TopologyProfile::load_file(profile_path));
-  } catch (const std::exception& error) {
-    fill_error(errbuf, errbuf_len, error.what());
+    EngineOptions options;
+    options.threads = threads;
+    auto* handle =
+        new optibar_library_s(std::move(profile), std::move(options));
+    set_ok();
+    return handle;
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_INVALID_ARGUMENT);
     return nullptr;
   }
 }
 
-void optibar_close(optibar_library* library) { delete library; }
+void optibar_close(optibar_library* library) {
+  delete library;
+  set_ok();
+}
 
 size_t optibar_ranks(const optibar_library* library) {
-  return library == nullptr ? 0 : library->library.ranks();
+  if (library == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "library is NULL");
+    return 0;
+  }
+  set_ok();
+  return library->library.ranks();
 }
 
-const optibar_plan* optibar_world_plan(optibar_library* library, char* errbuf,
-                                       size_t errbuf_len) {
+const optibar_plan* optibar_world_plan_v2(optibar_library* library) {
   if (library == nullptr) {
-    fill_error(errbuf, errbuf_len, "library is NULL");
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "library is NULL");
     return nullptr;
   }
   try {
-    return library->plan_for(library->library.full_barrier());
-  } catch (const std::exception& error) {
-    fill_error(errbuf, errbuf_len, error.what());
+    const optibar_plan* plan = library->plan_for(library->library.full_barrier());
+    set_ok();
+    return plan;
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_TUNING);
     return nullptr;
   }
 }
 
-const optibar_plan* optibar_subset_plan(optibar_library* library,
-                                        const size_t* ranks, size_t count,
-                                        char* errbuf, size_t errbuf_len) {
-  if (library == nullptr || ranks == nullptr || count == 0) {
-    fill_error(errbuf, errbuf_len, "invalid subset arguments");
+const optibar_plan* optibar_subset_plan_v2(optibar_library* library,
+                                           const size_t* ranks, size_t count) {
+  if (!check_subset(library, ranks, count)) {
     return nullptr;
   }
   try {
     const std::vector<std::size_t> subset(ranks, ranks + count);
-    return library->plan_for(library->library.barrier_for(subset));
-  } catch (const std::exception& error) {
-    fill_error(errbuf, errbuf_len, error.what());
+    const optibar_plan* plan =
+        library->plan_for(library->library.subset_plan(subset));
+    set_ok();
+    return plan;
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_TUNING);
     return nullptr;
   }
 }
 
+size_t optibar_tune_all(optibar_library* library, const size_t* ranks,
+                        const size_t* counts, size_t count,
+                        const optibar_plan** out_plans) {
+  if (library == nullptr || counts == nullptr || out_plans == nullptr ||
+      count == 0) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "invalid tune_all arguments");
+    return 0;
+  }
+  std::vector<std::vector<std::size_t>> subsets(count);
+  size_t offset = 0;
+  for (size_t s = 0; s < count; ++s) {
+    if (!check_subset(library, ranks == nullptr ? nullptr : ranks + offset,
+                      counts[s])) {
+      tl_message = "subset " + std::to_string(s) + ": " + tl_message;
+      return 0;
+    }
+    subsets[s].assign(ranks + offset, ranks + offset + counts[s]);
+    offset += counts[s];
+  }
+  std::vector<const LibraryEntry*> entries;
+  try {
+    entries = library->library.tune_all(subsets);
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_TUNING);
+    return 0;
+  }
+  try {
+    // Flatten every entry before touching out_plans so a failure leaves
+    // the caller's array unwritten, as documented.
+    std::vector<const optibar_plan*> plans(count);
+    for (size_t s = 0; s < count; ++s) {
+      plans[s] = library->plan_for(*entries[s]);
+    }
+    for (size_t s = 0; s < count; ++s) {
+      out_plans[s] = plans[s];
+    }
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_INTERNAL);
+    return 0;
+  }
+  set_ok();
+  return count;
+}
+
 size_t optibar_plan_ranks(const optibar_plan* plan) {
-  return plan == nullptr ? 0 : plan->ranks;
+  if (plan == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "plan is NULL");
+    return 0;
+  }
+  set_ok();
+  return plan->ranks;
 }
 
 double optibar_plan_predicted_seconds(const optibar_plan* plan) {
-  return plan == nullptr ? 0.0 : plan->predicted_seconds;
+  if (plan == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "plan is NULL");
+    return 0.0;
+  }
+  set_ok();
+  return plan->predicted_seconds;
 }
 
 size_t optibar_plan_stage_count(const optibar_plan* plan) {
-  return plan == nullptr ? 0 : plan->stages;
+  if (plan == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "plan is NULL");
+    return 0;
+  }
+  set_ok();
+  return plan->stages;
 }
 
 size_t optibar_plan_op_count(const optibar_plan* plan, size_t rank) {
   if (plan == nullptr || rank >= plan->ranks) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT,
+              plan == nullptr ? "plan is NULL" : "rank out of range");
     return 0;
   }
+  set_ok();
   return plan->per_rank[rank].size();
 }
 
 size_t optibar_plan_ops(const optibar_plan* plan, size_t rank,
                         optibar_op* out, size_t capacity) {
-  if (plan == nullptr || rank >= plan->ranks || out == nullptr) {
+  if (plan == nullptr || out == nullptr || rank >= plan->ranks) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT,
+              plan == nullptr    ? "plan is NULL"
+              : out == nullptr   ? "out is NULL"
+                                 : "rank out of range");
     return 0;
   }
+  set_ok();
   const std::vector<optibar_op>& ops = plan->per_rank[rank];
   const size_t n = capacity < ops.size() ? capacity : ops.size();
   for (size_t i = 0; i < n; ++i) {
     out[i] = ops[i];
   }
   return n;
+}
+
+/* ---- deprecated errbuf wrappers ---- */
+
+optibar_library* optibar_open(const char* profile_path, char* errbuf,
+                              size_t errbuf_len) {
+  optibar_library* library = optibar_open_v2(profile_path, 1);
+  if (library == nullptr) {
+    fill_error(errbuf, errbuf_len);
+  }
+  return library;
+}
+
+const optibar_plan* optibar_world_plan(optibar_library* library, char* errbuf,
+                                       size_t errbuf_len) {
+  const optibar_plan* plan = optibar_world_plan_v2(library);
+  if (plan == nullptr) {
+    fill_error(errbuf, errbuf_len);
+  }
+  return plan;
+}
+
+const optibar_plan* optibar_subset_plan(optibar_library* library,
+                                        const size_t* ranks, size_t count,
+                                        char* errbuf, size_t errbuf_len) {
+  const optibar_plan* plan = optibar_subset_plan_v2(library, ranks, count);
+  if (plan == nullptr) {
+    fill_error(errbuf, errbuf_len);
+  }
+  return plan;
 }
 
 }  // extern "C"

@@ -198,12 +198,13 @@ int cmd_heatmap(const Args& args, std::ostream& out) {
 
 int cmd_tune(const Args& args, std::ostream& out) {
   args.check_allowed({"profile", "extended", "optimize", "sparseness",
-                      "schedule-out", "code-out", "function"});
+                      "schedule-out", "code-out", "function", "threads"});
   const TopologyProfile profile =
       TopologyProfile::load_file(args.require("profile"));
-  TuneOptions options;
+  EngineOptions options;
   options.function_name = args.get_or("function", "optibar_barrier");
   options.clustering.sss.sparseness = args.double_or("sparseness", 0.35);
+  options.threads = args.size_or("threads", 1);
   if (args.has("extended")) {
     options.composition.algorithms = extended_algorithms();
   }
@@ -286,7 +287,8 @@ int cmd_simulate(const Args& args, std::ostream& out) {
 }
 
 int cmd_compare(const Args& args, std::ostream& out) {
-  args.check_allowed({"profile", "reps", "jitter", "seed", "extended"});
+  args.check_allowed({"profile", "reps", "jitter", "seed", "extended",
+                      "threads"});
   const TopologyProfile profile =
       TopologyProfile::load_file(args.require("profile"));
   const std::size_t p = profile.ranks();
@@ -295,7 +297,8 @@ int cmd_compare(const Args& args, std::ostream& out) {
   sim_options.seed = args.size_or("seed", 2011);
   const std::size_t reps = args.size_or("reps", 25);
 
-  TuneOptions tune_options;
+  EngineOptions tune_options;
+  tune_options.threads = args.size_or("threads", 1);
   if (args.has("extended")) {
     tune_options.composition.algorithms = extended_algorithms();
   }
@@ -348,7 +351,7 @@ int cmd_trace(const Args& args, std::ostream& out) {
 
 int cmd_sweep(const Args& args, std::ostream& out) {
   args.check_allowed({"machine", "machine-file", "nodes", "from", "to",
-                      "mapping", "reps", "jitter", "seed"});
+                      "mapping", "reps", "jitter", "seed", "threads"});
   OPTIBAR_REQUIRE(args.has("machine") != args.has("machine-file"),
                   "give exactly one of --machine and --machine-file");
   const std::size_t from = args.size_or("from", 2);
@@ -394,11 +397,14 @@ int cmd_sweep(const Args& args, std::ostream& out) {
   OPTIBAR_REQUIRE(to >= from && to <= capacity,
                   "--to must be in [" << from << ", " << capacity << "]");
 
+  EngineOptions tune_options;
+  tune_options.threads = args.size_or("threads", 1);
+
   Table table({"P", "linear", "dissemination", "tree", "hybrid",
                "hybrid_root"});
   for (std::size_t p = from; p <= to; ++p) {
     const TopologyProfile profile = profile_for(p);
-    const TuneResult tuned = tune_barrier(profile);
+    const TuneResult tuned = tune_barrier(profile, tune_options);
     auto measured = [&](const Schedule& s) {
       return Table::num(simulate_mean_time(s, profile, sim, reps), 8);
     };
@@ -518,12 +524,14 @@ std::string usage_text() {
         "  heatmap  --profile FILE [--matrix L|O]\n"
         "  tune     --profile FILE [--extended] [--optimize]\n"
         "           [--sparseness A]  # SSS alpha, paper default 0.35\n"
+        "           [--threads N]     # tuning width; 0 = hardware\n"
         "           [--schedule-out FILE]\n"
         "           [--code-out FILE] [--function NAME]\n"
         "  predict  --profile FILE (--schedule FILE | --algorithm NAME)\n"
         "  simulate --profile FILE (--schedule FILE | --algorithm NAME)\n"
         "           [--reps N] [--jitter X] [--seed N]\n"
         "  compare  --profile FILE [--reps N] [--jitter X] [--extended]\n"
+        "           [--threads N]\n"
         "  analyze  --schedule FILE (--machine M | --machine-file F)\n"
         "           [--nodes N] [--mapping block|rr]\n"
         "  validate --schedule FILE\n"
@@ -532,7 +540,7 @@ std::string usage_text() {
         "  workload --profile FILE (--schedule FILE | --algorithm NAME)\n"
         "           [--episodes N] [--compute S] [--skew S] [--timeline]\n"
         "  sweep    (--machine M | --machine-file F) [--from P] [--to P]\n"
-        "           [--mapping block|rr] [--reps N]  # figure-style series\n"
+        "           [--mapping block|rr] [--reps N] [--threads N]\n"
         "  help\n";
   return os.str();
 }

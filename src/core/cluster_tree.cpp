@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace optibar {
 
@@ -27,7 +28,8 @@ namespace {
 
 ClusterNode build_node(const TopologyProfile& profile,
                        std::vector<std::size_t> ranks,
-                       const ClusterTreeOptions& options, std::size_t depth) {
+                       const ClusterTreeOptions& options, std::size_t depth,
+                       ThreadPool* pool) {
   ClusterNode node;
   node.ranks = std::move(ranks);
   if (node.ranks.size() <= 1 || depth >= options.max_depth) {
@@ -47,14 +49,32 @@ ClusterNode build_node(const TopologyProfile& profile,
     return node;
   }
 
+  std::vector<std::vector<std::size_t>> child_rank_sets;
+  child_rank_sets.reserve(clusters.size());
   for (const auto& cluster : clusters) {
     std::vector<std::size_t> child_ranks;
     child_ranks.reserve(cluster.size());
     for (std::size_t local : cluster) {
       child_ranks.push_back(members[local]);
     }
-    node.children.push_back(
-        build_node(profile, std::move(child_ranks), options, depth + 1));
+    child_rank_sets.push_back(std::move(child_ranks));
+  }
+
+  node.children.resize(child_rank_sets.size());
+  const bool parallel = pool != nullptr && pool->width() > 1 &&
+                        child_rank_sets.size() > 1 && members.size() >= 8;
+  if (parallel) {
+    // Child subtrees are independent; build into index-owned slots so
+    // the assembled tree is identical to the serial one.
+    pool->parallel_for(child_rank_sets.size(), [&](std::size_t i) {
+      node.children[i] = build_node(profile, std::move(child_rank_sets[i]),
+                                    options, depth + 1, pool);
+    });
+  } else {
+    for (std::size_t i = 0; i < child_rank_sets.size(); ++i) {
+      node.children[i] = build_node(profile, std::move(child_rank_sets[i]),
+                                    options, depth + 1, pool);
+    }
   }
   return node;
 }
@@ -75,7 +95,8 @@ void describe_node(const ClusterNode& node, std::size_t depth,
 }  // namespace
 
 ClusterNode build_cluster_tree(const TopologyProfile& profile,
-                               const ClusterTreeOptions& options) {
+                               const ClusterTreeOptions& options,
+                               ThreadPool* pool) {
   OPTIBAR_REQUIRE(profile.ranks() > 0, "empty profile");
   OPTIBAR_REQUIRE(profile.is_symmetric(1e-6),
                   "cluster tree needs a symmetric profile; call "
@@ -84,7 +105,7 @@ ClusterNode build_cluster_tree(const TopologyProfile& profile,
   for (std::size_t i = 0; i < all.size(); ++i) {
     all[i] = i;
   }
-  return build_node(profile, std::move(all), options, 0);
+  return build_node(profile, std::move(all), options, 0, pool);
 }
 
 std::string describe_tree(const ClusterNode& root) {

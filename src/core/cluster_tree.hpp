@@ -23,6 +23,8 @@
 
 namespace optibar {
 
+class ThreadPool;
+
 struct ClusterNode {
   /// Global ranks of this cluster; the representative (local barrier
   /// root) first, then ascending.
@@ -48,9 +50,12 @@ struct ClusterTreeOptions {
 
 /// Build the cluster tree of all ranks of the profile. The profile must
 /// be symmetric (SSS needs a metric); symmetrize first if estimated
-/// matrices carry sampling asymmetry.
+/// matrices carry sampling asymmetry. A pool (optional) parallelizes
+/// the independent child-cluster recursions; the tree is identical at
+/// any width.
 ClusterNode build_cluster_tree(const TopologyProfile& profile,
-                               const ClusterTreeOptions& options = {});
+                               const ClusterTreeOptions& options = {},
+                               ThreadPool* pool = nullptr);
 
 /// Multi-line rendering, one line per tree node with indentation.
 std::string describe_tree(const ClusterNode& root);

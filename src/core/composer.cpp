@@ -1,11 +1,14 @@
 #include "core/composer.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "barrier/cost_model.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace optibar {
 
@@ -21,21 +24,43 @@ struct Pick {
 
 Pick pick_algorithm(const TopologyProfile& profile,
                     const std::vector<std::size_t>& participants, bool is_root,
-                    const std::vector<ComponentAlgorithm>& algorithms) {
+                    const std::vector<ComponentAlgorithm>& algorithms,
+                    ThreadPool* pool) {
   OPTIBAR_REQUIRE(!algorithms.empty(), "no candidate algorithms");
   const TopologyProfile local_profile = profile.restrict_to(participants);
-  Pick best;
-  double best_score = std::numeric_limits<double>::infinity();
-  for (const ComponentAlgorithm& algo : algorithms) {
+  auto evaluate = [&](const ComponentAlgorithm& algo) {
     Schedule arrival = algo.arrival(participants.size());
     const double cost = predicted_time(arrival, local_profile);
     // Arrival x 2 approximates the matching departure, except a
     // self-completing algorithm at the root needs no departure at all.
     const double multiplier = (is_root && algo.self_completing) ? 1.0 : 2.0;
-    const double score = multiplier * cost;
-    if (score < best_score) {
-      best_score = score;
-      best = Pick{&algo, std::move(arrival), score};
+    return std::make_pair(multiplier * cost, std::move(arrival));
+  };
+
+  std::vector<std::pair<double, Schedule>> scored;
+  const bool parallel = pool != nullptr && pool->width() > 1 &&
+                        algorithms.size() > 1 && participants.size() >= 8;
+  if (parallel) {
+    scored.assign(algorithms.size(),
+                  {std::numeric_limits<double>::infinity(), Schedule(1)});
+    pool->parallel_for(algorithms.size(), [&](std::size_t i) {
+      scored[i] = evaluate(algorithms[i]);
+    });
+  } else {
+    scored.reserve(algorithms.size());
+    for (const ComponentAlgorithm& algo : algorithms) {
+      scored.push_back(evaluate(algo));
+    }
+  }
+
+  // Reduce in candidate order with a strict '<' — the first minimum
+  // wins, exactly as the serial loop picked, at any pool width.
+  Pick best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < algorithms.size(); ++i) {
+    if (scored[i].first < best_score) {
+      best_score = scored[i].first;
+      best = Pick{&algorithms[i], std::move(scored[i].second), best_score};
     }
   }
   return best;
@@ -54,7 +79,8 @@ struct CandidateSets {
 ArrivalBuild build_arrival(const TopologyProfile& profile,
                            const ClusterNode& node, bool is_root,
                            std::size_t depth, const CandidateSets& candidates,
-                           std::vector<LevelChoice>& choices) {
+                           std::vector<LevelChoice>& choices,
+                           ThreadPool* pool) {
   const std::size_t p = profile.ranks();
   ArrivalBuild out{Schedule(p), 0};
   if (node.ranks.size() == 1) {
@@ -67,24 +93,50 @@ ArrivalBuild build_arrival(const TopologyProfile& profile,
   if (node.is_leaf()) {
     participants = node.ranks;
   } else {
-    std::size_t longest_child = 0;
-    for (const ClusterNode& child : node.children) {
-      participants.push_back(child.representative());
-      ArrivalBuild sub = build_arrival(profile, child, /*is_root=*/false,
-                                       depth + 1, candidates, choices);
-      longest_child = std::max(longest_child, sub.arrival.stage_count());
-      std::vector<std::size_t> identity(p);
-      for (std::size_t i = 0; i < p; ++i) {
-        identity[i] = i;
+    // Child subtrees are independent: build them in parallel into
+    // index-owned slots, then merge serially in child order so the
+    // choice list and the embedded schedule match the serial engine
+    // exactly.
+    struct ChildBuild {
+      ArrivalBuild build{Schedule(1), 0};
+      std::vector<LevelChoice> choices;
+    };
+    std::vector<ChildBuild> subs(node.children.size());
+    const bool parallel = pool != nullptr && pool->width() > 1 &&
+                          node.children.size() > 1 && node.ranks.size() >= 8;
+    auto build_child = [&](std::size_t i) {
+      subs[i].build =
+          build_arrival(profile, node.children[i], /*is_root=*/false,
+                        depth + 1, candidates, subs[i].choices, pool);
+    };
+    if (parallel) {
+      pool->parallel_for(node.children.size(), build_child);
+    } else {
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        build_child(i);
       }
-      embed_schedule(out.arrival, sub.arrival, identity, 0);
+    }
+
+    std::size_t longest_child = 0;
+    std::vector<std::size_t> identity(p);
+    for (std::size_t i = 0; i < p; ++i) {
+      identity[i] = i;
+    }
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      participants.push_back(node.children[i].representative());
+      longest_child =
+          std::max(longest_child, subs[i].build.arrival.stage_count());
+      embed_schedule(out.arrival, subs[i].build.arrival, identity, 0);
+      choices.insert(choices.end(),
+                     std::make_move_iterator(subs[i].choices.begin()),
+                     std::make_move_iterator(subs[i].choices.end()));
     }
     out.level_start = longest_child;
   }
 
   const Pick pick = pick_algorithm(
       profile, participants, is_root,
-      is_root ? *candidates.root : *candidates.sub_levels);
+      is_root ? *candidates.root : *candidates.sub_levels, pool);
   choices.push_back(LevelChoice{depth, participants, pick.algorithm->name,
                                 pick.scored_cost});
   embed_schedule(out.arrival, pick.local_arrival, participants,
@@ -122,7 +174,8 @@ std::string ComposedBarrier::describe() const {
 
 ComposedBarrier compose_barrier(const TopologyProfile& profile,
                                 const ClusterNode& tree,
-                                const ComposeOptions& options) {
+                                const ComposeOptions& options,
+                                ThreadPool* pool) {
   const std::size_t p = profile.ranks();
   OPTIBAR_REQUIRE(tree.ranks.size() == p,
                   "cluster tree covers " << tree.ranks.size() << " ranks, "
@@ -141,7 +194,7 @@ ComposedBarrier compose_barrier(const TopologyProfile& profile,
                                : &options.root_algorithms};
   std::vector<LevelChoice> choices;
   ArrivalBuild build = build_arrival(profile, tree, /*is_root=*/true,
-                                     /*depth=*/0, candidates, choices);
+                                     /*depth=*/0, candidates, choices, pool);
 
   // The root-level decision is recorded last by the post-order recursion.
   OPTIBAR_ASSERT(!choices.empty(), "composition produced no level choices");
@@ -194,7 +247,8 @@ ComposedBarrier compose_barrier(const TopologyProfile& profile,
 
 ComposedBarrier compose_barrier_searched(const TopologyProfile& profile,
                                          const ClusterNode& tree,
-                                         const ComposeOptions& options) {
+                                         const ComposeOptions& options,
+                                         ThreadPool* pool) {
   OPTIBAR_REQUIRE(!options.algorithms.empty(), "no candidate algorithms");
   auto priced = [&](const ComposedBarrier& barrier) {
     PredictOptions predict_options;
@@ -202,23 +256,47 @@ ComposedBarrier compose_barrier_searched(const TopologyProfile& profile,
     return predicted_time(barrier.schedule, profile, predict_options);
   };
 
-  ComposedBarrier best = compose_barrier(profile, tree, options);
+  ComposedBarrier best = compose_barrier(profile, tree, options, pool);
   double best_cost = priced(best);
 
   const std::vector<ComponentAlgorithm>& root_set =
       options.root_algorithms.empty() ? options.algorithms
                                       : options.root_algorithms;
+  // The |A|^2 uniform assignments are independent; evaluate them all
+  // (in parallel when a pool is given), then reduce in the serial
+  // loop's (sub, root) order with a strict '<' so ties resolve the
+  // same at any width.
+  std::vector<ComposeOptions> combos;
+  combos.reserve(options.algorithms.size() * root_set.size());
   for (const ComponentAlgorithm& sub : options.algorithms) {
     for (const ComponentAlgorithm& root : root_set) {
       ComposeOptions fixed;
       fixed.algorithms = {sub};
       fixed.root_algorithms = {root};
-      ComposedBarrier candidate = compose_barrier(profile, tree, fixed);
-      const double cost = priced(candidate);
-      if (cost < best_cost) {
-        best_cost = cost;
-        best = std::move(candidate);
-      }
+      combos.push_back(std::move(fixed));
+    }
+  }
+  std::vector<std::pair<double, ComposedBarrier>> evaluated(
+      combos.size(),
+      {std::numeric_limits<double>::infinity(), ComposedBarrier{}});
+  auto evaluate = [&](std::size_t i) {
+    // Candidates compose serially: the combos themselves are the
+    // parallel grain here.
+    ComposedBarrier candidate = compose_barrier(profile, tree, combos[i]);
+    evaluated[i].first = priced(candidate);
+    evaluated[i].second = std::move(candidate);
+  };
+  if (pool != nullptr && pool->width() > 1 && combos.size() > 1) {
+    pool->parallel_for(combos.size(), evaluate);
+  } else {
+    for (std::size_t i = 0; i < combos.size(); ++i) {
+      evaluate(i);
+    }
+  }
+  for (auto& [cost, candidate] : evaluated) {
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(candidate);
     }
   }
   return best;

@@ -32,6 +32,8 @@
 
 namespace optibar {
 
+class ThreadPool;
+
 struct ComposeOptions {
   /// Candidate component algorithms; defaults to the paper's three.
   std::vector<ComponentAlgorithm> algorithms = paper_algorithms();
@@ -69,10 +71,14 @@ struct ComposedBarrier {
 };
 
 /// Compose the hybrid barrier for the given profile and cluster tree.
-/// The tree must cover ranks 0..profile.ranks()-1 exactly.
+/// The tree must cover ranks 0..profile.ranks()-1 exactly. A pool
+/// (optional) parallelizes the per-stage candidate evaluation and the
+/// independent child-subtree builds; candidates are still reduced in
+/// deterministic order, so the result is bit-identical at any width.
 ComposedBarrier compose_barrier(const TopologyProfile& profile,
                                 const ClusterNode& tree,
-                                const ComposeOptions& options = {});
+                                const ComposeOptions& options = {},
+                                ThreadPool* pool = nullptr);
 
 /// Global alternative to the per-cluster greedy: evaluate every
 /// (sub-level algorithm, root algorithm) uniform assignment by the
@@ -84,6 +90,7 @@ ComposedBarrier compose_barrier(const TopologyProfile& profile,
 /// bench_ablation_algorithms to bound what greediness gives away.
 ComposedBarrier compose_barrier_searched(const TopologyProfile& profile,
                                          const ClusterNode& tree,
-                                         const ComposeOptions& options = {});
+                                         const ComposeOptions& options = {},
+                                         ThreadPool* pool = nullptr);
 
 }  // namespace optibar

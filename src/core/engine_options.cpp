@@ -1,0 +1,57 @@
+#include "core/engine_options.hpp"
+
+#include <cctype>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+namespace {
+
+bool is_identifier(const std::string& name) {
+  if (name.empty() || (std::isdigit(static_cast<unsigned char>(name[0])))) {
+    return false;
+  }
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':';  // allow qualified names like ns::barrier
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void EngineOptions::validate() const {
+  OPTIBAR_REQUIRE(clustering.sss.sparseness > 0.0 &&
+                      clustering.sss.sparseness <= 1.0,
+                  "sparseness must be in (0, 1], got "
+                      << clustering.sss.sparseness);
+  OPTIBAR_REQUIRE(clustering.max_depth >= 1, "max_depth must be >= 1");
+  OPTIBAR_REQUIRE(!composition.algorithms.empty(),
+                  "no candidate algorithms configured");
+  OPTIBAR_REQUIRE(search.max_stages >= 1, "search.max_stages must be >= 1");
+  OPTIBAR_REQUIRE(search.max_ranks >= 1, "search.max_ranks must be >= 1");
+  OPTIBAR_REQUIRE(is_identifier(function_name),
+                  "function_name '" << function_name
+                                    << "' is not a valid identifier");
+  OPTIBAR_REQUIRE(threads <= 1024,
+                  "threads = " << threads << " exceeds the sanity cap (1024)");
+  OPTIBAR_REQUIRE(cache_shards >= 1 && cache_shards <= 4096 &&
+                      (cache_shards & (cache_shards - 1)) == 0,
+                  "cache_shards must be a power of two in [1, 4096], got "
+                      << cache_shards);
+}
+
+std::size_t EngineOptions::resolved_threads() const {
+  if (threads != 0) {
+    return threads;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace optibar

@@ -1,0 +1,64 @@
+// EngineOptions: the one knob struct of the tuning engine.
+//
+// Earlier revisions threaded four nested option structs
+// (ClusterTreeOptions, ComposeOptions, SearchOptions, TuneOptions)
+// through every layer; callers had to know which stage owned which
+// knob. EngineOptions consolidates them behind a single validated
+// top-level struct that the tuner, the exhaustive-search oracle, the
+// runtime BarrierLibrary and the CLI all accept. The stage structs
+// remain as members so stage-level code keeps its narrow view.
+//
+// `threads` is the engine's execution width: the greedy composer
+// evaluates per-stage candidates and independent subtrees in parallel,
+// the exhaustive search explores first-stage subtrees in parallel
+// against a shared incumbent bound, and BarrierLibrary::tune_all fans
+// whole subsets out across the pool. Width 1 (the default) is the
+// bit-for-bit serial engine; any width produces identical tuned
+// schedules (reductions are performed in deterministic index order).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/cluster_tree.hpp"
+#include "core/composer.hpp"
+
+namespace optibar {
+
+/// Knobs of the exhaustive branch-and-bound oracle (see core/search.hpp).
+struct SearchOptions {
+  /// Maximum stages explored.
+  std::size_t max_stages = 3;
+  /// Safety caps; raise knowingly.
+  std::size_t max_ranks = 4;
+  /// Upper bound on explored stage-prefixes (0 = unlimited).
+  std::size_t node_budget = 50'000'000;
+};
+
+struct EngineOptions {
+  ClusterTreeOptions clustering;
+  ComposeOptions composition;
+  SearchOptions search;
+
+  /// Name of the function emitted by TuneResult::generated_code().
+  std::string function_name = "optibar_barrier";
+
+  /// Execution width of the tuning engine, including the calling
+  /// thread: 1 = serial, 0 = one per hardware thread.
+  std::size_t threads = 1;
+
+  /// Shard count of BarrierLibrary's concurrent plan cache; must be a
+  /// power of two. More shards = less writer contention when many
+  /// distinct subsets tune at once.
+  std::size_t cache_shards = 16;
+
+  /// Throws optibar::Error when any knob is out of its valid range.
+  /// Every engine entry point validates on the way in, so a bad knob
+  /// fails loudly at the boundary instead of deep inside a stage.
+  void validate() const;
+
+  /// `threads` with 0 resolved to the hardware thread count (>= 1).
+  std::size_t resolved_threads() const;
+};
+
+}  // namespace optibar

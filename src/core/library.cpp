@@ -1,18 +1,69 @@
 #include "core/library.hpp"
 
+#include <atomic>
+#include <exception>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace optibar {
 
-BarrierLibrary::BarrierLibrary(TopologyProfile profile, TuneOptions options)
+namespace {
+
+/// FNV-1a over the subset elements; order-sensitive on purpose (order
+/// defines local rank numbering, so permutations are distinct plans).
+struct SubsetHash {
+  std::size_t operator()(const std::vector<std::size_t>& ranks) const {
+    std::size_t h = 1469598103934665603ull;
+    for (std::size_t r : ranks) {
+      h ^= r + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+/// One cache entry: built exactly once under its own mutex so
+/// concurrent first requests for the same subset serialize here, not
+/// on the shard.
+struct BarrierLibrary::Slot {
+  std::mutex build_mutex;
+  std::atomic<bool> ready{false};
+  std::exception_ptr error;  // sticky: a failed tune stays failed
+  LibraryEntry entry;
+};
+
+struct BarrierLibrary::Shard {
+  mutable std::shared_mutex mutex;
+  std::unordered_map<std::vector<std::size_t>, std::shared_ptr<Slot>,
+                     SubsetHash>
+      slots;
+};
+
+BarrierLibrary::BarrierLibrary(TopologyProfile profile, EngineOptions options)
     : profile_(std::move(profile)), options_(std::move(options)) {
+  options_.validate();
   OPTIBAR_REQUIRE(profile_.ranks() > 0, "empty profile");
+  shard_mask_ = options_.cache_shards - 1;  // power of two, validated
+  shards_ = std::make_unique<Shard[]>(options_.cache_shards);
+  if (options_.resolved_threads() > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.resolved_threads());
+  }
 }
 
+BarrierLibrary::~BarrierLibrary() = default;
+BarrierLibrary::BarrierLibrary(BarrierLibrary&&) noexcept = default;
+
 BarrierLibrary BarrierLibrary::from_profile_file(const std::string& path,
-                                                 TuneOptions options) {
+                                                 EngineOptions options) {
   return BarrierLibrary(TopologyProfile::load_file(path), std::move(options));
 }
 
@@ -21,11 +72,11 @@ const LibraryEntry& BarrierLibrary::full_barrier() {
   for (std::size_t i = 0; i < all.size(); ++i) {
     all[i] = i;
   }
-  return barrier_for(all);
+  return subset_plan(all);
 }
 
-const LibraryEntry& BarrierLibrary::barrier_for(
-    const std::vector<std::size_t>& ranks) {
+void BarrierLibrary::validate_subset(
+    const std::vector<std::size_t>& ranks) const {
   OPTIBAR_REQUIRE(!ranks.empty(), "empty rank subset");
   std::set<std::size_t> seen;
   for (std::size_t r : ranks) {
@@ -34,27 +85,119 @@ const LibraryEntry& BarrierLibrary::barrier_for(
                             << ")");
     OPTIBAR_REQUIRE(seen.insert(r).second, "duplicate rank " << r);
   }
+}
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = cache_.find(ranks);
-  if (it != cache_.end()) {
-    return *it->second;
+BarrierLibrary::Slot& BarrierLibrary::slot_for(
+    const std::vector<std::size_t>& ranks) {
+  Shard& shard = shards_[SubsetHash{}(ranks)&shard_mask_];
+  {
+    std::shared_lock<std::shared_mutex> read(shard.mutex);
+    auto it = shard.slots.find(ranks);
+    if (it != shard.slots.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> write(shard.mutex);
+  auto [it, inserted] = shard.slots.try_emplace(ranks);
+  if (inserted) {
+    it->second = std::make_shared<Slot>();
+  }
+  return *it->second;
+}
+
+void BarrierLibrary::build_entry_locked(Slot& slot,
+                                        const std::vector<std::size_t>& ranks,
+                                        ThreadPool* pool) {
+  // Caller holds slot.build_mutex and has checked !ready && !error.
+  try {
+    const TopologyProfile local = profile_.restrict_to(ranks);
+    const TuneResult tuned = tune_barrier(local, options_, pool);
+    slot.entry.global_ranks = ranks;
+    slot.entry.stored.schedule = tuned.schedule();
+    slot.entry.stored.awaited_stages = tuned.barrier().awaited_stages;
+    slot.entry.compiled = CompiledBarrier(tuned.schedule());
+    slot.entry.predicted_cost = tuned.predicted_cost();
+    slot.ready.store(true, std::memory_order_release);
+  } catch (...) {
+    slot.error = std::current_exception();
+  }
+}
+
+const LibraryEntry& BarrierLibrary::built_entry(
+    Slot& slot, const std::vector<std::size_t>& ranks, ThreadPool* pool) {
+  if (slot.ready.load(std::memory_order_acquire)) {
+    return slot.entry;  // fast path: no lock at all on a warm cache
+  }
+  std::lock_guard<std::mutex> build(slot.build_mutex);
+  if (!slot.ready.load(std::memory_order_relaxed) && !slot.error) {
+    build_entry_locked(slot, ranks, pool);
+  }
+  if (slot.error) {
+    std::rethrow_exception(slot.error);
+  }
+  return slot.entry;
+}
+
+const LibraryEntry& BarrierLibrary::subset_plan(
+    const std::vector<std::size_t>& ranks) {
+  validate_subset(ranks);
+  return built_entry(slot_for(ranks), ranks, pool_.get());
+}
+
+std::vector<const LibraryEntry*> BarrierLibrary::tune_all(
+    const std::vector<std::vector<std::size_t>>& subsets) {
+  std::vector<Slot*> slots(subsets.size());
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    validate_subset(subsets[i]);
+    slots[i] = &slot_for(subsets[i]);
   }
 
-  const TopologyProfile local = profile_.restrict_to(ranks);
-  const TuneResult tuned = tune_barrier(local, options_);
-  auto entry = std::make_unique<LibraryEntry>();
-  entry->global_ranks = ranks;
-  entry->stored.schedule = tuned.schedule();
-  entry->stored.awaited_stages = tuned.barrier().awaited_stages;
-  entry->compiled = CompiledBarrier(tuned.schedule());
-  entry->predicted_cost = tuned.predicted_cost();
-  return *cache_.emplace(ranks, std::move(entry)).first->second;
+  // Fan the not-yet-built distinct subsets out across the pool. Pool
+  // tasks only try_lock: a slot somebody else is already building is
+  // skipped here and collected (blocking) below, so no pool task ever
+  // blocks — that keeps the helping scheduler deadlock-free. Each task
+  // tunes serially; the batch itself is the parallel grain.
+  if (pool_ != nullptr) {
+    std::vector<std::size_t> work;
+    std::unordered_set<Slot*> seen;
+    for (std::size_t i = 0; i < subsets.size(); ++i) {
+      if (!slots[i]->ready.load(std::memory_order_acquire) &&
+          seen.insert(slots[i]).second) {
+        work.push_back(i);
+      }
+    }
+    if (work.size() > 1) {
+      pool_->parallel_for(work.size(), [&](std::size_t k) {
+        Slot& slot = *slots[work[k]];
+        std::unique_lock<std::mutex> build(slot.build_mutex,
+                                           std::try_to_lock);
+        if (!build.owns_lock() ||
+            slot.ready.load(std::memory_order_relaxed) || slot.error) {
+          return;
+        }
+        build_entry_locked(slot, subsets[work[k]], nullptr);
+      });
+    }
+  }
+
+  std::vector<const LibraryEntry*> out(subsets.size());
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    out[i] = &built_entry(*slots[i], subsets[i], pool_.get());
+  }
+  return out;
 }
 
 std::size_t BarrierLibrary::cache_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return cache_.size();
+  std::size_t n = 0;
+  for (std::size_t s = 0; s <= shard_mask_; ++s) {
+    std::shared_lock<std::shared_mutex> read(shards_[s].mutex);
+    for (const auto& [ranks, slot] : shards_[s].slots) {
+      if (slot->ready.load(std::memory_order_acquire)) {
+        ++n;
+      }
+    }
+  }
+  return n;
 }
 
 }  // namespace optibar

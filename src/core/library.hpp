@@ -11,13 +11,19 @@
 // compiled barriers on demand — for the full rank set or for any
 // sub-communicator (rank subset) — caching each tuned result so repeated
 // barrier construction is a hash lookup, not a re-run of the tuner.
-// Thread-safe: rank threads may request barriers concurrently.
+//
+// Designed for concurrent traffic: the plan cache is sharded, each
+// shard behind a std::shared_mutex, so repeated subset_plan() hits are
+// read-locked lookups and *distinct* subsets tune genuinely in
+// parallel. A subset is tuned exactly once — concurrent requests for
+// the same subset block on a per-entry slot, not on the whole cache.
+// With EngineOptions::threads > 1 the library also owns a
+// work-stealing pool: single tunes parallelize internally, and
+// tune_all() fans whole subsets out across it.
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +33,8 @@
 #include "topology/profile.hpp"
 
 namespace optibar {
+
+class ThreadPool;
 
 /// One cached tuning result for a rank subset. Rank indices inside the
 /// compiled barrier are *local* (0..k-1) in the order of the subset the
@@ -42,14 +50,19 @@ struct LibraryEntry {
 class BarrierLibrary {
  public:
   /// Takes the machine profile measured by the profiling step.
-  explicit BarrierLibrary(TopologyProfile profile, TuneOptions options = {});
+  explicit BarrierLibrary(TopologyProfile profile, EngineOptions options = {});
+  ~BarrierLibrary();
+
+  BarrierLibrary(BarrierLibrary&&) noexcept;
+  BarrierLibrary& operator=(BarrierLibrary&&) = delete;
 
   /// Load the profile from disk (the Figure 1 decoupling).
   static BarrierLibrary from_profile_file(const std::string& path,
-                                          TuneOptions options = {});
+                                          EngineOptions options = {});
 
   std::size_t ranks() const { return profile_.ranks(); }
   const TopologyProfile& profile() const { return profile_; }
+  const EngineOptions& options() const { return options_; }
 
   /// Tuned barrier over all ranks. First call tunes; later calls hit the
   /// cache.
@@ -57,19 +70,44 @@ class BarrierLibrary {
 
   /// Tuned barrier over a rank subset (a sub-communicator). The subset
   /// must be non-empty, in-range and duplicate-free; order defines the
-  /// local rank numbering.
-  const LibraryEntry& barrier_for(const std::vector<std::size_t>& ranks);
+  /// local rank numbering. Returned references stay valid for the
+  /// library's lifetime.
+  const LibraryEntry& subset_plan(const std::vector<std::size_t>& ranks);
+
+  /// Historic name for subset_plan(); kept for existing callers.
+  const LibraryEntry& barrier_for(const std::vector<std::size_t>& ranks) {
+    return subset_plan(ranks);
+  }
+
+  /// Batch form: tune every subset, fanning the not-yet-cached ones out
+  /// across the pool (serial without one). Validates all subsets before
+  /// tuning any. Results are positional; duplicate subsets yield the
+  /// same entry pointer.
+  std::vector<const LibraryEntry*> tune_all(
+      const std::vector<std::vector<std::size_t>>& subsets);
 
   /// Number of distinct tuned subsets currently cached.
   std::size_t cache_size() const;
 
  private:
+  struct Slot;
+  struct Shard;
+
+  void validate_subset(const std::vector<std::size_t>& ranks) const;
+  /// Get-or-create the cache slot of a subset (no tuning).
+  Slot& slot_for(const std::vector<std::size_t>& ranks);
+  /// Blocking build: tune into the slot if nobody has, wait otherwise.
+  const LibraryEntry& built_entry(Slot& slot,
+                                  const std::vector<std::size_t>& ranks,
+                                  ThreadPool* pool);
+  void build_entry_locked(Slot& slot, const std::vector<std::size_t>& ranks,
+                          ThreadPool* pool);
+
   TopologyProfile profile_;
-  TuneOptions options_;
-  mutable std::mutex mutex_;
-  // Keyed by the subset in caller order (order defines local numbering,
-  // so differently-ordered subsets are genuinely different barriers).
-  std::map<std::vector<std::size_t>, std::unique_ptr<LibraryEntry>> cache_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when resolved width is 1
+  std::size_t shard_mask_ = 0;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace optibar

@@ -1,18 +1,25 @@
 #include "core/search.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "barrier/algorithms.hpp"
 #include "barrier/cost_model.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace optibar {
 
 namespace {
 
 /// DFS state: enumerates every off-diagonal incidence matrix per stage
-/// with branch-and-bound on the running critical path.
+/// with branch-and-bound on the running critical path. Parallel mode
+/// splits the tree at the first stage: each first-stage mask's subtree
+/// is explored by one pool task, all pruning against a shared atomic
+/// incumbent bound, so a good early incumbent prunes every subtree.
 class Searcher {
  public:
   Searcher(const TopologyProfile& profile, const SearchOptions& options)
@@ -28,12 +35,17 @@ class Searcher {
     OPTIBAR_ASSERT(edges_.size() < 64, "edge mask overflows 64 bits");
   }
 
-  SearchResult run() {
+  SearchResult run(ThreadPool* pool) {
     seed_incumbents();
-    std::vector<double> ready(p_, 0.0);
-    Schedule prefix(p_);
-    dfs(prefix, BoolMatrix::identity(p_), ready);
-    result_.nodes_explored = nodes_;
+    bound_.store(result_.cost, std::memory_order_relaxed);
+    const std::vector<double> ready(p_, 0.0);
+    if (pool == nullptr || pool->width() <= 1) {
+      Schedule prefix(p_);
+      dfs(prefix, BoolMatrix::identity(p_), ready);
+    } else {
+      parallel_root(*pool, ready);
+    }
+    result_.nodes_explored = nodes_.load(std::memory_order_relaxed);
     return std::move(result_);
   }
 
@@ -109,17 +121,32 @@ class Searcher {
     return m;
   }
 
+  /// Record a complete barrier; the incumbent is shared, so re-check
+  /// under the lock (another subtree may have improved it meanwhile).
+  void record(const Schedule& prefix, double cost) {
+    std::lock_guard<std::mutex> lock(best_mutex_);
+    if (cost < result_.cost) {
+      result_.best = prefix;
+      result_.cost = cost;
+      bound_.store(cost, std::memory_order_relaxed);
+    }
+  }
+
+  bool budget_exhausted() const {
+    return options_.node_budget != 0 &&
+           nodes_.load(std::memory_order_relaxed) >= options_.node_budget;
+  }
+
   void dfs(Schedule& prefix, const BoolMatrix& knowledge,
            const std::vector<double>& ready) {
-    if (options_.node_budget != 0 && nodes_ >= options_.node_budget) {
+    if (budget_exhausted()) {
       return;
     }
-    ++nodes_;
+    nodes_.fetch_add(1, std::memory_order_relaxed);
     if (knowledge.all_nonzero()) {
       const double cost = *std::max_element(ready.begin(), ready.end());
-      if (cost < result_.cost) {
-        result_.best = prefix;
-        result_.cost = cost;
+      if (cost < bound_.load(std::memory_order_relaxed)) {
+        record(prefix, cost);
       }
       return;  // extending a finished barrier only adds cost
     }
@@ -130,7 +157,8 @@ class Searcher {
     for (std::uint64_t mask = 1; mask < limit; ++mask) {
       StageMatrix stage = stage_from_mask(mask);
       const std::vector<double> next = advance(ready, stage);
-      if (*std::max_element(next.begin(), next.end()) >= result_.cost) {
+      if (*std::max_element(next.begin(), next.end()) >=
+          bound_.load(std::memory_order_relaxed)) {
         continue;  // bound: costs only grow with further stages
       }
       const BoolMatrix next_knowledge =
@@ -141,18 +169,52 @@ class Searcher {
     }
   }
 
+  /// Fan the first-stage masks out across the pool; each task runs the
+  /// serial DFS on its subtree. Equivalent to dfs() from the root: the
+  /// root prefix is counted once, and per-mask pruning matches the loop
+  /// body above.
+  void parallel_root(ThreadPool& pool, const std::vector<double>& ready) {
+    nodes_.fetch_add(1, std::memory_order_relaxed);  // the empty prefix
+    if (options_.max_stages == 0) {
+      return;
+    }
+    const BoolMatrix identity = BoolMatrix::identity(p_);
+    const std::uint64_t limit = std::uint64_t{1} << edges_.size();
+    pool.parallel_for(
+        static_cast<std::size_t>(limit - 1), [&](std::size_t index) {
+          if (budget_exhausted()) {
+            return;
+          }
+          const std::uint64_t mask = static_cast<std::uint64_t>(index) + 1;
+          StageMatrix stage = stage_from_mask(mask);
+          const std::vector<double> next = advance(ready, stage);
+          if (*std::max_element(next.begin(), next.end()) >=
+              bound_.load(std::memory_order_relaxed)) {
+            return;
+          }
+          const BoolMatrix knowledge =
+              bool_add(identity, bool_multiply(identity, stage));
+          Schedule prefix(p_);
+          prefix.append_stage(std::move(stage));
+          dfs(prefix, knowledge, next);
+        });
+  }
+
   const TopologyProfile& profile_;
   SearchOptions options_;
   std::size_t p_;
   std::vector<std::pair<std::size_t, std::size_t>> edges_;
   SearchResult result_;
-  std::size_t nodes_ = 0;
+  std::mutex best_mutex_;
+  std::atomic<double> bound_{0.0};
+  std::atomic<std::size_t> nodes_{0};
 };
 
 }  // namespace
 
 SearchResult exhaustive_search(const TopologyProfile& profile,
-                               const SearchOptions& options) {
+                               const SearchOptions& options,
+                               std::size_t threads) {
   OPTIBAR_REQUIRE(profile.ranks() >= 1, "empty profile");
   OPTIBAR_REQUIRE(profile.ranks() <= options.max_ranks,
                   "exhaustive search over " << profile.ranks()
@@ -166,7 +228,18 @@ SearchResult exhaustive_search(const TopologyProfile& profile,
     r.cost = 0.0;
     return r;
   }
-  return Searcher(profile, options).run();
+  std::optional<ThreadPool> pool;
+  if (threads != 1) {
+    pool.emplace(threads);
+  }
+  return Searcher(profile, options).run(pool ? &*pool : nullptr);
+}
+
+SearchResult exhaustive_search(const TopologyProfile& profile,
+                               const EngineOptions& options) {
+  options.validate();
+  return exhaustive_search(profile, options.search,
+                           options.resolved_threads());
 }
 
 }  // namespace optibar

@@ -16,28 +16,30 @@
 #include <cstddef>
 
 #include "barrier/schedule.hpp"
+#include "core/engine_options.hpp"  // SearchOptions lives there now
 #include "topology/profile.hpp"
 
 namespace optibar {
 
-struct SearchOptions {
-  /// Maximum stages explored.
-  std::size_t max_stages = 3;
-  /// Safety caps; raise knowingly.
-  std::size_t max_ranks = 4;
-  /// Upper bound on explored stage-prefixes (0 = unlimited).
-  std::size_t node_budget = 50'000'000;
-};
-
 struct SearchResult {
   Schedule best{1};
   double cost = 0.0;
-  /// Stage-prefixes explored (diagnostics).
+  /// Stage-prefixes explored (diagnostics). Approximate when a node
+  /// budget binds a parallel search.
   std::size_t nodes_explored = 0;
 };
 
-/// Exhaustive minimum-predicted-cost barrier for the profile.
+/// Exhaustive minimum-predicted-cost barrier for the profile. With
+/// threads > 1 the first-stage subtrees are explored in parallel
+/// against a shared atomic incumbent bound: the minimum cost found is
+/// exact either way; among schedules of *exactly* equal cost the
+/// parallel search may return a different (equally optimal) one.
 SearchResult exhaustive_search(const TopologyProfile& profile,
-                               const SearchOptions& options = {});
+                               const SearchOptions& options = {},
+                               std::size_t threads = 1);
+
+/// EngineOptions form: uses options.search and options.threads.
+SearchResult exhaustive_search(const TopologyProfile& profile,
+                               const EngineOptions& options);
 
 }  // namespace optibar

@@ -1,7 +1,10 @@
 #include "core/tuner.hpp"
 
+#include <optional>
+
 #include "barrier/cost_model.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace optibar {
 
@@ -19,14 +22,25 @@ GeneratedCode TuneResult::generated_code() const {
 }
 
 TuneResult tune_barrier(const TopologyProfile& profile,
-                        const TuneOptions& options) {
+                        const EngineOptions& options) {
+  std::optional<ThreadPool> local_pool;
+  if (options.resolved_threads() > 1) {
+    local_pool.emplace(options.resolved_threads());
+  }
+  return tune_barrier(profile, options,
+                      local_pool ? &*local_pool : nullptr);
+}
+
+TuneResult tune_barrier(const TopologyProfile& profile,
+                        const EngineOptions& options, ThreadPool* pool) {
+  options.validate();
   OPTIBAR_REQUIRE(profile.ranks() > 0, "empty profile");
   // Estimated matrices carry sampling asymmetry; the clustering metric
   // requires symmetry (Section VII-A), so normalise first.
   TopologyProfile symmetric = profile.symmetrized();
-  ClusterNode tree = build_cluster_tree(symmetric, options.clustering);
+  ClusterNode tree = build_cluster_tree(symmetric, options.clustering, pool);
   ComposedBarrier barrier =
-      compose_barrier(symmetric, tree, options.composition);
+      compose_barrier(symmetric, tree, options.composition, pool);
 
   PredictOptions predict_options;
   predict_options.awaited_stages = barrier.awaited_stages;

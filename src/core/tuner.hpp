@@ -11,16 +11,19 @@
 #include "core/cluster_tree.hpp"
 #include "core/codegen.hpp"
 #include "core/composer.hpp"
+#include "core/engine_options.hpp"
 #include "topology/profile.hpp"
 
 namespace optibar {
 
-struct TuneOptions {
-  ClusterTreeOptions clustering;
-  ComposeOptions composition;
-  /// Name of the function emitted by generated_code().
-  std::string function_name = "optibar_barrier";
-};
+class ThreadPool;
+
+/// Deprecated alias: the tuning knobs were consolidated into the
+/// top-level EngineOptions (core/engine_options.hpp), which also
+/// carries the search caps and the engine's thread count. Existing
+/// code using `.clustering` / `.composition` / `.function_name`
+/// continues to work unchanged.
+using TuneOptions = EngineOptions;
 
 class TuneResult {
  public:
@@ -51,8 +54,17 @@ class TuneResult {
   std::string function_name_;
 };
 
-/// Run the full tuning pipeline on a profile.
+/// Run the full tuning pipeline on a profile. With options.threads > 1
+/// the clustering recursion, the composer's candidate evaluation and
+/// subtree builds run on an internal work-stealing pool; the tuned
+/// schedule is bit-identical to the serial result at any width.
 TuneResult tune_barrier(const TopologyProfile& profile,
-                        const TuneOptions& options = {});
+                        const EngineOptions& options = {});
+
+/// As above, but on an existing pool (nullptr = serial) instead of
+/// spawning one per call — the form BarrierLibrary uses so concurrent
+/// tunes share one set of threads. `options.threads` is ignored here.
+TuneResult tune_barrier(const TopologyProfile& profile,
+                        const EngineOptions& options, ThreadPool* pool);
 
 }  // namespace optibar

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
+#include <string>
 #include <vector>
 
 #include "simmpi/runtime.hpp"
@@ -140,6 +142,139 @@ TEST_F(CapiTest, SubsetPlanRejectsBadSubsets) {
   EXPECT_EQ(optibar_subset_plan(library_, nullptr, 2, errbuf_,
                                 sizeof errbuf_),
             nullptr);
+}
+
+TEST(CapiStatus, StatusStringsAreStable) {
+  EXPECT_STREQ(optibar_status_string(OPTIBAR_OK), "OPTIBAR_OK");
+  EXPECT_STREQ(optibar_status_string(OPTIBAR_ERR_INVALID_ARGUMENT),
+               "OPTIBAR_ERR_INVALID_ARGUMENT");
+  EXPECT_STREQ(optibar_status_string(OPTIBAR_ERR_IO), "OPTIBAR_ERR_IO");
+  EXPECT_STREQ(optibar_status_string(OPTIBAR_ERR_TUNING),
+               "OPTIBAR_ERR_TUNING");
+  EXPECT_STREQ(optibar_status_string(OPTIBAR_ERR_INTERNAL),
+               "OPTIBAR_ERR_INTERNAL");
+}
+
+TEST(CapiStatus, OpenV2ReportsIoFailure) {
+  EXPECT_EQ(optibar_open_v2("/nonexistent/profile.txt", 1), nullptr);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_IO);
+  EXPECT_NE(std::string(optibar_last_error()).find("cannot open"),
+            std::string::npos);
+}
+
+TEST(CapiStatus, OpenV2ReportsNullPath) {
+  EXPECT_EQ(optibar_open_v2(nullptr, 1), nullptr);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+}
+
+TEST(CapiStatus, NullHandleSetsInvalidArgument) {
+  EXPECT_EQ(optibar_world_plan_v2(nullptr), nullptr);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(optibar_ranks(nullptr), 0u);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+}
+
+TEST_F(CapiTest, SuccessResetsStatusAndMessage) {
+  optibar_world_plan_v2(nullptr);  // leave an error behind
+  ASSERT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+  ASSERT_NE(optibar_world_plan_v2(library_), nullptr);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_OK);
+  EXPECT_STREQ(optibar_last_error(), "");
+}
+
+TEST_F(CapiTest, V2AndLegacyReturnTheSamePlan) {
+  const optibar_plan* v2 = optibar_world_plan_v2(library_);
+  const optibar_plan* legacy =
+      optibar_world_plan(library_, errbuf_, sizeof errbuf_);
+  EXPECT_EQ(v2, legacy);
+  const std::size_t subset[] = {0, 2, 4};
+  EXPECT_EQ(optibar_subset_plan_v2(library_, subset, 3),
+            optibar_subset_plan(library_, subset, 3, nullptr, 0));
+}
+
+TEST_F(CapiTest, SubsetV2ClassifiesCallerErrors) {
+  const std::size_t dup[] = {1, 1};
+  EXPECT_EQ(optibar_subset_plan_v2(library_, dup, 2), nullptr);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(optibar_last_error()).find("duplicate"),
+            std::string::npos);
+  const std::size_t oob[] = {0, 99};
+  EXPECT_EQ(optibar_subset_plan_v2(library_, oob, 2), nullptr);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(optibar_subset_plan_v2(library_, nullptr, 2), nullptr);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+}
+
+TEST_F(CapiTest, ErrbufTruncationIsNulTerminated) {
+  char tiny[8];
+  std::memset(tiny, 'x', sizeof tiny);
+  const std::size_t oob[] = {0, 99};
+  EXPECT_EQ(optibar_subset_plan(library_, oob, 2, tiny, sizeof tiny),
+            nullptr);
+  EXPECT_EQ(tiny[sizeof tiny - 1], '\0');  // truncated, still terminated
+  EXPECT_LT(std::strlen(tiny), sizeof tiny);
+  // The full message survives in the thread-local channel.
+  EXPECT_GT(std::strlen(optibar_last_error()), std::strlen(tiny));
+}
+
+TEST_F(CapiTest, OutOfRangeRankSetsStatus) {
+  const optibar_plan* plan = optibar_world_plan_v2(library_);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(optibar_plan_op_count(plan, 16), 0u);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+  optibar_op op;
+  EXPECT_EQ(optibar_plan_ops(plan, 16, &op, 1), 0u);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+  (void)optibar_plan_op_count(plan, 15);  // valid rank resets the status
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_OK);
+}
+
+TEST_F(CapiTest, ThreadedOpenTunesLikeSerial) {
+  optibar_library* threaded = optibar_open_v2(path_.c_str(), 4);
+  ASSERT_NE(threaded, nullptr);
+  const optibar_plan* a = optibar_world_plan_v2(library_);
+  const optibar_plan* b = optibar_world_plan_v2(threaded);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Bit-identical tuning at any width: same shape, same cost.
+  EXPECT_EQ(optibar_plan_stage_count(a), optibar_plan_stage_count(b));
+  EXPECT_DOUBLE_EQ(optibar_plan_predicted_seconds(a),
+                   optibar_plan_predicted_seconds(b));
+  for (std::size_t r = 0; r < 16; ++r) {
+    EXPECT_EQ(optibar_plan_op_count(a, r), optibar_plan_op_count(b, r));
+  }
+  optibar_close(threaded);
+}
+
+TEST_F(CapiTest, TuneAllFillsEveryPlan) {
+  // Three subsets concatenated: {0..7}, {8..15}, {0,2,4,6}.
+  std::vector<std::size_t> ranks;
+  for (std::size_t r = 0; r < 8; ++r) ranks.push_back(r);
+  for (std::size_t r = 8; r < 16; ++r) ranks.push_back(r);
+  for (std::size_t r = 0; r < 8; r += 2) ranks.push_back(r);
+  const std::size_t counts[] = {8, 8, 4};
+  const optibar_plan* plans[3] = {};
+  ASSERT_EQ(optibar_tune_all(library_, ranks.data(), counts, 3, plans), 3u);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_OK);
+  EXPECT_EQ(optibar_plan_ranks(plans[0]), 8u);
+  EXPECT_EQ(optibar_plan_ranks(plans[1]), 8u);
+  EXPECT_EQ(optibar_plan_ranks(plans[2]), 4u);
+  // Batch results alias the per-subset cache.
+  const std::size_t quad[] = {0, 2, 4, 6};
+  EXPECT_EQ(optibar_subset_plan_v2(library_, quad, 4), plans[2]);
+}
+
+TEST_F(CapiTest, TuneAllRejectsBadBatches) {
+  const std::size_t counts[] = {2};
+  const optibar_plan* plans[1] = {};
+  EXPECT_EQ(optibar_tune_all(nullptr, nullptr, counts, 1, plans), 0u);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+  const std::size_t bad_ranks[] = {0, 99};
+  EXPECT_EQ(optibar_tune_all(library_, bad_ranks, counts, 1, plans), 0u);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(optibar_last_error()).find("subset 0"),
+            std::string::npos);
+  EXPECT_EQ(plans[0], nullptr);  // untouched on failure
 }
 
 TEST_F(CapiTest, ReplayingPlanOpsSynchronizes) {

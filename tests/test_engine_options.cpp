@@ -1,0 +1,101 @@
+// Tests for the consolidated EngineOptions: validation and thread-width
+// resolution.
+#include "core/engine_options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/tuner.hpp"  // the deprecated TuneOptions alias
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TEST(EngineOptions, DefaultsValidate) {
+  EngineOptions options;
+  EXPECT_NO_THROW(options.validate());
+  EXPECT_EQ(options.threads, 1u);
+  EXPECT_EQ(options.cache_shards, 16u);
+  EXPECT_EQ(options.function_name, "optibar_barrier");
+}
+
+TEST(EngineOptions, RejectsBadSparseness) {
+  EngineOptions options;
+  options.clustering.sss.sparseness = 0.0;
+  EXPECT_THROW(options.validate(), Error);
+  options.clustering.sss.sparseness = 1.5;
+  EXPECT_THROW(options.validate(), Error);
+  options.clustering.sss.sparseness = 1.0;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(EngineOptions, RejectsDegenerateClustering) {
+  EngineOptions options;
+  options.clustering.max_depth = 0;
+  EXPECT_THROW(options.validate(), Error);
+}
+
+TEST(EngineOptions, RejectsEmptyAlgorithmSet) {
+  EngineOptions options;
+  options.composition.algorithms.clear();
+  EXPECT_THROW(options.validate(), Error);
+}
+
+TEST(EngineOptions, RejectsDegenerateSearch) {
+  EngineOptions options;
+  options.search.max_stages = 0;
+  EXPECT_THROW(options.validate(), Error);
+  options.search.max_stages = 3;
+  options.search.max_ranks = 0;
+  EXPECT_THROW(options.validate(), Error);
+}
+
+TEST(EngineOptions, RejectsBadFunctionNames) {
+  EngineOptions options;
+  options.function_name = "";
+  EXPECT_THROW(options.validate(), Error);
+  options.function_name = "9starts_with_digit";
+  EXPECT_THROW(options.validate(), Error);
+  options.function_name = "has space";
+  EXPECT_THROW(options.validate(), Error);
+  options.function_name = "ns::qualified_name";
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(EngineOptions, RejectsAbsurdThreadCounts) {
+  EngineOptions options;
+  options.threads = 1025;
+  EXPECT_THROW(options.validate(), Error);
+  options.threads = 0;  // 0 = hardware width, valid
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(EngineOptions, RejectsNonPowerOfTwoShardCounts) {
+  EngineOptions options;
+  options.cache_shards = 12;
+  EXPECT_THROW(options.validate(), Error);
+  options.cache_shards = 0;
+  EXPECT_THROW(options.validate(), Error);
+  options.cache_shards = 8192;
+  EXPECT_THROW(options.validate(), Error);
+  options.cache_shards = 1;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(EngineOptions, ResolvedThreadsNeverZero) {
+  EngineOptions options;
+  options.threads = 0;
+  EXPECT_GE(options.resolved_threads(), 1u);
+  options.threads = 7;
+  EXPECT_EQ(options.resolved_threads(), 7u);
+}
+
+TEST(EngineOptions, TuneOptionsAliasStillCompiles) {
+  // Source compatibility for pre-consolidation callers.
+  TuneOptions options;
+  options.clustering.max_depth = 8;
+  options.function_name = "my_barrier";
+  EXPECT_NO_THROW(options.validate());
+}
+
+}  // namespace
+}  // namespace optibar

@@ -1,0 +1,173 @@
+// Concurrency stress tests for BarrierLibrary's sharded plan cache.
+//
+// Many threads hammer subset_plan() with overlapping subsets; every
+// plan must be bit-identical to what the serial tuner produces, every
+// subset must be tuned exactly once (stable entry addresses, exact
+// cache_size), and tune_all() must agree with the serial engine. Run
+// under -fsanitize=thread via the `tsan` CTest label (OPTIBAR_SANITIZE).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/library.hpp"
+#include "core/tuner.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+
+namespace optibar {
+namespace {
+
+TopologyProfile cluster_profile(std::size_t ranks) {
+  const MachineSpec m = quad_cluster();
+  return generate_profile(m, round_robin_mapping(m, ranks));
+}
+
+/// A fixed pool of overlapping subsets of a 24-rank profile: per-node
+/// groups, cross-node pairs, a permuted ordering, and the world.
+std::vector<std::vector<std::size_t>> overlapping_subsets() {
+  std::vector<std::vector<std::size_t>> subsets;
+  subsets.push_back({0, 4, 8, 12, 16, 20});     // node 0 (round-robin)
+  subsets.push_back({1, 5, 9, 13, 17, 21});     // node 1
+  subsets.push_back({0, 1, 2, 3});              // one rank per node
+  subsets.push_back({3, 2, 1, 0});              // same set, distinct order
+  subsets.push_back({0, 4, 1, 5});              // two nodes interleaved
+  subsets.push_back({8, 9, 10, 11, 12, 13});    // mixed block
+  subsets.push_back({0, 1});                    // minimal pair
+  std::vector<std::size_t> world(24);
+  for (std::size_t r = 0; r < world.size(); ++r) {
+    world[r] = r;
+  }
+  subsets.push_back(world);
+  return subsets;
+}
+
+TEST(LibraryStress, ConcurrentSubsetPlansMatchSerialTuner) {
+  const TopologyProfile profile = cluster_profile(24);
+  const auto subsets = overlapping_subsets();
+
+  // Ground truth from the serial tuner, one isolated run per subset.
+  std::vector<TuneResult> serial;
+  serial.reserve(subsets.size());
+  for (const auto& subset : subsets) {
+    serial.push_back(tune_barrier(profile.restrict_to(subset)));
+  }
+
+  EngineOptions options;
+  options.threads = 4;  // library pool parallelizes each tune too
+  BarrierLibrary library(profile, options);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<const LibraryEntry*> first_seen(subsets.size() * kThreads,
+                                              nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t s = 0; s < subsets.size(); ++s) {
+          // Stagger the order per thread so first requests collide.
+          const std::size_t pick =
+              (s + static_cast<std::size_t>(t)) % subsets.size();
+          const LibraryEntry& entry = library.subset_plan(subsets[pick]);
+          if (!(entry.stored.schedule == serial[pick].schedule()) ||
+              entry.predicted_cost != serial[pick].predicted_cost()) {
+            ++mismatches;
+          }
+          // Entry addresses must be stable across rounds and threads.
+          const std::size_t slot =
+              static_cast<std::size_t>(t) * subsets.size() + pick;
+          if (first_seen[slot] == nullptr) {
+            first_seen[slot] = &entry;
+          } else if (first_seen[slot] != &entry) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(library.cache_size(), subsets.size());
+
+  // All threads resolved each subset to the same cached entry.
+  for (std::size_t s = 0; s < subsets.size(); ++s) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(first_seen[static_cast<std::size_t>(t) * subsets.size() + s],
+                first_seen[s]);
+    }
+  }
+}
+
+TEST(LibraryStress, TuneAllMatchesSerialAndIsIdempotent) {
+  const TopologyProfile profile = cluster_profile(24);
+  const auto subsets = overlapping_subsets();
+
+  EngineOptions parallel_options;
+  parallel_options.threads = 8;
+  BarrierLibrary parallel_library(profile, parallel_options);
+  const auto batch = parallel_library.tune_all(subsets);
+  ASSERT_EQ(batch.size(), subsets.size());
+  EXPECT_EQ(parallel_library.cache_size(), subsets.size());
+
+  BarrierLibrary serial_library(profile);  // threads = 1
+  for (std::size_t s = 0; s < subsets.size(); ++s) {
+    const LibraryEntry& expected = serial_library.subset_plan(subsets[s]);
+    EXPECT_EQ(batch[s]->stored.schedule, expected.stored.schedule)
+        << "subset " << s;
+    EXPECT_DOUBLE_EQ(batch[s]->predicted_cost, expected.predicted_cost);
+    EXPECT_EQ(batch[s]->global_ranks, subsets[s]);
+  }
+
+  // Second batch: pure cache hits, same entries.
+  const auto again = parallel_library.tune_all(subsets);
+  for (std::size_t s = 0; s < subsets.size(); ++s) {
+    EXPECT_EQ(again[s], batch[s]);
+  }
+}
+
+TEST(LibraryStress, ConcurrentTuneAllBatchesAgree) {
+  const TopologyProfile profile = cluster_profile(16);
+  std::vector<std::vector<std::size_t>> subsets;
+  for (std::size_t base = 0; base < 16; base += 4) {
+    subsets.push_back({base, base + 1, base + 2, base + 3});
+  }
+
+  EngineOptions options;
+  options.threads = 4;
+  BarrierLibrary library(profile, options);
+
+  std::vector<std::vector<const LibraryEntry*>> results(4);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    threads.emplace_back([&, t] { results[t] = library.tune_all(subsets); });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    EXPECT_EQ(results[t], results[0]);
+  }
+  EXPECT_EQ(library.cache_size(), subsets.size());
+}
+
+TEST(LibraryStress, DuplicateSubsetsInOneBatchShareTheEntry) {
+  BarrierLibrary library(cluster_profile(8));
+  const std::vector<std::vector<std::size_t>> subsets{
+      {0, 1, 2}, {4, 5}, {0, 1, 2}};
+  const auto batch = library.tune_all(subsets);
+  EXPECT_EQ(batch[0], batch[2]);
+  EXPECT_NE(batch[0], batch[1]);
+  EXPECT_EQ(library.cache_size(), 2u);
+}
+
+}  // namespace
+}  // namespace optibar

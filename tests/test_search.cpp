@@ -120,5 +120,45 @@ TEST(Search, ZeroStagesRejected) {
   EXPECT_THROW(exhaustive_search(p, opts), Error);
 }
 
+TEST(Search, ParallelSearchFindsTheSameMinimum) {
+  // Parallel subtree exploration shares an atomic incumbent bound; the
+  // minimum cost is exact at any width (the returned schedule may be a
+  // different equally-optimal one).
+  const TopologyProfile p = uniform_profile(3, 1e-5, 1e-6, 1e-6);
+  const SearchResult serial = exhaustive_search(p, SearchOptions{}, 1);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    const SearchResult parallel = exhaustive_search(p, SearchOptions{},
+                                                    threads);
+    EXPECT_DOUBLE_EQ(parallel.cost, serial.cost) << threads << " threads";
+    EXPECT_TRUE(parallel.best.is_barrier());
+    EXPECT_EQ(parallel.best.ranks(), 3u);
+  }
+}
+
+TEST(Search, ParallelRootHandlesWideFirstStageFanOut) {
+  // 4 ranks, one stage: 2^12 - 1 first-stage masks, all explored as
+  // root-level parallel tasks.
+  const TopologyProfile p = uniform_profile(4, 1e-5, 1e-6, 1e-6);
+  SearchOptions opts;
+  opts.max_stages = 1;
+  opts.max_ranks = 4;
+  const SearchResult serial = exhaustive_search(p, opts, 1);
+  const SearchResult parallel = exhaustive_search(p, opts, 8);
+  EXPECT_DOUBLE_EQ(parallel.cost, serial.cost);
+  EXPECT_TRUE(parallel.best.is_barrier());
+  // Counts differ run-to-run (pruning races the shared bound), but both
+  // modes visit at least the root and every surviving first stage.
+  EXPECT_GT(parallel.nodes_explored, 1u);
+}
+
+TEST(Search, EngineOptionsFormMatchesSearchOptionsForm) {
+  const TopologyProfile p = uniform_profile(3, 1e-5, 1e-6, 1e-6);
+  EngineOptions engine;
+  engine.threads = 2;
+  const SearchResult via_engine = exhaustive_search(p, engine);
+  const SearchResult direct = exhaustive_search(p, engine.search, 2);
+  EXPECT_DOUBLE_EQ(via_engine.cost, direct.cost);
+}
+
 }  // namespace
 }  // namespace optibar

@@ -1,0 +1,118 @@
+// Tests for the work-stealing thread pool underneath the parallel
+// tuning engine.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace optibar {
+namespace {
+
+TEST(ThreadPool, WidthOneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.width(), 1u);
+  std::atomic<int> runs{0};
+  ThreadPool::TaskGroup group(pool);
+  group.run([&] { ++runs; });
+  group.run([&] { ++runs; });
+  group.wait();
+  EXPECT_EQ(runs.load(), 2);
+}
+
+TEST(ThreadPool, WidthZeroResolvesToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.width(), 1u);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> sum{0};
+  pool.parallel_for(3, [&](std::size_t i) {
+    sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 3);
+  pool.parallel_for(0, [&](std::size_t) { ADD_FAILURE(); });
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Inner fan-outs run on the same pool; TaskGroup::wait helps, so this
+  // must finish even when every worker is inside an outer task.
+  ThreadPool pool(4);
+  std::atomic<int> leaves{0};
+  pool.parallel_for(16, [&](std::size_t) {
+    pool.parallel_for(16, [&](std::size_t) { ++leaves; });
+  });
+  EXPECT_EQ(leaves.load(), 16 * 16);
+}
+
+TEST(ThreadPool, TaskGroupPropagatesFirstError) {
+  ThreadPool pool(4);
+  ThreadPool::TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.run([i] {
+      if (i % 2 == 0) {
+        throw std::runtime_error("task failed");
+      }
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyError) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after a failed loop.
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, ManySmallLoopsReuseTheSamePool) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(64, [&](std::size_t i) {
+      total += static_cast<long>(i);
+    });
+  }
+  EXPECT_EQ(total.load(), 50L * (64L * 63L / 2));
+}
+
+TEST(ThreadPool, ExternalThreadsCanSubmitConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> runs{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      pool.parallel_for(200, [&](std::size_t) { ++runs; });
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+  EXPECT_EQ(runs.load(), 4 * 200);
+}
+
+}  // namespace
+}  // namespace optibar

@@ -129,5 +129,30 @@ TEST(Tuner, DeterministicForSameProfile) {
   EXPECT_DOUBLE_EQ(a.predicted_cost(), b.predicted_cost());
 }
 
+TEST(Tuner, ParallelTuningIsBitIdenticalToSerial) {
+  // The engine's contract: any thread width produces the identical
+  // tuned schedule (parallel stages reduce in serial candidate order).
+  const MachineSpec m = hex_cluster();
+  const TopologyProfile profile =
+      generate_profile(m, round_robin_mapping(m, 72), GenerateOptions{0.1, 8});
+  const TuneResult serial = tune_barrier(profile);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    EngineOptions options;
+    options.threads = threads;
+    const TuneResult parallel = tune_barrier(profile, options);
+    EXPECT_EQ(parallel.schedule(), serial.schedule())
+        << threads << " threads";
+    EXPECT_DOUBLE_EQ(parallel.predicted_cost(), serial.predicted_cost());
+  }
+}
+
+TEST(Tuner, ValidatesEngineOptions) {
+  const MachineSpec m = quad_cluster(1);
+  const TopologyProfile profile = generate_profile(m, 4);
+  EngineOptions bad;
+  bad.clustering.sss.sparseness = -1.0;
+  EXPECT_THROW(tune_barrier(profile, bad), Error);
+}
+
 }  // namespace
 }  // namespace optibar
