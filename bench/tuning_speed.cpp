@@ -10,10 +10,12 @@
 
 #include <vector>
 
+#include "barrier/compiled_schedule.hpp"
 #include "barrier/cost_model.hpp"
 #include "core/cluster_tree.hpp"
 #include "core/composer.hpp"
 #include "core/library.hpp"
+#include "core/search.hpp"
 #include "core/tuner.hpp"
 #include "topology/generate.hpp"
 #include "topology/machine.hpp"
@@ -65,6 +67,36 @@ void BM_PredictionOnly(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PredictionOnly)->Arg(64)->Arg(120);
+
+// Same prediction with the schedule compiled once up front — the
+// steady-state cost of re-pricing a cached plan (re-tune decisions,
+// skew sweeps). bench_predict_throughput isolates the kernel further.
+void BM_CompiledPredictionOnly(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const TopologyProfile profile = profile_for(p);
+  const TuneResult tuned = tune_barrier(profile);
+  const CompiledSchedule compiled(tuned.schedule(), profile);
+  PredictWorkspace workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predicted_time(compiled, {}, workspace));
+  }
+}
+BENCHMARK(BM_CompiledPredictionOnly)->Arg(64)->Arg(120);
+
+// Branch-and-bound oracle on 4 ranks of the quad cluster: the search is
+// pure cost-model evaluation, so it tracks the incremental prefix
+// evaluator's node rate.
+void BM_ExhaustiveSearchQuad4(benchmark::State& state) {
+  std::vector<std::size_t> ranks{0, 1, 2, 3};
+  const TopologyProfile profile = profile_for(16).restrict_to(ranks);
+  SearchOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exhaustive_search(profile, options,
+                          static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_ExhaustiveSearchQuad4)->Arg(1)->Arg(8)->UseRealTime();
 
 void BM_CodeGeneration(benchmark::State& state) {
   const std::size_t p = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Perf trajectory: run the cost-kernel and tuning-pipeline benches and
+# write their google-benchmark JSON to the repo root, where each PR
+# commits the refreshed numbers.
+#
+#   BENCH_predict.json — bench_predict_throughput (compiled kernel vs
+#                        reference predict, compile cost, search step)
+#   BENCH_tuning.json  — bench_tuning_speed (full pipeline, stages,
+#                        thread scaling, library batch tuning)
+#
+# Usage: scripts/bench_json.sh [build-dir]   (default: build)
+# BENCH_FILTER limits both runs, e.g.
+#   BENCH_FILTER=BM_PredictThroughput scripts/bench_json.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+FILTER="${BENCH_FILTER:-}"
+
+for bench in bench_predict_throughput bench_tuning_speed; do
+  if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
+    echo "error: $BUILD_DIR/bench/$bench not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+run() {
+  local bench="$1" out="$2"
+  "$BUILD_DIR/bench/$bench" \
+    --benchmark_format=json \
+    ${FILTER:+--benchmark_filter="$FILTER"} \
+    >"$out"
+  echo "wrote $out"
+}
+
+run bench_predict_throughput BENCH_predict.json
+run bench_tuning_speed BENCH_tuning.json

@@ -6,5 +6,5 @@ cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -S . -DOPTIBAR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$(nproc)" --target \
-  test_thread_pool test_library_stress test_capi
+  test_thread_pool test_library_stress test_capi test_compiled_predict
 ctest --test-dir build-tsan -L tsan --output-on-failure

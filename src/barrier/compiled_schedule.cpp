@@ -1,0 +1,287 @@
+#include "barrier/compiled_schedule.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+CompiledSchedule::CompiledSchedule(const Schedule& schedule,
+                                   const TopologyProfile& profile) {
+  compile(schedule, profile);
+}
+
+void CompiledSchedule::compile(const Schedule& schedule,
+                               const TopologyProfile& profile) {
+  const std::size_t p = schedule.ranks();
+  OPTIBAR_REQUIRE(profile.ranks() == p,
+                  "profile has " << profile.ranks() << " ranks, schedule has "
+                                 << p);
+  p_ = p;
+  stages_ = schedule.stage_count();
+  const std::size_t rows = stages_ * p_;
+
+  tgt_offsets_.clear();
+  tgt_offsets_.reserve(rows + 1);
+  tgt_offsets_.push_back(0);
+  tgt_index_.clear();
+  tgt_l_.clear();
+  tgt_o_.clear();
+  src_offsets_.clear();
+  src_offsets_.reserve(rows + 1);
+  src_offsets_.push_back(0);
+  src_index_.clear();
+  sum_l_.clear();
+  sum_l_.reserve(rows);
+  max_o_.clear();
+  max_o_.reserve(rows);
+  recv_l_.clear();
+  recv_l_.reserve(rows);
+
+  self_o_.resize(p_);
+  for (std::size_t i = 0; i < p_; ++i) {
+    self_o_[i] = profile.o(i, i);
+  }
+
+  for (std::size_t s = 0; s < stages_; ++s) {
+    const StageMatrix& m = schedule.stage(s);
+    // Target rows: same ascending-j order as Schedule::targets_of, so
+    // the L sum below accumulates in exactly the reference order.
+    for (std::size_t i = 0; i < p_; ++i) {
+      double sum_l = 0.0;
+      double max_o = 0.0;
+      for (std::size_t j = 0; j < p_; ++j) {
+        if (!m.at_unchecked(i, j)) {
+          continue;
+        }
+        const double l = profile.l(i, j);
+        tgt_index_.push_back(j);
+        tgt_l_.push_back(l);
+        tgt_o_.push_back(profile.o(i, j));
+        sum_l += l;
+        max_o = std::max(max_o, profile.o(i, j));
+      }
+      tgt_offsets_.push_back(tgt_index_.size());
+      sum_l_.push_back(sum_l);
+      max_o_.push_back(max_o);
+    }
+    // Source rows: ascending-i order of Schedule::sources_of.
+    for (std::size_t j = 0; j < p_; ++j) {
+      double recv_l = 0.0;
+      for (std::size_t i = 0; i < p_; ++i) {
+        if (!m.at_unchecked(i, j)) {
+          continue;
+        }
+        src_index_.push_back(i);
+        recv_l += profile.l(i, j);
+      }
+      src_offsets_.push_back(src_index_.size());
+      recv_l_.push_back(recv_l);
+    }
+  }
+}
+
+void predict_into(const CompiledSchedule& compiled,
+                  const PredictOptions& options, PredictWorkspace& workspace,
+                  Prediction& out) {
+  const std::size_t p = compiled.ranks();
+  if (!options.entry_times.empty()) {
+    OPTIBAR_REQUIRE(options.entry_times.size() == p,
+                    "entry_times size mismatch");
+  }
+  if (!options.egress_resource_of.empty()) {
+    OPTIBAR_REQUIRE(options.egress_resource_of.size() == p,
+                    "egress_resource_of size mismatch");
+  }
+
+  PredictWorkspace& ws = workspace;
+  if (options.entry_times.empty()) {
+    ws.ready.assign(p, 0.0);
+  } else {
+    ws.ready.assign(options.entry_times.begin(), options.entry_times.end());
+  }
+  ws.next.assign(p, 0.0);
+  ws.batch.assign(p, 0.0);
+  const bool egress = !options.egress_resource_of.empty();
+  if (egress) {
+    const std::size_t max_resource =
+        *std::max_element(options.egress_resource_of.begin(),
+                          options.egress_resource_of.end());
+    if (ws.res_active.size() <= max_resource) {
+      ws.res_ready.resize(max_resource + 1);
+      ws.res_max_o.resize(max_resource + 1);
+      ws.res_sum_l.resize(max_resource + 1);
+      ws.res_active.resize(max_resource + 1, 0);
+    }
+    ws.touched_resources.clear();
+  }
+
+  const double start_of_critical =
+      *std::max_element(ws.ready.begin(), ws.ready.end());
+  out.stage_increment.clear();
+
+  for (std::size_t s = 0; s < compiled.stage_count(); ++s) {
+    const bool awaited =
+        s < options.awaited_stages.size() && options.awaited_stages[s];
+    const double before = *std::max_element(ws.ready.begin(), ws.ready.end());
+
+    // A rank's own step completes after it issues its batch; receivers
+    // additionally wait for every incoming batch of the stage.
+    for (std::size_t i = 0; i < p; ++i) {
+      ws.batch[i] = ws.ready[i] + compiled.batch_cost(i, s, awaited);
+      ws.next[i] = ws.batch[i];
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j : compiled.targets(i, s)) {
+        ws.next[j] = std::max(ws.next[j], ws.batch[i]);
+      }
+    }
+    if (egress) {
+      // Analytic shared-egress serialization (see predict_reference):
+      // per resource, ready time, max O and sum of L over its remote
+      // messages, accumulated in (sender, target) scan order into the
+      // flat dense-id arrays.
+      const std::vector<std::size_t>& resource = options.egress_resource_of;
+      for (std::size_t i = 0; i < p; ++i) {
+        const std::size_t r = resource[i];
+        const std::span<const std::size_t> targets = compiled.targets(i, s);
+        const std::span<const double> l = compiled.target_latency(i, s);
+        const std::span<const double> o = compiled.target_overhead(i, s);
+        for (std::size_t k = 0; k < targets.size(); ++k) {
+          if (r == resource[targets[k]]) {
+            continue;
+          }
+          if (!ws.res_active[r]) {
+            ws.res_active[r] = 1;
+            ws.touched_resources.push_back(r);
+            ws.res_ready[r] = ws.ready[i];
+            ws.res_max_o[r] = 0.0;
+            ws.res_sum_l[r] = 0.0;
+          } else {
+            ws.res_ready[r] = std::max(ws.res_ready[r], ws.ready[i]);
+          }
+          ws.res_max_o[r] = std::max(ws.res_max_o[r], o[k]);
+          ws.res_sum_l[r] += l[k];
+        }
+      }
+      for (std::size_t i = 0; i < p; ++i) {
+        const std::size_t r = resource[i];
+        for (std::size_t j : compiled.targets(i, s)) {
+          if (r == resource[j]) {
+            continue;
+          }
+          const double bound =
+              ws.res_ready[r] + ws.res_max_o[r] + ws.res_sum_l[r];
+          ws.next[j] = std::max(ws.next[j], bound);
+        }
+      }
+      for (std::size_t r : ws.touched_resources) {
+        ws.res_active[r] = 0;
+      }
+      ws.touched_resources.clear();
+    }
+    if (options.receiver_processing) {
+      for (std::size_t j = 0; j < p; ++j) {
+        ws.next[j] += compiled.recv_processing(j, s);
+      }
+    }
+    std::swap(ws.ready, ws.next);
+    const double after = *std::max_element(ws.ready.begin(), ws.ready.end());
+    out.stage_increment.push_back(after - before);
+  }
+
+  out.rank_completion.assign(ws.ready.begin(), ws.ready.end());
+  out.critical_path =
+      *std::max_element(ws.ready.begin(), ws.ready.end()) - start_of_critical;
+}
+
+double predicted_time(const CompiledSchedule& compiled,
+                      const PredictOptions& options,
+                      PredictWorkspace& workspace) {
+  predict_into(compiled, options, workspace, workspace.scratch);
+  return workspace.scratch.critical_path;
+}
+
+IncrementalPredictor::IncrementalPredictor(const TopologyProfile& profile,
+                                           bool receiver_processing)
+    : profile_(&profile),
+      receiver_processing_(receiver_processing),
+      p_(profile.ranks()),
+      batch_(profile.ranks(), 0.0) {
+  OPTIBAR_REQUIRE(p_ > 0, "empty profile");
+  stack_.emplace_back(p_, 0.0);
+}
+
+void IncrementalPredictor::reset() {
+  depth_ = 0;
+  stack_[0].assign(p_, 0.0);
+}
+
+void IncrementalPredictor::reset(const std::vector<double>& entry) {
+  OPTIBAR_REQUIRE(entry.size() == p_, "entry_times size mismatch");
+  depth_ = 0;
+  stack_[0].assign(entry.begin(), entry.end());
+}
+
+double IncrementalPredictor::max_ready() const {
+  const std::vector<double>& r = stack_[depth_];
+  return *std::max_element(r.begin(), r.end());
+}
+
+void IncrementalPredictor::push_stage(const StageMatrix& stage, bool awaited) {
+  OPTIBAR_REQUIRE(stage.rows() == p_ && stage.cols() == p_,
+                  "stage must be " << p_ << "x" << p_);
+  if (stack_.size() <= depth_ + 1) {
+    stack_.emplace_back(p_, 0.0);  // pooled slot, reused after pops
+  }
+  const std::vector<double>& ready = stack_[depth_];
+  std::vector<double>& next = stack_[depth_ + 1];
+
+  // Same recurrence as predict(): Eq. 1/2 batch completion per sender
+  // (L summed over ascending targets, exactly step_cost's order)...
+  for (std::size_t i = 0; i < p_; ++i) {
+    double sum_l = 0.0;
+    double max_o = 0.0;
+    bool any = false;
+    for (std::size_t j = 0; j < p_; ++j) {
+      if (!stage.at_unchecked(i, j)) {
+        continue;
+      }
+      any = true;
+      sum_l += profile_->l(i, j);
+      max_o = std::max(max_o, profile_->o(i, j));
+    }
+    const double cost =
+        any ? (awaited ? profile_->o(i, i) : max_o) + sum_l : 0.0;
+    batch_[i] = ready[i] + cost;
+    next[i] = batch_[i];
+  }
+  // ...then receivers wait for every incoming batch...
+  for (std::size_t i = 0; i < p_; ++i) {
+    for (std::size_t j = 0; j < p_; ++j) {
+      if (stage.at_unchecked(i, j)) {
+        next[j] = std::max(next[j], batch_[i]);
+      }
+    }
+  }
+  // ...plus serial completion processing (ascending sources).
+  if (receiver_processing_) {
+    for (std::size_t j = 0; j < p_; ++j) {
+      double processing = 0.0;
+      for (std::size_t i = 0; i < p_; ++i) {
+        if (stage.at_unchecked(i, j)) {
+          processing += profile_->l(i, j);
+        }
+      }
+      next[j] += processing;
+    }
+  }
+  ++depth_;
+}
+
+void IncrementalPredictor::pop_stage() {
+  OPTIBAR_REQUIRE(depth_ > 0, "pop_stage on an empty prefix");
+  --depth_;
+}
+
+}  // namespace optibar

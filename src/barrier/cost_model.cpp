@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "barrier/compiled_schedule.hpp"
 #include "util/error.hpp"
 
 namespace optibar {
@@ -25,6 +26,20 @@ double step_cost(const TopologyProfile& profile, std::size_t sender,
 
 Prediction predict(const Schedule& schedule, const TopologyProfile& profile,
                    const PredictOptions& options) {
+  // Compile-and-evaluate through thread-local reused storage: the CSR
+  // arrays and the workspace grow once per thread to the largest problem
+  // seen, after which only the returned Prediction allocates.
+  thread_local CompiledSchedule compiled;
+  thread_local PredictWorkspace workspace;
+  compiled.compile(schedule, profile);
+  Prediction out;
+  predict_into(compiled, options, workspace, out);
+  return out;
+}
+
+Prediction predict_reference(const Schedule& schedule,
+                             const TopologyProfile& profile,
+                             const PredictOptions& options) {
   const std::size_t p = schedule.ranks();
   OPTIBAR_REQUIRE(profile.ranks() == p,
                   "profile has " << profile.ranks() << " ranks, schedule has "
@@ -48,6 +63,7 @@ Prediction predict(const Schedule& schedule, const TopologyProfile& profile,
       *std::max_element(ready.begin(), ready.end());
 
   std::vector<double> next(p, 0.0);
+  std::vector<double> batch_done(p, 0.0);
   for (std::size_t s = 0; s < schedule.stage_count(); ++s) {
     const bool awaited =
         s < options.awaited_stages.size() && options.awaited_stages[s];
@@ -56,18 +72,13 @@ Prediction predict(const Schedule& schedule, const TopologyProfile& profile,
     // A rank's own step completes after it issues its batch; receivers
     // additionally wait for every incoming batch of the stage.
     for (std::size_t i = 0; i < p; ++i) {
-      next[i] = ready[i] +
-                step_cost(profile, i, schedule.targets_of(i, s), awaited);
+      batch_done[i] = ready[i] +
+                      step_cost(profile, i, schedule.targets_of(i, s), awaited);
+      next[i] = batch_done[i];
     }
     for (std::size_t i = 0; i < p; ++i) {
-      const std::vector<std::size_t> targets = schedule.targets_of(i, s);
-      if (targets.empty()) {
-        continue;
-      }
-      const double batch_done =
-          ready[i] + step_cost(profile, i, targets, awaited);
-      for (std::size_t j : targets) {
-        next[j] = std::max(next[j], batch_done);
+      for (std::size_t j : schedule.targets_of(i, s)) {
+        next[j] = std::max(next[j], batch_done[i]);
       }
     }
     if (!options.egress_resource_of.empty()) {
@@ -132,7 +143,10 @@ Prediction predict(const Schedule& schedule, const TopologyProfile& profile,
 
 double predicted_time(const Schedule& schedule, const TopologyProfile& profile,
                       const PredictOptions& options) {
-  return predict(schedule, profile, options).critical_path;
+  thread_local CompiledSchedule compiled;
+  thread_local PredictWorkspace workspace;
+  compiled.compile(schedule, profile);
+  return predicted_time(compiled, options, workspace);
 }
 
 double arrival_cost(const Schedule& arrival, const TopologyProfile& profile) {

@@ -76,11 +76,24 @@ struct Prediction {
 double step_cost(const TopologyProfile& profile, std::size_t sender,
                  const std::vector<std::size_t>& targets, bool awaited);
 
-/// Full-schedule prediction.
+/// Full-schedule prediction. A thin wrapper over the compiled evaluation
+/// kernel (barrier/compiled_schedule.hpp): the schedule is compiled
+/// against the profile into thread-local reused storage and evaluated
+/// with a thread-local workspace, so repeated calls allocate only the
+/// returned Prediction. Bit-identical to predict_reference().
 Prediction predict(const Schedule& schedule, const TopologyProfile& profile,
                    const PredictOptions& options = {});
 
-/// Shorthand for predict(...).critical_path.
+/// The direct (uncompiled) implementation of the Section VI recurrence,
+/// kept as the independently-written oracle the compiled kernel is
+/// parity-tested against. Prefer predict(); this path re-derives the
+/// stage adjacency on every call.
+Prediction predict_reference(const Schedule& schedule,
+                             const TopologyProfile& profile,
+                             const PredictOptions& options = {});
+
+/// Shorthand for predict(...).critical_path; with the thread-local
+/// workspace warm this performs no heap allocations at all.
 double predicted_time(const Schedule& schedule, const TopologyProfile& profile,
                       const PredictOptions& options = {});
 

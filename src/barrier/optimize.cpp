@@ -4,6 +4,7 @@
 #include <tuple>
 #include <vector>
 
+#include "barrier/compiled_schedule.hpp"
 #include "util/error.hpp"
 
 namespace optibar {
@@ -87,6 +88,10 @@ OptimizeResult fuse_stages(const Schedule& schedule,
                                   schedule.stages().end());
   double current_cost = result.cost_before;
   std::size_t s = 0;
+  // Candidate pricing dominates the fusion loop; keep one compiled
+  // kernel and workspace warm across all candidates.
+  CompiledSchedule compiled;
+  PredictWorkspace workspace;
   while (s + 1 < stages.size()) {
     // Candidate: OR stage s into s+1 (a fused matrix may not gain
     // self-signals because neither operand has any).
@@ -95,7 +100,8 @@ OptimizeResult fuse_stages(const Schedule& schedule,
     fused.erase(fused.begin() + static_cast<std::ptrdiff_t>(s));
     const Schedule candidate = rebuild(schedule.ranks(), fused);
     if (candidate.is_barrier()) {
-      const double cost = predicted_time(candidate, profile);
+      compiled.compile(candidate, profile);
+      const double cost = predicted_time(compiled, {}, workspace);
       if (cost <= current_cost) {
         stages = std::move(fused);
         current_cost = cost;

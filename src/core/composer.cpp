@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "barrier/compiled_schedule.hpp"
 #include "barrier/cost_model.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -30,7 +31,13 @@ Pick pick_algorithm(const TopologyProfile& profile,
   const TopologyProfile local_profile = profile.restrict_to(participants);
   auto evaluate = [&](const ComponentAlgorithm& algo) {
     Schedule arrival = algo.arrival(participants.size());
-    const double cost = predicted_time(arrival, local_profile);
+    // Compiled evaluation with per-thread reused storage: candidate
+    // scoring is the composer's inner loop, and pool workers each keep
+    // their own warm kernel state.
+    thread_local CompiledSchedule compiled;
+    thread_local PredictWorkspace workspace;
+    compiled.compile(arrival, local_profile);
+    const double cost = predicted_time(compiled, {}, workspace);
     // Arrival x 2 approximates the matching departure, except a
     // self-completing algorithm at the root needs no departure at all.
     const double multiplier = (is_root && algo.self_completing) ? 1.0 : 2.0;
@@ -251,9 +258,12 @@ ComposedBarrier compose_barrier_searched(const TopologyProfile& profile,
                                          ThreadPool* pool) {
   OPTIBAR_REQUIRE(!options.algorithms.empty(), "no candidate algorithms");
   auto priced = [&](const ComposedBarrier& barrier) {
-    PredictOptions predict_options;
+    thread_local CompiledSchedule compiled;
+    thread_local PredictWorkspace workspace;
+    thread_local PredictOptions predict_options;
     predict_options.awaited_stages = barrier.awaited_stages;
-    return predicted_time(barrier.schedule, profile, predict_options);
+    compiled.compile(barrier.schedule, profile);
+    return predicted_time(compiled, predict_options, workspace);
   };
 
   ComposedBarrier best = compose_barrier(profile, tree, options, pool);

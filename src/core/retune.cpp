@@ -115,8 +115,9 @@ bool AdaptiveBarrierController::reevaluate(double expected_remaining_calls) {
   // Both costs priced on the same (drifted, symmetrized) profile.
   PredictOptions active_options;
   active_options.awaited_stages = active_.barrier().awaited_stages;
+  compiled_.compile(active_.schedule(), candidate.profile());
   const double current_cost =
-      predicted_time(active_.schedule(), candidate.profile(), active_options);
+      predicted_time(compiled_, active_options, workspace_);
 
   last_decision_ = evaluate_retune(current_cost, candidate.predicted_cost(),
                                    overhead, expected_remaining_calls);

@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "barrier/compiled_schedule.hpp"
 #include "barrier/schedule.hpp"
 #include "core/tuner.hpp"
 #include "topology/profile.hpp"
@@ -118,6 +119,10 @@ class AdaptiveBarrierController {
   double predicted_cost_ = 0.0;
   std::size_t retunes_ = 0;
   RetuneDecision last_decision_;
+  /// Reused cost-kernel state: periodic reevaluate() calls re-price the
+  /// active schedule without allocating.
+  CompiledSchedule compiled_;
+  PredictWorkspace workspace_;
 };
 
 }  // namespace optibar

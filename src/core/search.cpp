@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "barrier/algorithms.hpp"
+#include "barrier/compiled_schedule.hpp"
 #include "barrier/cost_model.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -38,12 +39,12 @@ class Searcher {
   SearchResult run(ThreadPool* pool) {
     seed_incumbents();
     bound_.store(result_.cost, std::memory_order_relaxed);
-    const std::vector<double> ready(p_, 0.0);
     if (pool == nullptr || pool->width() <= 1) {
       Schedule prefix(p_);
-      dfs(prefix, BoolMatrix::identity(p_), ready);
+      IncrementalPredictor predictor(profile_);
+      dfs(prefix, BoolMatrix::identity(p_), predictor);
     } else {
-      parallel_root(*pool, ready);
+      parallel_root(*pool);
     }
     result_.nodes_explored = nodes_.load(std::memory_order_relaxed);
     return std::move(result_);
@@ -72,45 +73,6 @@ class Searcher {
     }
   }
 
-  /// Apply one stage mask to the readiness vector (Eq. 1 costing, same
-  /// recurrence as predict()); returns the new readiness.
-  std::vector<double> advance(const std::vector<double>& ready,
-                              const StageMatrix& stage) const {
-    std::vector<double> next(p_);
-    std::vector<std::size_t> targets;
-    std::vector<double> batch_done(p_, 0.0);
-    for (std::size_t i = 0; i < p_; ++i) {
-      targets.clear();
-      for (std::size_t j = 0; j < p_; ++j) {
-        if (stage(i, j)) {
-          targets.push_back(j);
-        }
-      }
-      batch_done[i] =
-          ready[i] + step_cost(profile_, i, targets, /*awaited=*/false);
-      next[i] = batch_done[i];
-    }
-    for (std::size_t i = 0; i < p_; ++i) {
-      for (std::size_t j = 0; j < p_; ++j) {
-        if (stage(i, j)) {
-          next[j] = std::max(next[j], batch_done[i]);
-        }
-      }
-    }
-    // Receiver-side serial processing, mirroring predict() so oracle and
-    // greedy costs are directly comparable.
-    for (std::size_t j = 0; j < p_; ++j) {
-      double processing = 0.0;
-      for (std::size_t i = 0; i < p_; ++i) {
-        if (stage(i, j)) {
-          processing += profile_.l(i, j);
-        }
-      }
-      next[j] += processing;
-    }
-    return next;
-  }
-
   StageMatrix stage_from_mask(std::uint64_t mask) const {
     StageMatrix m(p_, p_, 0);
     for (std::size_t k = 0; k < edges_.size(); ++k) {
@@ -137,14 +99,19 @@ class Searcher {
            nodes_.load(std::memory_order_relaxed) >= options_.node_budget;
   }
 
+  /// DFS with incremental prefix evaluation: the predictor's checkpoint
+  /// stack holds the ready-time vector of every prefix depth, so each
+  /// candidate stage is scored by one push_stage (Eq. 1 costing, same
+  /// recurrence as predict()) and backtracking is a pop — the whole
+  /// schedule is never re-evaluated.
   void dfs(Schedule& prefix, const BoolMatrix& knowledge,
-           const std::vector<double>& ready) {
+           IncrementalPredictor& predictor) {
     if (budget_exhausted()) {
       return;
     }
     nodes_.fetch_add(1, std::memory_order_relaxed);
     if (knowledge.all_nonzero()) {
-      const double cost = *std::max_element(ready.begin(), ready.end());
+      const double cost = predictor.max_ready();
       if (cost < bound_.load(std::memory_order_relaxed)) {
         record(prefix, cost);
       }
@@ -156,24 +123,26 @@ class Searcher {
     const std::uint64_t limit = std::uint64_t{1} << edges_.size();
     for (std::uint64_t mask = 1; mask < limit; ++mask) {
       StageMatrix stage = stage_from_mask(mask);
-      const std::vector<double> next = advance(ready, stage);
-      if (*std::max_element(next.begin(), next.end()) >=
+      predictor.push_stage(stage);
+      if (predictor.max_ready() >=
           bound_.load(std::memory_order_relaxed)) {
+        predictor.pop_stage();
         continue;  // bound: costs only grow with further stages
       }
       const BoolMatrix next_knowledge =
           bool_add(knowledge, bool_multiply(knowledge, stage));
       prefix.append_stage(std::move(stage));
-      dfs(prefix, next_knowledge, next);
+      dfs(prefix, next_knowledge, predictor);
       prefix.pop_stage();
+      predictor.pop_stage();
     }
   }
 
   /// Fan the first-stage masks out across the pool; each task runs the
-  /// serial DFS on its subtree. Equivalent to dfs() from the root: the
-  /// root prefix is counted once, and per-mask pruning matches the loop
-  /// body above.
-  void parallel_root(ThreadPool& pool, const std::vector<double>& ready) {
+  /// serial DFS on its subtree with its own predictor. Equivalent to
+  /// dfs() from the root: the root prefix is counted once, and per-mask
+  /// pruning matches the loop body above.
+  void parallel_root(ThreadPool& pool) {
     nodes_.fetch_add(1, std::memory_order_relaxed);  // the empty prefix
     if (options_.max_stages == 0) {
       return;
@@ -187,8 +156,9 @@ class Searcher {
           }
           const std::uint64_t mask = static_cast<std::uint64_t>(index) + 1;
           StageMatrix stage = stage_from_mask(mask);
-          const std::vector<double> next = advance(ready, stage);
-          if (*std::max_element(next.begin(), next.end()) >=
+          IncrementalPredictor predictor(profile_);
+          predictor.push_stage(stage);
+          if (predictor.max_ready() >=
               bound_.load(std::memory_order_relaxed)) {
             return;
           }
@@ -196,7 +166,7 @@ class Searcher {
               bool_add(identity, bool_multiply(identity, stage));
           Schedule prefix(p_);
           prefix.append_stage(std::move(stage));
-          dfs(prefix, knowledge, next);
+          dfs(prefix, knowledge, predictor);
         });
   }
 

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "barrier/compiled_schedule.hpp"
 #include "barrier/cost_model.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -44,8 +45,10 @@ TuneResult tune_barrier(const TopologyProfile& profile,
 
   PredictOptions predict_options;
   predict_options.awaited_stages = barrier.awaited_stages;
-  const double cost =
-      predicted_time(barrier.schedule, symmetric, predict_options);
+  PredictWorkspace workspace;
+  const double cost = predicted_time(
+      CompiledSchedule(barrier.schedule, symmetric), predict_options,
+      workspace);
 
   return TuneResult(std::move(symmetric), std::move(tree), std::move(barrier),
                     cost, options.function_name);
