@@ -1,0 +1,103 @@
+// Google-benchmark: the collective layer's two hot paths.
+//
+// BM_TuneAllreduceHex        — full collective tuning (cluster tree +
+//                              candidate generation + payload-aware
+//                              scoring) for allreduce on the hex
+//                              cluster; the feasibility figure for
+//                              re-tuning collectives at run time, the
+//                              collective analogue of Section VIII's
+//                              ~0.1 s barrier budget.
+// BM_PredictCollective       — compile-once / evaluate-many throughput
+//                              of the payload-aware compiled kernel on
+//                              a tuned allreduce (the tuner's inner
+//                              scoring loop).
+// BM_CompileCollective       — the per-candidate edge-pricing compile
+//                              step in isolation.
+// BM_SimulateCollective      — one deterministic netsim run of the
+//                              tuned schedule, the validation-side
+//                              cost of a collective candidate.
+#include <benchmark/benchmark.h>
+
+#include "barrier/compiled_schedule.hpp"
+#include "barrier/cost_model.hpp"
+#include "collective/predict.hpp"
+#include "collective/simulate.hpp"
+#include "collective/tuner.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+
+namespace {
+
+using namespace optibar;
+
+TopologyProfile hex_profile(std::size_t p) {
+  const MachineSpec machine = hex_cluster();
+  return generate_profile(machine, round_robin_mapping(machine, p));
+}
+
+CollectiveTuneOptions allreduce_options(std::size_t payload_bytes) {
+  CollectiveTuneOptions options;
+  options.op = CollectiveOp::kAllreduce;
+  options.payload_bytes = payload_bytes;
+  return options;
+}
+
+void BM_TuneAllreduceHex(benchmark::State& state) {
+  const TopologyProfile profile =
+      hex_profile(static_cast<std::size_t>(state.range(0)));
+  const CollectiveTuneOptions options =
+      allreduce_options(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tune_collective(profile, options));
+  }
+}
+BENCHMARK(BM_TuneAllreduceHex)
+    ->Args({24, 0})
+    ->Args({24, 64 * 1024})
+    ->Args({60, 64 * 1024})
+    ->Args({120, 64 * 1024});
+
+void BM_PredictCollective(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const TopologyProfile profile = hex_profile(p);
+  const CollectiveTuneResult tuned =
+      tune_collective(profile, allreduce_options(64 * 1024));
+  CompiledSchedule compiled;
+  compile_collective(tuned.schedule(), tuned.profile(), compiled);
+  PredictWorkspace workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        predicted_time(compiled, PredictOptions{}, workspace));
+  }
+}
+BENCHMARK(BM_PredictCollective)->Arg(24)->Arg(60)->Arg(120);
+
+void BM_CompileCollective(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const TopologyProfile profile = hex_profile(p);
+  const CollectiveTuneResult tuned =
+      tune_collective(profile, allreduce_options(64 * 1024));
+  CompiledSchedule compiled;
+  for (auto _ : state) {
+    compile_collective(tuned.schedule(), tuned.profile(), compiled);
+    benchmark::DoNotOptimize(compiled.ranks());
+  }
+}
+BENCHMARK(BM_CompileCollective)->Arg(24)->Arg(120);
+
+void BM_SimulateCollective(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const TopologyProfile profile = hex_profile(p);
+  const CollectiveTuneResult tuned =
+      tune_collective(profile, allreduce_options(64 * 1024));
+  const SimOptions options;  // jitter 0, deterministic
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulate_collective(tuned.schedule(), tuned.profile(), options)
+            .completion_time());
+  }
+}
+BENCHMARK(BM_SimulateCollective)->Arg(24)->Arg(60);
+
+}  // namespace

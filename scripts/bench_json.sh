@@ -3,10 +3,12 @@
 # write their google-benchmark JSON to the repo root, where each PR
 # commits the refreshed numbers.
 #
-#   BENCH_predict.json — bench_predict_throughput (compiled kernel vs
-#                        reference predict, compile cost, search step)
-#   BENCH_tuning.json  — bench_tuning_speed (full pipeline, stages,
-#                        thread scaling, library batch tuning)
+#   BENCH_predict.json    — bench_predict_throughput (compiled kernel vs
+#                           reference predict, compile cost, search step)
+#   BENCH_tuning.json     — bench_tuning_speed (full pipeline, stages,
+#                           thread scaling, library batch tuning)
+#   BENCH_collective.json — bench_collective (collective tuning on hex,
+#                           payload-aware predict/compile/sim throughput)
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 # BENCH_FILTER limits both runs, e.g.
@@ -17,7 +19,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 FILTER="${BENCH_FILTER:-}"
 
-for bench in bench_predict_throughput bench_tuning_speed; do
+for bench in bench_predict_throughput bench_tuning_speed bench_collective; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -35,3 +37,4 @@ run() {
 
 run bench_predict_throughput BENCH_predict.json
 run bench_tuning_speed BENCH_tuning.json
+run bench_collective BENCH_collective.json

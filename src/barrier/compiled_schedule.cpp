@@ -81,6 +81,89 @@ void CompiledSchedule::compile(const Schedule& schedule,
   }
 }
 
+void CompiledSchedule::compile_edges(
+    std::size_t ranks, const std::vector<std::vector<CompiledEdge>>& stage_edges,
+    const std::vector<double>& self_overhead) {
+  OPTIBAR_REQUIRE(ranks > 0, "compile_edges with zero ranks");
+  OPTIBAR_REQUIRE(self_overhead.size() == ranks,
+                  "self_overhead has " << self_overhead.size()
+                                       << " entries, expected " << ranks);
+  p_ = ranks;
+  stages_ = stage_edges.size();
+  const std::size_t rows = stages_ * p_;
+
+  tgt_offsets_.clear();
+  tgt_offsets_.reserve(rows + 1);
+  tgt_offsets_.push_back(0);
+  tgt_index_.clear();
+  tgt_l_.clear();
+  tgt_o_.clear();
+  src_offsets_.clear();
+  src_offsets_.reserve(rows + 1);
+  src_offsets_.push_back(0);
+  src_index_.clear();
+  sum_l_.clear();
+  sum_l_.reserve(rows);
+  max_o_.clear();
+  max_o_.reserve(rows);
+  recv_l_.clear();
+  recv_l_.reserve(rows);
+
+  self_o_.assign(self_overhead.begin(), self_overhead.end());
+
+  // Scratch permutation into (dst, src) order for the source rows.
+  std::vector<std::size_t> by_dst;
+  for (std::size_t s = 0; s < stages_; ++s) {
+    const std::vector<CompiledEdge>& edges = stage_edges[s];
+    // Target rows in the given (src, dst) order — the ascending-target
+    // reference order; one pass per stage, senders grouped contiguously.
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < p_; ++i) {
+      double sum_l = 0.0;
+      double max_o = 0.0;
+      for (; k < edges.size() && edges[k].src == i; ++k) {
+        const CompiledEdge& e = edges[k];
+        OPTIBAR_REQUIRE(e.src < p_ && e.dst < p_ && e.src != e.dst,
+                        "bad edge " << e.src << "->" << e.dst);
+        OPTIBAR_REQUIRE(k == 0 || edges[k - 1].src < e.src ||
+                            edges[k - 1].dst < e.dst,
+                        "stage edges must be sorted by (src, dst) without "
+                        "duplicates");
+        tgt_index_.push_back(e.dst);
+        tgt_l_.push_back(e.l);
+        tgt_o_.push_back(e.o);
+        sum_l += e.l;
+        max_o = std::max(max_o, e.o);
+      }
+      tgt_offsets_.push_back(tgt_index_.size());
+      sum_l_.push_back(sum_l);
+      max_o_.push_back(max_o);
+    }
+    OPTIBAR_REQUIRE(k == edges.size(), "stage edges not sorted by src");
+    // Source rows in (dst, src) order — ascending sources per receiver.
+    by_dst.resize(edges.size());
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      by_dst[e] = e;
+    }
+    std::sort(by_dst.begin(), by_dst.end(),
+              [&edges](std::size_t a, std::size_t b) {
+                return edges[a].dst != edges[b].dst
+                           ? edges[a].dst < edges[b].dst
+                           : edges[a].src < edges[b].src;
+              });
+    std::size_t q = 0;
+    for (std::size_t j = 0; j < p_; ++j) {
+      double recv_l = 0.0;
+      for (; q < by_dst.size() && edges[by_dst[q]].dst == j; ++q) {
+        src_index_.push_back(edges[by_dst[q]].src);
+        recv_l += edges[by_dst[q]].l;
+      }
+      src_offsets_.push_back(src_index_.size());
+      recv_l_.push_back(recv_l);
+    }
+  }
+}
+
 void predict_into(const CompiledSchedule& compiled,
                   const PredictOptions& options, PredictWorkspace& workspace,
                   Prediction& out) {

@@ -48,6 +48,17 @@
 
 namespace optibar {
 
+/// One directed edge with explicit per-edge costs, for compile_edges().
+/// Callers that price more than the plain O/L matrices (e.g. the
+/// collective layer's L + bytes * G bandwidth term) pre-compute the
+/// costs; the compiled evaluation is oblivious to where they came from.
+struct CompiledEdge {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double l = 0.0;  ///< marginal cost of this edge in its batch
+  double o = 0.0;  ///< startup cost of this edge
+};
+
 class CompiledSchedule {
  public:
   CompiledSchedule() = default;
@@ -58,6 +69,17 @@ class CompiledSchedule {
   /// Rebind to a new schedule/profile, reusing the existing storage
   /// (grow-only; no allocation once capacities are warm).
   void compile(const Schedule& schedule, const TopologyProfile& profile);
+
+  /// Rebind to an explicit edge list with caller-supplied per-edge
+  /// costs. `stage_edges[s]` must be sorted by (src, dst) with no
+  /// duplicates and no self edges; `self_overhead[i]` supplies O(i,i).
+  /// Accumulation order matches compile() (targets ascending per
+  /// sender, sources ascending per receiver), so an edge list derived
+  /// from a Schedule with l = L(i,j) and o = O(i,j) evaluates
+  /// bit-identically to compiling that Schedule directly.
+  void compile_edges(std::size_t ranks,
+                     const std::vector<std::vector<CompiledEdge>>& stage_edges,
+                     const std::vector<double>& self_overhead);
 
   std::size_t ranks() const { return p_; }
   std::size_t stage_count() const { return stages_; }

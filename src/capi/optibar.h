@@ -118,6 +118,29 @@ size_t optibar_plan_op_count(const optibar_plan* plan, size_t rank);
 size_t optibar_plan_ops(const optibar_plan* plan, size_t rank,
                         optibar_op* out, size_t capacity);
 
+/* Collective operation kinds for optibar_tune_collective_v2. */
+typedef enum {
+  OPTIBAR_COLLECTIVE_BCAST = 0,
+  OPTIBAR_COLLECTIVE_REDUCE = 1,
+  OPTIBAR_COLLECTIVE_ALLREDUCE = 2
+} optibar_collective_op;
+
+/* Tune a payload-carrying collective (broadcast / reduce / allreduce)
+ * against the library's profile. `payload_bytes` is the total payload
+ * (must be a multiple of 8, the engine's element width; 0 tunes the
+ * pure signalling pattern); `root` is the root rank for the rooted ops
+ * and is ignored for allreduce. On success writes the predicted
+ * completion time into *out_predicted_seconds and the stage count of
+ * the winning schedule into *out_stages (either pointer may be NULL)
+ * and returns OPTIBAR_OK. On failure returns the error status (also
+ * readable via optibar_last_status / optibar_last_error) and leaves
+ * the out parameters unwritten. */
+optibar_status optibar_tune_collective_v2(optibar_library* library,
+                                          optibar_collective_op op,
+                                          size_t payload_bytes, size_t root,
+                                          double* out_predicted_seconds,
+                                          size_t* out_stages);
+
 /*
  * DEPRECATED errbuf-based signatures — thin wrappers over the *_v2
  * functions above (serial tuning, threads = 1). On failure they copy

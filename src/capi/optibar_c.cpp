@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "collective/tuner.hpp"
 #include "core/library.hpp"
 #include "topology/profile.hpp"
 #include "util/error.hpp"
@@ -354,6 +355,61 @@ size_t optibar_plan_ops(const optibar_plan* plan, size_t rank,
     out[i] = ops[i];
   }
   return n;
+}
+
+optibar_status optibar_tune_collective_v2(optibar_library* library,
+                                          optibar_collective_op op,
+                                          size_t payload_bytes, size_t root,
+                                          double* out_predicted_seconds,
+                                          size_t* out_stages) {
+  if (library == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "library is NULL");
+    return tl_status;
+  }
+  optibar::CollectiveTuneOptions options;
+  switch (op) {
+    case OPTIBAR_COLLECTIVE_BCAST:
+      options.op = optibar::CollectiveOp::kBroadcast;
+      break;
+    case OPTIBAR_COLLECTIVE_REDUCE:
+      options.op = optibar::CollectiveOp::kReduce;
+      break;
+    case OPTIBAR_COLLECTIVE_ALLREDUCE:
+      options.op = optibar::CollectiveOp::kAllreduce;
+      break;
+    default:
+      set_error(OPTIBAR_ERR_INVALID_ARGUMENT,
+                "unknown collective op " + std::to_string(op));
+      return tl_status;
+  }
+  if (root >= library->library.ranks()) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT,
+              "root " + std::to_string(root) + " out of range (" +
+                  std::to_string(library->library.ranks()) + ")");
+    return tl_status;
+  }
+  if (payload_bytes % options.elem_bytes != 0) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT,
+              "payload_bytes must be a multiple of " +
+                  std::to_string(options.elem_bytes));
+    return tl_status;
+  }
+  options.payload_bytes = payload_bytes;
+  options.root = root;
+  try {
+    const optibar::CollectiveTuneResult tuned = optibar::tune_collective(
+        library->library.profile(), options, library->library.options());
+    if (out_predicted_seconds != nullptr) {
+      *out_predicted_seconds = tuned.predicted_cost();
+    }
+    if (out_stages != nullptr) {
+      *out_stages = tuned.schedule().stage_count();
+    }
+    set_ok();
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_TUNING);
+  }
+  return tl_status;
 }
 
 /* ---- deprecated errbuf wrappers ---- */

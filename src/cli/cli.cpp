@@ -11,6 +11,9 @@
 #include "barrier/optimize.hpp"
 #include "barrier/schedule_io.hpp"
 #include "cli/args.hpp"
+#include "collective/io.hpp"
+#include "collective/simulate.hpp"
+#include "collective/tuner.hpp"
 #include "core/tuner.hpp"
 #include "netsim/engine.hpp"
 #include "netsim/trace_export.hpp"
@@ -453,6 +456,59 @@ int cmd_workload(const Args& args, std::ostream& out) {
   return 0;
 }
 
+CollectiveOp collective_op_by_name(const std::string& name) {
+  if (name == "bcast") {
+    return CollectiveOp::kBroadcast;
+  }
+  if (name == "reduce") {
+    return CollectiveOp::kReduce;
+  }
+  if (name == "allreduce") {
+    return CollectiveOp::kAllreduce;
+  }
+  OPTIBAR_FAIL("unknown collective op '" << name
+                                         << "' (bcast, reduce, allreduce)");
+}
+
+int cmd_collective(const Args& args, std::ostream& out) {
+  args.check_allowed({"profile", "op", "bytes", "root", "threads", "reps",
+                      "jitter", "seed", "schedule-out"});
+  const TopologyProfile profile =
+      TopologyProfile::load_file(args.require("profile"));
+  CollectiveTuneOptions options;
+  options.op = collective_op_by_name(args.get_or("op", "allreduce"));
+  options.payload_bytes = args.size_or("bytes", 0);
+  options.root = args.size_or("root", 0);
+  EngineOptions engine;
+  engine.threads = args.size_or("threads", 1);
+  const CollectiveTuneResult tuned = tune_collective(profile, options, engine);
+
+  out << to_string(options.op) << ", " << profile.ranks() << " ranks, "
+      << options.payload_bytes << " payload bytes";
+  if (options.op != CollectiveOp::kAllreduce) {
+    out << ", root " << options.root;
+  }
+  out << ":\n" << tuned.describe();
+
+  SimOptions sim;
+  sim.jitter = args.double_or("jitter", 0.03);
+  sim.seed = args.size_or("seed", 2011);
+  const std::size_t reps = args.size_or("reps", 25);
+  const double simulated =
+      simulate_collective_mean_time(tuned.schedule(), tuned.profile(), sim,
+                                    reps);
+  out.setf(std::ios::scientific);
+  out << "simulated time: " << simulated << " s (netsim mean of " << reps
+      << " repetitions, jitter " << sim.jitter << ")\n";
+
+  if (args.has("schedule-out")) {
+    save_collective_file(args.require("schedule-out"), tuned.schedule());
+    out << "collective schedule written to " << args.require("schedule-out")
+        << "\n";
+  }
+  return 0;
+}
+
 int cmd_analyze(const Args& args, std::ostream& out) {
   args.check_allowed(
       {"schedule", "machine", "machine-file", "nodes", "mapping"});
@@ -505,6 +561,7 @@ const std::map<std::string, Command>& command_table() {
       {"compare", cmd_compare},   {"analyze", cmd_analyze},
       {"validate", cmd_validate}, {"trace", cmd_trace},
       {"workload", cmd_workload}, {"sweep", cmd_sweep},
+      {"collective", cmd_collective},
   };
   return commands;
 }
@@ -541,6 +598,9 @@ std::string usage_text() {
         "           [--episodes N] [--compute S] [--skew S] [--timeline]\n"
         "  sweep    (--machine M | --machine-file F) [--from P] [--to P]\n"
         "           [--mapping block|rr] [--reps N] [--threads N]\n"
+        "  collective --profile FILE [--op bcast|reduce|allreduce]\n"
+        "           [--bytes N] [--root R] [--threads N]\n"
+        "           [--reps N] [--jitter X] [--seed N] [--schedule-out FILE]\n"
         "  help\n";
   return os.str();
 }

@@ -1,0 +1,97 @@
+#include "collective/executor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+CollectiveExecutor::CollectiveExecutor(const CollectiveSchedule& schedule)
+    : stages_(schedule.stage_count()), elem_count_(schedule.elem_count()) {
+  OPTIBAR_REQUIRE(is_valid_collective(schedule),
+                  "refusing to execute a collective schedule whose dataflow "
+                  "does not implement " << to_string(schedule.op()));
+  const std::size_t p = schedule.ranks();
+  ops_.assign(p, std::vector<StageOps>(stages_));
+  for (std::size_t s = 0; s < stages_; ++s) {
+    for (const CollectiveEdge& e : schedule.stage(s)) {
+      ops_[e.src][s].sends.push_back(SendOp{e.dst, e.offset, e.count});
+      ops_[e.dst][s].recvs.push_back(
+          RecvOp{e.src, e.offset, e.count, e.combine});
+    }
+  }
+  // Stage edges are sorted by (src, dst), so each rank's recvs arrive in
+  // ascending src already; sort defensively to pin the application order.
+  for (std::size_t r = 0; r < p; ++r) {
+    for (std::size_t s = 0; s < stages_; ++s) {
+      std::sort(ops_[r][s].recvs.begin(), ops_[r][s].recvs.end(),
+                [](const RecvOp& a, const RecvOp& b) { return a.src < b.src; });
+    }
+  }
+}
+
+void CollectiveExecutor::execute(simmpi::RankContext& ctx, ReduceOp op,
+                                 Payload& buffer, int episode) const {
+  const std::size_t rank = ctx.rank();
+  OPTIBAR_REQUIRE(rank < ops_.size(), "rank out of range for this executor");
+  OPTIBAR_REQUIRE(ctx.size() == ops_.size(),
+                  "communicator size " << ctx.size()
+                                       << " != schedule rank count "
+                                       << ops_.size());
+  OPTIBAR_REQUIRE(buffer.size() == elem_count_,
+                  "buffer has " << buffer.size() << " words, expected "
+                                << elem_count_);
+  std::vector<simmpi::Request> requests;
+  std::vector<Payload> inbox;
+  for (std::size_t s = 0; s < stages_; ++s) {
+    const StageOps& ops = ops_[rank][s];
+    const int tag =
+        episode * static_cast<int>(stages_) + static_cast<int>(s);
+    requests.clear();
+    requests.reserve(ops.sends.size() + ops.recvs.size());
+    // Copy every outgoing sub-range first: the stage's sends read the
+    // buffer as it is at stage entry, before any incoming data lands.
+    for (const SendOp& send : ops.sends) {
+      Payload words(buffer.begin() + static_cast<std::ptrdiff_t>(send.offset),
+                    buffer.begin() +
+                        static_cast<std::ptrdiff_t>(send.offset + send.count));
+      requests.push_back(ctx.issend(send.dst, tag, std::move(words)));
+    }
+    inbox.assign(ops.recvs.size(), Payload{});
+    for (std::size_t k = 0; k < ops.recvs.size(); ++k) {
+      requests.push_back(ctx.irecv(ops.recvs[k].src, tag, &inbox[k]));
+    }
+    simmpi::RankContext::wait_all(requests);
+    // Apply incoming edges in ascending source order (recvs are sorted).
+    for (std::size_t k = 0; k < ops.recvs.size(); ++k) {
+      const RecvOp& recv = ops.recvs[k];
+      const Payload& in = inbox[k];
+      OPTIBAR_ASSERT(in.size() == recv.count,
+                     "received " << in.size() << " words, expected "
+                                 << recv.count);
+      for (std::size_t i = 0; i < recv.count; ++i) {
+        std::uint64_t& word = buffer[recv.offset + i];
+        word = recv.combine ? reduce_word(op, word, in[i]) : in[i];
+      }
+    }
+  }
+}
+
+std::vector<Payload> CollectiveExecutor::run_once(
+    const std::vector<Payload>& inputs, ReduceOp op,
+    simmpi::LatencyModel latency,
+    simmpi::ByteLatencyModel byte_latency) const {
+  const std::size_t p = ops_.size();
+  OPTIBAR_REQUIRE(inputs.size() == p,
+                  "expected " << p << " input buffers, got " << inputs.size());
+  std::vector<Payload> buffers = inputs;
+  simmpi::Communicator comm(p, std::move(latency), std::move(byte_latency));
+  simmpi::run_ranks(comm, [&](simmpi::RankContext& ctx) {
+    execute(ctx, op, buffers[ctx.rank()]);
+  });
+  OPTIBAR_ASSERT(comm.unmatched_operations() == 0,
+                 "collective left unmatched operations on the communicator");
+  return buffers;
+}
+
+}  // namespace optibar

@@ -1,0 +1,243 @@
+#include "collective/generators.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+namespace {
+
+std::size_t floor_pow2(std::size_t n) {
+  std::size_t v = 1;
+  while (v * 2 <= n) {
+    v <<= 1;
+  }
+  return v;
+}
+
+/// Start of chunk c in the balanced P-way partition of elem_count.
+std::size_t chunk_begin(std::size_t elem_count, std::size_t ranks,
+                        std::size_t c) {
+  return c * elem_count / ranks;
+}
+
+/// The broadcast tree's stage edges in *relative* ranks, mapped back
+/// through the root offset. Shared by broadcast (as is) and reduce
+/// (transposed and reversed).
+std::vector<CollectiveStage> binomial_stages(std::size_t ranks,
+                                             std::size_t root,
+                                             std::size_t elem_count) {
+  std::vector<CollectiveStage> stages;
+  const auto absolute = [&](std::size_t rel) { return (rel + root) % ranks; };
+  for (std::size_t step = 1; step < ranks; step <<= 1) {
+    CollectiveStage stage;
+    for (std::size_t rel = 0; rel < step && rel + step < ranks; ++rel) {
+      stage.push_back(CollectiveEdge{absolute(rel), absolute(rel + step), 0,
+                                     elem_count, false});
+    }
+    stages.push_back(std::move(stage));
+  }
+  return stages;
+}
+
+}  // namespace
+
+CollectiveSchedule binomial_broadcast(std::size_t ranks, std::size_t root,
+                                      std::size_t elem_count,
+                                      std::size_t elem_bytes) {
+  CollectiveSchedule s(CollectiveOp::kBroadcast, ranks, elem_count, elem_bytes,
+                       root);
+  for (CollectiveStage& stage : binomial_stages(ranks, root, elem_count)) {
+    s.append_stage(std::move(stage));
+  }
+  return s;
+}
+
+CollectiveSchedule binomial_reduce(std::size_t ranks, std::size_t root,
+                                   std::size_t elem_count,
+                                   std::size_t elem_bytes) {
+  CollectiveSchedule s(CollectiveOp::kReduce, ranks, elem_count, elem_bytes,
+                       root);
+  std::vector<CollectiveStage> stages =
+      binomial_stages(ranks, root, elem_count);
+  for (auto it = stages.rbegin(); it != stages.rend(); ++it) {
+    CollectiveStage reversed;
+    for (const CollectiveEdge& e : *it) {
+      reversed.push_back(
+          CollectiveEdge{e.dst, e.src, e.offset, e.count, true});
+    }
+    s.append_stage(std::move(reversed));
+  }
+  return s;
+}
+
+CollectiveSchedule linear_broadcast(std::size_t ranks, std::size_t root,
+                                    std::size_t elem_count,
+                                    std::size_t elem_bytes) {
+  CollectiveSchedule s(CollectiveOp::kBroadcast, ranks, elem_count, elem_bytes,
+                       root);
+  if (ranks == 1) {
+    return s;
+  }
+  CollectiveStage stage;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    if (r != root) {
+      stage.push_back(CollectiveEdge{root, r, 0, elem_count, false});
+    }
+  }
+  s.append_stage(std::move(stage));
+  return s;
+}
+
+CollectiveSchedule linear_reduce(std::size_t ranks, std::size_t root,
+                                 std::size_t elem_count,
+                                 std::size_t elem_bytes) {
+  CollectiveSchedule s(CollectiveOp::kReduce, ranks, elem_count, elem_bytes,
+                       root);
+  if (ranks == 1) {
+    return s;
+  }
+  CollectiveStage stage;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    if (r != root) {
+      stage.push_back(CollectiveEdge{r, root, 0, elem_count, true});
+    }
+  }
+  s.append_stage(std::move(stage));
+  return s;
+}
+
+CollectiveSchedule recursive_doubling_allreduce(std::size_t ranks,
+                                                std::size_t elem_count,
+                                                std::size_t elem_bytes) {
+  CollectiveSchedule s(CollectiveOp::kAllreduce, ranks, elem_count,
+                       elem_bytes);
+  const std::size_t m = floor_pow2(ranks);
+  const std::size_t extras = ranks - m;
+  if (extras > 0) {
+    // Fold: extras contribute into their low-rank partner, then sit out.
+    CollectiveStage fold;
+    for (std::size_t i = 0; i < extras; ++i) {
+      fold.push_back(CollectiveEdge{m + i, i, 0, elem_count, true});
+    }
+    s.append_stage(std::move(fold));
+  }
+  for (std::size_t step = 1; step < m; step <<= 1) {
+    // Pairwise exchange: both directions read pre-stage buffers, so the
+    // partners end the stage with identical sums over disjoint groups.
+    CollectiveStage stage;
+    for (std::size_t i = 0; i < m; ++i) {
+      stage.push_back(CollectiveEdge{i, i ^ step, 0, elem_count, true});
+    }
+    s.append_stage(std::move(stage));
+  }
+  if (extras > 0) {
+    CollectiveStage unfold;
+    for (std::size_t i = 0; i < extras; ++i) {
+      unfold.push_back(CollectiveEdge{i, m + i, 0, elem_count, false});
+    }
+    s.append_stage(std::move(unfold));
+  }
+  return s;
+}
+
+CollectiveSchedule ring_allreduce(std::size_t ranks, std::size_t elem_count,
+                                  std::size_t elem_bytes) {
+  CollectiveSchedule s(CollectiveOp::kAllreduce, ranks, elem_count,
+                       elem_bytes);
+  if (ranks == 1) {
+    return s;
+  }
+  const auto chunk_edge = [&](std::size_t src, std::size_t chunk,
+                              bool combine) {
+    const std::size_t begin = chunk_begin(elem_count, ranks, chunk);
+    const std::size_t end = chunk_begin(elem_count, ranks, chunk + 1);
+    return CollectiveEdge{src, (src + 1) % ranks, begin, end - begin, combine};
+  };
+  // Empty chunks (elem_count < ranks) carry nothing and are dropped —
+  // except in the zero-payload degenerate case, where every edge is a
+  // pure signal and the ring must keep its full synchronization shape.
+  const auto keep = [&](const CollectiveEdge& e) {
+    return e.count > 0 || elem_count == 0;
+  };
+  // Reduce-scatter: in step t rank i passes its running partial of
+  // chunk (i - t) mod P one hop clockwise; after P-1 steps rank i owns
+  // the complete reduction of chunk (i + 1) mod P.
+  for (std::size_t t = 0; t + 1 < ranks; ++t) {
+    CollectiveStage stage;
+    for (std::size_t i = 0; i < ranks; ++i) {
+      const CollectiveEdge e =
+          chunk_edge(i, (i + ranks - t % ranks) % ranks, true);
+      if (keep(e)) {
+        stage.push_back(e);
+      }
+    }
+    s.append_stage(std::move(stage));
+  }
+  // Allgather: completed chunks circulate the same ring, overwriting.
+  for (std::size_t t = 0; t + 1 < ranks; ++t) {
+    CollectiveStage stage;
+    for (std::size_t i = 0; i < ranks; ++i) {
+      const CollectiveEdge e =
+          chunk_edge(i, (i + 1 + ranks - t % ranks) % ranks, false);
+      if (keep(e)) {
+        stage.push_back(e);
+      }
+    }
+    s.append_stage(std::move(stage));
+  }
+  return s;
+}
+
+CollectiveSchedule reduce_broadcast_allreduce(std::size_t ranks,
+                                              std::size_t elem_count,
+                                              std::size_t elem_bytes) {
+  CollectiveSchedule s(CollectiveOp::kAllreduce, ranks, elem_count,
+                       elem_bytes);
+  const CollectiveSchedule reduce =
+      binomial_reduce(ranks, 0, elem_count, elem_bytes);
+  for (const CollectiveStage& stage : reduce.stages()) {
+    s.append_stage(stage);
+  }
+  const CollectiveSchedule bcast =
+      binomial_broadcast(ranks, 0, elem_count, elem_bytes);
+  for (const CollectiveStage& stage : bcast.stages()) {
+    s.append_stage(stage);
+  }
+  return s;
+}
+
+std::vector<NamedCollective> classic_collectives(CollectiveOp op,
+                                                 std::size_t ranks,
+                                                 std::size_t root,
+                                                 std::size_t elem_count,
+                                                 std::size_t elem_bytes) {
+  std::vector<NamedCollective> out;
+  switch (op) {
+    case CollectiveOp::kBroadcast:
+      out.push_back({"binomial-bcast",
+                     binomial_broadcast(ranks, root, elem_count, elem_bytes)});
+      out.push_back({"linear-bcast",
+                     linear_broadcast(ranks, root, elem_count, elem_bytes)});
+      break;
+    case CollectiveOp::kReduce:
+      out.push_back({"binomial-reduce",
+                     binomial_reduce(ranks, root, elem_count, elem_bytes)});
+      out.push_back({"linear-reduce",
+                     linear_reduce(ranks, root, elem_count, elem_bytes)});
+      break;
+    case CollectiveOp::kAllreduce:
+      out.push_back(
+          {"recursive-doubling",
+           recursive_doubling_allreduce(ranks, elem_count, elem_bytes)});
+      out.push_back({"ring", ring_allreduce(ranks, elem_count, elem_bytes)});
+      out.push_back(
+          {"reduce-bcast",
+           reduce_broadcast_allreduce(ranks, elem_count, elem_bytes)});
+      break;
+  }
+  return out;
+}
+
+}  // namespace optibar

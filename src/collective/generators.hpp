@@ -1,0 +1,86 @@
+// Classic collective schedule generators.
+//
+// The textbook algorithms — binomial trees, recursive doubling, ring —
+// expressed as CollectiveSchedules, the counterparts of the barrier
+// generators in barrier/algorithms.hpp. They serve two roles: as the
+// baseline candidate set of the collective tuner (which must never
+// return anything worse than the best of these), and as the ground
+// truth of the correctness tests (every generator is bit-exact against
+// the serial oracle by construction).
+//
+// All rooted generators work for arbitrary roots via the relative-rank
+// trick rel(i) = (i - root + P) mod P; all generators accept any P >= 1
+// (non-power-of-two included).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "collective/schedule.hpp"
+
+namespace optibar {
+
+/// Binomial-tree broadcast: stage s has every rank with rel < 2^s
+/// forward the full vector to rel + 2^s. ceil(log2 P) stages, each
+/// rank sends at most once per stage.
+CollectiveSchedule binomial_broadcast(std::size_t ranks, std::size_t root,
+                                      std::size_t elem_count,
+                                      std::size_t elem_bytes);
+
+/// Binomial-tree reduce: the broadcast tree transposed and reversed,
+/// with every edge combining — leaves fold inward until the root holds
+/// the full reduction.
+CollectiveSchedule binomial_reduce(std::size_t ranks, std::size_t root,
+                                   std::size_t elem_count,
+                                   std::size_t elem_bytes);
+
+/// Flat broadcast: one stage, the root sends the full vector to every
+/// other rank. The Eq. 1 batch term prices the root's fan-out serially,
+/// so this loses to the binomial tree for all but tiny P.
+CollectiveSchedule linear_broadcast(std::size_t ranks, std::size_t root,
+                                    std::size_t elem_count,
+                                    std::size_t elem_bytes);
+
+/// Flat reduce: one stage, every rank sends to the root, which folds
+/// the incoming vectors in ascending rank order.
+CollectiveSchedule linear_reduce(std::size_t ranks, std::size_t root,
+                                 std::size_t elem_count,
+                                 std::size_t elem_bytes);
+
+/// Recursive-doubling allreduce with the standard non-power-of-two
+/// fold: the r = P - 2^floor(log2 P) extra ranks first fold into the
+/// low ranks, the low 2^floor(log2 P) ranks pairwise-exchange (both
+/// directions combine), and the extras get the result back.
+CollectiveSchedule recursive_doubling_allreduce(std::size_t ranks,
+                                                std::size_t elem_count,
+                                                std::size_t elem_bytes);
+
+/// Ring allreduce: reduce-scatter then allgather over P balanced
+/// chunks, 2(P-1) stages each moving elem_count/P elements per rank —
+/// the bandwidth-optimal classic for large payloads.
+CollectiveSchedule ring_allreduce(std::size_t ranks, std::size_t elem_count,
+                                  std::size_t elem_bytes);
+
+/// Reduce-then-broadcast allreduce: binomial reduce to rank 0 followed
+/// by binomial broadcast from rank 0.
+CollectiveSchedule reduce_broadcast_allreduce(std::size_t ranks,
+                                              std::size_t elem_count,
+                                              std::size_t elem_bytes);
+
+/// A named generator output, for candidate tables and test loops.
+struct NamedCollective {
+  std::string name;
+  CollectiveSchedule schedule;
+};
+
+/// All classic generators applicable to `op`, evaluated at the given
+/// shape. The tuner scores exactly this set (plus its hierarchical
+/// candidates); tests iterate it for oracle checks.
+std::vector<NamedCollective> classic_collectives(CollectiveOp op,
+                                                 std::size_t ranks,
+                                                 std::size_t root,
+                                                 std::size_t elem_count,
+                                                 std::size_t elem_bytes);
+
+}  // namespace optibar

@@ -1,0 +1,126 @@
+#include "collective/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+namespace {
+
+constexpr const char* kMagic = "optibar-collective";
+
+CollectiveOp parse_op(const std::string& name) {
+  if (name == "bcast") {
+    return CollectiveOp::kBroadcast;
+  }
+  if (name == "reduce") {
+    return CollectiveOp::kReduce;
+  }
+  if (name == "allreduce") {
+    return CollectiveOp::kAllreduce;
+  }
+  OPTIBAR_FAIL("unknown collective op '" << name << "'");
+}
+
+}  // namespace
+
+void save_collective(std::ostream& os, const CollectiveSchedule& schedule) {
+  os << kMagic << " v1\n";
+  os << "op " << to_string(schedule.op()) << '\n';
+  os << "P " << schedule.ranks() << '\n';
+  os << "root " << schedule.root() << '\n';
+  os << "elems " << schedule.elem_count() << ' ' << schedule.elem_bytes()
+     << '\n';
+  os << "stages " << schedule.stage_count() << '\n';
+  for (std::size_t s = 0; s < schedule.stage_count(); ++s) {
+    const CollectiveStage& stage = schedule.stage(s);
+    os << 'S' << s << ' ' << stage.size() << '\n';
+    for (const CollectiveEdge& e : stage) {
+      os << e.src << ' ' << e.dst << ' ' << e.offset << ' ' << e.count << ' '
+         << (e.combine ? 1 : 0) << '\n';
+    }
+  }
+  OPTIBAR_REQUIRE(os.good(), "I/O error while writing collective schedule");
+}
+
+CollectiveSchedule load_collective(std::istream& is) {
+  std::string magic;
+  std::string version;
+  is >> magic >> version;
+  OPTIBAR_REQUIRE(magic == kMagic,
+                  "not an optibar collective schedule (magic '" << magic
+                                                                << "')");
+  OPTIBAR_REQUIRE(version == "v1",
+                  "unsupported collective schedule version " << version);
+
+  std::string tag;
+  std::string op_name;
+  is >> tag >> op_name;
+  OPTIBAR_REQUIRE(tag == "op", "malformed collective header (op)");
+  const CollectiveOp op = parse_op(op_name);
+  std::size_t p = 0;
+  is >> tag >> p;
+  OPTIBAR_REQUIRE(tag == "P" && p > 0, "malformed collective header (P)");
+  std::size_t root = 0;
+  is >> tag >> root;
+  OPTIBAR_REQUIRE(tag == "root", "malformed collective header (root)");
+  OPTIBAR_REQUIRE(root < p, "root " << root << " out of range for " << p
+                                    << " ranks");
+  std::size_t elem_count = 0;
+  std::size_t elem_bytes = 0;
+  is >> tag >> elem_count >> elem_bytes;
+  OPTIBAR_REQUIRE(tag == "elems" && elem_bytes > 0,
+                  "malformed collective header (elems)");
+  std::size_t stages = 0;
+  is >> tag >> stages;
+  OPTIBAR_REQUIRE(tag == "stages", "malformed collective header (stages)");
+  OPTIBAR_REQUIRE(is.good(), "I/O error while reading collective header");
+
+  CollectiveSchedule out(op, p, elem_count, elem_bytes, root);
+  for (std::size_t s = 0; s < stages; ++s) {
+    std::size_t edges = 0;
+    is >> tag >> edges;
+    std::string expected("S");
+    expected += std::to_string(s);
+    OPTIBAR_REQUIRE(tag == expected,
+                    "expected stage tag S" << s << ", got " << tag);
+    CollectiveStage stage;
+    stage.reserve(edges);
+    for (std::size_t e = 0; e < edges; ++e) {
+      CollectiveEdge edge;
+      int combine = -1;
+      is >> edge.src >> edge.dst >> edge.offset >> edge.count >> combine;
+      // fail() (not good()) so a truncated file cannot pass as eof.
+      OPTIBAR_REQUIRE(!is.fail(), "truncated or malformed stage line in stage "
+                                      << s);
+      OPTIBAR_REQUIRE(combine == 0 || combine == 1,
+                      "combine flag must be 0/1, got " << combine);
+      edge.combine = combine == 1;
+      stage.push_back(edge);
+    }
+    // append_stage re-validates ranges, self edges and duplicates.
+    out.append_stage(std::move(stage));
+  }
+  OPTIBAR_REQUIRE(is.good() || is.eof(),
+                  "I/O error while reading collective schedule");
+  return out;
+}
+
+void save_collective_file(const std::string& path,
+                          const CollectiveSchedule& schedule) {
+  std::ofstream os(path);
+  OPTIBAR_REQUIRE(os.is_open(), "cannot open " << path << " for writing");
+  save_collective(os, schedule);
+}
+
+CollectiveSchedule load_collective_file(const std::string& path) {
+  std::ifstream is(path);
+  OPTIBAR_REQUIRE(is.is_open(), "cannot open " << path << " for reading");
+  return load_collective(is);
+}
+
+}  // namespace optibar

@@ -1,0 +1,26 @@
+// Collective schedule serialisation.
+//
+// The collective counterpart of barrier/schedule_io.hpp: tuned
+// collectives are artefacts the CLI writes next to the profile they
+// were tuned from. Versioned text; one header block (op, rank count,
+// root, element shape, stage count) followed by one block per stage
+// listing its edges as `src dst offset count combine` rows. Loading
+// re-validates every edge through CollectiveSchedule::append_stage, so
+// a malformed stage line is rejected, not absorbed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "collective/schedule.hpp"
+
+namespace optibar {
+
+void save_collective(std::ostream& os, const CollectiveSchedule& schedule);
+CollectiveSchedule load_collective(std::istream& is);
+
+void save_collective_file(const std::string& path,
+                          const CollectiveSchedule& schedule);
+CollectiveSchedule load_collective_file(const std::string& path);
+
+}  // namespace optibar

@@ -1,0 +1,51 @@
+#include "collective/predict.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+void compile_collective(const CollectiveSchedule& schedule,
+                        const TopologyProfile& profile,
+                        CompiledSchedule& compiled) {
+  const std::size_t p = schedule.ranks();
+  OPTIBAR_REQUIRE(profile.ranks() == p,
+                  "profile has " << profile.ranks() << " ranks, schedule has "
+                                 << p);
+  std::vector<std::vector<CompiledEdge>> stage_edges(schedule.stage_count());
+  for (std::size_t s = 0; s < schedule.stage_count(); ++s) {
+    const CollectiveStage& stage = schedule.stage(s);
+    stage_edges[s].reserve(stage.size());
+    for (const CollectiveEdge& e : stage) {
+      const double bytes = static_cast<double>(schedule.edge_bytes(e));
+      stage_edges[s].push_back(CompiledEdge{
+          e.src, e.dst, profile.l(e.src, e.dst) + bytes * profile.g(e.src, e.dst),
+          profile.o(e.src, e.dst)});
+    }
+  }
+  std::vector<double> self_overhead(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    self_overhead[i] = profile.o(i, i);
+  }
+  compiled.compile_edges(p, stage_edges, self_overhead);
+}
+
+Prediction predict_collective(const CollectiveSchedule& schedule,
+                              const TopologyProfile& profile,
+                              const PredictOptions& options) {
+  CompiledSchedule compiled;
+  compile_collective(schedule, profile, compiled);
+  PredictWorkspace workspace;
+  Prediction out;
+  predict_into(compiled, options, workspace, out);
+  return out;
+}
+
+double predicted_collective_time(const CollectiveSchedule& schedule,
+                                 const TopologyProfile& profile,
+                                 const PredictOptions& options) {
+  return predict_collective(schedule, profile, options).critical_path;
+}
+
+}  // namespace optibar

@@ -1,0 +1,42 @@
+// Payload-aware cost prediction for collective schedules.
+//
+// A collective stage is priced exactly like a barrier stage (Eq. 1/2
+// batch terms plus receiver-side serial processing), with one change:
+// the marginal cost of an edge carrying b payload bytes is
+//     L(i,j) + b * G(i,j)
+// instead of the bare L(i,j). The compiled evaluation kernel
+// (barrier/compiled_schedule.hpp) takes per-edge costs as inputs, so
+// the extension is purely in compilation: compile_collective() prices
+// each edge once, and predict_into()/predicted_time() run unchanged
+// and allocation-free. For b = 0 (or a profile without G) the edge
+// costs equal the plain L matrix bit for bit, so collective prediction
+// of a lifted barrier schedule reproduces predict_reference() exactly —
+// the parity contract the tests pin down.
+#pragma once
+
+#include "barrier/compiled_schedule.hpp"
+#include "barrier/cost_model.hpp"
+#include "collective/schedule.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+/// Compile `schedule` against `profile`, pricing each edge at
+/// O(i,j) startup and L(i,j) + bytes * G(i,j) marginal cost. Reuses
+/// `compiled`'s storage (grow-only, like CompiledSchedule::compile).
+void compile_collective(const CollectiveSchedule& schedule,
+                        const TopologyProfile& profile,
+                        CompiledSchedule& compiled);
+
+/// Full prediction of a collective schedule. Convenience wrapper:
+/// compiles into the workspace-adjacent compiled object and evaluates.
+Prediction predict_collective(const CollectiveSchedule& schedule,
+                              const TopologyProfile& profile,
+                              const PredictOptions& options = {});
+
+/// Critical path only.
+double predicted_collective_time(const CollectiveSchedule& schedule,
+                                 const TopologyProfile& profile,
+                                 const PredictOptions& options = {});
+
+}  // namespace optibar

@@ -1,0 +1,64 @@
+#include "collective/simulate.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+
+namespace optibar {
+
+namespace {
+
+/// Per-stage dense surcharge matrices: bytes(src -> dst) * G(src, dst).
+std::vector<Matrix<double>> payload_costs(const CollectiveSchedule& schedule,
+                                          const TopologyProfile& profile) {
+  const std::size_t p = schedule.ranks();
+  std::vector<Matrix<double>> costs;
+  costs.reserve(schedule.stage_count());
+  for (std::size_t s = 0; s < schedule.stage_count(); ++s) {
+    Matrix<double> m(p, p, 0.0);
+    for (const CollectiveEdge& e : schedule.stage(s)) {
+      m(e.src, e.dst) = static_cast<double>(schedule.edge_bytes(e)) *
+                        profile.g(e.src, e.dst);
+    }
+    costs.push_back(std::move(m));
+  }
+  return costs;
+}
+
+}  // namespace
+
+SimResult simulate_collective(const CollectiveSchedule& schedule,
+                              const TopologyProfile& profile,
+                              const SimOptions& options) {
+  OPTIBAR_REQUIRE(!options.extra_message_cost,
+                  "simulate_collective owns the extra_message_cost hook; "
+                  "leave it unset");
+  auto costs = std::make_shared<std::vector<Matrix<double>>>(
+      payload_costs(schedule, profile));
+  SimOptions sim = options;
+  sim.extra_message_cost = [costs](std::size_t stage, std::size_t src,
+                                   std::size_t dst) {
+    return (*costs)[stage](src, dst);
+  };
+  return simulate(schedule.signal_schedule(), profile, sim);
+}
+
+double simulate_collective_mean_time(const CollectiveSchedule& schedule,
+                                     const TopologyProfile& profile,
+                                     const SimOptions& options,
+                                     std::size_t repetitions) {
+  OPTIBAR_REQUIRE(repetitions > 0, "repetitions must be positive");
+  double total = 0.0;
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    SimOptions rep_options = options;
+    rep_options.seed = options.seed + 0x9E3779B9ULL * (rep + 1);
+    total +=
+        simulate_collective(schedule, profile, rep_options).completion_time();
+  }
+  return total / static_cast<double>(repetitions);
+}
+
+}  // namespace optibar

@@ -1,0 +1,33 @@
+// Discrete-event simulation of collective schedules.
+//
+// A collective runs through the same netsim engine as a barrier: the
+// boolean signal projection drives the event loop, and the payload is
+// priced by the engine's extra-cost hook — every edge carrying b bytes
+// is surcharged b * G(src, dst) seconds wherever the engine charges
+// the message (injection, shared egress, receiver processing). The
+// returned SimResult feeds the existing trace exporters unchanged, so
+// an allreduce wavefront renders in Perfetto exactly like a barrier.
+#pragma once
+
+#include <cstddef>
+
+#include "collective/schedule.hpp"
+#include "netsim/engine.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+/// Execute `schedule` once on the event engine. `options.extra_message_cost`
+/// must be unset (the payload surcharge owns that hook).
+SimResult simulate_collective(const CollectiveSchedule& schedule,
+                              const TopologyProfile& profile,
+                              const SimOptions& options = {});
+
+/// Mean completion time over `repetitions` derived-seed runs — the
+/// collective analogue of simulate_mean_time.
+double simulate_collective_mean_time(const CollectiveSchedule& schedule,
+                                     const TopologyProfile& profile,
+                                     const SimOptions& options,
+                                     std::size_t repetitions);
+
+}  // namespace optibar

@@ -1,0 +1,291 @@
+#include "collective/tuner.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "barrier/compiled_schedule.hpp"
+#include "collective/generators.hpp"
+#include "collective/predict.hpp"
+#include "core/cluster_tree.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace optibar {
+
+namespace {
+
+using StageList = std::vector<CollectiveStage>;
+
+/// Stage-wise union of rank-disjoint stage lists (sibling clusters run
+/// their phases concurrently; shorter lists simply finish early).
+StageList merged_parallel(const std::vector<StageList>& parts) {
+  std::size_t depth = 0;
+  for (const StageList& part : parts) {
+    depth = std::max(depth, part.size());
+  }
+  StageList out(depth);
+  for (const StageList& part : parts) {
+    for (std::size_t s = 0; s < part.size(); ++s) {
+      out[s].insert(out[s].end(), part[s].begin(), part[s].end());
+    }
+  }
+  return out;
+}
+
+StageList concatenated(StageList head, const StageList& tail) {
+  head.insert(head.end(), tail.begin(), tail.end());
+  return head;
+}
+
+/// Binomial broadcast stages over an arbitrary member list, rooted at
+/// position `root_pos`, every edge carrying the full vector.
+StageList binomial_over(const std::vector<std::size_t>& members,
+                        std::size_t root_pos, std::size_t elem_count) {
+  const std::size_t n = members.size();
+  StageList out;
+  const auto member = [&](std::size_t rel) {
+    return members[(rel + root_pos) % n];
+  };
+  for (std::size_t step = 1; step < n; step <<= 1) {
+    CollectiveStage stage;
+    for (std::size_t rel = 0; rel < step && rel + step < n; ++rel) {
+      stage.push_back(CollectiveEdge{member(rel), member(rel + step), 0,
+                                     elem_count, false});
+    }
+    out.push_back(std::move(stage));
+  }
+  return out;
+}
+
+/// Transpose-and-reverse with combining edges: a broadcast phase read
+/// backwards is the matching reduction phase (Section V-B's departure
+/// trick, applied to dataflow).
+StageList reversed_combining(const StageList& stages) {
+  StageList out;
+  out.reserve(stages.size());
+  for (auto it = stages.rbegin(); it != stages.rend(); ++it) {
+    CollectiveStage stage;
+    stage.reserve(it->size());
+    for (const CollectiveEdge& e : *it) {
+      stage.push_back(CollectiveEdge{e.dst, e.src, e.offset, e.count, true});
+    }
+    out.push_back(std::move(stage));
+  }
+  return out;
+}
+
+/// Hierarchical broadcast of the full vector from `src` (a member of
+/// `node`) to every rank of `node`: a rep-phase binomial among the
+/// per-child entry points, then each child recursing concurrently.
+StageList hier_broadcast(const ClusterNode& node, std::size_t src,
+                         std::size_t elem_count) {
+  if (node.ranks.size() <= 1) {
+    return {};
+  }
+  const auto position = [](const std::vector<std::size_t>& members,
+                           std::size_t rank) {
+    const auto it = std::find(members.begin(), members.end(), rank);
+    OPTIBAR_ASSERT(it != members.end(),
+                   "rank " << rank << " not in cluster");
+    return static_cast<std::size_t>(it - members.begin());
+  };
+  if (node.is_leaf()) {
+    return binomial_over(node.ranks, position(node.ranks, src), elem_count);
+  }
+  // Entry point of each child: the source where it lives, the cluster
+  // representative elsewhere.
+  std::vector<std::size_t> entries;
+  std::size_t src_child = node.children.size();
+  for (std::size_t c = 0; c < node.children.size(); ++c) {
+    const std::vector<std::size_t>& ranks = node.children[c].ranks;
+    const bool has_src =
+        std::find(ranks.begin(), ranks.end(), src) != ranks.end();
+    if (has_src) {
+      src_child = c;
+    }
+    entries.push_back(has_src ? src : node.children[c].representative());
+  }
+  OPTIBAR_ASSERT(src_child < node.children.size(),
+                 "source rank in no child cluster");
+  StageList rep_phase = binomial_over(entries, src_child, elem_count);
+  std::vector<StageList> child_phases;
+  child_phases.reserve(node.children.size());
+  for (std::size_t c = 0; c < node.children.size(); ++c) {
+    child_phases.push_back(
+        hier_broadcast(node.children[c], entries[c], elem_count));
+  }
+  return concatenated(std::move(rep_phase), merged_parallel(child_phases));
+}
+
+/// Remap a schedule generated over local ranks 0..n-1 onto global
+/// member ids.
+StageList remapped(const CollectiveSchedule& local,
+                   const std::vector<std::size_t>& members) {
+  StageList out;
+  out.reserve(local.stage_count());
+  for (const CollectiveStage& stage : local.stages()) {
+    CollectiveStage mapped;
+    mapped.reserve(stage.size());
+    for (const CollectiveEdge& e : stage) {
+      mapped.push_back(CollectiveEdge{members[e.src], members[e.dst],
+                                      e.offset, e.count, e.combine});
+    }
+    out.push_back(std::move(mapped));
+  }
+  return out;
+}
+
+CollectiveSchedule build(CollectiveOp op, std::size_t ranks,
+                         std::size_t elem_count, std::size_t elem_bytes,
+                         std::size_t root, const StageList& stages) {
+  CollectiveSchedule s(op, ranks, elem_count, elem_bytes, root);
+  for (const CollectiveStage& stage : stages) {
+    s.append_stage(stage);
+  }
+  return s;
+}
+
+/// Hierarchical candidates for the op over the cluster tree. Empty when
+/// the tree is a single leaf covering everything — the hierarchy would
+/// reproduce the plain binomial classics.
+std::vector<NamedCollective> hierarchical_candidates(
+    const ClusterNode& tree, const CollectiveTuneOptions& options,
+    std::size_t ranks, std::size_t elem_count) {
+  std::vector<NamedCollective> out;
+  if (tree.is_leaf()) {
+    return out;
+  }
+  const std::size_t eb = options.elem_bytes;
+  switch (options.op) {
+    case CollectiveOp::kBroadcast:
+      out.push_back({"hier-bcast",
+                     build(options.op, ranks, elem_count, eb, options.root,
+                           hier_broadcast(tree, options.root, elem_count))});
+      break;
+    case CollectiveOp::kReduce:
+      out.push_back(
+          {"hier-reduce",
+           build(options.op, ranks, elem_count, eb, options.root,
+                 reversed_combining(
+                     hier_broadcast(tree, options.root, elem_count)))});
+      break;
+    case CollectiveOp::kAllreduce: {
+      // Reduce to the tree representative, broadcast back out.
+      const std::size_t rep = tree.representative();
+      const StageList down = hier_broadcast(tree, rep, elem_count);
+      out.push_back({"hier-reduce-bcast",
+                     build(options.op, ranks, elem_count, eb, 0,
+                           concatenated(reversed_combining(down), down))});
+      // Per-cluster reduce, recursive doubling among the cluster
+      // representatives, per-cluster broadcast: cross-cluster traffic
+      // is all-to-all over reps only.
+      std::vector<std::size_t> reps;
+      std::vector<StageList> up_phases;
+      std::vector<StageList> down_phases;
+      for (const ClusterNode& child : tree.children) {
+        reps.push_back(child.representative());
+        const StageList child_down =
+            hier_broadcast(child, child.representative(), elem_count);
+        up_phases.push_back(reversed_combining(child_down));
+        down_phases.push_back(child_down);
+      }
+      const StageList rep_exchange = remapped(
+          recursive_doubling_allreduce(reps.size(), elem_count, eb), reps);
+      out.push_back(
+          {"hier-rd-exchange",
+           build(options.op, ranks, elem_count, eb, 0,
+                 concatenated(
+                     concatenated(merged_parallel(up_phases), rep_exchange),
+                     merged_parallel(down_phases)))});
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CollectiveTuneResult::CollectiveTuneResult(
+    TopologyProfile profile, CollectiveSchedule schedule, std::string name,
+    double predicted_cost, std::vector<CollectiveCandidate> candidates)
+    : profile_(std::move(profile)),
+      schedule_(std::move(schedule)),
+      name_(std::move(name)),
+      predicted_cost_(predicted_cost),
+      candidates_(std::move(candidates)) {}
+
+std::string CollectiveTuneResult::describe() const {
+  std::ostringstream os;
+  os << to_string(schedule_.op()) << " P=" << schedule_.ranks() << " payload="
+     << schedule_.elem_count() * schedule_.elem_bytes() << "B\n";
+  os << std::scientific << std::setprecision(3);
+  for (const CollectiveCandidate& c : candidates_) {
+    os << "  " << std::left << std::setw(20) << c.name << ' '
+       << c.predicted_cost << (c.name == name_ ? "  <- tuned" : "") << '\n';
+  }
+  return os.str();
+}
+
+CollectiveTuneResult tune_collective(const TopologyProfile& profile,
+                                     const CollectiveTuneOptions& options,
+                                     const EngineOptions& engine) {
+  engine.validate();
+  OPTIBAR_REQUIRE(profile.ranks() > 0, "empty profile");
+  OPTIBAR_REQUIRE(options.elem_bytes > 0, "elem_bytes must be positive");
+  OPTIBAR_REQUIRE(options.payload_bytes % options.elem_bytes == 0,
+                  "payload_bytes " << options.payload_bytes
+                                   << " is not a multiple of elem_bytes "
+                                   << options.elem_bytes);
+  const std::size_t p = profile.ranks();
+  const std::size_t root =
+      options.op == CollectiveOp::kAllreduce ? 0 : options.root;
+  OPTIBAR_REQUIRE(root < p, "root " << root << " out of range");
+  const std::size_t elem_count = options.payload_bytes / options.elem_bytes;
+
+  TopologyProfile symmetric = profile.symmetrized();
+  std::optional<ThreadPool> local_pool;
+  if (engine.resolved_threads() > 1) {
+    local_pool.emplace(engine.resolved_threads());
+  }
+  const ClusterNode tree = build_cluster_tree(
+      symmetric, engine.clustering, local_pool ? &*local_pool : nullptr);
+
+  std::vector<NamedCollective> pool = classic_collectives(
+      options.op, p, root, elem_count, options.elem_bytes);
+  for (NamedCollective& cand :
+       hierarchical_candidates(tree, options, p, elem_count)) {
+    pool.push_back(std::move(cand));
+  }
+
+  CompiledSchedule compiled;
+  PredictWorkspace workspace;
+  std::vector<CollectiveCandidate> scored;
+  scored.reserve(pool.size());
+  std::size_t best = 0;
+  for (std::size_t c = 0; c < pool.size(); ++c) {
+    OPTIBAR_ASSERT(is_valid_collective(pool[c].schedule),
+                   "generated candidate '" << pool[c].name
+                                           << "' has invalid dataflow");
+    compile_collective(pool[c].schedule, symmetric, compiled);
+    const double cost = predicted_time(compiled, PredictOptions{}, workspace);
+    scored.push_back(CollectiveCandidate{pool[c].name, cost});
+    if (cost < scored[best].predicted_cost) {
+      best = c;
+    }
+  }
+
+  // Copy the winner out before std::move(scored): function argument
+  // evaluation order is unspecified, so indexing a moved-from vector in
+  // the same call would be undefined behavior.
+  std::string best_name = scored[best].name;
+  const double best_cost = scored[best].predicted_cost;
+  return CollectiveTuneResult(std::move(symmetric),
+                              std::move(pool[best].schedule),
+                              std::move(best_name), best_cost,
+                              std::move(scored));
+}
+
+}  // namespace optibar

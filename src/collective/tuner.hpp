@@ -1,0 +1,82 @@
+// Topology-tuned collectives on the barrier engine.
+//
+// The same recipe as core/tuner.hpp, applied to data-carrying
+// collectives: symmetrize the profile, build the cluster tree
+// (Section VII-A), generate candidate schedules, score each with the
+// compiled payload-aware predictor, and keep the cheapest. The
+// candidate set is the union of
+//   - every classic generator for the op (binomial, linear, recursive
+//     doubling, ring, reduce+bcast) at full P, and
+//   - hierarchical compositions over the cluster tree: per-cluster
+//     binomial phases stitched through cluster representatives, the
+//     collective analogue of the composer's rep-phase construction —
+//     cross-cluster traffic touches only one rank per cluster, which is
+//     what wins on clustered-SMP profiles.
+// Because the classics are always in the pool, the tuned result is by
+// construction never predicted worse than the best classic — the
+// acceptance bar of the tuner tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "collective/schedule.hpp"
+#include "core/engine_options.hpp"
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+struct CollectiveTuneOptions {
+  CollectiveOp op = CollectiveOp::kAllreduce;
+  /// Total payload size; must be a multiple of elem_bytes. 0 tunes the
+  /// pure signalling pattern (a barrier-shaped collective).
+  std::size_t payload_bytes = 0;
+  /// Root rank for rooted ops; ignored for allreduce.
+  std::size_t root = 0;
+  /// Element width; the payload is payload_bytes / elem_bytes elements.
+  std::size_t elem_bytes = 8;
+};
+
+/// One scored candidate (kept for diagnostics and candidate tables).
+struct CollectiveCandidate {
+  std::string name;
+  double predicted_cost = 0.0;
+};
+
+class CollectiveTuneResult {
+ public:
+  CollectiveTuneResult(TopologyProfile profile, CollectiveSchedule schedule,
+                       std::string name, double predicted_cost,
+                       std::vector<CollectiveCandidate> candidates);
+
+  /// The symmetrized profile the schedule was scored against.
+  const TopologyProfile& profile() const { return profile_; }
+  const CollectiveSchedule& schedule() const { return schedule_; }
+  /// Name of the winning candidate.
+  const std::string& name() const { return name_; }
+  double predicted_cost() const { return predicted_cost_; }
+  /// All scored candidates, in generation order.
+  const std::vector<CollectiveCandidate>& candidates() const {
+    return candidates_;
+  }
+
+  /// Multi-line report: one line per candidate with the winner marked.
+  std::string describe() const;
+
+ private:
+  TopologyProfile profile_;
+  CollectiveSchedule schedule_;
+  std::string name_;
+  double predicted_cost_ = 0.0;
+  std::vector<CollectiveCandidate> candidates_;
+};
+
+/// Tune one collective for `profile`. Clustering and threading follow
+/// `engine` (the same knobs as tune_barrier); op, payload and root come
+/// from `options`.
+CollectiveTuneResult tune_collective(const TopologyProfile& profile,
+                                     const CollectiveTuneOptions& options,
+                                     const EngineOptions& engine = {});
+
+}  // namespace optibar

@@ -120,6 +120,16 @@ class Simulation {
     return value;
   }
 
+  /// Payload (or other caller-supplied) surcharge of one message; 0
+  /// without a hook, keeping every base cost — and the RNG stream —
+  /// identical to the pure signalling model.
+  double extra_cost(std::size_t stage, std::size_t src,
+                    std::size_t dst) const {
+    return options_.extra_message_cost
+               ? options_.extra_message_cost(stage, src, dst)
+               : 0.0;
+  }
+
   void enter_barrier(std::size_t rank, double now) {
     states_[rank].entered = true;
     enter_stage(rank, 0, now);
@@ -145,8 +155,9 @@ class Simulation {
     double inject = now;
     for (std::size_t idx = 0; idx < targets.size(); ++idx) {
       const std::size_t dst = targets[idx];
-      const double base = idx == 0 ? profile_.o(rank, dst)
-                                   : profile_.l(rank, dst);
+      const double base = (idx == 0 ? profile_.o(rank, dst)
+                                    : profile_.l(rank, dst)) +
+                          extra_cost(stage, rank, dst);
       inject += perturb(base);
       queue_.schedule(inject, [this, rank, dst, stage] {
         on_inject(rank, dst, stage, queue_.now());
@@ -186,7 +197,8 @@ class Simulation {
         });
         return;
       }
-      egress_busy_[resource] = now + perturb(profile_.l(src, dst));
+      egress_busy_[resource] =
+          now + perturb(profile_.l(src, dst) + extra_cost(stage, src, dst));
     }
     RankState& receiver = states_[dst];
     if (receiver.entered && receiver.stage == stage) {
@@ -211,7 +223,8 @@ class Simulation {
       return;
     }
     const double done =
-        std::max(now, recv_busy_[dst]) + perturb(profile_.l(src, dst));
+        std::max(now, recv_busy_[dst]) +
+        perturb(profile_.l(src, dst) + extra_cost(stage, src, dst));
     recv_busy_[dst] = done;
     queue_.schedule(done, [this, src, dst, stage, injected] {
       finalize_match(src, dst, stage, queue_.now(), injected);

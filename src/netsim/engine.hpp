@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "barrier/schedule.hpp"
@@ -64,6 +65,15 @@ struct SimOptions {
   /// ranks serialize — this is what punishes high-fan-out algorithms
   /// (dissemination) on commodity GbE nodes. Empty disables.
   std::vector<std::size_t> egress_resource_of;
+
+  /// Optional extra per-message cost in seconds, added to the message's
+  /// base cost wherever the engine charges it (serial injection, shared
+  /// egress occupancy, receiver processing) and perturbed together with
+  /// it. The collective layer uses this to price payload bytes
+  /// (bytes * G(src,dst)); null leaves the pure signalling model — and
+  /// the RNG stream — bit-identical.
+  std::function<double(std::size_t stage, std::size_t src, std::size_t dst)>
+      extra_message_cost;
 
   /// Record a per-message trace (inject/match times) for diagnostics.
   bool record_trace = false;

@@ -6,8 +6,11 @@
 
 namespace optibar::simmpi {
 
-Communicator::Communicator(std::size_t size, LatencyModel latency)
-    : size_(size), latency_(std::move(latency)) {
+Communicator::Communicator(std::size_t size, LatencyModel latency,
+                           ByteLatencyModel byte_latency)
+    : size_(size),
+      latency_(std::move(latency)),
+      byte_latency_(std::move(byte_latency)) {
   OPTIBAR_REQUIRE(size_ > 0, "communicator needs at least one rank");
   OPTIBAR_REQUIRE(latency_, "null latency model");
 }
@@ -18,14 +21,29 @@ void Communicator::check_rank(std::size_t rank, const char* what) const {
                        << ")");
 }
 
+Clock::duration Communicator::delivery_delay(std::size_t src, std::size_t dst,
+                                             std::size_t payload_words) const {
+  Clock::duration delay = latency_(src, dst);
+  if (byte_latency_ && payload_words > 0) {
+    delay += byte_latency_(src, dst, payload_words * sizeof(std::uint64_t));
+  }
+  return delay;
+}
+
 Request Communicator::issend(std::size_t src, std::size_t dst, int tag) {
+  return issend(src, dst, tag, Payload{});
+}
+
+Request Communicator::issend(std::size_t src, std::size_t dst, int tag,
+                             Payload payload) {
   check_rank(src, "source");
   check_rank(dst, "destination");
   OPTIBAR_REQUIRE(src != dst, "issend to self (rank " << src << ")");
 
   auto request = std::make_shared<RequestState>();
   const Clock::time_point now = Clock::now();
-  const Clock::time_point delivered = now + latency_(src, dst);
+  const Clock::time_point delivered =
+      now + delivery_delay(src, dst, payload.size());
 
   std::lock_guard<std::mutex> lock(mutex_);
   Channel& channel = channels_[ChannelKey{src, dst, tag}];
@@ -33,18 +51,27 @@ Request Communicator::issend(std::size_t src, std::size_t dst, int tag) {
     // A receive is already waiting: match immediately. The receiver sees
     // the signal after the link delay; the sender's synchronized-send
     // completion also covers the delivery (round-trip halves, Section
-    // IV-A symmetry assumption).
+    // IV-A symmetry assumption). The sink write is sequenced before
+    // fulfil, which the receiver's wait() synchronizes with.
     PendingOp recv = std::move(channel.recvs.front());
     channel.recvs.pop_front();
+    if (recv.sink != nullptr) {
+      *recv.sink = std::move(payload);
+    }
     recv.request->fulfil(delivered);
     request->fulfil(delivered);
   } else {
-    channel.sends.push_back(PendingOp{request, now});
+    channel.sends.push_back(PendingOp{request, now, std::move(payload)});
   }
   return request;
 }
 
 Request Communicator::irecv(std::size_t src, std::size_t dst, int tag) {
+  return irecv(src, dst, tag, nullptr);
+}
+
+Request Communicator::irecv(std::size_t src, std::size_t dst, int tag,
+                            Payload* sink) {
   check_rank(src, "source");
   check_rank(dst, "destination");
   OPTIBAR_REQUIRE(src != dst, "irecv from self (rank " << dst << ")");
@@ -57,13 +84,17 @@ Request Communicator::irecv(std::size_t src, std::size_t dst, int tag) {
   if (!channel.sends.empty()) {
     PendingOp send = std::move(channel.sends.front());
     channel.sends.pop_front();
-    const Clock::time_point delivered = send.posted_at + latency_(src, dst);
+    const Clock::time_point delivered =
+        send.posted_at + delivery_delay(src, dst, send.payload.size());
     // Delivery is never before the receive is posted.
     const Clock::time_point visible = std::max(delivered, now);
+    if (sink != nullptr) {
+      *sink = std::move(send.payload);
+    }
     send.request->fulfil(visible);
     request->fulfil(visible);
   } else {
-    channel.recvs.push_back(PendingOp{request, now});
+    channel.recvs.push_back(PendingOp{request, now, Payload{}, sink});
   }
   return request;
 }

@@ -9,14 +9,21 @@
 //   irecv(src, tag)   — nonblocking receive from a specific source
 //   wait_all          — block until a set of requests completes
 //
-// Messages carry no payload: a barrier is pure signalling. Matching is
+// Barrier signals carry no payload; the collective layer's messages
+// carry a vector of 64-bit words. Both go through the same channels:
+// the payload overloads of issend/irecv move the words from the
+// sender's buffer into the receiver's sink at match time (under the
+// board mutex, sequenced before the requests are fulfilled, so the
+// receiver's wait() return happens-after the sink write). Matching is
 // per (src, dst, tag) channel in FIFO order, under one board mutex —
 // adequate for the rank counts of in-process tests, and the injected
 // LatencyModel (not lock contention) dominates simulated behaviour.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <span>
@@ -28,10 +35,22 @@
 
 namespace optibar::simmpi {
 
+/// Message payload: a vector of 64-bit words (the collective layer's
+/// element type). Empty for pure signals.
+using Payload = std::vector<std::uint64_t>;
+
+/// Optional per-byte delivery cost: extra delay of a message of `bytes`
+/// payload bytes from src to dst — the runtime counterpart of the
+/// profile's G matrix. Null means payload size does not affect timing.
+using ByteLatencyModel =
+    std::function<Clock::duration(std::size_t src, std::size_t dst,
+                                  std::size_t bytes)>;
+
 class Communicator {
  public:
   explicit Communicator(std::size_t size,
-                        LatencyModel latency = uniform_latency());
+                        LatencyModel latency = uniform_latency(),
+                        ByteLatencyModel byte_latency = nullptr);
 
   Communicator(const Communicator&) = delete;
   Communicator& operator=(const Communicator&) = delete;
@@ -41,8 +60,17 @@ class Communicator {
   /// Post a synchronized send of a zero-byte signal src -> dst.
   Request issend(std::size_t src, std::size_t dst, int tag);
 
+  /// Post a synchronized send carrying `payload` (moved in); delivery
+  /// is delayed by the byte-latency model, if any.
+  Request issend(std::size_t src, std::size_t dst, int tag, Payload payload);
+
   /// Post a receive at dst for a signal from src.
   Request irecv(std::size_t src, std::size_t dst, int tag);
+
+  /// Post a receive whose matching send's payload is moved into
+  /// `*sink`. The write to `*sink` happens-before the returned
+  /// request's wait() returns; `sink` must outlive the request.
+  Request irecv(std::size_t src, std::size_t dst, int tag, Payload* sink);
 
   /// Wait for every request (order-independent).
   static void wait_all(std::span<const Request> requests);
@@ -62,6 +90,8 @@ class Communicator {
   struct PendingOp {
     Request request;
     Clock::time_point posted_at;
+    Payload payload;         ///< pending send: words in flight
+    Payload* sink = nullptr; ///< pending recv: where to deliver them
   };
 
   using ChannelKey = std::tuple<std::size_t, std::size_t, int>;
@@ -73,8 +103,12 @@ class Communicator {
 
   void check_rank(std::size_t rank, const char* what) const;
 
+  Clock::duration delivery_delay(std::size_t src, std::size_t dst,
+                                 std::size_t payload_words) const;
+
   std::size_t size_;
   LatencyModel latency_;
+  ByteLatencyModel byte_latency_;
   mutable std::mutex mutex_;
   std::map<ChannelKey, Channel> channels_;
 };

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <utility>
 
 #include "simmpi/communicator.hpp"
 
@@ -26,8 +27,14 @@ class RankContext {
   Request issend(std::size_t dst, int tag) {
     return comm_->issend(rank_, dst, tag);
   }
+  Request issend(std::size_t dst, int tag, Payload payload) {
+    return comm_->issend(rank_, dst, tag, std::move(payload));
+  }
   Request irecv(std::size_t src, int tag) {
     return comm_->irecv(src, rank_, tag);
+  }
+  Request irecv(std::size_t src, int tag, Payload* sink) {
+    return comm_->irecv(src, rank_, tag, sink);
   }
   static void wait_all(std::span<const Request> requests) {
     Communicator::wait_all(requests);

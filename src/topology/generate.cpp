@@ -47,6 +47,7 @@ TopologyProfile generate_profile(const MachineSpec& machine,
   const std::size_t p = mapping.size();
   Matrix<double> o(p, p);
   Matrix<double> l(p, p);
+  Matrix<double> g(p, p);
   for (std::size_t i = 0; i < p; ++i) {
     for (std::size_t j = 0; j < p; ++j) {
       const LinkCost cost =
@@ -57,9 +58,10 @@ TopologyProfile generate_profile(const MachineSpec& machine,
                        directed_jitter(options.seed, i, j, options.asymmetry);
       o(i, j) = cost.overhead * jitter;
       l(i, j) = cost.latency * jitter;
+      g(i, j) = i == j ? 0.0 : cost.per_byte * jitter;
     }
   }
-  return TopologyProfile(std::move(o), std::move(l));
+  return TopologyProfile(std::move(o), std::move(l), std::move(g));
 }
 
 TopologyProfile generate_profile(const MachineSpec& machine, std::size_t ranks,

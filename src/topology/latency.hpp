@@ -25,10 +25,16 @@ enum class LinkLevel {
 /// Human-readable name ("self", "shared-cache", ...).
 const char* to_string(LinkLevel level);
 
-/// The (O, L) pair of one tier, in seconds.
+/// The (O, L, G) triple of one tier. O and L are in seconds; G is in
+/// seconds per byte. The paper's barrier model needs only O and L
+/// (signals carry no payload); G extends the same tier table to
+/// data-carrying collectives, where moving `b` bytes across a link adds
+/// b * G to the message's marginal cost. Zero G (the default) recovers
+/// the pure signalling model.
 struct LinkCost {
   double overhead = 0.0;  ///< O: startup cost of the first message
   double latency = 0.0;   ///< L: marginal cost per additional message
+  double per_byte = 0.0;  ///< G: marginal cost per payload byte
 };
 
 /// Full tier table of a machine. Defaults are zero; use the calibrated

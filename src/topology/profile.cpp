@@ -13,7 +13,6 @@ namespace optibar {
 
 namespace {
 constexpr const char* kMagic = "optibar-profile";
-constexpr int kVersion = 1;
 }  // namespace
 
 TopologyProfile::TopologyProfile(Matrix<double> overhead, Matrix<double> latency)
@@ -23,6 +22,17 @@ TopologyProfile::TopologyProfile(Matrix<double> overhead, Matrix<double> latency
   OPTIBAR_REQUIRE(overhead_.rows() == latency_.rows(),
                   "O and L must have the same rank count ("
                       << overhead_.rows() << " vs " << latency_.rows() << ")");
+}
+
+TopologyProfile::TopologyProfile(Matrix<double> overhead, Matrix<double> latency,
+                                 Matrix<double> bandwidth)
+    : TopologyProfile(std::move(overhead), std::move(latency)) {
+  bandwidth_ = std::move(bandwidth);
+  OPTIBAR_REQUIRE(bandwidth_.square(), "G matrix must be square");
+  OPTIBAR_REQUIRE(bandwidth_.rows() == overhead_.rows(),
+                  "G must have the same rank count as O ("
+                      << bandwidth_.rows() << " vs " << overhead_.rows()
+                      << ")");
 }
 
 bool TopologyProfile::is_symmetric(double relative_tolerance) const {
@@ -43,15 +53,23 @@ bool TopologyProfile::is_symmetric(double relative_tolerance) const {
 TopologyProfile TopologyProfile::symmetrized() const {
   Matrix<double> o = overhead_;
   Matrix<double> l = latency_;
+  Matrix<double> g = bandwidth_;
   for (std::size_t i = 0; i < ranks(); ++i) {
     for (std::size_t j = i + 1; j < ranks(); ++j) {
       const double mo = 0.5 * (o(i, j) + o(j, i));
       const double ml = 0.5 * (l(i, j) + l(j, i));
       o(i, j) = o(j, i) = mo;
       l(i, j) = l(j, i) = ml;
+      if (!g.empty()) {
+        const double mg = 0.5 * (g(i, j) + g(j, i));
+        g(i, j) = g(j, i) = mg;
+      }
     }
   }
-  return TopologyProfile(std::move(o), std::move(l));
+  if (g.empty()) {
+    return TopologyProfile(std::move(o), std::move(l));
+  }
+  return TopologyProfile(std::move(o), std::move(l), std::move(g));
 }
 
 double TopologyProfile::distance(std::size_t i, std::size_t j) const {
@@ -74,11 +92,19 @@ double TopologyProfile::diameter() const {
 TopologyProfile TopologyProfile::restrict_to(
     const std::vector<std::size_t>& subset) const {
   OPTIBAR_REQUIRE(!subset.empty(), "restrict_to empty rank set");
-  return TopologyProfile(overhead_.submatrix(subset), latency_.submatrix(subset));
+  if (bandwidth_.empty()) {
+    return TopologyProfile(overhead_.submatrix(subset),
+                           latency_.submatrix(subset));
+  }
+  return TopologyProfile(overhead_.submatrix(subset),
+                         latency_.submatrix(subset),
+                         bandwidth_.submatrix(subset));
 }
 
 void TopologyProfile::save(std::ostream& os) const {
-  os << kMagic << " v" << kVersion << '\n';
+  // v1 for a pure O/L profile, v2 when the bandwidth matrix is present,
+  // so files written by pre-collective builds and readers stay valid.
+  os << kMagic << " v" << (bandwidth_.empty() ? 1 : 2) << '\n';
   os << "P " << ranks() << '\n';
   os << std::setprecision(17) << std::scientific;
   auto dump = [&](const char* tag, const Matrix<double>& m) {
@@ -91,6 +117,9 @@ void TopologyProfile::save(std::ostream& os) const {
   };
   dump("O", overhead_);
   dump("L", latency_);
+  if (!bandwidth_.empty()) {
+    dump("G", bandwidth_);
+  }
   OPTIBAR_REQUIRE(os.good(), "I/O error while writing profile");
 }
 
@@ -100,7 +129,8 @@ TopologyProfile TopologyProfile::load(std::istream& is) {
   is >> magic >> version;
   OPTIBAR_REQUIRE(magic == kMagic,
                   "not an optibar profile (magic '" << magic << "')");
-  OPTIBAR_REQUIRE(version == "v1", "unsupported profile version " << version);
+  OPTIBAR_REQUIRE(version == "v1" || version == "v2",
+                  "unsupported profile version " << version);
   std::string tag;
   std::size_t p = 0;
   is >> tag >> p;
@@ -120,7 +150,11 @@ TopologyProfile TopologyProfile::load(std::istream& is) {
   };
   Matrix<double> o = read_matrix("O");
   Matrix<double> l = read_matrix("L");
-  return TopologyProfile(std::move(o), std::move(l));
+  if (version == "v1") {
+    return TopologyProfile(std::move(o), std::move(l));
+  }
+  Matrix<double> g = read_matrix("G");
+  return TopologyProfile(std::move(o), std::move(l), std::move(g));
 }
 
 void TopologyProfile::save_file(const std::string& path) const {

@@ -5,10 +5,16 @@
 //   O(i,i)         : cost of initiating a transmission with zero messages
 //   L(i,j)         : marginal latency of adding one message from i to j
 //                    to a non-empty batch
+// The collective layer extends the model with an optional third matrix
+//   G(i,j)         : marginal latency per payload byte from i to j
+// so a message carrying b bytes costs L(i,j) + b * G(i,j) at the
+// margin. A profile without G (the paper's pure signalling model, and
+// every v1 profile file) prices payload at zero: g() returns 0 and all
+// collective predictions degrade gracefully to the Eq. 1/2 terms.
 // Profiles are stored on disk to decouple the (expensive, machine-
 // occupying) profiling step from the (cheap, offline) tuning step —
-// Figure 1's central arrow. The text format is versioned and
-// round-trippable to full double precision.
+// Figure 1's central arrow. The text format is versioned (v1: O and L;
+// v2 adds G) and round-trippable to full double precision.
 #pragma once
 
 #include <cstddef>
@@ -27,13 +33,26 @@ class TopologyProfile {
   /// Takes ownership of square, equally-sized O and L matrices.
   TopologyProfile(Matrix<double> overhead, Matrix<double> latency);
 
+  /// As above with a per-byte bandwidth matrix G (same shape).
+  TopologyProfile(Matrix<double> overhead, Matrix<double> latency,
+                  Matrix<double> bandwidth);
+
   std::size_t ranks() const { return overhead_.rows(); }
 
   const Matrix<double>& overhead() const { return overhead_; }
   const Matrix<double>& latency() const { return latency_; }
 
+  /// Per-byte matrix; empty when the profile carries no bandwidth data.
+  const Matrix<double>& bandwidth() const { return bandwidth_; }
+  bool has_bandwidth() const { return !bandwidth_.empty(); }
+
   double o(std::size_t i, std::size_t j) const { return overhead_(i, j); }
   double l(std::size_t i, std::size_t j) const { return latency_(i, j); }
+
+  /// Seconds per payload byte i -> j; 0 for a profile without G.
+  double g(std::size_t i, std::size_t j) const {
+    return bandwidth_.empty() ? 0.0 : bandwidth_(i, j);
+  }
 
   /// Symmetric-link check (Section IV-A assumes O_ij == O_ji); tolerance
   /// is relative to the matrix magnitude.
@@ -66,6 +85,7 @@ class TopologyProfile {
  private:
   Matrix<double> overhead_;
   Matrix<double> latency_;
+  Matrix<double> bandwidth_;  ///< empty when the profile has no G data
 };
 
 }  // namespace optibar

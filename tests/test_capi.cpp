@@ -309,4 +309,61 @@ TEST_F(CapiTest, ReplayingPlanOpsSynchronizes) {
   EXPECT_EQ(comm.unmatched_operations(), 0u);
 }
 
+TEST_F(CapiTest, TuneCollectiveV2ReturnsPlanMetrics) {
+  double seconds = -1.0;
+  size_t stages = 0;
+  ASSERT_EQ(optibar_tune_collective_v2(library_, OPTIBAR_COLLECTIVE_ALLREDUCE,
+                                       64 * 1024, 0, &seconds, &stages),
+            OPTIBAR_OK);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_OK);
+  EXPECT_STREQ(optibar_last_error(), "");
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_GT(stages, 0u);
+
+  // Zero payload works and is cheaper than 64 KiB, out params optional.
+  double barrier_shaped = -1.0;
+  ASSERT_EQ(optibar_tune_collective_v2(library_, OPTIBAR_COLLECTIVE_ALLREDUCE,
+                                       0, 0, &barrier_shaped, nullptr),
+            OPTIBAR_OK);
+  EXPECT_LT(barrier_shaped, seconds);
+  EXPECT_EQ(optibar_tune_collective_v2(library_, OPTIBAR_COLLECTIVE_BCAST,
+                                       4096, 3, nullptr, nullptr),
+            OPTIBAR_OK);
+}
+
+TEST_F(CapiTest, TuneCollectiveV2ClassifiesCallerErrors) {
+  double seconds = -1.0;
+  size_t stages = 99;
+  EXPECT_EQ(optibar_tune_collective_v2(nullptr, OPTIBAR_COLLECTIVE_ALLREDUCE,
+                                       0, 0, &seconds, &stages),
+            OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(optibar_last_error()).find("NULL"),
+            std::string::npos);
+
+  EXPECT_EQ(optibar_tune_collective_v2(
+                library_, static_cast<optibar_collective_op>(99), 0, 0,
+                &seconds, &stages),
+            OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(optibar_last_error()).find("op"), std::string::npos);
+
+  // Root out of range (fixture profile has 16 ranks).
+  EXPECT_EQ(optibar_tune_collective_v2(library_, OPTIBAR_COLLECTIVE_REDUCE, 0,
+                                       16, &seconds, &stages),
+            OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(optibar_last_error()).find("root"),
+            std::string::npos);
+
+  // Payload must be a multiple of the 8-byte element width.
+  EXPECT_EQ(optibar_tune_collective_v2(library_, OPTIBAR_COLLECTIVE_ALLREDUCE,
+                                       12, 0, &seconds, &stages),
+            OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(optibar_last_error()).find("multiple"),
+            std::string::npos);
+
+  // Every failure left the out parameters unwritten.
+  EXPECT_DOUBLE_EQ(seconds, -1.0);
+  EXPECT_EQ(stages, 99u);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+}
+
 }  // namespace

@@ -1,0 +1,103 @@
+// Collective schedule text IO: value-preserving round trips for every
+// generator shape, and hard rejection of malformed input — bad magic,
+// unknown op, out-of-range root, bad combine flags and truncation must
+// all throw rather than yield a half-parsed schedule.
+#include "collective/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "collective/generators.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+void expect_round_trips(const CollectiveSchedule& schedule) {
+  std::ostringstream os;
+  save_collective(os, schedule);
+  std::istringstream is(os.str());
+  const CollectiveSchedule loaded = load_collective(is);
+  EXPECT_EQ(loaded, schedule);
+}
+
+TEST(CollectiveIo, RoundTripsEveryGenerator) {
+  for (const NamedCollective& cand :
+       classic_collectives(CollectiveOp::kAllreduce, 7, 0, 29, 8)) {
+    SCOPED_TRACE(cand.name);
+    expect_round_trips(cand.schedule);
+  }
+  expect_round_trips(binomial_broadcast(9, 4, 12, 4));
+  expect_round_trips(binomial_reduce(9, 8, 12, 16));
+  // Zero payload and an empty (single-rank) schedule.
+  expect_round_trips(recursive_doubling_allreduce(6, 0, 8));
+  expect_round_trips(linear_broadcast(1, 0, 5, 8));
+}
+
+TEST(CollectiveIo, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "optibar_collective_io.txt")
+          .string();
+  const CollectiveSchedule s = ring_allreduce(5, 11, 8);
+  save_collective_file(path, s);
+  EXPECT_EQ(load_collective_file(path), s);
+  std::filesystem::remove(path);
+}
+
+CollectiveSchedule parse(const std::string& text) {
+  std::istringstream is(text);
+  return load_collective(is);
+}
+
+TEST(CollectiveIo, RejectsBadMagicAndVersion) {
+  EXPECT_THROW(parse("optibar-schedule v1\n"), Error);
+  EXPECT_THROW(parse("optibar-collective v9\nop bcast\n"), Error);
+}
+
+TEST(CollectiveIo, RejectsBadHeaderFields) {
+  EXPECT_THROW(parse("optibar-collective v1\nop scan\nP 4\n"), Error);
+  EXPECT_THROW(parse("optibar-collective v1\nop bcast\nP 0\n"), Error);
+  EXPECT_THROW(
+      parse("optibar-collective v1\nop bcast\nP 4\nroot 4\n"
+            "elems 2 8\nstages 0\n"),
+      Error);
+  EXPECT_THROW(
+      parse("optibar-collective v1\nop bcast\nP 4\nroot 0\n"
+            "elems 2 0\nstages 0\n"),
+      Error);
+}
+
+TEST(CollectiveIo, RejectsMalformedStageLines) {
+  const std::string header =
+      "optibar-collective v1\nop reduce\nP 4\nroot 0\nelems 2 8\nstages 1\n";
+  // Wrong stage tag.
+  EXPECT_THROW(parse(header + "S1 1\n1 0 0 2 1\n"), Error);
+  // Truncated edge line.
+  EXPECT_THROW(parse(header + "S0 1\n1 0 0\n"), Error);
+  // Non-numeric field.
+  EXPECT_THROW(parse(header + "S0 1\n1 0 zero 2 1\n"), Error);
+  // Combine flag outside {0, 1}.
+  EXPECT_THROW(parse(header + "S0 1\n1 0 0 2 7\n"), Error);
+  // Self edge and out-of-range rank re-checked by append_stage.
+  EXPECT_THROW(parse(header + "S0 1\n1 1 0 2 1\n"), Error);
+  EXPECT_THROW(parse(header + "S0 1\n1 9 0 2 1\n"), Error);
+  // Range past elem_count.
+  EXPECT_THROW(parse(header + "S0 1\n1 0 1 2 1\n"), Error);
+  // Fewer edges than announced (stream runs dry).
+  EXPECT_THROW(parse(header + "S0 2\n1 0 0 2 1\n"), Error);
+}
+
+TEST(CollectiveIo, AcceptsHandWrittenSchedule) {
+  const CollectiveSchedule s = parse(
+      "optibar-collective v1\nop allreduce\nP 2\nroot 0\nelems 3 8\n"
+      "stages 2\nS0 1\n0 1 0 3 1\nS1 1\n1 0 0 3 0\n");
+  EXPECT_EQ(s.ranks(), 2u);
+  EXPECT_EQ(s.stage_count(), 2u);
+  EXPECT_TRUE(is_valid_collective(s));
+}
+
+}  // namespace
+}  // namespace optibar

@@ -1,0 +1,175 @@
+// Collective schedule core: edge validation, generator dataflow
+// validity across ops, roots and rank counts, and the serial
+// interpreter's bit-exactness against the elementwise oracle.
+#include "collective/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "barrier/algorithms.hpp"
+#include "collective/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace optibar {
+namespace {
+
+std::vector<Payload> random_inputs(std::size_t ranks, std::size_t elems,
+                                   Rng& rng) {
+  std::vector<Payload> inputs(ranks, Payload(elems));
+  for (Payload& buf : inputs) {
+    for (std::uint64_t& w : buf) {
+      w = rng.next_u64();
+    }
+  }
+  return inputs;
+}
+
+/// Compare only the ranks the op constrains: all of them for broadcast
+/// and allreduce, just the root for reduce.
+void expect_matches_oracle(const CollectiveSchedule& schedule, ReduceOp op,
+                           const std::vector<Payload>& inputs) {
+  const std::vector<Payload> got = execute_serial(schedule, op, inputs);
+  const std::vector<Payload> want = oracle_result(schedule, op, inputs);
+  if (schedule.op() == CollectiveOp::kReduce) {
+    EXPECT_EQ(got[schedule.root()], want[schedule.root()]);
+    return;
+  }
+  for (std::size_t r = 0; r < schedule.ranks(); ++r) {
+    EXPECT_EQ(got[r], want[r]) << "rank " << r;
+  }
+}
+
+TEST(ReduceWord, OperatorsAreExact) {
+  EXPECT_EQ(reduce_word(ReduceOp::kSum, ~0ull, 2ull), 1ull);  // wraps
+  EXPECT_EQ(reduce_word(ReduceOp::kMin, 3ull, 7ull), 3ull);
+  EXPECT_EQ(reduce_word(ReduceOp::kMax, 3ull, 7ull), 7ull);
+  EXPECT_EQ(reduce_word(ReduceOp::kXor, 0b1100ull, 0b1010ull), 0b0110ull);
+}
+
+TEST(CollectiveSchedule, RejectsBadEdges) {
+  CollectiveSchedule s(CollectiveOp::kAllreduce, 4, 8, 8);
+  EXPECT_THROW(s.append_stage({CollectiveEdge{0, 4, 0, 1, true}}), Error);
+  EXPECT_THROW(s.append_stage({CollectiveEdge{2, 2, 0, 1, true}}), Error);
+  EXPECT_THROW(s.append_stage({CollectiveEdge{0, 1, 6, 3, true}}), Error);
+  EXPECT_THROW(s.append_stage({CollectiveEdge{0, 1, 0, 1, true},
+                               CollectiveEdge{0, 1, 4, 1, true}}),
+               Error);
+  // A correct stage still appends after the failures above.
+  s.append_stage({CollectiveEdge{0, 1, 0, 8, true}});
+  EXPECT_EQ(s.stage_count(), 1u);
+}
+
+TEST(CollectiveSchedule, NormalizesAllreduceRoot) {
+  const CollectiveSchedule s(CollectiveOp::kAllreduce, 6, 4, 8, 5);
+  EXPECT_EQ(s.root(), 0u);
+  const CollectiveSchedule b(CollectiveOp::kBroadcast, 6, 4, 8, 5);
+  EXPECT_EQ(b.root(), 5u);
+}
+
+TEST(CollectiveSchedule, SignalScheduleErasesPayload) {
+  const CollectiveSchedule c = ring_allreduce(5, 10, 8);
+  const Schedule s = c.signal_schedule();
+  EXPECT_EQ(s.ranks(), 5u);
+  EXPECT_EQ(s.stage_count(), c.stage_count());
+  for (std::size_t st = 0; st < c.stage_count(); ++st) {
+    std::size_t edges = 0;
+    for (std::size_t i = 0; i < 5; ++i) {
+      edges += s.targets_of(i, st).size();
+    }
+    EXPECT_EQ(edges, c.stage(st).size());
+  }
+}
+
+TEST(CollectiveSchedule, FromBarrierLiftsToZeroPayload) {
+  const Schedule barrier = dissemination_barrier(6);
+  const CollectiveSchedule lifted = from_barrier(barrier);
+  EXPECT_EQ(lifted.op(), CollectiveOp::kAllreduce);
+  EXPECT_EQ(lifted.elem_count(), 0u);
+  EXPECT_EQ(lifted.total_bytes(), 0u);
+  EXPECT_EQ(lifted.signal_schedule(), barrier);
+}
+
+TEST(Generators, AllValidAcrossRanksAndRoots) {
+  for (std::size_t p : {1u, 2u, 3u, 5u, 7u, 8u, 12u, 16u}) {
+    for (std::size_t root : {std::size_t{0}, p / 2, p - 1}) {
+      for (const NamedCollective& cand :
+           classic_collectives(CollectiveOp::kBroadcast, p, root, 6, 8)) {
+        EXPECT_TRUE(is_valid_collective(cand.schedule))
+            << cand.name << " p=" << p << " root=" << root;
+      }
+      for (const NamedCollective& cand :
+           classic_collectives(CollectiveOp::kReduce, p, root, 6, 8)) {
+        EXPECT_TRUE(is_valid_collective(cand.schedule))
+            << cand.name << " p=" << p << " root=" << root;
+      }
+    }
+    for (const NamedCollective& cand :
+         classic_collectives(CollectiveOp::kAllreduce, p, 0, 6, 8)) {
+      EXPECT_TRUE(is_valid_collective(cand.schedule))
+          << cand.name << " p=" << p;
+    }
+  }
+}
+
+TEST(Generators, RingHandlesShortVectors) {
+  // elem_count < ranks: some chunks are empty and their edges dropped.
+  const CollectiveSchedule s = ring_allreduce(8, 3, 8);
+  EXPECT_TRUE(is_valid_collective(s));
+}
+
+TEST(Generators, ValidityCatchesBrokenDataflow) {
+  // Drop the last stage of a binomial broadcast: ranks reached only in
+  // that stage never see the root's data.
+  const CollectiveSchedule full = binomial_broadcast(8, 0, 4, 8);
+  CollectiveSchedule broken(CollectiveOp::kBroadcast, 8, 4, 8, 0);
+  for (std::size_t s = 0; s + 1 < full.stage_count(); ++s) {
+    broken.append_stage(full.stage(s));
+  }
+  EXPECT_FALSE(is_valid_collective(broken));
+  // Flip a reduce edge to overwrite: the root loses contributions.
+  CollectiveSchedule clobber(CollectiveOp::kReduce, 4, 4, 8, 0);
+  clobber.append_stage({CollectiveEdge{1, 0, 0, 4, false},
+                        CollectiveEdge{2, 0, 0, 4, true},
+                        CollectiveEdge{3, 0, 0, 4, true}});
+  EXPECT_FALSE(is_valid_collective(clobber));
+}
+
+TEST(ExecuteSerial, MatchesOracleForEveryGeneratorAndOp) {
+  Rng rng(2011);
+  for (std::size_t p : {2u, 3u, 5u, 8u, 13u}) {
+    const std::size_t elems = 17;
+    const std::vector<Payload> inputs = random_inputs(p, elems, rng);
+    std::vector<NamedCollective> pool =
+        classic_collectives(CollectiveOp::kAllreduce, p, 0, elems, 8);
+    for (const NamedCollective& cand :
+         classic_collectives(CollectiveOp::kBroadcast, p, p - 1, elems, 8)) {
+      pool.push_back(cand);
+    }
+    for (const NamedCollective& cand :
+         classic_collectives(CollectiveOp::kReduce, p, p / 2, elems, 8)) {
+      pool.push_back(cand);
+    }
+    for (const NamedCollective& cand : pool) {
+      for (ReduceOp op : {ReduceOp::kSum, ReduceOp::kMin, ReduceOp::kMax,
+                          ReduceOp::kXor}) {
+        SCOPED_TRACE(cand.name);
+        expect_matches_oracle(cand.schedule, op, inputs);
+      }
+    }
+  }
+}
+
+TEST(ExecuteSerial, RejectsWrongBufferShapes) {
+  const CollectiveSchedule s = ring_allreduce(4, 8, 8);
+  Rng rng(1);
+  std::vector<Payload> inputs = random_inputs(3, 8, rng);
+  EXPECT_THROW(execute_serial(s, ReduceOp::kSum, inputs), Error);
+  inputs = random_inputs(4, 7, rng);
+  EXPECT_THROW(execute_serial(s, ReduceOp::kSum, inputs), Error);
+}
+
+}  // namespace
+}  // namespace optibar

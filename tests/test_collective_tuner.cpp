@@ -1,0 +1,142 @@
+// Collective tuning acceptance: on the hex-cluster preset at P = 12,
+// 24 and 60 the tuned allreduce is never predicted worse than the best
+// classic generator (it is the pool minimum by construction — this
+// pins the invariant), and the deterministic netsim simulation agrees
+// with the predicted ordering: the tuned schedule also simulates at
+// least as fast as every classic, within a small cross-model tolerance.
+#include "collective/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "collective/generators.hpp"
+#include "collective/predict.hpp"
+#include "collective/simulate.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TopologyProfile hex_profile(std::size_t p) {
+  const MachineSpec machine = hex_cluster();
+  return generate_profile(machine, round_robin_mapping(machine, p));
+}
+
+double simulated(const CollectiveSchedule& schedule,
+                 const TopologyProfile& profile) {
+  SimOptions options;  // jitter 0: fully deterministic
+  return simulate_collective_mean_time(schedule, profile, options, 1);
+}
+
+TEST(CollectiveTuner, TunedAllreduceBeatsClassicsOnHex) {
+  for (std::size_t p : {12u, 24u, 60u}) {
+    const TopologyProfile profile = hex_profile(p);
+    CollectiveTuneOptions options;
+    options.op = CollectiveOp::kAllreduce;
+    options.payload_bytes = 64 * 1024;
+    const CollectiveTuneResult tuned = tune_collective(profile, options);
+    SCOPED_TRACE("P=" + std::to_string(p) + " winner=" + tuned.name());
+
+    ASSERT_TRUE(is_valid_collective(tuned.schedule()));
+    // Predicted: tuned is the pool minimum, hence <= every classic.
+    for (const CollectiveCandidate& cand : tuned.candidates()) {
+      EXPECT_LE(tuned.predicted_cost(), cand.predicted_cost) << cand.name;
+    }
+    EXPECT_EQ(tuned.predicted_cost(),
+              predicted_collective_time(tuned.schedule(), tuned.profile()));
+
+    // Simulated: the independently-modelled netsim run must agree that
+    // the tuned schedule is at least as fast as every classic (5%
+    // cross-model slack).
+    const double tuned_sim = simulated(tuned.schedule(), tuned.profile());
+    for (const NamedCollective& classic :
+         classic_collectives(CollectiveOp::kAllreduce, p, 0,
+                             options.payload_bytes / 8, 8)) {
+      const double classic_sim =
+          simulated(classic.schedule, tuned.profile());
+      EXPECT_LE(tuned_sim, classic_sim * 1.05) << classic.name;
+    }
+  }
+}
+
+TEST(CollectiveTuner, CandidateTableCoversClassicsAndHierarchies) {
+  const TopologyProfile profile = hex_profile(24);
+  CollectiveTuneOptions options;
+  options.op = CollectiveOp::kAllreduce;
+  options.payload_bytes = 4096;
+  const CollectiveTuneResult tuned = tune_collective(profile, options);
+  std::vector<std::string> names;
+  for (const CollectiveCandidate& cand : tuned.candidates()) {
+    names.push_back(cand.name);
+  }
+  for (const char* expected : {"recursive-doubling", "ring", "reduce-bcast",
+                               "hier-reduce-bcast", "hier-rd-exchange"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  const std::string report = tuned.describe();
+  EXPECT_NE(report.find("<- tuned"), std::string::npos);
+  EXPECT_NE(report.find(tuned.name()), std::string::npos);
+}
+
+TEST(CollectiveTuner, RootedOpsKeepTheirRoot) {
+  const TopologyProfile profile = hex_profile(12);
+  for (CollectiveOp op : {CollectiveOp::kBroadcast, CollectiveOp::kReduce}) {
+    CollectiveTuneOptions options;
+    options.op = op;
+    options.payload_bytes = 1024;
+    options.root = 7;
+    const CollectiveTuneResult tuned = tune_collective(profile, options);
+    EXPECT_EQ(tuned.schedule().root(), 7u);
+    EXPECT_TRUE(is_valid_collective(tuned.schedule()));
+  }
+}
+
+TEST(CollectiveTuner, ZeroPayloadTunesASignalPattern) {
+  const TopologyProfile profile = hex_profile(12);
+  CollectiveTuneOptions options;
+  options.op = CollectiveOp::kAllreduce;
+  options.payload_bytes = 0;
+  const CollectiveTuneResult tuned = tune_collective(profile, options);
+  EXPECT_EQ(tuned.schedule().total_bytes(), 0u);
+  EXPECT_GT(tuned.predicted_cost(), 0.0);
+}
+
+TEST(CollectiveTuner, ThreadedEngineMatchesSerial) {
+  const TopologyProfile profile = hex_profile(24);
+  CollectiveTuneOptions options;
+  options.op = CollectiveOp::kAllreduce;
+  options.payload_bytes = 8192;
+  EngineOptions serial;
+  serial.threads = 1;
+  EngineOptions wide;
+  wide.threads = 4;
+  const CollectiveTuneResult a = tune_collective(profile, options, serial);
+  const CollectiveTuneResult b = tune_collective(profile, options, wide);
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.predicted_cost(), b.predicted_cost());
+  EXPECT_EQ(a.schedule(), b.schedule());
+}
+
+TEST(CollectiveTuner, RejectsBadOptions) {
+  const TopologyProfile profile = hex_profile(12);
+  CollectiveTuneOptions options;
+  options.payload_bytes = 12;  // not a multiple of elem_bytes = 8
+  EXPECT_THROW(tune_collective(profile, options), Error);
+  options.payload_bytes = 16;
+  options.op = CollectiveOp::kBroadcast;
+  options.root = 12;  // out of range
+  EXPECT_THROW(tune_collective(profile, options), Error);
+  options.root = 0;
+  options.elem_bytes = 0;
+  EXPECT_THROW(tune_collective(profile, options), Error);
+}
+
+}  // namespace
+}  // namespace optibar

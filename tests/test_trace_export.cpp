@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "barrier/algorithms.hpp"
+#include "collective/generators.hpp"
+#include "collective/simulate.hpp"
 #include "topology/generate.hpp"
 #include "topology/machine.hpp"
 #include "util/error.hpp"
@@ -64,6 +66,38 @@ TEST(TraceExport, ChromeJsonIsWellFormedArray) {
   EXPECT_EQ(static_cast<std::size_t>(
                 std::count(text.begin(), text.end(), 'X')),
             result.trace.size());
+}
+
+TEST(TraceExport, CollectiveRunExportsWellFormedChromeJson) {
+  // A payload-carrying allreduce traced through netsim renders as a
+  // Perfetto-loadable wavefront: same event schema as barrier traces,
+  // one complete event per message, payload surcharge priced in.
+  const MachineSpec m = hex_cluster(1);
+  const TopologyProfile profile = generate_profile(m, 12);
+  SimOptions options;
+  options.record_trace = true;
+  const CollectiveSchedule allreduce = ring_allreduce(12, 1024, 8);
+  const SimResult result = simulate_collective(allreduce, profile, options);
+  ASSERT_FALSE(result.trace.empty());
+
+  std::ostringstream os;
+  write_trace_chrome_json(os, result);
+  const std::string text = os.str();
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(text[text.size() - 2], ']');
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), 'X')),
+            result.trace.size());
+  EXPECT_NE(text.find(R"("name":"exit")"), std::string::npos);
+
+  // The payload surcharge must be visible: the same pattern with zero
+  // payload completes strictly faster.
+  const SimResult signals = simulate_collective(
+      ring_allreduce(12, 0, 8), profile, options);
+  EXPECT_GT(result.completion_time(), signals.completion_time());
 }
 
 TEST(TraceExport, ChromeJsonRejectsBadScale) {
