@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Build the memory suite under AddressSanitizer and run the
+# `asan`-labelled tests (fault model, resilient executors, validator,
+# format hardening, library quarantine).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -S . -DOPTIBAR_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$(nproc)" --target \
+  test_fault_plan test_resilience test_validate test_format_hardening \
+  test_library test_failure_injection
+ctest --test-dir build-asan -L asan --output-on-failure

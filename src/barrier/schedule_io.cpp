@@ -4,13 +4,21 @@
 #include <istream>
 #include <ostream>
 
+#include "barrier/validate.hpp"
 #include "util/error.hpp"
 
 namespace optibar {
 
 namespace {
 constexpr const char* kMagic = "optibar-schedule";
-}
+
+// Header sanity caps: a lying header must not drive allocation. The
+// limits are far above anything the tuner produces (P is "a few
+// hundred" throughout the paper) but small enough that P*P stage
+// matrices stay well under memory limits.
+constexpr std::size_t kMaxRanks = 8192;
+constexpr std::size_t kMaxStages = 100000;
+}  // namespace
 
 void save_schedule(std::ostream& os, const StoredSchedule& stored) {
   const Schedule& s = stored.schedule;
@@ -47,57 +55,83 @@ StoredSchedule load_schedule(std::istream& is) {
   std::string magic;
   std::string version;
   is >> magic >> version;
-  OPTIBAR_REQUIRE(magic == kMagic,
-                  "not an optibar schedule (magic '" << magic << "')");
-  OPTIBAR_REQUIRE(version == "v1", "unsupported schedule version " << version);
+  OPTIBAR_IO_REQUIRE(!is.fail() && magic == kMagic,
+                     "not an optibar schedule (magic '" << magic << "')");
+  OPTIBAR_IO_REQUIRE(version == "v1",
+                     "unsupported schedule version " << version);
 
   std::string tag;
   std::size_t p = 0;
   std::size_t stages = 0;
   is >> tag >> p;
-  OPTIBAR_REQUIRE(tag == "P" && p > 0, "malformed schedule header (P)");
+  OPTIBAR_IO_REQUIRE(!is.fail() && tag == "P" && p > 0,
+                     "malformed schedule header (P)");
+  OPTIBAR_IO_REQUIRE(p <= kMaxRanks,
+                     "schedule header claims " << p << " ranks (cap "
+                                               << kMaxRanks << ")");
   is >> tag >> stages;
-  OPTIBAR_REQUIRE(tag == "stages", "malformed schedule header (stages)");
+  OPTIBAR_IO_REQUIRE(!is.fail() && tag == "stages",
+                     "malformed schedule header (stages)");
+  OPTIBAR_IO_REQUIRE(stages <= kMaxStages,
+                     "schedule header claims " << stages << " stages (cap "
+                                               << kMaxStages << ")");
 
   StoredSchedule out;
   out.schedule = Schedule(p);
   is >> tag;
-  OPTIBAR_REQUIRE(tag == "awaited", "malformed schedule header (awaited)");
+  OPTIBAR_IO_REQUIRE(!is.fail() && tag == "awaited",
+                     "malformed schedule header (awaited)");
   out.awaited_stages.resize(stages);
   for (std::size_t i = 0; i < stages; ++i) {
     int flag = 0;
     is >> flag;
-    OPTIBAR_REQUIRE(flag == 0 || flag == 1, "awaited flag must be 0/1");
+    OPTIBAR_IO_REQUIRE(!is.fail(),
+                       "truncated schedule: awaited flag " << i << " missing");
+    OPTIBAR_IO_REQUIRE(flag == 0 || flag == 1, "awaited flag must be 0/1");
     out.awaited_stages[i] = flag == 1;
   }
   for (std::size_t st = 0; st < stages; ++st) {
     is >> tag;
-    OPTIBAR_REQUIRE(tag == "S" + std::to_string(st),
-                    "expected stage tag S" << st << ", got " << tag);
+    OPTIBAR_IO_REQUIRE(!is.fail(),
+                       "truncated schedule: stage S" << st << " missing");
+    OPTIBAR_IO_REQUIRE(tag == "S" + std::to_string(st),
+                       "expected stage tag S" << st << ", got " << tag);
     StageMatrix m(p, p, 0);
     for (std::size_t r = 0; r < p; ++r) {
       for (std::size_t c = 0; c < p; ++c) {
         int v = 0;
         is >> v;
-        OPTIBAR_REQUIRE(v == 0 || v == 1, "stage cell must be 0/1");
+        OPTIBAR_IO_REQUIRE(!is.fail(), "truncated schedule: stage S"
+                                           << st << " cell (" << r << ", "
+                                           << c << ") missing");
+        OPTIBAR_IO_REQUIRE(v == 0 || v == 1, "stage cell must be 0/1");
         m(r, c) = static_cast<std::uint8_t>(v);
       }
     }
     out.schedule.append_stage(std::move(m));
   }
-  OPTIBAR_REQUIRE(is.good() || is.eof(), "I/O error while reading schedule");
+  OPTIBAR_IO_REQUIRE(is.good() || is.eof(),
+                     "I/O error while reading schedule");
+
+  // Safety gate: refuse plans that could hang a runtime. Non-barrier
+  // patterns still load — analysis/validate commands inspect those —
+  // but a cyclic awaited stage or inconsistent awaited flags can
+  // deadlock eager replay, so they never leave the loader.
+  const ValidationResult validation = validate_schedule(out);
+  OPTIBAR_IO_REQUIRE(validation.deadlock_free(),
+                     "unsafe schedule rejected: " << validation.describe());
   return out;
 }
 
 void save_schedule_file(const std::string& path, const StoredSchedule& stored) {
   std::ofstream os(path);
-  OPTIBAR_REQUIRE(os.is_open(), "cannot open " << path << " for writing");
+  OPTIBAR_IO_REQUIRE(os.is_open(), "cannot open " << path << " for writing");
   save_schedule(os, stored);
 }
 
 StoredSchedule load_schedule_file(const std::string& path) {
   std::ifstream is(path);
-  OPTIBAR_REQUIRE(is.is_open(), "cannot open " << path << " for reading");
+  OPTIBAR_IO_REQUIRE(is.is_open(), "cannot open " << path << " for reading");
   return load_schedule(is);
 }
 

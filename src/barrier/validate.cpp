@@ -1,0 +1,141 @@
+#include "barrier/validate.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+namespace {
+
+// Iterative three-color DFS; returns a rank on a directed cycle, or
+// npos. Stage digraphs have zero diagonal (enforced by Schedule), so a
+// cycle involves >= 2 ranks.
+std::size_t find_cycle_rank(const StageMatrix& stage) {
+  const std::size_t n = stage.rows();
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(n, kWhite);
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // (node, next j)
+  for (std::size_t start = 0; start < n; ++start) {
+    if (color[start] != kWhite) {
+      continue;
+    }
+    color[start] = kGray;
+    stack.emplace_back(start, 0);
+    while (!stack.empty()) {
+      const std::size_t node = stack.back().first;
+      const std::size_t j = stack.back().second;
+      if (j == n) {
+        color[node] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      ++stack.back().second;
+      if (!stage(node, j)) {
+        continue;
+      }
+      if (color[j] == kGray) {
+        return j;  // back edge: j is on a directed cycle
+      }
+      if (color[j] == kWhite) {
+        color[j] = kGray;
+        stack.emplace_back(j, 0);
+      }
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+const char* to_string(ScheduleIssueKind kind) {
+  switch (kind) {
+    case ScheduleIssueKind::kCyclicWait:
+      return "cyclic-wait";
+    case ScheduleIssueKind::kUnreachableKnowledge:
+      return "unreachable-knowledge";
+    case ScheduleIssueKind::kMalformed:
+      return "malformed";
+  }
+  return "unknown";
+}
+
+bool ValidationResult::deadlock_free() const {
+  for (const ScheduleIssue& issue : issues) {
+    if (issue.kind != ScheduleIssueKind::kUnreachableKnowledge) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ValidationResult::describe() const {
+  if (issues.empty()) {
+    return "schedule valid: deadlock-free, knowledge saturates\n";
+  }
+  std::ostringstream os;
+  for (const ScheduleIssue& issue : issues) {
+    os << to_string(issue.kind) << " at stage " << issue.stage << ": "
+       << issue.detail << "\n";
+  }
+  return os.str();
+}
+
+bool stage_has_cycle(const StageMatrix& stage) {
+  return find_cycle_rank(stage) != static_cast<std::size_t>(-1);
+}
+
+ValidationResult validate_schedule(const StoredSchedule& stored) {
+  ValidationResult result;
+  const Schedule& schedule = stored.schedule;
+  const std::vector<bool>& awaited = stored.awaited_stages;
+  if (!awaited.empty() && awaited.size() != schedule.stage_count()) {
+    result.issues.push_back(ScheduleIssue{
+        ScheduleIssueKind::kMalformed, 0,
+        "awaited flags cover " + std::to_string(awaited.size()) +
+            " stages but the schedule has " +
+            std::to_string(schedule.stage_count())});
+    return result;
+  }
+  for (std::size_t s = 0; s < schedule.stage_count(); ++s) {
+    if (s < awaited.size() && awaited[s]) {
+      const std::size_t rank = find_cycle_rank(schedule.stage(s));
+      if (rank != static_cast<std::size_t>(-1)) {
+        std::ostringstream os;
+        os << "awaited stage has a directed wait cycle through rank "
+           << rank
+           << "; eager blocking-send replay of this stage would deadlock";
+        result.issues.push_back(
+            ScheduleIssue{ScheduleIssueKind::kCyclicWait, s, os.str()});
+      }
+    }
+  }
+  if (!schedule.is_barrier()) {
+    // Name the first arrival fact that never propagates (Eq. 3).
+    const BoolMatrix k = schedule.final_knowledge();
+    std::ostringstream os;
+    os << "knowledge does not saturate";
+    for (std::size_t i = 0; i < k.rows(); ++i) {
+      bool found = false;
+      for (std::size_t j = 0; j < k.cols(); ++j) {
+        if (!k(i, j)) {
+          os << ": rank " << i << "'s arrival never reaches rank " << j;
+          found = true;
+          break;
+        }
+      }
+      if (found) {
+        break;
+      }
+    }
+    result.issues.push_back(ScheduleIssue{
+        ScheduleIssueKind::kUnreachableKnowledge, 0, os.str()});
+  }
+  return result;
+}
+
+ValidationResult validate_schedule(const Schedule& schedule) {
+  return validate_schedule(StoredSchedule{schedule, {}});
+}
+
+}  // namespace optibar

@@ -1,0 +1,75 @@
+// Static schedule validation: prove a plan cannot hang the runtime.
+//
+// Two hazard classes exist for a stored schedule:
+//
+//  * Cyclic waits on *awaited* stages. A non-awaited stage runs under
+//    the post-everything-then-wait-all contract (executor.hpp), which
+//    cannot deadlock for any well-formed stage matrix — receives are
+//    posted before the rank blocks, so every synchronized send finds
+//    its match (induction over stages). Cyclic stage digraphs are even
+//    legitimate there: dissemination stages are circulants, ring
+//    allreduce stages are full cycles. An *awaited* (Eq. 2) stage is
+//    different: its costing assumes receivers are already waiting, and
+//    a conforming runtime may replay it with eager blocking sends
+//    issued before its receives. Under that contract a directed cycle
+//    in the stage's edge digraph is a real deadlock, so awaited stages
+//    must be acyclic — the composer only marks departure (fan-out)
+//    stages awaited, and demotes any that are not acyclic.
+//
+//  * Unreachable knowledge: Eq. 3 never saturates, so the pattern is
+//    not a barrier. Executing it "succeeds" locally but does not
+//    synchronize — flagged so tuners and loaders can refuse to treat
+//    it as a barrier. (Loaders still accept such files: analysis
+//    commands legitimately inspect non-barrier patterns.)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "barrier/schedule.hpp"
+#include "barrier/schedule_io.hpp"
+
+namespace optibar {
+
+enum class ScheduleIssueKind {
+  kCyclicWait,            ///< directed cycle inside an awaited stage
+  kUnreachableKnowledge,  ///< Eq. 3 never saturates: not a barrier
+  kMalformed,             ///< awaited flags inconsistent with the schedule
+};
+
+const char* to_string(ScheduleIssueKind kind);
+
+struct ScheduleIssue {
+  ScheduleIssueKind kind = ScheduleIssueKind::kMalformed;
+  std::size_t stage = 0;  ///< stage involved (0 for schedule-wide issues)
+  std::string detail;
+};
+
+struct ValidationResult {
+  std::vector<ScheduleIssue> issues;
+
+  /// No issues at all.
+  bool ok() const { return issues.empty(); }
+
+  /// No issue that can hang a conforming runtime. Unreachable
+  /// knowledge is a semantic failure (the pattern is not a barrier)
+  /// but terminates fine.
+  bool deadlock_free() const;
+
+  std::string describe() const;
+};
+
+/// True when the stage's edge digraph (i -> j iff stage(i, j)) contains
+/// a directed cycle.
+bool stage_has_cycle(const StageMatrix& stage);
+
+/// Validate a stored schedule (awaited flags checked). An empty awaited
+/// vector means no stage is awaited.
+ValidationResult validate_schedule(const StoredSchedule& stored);
+
+/// Validate a bare schedule: no awaited stages, so only the knowledge
+/// check applies.
+ValidationResult validate_schedule(const Schedule& schedule);
+
+}  // namespace optibar

@@ -52,7 +52,12 @@ typedef enum {
   OPTIBAR_ERR_INVALID_ARGUMENT = 1, /* NULL handle, bad rank/subset, ... */
   OPTIBAR_ERR_IO = 2,               /* profile file unreadable/malformed */
   OPTIBAR_ERR_TUNING = 3,           /* the tuning pipeline failed */
-  OPTIBAR_ERR_INTERNAL = 4          /* unexpected failure; report a bug */
+  OPTIBAR_ERR_INTERNAL = 4,         /* unexpected failure; report a bug */
+  OPTIBAR_DEGRADED = 5 /* plan served, but it is the quarantine fallback
+                        * (a dissemination barrier), not the tuned plan.
+                        * Not an error: the plan pointer is non-NULL and
+                        * fully usable; optibar_last_error() carries the
+                        * quarantine reason. See optibar_report_stall. */
 } optibar_status;
 
 /* Status of the most recent optibar call made by this thread. */
@@ -117,6 +122,31 @@ size_t optibar_plan_op_count(const optibar_plan* plan, size_t rank);
  * status INVALID_ARGUMENT on NULL plan/out or out-of-range rank. */
 size_t optibar_plan_ops(const optibar_plan* plan, size_t rank,
                         optibar_op* out, size_t capacity);
+
+/*
+ * FAILURE SEMANTICS. Tuned plans are an optimization, never a
+ * correctness dependency. An application that watches a served plan
+ * stall in production (its own timeout, or a StallReport from the
+ * simulation harness) reports the failure here. After
+ * `quarantine_threshold` reports (default 3) for the same subset the
+ * library quarantines the tuned plan: subsequent plan requests for
+ * that subset return a conservative dissemination barrier instead and
+ * set the status OPTIBAR_DEGRADED (the plan pointer is still valid and
+ * usable — DEGRADED is a warning, not a failure). Previously returned
+ * plan pointers for the subset remain valid.
+ *
+ * Returns 1 when the subset is now served degraded, 0 when the report
+ * was recorded but the threshold is not yet reached, and -1 on error
+ * (status INVALID_ARGUMENT: bad subset, or no plan was ever served for
+ * it). `detail` is an optional human-readable description of the
+ * observed failure (may be NULL); it is embedded in the quarantine
+ * reason surfaced through optibar_last_error(). */
+int optibar_report_stall(optibar_library* library, const size_t* ranks,
+                         size_t count, const char* detail);
+
+/* 1 when `plan` is a quarantine fallback (see optibar_report_stall),
+ * 0 otherwise; 0 with status INVALID_ARGUMENT on NULL. */
+int optibar_plan_is_degraded(const optibar_plan* plan);
 
 /* Collective operation kinds for optibar_tune_collective_v2. */
 typedef enum {

@@ -39,6 +39,11 @@ void set_ok() {
 void set_error(optibar_status status, std::string message) {
   tl_status = status;
   tl_message = std::move(message);
+  if (tl_message.empty()) {
+    // Guarantee: a non-OK status always has a non-empty message, even
+    // when an exception carried an empty what().
+    tl_message = optibar_status_string(status);
+  }
 }
 
 /// Record the in-flight exception under `status`; unknown exception
@@ -69,6 +74,8 @@ struct optibar_plan_s {
   std::size_t ranks = 0;
   std::size_t stages = 0;
   double predicted_seconds = 0.0;
+  bool degraded = false;
+  std::string degradation_reason;
   std::vector<std::vector<optibar_op>> per_rank;
 
   explicit optibar_plan_s(const LibraryEntry& entry) {
@@ -76,6 +83,8 @@ struct optibar_plan_s {
     ranks = schedule.ranks();
     stages = schedule.stage_count();
     predicted_seconds = entry.predicted_cost;
+    degraded = entry.degraded;
+    degradation_reason = entry.degradation_reason;
     per_rank.resize(ranks);
     for (std::size_t rank = 0; rank < ranks; ++rank) {
       std::vector<optibar_op>& ops = per_rank[rank];
@@ -183,6 +192,8 @@ const char* optibar_status_string(optibar_status status) {
       return "OPTIBAR_ERR_TUNING";
     case OPTIBAR_ERR_INTERNAL:
       return "OPTIBAR_ERR_INTERNAL";
+    case OPTIBAR_DEGRADED:
+      return "OPTIBAR_DEGRADED";
   }
   return "OPTIBAR_ERR_INTERNAL";
 }
@@ -233,7 +244,11 @@ const optibar_plan* optibar_world_plan_v2(optibar_library* library) {
   }
   try {
     const optibar_plan* plan = library->plan_for(library->library.full_barrier());
-    set_ok();
+    if (plan->degraded) {
+      set_error(OPTIBAR_DEGRADED, plan->degradation_reason);
+    } else {
+      set_ok();
+    }
     return plan;
   } catch (...) {
     set_caught(OPTIBAR_ERR_TUNING);
@@ -250,7 +265,11 @@ const optibar_plan* optibar_subset_plan_v2(optibar_library* library,
     const std::vector<std::size_t> subset(ranks, ranks + count);
     const optibar_plan* plan =
         library->plan_for(library->library.subset_plan(subset));
-    set_ok();
+    if (plan->degraded) {
+      set_error(OPTIBAR_DEGRADED, plan->degradation_reason);
+    } else {
+      set_ok();
+    }
     return plan;
   } catch (...) {
     set_caught(OPTIBAR_ERR_TUNING);
@@ -355,6 +374,32 @@ size_t optibar_plan_ops(const optibar_plan* plan, size_t rank,
     out[i] = ops[i];
   }
   return n;
+}
+
+int optibar_report_stall(optibar_library* library, const size_t* ranks,
+                         size_t count, const char* detail) {
+  if (!check_subset(library, ranks, count)) {
+    return -1;
+  }
+  try {
+    const std::vector<std::size_t> subset(ranks, ranks + count);
+    const bool degraded = library->library.report_execution_failure(
+        subset, detail == nullptr ? "unspecified stall" : detail);
+    set_ok();
+    return degraded ? 1 : 0;
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_INVALID_ARGUMENT);
+    return -1;
+  }
+}
+
+int optibar_plan_is_degraded(const optibar_plan* plan) {
+  if (plan == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "plan is NULL");
+    return 0;
+  }
+  set_ok();
+  return plan->degraded ? 1 : 0;
 }
 
 optibar_status optibar_tune_collective_v2(optibar_library* library,

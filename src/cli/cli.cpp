@@ -19,6 +19,9 @@
 #include "netsim/trace_export.hpp"
 #include "profile/estimator.hpp"
 #include "profile/synthetic_engine.hpp"
+#include "simmpi/executor.hpp"
+#include "simmpi/fault.hpp"
+#include "simmpi/resilience.hpp"
 #include "topology/generate.hpp"
 #include "topology/machine.hpp"
 #include "topology/machine_file.hpp"
@@ -270,13 +273,35 @@ int cmd_predict(const Args& args, std::ostream& out) {
 }
 
 int cmd_simulate(const Args& args, std::ostream& out) {
-  args.check_allowed(
-      {"profile", "schedule", "algorithm", "reps", "jitter", "seed"});
+  args.check_allowed({"profile", "schedule", "algorithm", "reps", "jitter",
+                      "seed", "faults", "slack", "retries",
+                      "deadline-floor-ms"});
   const TopologyProfile profile =
       TopologyProfile::load_file(args.require("profile"));
   const StoredSchedule stored = schedule_from_args(args, profile);
   OPTIBAR_REQUIRE(stored.schedule.is_barrier(),
                   "refusing to simulate a non-barrier pattern");
+  if (args.has("faults")) {
+    // Fault-injection mode: execute the schedule on the real threaded
+    // runtime under the given fault plan, with bounded per-stage waits,
+    // and render the stall diagnostics. Exit 4 when any rank stalled.
+    const FaultPlan faults = FaultPlan::parse(args.require("faults"));
+    PredictOptions predict_options;
+    predict_options.awaited_stages = stored.awaited_stages;
+    const Prediction prediction =
+        predict(stored.schedule, profile, predict_options);
+    simmpi::ResilienceOptions resilience;
+    resilience.predicted_stage_seconds = prediction.stage_increment;
+    resilience.slack = args.double_or("slack", 8.0);
+    resilience.max_retries = args.size_or("retries", 1);
+    resilience.deadline_floor = std::chrono::milliseconds(
+        args.size_or("deadline-floor-ms", 10));
+    const simmpi::ScheduleExecutor executor(stored.schedule);
+    const simmpi::StallReport report =
+        executor.run_once_resilient(resilience, faults);
+    out << "fault plan: " << faults.spec() << "\n" << report.describe();
+    return report.stalled ? 4 : 0;
+  }
   SimOptions options;
   options.jitter = args.double_or("jitter", 0.03);
   options.seed = args.size_or("seed", 2011);
@@ -587,6 +612,10 @@ std::string usage_text() {
         "  predict  --profile FILE (--schedule FILE | --algorithm NAME)\n"
         "  simulate --profile FILE (--schedule FILE | --algorithm NAME)\n"
         "           [--reps N] [--jitter X] [--seed N]\n"
+        "           [--faults SPEC]   # threaded fault-injection run;\n"
+        "                            # SPEC e.g. "
+        "'seed=1;drop=0>1@2:1'\n"
+        "           [--slack X] [--retries N] [--deadline-floor-ms N]\n"
         "  compare  --profile FILE [--reps N] [--jitter X] [--extended]\n"
         "           [--threads N]\n"
         "  analyze  --schedule FILE (--machine M | --machine-file F)\n"
@@ -601,7 +630,13 @@ std::string usage_text() {
         "  collective --profile FILE [--op bcast|reduce|allreduce]\n"
         "           [--bytes N] [--root R] [--threads N]\n"
         "           [--reps N] [--jitter X] [--seed N] [--schedule-out FILE]\n"
-        "  help\n";
+        "  help\n"
+        "\n"
+        "exit codes:\n"
+        "  0 success    1 usage/execution error    2 validate: not a "
+        "barrier\n"
+        "  3 file unreadable or malformed          4 simulate --faults: "
+        "stall detected\n";
   return os.str();
 }
 
@@ -622,6 +657,9 @@ int run_cli(const std::vector<std::string>& arguments, std::ostream& out,
     const Args args = Args::parse(
         std::vector<std::string>(arguments.begin() + 1, arguments.end()));
     return it->second(args, out);
+  } catch (const IoError& error) {
+    err << "io error: " << error.what() << "\n";
+    return 3;
   } catch (const Error& error) {
     err << "error: " << error.what() << "\n";
     return 1;

@@ -1,6 +1,7 @@
 #include "collective/executor.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/error.hpp"
 
@@ -75,6 +76,161 @@ void CollectiveExecutor::execute(simmpi::RankContext& ctx, ReduceOp op,
       }
     }
   }
+}
+
+bool CollectiveExecutor::execute_resilient(
+    simmpi::RankContext& ctx, ReduceOp op, Payload& buffer,
+    const simmpi::ResilienceOptions& options, simmpi::StallReport& report,
+    int episode) const {
+  using simmpi::Clock;
+  const std::size_t rank = ctx.rank();
+  OPTIBAR_REQUIRE(rank < ops_.size(), "rank out of range for this executor");
+  OPTIBAR_REQUIRE(ctx.size() == ops_.size(),
+                  "communicator size " << ctx.size()
+                                       << " != schedule rank count "
+                                       << ops_.size());
+  OPTIBAR_REQUIRE(buffer.size() == elem_count_,
+                  "buffer has " << buffer.size() << " words, expected "
+                                << elem_count_);
+  OPTIBAR_REQUIRE(report.per_rank.size() == ops_.size() &&
+                      report.stages == stages_,
+                  "StallReport not reset for this executor");
+  simmpi::RankStall& mine = report.per_rank[rank];
+  const FaultInjector* faults = ctx.communicator().fault_injector();
+  const std::size_t crash_at =
+      faults != nullptr ? faults->crash_stage(rank) : FaultInjector::kNoCrash;
+
+  struct SendState {
+    std::size_t dst;
+    std::vector<simmpi::Request> attempts;
+    bool done = false;
+  };
+  struct RecvState {
+    std::size_t src;
+    simmpi::Request request;
+    bool done = false;
+  };
+
+  for (std::size_t s = 0; s < stages_; ++s) {
+    mine.stage_reached = s;
+    if (s >= crash_at) {
+      mine.crashed = true;
+      return false;
+    }
+    const StageOps& ops = ops_[rank][s];
+    const int tag =
+        episode * static_cast<int>(stages_) + static_cast<int>(s);
+    // Snapshot rule: outgoing words are read before anything of this
+    // stage lands, and the buffer is untouched until the stage
+    // completes — so every resend below re-reads identical words.
+    auto send_words = [&](const SendOp& send) {
+      return Payload(
+          buffer.begin() + static_cast<std::ptrdiff_t>(send.offset),
+          buffer.begin() + static_cast<std::ptrdiff_t>(send.offset +
+                                                       send.count));
+    };
+    std::vector<SendState> sends;
+    sends.reserve(ops.sends.size());
+    for (const SendOp& send : ops.sends) {
+      sends.push_back(
+          SendState{send.dst, {ctx.issend(send.dst, tag, send_words(send))}});
+    }
+    // The inbox is shared with the communicator (keepalive): if this
+    // rank gives up on a receive, a late sender can still match it and
+    // deliver — into storage that must outlive this frame.
+    auto inbox = std::make_shared<std::vector<Payload>>(ops.recvs.size());
+    std::vector<RecvState> recvs;
+    recvs.reserve(ops.recvs.size());
+    for (std::size_t k = 0; k < ops.recvs.size(); ++k) {
+      recvs.push_back(RecvState{
+          ops.recvs[k].src,
+          ctx.irecv(ops.recvs[k].src, tag, &(*inbox)[k], inbox)});
+    }
+
+    Clock::duration budget = options.stage_deadline(s);
+    for (std::size_t attempt = 0;; ++attempt) {
+      const Clock::time_point deadline = Clock::now() + budget;
+      bool all_done = true;
+      for (SendState& send : sends) {
+        for (const simmpi::Request& request : send.attempts) {
+          send.done = send.done || request->wait_until(deadline);
+        }
+        all_done = all_done && send.done;
+      }
+      for (RecvState& recv : recvs) {
+        if (!recv.done && recv.request->wait_until(deadline)) {
+          recv.done = true;
+          mine.delivered.push_back(simmpi::SignalEdge{s, recv.src, rank});
+        }
+        all_done = all_done && recv.done;
+      }
+      if (all_done) {
+        break;
+      }
+      if (attempt >= options.max_retries) {
+        for (const SendState& send : sends) {
+          if (!send.done) {
+            mine.pending_send_to.push_back(send.dst);
+          }
+        }
+        for (const RecvState& recv : recvs) {
+          if (!recv.done) {
+            mine.pending_recv_from.push_back(recv.src);
+          }
+        }
+        return false;
+      }
+      for (std::size_t k = 0; k < sends.size(); ++k) {
+        if (!sends[k].done) {
+          sends[k].attempts.push_back(
+              ctx.issend(sends[k].dst, tag, send_words(ops.sends[k])));
+        }
+      }
+      budget = std::chrono::duration_cast<Clock::duration>(
+          budget * options.retry_backoff);
+    }
+
+    // Stage complete: apply incoming edges in ascending source order,
+    // exactly like the happy path.
+    for (std::size_t k = 0; k < ops.recvs.size(); ++k) {
+      const RecvOp& recv = ops.recvs[k];
+      const Payload& in = (*inbox)[k];
+      OPTIBAR_ASSERT(in.size() == recv.count,
+                     "received " << in.size() << " words, expected "
+                                 << recv.count);
+      for (std::size_t i = 0; i < recv.count; ++i) {
+        std::uint64_t& word = buffer[recv.offset + i];
+        word = recv.combine ? reduce_word(op, word, in[i]) : in[i];
+      }
+    }
+  }
+  mine.stage_reached = stages_;
+  return true;
+}
+
+CollectiveExecutor::ResilientResult CollectiveExecutor::run_once_resilient(
+    const std::vector<Payload>& inputs, ReduceOp op,
+    const simmpi::ResilienceOptions& options, const FaultPlan& faults,
+    simmpi::LatencyModel latency,
+    simmpi::ByteLatencyModel byte_latency) const {
+  const std::size_t p = ops_.size();
+  OPTIBAR_REQUIRE(inputs.size() == p,
+                  "expected " << p << " input buffers, got " << inputs.size());
+  ResilientResult result;
+  result.buffers = inputs;
+  result.report.reset(p, stages_);
+  simmpi::Communicator comm(p, std::move(latency), std::move(byte_latency));
+  if (!faults.empty()) {
+    comm.set_fault_plan(faults);
+  }
+  simmpi::run_ranks(comm, [&](simmpi::RankContext& ctx) {
+    if (execute_resilient(ctx, op, result.buffers[ctx.rank()], options,
+                          result.report)) {
+      result.report.per_rank[ctx.rank()].finished = true;
+    }
+  });
+  result.report.finalize();
+  return result;
 }
 
 std::vector<Payload> CollectiveExecutor::run_once(

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "collective/schedule.hpp"
+#include "simmpi/fault.hpp"
+#include "simmpi/resilience.hpp"
 #include "simmpi/runtime.hpp"
 
 namespace optibar {
@@ -41,6 +43,31 @@ class CollectiveExecutor {
   /// buffers of elem_count words each.
   std::vector<Payload> run_once(
       const std::vector<Payload>& inputs, ReduceOp op,
+      simmpi::LatencyModel latency = simmpi::uniform_latency(),
+      simmpi::ByteLatencyModel byte_latency = nullptr) const;
+
+  /// Bounded-wait episode (see simmpi/resilience.hpp): per-stage
+  /// deadlines, bounded resends, crash faults honoured. Incoming data
+  /// is applied only when the whole stage completed, so a stalled
+  /// rank's buffer stays at its last consistent stage snapshot; resends
+  /// re-copy from the unchanged buffer and carry identical words.
+  /// Returns true when every stage completed; `report` must be
+  /// pre-reset and is written only in this rank's row.
+  bool execute_resilient(simmpi::RankContext& ctx, ReduceOp op,
+                         Payload& buffer,
+                         const simmpi::ResilienceOptions& options,
+                         simmpi::StallReport& report, int episode = 0) const;
+
+  /// A resilient run across all ranks: final buffers (stalled ranks
+  /// keep their last consistent state) plus the finalized StallReport.
+  struct ResilientResult {
+    std::vector<Payload> buffers;
+    simmpi::StallReport report;
+  };
+  ResilientResult run_once_resilient(
+      const std::vector<Payload>& inputs, ReduceOp op,
+      const simmpi::ResilienceOptions& options,
+      const FaultPlan& faults = {},
       simmpi::LatencyModel latency = simmpi::uniform_latency(),
       simmpi::ByteLatencyModel byte_latency = nullptr) const;
 

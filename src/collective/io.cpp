@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <string>
 
@@ -13,6 +14,13 @@ namespace {
 
 constexpr const char* kMagic = "optibar-collective";
 
+// Hard caps on untrusted on-disk counts: reject absurd headers before
+// they size any allocation. Generous relative to anything the engine
+// produces (the tuner tops out at dozens of ranks and stages).
+constexpr std::size_t kMaxRanks = 8192;
+constexpr std::size_t kMaxStages = 100000;
+constexpr std::size_t kMaxElemBytes = 65536;
+
 CollectiveOp parse_op(const std::string& name) {
   if (name == "bcast") {
     return CollectiveOp::kBroadcast;
@@ -23,7 +31,7 @@ CollectiveOp parse_op(const std::string& name) {
   if (name == "allreduce") {
     return CollectiveOp::kAllreduce;
   }
-  OPTIBAR_FAIL("unknown collective op '" << name << "'");
+  OPTIBAR_IO_FAIL("unknown collective op '" << name << "'");
 }
 
 }  // namespace
@@ -51,34 +59,51 @@ CollectiveSchedule load_collective(std::istream& is) {
   std::string magic;
   std::string version;
   is >> magic >> version;
-  OPTIBAR_REQUIRE(magic == kMagic,
-                  "not an optibar collective schedule (magic '" << magic
-                                                                << "')");
-  OPTIBAR_REQUIRE(version == "v1",
-                  "unsupported collective schedule version " << version);
+  OPTIBAR_IO_REQUIRE(!is.fail() && magic == kMagic,
+                     "not an optibar collective schedule (magic '" << magic
+                                                                   << "')");
+  OPTIBAR_IO_REQUIRE(version == "v1",
+                     "unsupported collective schedule version " << version);
 
   std::string tag;
   std::string op_name;
   is >> tag >> op_name;
-  OPTIBAR_REQUIRE(tag == "op", "malformed collective header (op)");
+  OPTIBAR_IO_REQUIRE(!is.fail() && tag == "op",
+                     "malformed collective header (op)");
   const CollectiveOp op = parse_op(op_name);
   std::size_t p = 0;
   is >> tag >> p;
-  OPTIBAR_REQUIRE(tag == "P" && p > 0, "malformed collective header (P)");
+  OPTIBAR_IO_REQUIRE(!is.fail() && tag == "P" && p > 0,
+                     "malformed collective header (P)");
+  OPTIBAR_IO_REQUIRE(p <= kMaxRanks, "collective rank count "
+                                         << p << " exceeds the format cap ("
+                                         << kMaxRanks << ")");
   std::size_t root = 0;
   is >> tag >> root;
-  OPTIBAR_REQUIRE(tag == "root", "malformed collective header (root)");
-  OPTIBAR_REQUIRE(root < p, "root " << root << " out of range for " << p
-                                    << " ranks");
+  OPTIBAR_IO_REQUIRE(!is.fail() && tag == "root",
+                     "malformed collective header (root)");
+  OPTIBAR_IO_REQUIRE(root < p, "root " << root << " out of range for " << p
+                                       << " ranks");
   std::size_t elem_count = 0;
   std::size_t elem_bytes = 0;
   is >> tag >> elem_count >> elem_bytes;
-  OPTIBAR_REQUIRE(tag == "elems" && elem_bytes > 0,
-                  "malformed collective header (elems)");
+  OPTIBAR_IO_REQUIRE(!is.fail() && tag == "elems" && elem_bytes > 0,
+                     "malformed collective header (elems)");
+  OPTIBAR_IO_REQUIRE(elem_bytes <= kMaxElemBytes,
+                     "element width " << elem_bytes
+                                      << " exceeds the format cap ("
+                                      << kMaxElemBytes << ")");
+  OPTIBAR_IO_REQUIRE(
+      elem_count <= std::numeric_limits<std::size_t>::max() / elem_bytes,
+      "elems header overflows (" << elem_count << " x " << elem_bytes << ")");
   std::size_t stages = 0;
   is >> tag >> stages;
-  OPTIBAR_REQUIRE(tag == "stages", "malformed collective header (stages)");
-  OPTIBAR_REQUIRE(is.good(), "I/O error while reading collective header");
+  OPTIBAR_IO_REQUIRE(!is.fail() && tag == "stages",
+                     "malformed collective header (stages)");
+  OPTIBAR_IO_REQUIRE(stages <= kMaxStages,
+                     "collective stage count "
+                         << stages << " exceeds the format cap (" << kMaxStages
+                         << ")");
 
   CollectiveSchedule out(op, p, elem_count, elem_bytes, root);
   for (std::size_t s = 0; s < stages; ++s) {
@@ -86,8 +111,12 @@ CollectiveSchedule load_collective(std::istream& is) {
     is >> tag >> edges;
     std::string expected("S");
     expected += std::to_string(s);
-    OPTIBAR_REQUIRE(tag == expected,
-                    "expected stage tag S" << s << ", got " << tag);
+    OPTIBAR_IO_REQUIRE(!is.fail() && tag == expected,
+                       "expected stage tag S" << s << ", got " << tag);
+    // A stage is a set of distinct directed pairs, so p*p bounds it.
+    OPTIBAR_IO_REQUIRE(edges <= p * p, "stage " << s << " claims " << edges
+                                                << " edges for " << p
+                                                << " ranks");
     CollectiveStage stage;
     stage.reserve(edges);
     for (std::size_t e = 0; e < edges; ++e) {
@@ -95,18 +124,24 @@ CollectiveSchedule load_collective(std::istream& is) {
       int combine = -1;
       is >> edge.src >> edge.dst >> edge.offset >> edge.count >> combine;
       // fail() (not good()) so a truncated file cannot pass as eof.
-      OPTIBAR_REQUIRE(!is.fail(), "truncated or malformed stage line in stage "
-                                      << s);
-      OPTIBAR_REQUIRE(combine == 0 || combine == 1,
-                      "combine flag must be 0/1, got " << combine);
+      OPTIBAR_IO_REQUIRE(!is.fail(),
+                         "truncated or malformed stage line in stage " << s);
+      OPTIBAR_IO_REQUIRE(combine == 0 || combine == 1,
+                         "combine flag must be 0/1, got " << combine);
       edge.combine = combine == 1;
       stage.push_back(edge);
     }
-    // append_stage re-validates ranges, self edges and duplicates.
-    out.append_stage(std::move(stage));
+    // append_stage re-validates ranges, self edges and duplicates;
+    // surface those as parse (Io) errors too — the bad data came from
+    // the stream, not from a caller bug.
+    try {
+      out.append_stage(std::move(stage));
+    } catch (const Error& error) {
+      OPTIBAR_IO_FAIL("invalid stage " << s << ": " << error.what());
+    }
   }
-  OPTIBAR_REQUIRE(is.good() || is.eof(),
-                  "I/O error while reading collective schedule");
+  OPTIBAR_IO_REQUIRE(is.good() || is.eof(),
+                     "I/O error while reading collective schedule");
   return out;
 }
 
@@ -119,7 +154,7 @@ void save_collective_file(const std::string& path,
 
 CollectiveSchedule load_collective_file(const std::string& path) {
   std::ifstream is(path);
-  OPTIBAR_REQUIRE(is.is_open(), "cannot open " << path << " for reading");
+  OPTIBAR_IO_REQUIRE(is.is_open(), "cannot open " << path << " for reading");
   return load_collective(is);
 }
 

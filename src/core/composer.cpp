@@ -8,6 +8,7 @@
 
 #include "barrier/compiled_schedule.hpp"
 #include "barrier/cost_model.hpp"
+#include "barrier/validate.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -236,7 +237,16 @@ ComposedBarrier compose_barrier(const TopologyProfile& profile,
       continue;
     }
     compacted.append_stage(full.stage(s));
-    awaited.push_back(s >= arrival.stage_count());
+    // A departure stage is awaited — priced with Eq. 2 and replayable
+    // with eager blocking sends — only when its wait digraph is
+    // acyclic. Transposing a self-completing sub-level block (e.g. a
+    // node-level dissemination) yields cyclic departure stages; those
+    // stay correct under post-all-then-wait-all but must not carry the
+    // awaited contract, so they are demoted to Eq. 1 here. This keeps
+    // "awaited implies acyclic" a composer invariant the validator can
+    // enforce on every stored plan.
+    awaited.push_back(s >= arrival.stage_count() &&
+                      !stage_has_cycle(full.stage(s)));
   }
   out.arrival_stages = 0;
   for (std::size_t s = 0; s < awaited.size(); ++s) {

@@ -44,6 +44,8 @@ void EngineOptions::validate() const {
                       (cache_shards & (cache_shards - 1)) == 0,
                   "cache_shards must be a power of two in [1, 4096], got "
                       << cache_shards);
+  OPTIBAR_REQUIRE(quarantine_threshold >= 1,
+                  "quarantine_threshold must be >= 1");
 }
 
 std::size_t EngineOptions::resolved_threads() const {

@@ -52,6 +52,12 @@ struct EngineOptions {
   /// distinct subsets tune at once.
   std::size_t cache_shards = 16;
 
+  /// Number of reported execution failures after which BarrierLibrary
+  /// quarantines a tuned plan and serves a conservative dissemination
+  /// fallback instead (see BarrierLibrary::report_execution_failure).
+  /// Must be >= 1.
+  std::size_t quarantine_threshold = 3;
+
   /// Throws optibar::Error when any knob is out of its valid range.
   /// Every engine entry point validates on the way in, so a bad knob
   /// fails loudly at the boundary instead of deep inside a stage.

@@ -9,6 +9,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "barrier/algorithms.hpp"
+#include "barrier/cost_model.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -39,6 +41,15 @@ struct BarrierLibrary::Slot {
   std::atomic<bool> ready{false};
   std::exception_ptr error;  // sticky: a failed tune stays failed
   LibraryEntry entry;
+
+  /// Degraded-mode state (report_execution_failure). `fallback` is
+  /// built at most once, under build_mutex, and published with a
+  /// release store on `degraded` — readers that acquire-load `degraded`
+  /// as true may read `fallback` without the lock, exactly the
+  /// ready/entry protocol above.
+  std::atomic<std::size_t> failures{0};
+  std::atomic<bool> degraded{false};
+  LibraryEntry fallback;
 };
 
 struct BarrierLibrary::Shard {
@@ -87,6 +98,14 @@ void BarrierLibrary::validate_subset(
   }
 }
 
+BarrierLibrary::Slot* BarrierLibrary::find_slot(
+    const std::vector<std::size_t>& ranks) {
+  Shard& shard = shards_[SubsetHash{}(ranks)&shard_mask_];
+  std::shared_lock<std::shared_mutex> read(shard.mutex);
+  auto it = shard.slots.find(ranks);
+  return it == shard.slots.end() ? nullptr : it->second.get();
+}
+
 BarrierLibrary::Slot& BarrierLibrary::slot_for(
     const std::vector<std::size_t>& ranks) {
   Shard& shard = shards_[SubsetHash{}(ranks)&shard_mask_];
@@ -125,6 +144,9 @@ void BarrierLibrary::build_entry_locked(Slot& slot,
 
 const LibraryEntry& BarrierLibrary::built_entry(
     Slot& slot, const std::vector<std::size_t>& ranks, ThreadPool* pool) {
+  if (slot.degraded.load(std::memory_order_acquire)) {
+    return slot.fallback;  // quarantined: serve the safe plan instead
+  }
   if (slot.ready.load(std::memory_order_acquire)) {
     return slot.entry;  // fast path: no lock at all on a warm cache
   }
@@ -185,6 +207,58 @@ std::vector<const LibraryEntry*> BarrierLibrary::tune_all(
     out[i] = &built_entry(*slots[i], subsets[i], pool_.get());
   }
   return out;
+}
+
+bool BarrierLibrary::report_execution_failure(
+    const std::vector<std::size_t>& ranks, const std::string& reason) {
+  validate_subset(ranks);
+  Slot* slot = find_slot(ranks);
+  OPTIBAR_REQUIRE(slot != nullptr &&
+                      (slot->ready.load(std::memory_order_acquire) ||
+                       slot->degraded.load(std::memory_order_acquire)),
+                  "execution failure reported for a subset that was never "
+                  "served a plan");
+  if (slot->degraded.load(std::memory_order_acquire)) {
+    slot->failures.fetch_add(1, std::memory_order_relaxed);
+    return true;  // already quarantined; keep counting
+  }
+  const std::size_t count =
+      slot->failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (count < options_.quarantine_threshold) {
+    return false;
+  }
+  // Threshold reached: build the fallback once, under the slot's build
+  // mutex, and publish it with a release store on `degraded`.
+  std::lock_guard<std::mutex> build(slot->build_mutex);
+  if (!slot->degraded.load(std::memory_order_relaxed)) {
+    const Schedule safe = dissemination_barrier(ranks.size());
+    slot->fallback.global_ranks = ranks;
+    slot->fallback.stored.schedule = safe;
+    slot->fallback.stored.awaited_stages.clear();
+    slot->fallback.compiled = CompiledBarrier(safe);
+    slot->fallback.predicted_cost =
+        predicted_time(safe, profile_.restrict_to(ranks).symmetrized());
+    slot->fallback.degraded = true;
+    slot->fallback.degradation_reason =
+        "tuned plan quarantined after " + std::to_string(count) +
+        " execution failure(s): " + reason;
+    slot->degraded.store(true, std::memory_order_release);
+  }
+  return true;
+}
+
+std::size_t BarrierLibrary::failure_count(
+    const std::vector<std::size_t>& ranks) {
+  validate_subset(ranks);
+  Slot* slot = find_slot(ranks);
+  return slot == nullptr ? 0
+                         : slot->failures.load(std::memory_order_relaxed);
+}
+
+bool BarrierLibrary::is_quarantined(const std::vector<std::size_t>& ranks) {
+  validate_subset(ranks);
+  Slot* slot = find_slot(ranks);
+  return slot != nullptr && slot->degraded.load(std::memory_order_acquire);
 }
 
 std::size_t BarrierLibrary::cache_size() const {

@@ -45,6 +45,11 @@ struct LibraryEntry {
   StoredSchedule stored;
   CompiledBarrier compiled{Schedule(1)};
   double predicted_cost = 0.0;
+  /// True when this entry is a quarantine fallback (a known-safe
+  /// dissemination barrier) rather than the tuned plan — see
+  /// report_execution_failure().
+  bool degraded = false;
+  std::string degradation_reason;
 };
 
 class BarrierLibrary {
@@ -89,6 +94,24 @@ class BarrierLibrary {
   /// Number of distinct tuned subsets currently cached.
   std::size_t cache_size() const;
 
+  /// Degraded-mode feedback path: callers that executed a served plan
+  /// and watched it stall (e.g. a StallReport from the resilient
+  /// executor) report the failure here. After
+  /// EngineOptions::quarantine_threshold reports for the same subset the
+  /// library quarantines the tuned plan and from then on serves a
+  /// conservative dissemination fallback for that subset — tuned plans
+  /// are an optimization, not a correctness dependency. Returns true
+  /// when the subset is (now) served degraded. The subset must have
+  /// been successfully tuned before (a plan was served for it).
+  bool report_execution_failure(const std::vector<std::size_t>& ranks,
+                                const std::string& reason);
+
+  /// Failure reports recorded so far for a subset (0 when never tuned).
+  std::size_t failure_count(const std::vector<std::size_t>& ranks);
+
+  /// True when the subset's tuned plan has been quarantined.
+  bool is_quarantined(const std::vector<std::size_t>& ranks);
+
  private:
   struct Slot;
   struct Shard;
@@ -96,6 +119,8 @@ class BarrierLibrary {
   void validate_subset(const std::vector<std::size_t>& ranks) const;
   /// Get-or-create the cache slot of a subset (no tuning).
   Slot& slot_for(const std::vector<std::size_t>& ranks);
+  /// Look up a subset's slot without creating one; null when absent.
+  Slot* find_slot(const std::vector<std::size_t>& ranks);
   /// Blocking build: tune into the slot if nobody has, wait otherwise.
   const LibraryEntry& built_entry(Slot& slot,
                                   const std::vector<std::size_t>& ranks,

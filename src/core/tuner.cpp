@@ -4,6 +4,7 @@
 
 #include "barrier/compiled_schedule.hpp"
 #include "barrier/cost_model.hpp"
+#include "barrier/validate.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -42,6 +43,12 @@ TuneResult tune_barrier(const TopologyProfile& profile,
   ClusterNode tree = build_cluster_tree(symmetric, options.clustering, pool);
   ComposedBarrier barrier =
       compose_barrier(symmetric, tree, options.composition, pool);
+  // No tuned plan leaves the engine without the static deadlock-freedom
+  // proof (barrier/validate.hpp) — the same gate the loaders apply.
+  const ValidationResult validation = validate_schedule(
+      StoredSchedule{barrier.schedule, barrier.awaited_stages});
+  OPTIBAR_ASSERT(validation.ok(),
+                 "tuned schedule failed validation: " << validation.describe());
 
   PredictOptions predict_options;
   predict_options.awaited_stages = barrier.awaited_stages;

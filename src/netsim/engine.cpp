@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "netsim/event_queue.hpp"
 #include "util/error.hpp"
@@ -38,6 +39,7 @@ struct RankState {
 struct BufferedMessage {
   std::size_t src = 0;
   double injected = 0.0;
+  bool ghost = false;  ///< duplicate copy: occupies time, no protocol effect
 };
 
 class Simulation {
@@ -53,6 +55,10 @@ class Simulation {
         buffered_(schedule.stage_count(),
                   std::vector<std::vector<BufferedMessage>>(p_)) {
     OPTIBAR_REQUIRE(profile_.ranks() == p_, "profile/schedule rank mismatch");
+    if (!options_.faults.empty()) {
+      injector_.emplace(options_.faults);
+    }
+    halted_.assign(p_, false);
     OPTIBAR_REQUIRE(options_.jitter >= 0.0, "negative jitter");
     OPTIBAR_REQUIRE(options_.spike_probability >= 0.0 &&
                         options_.spike_probability <= 1.0,
@@ -83,8 +89,10 @@ class Simulation {
       crashed[rank] = true;
     }
     for (std::size_t i = 0; i < p_; ++i) {
-      if (crashed[i]) {
-        continue;  // the rank died before calling the barrier
+      // Crash-at-stage-0 is the legacy "died before the call" case.
+      if (crashed[i] || crash_stage(i) == 0) {
+        halted_[i] = true;
+        continue;
       }
       const double t = result_.entry[i];
       queue_.schedule(t, [this, i, t] { enter_barrier(i, t); });
@@ -94,8 +102,9 @@ class Simulation {
       if (states_[i].done) {
         continue;
       }
-      // Without injected crashes an unfinished rank is an engine bug.
-      OPTIBAR_ASSERT(!options_.crashed_ranks.empty(),
+      // Without injected faults an unfinished rank is an engine bug.
+      OPTIBAR_ASSERT(!options_.crashed_ranks.empty() ||
+                         !options_.faults.empty(),
                      "rank " << i << " never completed: simulator deadlock");
       result_.deadlocked = true;
       result_.stuck_ranks.push_back(i);
@@ -130,6 +139,12 @@ class Simulation {
                : 0.0;
   }
 
+  /// Stage at which `rank` halts under the fault plan, or kNoCrash.
+  std::size_t crash_stage(std::size_t rank) const {
+    return injector_ ? injector_->crash_stage(rank)
+                     : FaultInjector::kNoCrash;
+  }
+
   void enter_barrier(std::size_t rank, double now) {
     states_[rank].entered = true;
     enter_stage(rank, 0, now);
@@ -141,6 +156,14 @@ class Simulation {
     if (stage == schedule_.stage_count()) {
       st.done = true;
       result_.completion[rank] = now;
+      return;
+    }
+    if (stage >= crash_stage(rank)) {
+      // The rank dies on stage entry: nothing of this stage is sent or
+      // matched, and inbound messages to the corpse are discarded at
+      // on_inject. Synchronized senders to it then stall — the Eq. 3
+      // guarantee seen from the failure side.
+      halted_[rank] = true;
       return;
     }
 
@@ -159,9 +182,30 @@ class Simulation {
                                     : profile_.l(rank, dst)) +
                           extra_cost(stage, rank, dst);
       inject += perturb(base);
+      FaultInjector::Decision fault;
+      if (injector_) {
+        fault = injector_->decide(rank, dst, static_cast<int>(stage),
+                                  /*seq=*/0);
+      }
+      inject += fault.delay_seconds;
+      if (fault.drop) {
+        // Lost in the network after injection: the sender paid NIC
+        // time, the receiver never hears it, and in synchronized mode
+        // the sender's stage never completes.
+        continue;
+      }
       queue_.schedule(inject, [this, rank, dst, stage] {
-        on_inject(rank, dst, stage, queue_.now());
+        on_inject(rank, dst, stage, queue_.now(), /*ghost=*/false);
       });
+      for (std::size_t d = 0; d < fault.duplicates; ++d) {
+        // Ghost copy: consumes an extra injection slot and receiver
+        // processing, but has no protocol effect.
+        inject += perturb(profile_.l(rank, dst) +
+                          extra_cost(stage, rank, dst));
+        queue_.schedule(inject, [this, rank, dst, stage] {
+          on_inject(rank, dst, stage, queue_.now(), /*ghost=*/true);
+        });
+      }
     }
     if (!options_.synchronous_sends && !targets.empty()) {
       // Async mode: the send side of the stage completes at the last
@@ -177,7 +221,7 @@ class Simulation {
 
     // Messages that arrived before we entered this stage match now.
     for (const BufferedMessage& msg : buffered_[stage][rank]) {
-      match(msg.src, rank, stage, now, msg.injected);
+      match(msg.src, rank, stage, now, msg.injected, msg.ghost);
     }
     buffered_[stage][rank].clear();
 
@@ -185,47 +229,61 @@ class Simulation {
   }
 
   void on_inject(std::size_t src, std::size_t dst, std::size_t stage,
-                 double now) {
+                 double now, bool ghost) {
     // Shared-egress contention: a remote-bound message must acquire the
     // sender's egress resource; if busy, retry when it frees up.
     if (!options_.egress_resource_of.empty() &&
         options_.egress_resource_of[src] != options_.egress_resource_of[dst]) {
       const std::size_t resource = options_.egress_resource_of[src];
       if (egress_busy_[resource] > now) {
-        queue_.schedule(egress_busy_[resource], [this, src, dst, stage] {
-          on_inject(src, dst, stage, queue_.now());
-        });
+        queue_.schedule(egress_busy_[resource],
+                        [this, src, dst, stage, ghost] {
+                          on_inject(src, dst, stage, queue_.now(), ghost);
+                        });
         return;
       }
       egress_busy_[resource] =
           now + perturb(profile_.l(src, dst) + extra_cost(stage, src, dst));
     }
+    if (halted_[dst]) {
+      return;  // delivered to a corpse: silently discarded
+    }
     RankState& receiver = states_[dst];
     if (receiver.entered && receiver.stage == stage) {
-      match(src, dst, stage, now, now);
+      match(src, dst, stage, now, now, ghost);
       return;
     }
     // The receiver cannot be past this stage: completing it requires
-    // matching this very message.
-    OPTIBAR_ASSERT(!receiver.entered || receiver.stage < stage,
+    // matching this very message (ghosts carry no such obligation —
+    // the real copy already did).
+    OPTIBAR_ASSERT(ghost || !receiver.entered || receiver.stage < stage,
                    "receiver " << dst << " advanced past stage " << stage
                                << " with unmatched inbound message");
-    buffered_[stage][dst].push_back(BufferedMessage{src, now});
+    if (ghost && receiver.entered && receiver.stage > stage) {
+      return;  // stale ghost: the stage is over, nothing left to occupy
+    }
+    buffered_[stage][dst].push_back(BufferedMessage{src, now, ghost});
   }
 
   /// A message has arrived (or was found buffered at stage entry): run
   /// it through the receiver's serial completion processing, then
-  /// finalize the match once processing is done.
+  /// finalize the match once processing is done. Ghost copies consume
+  /// the processing time but never affect the protocol state.
   void match(std::size_t src, std::size_t dst, std::size_t stage, double now,
-             double injected) {
+             double injected, bool ghost = false) {
     if (!options_.receiver_processing) {
-      finalize_match(src, dst, stage, now, injected);
+      if (!ghost) {
+        finalize_match(src, dst, stage, now, injected);
+      }
       return;
     }
     const double done =
         std::max(now, recv_busy_[dst]) +
         perturb(profile_.l(src, dst) + extra_cost(stage, src, dst));
     recv_busy_[dst] = done;
+    if (ghost) {
+      return;
+    }
     queue_.schedule(done, [this, src, dst, stage, injected] {
       finalize_match(src, dst, stage, queue_.now(), injected);
     });
@@ -267,6 +325,8 @@ class Simulation {
   std::size_t p_;
   Rng rng_;
   EventQueue queue_;
+  std::optional<FaultInjector> injector_;
+  std::vector<bool> halted_;  ///< crashed (at stage 0 or later)
   std::vector<RankState> states_;
   std::vector<double> recv_busy_;
   std::vector<double> egress_busy_;

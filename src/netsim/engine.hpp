@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "barrier/schedule.hpp"
+#include "simmpi/fault.hpp"
 #include "topology/machine.hpp"
 #include "topology/mapping.hpp"
 #include "topology/profile.hpp"
@@ -85,6 +86,17 @@ struct SimOptions {
   /// treating the hang as an internal error.
   std::vector<std::size_t> crashed_ranks;
 
+  /// The shared fault model (simmpi/fault.hpp), interpreted on virtual
+  /// time: drop rules lose the message after injection (a synchronized
+  /// sender then never completes the stage), duplicate rules deliver an
+  /// occupancy-only ghost copy (extra NIC and receiver-processing time,
+  /// no protocol effect), delay rules push the injection later, and
+  /// crash rules halt a rank on entering the given stage — crash at
+  /// stage 0 is exactly the legacy crashed_ranks semantics. Rule tags
+  /// are matched against the stage index. An empty plan leaves the RNG
+  /// stream — and thus every result — bit-identical.
+  FaultPlan faults;
+
   std::uint64_t seed = 1;
 };
 
@@ -106,7 +118,8 @@ struct SimResult {
   std::vector<MessageTrace> trace;
 
   /// True when at least one rank never left the barrier (only possible
-  /// with crash injection; anything else is an engine invariant error).
+  /// with fault injection — crashed_ranks or a non-empty SimOptions
+  /// fault plan; anything else is an engine invariant error).
   bool deadlocked = false;
   /// The ranks that never completed, ascending (crashed ranks plus
   /// everyone transitively blocked on them).

@@ -30,8 +30,42 @@ Clock::duration Communicator::delivery_delay(std::size_t src, std::size_t dst,
   return delay;
 }
 
+void Communicator::set_fault_plan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  injector_ = std::make_unique<FaultInjector>(std::move(plan));
+}
+
+std::size_t Communicator::dropped_messages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
 Request Communicator::issend(std::size_t src, std::size_t dst, int tag) {
   return issend(src, dst, tag, Payload{});
+}
+
+void Communicator::post_send(Channel& channel, PendingOp op, std::size_t src,
+                             std::size_t dst) {
+  const Clock::time_point delivered =
+      op.posted_at + delivery_delay(src, dst, op.payload.size()) +
+      op.fault_delay;
+  if (!channel.recvs.empty()) {
+    // A receive is already waiting: match immediately. The receiver sees
+    // the signal after the link delay; the sender's synchronized-send
+    // completion also covers the delivery (round-trip halves, Section
+    // IV-A symmetry assumption). The sink write is sequenced before
+    // fulfil, which the receiver's wait() synchronizes with.
+    PendingOp recv = std::move(channel.recvs.front());
+    channel.recvs.pop_front();
+    const Clock::time_point visible = std::max(delivered, recv.posted_at);
+    if (recv.sink != nullptr) {
+      *recv.sink = std::move(op.payload);
+    }
+    recv.request->fulfil(visible);
+    op.request->fulfil(visible);
+  } else {
+    channel.sends.push_back(std::move(op));
+  }
 }
 
 Request Communicator::issend(std::size_t src, std::size_t dst, int tag,
@@ -42,26 +76,37 @@ Request Communicator::issend(std::size_t src, std::size_t dst, int tag,
 
   auto request = std::make_shared<RequestState>();
   const Clock::time_point now = Clock::now();
-  const Clock::time_point delivered =
-      now + delivery_delay(src, dst, payload.size());
 
   std::lock_guard<std::mutex> lock(mutex_);
   Channel& channel = channels_[ChannelKey{src, dst, tag}];
-  if (!channel.recvs.empty()) {
-    // A receive is already waiting: match immediately. The receiver sees
-    // the signal after the link delay; the sender's synchronized-send
-    // completion also covers the delivery (round-trip halves, Section
-    // IV-A symmetry assumption). The sink write is sequenced before
-    // fulfil, which the receiver's wait() synchronizes with.
-    PendingOp recv = std::move(channel.recvs.front());
-    channel.recvs.pop_front();
-    if (recv.sink != nullptr) {
-      *recv.sink = std::move(payload);
-    }
-    recv.request->fulfil(delivered);
-    request->fulfil(delivered);
+  FaultInjector::Decision fault;
+  if (injector_ != nullptr) {
+    fault = injector_->decide(src, dst, tag, channel.next_send_seq++);
+  }
+  if (fault.drop) {
+    // The message is lost in the network: it never matches a receive,
+    // so the synchronized send never completes. The caller's bounded
+    // wait (not this call) is what turns that into a stall report.
+    ++dropped_;
+    return request;
+  }
+  const Clock::duration fault_delay = std::chrono::duration_cast<
+      Clock::duration>(std::chrono::duration<double>(fault.delay_seconds));
+  for (std::size_t d = 0; d < fault.duplicates; ++d) {
+    // Ghost copy behind the original: same payload, its own request
+    // nobody waits on. It sits in the channel exactly like a stray
+    // duplicate delivered by a flaky link — a later receive on the
+    // same channel would consume it.
+    channel.sends.push_back(PendingOp{std::make_shared<RequestState>(), now,
+                                      payload, nullptr, fault_delay});
+  }
+  PendingOp op{request, now, std::move(payload), nullptr, fault_delay};
+  if (fault.duplicates > 0 && channel.recvs.empty()) {
+    // Keep FIFO order: the original goes ahead of its ghosts so the
+    // receiver's single matching recv binds the real send.
+    channel.sends.push_front(std::move(op));
   } else {
-    channel.sends.push_back(PendingOp{request, now, std::move(payload)});
+    post_send(channel, std::move(op), src, dst);
   }
   return request;
 }
@@ -71,7 +116,8 @@ Request Communicator::irecv(std::size_t src, std::size_t dst, int tag) {
 }
 
 Request Communicator::irecv(std::size_t src, std::size_t dst, int tag,
-                            Payload* sink) {
+                            Payload* sink,
+                            std::shared_ptr<void> keepalive) {
   check_rank(src, "source");
   check_rank(dst, "destination");
   OPTIBAR_REQUIRE(src != dst, "irecv from self (rank " << dst << ")");
@@ -85,7 +131,8 @@ Request Communicator::irecv(std::size_t src, std::size_t dst, int tag,
     PendingOp send = std::move(channel.sends.front());
     channel.sends.pop_front();
     const Clock::time_point delivered =
-        send.posted_at + delivery_delay(src, dst, send.payload.size());
+        send.posted_at + delivery_delay(src, dst, send.payload.size()) +
+        send.fault_delay;
     // Delivery is never before the receive is posted.
     const Clock::time_point visible = std::max(delivered, now);
     if (sink != nullptr) {
@@ -94,7 +141,9 @@ Request Communicator::irecv(std::size_t src, std::size_t dst, int tag,
     send.request->fulfil(visible);
     request->fulfil(visible);
   } else {
-    channel.recvs.push_back(PendingOp{request, now, Payload{}, sink});
+    channel.recvs.push_back(PendingOp{request, now, Payload{}, sink,
+                                      Clock::duration{},
+                                      std::move(keepalive)});
   }
   return request;
 }
@@ -108,16 +157,17 @@ void Communicator::wait_all(std::span<const Request> requests) {
 
 bool Communicator::wait_all_for(std::span<const Request> requests,
                                 Clock::duration timeout) {
+  // One absolute deadline shared by every request. Requests already
+  // complete succeed even with a zero (or exhausted) budget — the old
+  // per-request remaining-time computation declared timeout before
+  // looking at them.
   const Clock::time_point deadline = Clock::now() + timeout;
+  bool all = true;
   for (const Request& request : requests) {
     OPTIBAR_REQUIRE(request != nullptr, "null request in wait_all_for");
-    const Clock::duration remaining = deadline - Clock::now();
-    if (remaining <= Clock::duration::zero() ||
-        !request->wait_for(remaining)) {
-      return false;
-    }
+    all = request->wait_until(deadline) && all;
   }
-  return true;
+  return all;
 }
 
 std::size_t Communicator::unmatched_operations() const {

@@ -25,11 +25,13 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <tuple>
 #include <vector>
 
+#include "simmpi/fault.hpp"
 #include "simmpi/latency_model.hpp"
 #include "simmpi/request.hpp"
 
@@ -57,6 +59,19 @@ class Communicator {
 
   std::size_t size() const { return size_; }
 
+  /// Attach a fault plan: subsequent sends are subject to its drop /
+  /// duplicate / delay rules (crash rules are interpreted by the
+  /// executors, which know about stages). Call before any traffic —
+  /// the per-channel sequence numbers that make decisions reproducible
+  /// start counting at attach time.
+  void set_fault_plan(FaultPlan plan);
+
+  /// The attached injector, or nullptr when running fault-free.
+  const FaultInjector* fault_injector() const { return injector_.get(); }
+
+  /// Signals the fault plan has swallowed so far.
+  std::size_t dropped_messages() const;
+
   /// Post a synchronized send of a zero-byte signal src -> dst.
   Request issend(std::size_t src, std::size_t dst, int tag);
 
@@ -70,7 +85,12 @@ class Communicator {
   /// Post a receive whose matching send's payload is moved into
   /// `*sink`. The write to `*sink` happens-before the returned
   /// request's wait() returns; `sink` must outlive the request.
-  Request irecv(std::size_t src, std::size_t dst, int tag, Payload* sink);
+  /// `keepalive` (optional) is held by the pending receive until it
+  /// matches or the communicator dies — pass the owner of `*sink` when
+  /// the receive may outlive the caller's frame (bounded-wait mode
+  /// gives up on receives that a late sender can still match).
+  Request irecv(std::size_t src, std::size_t dst, int tag, Payload* sink,
+                std::shared_ptr<void> keepalive = nullptr);
 
   /// Wait for every request (order-independent).
   static void wait_all(std::span<const Request> requests);
@@ -92,6 +112,8 @@ class Communicator {
     Clock::time_point posted_at;
     Payload payload;         ///< pending send: words in flight
     Payload* sink = nullptr; ///< pending recv: where to deliver them
+    Clock::duration fault_delay{};  ///< delay-spike time of a pending send
+    std::shared_ptr<void> keepalive;  ///< keeps *sink alive while pending
   };
 
   using ChannelKey = std::tuple<std::size_t, std::size_t, int>;
@@ -99,6 +121,7 @@ class Communicator {
   struct Channel {
     std::deque<PendingOp> sends;
     std::deque<PendingOp> recvs;
+    std::uint64_t next_send_seq = 0;  ///< feeds the fault injector
   };
 
   void check_rank(std::size_t rank, const char* what) const;
@@ -106,11 +129,18 @@ class Communicator {
   Clock::duration delivery_delay(std::size_t src, std::size_t dst,
                                  std::size_t payload_words) const;
 
+  // Match a send against a waiting receive or enqueue it; caller holds
+  // mutex_. `op.request` may be a ghost nobody waits on (duplicates).
+  void post_send(Channel& channel, PendingOp op, std::size_t src,
+                 std::size_t dst);
+
   std::size_t size_;
   LatencyModel latency_;
   ByteLatencyModel byte_latency_;
+  std::unique_ptr<FaultInjector> injector_;
   mutable std::mutex mutex_;
   std::map<ChannelKey, Channel> channels_;
+  std::size_t dropped_ = 0;  ///< guarded by mutex_
 };
 
 }  // namespace optibar::simmpi

@@ -46,6 +46,125 @@ void ScheduleExecutor::execute(RankContext& ctx, int episode) const {
   }
 }
 
+bool ScheduleExecutor::execute_resilient(RankContext& ctx,
+                                         const ResilienceOptions& options,
+                                         StallReport& report,
+                                         int episode) const {
+  const std::size_t rank = ctx.rank();
+  OPTIBAR_REQUIRE(rank < ops_.size(), "rank out of range for this executor");
+  OPTIBAR_REQUIRE(ctx.size() == ops_.size(),
+                  "communicator size " << ctx.size()
+                                       << " != schedule rank count "
+                                       << ops_.size());
+  OPTIBAR_REQUIRE(report.per_rank.size() == ops_.size() &&
+                      report.stages == stages_,
+                  "StallReport not reset for this executor");
+  RankStall& mine = report.per_rank[rank];
+  const FaultInjector* faults = ctx.communicator().fault_injector();
+  const std::size_t crash_at =
+      faults != nullptr ? faults->crash_stage(rank) : FaultInjector::kNoCrash;
+
+  // A send op may have several in-flight attempts (resends); it is
+  // complete when any attempt matched.
+  struct SendOp {
+    std::size_t dst;
+    std::vector<Request> attempts;
+    bool done = false;
+  };
+  struct RecvOp {
+    std::size_t src;
+    Request request;
+    bool done = false;
+  };
+
+  for (std::size_t s = 0; s < stages_; ++s) {
+    mine.stage_reached = s;
+    if (s >= crash_at) {
+      mine.crashed = true;
+      return false;
+    }
+    const StageOps& ops = ops_[rank][s];
+    const int tag =
+        episode * static_cast<int>(stages_) + static_cast<int>(s);
+    std::vector<SendOp> sends;
+    sends.reserve(ops.send_to.size());
+    for (std::size_t dst : ops.send_to) {
+      sends.push_back(SendOp{dst, {ctx.issend(dst, tag)}});
+    }
+    std::vector<RecvOp> recvs;
+    recvs.reserve(ops.recv_from.size());
+    for (std::size_t src : ops.recv_from) {
+      recvs.push_back(RecvOp{src, ctx.irecv(src, tag)});
+    }
+
+    Clock::duration budget = options.stage_deadline(s);
+    for (std::size_t attempt = 0;; ++attempt) {
+      const Clock::time_point deadline = Clock::now() + budget;
+      bool all_done = true;
+      for (SendOp& send : sends) {
+        for (const Request& request : send.attempts) {
+          send.done = send.done || request->wait_until(deadline);
+        }
+        all_done = all_done && send.done;
+      }
+      for (RecvOp& recv : recvs) {
+        if (!recv.done && recv.request->wait_until(deadline)) {
+          recv.done = true;
+          mine.delivered.push_back(SignalEdge{s, recv.src, rank});
+        }
+        all_done = all_done && recv.done;
+      }
+      if (all_done) {
+        break;
+      }
+      if (attempt >= options.max_retries) {
+        for (const SendOp& send : sends) {
+          if (!send.done) {
+            mine.pending_send_to.push_back(send.dst);
+          }
+        }
+        for (const RecvOp& recv : recvs) {
+          if (!recv.done) {
+            mine.pending_recv_from.push_back(recv.src);
+          }
+        }
+        return false;
+      }
+      // Resend every unacked synchronized send: a fresh message with a
+      // fresh fault draw, so a lossy (not dead) link can still let it
+      // through. Receives are not reposted — the original stays armed.
+      for (SendOp& send : sends) {
+        if (!send.done) {
+          send.attempts.push_back(ctx.issend(send.dst, tag));
+        }
+      }
+      budget = std::chrono::duration_cast<Clock::duration>(
+          budget * options.retry_backoff);
+    }
+  }
+  mine.stage_reached = stages_;
+  return true;
+}
+
+StallReport ScheduleExecutor::run_once_resilient(
+    const ResilienceOptions& options, const FaultPlan& faults,
+    LatencyModel latency) const {
+  const std::size_t p = ops_.size();
+  StallReport report;
+  report.reset(p, stages_);
+  Communicator comm(p, std::move(latency));
+  if (!faults.empty()) {
+    comm.set_fault_plan(faults);
+  }
+  run_ranks(comm, [&](RankContext& ctx) {
+    if (execute_resilient(ctx, options, report)) {
+      report.per_rank[ctx.rank()].finished = true;
+    }
+  });
+  report.finalize();
+  return report;
+}
+
 std::vector<std::chrono::nanoseconds> ScheduleExecutor::run_once(
     LatencyModel latency,
     std::vector<std::chrono::nanoseconds> entry_delays) const {

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "barrier/schedule.hpp"
+#include "simmpi/fault.hpp"
+#include "simmpi/resilience.hpp"
 #include "simmpi/runtime.hpp"
 
 namespace optibar::simmpi {
@@ -45,6 +47,25 @@ class ScheduleExecutor {
   std::vector<std::chrono::nanoseconds> run_once(
       LatencyModel latency = uniform_latency(),
       std::vector<std::chrono::nanoseconds> entry_delays = {}) const;
+
+  /// Bounded-wait episode for `rank` (see resilience.hpp): per-stage
+  /// deadlines, bounded resends of unacked Issends, crash faults
+  /// honoured. Returns true when every stage completed; on false the
+  /// rank's row of `report` records where and on whom it gave up.
+  /// `report` must have been reset(ranks(), stage_count()) by the
+  /// caller; each rank writes only its own row, so concurrent rank
+  /// threads may share one report.
+  bool execute_resilient(RankContext& ctx, const ResilienceOptions& options,
+                         StallReport& report, int episode = 0) const;
+
+  /// Run one bounded-wait barrier across all ranks of a fresh
+  /// communicator with `faults` attached, and return the finalized
+  /// StallReport. Never hangs and never leaks rank threads: every rank
+  /// either completes or reports.
+  StallReport run_once_resilient(const ResilienceOptions& options,
+                                 const FaultPlan& faults = {},
+                                 LatencyModel latency =
+                                     uniform_latency()) const;
 
  private:
   struct StageOps {

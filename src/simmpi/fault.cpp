@@ -1,0 +1,257 @@
+#include "simmpi/fault.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+namespace {
+
+constexpr std::size_t kAnyRank = ChannelFaultRule::kAnyRank;
+constexpr int kAnyTag = ChannelFaultRule::kAnyTag;
+
+// splitmix64 finalizer: the counter-based hash all decisions go
+// through. Chaining mix(state ^ word) per input word gives a cheap,
+// well-distributed, order-sensitive combiner.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Uniform draw in [0, 1) from the hash of the decision coordinates.
+// `kind` separates drop/dup/delay streams, `rule` separates rules of
+// the same kind, so adding a rule never perturbs another rule's draws.
+double uniform01(std::uint64_t seed, std::uint64_t kind, std::uint64_t rule,
+                 std::size_t src, std::size_t dst, int tag,
+                 std::uint64_t seq) {
+  std::uint64_t h = mix(seed);
+  h = mix(h ^ kind);
+  h = mix(h ^ rule);
+  h = mix(h ^ static_cast<std::uint64_t>(src));
+  h = mix(h ^ static_cast<std::uint64_t>(dst));
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
+  h = mix(h ^ seq);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    const auto end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* what) {
+  OPTIBAR_REQUIRE(!text.empty() && text.find_first_not_of("0123456789") ==
+                                       std::string::npos,
+                  "fault spec: bad " << what << " '" << text << "'");
+  try {
+    return std::stoull(text);
+  } catch (const std::exception&) {
+    OPTIBAR_FAIL("fault spec: " << what << " '" << text << "' out of range");
+  }
+}
+
+std::size_t parse_rank(const std::string& text, const char* what) {
+  if (text == "*") {
+    return kAnyRank;
+  }
+  return static_cast<std::size_t>(parse_u64(text, what));
+}
+
+int parse_tag(const std::string& text) {
+  if (text == "*") {
+    return kAnyTag;
+  }
+  const std::uint64_t v = parse_u64(text, "tag");
+  OPTIBAR_REQUIRE(v <= 0x7fffffffull, "fault spec: tag " << v << " too large");
+  return static_cast<int>(v);
+}
+
+double parse_number(const std::string& text, const char* what) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  OPTIBAR_REQUIRE(pos == text.size() && !text.empty(),
+                  "fault spec: bad " << what << " '" << text << "'");
+  return value;
+}
+
+// SRC>DST@TAG:PROB for drop/dup; delay rules append :SECONDS.
+ChannelFaultRule parse_rule(const std::string& text, bool with_delay) {
+  const auto gt = text.find('>');
+  const auto at = text.find('@', gt == std::string::npos ? 0 : gt);
+  OPTIBAR_REQUIRE(gt != std::string::npos && at != std::string::npos &&
+                      gt < at,
+                  "fault spec: rule '" << text
+                                       << "' is not SRC>DST@TAG:PROB");
+  ChannelFaultRule rule;
+  rule.src = parse_rank(text.substr(0, gt), "source rank");
+  rule.dst = parse_rank(text.substr(gt + 1, at - gt - 1), "destination rank");
+  const std::vector<std::string> tail = split(text.substr(at + 1), ':');
+  OPTIBAR_REQUIRE(tail.size() == (with_delay ? 3u : 2u),
+                  "fault spec: rule '"
+                      << text << "' needs "
+                      << (with_delay ? "TAG:PROB:SECONDS" : "TAG:PROB"));
+  rule.tag = parse_tag(tail[0]);
+  rule.probability = parse_number(tail[1], "probability");
+  OPTIBAR_REQUIRE(rule.probability >= 0.0 && rule.probability <= 1.0,
+                  "fault spec: probability " << rule.probability
+                                             << " outside [0, 1]");
+  if (with_delay) {
+    rule.delay_seconds = parse_number(tail[2], "delay seconds");
+    OPTIBAR_REQUIRE(rule.delay_seconds >= 0.0,
+                    "fault spec: negative delay " << rule.delay_seconds);
+  }
+  return rule;
+}
+
+CrashFault parse_crash(const std::string& text) {
+  const auto at = text.find('@');
+  OPTIBAR_REQUIRE(at != std::string::npos,
+                  "fault spec: crash '" << text << "' is not RANK@STAGE");
+  CrashFault crash;
+  crash.rank = static_cast<std::size_t>(
+      parse_u64(text.substr(0, at), "crash rank"));
+  crash.stage = static_cast<std::size_t>(
+      parse_u64(text.substr(at + 1), "crash stage"));
+  return crash;
+}
+
+void format_rank(std::ostream& os, std::size_t rank) {
+  if (rank == kAnyRank) {
+    os << '*';
+  } else {
+    os << rank;
+  }
+}
+
+void format_rule(std::ostream& os, const char* key,
+                 const ChannelFaultRule& rule, bool with_delay) {
+  os << key << '=';
+  format_rank(os, rule.src);
+  os << '>';
+  format_rank(os, rule.dst);
+  os << '@';
+  if (rule.tag == kAnyTag) {
+    os << '*';
+  } else {
+    os << rule.tag;
+  }
+  // max_digits10 so parse(spec()) reproduces the double bit for bit.
+  os << ':' << std::setprecision(17) << rule.probability;
+  if (with_delay) {
+    os << ':' << std::setprecision(17) << rule.delay_seconds;
+  }
+}
+
+}  // namespace
+
+std::string FaultPlan::spec() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  for (const ChannelFaultRule& rule : drops) {
+    os << ';';
+    format_rule(os, "drop", rule, false);
+  }
+  for (const ChannelFaultRule& rule : duplicates) {
+    os << ';';
+    format_rule(os, "dup", rule, false);
+  }
+  for (const ChannelFaultRule& rule : delays) {
+    os << ';';
+    format_rule(os, "delay", rule, true);
+  }
+  for (const CrashFault& crash : crashes) {
+    os << ";crash=" << crash.rank << '@' << crash.stage;
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& field : split(spec, ';')) {
+    if (field.empty()) {
+      continue;
+    }
+    const auto eq = field.find('=');
+    OPTIBAR_REQUIRE(eq != std::string::npos,
+                    "fault spec: field '" << field << "' has no '='");
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = parse_u64(value, "seed");
+    } else if (key == "drop") {
+      plan.drops.push_back(parse_rule(value, false));
+    } else if (key == "dup") {
+      plan.duplicates.push_back(parse_rule(value, false));
+    } else if (key == "delay") {
+      plan.delays.push_back(parse_rule(value, true));
+    } else if (key == "crash") {
+      plan.crashes.push_back(parse_crash(value));
+    } else {
+      OPTIBAR_FAIL("fault spec: unknown key '" << key << "'");
+    }
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+FaultInjector::Decision FaultInjector::decide(std::size_t src,
+                                              std::size_t dst, int tag,
+                                              std::uint64_t seq) const {
+  Decision decision;
+  for (std::size_t i = 0; i < plan_.drops.size(); ++i) {
+    const ChannelFaultRule& rule = plan_.drops[i];
+    if (rule.matches(src, dst, tag) &&
+        uniform01(plan_.seed, 1, i, src, dst, tag, seq) < rule.probability) {
+      decision.drop = true;
+      return decision;  // a dropped message cannot also duplicate/delay
+    }
+  }
+  for (std::size_t i = 0; i < plan_.duplicates.size(); ++i) {
+    const ChannelFaultRule& rule = plan_.duplicates[i];
+    if (rule.matches(src, dst, tag) &&
+        uniform01(plan_.seed, 2, i, src, dst, tag, seq) < rule.probability) {
+      ++decision.duplicates;
+    }
+  }
+  for (std::size_t i = 0; i < plan_.delays.size(); ++i) {
+    const ChannelFaultRule& rule = plan_.delays[i];
+    if (rule.matches(src, dst, tag) &&
+        uniform01(plan_.seed, 3, i, src, dst, tag, seq) < rule.probability) {
+      decision.delay_seconds += rule.delay_seconds;
+    }
+  }
+  return decision;
+}
+
+std::size_t FaultInjector::crash_stage(std::size_t rank) const {
+  std::size_t stage = kNoCrash;
+  for (const CrashFault& crash : plan_.crashes) {
+    if (crash.rank == rank) {
+      stage = std::min(stage, crash.stage);
+    }
+  }
+  return stage;
+}
+
+}  // namespace optibar

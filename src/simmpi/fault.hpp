@@ -1,0 +1,117 @@
+// Seeded, deterministic fault injection for the runtimes.
+//
+// A FaultPlan describes which point-to-point signals misbehave: per
+// (src, dst, tag) channel a message can be *dropped* (never delivered —
+// the synchronized send never completes), *duplicated* (a ghost copy
+// occupies the receiver), or hit by a *delay spike* (delivered late),
+// and a rank can *crash* on entering a given stage (subsuming netsim's
+// crashed_ranks, which is crash-at-stage-0). Both runtimes — the
+// threaded simmpi executors and the discrete-event netsim engine —
+// consume the same plan, so a failure observed in one can be replayed
+// in the other.
+//
+// Determinism contract: every injection decision is a pure function of
+// (seed, src, dst, tag, per-channel send sequence number, rule index) —
+// a counter-based splitmix64 hash, no shared RNG stream. Thread
+// interleaving cannot change a decision because each channel has a
+// single sending rank, making the sequence number deterministic. A
+// failing run is therefore bit-reproducible from its one-line spec()
+// string (suitable for a log line), which parse() round-trips.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optibar {
+
+/// One probabilistic per-channel fault rule. `src`/`dst` may be
+/// kAnyRank and `tag` may be kAnyTag (wildcards). For executor traffic
+/// the tag of episode 0 equals the stage index, so "@2" targets stage 2.
+struct ChannelFaultRule {
+  static constexpr std::size_t kAnyRank = static_cast<std::size_t>(-1);
+  static constexpr int kAnyTag = -1;
+
+  std::size_t src = kAnyRank;
+  std::size_t dst = kAnyRank;
+  int tag = kAnyTag;
+  double probability = 1.0;
+  double delay_seconds = 0.0;  ///< used by delay rules only
+
+  bool matches(std::size_t s, std::size_t d, int t) const {
+    return (src == kAnyRank || src == s) && (dst == kAnyRank || dst == d) &&
+           (tag == kAnyTag || tag == t);
+  }
+
+  bool operator==(const ChannelFaultRule& other) const = default;
+};
+
+/// A rank that halts on entering `stage` (before sending or receiving
+/// anything of that stage). stage == 0 means the rank never enters the
+/// operation at all — netsim's legacy crashed_ranks semantics.
+struct CrashFault {
+  std::size_t rank = 0;
+  std::size_t stage = 0;
+
+  bool operator==(const CrashFault& other) const = default;
+};
+
+/// The full fault specification: rule lists plus the hash seed that
+/// makes probabilistic rules reproducible.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<ChannelFaultRule> drops;
+  std::vector<ChannelFaultRule> duplicates;
+  std::vector<ChannelFaultRule> delays;
+  std::vector<CrashFault> crashes;
+
+  bool empty() const {
+    return drops.empty() && duplicates.empty() && delays.empty() &&
+           crashes.empty();
+  }
+
+  bool operator==(const FaultPlan& other) const = default;
+
+  /// One-line replayable form, e.g.
+  ///   "seed=7;drop=0>1@2:1;dup=*>*@*:0.5;delay=2>3@*:0.25:0.001;crash=4@2"
+  /// Fields are ';'-separated; drop/dup are SRC>DST@TAG:PROB, delay adds
+  /// :SECONDS, crash is RANK@STAGE; '*' is the wildcard. parse(spec())
+  /// reproduces the plan exactly (probabilities printed at full
+  /// precision).
+  std::string spec() const;
+
+  /// Parse the spec grammar above. Throws optibar::Error on malformed
+  /// input (unknown key, bad number, probability outside [0, 1], ...).
+  static FaultPlan parse(const std::string& spec);
+};
+
+/// Evaluates a FaultPlan. Stateless between calls: decisions depend
+/// only on the arguments, never on call order (see the determinism
+/// contract above).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// What happens to the `seq`-th message sent on channel
+  /// (src, dst, tag). Drop preempts duplication and delay.
+  struct Decision {
+    bool drop = false;
+    std::size_t duplicates = 0;   ///< extra ghost copies to deliver
+    double delay_seconds = 0.0;   ///< summed delay-spike time
+  };
+  Decision decide(std::size_t src, std::size_t dst, int tag,
+                  std::uint64_t seq) const;
+
+  /// Stage at which `rank` crashes (the minimum over its crash rules),
+  /// or kNoCrash when the rank is healthy.
+  static constexpr std::size_t kNoCrash = static_cast<std::size_t>(-1);
+  std::size_t crash_stage(std::size_t rank) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace optibar

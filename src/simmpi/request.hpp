@@ -59,12 +59,21 @@ struct RequestState {
     return complete && ready_at <= Clock::now();
   }
 
-  /// Bounded wait: true when the operation completed (and its delivery
-  /// time passed) within `timeout`. The failure-detection primitive a
-  /// runtime needs when a peer may have died mid-barrier — plain MPI
-  /// would hang, this reports.
-  bool wait_for(Clock::duration timeout) {
-    const Clock::time_point deadline = Clock::now() + timeout;
+  /// True once the operation matched its counterpart, even if the
+  /// simulated delivery time is still in the future. Stall diagnostics
+  /// need this distinction: a matched-but-late signal *will* arrive,
+  /// an unmatched one never does.
+  bool finished() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return complete;
+  }
+
+  /// Bounded wait against an absolute deadline: true when the operation
+  /// completed with a delivery time at or before `deadline`. A delivery
+  /// landing exactly on the deadline is a success — the timeout contract
+  /// is "not done strictly after the deadline", matching
+  /// condition_variable::wait_until.
+  bool wait_until(Clock::time_point deadline) {
     Clock::time_point until;
     {
       std::unique_lock<std::mutex> lock(mutex);
@@ -80,6 +89,14 @@ struct RequestState {
       std::this_thread::sleep_until(until);
     }
     return true;
+  }
+
+  /// Bounded wait: true when the operation completed (and its delivery
+  /// time passed) within `timeout`. The failure-detection primitive a
+  /// runtime needs when a peer may have died mid-barrier — plain MPI
+  /// would hang, this reports.
+  bool wait_for(Clock::duration timeout) {
+    return wait_until(Clock::now() + timeout);
   }
 };
 

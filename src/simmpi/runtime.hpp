@@ -33,8 +33,9 @@ class RankContext {
   Request irecv(std::size_t src, int tag) {
     return comm_->irecv(src, rank_, tag);
   }
-  Request irecv(std::size_t src, int tag, Payload* sink) {
-    return comm_->irecv(src, rank_, tag, sink);
+  Request irecv(std::size_t src, int tag, Payload* sink,
+                std::shared_ptr<void> keepalive = nullptr) {
+    return comm_->irecv(src, rank_, tag, sink, std::move(keepalive));
   }
   static void wait_all(std::span<const Request> requests) {
     Communicator::wait_all(requests);

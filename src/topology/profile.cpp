@@ -124,28 +124,43 @@ void TopologyProfile::save(std::ostream& os) const {
 }
 
 TopologyProfile TopologyProfile::load(std::istream& is) {
+  // On-disk data is untrusted: every read checks fail() (a truncated
+  // file must not pass as eof-with-defaults), the rank count is capped
+  // before sizing any allocation, and each element must be a finite
+  // number (NaN/inf would silently poison every downstream cost).
+  constexpr std::size_t kMaxRanks = 8192;
   std::string magic;
   std::string version;
   is >> magic >> version;
-  OPTIBAR_REQUIRE(magic == kMagic,
-                  "not an optibar profile (magic '" << magic << "')");
-  OPTIBAR_REQUIRE(version == "v1" || version == "v2",
-                  "unsupported profile version " << version);
+  OPTIBAR_IO_REQUIRE(!is.fail() && magic == kMagic,
+                     "not an optibar profile (magic '" << magic << "')");
+  OPTIBAR_IO_REQUIRE(version == "v1" || version == "v2",
+                     "unsupported profile version " << version);
   std::string tag;
   std::size_t p = 0;
   is >> tag >> p;
-  OPTIBAR_REQUIRE(tag == "P" && p > 0, "malformed profile header");
+  OPTIBAR_IO_REQUIRE(!is.fail() && tag == "P" && p > 0,
+                     "malformed profile header");
+  OPTIBAR_IO_REQUIRE(p <= kMaxRanks, "profile rank count "
+                                         << p << " exceeds the format cap ("
+                                         << kMaxRanks << ")");
   auto read_matrix = [&](const char* expected_tag) {
     is >> tag;
-    OPTIBAR_REQUIRE(tag == expected_tag,
-                    "expected matrix tag " << expected_tag << ", got " << tag);
+    OPTIBAR_IO_REQUIRE(!is.fail() && tag == expected_tag,
+                       "expected matrix tag " << expected_tag << ", got "
+                                              << tag);
     Matrix<double> m(p, p);
     for (std::size_t r = 0; r < p; ++r) {
       for (std::size_t c = 0; c < p; ++c) {
         is >> m(r, c);
+        OPTIBAR_IO_REQUIRE(!is.fail(), "truncated or malformed "
+                                           << expected_tag << " matrix at ("
+                                           << r << ", " << c << ")");
+        OPTIBAR_IO_REQUIRE(std::isfinite(m(r, c)),
+                           expected_tag << " matrix entry (" << r << ", " << c
+                                        << ") is not finite");
       }
     }
-    OPTIBAR_REQUIRE(is.good() || is.eof(), "I/O error while reading profile");
     return m;
   };
   Matrix<double> o = read_matrix("O");
@@ -165,7 +180,7 @@ void TopologyProfile::save_file(const std::string& path) const {
 
 TopologyProfile TopologyProfile::load_file(const std::string& path) {
   std::ifstream is(path);
-  OPTIBAR_REQUIRE(is.is_open(), "cannot open " << path << " for reading");
+  OPTIBAR_IO_REQUIRE(is.is_open(), "cannot open " << path << " for reading");
   return load(is);
 }
 

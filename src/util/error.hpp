@@ -21,11 +21,21 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Exception type for disk-format and file-system failures: unreadable
+/// files, truncated or malformed serialized data, out-of-range counts
+/// in headers. Derives from Error so existing catch sites keep working;
+/// the CLI maps it to a distinct exit code (3) so scripts can tell "your
+/// input file is bad" from "you invoked the tool wrong".
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
-[[noreturn]] inline void raise(std::string_view file, int line,
-                               std::string_view cond,
-                               const std::string& message) {
+inline std::string format_error(std::string_view file, int line,
+                                std::string_view cond,
+                                const std::string& message) {
   std::ostringstream os;
   os << "optibar error at " << file << ":" << line;
   if (!cond.empty()) {
@@ -34,7 +44,19 @@ namespace detail {
   if (!message.empty()) {
     os << ": " << message;
   }
-  throw Error(os.str());
+  return os.str();
+}
+
+[[noreturn]] inline void raise(std::string_view file, int line,
+                               std::string_view cond,
+                               const std::string& message) {
+  throw Error(format_error(file, line, cond, message));
+}
+
+[[noreturn]] inline void raise_io(std::string_view file, int line,
+                                  std::string_view cond,
+                                  const std::string& message) {
+  throw IoError(format_error(file, line, cond, message));
 }
 
 }  // namespace detail
@@ -65,4 +87,26 @@ namespace detail {
     optibar_fail_os_ << msg; /* NOLINT */                                \
     ::optibar::detail::raise(__FILE__, __LINE__, "",                     \
                              optibar_fail_os_.str());                    \
+  } while (false)
+
+/// Check a condition on file contents or file-system state; throws
+/// optibar::IoError on failure. Use in loaders/parsers so callers can
+/// distinguish bad input files from programming errors.
+#define OPTIBAR_IO_REQUIRE(cond, msg)                                    \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream optibar_io_os_;                                 \
+      optibar_io_os_ << msg; /* NOLINT */                                \
+      ::optibar::detail::raise_io(__FILE__, __LINE__, #cond,             \
+                                  optibar_io_os_.str());                 \
+    }                                                                    \
+  } while (false)
+
+/// Signal an unconditionally-reached IO/parse error path.
+#define OPTIBAR_IO_FAIL(msg)                                             \
+  do {                                                                   \
+    std::ostringstream optibar_io_fail_os_;                              \
+    optibar_io_fail_os_ << msg; /* NOLINT */                             \
+    ::optibar::detail::raise_io(__FILE__, __LINE__, "",                  \
+                                optibar_io_fail_os_.str());              \
   } while (false)

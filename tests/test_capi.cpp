@@ -309,6 +309,87 @@ TEST_F(CapiTest, ReplayingPlanOpsSynchronizes) {
   EXPECT_EQ(comm.unmatched_operations(), 0u);
 }
 
+TEST_F(CapiTest, EveryFailurePathLeavesAMessage) {
+  // The error-channel contract: any non-OK status comes with a
+  // non-empty optibar_last_error, including NULL-argument early
+  // returns — callers log the message without checking for "".
+  const auto expect_message = [](const char* where) {
+    EXPECT_NE(optibar_last_status(), OPTIBAR_OK) << where;
+    EXPECT_GT(std::strlen(optibar_last_error()), 0u) << where;
+  };
+  EXPECT_EQ(optibar_open_v2(nullptr, 1), nullptr);
+  expect_message("open_v2(NULL path)");
+  EXPECT_EQ(optibar_open_v2("/nonexistent/profile.txt", 1), nullptr);
+  expect_message("open_v2(missing file)");
+  EXPECT_EQ(optibar_world_plan_v2(nullptr), nullptr);
+  expect_message("world_plan_v2(NULL library)");
+  EXPECT_EQ(optibar_subset_plan_v2(library_, nullptr, 2), nullptr);
+  expect_message("subset_plan_v2(NULL ranks)");
+  const std::size_t dup[] = {1, 1};
+  EXPECT_EQ(optibar_subset_plan_v2(library_, dup, 2), nullptr);
+  expect_message("subset_plan_v2(duplicate)");
+  const std::size_t oob[] = {0, 99};
+  EXPECT_EQ(optibar_subset_plan_v2(library_, oob, 2), nullptr);
+  expect_message("subset_plan_v2(out of range)");
+  EXPECT_EQ(optibar_ranks(nullptr), 0u);
+  expect_message("ranks(NULL library)");
+  EXPECT_EQ(optibar_plan_is_degraded(nullptr), 0);
+  expect_message("plan_is_degraded(NULL plan)");
+  EXPECT_EQ(optibar_report_stall(nullptr, oob, 2, "stall"), -1);
+  expect_message("report_stall(NULL library)");
+  const optibar_plan* plan = optibar_world_plan_v2(library_);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(optibar_plan_op_count(plan, 999), 0u);
+  expect_message("plan_op_count(rank out of range)");
+  optibar_op op;
+  EXPECT_EQ(optibar_plan_ops(plan, 999, &op, 1), 0u);
+  expect_message("plan_ops(rank out of range)");
+  EXPECT_EQ(optibar_tune_collective_v2(library_,
+                                       static_cast<optibar_collective_op>(99),
+                                       0, 0, nullptr, nullptr),
+            OPTIBAR_ERR_INVALID_ARGUMENT);
+  expect_message("tune_collective_v2(bad op)");
+}
+
+TEST_F(CapiTest, StallReportsQuarantineAndDegradePlans) {
+  const std::size_t subset[] = {1, 3, 5, 7};
+  const optibar_plan* tuned = optibar_subset_plan_v2(library_, subset, 4);
+  ASSERT_NE(tuned, nullptr);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_OK);
+  EXPECT_EQ(optibar_plan_is_degraded(tuned), 0);
+
+  // Below the default threshold (3) the tuned plan keeps being served.
+  EXPECT_EQ(optibar_report_stall(library_, subset, 4, "stage 0 stall"), 0);
+  EXPECT_EQ(optibar_report_stall(library_, subset, 4, "stage 0 stall"), 0);
+  EXPECT_EQ(optibar_subset_plan_v2(library_, subset, 4), tuned);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_OK);
+
+  // Third strike quarantines the tuned plan; the next request returns
+  // the conservative fallback, flagged OPTIBAR_DEGRADED with a reason.
+  EXPECT_EQ(optibar_report_stall(library_, subset, 4, "stage 0 stall"), 1);
+  const optibar_plan* fallback = optibar_subset_plan_v2(library_, subset, 4);
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_DEGRADED);
+  EXPECT_NE(std::string(optibar_last_error()).find("quarantined"),
+            std::string::npos);
+  EXPECT_EQ(optibar_plan_is_degraded(fallback), 1);
+  EXPECT_NE(fallback, tuned);
+  // The old handle stays valid — plans are owned by the library.
+  EXPECT_EQ(optibar_plan_ranks(tuned), 4u);
+  EXPECT_EQ(optibar_plan_ranks(fallback), 4u);
+  EXPECT_GT(optibar_plan_stage_count(fallback), 0u);
+
+  // A stall on a subset that was never served a plan is a caller error.
+  const std::size_t fresh[] = {8, 9};
+  EXPECT_EQ(optibar_report_stall(library_, fresh, 2, "stall"), -1);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_GT(std::strlen(optibar_last_error()), 0u);
+}
+
+TEST(CapiStatus, DegradedStatusStringIsStable) {
+  EXPECT_STREQ(optibar_status_string(OPTIBAR_DEGRADED), "OPTIBAR_DEGRADED");
+}
+
 TEST_F(CapiTest, TuneCollectiveV2ReturnsPlanMetrics) {
   double seconds = -1.0;
   size_t stages = 0;

@@ -209,6 +209,78 @@ TEST_F(CliWorkflow, ValidateFlagsNonBarrier) {
   EXPECT_NE(result.out.find("barrier (Eq. 3): NO"), std::string::npos);
 }
 
+TEST_F(CliWorkflow, ExitCodesDistinguishUsageIoAndStallErrors) {
+  ASSERT_EQ(run({"profile", "--machine", "quad", "--ranks", "6", "--out",
+                 profile_path_})
+                .code,
+            0);
+  ASSERT_EQ(run({"tune", "--profile", profile_path_, "--schedule-out",
+                 schedule_path_})
+                .code,
+            0);
+  // Usage mistakes are exit 1 (unknown option on a valid command).
+  EXPECT_EQ(run({"predict", "--profile", profile_path_, "--bogus", "1"}).code,
+            1);
+  // Missing files are exit 3 — distinguishable from engine errors.
+  {
+    const CliResult missing =
+        run({"predict", "--profile", (dir_ / "absent.txt").string(),
+             "--schedule", schedule_path_});
+    EXPECT_EQ(missing.code, 3);
+    EXPECT_NE(missing.err.find("io error"), std::string::npos);
+  }
+  // Malformed files are exit 3 too: the parser, not the engine, failed.
+  {
+    const std::string corrupt_path = (dir_ / "corrupt.txt").string();
+    std::ofstream os(corrupt_path);
+    os << "optibar-profile v1\nP 4\nO\n1 2 3\n";  // truncated matrix
+    os.close();
+    const CliResult corrupt = run({"predict", "--profile", corrupt_path,
+                                   "--schedule", schedule_path_});
+    EXPECT_EQ(corrupt.code, 3);
+    EXPECT_NE(corrupt.err.find("io error"), std::string::npos);
+  }
+  // The usage text documents the contract.
+  const CliResult help = run({"help"});
+  EXPECT_NE(help.out.find("exit codes"), std::string::npos);
+  EXPECT_NE(help.out.find("--faults"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, SimulateWithFaultsReportsStallsViaExitCode) {
+  ASSERT_EQ(run({"profile", "--machine", "quad", "--ranks", "4", "--out",
+                 profile_path_})
+                .code,
+            0);
+  ASSERT_EQ(run({"tune", "--profile", profile_path_, "--schedule-out",
+                 schedule_path_})
+                .code,
+            0);
+  // A clean fault plan (zero probability) completes: exit 0.
+  {
+    const CliResult clean =
+        run({"simulate", "--profile", profile_path_, "--schedule",
+             schedule_path_, "--faults", "seed=1;drop=*>*@*:0"});
+    ASSERT_EQ(clean.code, 0) << clean.err;
+    EXPECT_NE(clean.out.find("no stall"), std::string::npos);
+    EXPECT_NE(clean.out.find("fault plan:"), std::string::npos);
+  }
+  // Dropping every signal stalls the run: exit 4 plus a report.
+  {
+    const CliResult stalled =
+        run({"simulate", "--profile", profile_path_, "--schedule",
+             schedule_path_, "--faults", "seed=1;drop=*>*@*:1",
+             "--deadline-floor-ms", "15", "--retries", "0"});
+    EXPECT_EQ(stalled.code, 4);
+    EXPECT_NE(stalled.out.find("stall report"), std::string::npos);
+    EXPECT_NE(stalled.out.find("lost signal"), std::string::npos);
+  }
+  // A malformed fault spec is a usage error: exit 1.
+  EXPECT_EQ(run({"simulate", "--profile", profile_path_, "--schedule",
+                 schedule_path_, "--faults", "bogus=1"})
+                .code,
+            1);
+}
+
 TEST_F(CliWorkflow, TraceExportsCsvAndChrome) {
   ASSERT_EQ(run({"profile", "--machine", "quad", "--nodes", "2", "--ranks",
                  "12", "--out", profile_path_})

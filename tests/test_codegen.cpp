@@ -259,6 +259,7 @@ int main() {
       "c++ -std=c++20 -I" + (dir).string() + " -I" + src_root + "/src " +
       (dir / "driver.cpp").string() + " " + src_root +
       "/src/simmpi/communicator.cpp " + src_root +
+      "/src/simmpi/fault.cpp " + src_root +
       "/src/simmpi/runtime.cpp " + src_root +
       "/src/simmpi/latency_model.cpp -lpthread -o " +
       (dir / "driver").string() + " 2> " + (dir / "compile.log").string();

@@ -9,6 +9,7 @@
 #include "core/tuner.hpp"
 #include "netsim/engine.hpp"
 #include "simmpi/communicator.hpp"
+#include "simmpi/fault.hpp"
 #include "simmpi/runtime.hpp"
 #include "topology/generate.hpp"
 #include "topology/machine.hpp"
@@ -101,6 +102,75 @@ TEST(CrashInjection, NoCrashMeansNoDeadlockFields) {
   const SimResult result = simulate(tree_barrier(8), profile);
   EXPECT_FALSE(result.deadlocked);
   EXPECT_TRUE(result.stuck_ranks.empty());
+}
+
+// ---- The shared fault model on the virtual-time engine ----
+
+TEST(NetsimFaults, CrashAtStageZeroMatchesLegacyCrashedRanks) {
+  // FaultPlan crash@0 is exactly the crashed_ranks semantics: the rank
+  // never enters the barrier.
+  const std::size_t p = 8;
+  const TopologyProfile profile = cluster_profile(p);
+  const Schedule s = dissemination_barrier(p);
+  SimOptions legacy;
+  legacy.crashed_ranks = {3};
+  const SimResult expected = simulate(s, profile, legacy);
+  SimOptions modern;
+  modern.faults.crashes.push_back({3, 0});
+  const SimResult actual = simulate(s, profile, modern);
+  EXPECT_TRUE(actual.deadlocked);
+  EXPECT_EQ(actual.stuck_ranks, expected.stuck_ranks);
+}
+
+TEST(NetsimFaults, CertainDropDeadlocksTheWholeBarrier) {
+  const std::size_t p = 4;
+  const TopologyProfile profile = cluster_profile(p);
+  SimOptions options;
+  options.faults.drops.push_back(
+      {0, 1, ChannelFaultRule::kAnyTag, 1.0, 0.0});
+  const SimResult result =
+      simulate(dissemination_barrier(p), profile, options);
+  EXPECT_TRUE(result.deadlocked);
+  // One lost edge strands everyone — the Eq. 3 guarantee again.
+  EXPECT_EQ(result.stuck_ranks.size(), p);
+  EXPECT_THROW(result.barrier_time(), Error);
+}
+
+TEST(NetsimFaults, DuplicatesAndDelaysCompleteButCostTime) {
+  const std::size_t p = 8;
+  const TopologyProfile profile = cluster_profile(p);
+  const Schedule s = tree_barrier(p);
+  const SimResult clean = simulate(s, profile);
+  SimOptions delayed;
+  delayed.faults.delays.push_back({ChannelFaultRule::kAnyRank,
+                                   ChannelFaultRule::kAnyRank,
+                                   ChannelFaultRule::kAnyTag, 1.0, 1e-3});
+  const SimResult slow = simulate(s, profile, delayed);
+  EXPECT_FALSE(slow.deadlocked);
+  // Virtual time is exact: a 1 ms spike on every message must show.
+  EXPECT_GT(slow.barrier_time(), clean.barrier_time());
+  SimOptions duplicated;
+  duplicated.faults.duplicates.push_back({ChannelFaultRule::kAnyRank,
+                                          ChannelFaultRule::kAnyRank,
+                                          ChannelFaultRule::kAnyTag, 1.0,
+                                          0.0});
+  const SimResult ghosts = simulate(s, profile, duplicated);
+  EXPECT_FALSE(ghosts.deadlocked);
+  EXPECT_GE(ghosts.barrier_time(), clean.barrier_time());
+}
+
+TEST(NetsimFaults, EmptyFaultPlanIsBitIdentical) {
+  // An empty plan must not even perturb the RNG stream.
+  const std::size_t p = 12;
+  const TopologyProfile profile = cluster_profile(p);
+  const Schedule s = dissemination_barrier(p);
+  SimOptions noisy;
+  noisy.jitter = 0.05;
+  SimOptions with_plan = noisy;
+  with_plan.faults = FaultPlan{};
+  const SimResult a = simulate(s, profile, noisy);
+  const SimResult b = simulate(s, profile, with_plan);
+  EXPECT_EQ(a.completion, b.completion);
 }
 
 // ---- Bounded waits on the thread runtime ----

@@ -1,0 +1,228 @@
+// Tests for the seeded fault model: spec grammar round-trips, decision
+// determinism, and the communicator-level drop/duplicate/delay hooks.
+#include "simmpi/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "simmpi/communicator.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(FaultPlan, EmptyByDefault) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(FaultPlan::parse(plan.spec()), plan);
+}
+
+TEST(FaultPlan, SpecRoundTripsEveryRuleKind) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drops.push_back({0, 1, 2, 1.0, 0.0});
+  plan.drops.push_back({ChannelFaultRule::kAnyRank, 3,
+                        ChannelFaultRule::kAnyTag, 0.25, 0.0});
+  plan.duplicates.push_back({ChannelFaultRule::kAnyRank,
+                             ChannelFaultRule::kAnyRank,
+                             ChannelFaultRule::kAnyTag, 0.5, 0.0});
+  plan.delays.push_back({2, 3, ChannelFaultRule::kAnyTag, 0.125, 1e-3});
+  plan.crashes.push_back({4, 2});
+  const FaultPlan reparsed = FaultPlan::parse(plan.spec());
+  EXPECT_EQ(reparsed, plan);
+  // And the round-trip is a fixed point: spec(parse(spec())) == spec().
+  EXPECT_EQ(reparsed.spec(), plan.spec());
+}
+
+TEST(FaultPlan, SpecRoundTripsAwkwardProbabilities) {
+  // Probabilities that do not print exactly in short form must still
+  // round-trip bit-exactly (printed at full precision).
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.drops.push_back({0, 1, 0, 0.1 + 0.2, 0.0});
+  plan.delays.push_back({1, 0, 0, 1.0 / 3.0, 7.3e-5});
+  const FaultPlan reparsed = FaultPlan::parse(plan.spec());
+  EXPECT_EQ(reparsed, plan);
+}
+
+TEST(FaultPlan, ParsesDocumentedExample) {
+  const FaultPlan plan =
+      FaultPlan::parse("seed=7;drop=0>1@2:1;dup=*>*@*:0.5;"
+                       "delay=2>3@*:0.25:0.001;crash=4@2");
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.drops.size(), 1u);
+  EXPECT_EQ(plan.drops[0].src, 0u);
+  EXPECT_EQ(plan.drops[0].dst, 1u);
+  EXPECT_EQ(plan.drops[0].tag, 2);
+  EXPECT_EQ(plan.drops[0].probability, 1.0);
+  ASSERT_EQ(plan.duplicates.size(), 1u);
+  EXPECT_EQ(plan.duplicates[0].src, ChannelFaultRule::kAnyRank);
+  EXPECT_EQ(plan.duplicates[0].tag, ChannelFaultRule::kAnyTag);
+  ASSERT_EQ(plan.delays.size(), 1u);
+  EXPECT_EQ(plan.delays[0].delay_seconds, 0.001);
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_EQ(plan.crashes[0].rank, 4u);
+  EXPECT_EQ(plan.crashes[0].stage, 2u);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("bogus=1"), Error);
+  EXPECT_THROW(FaultPlan::parse("seed=notanumber"), Error);
+  EXPECT_THROW(FaultPlan::parse("drop=0>1@2"), Error);        // missing prob
+  EXPECT_THROW(FaultPlan::parse("drop=0>1@2:1.5"), Error);    // prob > 1
+  EXPECT_THROW(FaultPlan::parse("drop=0>1@2:-0.1"), Error);   // prob < 0
+  EXPECT_THROW(FaultPlan::parse("delay=0>1@2:0.5"), Error);   // no seconds
+  EXPECT_THROW(FaultPlan::parse("crash=4"), Error);           // no stage
+  EXPECT_THROW(FaultPlan::parse("drop=0-1@2:1"), Error);      // bad separator
+}
+
+TEST(FaultInjector, CertainRulesAlwaysFire) {
+  FaultPlan plan;
+  plan.drops.push_back({0, 1, 2, 1.0, 0.0});
+  const FaultInjector injector(plan);
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    EXPECT_TRUE(injector.decide(0, 1, 2, seq).drop);
+  }
+  // Any other channel is untouched.
+  EXPECT_FALSE(injector.decide(1, 0, 2, 0).drop);
+  EXPECT_FALSE(injector.decide(0, 1, 3, 0).drop);
+}
+
+TEST(FaultInjector, ZeroProbabilityRulesNeverFire) {
+  FaultPlan plan;
+  plan.drops.push_back({ChannelFaultRule::kAnyRank, ChannelFaultRule::kAnyRank,
+                        ChannelFaultRule::kAnyTag, 0.0, 0.0});
+  const FaultInjector injector(plan);
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    EXPECT_FALSE(injector.decide(0, 1, 0, seq).drop);
+  }
+}
+
+TEST(FaultInjector, DecisionsAreDeterministicAndSeedSensitive) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drops.push_back({ChannelFaultRule::kAnyRank, ChannelFaultRule::kAnyRank,
+                        ChannelFaultRule::kAnyTag, 0.5, 0.0});
+  const FaultInjector a(plan);
+  const FaultInjector b(plan);
+  plan.seed = 12;
+  const FaultInjector c(plan);
+  bool any_difference = false;
+  for (std::uint64_t seq = 0; seq < 256; ++seq) {
+    EXPECT_EQ(a.decide(0, 1, 0, seq).drop, b.decide(0, 1, 0, seq).drop);
+    if (a.decide(0, 1, 0, seq).drop != c.decide(0, 1, 0, seq).drop) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference) << "seed does not influence decisions";
+}
+
+TEST(FaultInjector, ProbabilityIsApproximatelyHonoured) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.drops.push_back({ChannelFaultRule::kAnyRank, ChannelFaultRule::kAnyRank,
+                        ChannelFaultRule::kAnyTag, 0.3, 0.0});
+  const FaultInjector injector(plan);
+  std::size_t fired = 0;
+  const std::size_t trials = 20000;
+  for (std::uint64_t seq = 0; seq < trials; ++seq) {
+    fired += injector.decide(0, 1, 0, seq).drop ? 1 : 0;
+  }
+  const double rate = static_cast<double>(fired) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(FaultInjector, DelayRulesSumAndDuplicateRulesCount) {
+  FaultPlan plan;
+  plan.delays.push_back({0, 1, 0, 1.0, 1e-3});
+  plan.delays.push_back({0, 1, ChannelFaultRule::kAnyTag, 1.0, 2e-3});
+  plan.duplicates.push_back({0, 1, 0, 1.0, 0.0});
+  const FaultInjector injector(plan);
+  const FaultInjector::Decision d = injector.decide(0, 1, 0, 5);
+  EXPECT_FALSE(d.drop);
+  EXPECT_EQ(d.duplicates, 1u);
+  EXPECT_DOUBLE_EQ(d.delay_seconds, 3e-3);
+}
+
+TEST(FaultInjector, CrashStageIsMinimumOverRules) {
+  FaultPlan plan;
+  plan.crashes.push_back({2, 5});
+  plan.crashes.push_back({2, 3});
+  plan.crashes.push_back({4, 0});
+  const FaultInjector injector(plan);
+  EXPECT_EQ(injector.crash_stage(2), 3u);
+  EXPECT_EQ(injector.crash_stage(4), 0u);
+  EXPECT_EQ(injector.crash_stage(0), FaultInjector::kNoCrash);
+}
+
+TEST(CommunicatorFaults, CertainDropSwallowsTheSignal) {
+  simmpi::Communicator comm(2);
+  FaultPlan plan;
+  plan.drops.push_back({0, 1, 0, 1.0, 0.0});
+  comm.set_fault_plan(plan);
+  auto recv = comm.irecv(0, 1, 0);
+  auto send = comm.issend(0, 1, 0);
+  EXPECT_FALSE(send->wait_for(20ms));
+  EXPECT_FALSE(recv->wait_for(1ms));
+  EXPECT_EQ(comm.dropped_messages(), 1u);
+}
+
+TEST(CommunicatorFaults, DropIsChannelSpecific) {
+  simmpi::Communicator comm(2);
+  FaultPlan plan;
+  plan.drops.push_back({0, 1, 7, 1.0, 0.0});
+  comm.set_fault_plan(plan);
+  auto recv = comm.irecv(1, 0, 7);  // other direction, same tag
+  auto send = comm.issend(1, 0, 7);
+  send->wait();
+  recv->wait();
+  EXPECT_EQ(comm.dropped_messages(), 0u);
+}
+
+TEST(CommunicatorFaults, DuplicateDoesNotStarveTheRealSend) {
+  // A certain duplicate posts a ghost copy; the original must still
+  // bind to the receive so the synchronized sender completes.
+  simmpi::Communicator comm(2);
+  FaultPlan plan;
+  plan.duplicates.push_back({0, 1, 0, 1.0, 0.0});
+  comm.set_fault_plan(plan);
+  for (int round = 0; round < 4; ++round) {
+    auto recv = comm.irecv(0, 1, round);
+    auto send = comm.issend(0, 1, round);
+    ASSERT_TRUE(send->wait_for(500ms)) << "round " << round;
+    ASSERT_TRUE(recv->wait_for(500ms)) << "round " << round;
+  }
+  EXPECT_EQ(comm.dropped_messages(), 0u);
+}
+
+TEST(CommunicatorFaults, DelaySpikePostponesDelivery) {
+  simmpi::Communicator comm(2);
+  FaultPlan plan;
+  plan.delays.push_back({0, 1, 0, 1.0, 0.050});  // 50 ms spike
+  comm.set_fault_plan(plan);
+  auto recv = comm.irecv(0, 1, 0);
+  auto send = comm.issend(0, 1, 0);
+  EXPECT_FALSE(recv->wait_for(5ms)) << "delivery ignored the delay spike";
+  EXPECT_TRUE(recv->wait_for(500ms));
+  EXPECT_TRUE(send->wait_for(500ms));
+}
+
+TEST(CommunicatorFaults, PayloadSurvivesDelaySpike) {
+  simmpi::Communicator comm(2);
+  FaultPlan plan;
+  plan.delays.push_back({0, 1, 0, 1.0, 0.010});
+  comm.set_fault_plan(plan);
+  simmpi::Payload sink;
+  auto recv = comm.irecv(0, 1, 0, &sink);
+  auto send = comm.issend(0, 1, 0, simmpi::Payload{1, 2, 3});
+  recv->wait();
+  send->wait();
+  EXPECT_EQ(sink, (simmpi::Payload{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace optibar

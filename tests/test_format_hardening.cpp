@@ -1,0 +1,200 @@
+// Fuzz-style hardening tests for the disk parsers: every truncation of
+// a valid artefact, oversized and overflowing header counts, and
+// malformed payload values must raise IoError — never crash, hang, or
+// return a half-parsed object.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "barrier/algorithms.hpp"
+#include "barrier/schedule_io.hpp"
+#include "collective/generators.hpp"
+#include "collective/io.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "topology/profile.hpp"
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+
+namespace optibar {
+namespace {
+
+// Where the final whitespace-separated token begins. Truncating inside
+// the last token can still parse (a shortened trailing number is a
+// number), so sweeps stop at this boundary — every shorter prefix is a
+// genuinely incomplete file.
+std::size_t last_token_start(const std::string& text) {
+  const std::size_t end = text.find_last_not_of(" \t\n");
+  if (end == std::string::npos) {
+    return 0;
+  }
+  const std::size_t space = text.find_last_of(" \t\n", end);
+  return space == std::string::npos ? 0 : space + 1;
+}
+
+std::string saved_schedule_text() {
+  StoredSchedule stored;
+  // Tree stages are fan-in/fan-out DAGs, so awaited flags survive the
+  // loader's deadlock gate and the sweep exercises flag parsing too.
+  stored.schedule = tree_barrier(4);
+  stored.awaited_stages.assign(stored.schedule.stage_count(), false);
+  stored.awaited_stages.back() = true;
+  std::ostringstream os;
+  save_schedule(os, stored);
+  return os.str();
+}
+
+std::string saved_collective_text() {
+  std::ostringstream os;
+  save_collective(os, binomial_broadcast(4, 0, 8, 8));
+  return os.str();
+}
+
+std::string saved_profile_text() {
+  const MachineSpec machine = quad_cluster();
+  std::ostringstream os;
+  generate_profile(machine, round_robin_mapping(machine, 3)).save(os);
+  return os.str();
+}
+
+TEST(FormatHardening, EveryScheduleTruncationThrows) {
+  const std::string text = saved_schedule_text();
+  {
+    std::istringstream full(text);
+    EXPECT_NO_THROW(load_schedule(full));
+  }
+  for (std::size_t len = 0; len <= last_token_start(text); ++len) {
+    std::istringstream is(text.substr(0, len));
+    EXPECT_THROW(load_schedule(is), IoError) << "prefix length " << len;
+  }
+}
+
+TEST(FormatHardening, EveryCollectiveTruncationThrows) {
+  const std::string text = saved_collective_text();
+  {
+    std::istringstream full(text);
+    EXPECT_NO_THROW(load_collective(full));
+  }
+  for (std::size_t len = 0; len <= last_token_start(text); ++len) {
+    std::istringstream is(text.substr(0, len));
+    EXPECT_THROW(load_collective(is), IoError) << "prefix length " << len;
+  }
+}
+
+TEST(FormatHardening, EveryProfileTruncationThrows) {
+  const std::string text = saved_profile_text();
+  {
+    std::istringstream full(text);
+    EXPECT_NO_THROW(TopologyProfile::load(full));
+  }
+  for (std::size_t len = 0; len <= last_token_start(text); ++len) {
+    std::istringstream is(text.substr(0, len));
+    EXPECT_THROW(TopologyProfile::load(is), IoError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(FormatHardening, ScheduleRejectsBadMagicAndVersion) {
+  std::istringstream wrong_magic("optibar-profile v1\nP 2\n");
+  EXPECT_THROW(load_schedule(wrong_magic), IoError);
+  std::istringstream wrong_version("optibar-schedule v9\nP 2\n");
+  EXPECT_THROW(load_schedule(wrong_version), IoError);
+}
+
+TEST(FormatHardening, ScheduleRejectsOversizedCounts) {
+  // A lying header must fail before it drives any allocation.
+  std::istringstream huge_p("optibar-schedule v1\nP 100000\nstages 1\n");
+  EXPECT_THROW(load_schedule(huge_p), IoError);
+  std::istringstream huge_stages(
+      "optibar-schedule v1\nP 2\nstages 99999999\nawaited");
+  EXPECT_THROW(load_schedule(huge_stages), IoError);
+  // Negative counts wrap to huge values in an unsigned read; the cap
+  // must catch them too.
+  std::istringstream negative_p("optibar-schedule v1\nP -3\nstages 0\n");
+  EXPECT_THROW(load_schedule(negative_p), IoError);
+}
+
+TEST(FormatHardening, ScheduleRejectsNonBinaryPayload) {
+  std::istringstream bad_flag(
+      "optibar-schedule v1\nP 2\nstages 1\nawaited 2\nS0\n0 1\n1 0\n");
+  EXPECT_THROW(load_schedule(bad_flag), IoError);
+  std::istringstream bad_cell(
+      "optibar-schedule v1\nP 2\nstages 1\nawaited 0\nS0\n0 7\n1 0\n");
+  EXPECT_THROW(load_schedule(bad_cell), IoError);
+}
+
+TEST(FormatHardening, CollectiveRejectsOversizedCounts) {
+  std::istringstream huge_p(
+      "optibar-collective v1\nop bcast\nP 100000\nroot 0\n");
+  EXPECT_THROW(load_collective(huge_p), IoError);
+  std::istringstream huge_bytes(
+      "optibar-collective v1\nop bcast\nP 2\nroot 0\nelems 1 70000\n");
+  EXPECT_THROW(load_collective(huge_bytes), IoError);
+  // 2^61 elements x 16 bytes overflows size_t.
+  std::istringstream overflow(
+      "optibar-collective v1\nop bcast\nP 2\nroot 0\n"
+      "elems 2305843009213693952 16\n");
+  EXPECT_THROW(load_collective(overflow), IoError);
+  std::istringstream huge_stage(
+      "optibar-collective v1\nop bcast\nP 2\nroot 0\nelems 1 8\n"
+      "stages 1\nS0 5\n");
+  EXPECT_THROW(load_collective(huge_stage), IoError);
+}
+
+TEST(FormatHardening, CollectiveRejectsBadHeaderValues) {
+  std::istringstream bad_op(
+      "optibar-collective v1\nop gather\nP 2\nroot 0\n");
+  EXPECT_THROW(load_collective(bad_op), IoError);
+  std::istringstream bad_root(
+      "optibar-collective v1\nop bcast\nP 2\nroot 5\n");
+  EXPECT_THROW(load_collective(bad_root), IoError);
+  std::istringstream zero_bytes(
+      "optibar-collective v1\nop bcast\nP 2\nroot 0\nelems 4 0\n");
+  EXPECT_THROW(load_collective(zero_bytes), IoError);
+}
+
+TEST(FormatHardening, CollectiveRejectsInvalidStagePayload) {
+  std::istringstream bad_combine(
+      "optibar-collective v1\nop bcast\nP 2\nroot 0\nelems 1 8\n"
+      "stages 1\nS0 1\n0 1 0 1 2\n");
+  EXPECT_THROW(load_collective(bad_combine), IoError);
+  // A self edge is semantically invalid — the stage validator's
+  // rejection must surface as a parse error, not a caller bug.
+  std::istringstream self_edge(
+      "optibar-collective v1\nop bcast\nP 2\nroot 0\nelems 1 8\n"
+      "stages 1\nS0 1\n0 0 0 1 0\n");
+  EXPECT_THROW(load_collective(self_edge), IoError);
+}
+
+TEST(FormatHardening, ProfileRejectsOversizedAndNonFiniteValues) {
+  std::istringstream huge_p("optibar-profile v1\nP 100000\nO\n");
+  EXPECT_THROW(TopologyProfile::load(huge_p), IoError);
+  // Values that overflow double (or spell inf/nan) must not pass the
+  // finiteness gate and poison every downstream cost.
+  std::istringstream overflow("optibar-profile v1\nP 1\nO\n1e999\nL\n0\n");
+  EXPECT_THROW(TopologyProfile::load(overflow), IoError);
+  std::istringstream inf_text("optibar-profile v1\nP 1\nO\ninf\nL\n0\n");
+  EXPECT_THROW(TopologyProfile::load(inf_text), IoError);
+  std::istringstream nan_text("optibar-profile v1\nP 1\nO\nnan\nL\n0\n");
+  EXPECT_THROW(TopologyProfile::load(nan_text), IoError);
+}
+
+TEST(FormatHardening, MissingFilesRaiseIoError) {
+  const std::string missing = "/nonexistent/optibar/artefact";
+  EXPECT_THROW(load_schedule_file(missing), IoError);
+  EXPECT_THROW(load_collective_file(missing), IoError);
+  EXPECT_THROW(TopologyProfile::load_file(missing), IoError);
+}
+
+TEST(FormatHardening, IoErrorIsAnError) {
+  // The CLI distinguishes parse failures (exit 3) from engine errors
+  // (exit 1), but callers catching plain Error still see IoError.
+  std::istringstream is("garbage");
+  EXPECT_THROW(load_schedule(is), Error);
+}
+
+}  // namespace
+}  // namespace optibar

@@ -5,11 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <thread>
 
 #include "barrier/algorithms.hpp"
 #include "barrier/cost_model.hpp"
+#include "simmpi/executor.hpp"
+#include "simmpi/fault.hpp"
+#include "simmpi/resilience.hpp"
 #include "simmpi/runtime.hpp"
 #include "topology/generate.hpp"
 #include "topology/machine.hpp"
@@ -121,6 +125,110 @@ TEST(Library, LoadsProfileFromDisk) {
   EXPECT_EQ(library.ranks(), 16u);
   EXPECT_TRUE(library.full_barrier().stored.schedule.is_barrier());
   std::filesystem::remove(path);
+}
+
+TEST(Library, FailuresBelowTheThresholdKeepTheTunedPlan) {
+  BarrierLibrary library(cluster_profile(12));  // default threshold: 3
+  const std::vector<std::size_t> subset{0, 1, 2, 3};
+  const LibraryEntry& tuned = library.subset_plan(subset);
+  EXPECT_FALSE(tuned.degraded);
+  EXPECT_FALSE(library.report_execution_failure(subset, "stall at stage 0"));
+  EXPECT_FALSE(library.report_execution_failure(subset, "stall at stage 0"));
+  EXPECT_EQ(library.failure_count(subset), 2u);
+  EXPECT_FALSE(library.is_quarantined(subset));
+  // Still the tuned plan, same cached object.
+  const LibraryEntry& again = library.subset_plan(subset);
+  EXPECT_EQ(&again, &tuned);
+  EXPECT_FALSE(again.degraded);
+}
+
+TEST(Library, QuarantineServesADisseminationFallback) {
+  EngineOptions options;
+  options.quarantine_threshold = 2;
+  BarrierLibrary library(cluster_profile(12), options);
+  const std::vector<std::size_t> subset{0, 4, 8, 1, 5};
+  const LibraryEntry& tuned = library.subset_plan(subset);
+  EXPECT_FALSE(library.report_execution_failure(subset, "first stall"));
+  EXPECT_TRUE(library.report_execution_failure(subset, "second stall"));
+  EXPECT_TRUE(library.is_quarantined(subset));
+
+  const LibraryEntry& fallback = library.subset_plan(subset);
+  EXPECT_NE(&fallback, &tuned);
+  EXPECT_TRUE(fallback.degraded);
+  EXPECT_NE(fallback.degradation_reason.find("second stall"),
+            std::string::npos);
+  EXPECT_EQ(fallback.global_ranks, subset);
+  // The fallback is the known-safe dissemination pattern, compiled and
+  // costed against the subset's topology.
+  EXPECT_EQ(fallback.stored.schedule, dissemination_barrier(subset.size()));
+  EXPECT_TRUE(fallback.stored.awaited_stages.empty());
+  EXPECT_GT(fallback.predicted_cost, 0.0);
+
+  // Later failure reports keep counting but stay degraded (true).
+  EXPECT_TRUE(library.report_execution_failure(subset, "third stall"));
+  EXPECT_EQ(library.failure_count(subset), 3u);
+}
+
+TEST(Library, InjectedFaultsDriveQuarantineEndToEnd) {
+  // The full degradation loop: execute the served plan under an
+  // injected 100%-drop fault, feed the resulting StallReports back,
+  // and verify the library swaps in a fallback that then runs clean.
+  EngineOptions options;
+  options.quarantine_threshold = 2;
+  BarrierLibrary library(cluster_profile(8), options);
+  const std::vector<std::size_t> subset{0, 1, 2, 3, 4, 5};
+  const LibraryEntry& tuned = library.subset_plan(subset);
+
+  const Schedule& schedule = tuned.stored.schedule;
+  // Drop the first stage-0 signal the tuned schedule sends, whoever
+  // sends it — hybrid arrival stages vary with the clustering.
+  FaultPlan faults;
+  for (std::size_t src = 0; src < schedule.ranks(); ++src) {
+    const auto targets = schedule.targets_of(src, 0);
+    if (!targets.empty()) {
+      faults.drops.push_back({src, targets.front(), 0, 1.0, 0.0});
+      break;
+    }
+  }
+  ASSERT_EQ(faults.drops.size(), 1u);
+  simmpi::ResilienceOptions resilience;
+  resilience.max_retries = 0;
+  resilience.deadline_floor = std::chrono::milliseconds(15);
+  const simmpi::ScheduleExecutor executor(schedule);
+  while (!library.is_quarantined(subset)) {
+    const simmpi::StallReport report =
+        executor.run_once_resilient(resilience, faults);
+    ASSERT_TRUE(report.stalled);
+    library.report_execution_failure(subset, report.describe());
+  }
+  EXPECT_EQ(library.failure_count(subset), 2u);
+
+  // The fallback executes to completion on real threads, no faults.
+  const LibraryEntry& fallback = library.subset_plan(subset);
+  ASSERT_TRUE(fallback.degraded);
+  simmpi::Communicator comm(subset.size());
+  simmpi::run_ranks(comm, [&](simmpi::RankContext& ctx) {
+    fallback.compiled.execute(ctx);
+  });
+  EXPECT_EQ(comm.unmatched_operations(), 0u);
+}
+
+TEST(Library, FailureReportsRequireAServedPlan) {
+  BarrierLibrary library(cluster_profile(8));
+  // Never tuned: nothing to quarantine — that is a caller bug.
+  EXPECT_THROW(library.report_execution_failure({0, 1}, "stall"), Error);
+  EXPECT_EQ(library.failure_count({0, 1}), 0u);
+  EXPECT_FALSE(library.is_quarantined({0, 1}));
+  // Invalid subsets are rejected the same way as in subset_plan().
+  EXPECT_THROW(library.report_execution_failure({}, "stall"), Error);
+  EXPECT_THROW(library.report_execution_failure({0, 0}, "stall"), Error);
+  EXPECT_THROW(library.report_execution_failure({0, 99}, "stall"), Error);
+}
+
+TEST(Library, QuarantineThresholdIsValidated) {
+  EngineOptions options;
+  options.quarantine_threshold = 0;
+  EXPECT_THROW(BarrierLibrary(cluster_profile(8), options), Error);
 }
 
 TEST(Library, EntryPredictionMatchesDirectTuning) {

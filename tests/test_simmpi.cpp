@@ -95,6 +95,42 @@ TEST(Communicator, InjectedLatencyDelaysVisibility) {
   EXPECT_GE(elapsed, delay);
 }
 
+TEST(Request, DeliveryExactlyAtTheDeadlineIsASuccess) {
+  // The timeout contract is "not done strictly after the deadline":
+  // a delivery landing on the boundary must count as completed, like
+  // condition_variable::wait_until. (Regression: the old comparison
+  // rejected ready_at == deadline.)
+  auto request = std::make_shared<simmpi::RequestState>();
+  const auto now = simmpi::Clock::now();
+  request->fulfil(now + 20ms);
+  EXPECT_TRUE(request->wait_until(now + 20ms));
+}
+
+TEST(Request, DeliveryAfterTheDeadlineFails) {
+  auto request = std::make_shared<simmpi::RequestState>();
+  const auto now = simmpi::Clock::now();
+  request->fulfil(now + 60ms);
+  EXPECT_FALSE(request->wait_until(now + 10ms));
+  // The signal is matched (will arrive), just late for that budget.
+  EXPECT_TRUE(request->finished());
+  EXPECT_TRUE(request->wait_until(now + 60ms));
+}
+
+TEST(Request, CompletedRequestsSucceedWithAnExhaustedBudget) {
+  auto request = std::make_shared<simmpi::RequestState>();
+  request->fulfil(simmpi::Clock::now() - 1ms);  // already visible
+  EXPECT_TRUE(request->wait_for(0ms));
+  std::vector<simmpi::Request> requests{request};
+  EXPECT_TRUE(simmpi::Communicator::wait_all_for(requests, 0ms));
+}
+
+TEST(Request, UnmatchedRequestTimesOut) {
+  auto request = std::make_shared<simmpi::RequestState>();
+  EXPECT_FALSE(request->wait_for(5ms));
+  std::vector<simmpi::Request> requests{request};
+  EXPECT_FALSE(simmpi::Communicator::wait_all_for(requests, 5ms));
+}
+
 TEST(Runtime, RanksSeeTheirIds) {
   std::vector<std::atomic<int>> hits(5);
   simmpi::run_ranks(5, [&](simmpi::RankContext& ctx) {

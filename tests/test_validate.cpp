@@ -1,0 +1,168 @@
+// Tests for the static schedule validator: classic and tuned schedules
+// pass, cyclic awaited stages are flagged as deadlocks, non-barriers
+// are flagged (but deadlock-free), and the schedule_io loader enforces
+// the deadlock-freedom gate.
+#include "barrier/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "barrier/algorithms.hpp"
+#include "barrier/schedule_io.hpp"
+#include "core/tuner.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+// A 3-rank stage whose edge digraph is the cycle 0 -> 1 -> 2 -> 0.
+StageMatrix ring_stage() {
+  StageMatrix stage(3, 3);
+  stage(0, 1) = 1;
+  stage(1, 2) = 1;
+  stage(2, 0) = 1;
+  return stage;
+}
+
+bool has_issue(const ValidationResult& result, ScheduleIssueKind kind) {
+  for (const ScheduleIssue& issue : result.issues) {
+    if (issue.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(StageHasCycle, DetectsCyclesAndAcceptsDags) {
+  EXPECT_TRUE(stage_has_cycle(ring_stage()));
+
+  StageMatrix two_cycle(2, 2);
+  two_cycle(0, 1) = 1;
+  two_cycle(1, 0) = 1;
+  EXPECT_TRUE(stage_has_cycle(two_cycle));
+
+  StageMatrix fan_out(4, 4);  // 0 -> {1,2,3}: a DAG
+  fan_out(0, 1) = fan_out(0, 2) = fan_out(0, 3) = 1;
+  EXPECT_FALSE(stage_has_cycle(fan_out));
+
+  StageMatrix chain(4, 4);  // 0 -> 1 -> 2 -> 3
+  chain(0, 1) = chain(1, 2) = chain(2, 3) = 1;
+  EXPECT_FALSE(stage_has_cycle(chain));
+
+  EXPECT_FALSE(stage_has_cycle(StageMatrix(3, 3)));  // empty stage
+}
+
+TEST(Validate, EveryClassicGeneratorPasses) {
+  const std::size_t p = 12;
+  const std::vector<Schedule> classics = {
+      linear_barrier(p),        dissemination_barrier(p),
+      tree_barrier(p),          heap_tree_barrier(p),
+      kary_tree_barrier(p, 3),  pairwise_exchange_barrier(p),
+      radix_dissemination_barrier(p, 4)};
+  for (const Schedule& schedule : classics) {
+    const ValidationResult result = validate_schedule(schedule);
+    EXPECT_TRUE(result.ok()) << result.describe();
+    EXPECT_TRUE(result.deadlock_free());
+  }
+}
+
+TEST(Validate, TunedScheduleWithAwaitedFlagsPasses) {
+  const MachineSpec machine = quad_cluster();
+  const TopologyProfile profile =
+      generate_profile(machine, round_robin_mapping(machine, 16));
+  const TuneResult tuned = tune_barrier(profile);
+  StoredSchedule stored;
+  stored.schedule = tuned.schedule();
+  stored.awaited_stages = tuned.barrier().awaited_stages;
+  const ValidationResult result = validate_schedule(stored);
+  EXPECT_TRUE(result.ok()) << result.describe();
+}
+
+TEST(Validate, CyclicAwaitedStageIsADeadlock) {
+  StoredSchedule stored;
+  stored.schedule = Schedule(3);
+  stored.schedule.append_stage(ring_stage());
+  // Close the pattern into a barrier so only the cycle is at issue.
+  stored.schedule.append_stage(ring_stage());
+  stored.awaited_stages = {true, false};
+  const ValidationResult result = validate_schedule(stored);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.deadlock_free());
+  EXPECT_TRUE(has_issue(result, ScheduleIssueKind::kCyclicWait));
+  ASSERT_FALSE(result.issues.empty());
+  EXPECT_FALSE(result.describe().empty());
+}
+
+TEST(Validate, SameCycleNotAwaitedIsFine) {
+  // The identical stage digraph under the post-then-wait contract is
+  // legitimate (dissemination stages are circulants).
+  StoredSchedule stored;
+  stored.schedule = Schedule(3);
+  stored.schedule.append_stage(ring_stage());
+  stored.schedule.append_stage(ring_stage());
+  stored.awaited_stages = {false, false};
+  const ValidationResult result = validate_schedule(stored);
+  EXPECT_TRUE(result.deadlock_free()) << result.describe();
+  EXPECT_FALSE(has_issue(result, ScheduleIssueKind::kCyclicWait));
+}
+
+TEST(Validate, NonBarrierIsFlaggedButDeadlockFree) {
+  // One ring stage does not saturate Eq. 3 for p = 3: not a barrier,
+  // but nothing in it can hang a conforming runtime.
+  Schedule schedule(3);
+  schedule.append_stage(ring_stage());
+  const ValidationResult result = validate_schedule(schedule);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.deadlock_free());
+  EXPECT_TRUE(has_issue(result, ScheduleIssueKind::kUnreachableKnowledge));
+}
+
+TEST(Validate, AwaitedFlagSizeMismatchIsMalformed) {
+  StoredSchedule stored;
+  stored.schedule = dissemination_barrier(4);
+  stored.awaited_stages = {true};  // schedule has 2 stages
+  const ValidationResult result = validate_schedule(stored);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_issue(result, ScheduleIssueKind::kMalformed));
+}
+
+TEST(Validate, EmptyAwaitedVectorMeansNoneAwaited) {
+  StoredSchedule stored;
+  stored.schedule = Schedule(3);
+  stored.schedule.append_stage(ring_stage());
+  stored.schedule.append_stage(ring_stage());
+  const ValidationResult result = validate_schedule(stored);
+  EXPECT_TRUE(result.deadlock_free()) << result.describe();
+}
+
+TEST(ValidateIo, LoaderRejectsCyclicAwaitedSchedules) {
+  StoredSchedule stored;
+  stored.schedule = Schedule(3);
+  stored.schedule.append_stage(ring_stage());
+  stored.schedule.append_stage(ring_stage());
+  stored.awaited_stages = {true, false};
+  std::stringstream buffer;
+  save_schedule(buffer, stored);
+  EXPECT_THROW(load_schedule(buffer), IoError);
+}
+
+TEST(ValidateIo, LoaderStillAcceptsNonBarrierFiles) {
+  // Analysis commands legitimately inspect non-barrier patterns; only
+  // deadlock hazards are refused at load time.
+  StoredSchedule stored;
+  stored.schedule = Schedule(3);
+  stored.schedule.append_stage(ring_stage());
+  std::stringstream buffer;
+  save_schedule(buffer, stored);
+  const StoredSchedule loaded = load_schedule(buffer);
+  EXPECT_EQ(loaded.schedule.stage_count(), 1u);
+  EXPECT_FALSE(loaded.schedule.is_barrier());
+}
+
+}  // namespace
+}  // namespace optibar
