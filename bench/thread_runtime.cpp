@@ -1,80 +1,103 @@
-// Real-execution check: hybrid vs MPI(tree) on actual threads.
+// Google-benchmark: runtime contention sweep — what the sharded message
+// board and the persistent rank pool each buy per episode.
 //
-// Everything in the figure benches runs on the virtual-time simulator;
-// this bench grounds the headline result in *wall-clock* execution: the
-// paper's general interpreter (issend/irecv/waitall per stage) runs on
-// one thread per rank with the machine's link delays injected, scaled
-// ×1000 (microseconds -> milliseconds) so scheduler noise cannot drown
-// them. The hybrid's advantage must survive contact with a real
-// scheduler, synchronized-send matching and all.
+// Every benchmark runs one full dissemination-barrier episode per
+// iteration on real rank threads with zero injected link delay, so the
+// measured time is pure runtime overhead: thread creation (spawn mode)
+// or generation dispatch (pooled mode), plus message-board lock
+// contention (one global shard vs one shard per destination rank).
 //
-// Kept to modest rank counts: the container is single-core, so threads
-// mostly sleep on the injected delays — which is exactly the regime
-// where the comparison is meaningful.
-#include <algorithm>
-#include <chrono>
-#include <iostream>
-#include <vector>
+// The four mode combinations at P in {16, 48, 120} are the PR's
+// headline comparison: pooled+sharded must beat spawn+global by >= 2x
+// at P = 48 (tracked in BENCH_runtime.json via scripts/bench_json.sh,
+// regression-gated by scripts/bench_compare.py on the
+// episodes_per_second counter).
+//
+// BM_EpisodeDispatch isolates the vehicle cost with an empty rank
+// function: spawn pays P thread creations + joins per episode, pooled
+// pays one condvar broadcast per generation.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
 
 #include "barrier/algorithms.hpp"
-#include "core/tuner.hpp"
-#include "netsim/engine.hpp"
+#include "simmpi/communicator.hpp"
 #include "simmpi/executor.hpp"
-#include "topology/generate.hpp"
-#include "topology/machine.hpp"
-#include "topology/mapping.hpp"
-#include "util/table.hpp"
+#include "simmpi/rank_pool.hpp"
+#include "simmpi/runtime.hpp"
 
 namespace {
 
 using namespace optibar;
+using simmpi::BoardMode;
+using simmpi::Communicator;
+using simmpi::ExecutionMode;
+using simmpi::RankContext;
+using simmpi::RankPool;
+using simmpi::ScheduleExecutor;
 
-double mean_wallclock_ms(const Schedule& schedule,
-                         const TopologyProfile& profile, double scale,
-                         std::size_t reps) {
-  const simmpi::ScheduleExecutor executor(schedule);
-  double total_ms = 0.0;
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    const auto exits =
-        executor.run_once(simmpi::profile_latency(profile, scale));
-    const auto latest = *std::max_element(exits.begin(), exits.end());
-    total_ms += std::chrono::duration<double, std::milli>(latest).count();
-  }
-  return total_ms / static_cast<double>(reps);
+simmpi::LatencyModel zero_latency() {
+  return [](std::size_t, std::size_t) {
+    return simmpi::Clock::duration::zero();
+  };
 }
+
+// One barrier episode per iteration; a fresh communicator per episode
+// (mirroring run_once) keeps the channel map from accumulating across
+// the tag space.
+void BM_ThreadRuntime(benchmark::State& state, ExecutionMode exec,
+                      BoardMode board) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const ScheduleExecutor executor(dissemination_barrier(p));
+  RankPool pool(exec == ExecutionMode::kPersistentPool ? p : 1);
+  int episode = 0;
+  for (auto _ : state) {
+    Communicator comm(p, zero_latency(), nullptr, board);
+    const simmpi::RankFunction fn = [&](RankContext& ctx) {
+      executor.execute(ctx, episode);
+    };
+    if (exec == ExecutionMode::kPersistentPool) {
+      simmpi::run_ranks(pool, comm, fn);
+    } else {
+      simmpi::run_ranks(comm, fn);
+    }
+    ++episode;
+  }
+  state.counters["episodes_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_ThreadRuntime, spawn_global,
+                  ExecutionMode::kSpawnPerEpisode, BoardMode::kGlobal)
+    ->Arg(16)->Arg(48)->Arg(120)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ThreadRuntime, spawn_sharded,
+                  ExecutionMode::kSpawnPerEpisode, BoardMode::kSharded)
+    ->Arg(16)->Arg(48)->Arg(120)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ThreadRuntime, pooled_global,
+                  ExecutionMode::kPersistentPool, BoardMode::kGlobal)
+    ->Arg(16)->Arg(48)->Arg(120)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ThreadRuntime, pooled_sharded,
+                  ExecutionMode::kPersistentPool, BoardMode::kSharded)
+    ->Arg(16)->Arg(48)->Arg(120)->Unit(benchmark::kMillisecond);
+
+// Vehicle cost alone: empty rank function, no communicator traffic.
+void BM_EpisodeDispatch(benchmark::State& state, ExecutionMode exec) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  RankPool pool(exec == ExecutionMode::kPersistentPool ? p : 1);
+  Communicator comm(p, zero_latency());
+  const simmpi::RankFunction fn = [](RankContext&) {};
+  for (auto _ : state) {
+    if (exec == ExecutionMode::kPersistentPool) {
+      simmpi::run_ranks(pool, comm, fn);
+    } else {
+      simmpi::run_ranks(comm, fn);
+    }
+  }
+  state.counters["episodes_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_EpisodeDispatch, spawn, ExecutionMode::kSpawnPerEpisode)
+    ->Arg(16)->Arg(48)->Arg(120)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EpisodeDispatch, pooled, ExecutionMode::kPersistentPool)
+    ->Arg(16)->Arg(48)->Arg(120)->Unit(benchmark::kMillisecond);
 
 }  // namespace
-
-int main() {
-  const MachineSpec machine = quad_cluster();
-  const double scale = 1000.0;  // us -> ms
-  const std::size_t reps = 5;
-  std::cout << "Wall-clock execution on rank threads, " << machine.name()
-            << ", link delays x" << scale << ", mean of " << reps
-            << " runs\n\n";
-  Table table({"P", "tree_wallclock[ms]", "hybrid_wallclock[ms]", "speedup",
-               "sim_speedup"});
-  for (std::size_t p : {8u, 12u, 16u}) {
-    const Mapping mapping = round_robin_mapping(machine, p);
-    const TopologyProfile profile = generate_profile(machine, mapping);
-    const TuneResult tuned = tune_barrier(profile);
-    const double tree_ms =
-        mean_wallclock_ms(tree_barrier(p), profile, scale, reps);
-    const double hybrid_ms =
-        mean_wallclock_ms(tuned.schedule(), profile, scale, reps);
-    // The simulator's prediction of the same ratio, for comparison.
-    const double sim_ratio =
-        simulate(tree_barrier(p), profile).barrier_time() /
-        simulate(tuned.schedule(), profile).barrier_time();
-    table.add_row({Table::num(p), Table::num(tree_ms, 2),
-                   Table::num(hybrid_ms, 2),
-                   Table::num(tree_ms / hybrid_ms, 2),
-                   Table::num(sim_ratio, 2)});
-  }
-  table.print(std::cout);
-  std::cout << "\nThe wall-clock speedup tracking the simulated one is the "
-               "cross-engine\nvalidation: threads + injected delays and the "
-               "discrete-event model agree\non who wins and roughly by how "
-               "much.\n";
-  return 0;
-}

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON files and gate on regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CURRENT.json \
+        [--threshold 0.15] [--counter NAME ...] [--filter REGEX]
+
+Compares every benchmark present in both files. The compared metric per
+benchmark is, in order of preference:
+
+  1. each counter named by --counter (repeatable) that the benchmark
+     reports — higher is better (counters the repo commits are rates:
+     episodes_per_second, items_per_second, ...);
+  2. otherwise `real_time` — lower is better.
+
+A change worse than --threshold (default 0.15 = 15%) in the unfavourable
+direction is a regression. Exit status: 0 when no regressions, 1 on any
+regression, 2 on usage/file errors. Benchmarks present in only one file
+are listed but never fail the gate (new or retired benchmarks are
+expected as the repo grows).
+
+Typical gate for this repo's committed numbers:
+
+    scripts/bench_compare.py BENCH_runtime.json /tmp/new_runtime.json \
+        --counter episodes_per_second
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_benchmarks(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    benchmarks = {}
+    for entry in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetition runs);
+        # plain runs have no aggregate_name.
+        if entry.get("aggregate_name"):
+            continue
+        name = entry.get("name")
+        if name:
+            benchmarks[name] = entry
+    if not benchmarks:
+        print(f"error: no benchmarks in {path}", file=sys.stderr)
+        sys.exit(2)
+    return benchmarks
+
+
+def metrics_of(entry, counters):
+    """Yield (metric_name, value, higher_is_better) for one benchmark."""
+    found_counter = False
+    for counter in counters:
+        if counter in entry:
+            yield counter, float(entry[counter]), True
+            found_counter = True
+    if not found_counter and "real_time" in entry:
+        yield "real_time", float(entry["real_time"]), False
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative regression that fails the gate "
+                             "(default 0.15 = 15%%)")
+    parser.add_argument("--counter", action="append", default=[],
+                        metavar="NAME",
+                        help="counter to compare (higher is better); "
+                             "repeatable; falls back to real_time "
+                             "(lower is better) per benchmark")
+    parser.add_argument("--filter", default=None, metavar="REGEX",
+                        help="only compare benchmarks whose name matches")
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    curr = load_benchmarks(args.current)
+    pattern = re.compile(args.filter) if args.filter else None
+
+    shared = [n for n in base if n in curr]
+    if pattern:
+        shared = [n for n in shared if pattern.search(n)]
+    only_base = sorted(n for n in base if n not in curr)
+    only_curr = sorted(n for n in curr if n not in base)
+
+    regressions = []
+    rows = []
+    for name in shared:
+        base_metrics = dict(
+            (m, (v, hib)) for m, v, hib in metrics_of(base[name], args.counter))
+        for metric, new_value, higher_is_better in metrics_of(
+                curr[name], args.counter):
+            if metric not in base_metrics:
+                continue
+            old_value, _ = base_metrics[metric]
+            if old_value == 0:
+                continue
+            # Positive change = improvement, in either metric direction.
+            if higher_is_better:
+                change = new_value / old_value - 1.0
+            else:
+                change = old_value / new_value - 1.0 if new_value else 0.0
+            regressed = change < -args.threshold
+            rows.append((name, metric, old_value, new_value, change, regressed))
+            if regressed:
+                regressions.append((name, metric, change))
+
+    if not rows:
+        print("error: no comparable benchmarks between the two files",
+              file=sys.stderr)
+        sys.exit(2)
+
+    width = max(len(f"{name} [{metric}]") for name, metric, *_ in rows)
+    for name, metric, old_value, new_value, change, regressed in rows:
+        flag = "  REGRESSION" if regressed else ""
+        print(f"{f'{name} [{metric}]':<{width}}  "
+              f"{old_value:>14.4g} -> {new_value:>14.4g}  "
+              f"{change:+8.1%}{flag}")
+    for name in only_base:
+        print(f"{name}: only in baseline (skipped)")
+    for name in only_curr:
+        print(f"{name}: only in current (skipped)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, metric, change in regressions:
+            print(f"  {name} [{metric}]: {change:+.1%}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nOK: {len(rows)} comparison(s), none worse than "
+          f"{args.threshold:.0%}.")
+
+
+if __name__ == "__main__":
+    main()

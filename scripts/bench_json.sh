@@ -9,6 +9,9 @@
 #                           thread scaling, library batch tuning)
 #   BENCH_collective.json — bench_collective (collective tuning on hex,
 #                           payload-aware predict/compile/sim throughput)
+#   BENCH_runtime.json    — bench_thread_runtime (episode throughput:
+#                           spawn vs pooled ranks x global vs sharded
+#                           message board, P = 16/48/120)
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 # BENCH_FILTER limits both runs, e.g.
@@ -19,7 +22,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 FILTER="${BENCH_FILTER:-}"
 
-for bench in bench_predict_throughput bench_tuning_speed bench_collective; do
+for bench in bench_predict_throughput bench_tuning_speed bench_collective \
+             bench_thread_runtime; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -38,3 +42,4 @@ run() {
 run bench_predict_throughput BENCH_predict.json
 run bench_tuning_speed BENCH_tuning.json
 run bench_collective BENCH_collective.json
+run bench_thread_runtime BENCH_runtime.json

@@ -29,6 +29,7 @@
 #include "util/error.hpp"
 #include "util/heatmap.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace optibar::cli {
 
@@ -275,7 +276,7 @@ int cmd_predict(const Args& args, std::ostream& out) {
 int cmd_simulate(const Args& args, std::ostream& out) {
   args.check_allowed({"profile", "schedule", "algorithm", "reps", "jitter",
                       "seed", "faults", "slack", "retries",
-                      "deadline-floor-ms"});
+                      "deadline-floor-ms", "threads"});
   const TopologyProfile profile =
       TopologyProfile::load_file(args.require("profile"));
   const StoredSchedule stored = schedule_from_args(args, profile);
@@ -306,8 +307,11 @@ int cmd_simulate(const Args& args, std::ostream& out) {
   options.jitter = args.double_or("jitter", 0.03);
   options.seed = args.size_or("seed", 2011);
   const std::size_t reps = args.size_or("reps", 25);
+  // Repetitions are seed-independent, so they fan out; the mean is
+  // bit-identical at any thread count.
+  ThreadPool pool(args.size_or("threads", 1));
   const double mean_time =
-      simulate_mean_time(stored.schedule, profile, options, reps);
+      simulate_mean_time(stored.schedule, profile, options, reps, &pool);
   out.setf(std::ios::scientific);
   out << "simulated barrier time: " << mean_time << " s (mean of " << reps
       << " repetitions, jitter " << options.jitter << ")\n";
@@ -332,6 +336,8 @@ int cmd_compare(const Args& args, std::ostream& out) {
   }
   const TuneResult tuned = tune_barrier(profile, tune_options);
 
+  // The same worker pool the tuner used now fans out simulation reps.
+  ThreadPool sim_pool(tune_options.threads);
   Table table({"algorithm", "stages", "signals", "predicted[s]",
                "simulated[s]"});
   auto add = [&](const std::string& name, const Schedule& schedule,
@@ -342,7 +348,8 @@ int cmd_compare(const Args& args, std::ostream& out) {
         {name, Table::num(schedule.stage_count()),
          Table::num(schedule.total_signals()),
          Table::num(predicted_time(schedule, profile, predict_options), 8),
-         Table::num(simulate_mean_time(schedule, profile, sim_options, reps),
+         Table::num(simulate_mean_time(schedule, profile, sim_options, reps,
+                                       &sim_pool),
                     8)});
   };
   add("linear", linear_barrier(p), {});
@@ -428,13 +435,15 @@ int cmd_sweep(const Args& args, std::ostream& out) {
   EngineOptions tune_options;
   tune_options.threads = args.size_or("threads", 1);
 
+  ThreadPool sim_pool(tune_options.threads);
   Table table({"P", "linear", "dissemination", "tree", "hybrid",
                "hybrid_root"});
   for (std::size_t p = from; p <= to; ++p) {
     const TopologyProfile profile = profile_for(p);
     const TuneResult tuned = tune_barrier(profile, tune_options);
     auto measured = [&](const Schedule& s) {
-      return Table::num(simulate_mean_time(s, profile, sim, reps), 8);
+      return Table::num(simulate_mean_time(s, profile, sim, reps, &sim_pool),
+                        8);
     };
     table.add_row({Table::num(p), measured(linear_barrier(p)),
                    measured(dissemination_barrier(p)),
@@ -449,7 +458,8 @@ int cmd_sweep(const Args& args, std::ostream& out) {
 
 int cmd_workload(const Args& args, std::ostream& out) {
   args.check_allowed({"profile", "schedule", "algorithm", "episodes",
-                      "compute", "skew", "seed", "jitter", "timeline"});
+                      "compute", "skew", "seed", "jitter", "timeline",
+                      "reps", "threads"});
   const TopologyProfile profile =
       TopologyProfile::load_file(args.require("profile"));
   const StoredSchedule stored = schedule_from_args(args, profile);
@@ -461,8 +471,11 @@ int cmd_workload(const Args& args, std::ostream& out) {
   options.compute_stddev = args.double_or("skew", 0.0);
   options.sim.seed = args.size_or("seed", 2011);
   options.sim.jitter = args.double_or("jitter", 0.0);
-  const WorkloadResult result =
-      simulate_workload(stored.schedule, profile, options);
+  const std::size_t reps = args.size_or("reps", 1);
+  ThreadPool pool(args.size_or("threads", 1));
+  const std::vector<WorkloadResult> runs =
+      simulate_workload_reps(stored.schedule, profile, options, reps, &pool);
+  const WorkloadResult& result = runs.front();
   out.setf(std::ios::scientific);
   out << "bulk-synchronous workload: " << options.episodes
       << " episodes, compute " << options.compute_mean << " s +- "
@@ -470,6 +483,21 @@ int cmd_workload(const Args& args, std::ostream& out) {
       << "mean barrier span: " << result.mean_barrier_time() << " s\n"
       << "total synchronization wait: " << result.total_wait() << " s\n"
       << "makespan: " << result.makespan << " s\n";
+  if (reps > 1) {
+    double barrier_sum = 0.0;
+    double wait_sum = 0.0;
+    double makespan_sum = 0.0;
+    for (const WorkloadResult& run : runs) {
+      barrier_sum += run.mean_barrier_time();
+      wait_sum += run.total_wait();
+      makespan_sum += run.makespan;
+    }
+    const double n = static_cast<double>(reps);
+    out << "across " << reps << " repetitions:\n"
+        << "  mean barrier span: " << barrier_sum / n << " s\n"
+        << "  mean total wait: " << wait_sum / n << " s\n"
+        << "  mean makespan: " << makespan_sum / n << " s\n";
+  }
   if (args.has("timeline")) {
     SimOptions one;
     one.seed = options.sim.seed;
@@ -611,7 +639,7 @@ std::string usage_text() {
         "           [--code-out FILE] [--function NAME]\n"
         "  predict  --profile FILE (--schedule FILE | --algorithm NAME)\n"
         "  simulate --profile FILE (--schedule FILE | --algorithm NAME)\n"
-        "           [--reps N] [--jitter X] [--seed N]\n"
+        "           [--reps N] [--jitter X] [--seed N] [--threads N]\n"
         "           [--faults SPEC]   # threaded fault-injection run;\n"
         "                            # SPEC e.g. "
         "'seed=1;drop=0>1@2:1'\n"
@@ -625,6 +653,7 @@ std::string usage_text() {
         "           [--format csv|chrome] [--jitter X] [--seed N]\n"
         "  workload --profile FILE (--schedule FILE | --algorithm NAME)\n"
         "           [--episodes N] [--compute S] [--skew S] [--timeline]\n"
+        "           [--reps N] [--threads N]\n"
         "  sweep    (--machine M | --machine-file F) [--from P] [--to P]\n"
         "           [--mapping block|rr] [--reps N] [--threads N]\n"
         "  collective --profile FILE [--op bcast|reduce|allreduce]\n"

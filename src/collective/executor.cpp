@@ -7,7 +7,8 @@
 
 namespace optibar {
 
-CollectiveExecutor::CollectiveExecutor(const CollectiveSchedule& schedule)
+CollectiveExecutor::CollectiveExecutor(const CollectiveSchedule& schedule,
+                                       simmpi::ExecutionMode mode)
     : stages_(schedule.stage_count()), elem_count_(schedule.elem_count()) {
   OPTIBAR_REQUIRE(is_valid_collective(schedule),
                   "refusing to execute a collective schedule whose dataflow "
@@ -28,6 +29,18 @@ CollectiveExecutor::CollectiveExecutor(const CollectiveSchedule& schedule)
       std::sort(ops_[r][s].recvs.begin(), ops_[r][s].recvs.end(),
                 [](const RecvOp& a, const RecvOp& b) { return a.src < b.src; });
     }
+  }
+  if (mode == simmpi::ExecutionMode::kPersistentPool) {
+    pool_ = std::make_unique<simmpi::RankPool>(p);
+  }
+}
+
+void CollectiveExecutor::run_episode(simmpi::Communicator& comm,
+                                     const simmpi::RankFunction& fn) const {
+  if (pool_ != nullptr) {
+    simmpi::run_ranks(*pool_, comm, fn);
+  } else {
+    simmpi::run_ranks(comm, fn);
   }
 }
 
@@ -62,7 +75,9 @@ void CollectiveExecutor::execute(simmpi::RankContext& ctx, ReduceOp op,
     for (std::size_t k = 0; k < ops.recvs.size(); ++k) {
       requests.push_back(ctx.irecv(ops.recvs[k].src, tag, &inbox[k]));
     }
-    simmpi::RankContext::wait_all(requests);
+    // One shard-condvar park per wakeup instead of one condvar wait
+    // per request.
+    ctx.wait_all_batched(requests);
     // Apply incoming edges in ascending source order (recvs are sorted).
     for (std::size_t k = 0; k < ops.recvs.size(); ++k) {
       const RecvOp& recv = ops.recvs[k];
@@ -223,7 +238,7 @@ CollectiveExecutor::ResilientResult CollectiveExecutor::run_once_resilient(
   if (!faults.empty()) {
     comm.set_fault_plan(faults);
   }
-  simmpi::run_ranks(comm, [&](simmpi::RankContext& ctx) {
+  run_episode(comm, [&](simmpi::RankContext& ctx) {
     if (execute_resilient(ctx, op, result.buffers[ctx.rank()], options,
                           result.report)) {
       result.report.per_rank[ctx.rank()].finished = true;
@@ -242,7 +257,7 @@ std::vector<Payload> CollectiveExecutor::run_once(
                   "expected " << p << " input buffers, got " << inputs.size());
   std::vector<Payload> buffers = inputs;
   simmpi::Communicator comm(p, std::move(latency), std::move(byte_latency));
-  simmpi::run_ranks(comm, [&](simmpi::RankContext& ctx) {
+  run_episode(comm, [&](simmpi::RankContext& ctx) {
     execute(ctx, op, buffers[ctx.rank()]);
   });
   OPTIBAR_ASSERT(comm.unmatched_operations() == 0,

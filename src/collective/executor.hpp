@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "collective/schedule.hpp"
@@ -26,8 +27,14 @@ class CollectiveExecutor {
  public:
   /// Precompute per-rank op lists. The schedule must pass
   /// is_valid_collective(): executing an invalid dataflow would
-  /// silently produce wrong buffers.
-  explicit CollectiveExecutor(const CollectiveSchedule& schedule);
+  /// silently produce wrong buffers. With
+  /// simmpi::ExecutionMode::kPersistentPool the executor owns a
+  /// RankPool and run_once/run_once_resilient reuse its parked workers
+  /// across episodes instead of spawning threads per call (episodes
+  /// then serialize on the pool; results are identical either way).
+  explicit CollectiveExecutor(
+      const CollectiveSchedule& schedule,
+      simmpi::ExecutionMode mode = simmpi::ExecutionMode::kSpawnPerEpisode);
 
   std::size_t ranks() const { return ops_.size(); }
   std::size_t stage_count() const { return stages_; }
@@ -88,9 +95,15 @@ class CollectiveExecutor {
     std::vector<RecvOp> recvs;  ///< ascending src — the application order
   };
 
+  // Spawn threads or dispatch a pool generation, per the construction
+  // mode.
+  void run_episode(simmpi::Communicator& comm,
+                   const simmpi::RankFunction& fn) const;
+
   std::size_t stages_ = 0;
   std::size_t elem_count_ = 0;
   std::vector<std::vector<StageOps>> ops_;  ///< ops_[rank][stage]
+  std::unique_ptr<simmpi::RankPool> pool_;  ///< kPersistentPool only
 };
 
 }  // namespace optibar

@@ -7,6 +7,7 @@
 #include "netsim/event_queue.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace optibar {
 
@@ -341,15 +342,40 @@ SimResult simulate(const Schedule& schedule, const TopologyProfile& profile,
   return Simulation(schedule, profile, options).run();
 }
 
+namespace {
+
+/// Run body(0..n-1), fanning out across `pool` when it helps. Bodies
+/// write to index-owned slots, so results never depend on the width.
+void for_each_rep(std::size_t n, ThreadPool* pool,
+                  const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr && pool->width() > 1 && n > 1) {
+    pool->parallel_for(n, body);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    body(i);
+  }
+}
+
+}  // namespace
+
 double simulate_mean_time(const Schedule& schedule,
                           const TopologyProfile& profile,
-                          const SimOptions& options, std::size_t repetitions) {
+                          const SimOptions& options, std::size_t repetitions,
+                          ThreadPool* pool) {
   OPTIBAR_REQUIRE(repetitions > 0, "repetitions must be positive");
-  double total = 0.0;
-  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+  // Each repetition derives its seed from the index alone and writes
+  // its own slot; the sum below runs in index order. Both together
+  // make the mean bit-identical at any pool width.
+  std::vector<double> times(repetitions);
+  for_each_rep(repetitions, pool, [&](std::size_t rep) {
     SimOptions rep_options = options;
     rep_options.seed = options.seed + 0x9E3779B9ULL * (rep + 1);
-    total += simulate(schedule, profile, rep_options).barrier_time();
+    times[rep] = simulate(schedule, profile, rep_options).barrier_time();
+  });
+  double total = 0.0;
+  for (double t : times) {
+    total += t;
   }
   return total / static_cast<double>(repetitions);
 }
@@ -414,6 +440,25 @@ WorkloadResult simulate_workload(const Schedule& schedule,
   result.makespan =
       *std::max_element(completion.begin(), completion.end());
   return result;
+}
+
+std::vector<WorkloadResult> simulate_workload_reps(
+    const Schedule& schedule, const TopologyProfile& profile,
+    const WorkloadOptions& options, std::size_t repetitions,
+    ThreadPool* pool) {
+  OPTIBAR_REQUIRE(repetitions > 0, "repetitions must be positive");
+  // Episodes inside one workload are sequential (episode e enters when
+  // e-1 completed), but whole workload runs are independent given
+  // their seed — the parallel grain. Rep 0 keeps the caller's seed so
+  // a single-rep call degenerates to simulate_workload exactly.
+  std::vector<WorkloadResult> results(repetitions);
+  for_each_rep(repetitions, pool, [&](std::size_t rep) {
+    WorkloadOptions rep_options = options;
+    rep_options.sim.seed =
+        options.sim.seed + 0xD1B54A32D192ED03ULL * rep;
+    results[rep] = simulate_workload(schedule, profile, rep_options);
+  });
+  return results;
 }
 
 }  // namespace optibar

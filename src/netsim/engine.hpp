@@ -33,6 +33,8 @@
 
 namespace optibar {
 
+class ThreadPool;  // util/thread_pool.hpp
+
 struct SimOptions {
   /// Synchronized-send coupling (MPI_Issend). Disable to model eager
   /// fire-and-forget sends.
@@ -139,10 +141,15 @@ SimResult simulate(const Schedule& schedule, const TopologyProfile& profile,
                    const SimOptions& options = {});
 
 /// Mean barrier_time over `repetitions` runs with derived seeds — the
-/// netsim analogue of the paper's 25-repetition means.
+/// netsim analogue of the paper's 25-repetition means. Repetitions are
+/// independent (each derives its own seed from `options.seed` and the
+/// repetition index) and fan out across `pool` when one is given; the
+/// per-rep results are accumulated in repetition order, so the mean is
+/// bit-identical at any pool width, including none.
 double simulate_mean_time(const Schedule& schedule,
                           const TopologyProfile& profile,
-                          const SimOptions& options, std::size_t repetitions);
+                          const SimOptions& options, std::size_t repetitions,
+                          ThreadPool* pool = nullptr);
 
 /// Build the egress resource map "one NIC per node" for a placement:
 /// resource_of[rank] = node hosting the rank.
@@ -178,5 +185,17 @@ struct WorkloadResult {
 WorkloadResult simulate_workload(const Schedule& schedule,
                                  const TopologyProfile& profile,
                                  const WorkloadOptions& options = {});
+
+/// `repetitions` independent workload runs. Rep 0 uses the options
+/// verbatim (so element 0 equals simulate_workload); each later rep
+/// derives a fresh seed from `options.sim.seed` and its index. Reps
+/// fan out across `pool` when one is given and land in index-owned
+/// slots, so the result vector is invariant to pool width — the
+/// thread-count-invariance contract of every seeded mean in this
+/// engine.
+std::vector<WorkloadResult> simulate_workload_reps(
+    const Schedule& schedule, const TopologyProfile& profile,
+    const WorkloadOptions& options, std::size_t repetitions,
+    ThreadPool* pool = nullptr);
 
 }  // namespace optibar

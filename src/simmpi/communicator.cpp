@@ -7,12 +7,18 @@
 namespace optibar::simmpi {
 
 Communicator::Communicator(std::size_t size, LatencyModel latency,
-                           ByteLatencyModel byte_latency)
+                           ByteLatencyModel byte_latency, BoardMode board)
     : size_(size),
       latency_(std::move(latency)),
-      byte_latency_(std::move(byte_latency)) {
+      byte_latency_(std::move(byte_latency)),
+      board_(board) {
   OPTIBAR_REQUIRE(size_ > 0, "communicator needs at least one rank");
   OPTIBAR_REQUIRE(latency_, "null latency model");
+  const std::size_t shard_count = board_ == BoardMode::kGlobal ? 1 : size_;
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
 
 void Communicator::check_rank(std::size_t rank, const char* what) const {
@@ -31,20 +37,36 @@ Clock::duration Communicator::delivery_delay(std::size_t src, std::size_t dst,
 }
 
 void Communicator::set_fault_plan(FaultPlan plan) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Contract: called before any traffic. Rank threads observe the
+  // injector through the happens-before edge of being spawned (or
+  // dispatched by a RankPool generation) after this call.
   injector_ = std::make_unique<FaultInjector>(std::move(plan));
 }
 
 std::size_t Communicator::dropped_messages() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return dropped_;
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    n += shard->dropped;
+  }
+  return n;
+}
+
+void Communicator::notify_shard(std::size_t shard_index) const {
+  Shard& shard = *shards_[shard_index];
+  // Lock-release fence: a batched waiter that saw the request as
+  // incomplete either still holds the shard mutex (we block until it
+  // parks, atomically releasing it) or is already parked — either way
+  // the notify below cannot be lost.
+  { std::lock_guard<std::mutex> fence(shard.mutex); }
+  shard.cv.notify_all();
 }
 
 Request Communicator::issend(std::size_t src, std::size_t dst, int tag) {
   return issend(src, dst, tag, Payload{});
 }
 
-void Communicator::post_send(Channel& channel, PendingOp op, std::size_t src,
+bool Communicator::post_send(Channel& channel, PendingOp op, std::size_t src,
                              std::size_t dst) {
   const Clock::time_point delivered =
       op.posted_at + delivery_delay(src, dst, op.payload.size()) +
@@ -63,9 +85,10 @@ void Communicator::post_send(Channel& channel, PendingOp op, std::size_t src,
     }
     recv.request->fulfil(visible);
     op.request->fulfil(visible);
-  } else {
-    channel.sends.push_back(std::move(op));
+    return true;
   }
+  channel.sends.push_back(std::move(op));
+  return false;
 }
 
 Request Communicator::issend(std::size_t src, std::size_t dst, int tag,
@@ -77,36 +100,50 @@ Request Communicator::issend(std::size_t src, std::size_t dst, int tag,
   auto request = std::make_shared<RequestState>();
   const Clock::time_point now = Clock::now();
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  Channel& channel = channels_[ChannelKey{src, dst, tag}];
-  FaultInjector::Decision fault;
-  if (injector_ != nullptr) {
-    fault = injector_->decide(src, dst, tag, channel.next_send_seq++);
+  const std::size_t shard_index = shard_of(dst);
+  Shard& shard = *shards_[shard_index];
+  bool matched = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    Channel& channel = shard.channels[ChannelKey{src, dst, tag}];
+    FaultInjector::Decision fault;
+    if (injector_ != nullptr) {
+      fault = injector_->decide(src, dst, tag, channel.next_send_seq++);
+    }
+    if (fault.drop) {
+      // The message is lost in the network: it never matches a receive,
+      // so the synchronized send never completes. The caller's bounded
+      // wait (not this call) is what turns that into a stall report.
+      ++shard.dropped;
+      return request;
+    }
+    const Clock::duration fault_delay = std::chrono::duration_cast<
+        Clock::duration>(std::chrono::duration<double>(fault.delay_seconds));
+    for (std::size_t d = 0; d < fault.duplicates; ++d) {
+      // Ghost copy behind the original: same payload, its own request
+      // nobody waits on. It sits in the channel exactly like a stray
+      // duplicate delivered by a flaky link — a later receive on the
+      // same channel would consume it.
+      channel.sends.push_back(PendingOp{std::make_shared<RequestState>(), now,
+                                        payload, nullptr, fault_delay, {}});
+    }
+    PendingOp op{request, now, std::move(payload), nullptr, fault_delay, {}};
+    if (fault.duplicates > 0 && channel.recvs.empty()) {
+      // Keep FIFO order: the original goes ahead of its ghosts so the
+      // receiver's single matching recv binds the real send.
+      channel.sends.push_front(std::move(op));
+    } else {
+      matched = post_send(channel, std::move(op), src, dst);
+    }
   }
-  if (fault.drop) {
-    // The message is lost in the network: it never matches a receive,
-    // so the synchronized send never completes. The caller's bounded
-    // wait (not this call) is what turns that into a stall report.
-    ++dropped_;
-    return request;
-  }
-  const Clock::duration fault_delay = std::chrono::duration_cast<
-      Clock::duration>(std::chrono::duration<double>(fault.delay_seconds));
-  for (std::size_t d = 0; d < fault.duplicates; ++d) {
-    // Ghost copy behind the original: same payload, its own request
-    // nobody waits on. It sits in the channel exactly like a stray
-    // duplicate delivered by a flaky link — a later receive on the
-    // same channel would consume it.
-    channel.sends.push_back(PendingOp{std::make_shared<RequestState>(), now,
-                                      payload, nullptr, fault_delay});
-  }
-  PendingOp op{request, now, std::move(payload), nullptr, fault_delay};
-  if (fault.duplicates > 0 && channel.recvs.empty()) {
-    // Keep FIFO order: the original goes ahead of its ghosts so the
-    // receiver's single matching recv binds the real send.
-    channel.sends.push_front(std::move(op));
-  } else {
-    post_send(channel, std::move(op), src, dst);
+  if (matched) {
+    // Wake batched waiters: the receiver parks on dst's shard, the
+    // sender on its own. Both notifies run after the shard lock above
+    // is released, so no two shard mutexes are ever held at once.
+    notify_shard(shard_index);
+    if (shard_of(src) != shard_index) {
+      notify_shard(shard_of(src));
+    }
   }
   return request;
 }
@@ -125,25 +162,37 @@ Request Communicator::irecv(std::size_t src, std::size_t dst, int tag,
   auto request = std::make_shared<RequestState>();
   const Clock::time_point now = Clock::now();
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  Channel& channel = channels_[ChannelKey{src, dst, tag}];
-  if (!channel.sends.empty()) {
-    PendingOp send = std::move(channel.sends.front());
-    channel.sends.pop_front();
-    const Clock::time_point delivered =
-        send.posted_at + delivery_delay(src, dst, send.payload.size()) +
-        send.fault_delay;
-    // Delivery is never before the receive is posted.
-    const Clock::time_point visible = std::max(delivered, now);
-    if (sink != nullptr) {
-      *sink = std::move(send.payload);
+  const std::size_t shard_index = shard_of(dst);
+  Shard& shard = *shards_[shard_index];
+  bool matched = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    Channel& channel = shard.channels[ChannelKey{src, dst, tag}];
+    if (!channel.sends.empty()) {
+      PendingOp send = std::move(channel.sends.front());
+      channel.sends.pop_front();
+      const Clock::time_point delivered =
+          send.posted_at + delivery_delay(src, dst, send.payload.size()) +
+          send.fault_delay;
+      // Delivery is never before the receive is posted.
+      const Clock::time_point visible = std::max(delivered, now);
+      if (sink != nullptr) {
+        *sink = std::move(send.payload);
+      }
+      send.request->fulfil(visible);
+      request->fulfil(visible);
+      matched = true;
+    } else {
+      channel.recvs.push_back(PendingOp{request, now, Payload{}, sink,
+                                        Clock::duration{},
+                                        std::move(keepalive)});
     }
-    send.request->fulfil(visible);
-    request->fulfil(visible);
-  } else {
-    channel.recvs.push_back(PendingOp{request, now, Payload{}, sink,
-                                      Clock::duration{},
-                                      std::move(keepalive)});
+  }
+  if (matched) {
+    notify_shard(shard_index);
+    if (shard_of(src) != shard_index) {
+      notify_shard(shard_of(src));
+    }
   }
   return request;
 }
@@ -151,6 +200,27 @@ Request Communicator::irecv(std::size_t src, std::size_t dst, int tag,
 void Communicator::wait_all(std::span<const Request> requests) {
   for (const Request& request : requests) {
     OPTIBAR_REQUIRE(request != nullptr, "null request in wait_all");
+    request->wait();
+  }
+}
+
+void Communicator::wait_all_on(std::size_t waiter,
+                               std::span<const Request> requests) const {
+  check_rank(waiter, "waiter");
+  for (const Request& request : requests) {
+    OPTIBAR_REQUIRE(request != nullptr, "null request in wait_all_on");
+  }
+  Shard& shard = *shards_[shard_of(waiter)];
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.cv.wait(lock, [&] {
+      return std::all_of(requests.begin(), requests.end(),
+                         [](const Request& r) { return r->finished(); });
+    });
+  }
+  // Everything matched; the per-request waits below only sleep out the
+  // simulated delivery latency (ready_at), never block on a condvar.
+  for (const Request& request : requests) {
     request->wait();
   }
 }
@@ -171,10 +241,12 @@ bool Communicator::wait_all_for(std::span<const Request> requests,
 }
 
 std::size_t Communicator::unmatched_operations() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t n = 0;
-  for (const auto& [key, channel] : channels_) {
-    n += channel.sends.size() + channel.recvs.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, channel] : shard->channels) {
+      n += channel.sends.size() + channel.recvs.size();
+    }
   }
   return n;
 }

@@ -13,15 +13,26 @@
 // carry a vector of 64-bit words. Both go through the same channels:
 // the payload overloads of issend/irecv move the words from the
 // sender's buffer into the receiver's sink at match time (under the
-// board mutex, sequenced before the requests are fulfilled, so the
-// receiver's wait() return happens-after the sink write). Matching is
-// per (src, dst, tag) channel in FIFO order, under one board mutex —
-// adequate for the rank counts of in-process tests, and the injected
-// LatencyModel (not lock contention) dominates simulated behaviour.
+// shard mutex, sequenced before the requests are fulfilled, so the
+// receiver's wait() return happens-after the sink write).
+//
+// The message board is *sharded by destination rank*: every channel
+// (src, dst, tag) lives in the shard of its destination, each shard has
+// its own mutex and condition variable, and an operation only ever
+// locks the shard where its messages meet. An all-to-all stage at P
+// ranks therefore contends on P independent locks instead of one
+// global one. Matching stays per-channel FIFO, and every fault
+// decision is a counter-based hash of the per-channel send sequence
+// number (a single sending rank per channel makes that number
+// thread-interleaving independent), so sharding cannot change drop /
+// duplicate / delay outcomes — only where the lock lives.
+// BoardMode::kGlobal collapses the board back to one shard, preserving
+// the seed's single-mutex behaviour for benchmarking and parity tests.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
@@ -48,28 +59,37 @@ using ByteLatencyModel =
     std::function<Clock::duration(std::size_t src, std::size_t dst,
                                   std::size_t bytes)>;
 
+/// Board sharding policy. kSharded (the default) gives every
+/// destination rank its own mailbox lock; kGlobal keeps the seed's
+/// one-mutex board and exists for contention benchmarks and
+/// sharded-vs-global parity tests — observable behaviour is identical.
+enum class BoardMode { kSharded, kGlobal };
+
 class Communicator {
  public:
   explicit Communicator(std::size_t size,
                         LatencyModel latency = uniform_latency(),
-                        ByteLatencyModel byte_latency = nullptr);
+                        ByteLatencyModel byte_latency = nullptr,
+                        BoardMode board = BoardMode::kSharded);
 
   Communicator(const Communicator&) = delete;
   Communicator& operator=(const Communicator&) = delete;
 
   std::size_t size() const { return size_; }
+  BoardMode board_mode() const { return board_; }
 
   /// Attach a fault plan: subsequent sends are subject to its drop /
   /// duplicate / delay rules (crash rules are interpreted by the
   /// executors, which know about stages). Call before any traffic —
   /// the per-channel sequence numbers that make decisions reproducible
-  /// start counting at attach time.
+  /// start counting at attach time, and publication to rank threads
+  /// rides on the happens-before edge of spawning (or unparking) them.
   void set_fault_plan(FaultPlan plan);
 
   /// The attached injector, or nullptr when running fault-free.
   const FaultInjector* fault_injector() const { return injector_.get(); }
 
-  /// Signals the fault plan has swallowed so far.
+  /// Signals the fault plan has swallowed so far, summed over shards.
   std::size_t dropped_messages() const;
 
   /// Post a synchronized send of a zero-byte signal src -> dst.
@@ -92,8 +112,18 @@ class Communicator {
   Request irecv(std::size_t src, std::size_t dst, int tag, Payload* sink,
                 std::shared_ptr<void> keepalive = nullptr);
 
-  /// Wait for every request (order-independent).
+  /// Wait for every request (order-independent), one request at a time.
   static void wait_all(std::span<const Request> requests);
+
+  /// Batched wait for rank `waiter`: sleeps on the waiter's shard
+  /// condition variable and re-scans the whole request set once per
+  /// wakeup, instead of blocking on each request's own condvar in
+  /// turn. Every match notifies both the destination shard (where the
+  /// receiver waits) and the sender's shard, so a rank parked here is
+  /// woken by completions of its receives *and* of its sends to other
+  /// shards. All requests must belong to operations posted by
+  /// `waiter`; like wait_all, this blocks forever on a dropped send.
+  void wait_all_on(std::size_t waiter, std::span<const Request> requests) const;
 
   /// Bounded wait over a request set: true when all completed within
   /// the budget (checked jointly, not per request). On false, some
@@ -124,23 +154,45 @@ class Communicator {
     std::uint64_t next_send_seq = 0;  ///< feeds the fault injector
   };
 
+  /// One destination mailbox: the channels whose messages terminate at
+  /// this rank, their unmatched lists, and the condvar batched waiters
+  /// park on. `dropped` is per-shard and aggregated on read.
+  struct Shard {
+    mutable std::mutex mutex;
+    mutable std::condition_variable cv;
+    std::map<ChannelKey, Channel> channels;
+    std::size_t dropped = 0;  ///< guarded by mutex
+  };
+
+  std::size_t shard_of(std::size_t dst) const {
+    return board_ == BoardMode::kGlobal ? 0 : dst;
+  }
+
   void check_rank(std::size_t rank, const char* what) const;
 
   Clock::duration delivery_delay(std::size_t src, std::size_t dst,
                                  std::size_t payload_words) const;
 
   // Match a send against a waiting receive or enqueue it; caller holds
-  // mutex_. `op.request` may be a ghost nobody waits on (duplicates).
-  void post_send(Channel& channel, PendingOp op, std::size_t src,
+  // the dst shard's mutex. `op.request` may be a ghost nobody waits on
+  // (duplicates). Returns true when a match fulfilled requests (the
+  // caller then notifies the waiter shards after unlocking).
+  bool post_send(Channel& channel, PendingOp op, std::size_t src,
                  std::size_t dst);
+
+  // Acquire-release the shard's mutex, then notify its condvar: the
+  // fence closes the missed-wakeup window against a batched waiter
+  // that checked its predicate but has not yet parked. Never called
+  // while holding another shard's mutex (src->dst and dst->src cycles
+  // would deadlock).
+  void notify_shard(std::size_t shard_index) const;
 
   std::size_t size_;
   LatencyModel latency_;
   ByteLatencyModel byte_latency_;
+  BoardMode board_;
   std::unique_ptr<FaultInjector> injector_;
-  mutable std::mutex mutex_;
-  std::map<ChannelKey, Channel> channels_;
-  std::size_t dropped_ = 0;  ///< guarded by mutex_
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace optibar::simmpi

@@ -6,7 +6,8 @@
 
 namespace optibar::simmpi {
 
-ScheduleExecutor::ScheduleExecutor(const Schedule& schedule)
+ScheduleExecutor::ScheduleExecutor(const Schedule& schedule,
+                                   ExecutionMode mode)
     : stages_(schedule.stage_count()) {
   OPTIBAR_REQUIRE(schedule.is_barrier(),
                   "refusing to execute a signal pattern that is not a "
@@ -18,6 +19,18 @@ ScheduleExecutor::ScheduleExecutor(const Schedule& schedule)
       ops_[r][s].send_to = schedule.targets_of(r, s);
       ops_[r][s].recv_from = schedule.sources_of(r, s);
     }
+  }
+  if (mode == ExecutionMode::kPersistentPool) {
+    pool_ = std::make_unique<RankPool>(p);
+  }
+}
+
+void ScheduleExecutor::run_episode(Communicator& comm,
+                                   const RankFunction& fn) const {
+  if (pool_ != nullptr) {
+    run_ranks(*pool_, comm, fn);
+  } else {
+    run_ranks(comm, fn);
   }
 }
 
@@ -42,7 +55,9 @@ void ScheduleExecutor::execute(RankContext& ctx, int episode) const {
     for (std::size_t src : ops.recv_from) {
       requests.push_back(ctx.irecv(src, tag));
     }
-    RankContext::wait_all(requests);
+    // One shard-condvar park per wakeup instead of one condvar wait
+    // per request.
+    ctx.wait_all_batched(requests);
   }
 }
 
@@ -156,7 +171,7 @@ StallReport ScheduleExecutor::run_once_resilient(
   if (!faults.empty()) {
     comm.set_fault_plan(faults);
   }
-  run_ranks(comm, [&](RankContext& ctx) {
+  run_episode(comm, [&](RankContext& ctx) {
     if (execute_resilient(ctx, options, report)) {
       report.per_rank[ctx.rank()].finished = true;
     }
@@ -175,7 +190,7 @@ std::vector<std::chrono::nanoseconds> ScheduleExecutor::run_once(
   std::vector<std::chrono::nanoseconds> exits(p);
   Communicator comm(p, std::move(latency));
   const Clock::time_point start = Clock::now();
-  run_ranks(comm, [&](RankContext& ctx) {
+  run_episode(comm, [&](RankContext& ctx) {
     const std::size_t r = ctx.rank();
     if (!entry_delays.empty() && entry_delays[r].count() > 0) {
       std::this_thread::sleep_for(entry_delays[r]);

@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "barrier/schedule.hpp"
@@ -30,8 +31,15 @@ class ScheduleExecutor {
  public:
   /// Precompute per-rank op lists. The schedule must be a valid barrier
   /// (checked: executing a non-barrier would not synchronize, and some
-  /// non-barriers deadlock the synchronized sends).
-  explicit ScheduleExecutor(const Schedule& schedule);
+  /// non-barriers deadlock the synchronized sends). With
+  /// ExecutionMode::kPersistentPool the executor owns a RankPool of
+  /// ranks() parked workers and run_once/run_once_resilient dispatch
+  /// generations instead of spawning threads — the mode for callers
+  /// that execute episodes in a loop. Episodes then serialize on the
+  /// pool; results are identical either way.
+  explicit ScheduleExecutor(
+      const Schedule& schedule,
+      ExecutionMode mode = ExecutionMode::kSpawnPerEpisode);
 
   std::size_t ranks() const { return ops_.size(); }
   std::size_t stage_count() const { return stages_; }
@@ -73,8 +81,13 @@ class ScheduleExecutor {
     std::vector<std::size_t> recv_from;
   };
 
+  // Spawn threads or dispatch a pool generation, per the construction
+  // mode.
+  void run_episode(Communicator& comm, const RankFunction& fn) const;
+
   std::size_t stages_ = 0;
   std::vector<std::vector<StageOps>> ops_;  ///< ops_[rank][stage]
+  std::unique_ptr<RankPool> pool_;  ///< kPersistentPool only
 };
 
 }  // namespace optibar::simmpi

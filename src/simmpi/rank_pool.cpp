@@ -1,0 +1,89 @@
+#include "simmpi/rank_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace optibar::simmpi {
+
+RankPool::RankPool(std::size_t ranks) {
+  OPTIBAR_REQUIRE(ranks > 0, "rank pool needs at least one rank");
+  errors_.assign(ranks, nullptr);
+  workers_.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    workers_.emplace_back([this, r] { worker_loop(r); });
+  }
+}
+
+RankPool::~RankPool() {
+  {
+    // Taking run_mutex_ first lets an in-flight generation drain.
+    std::lock_guard<std::mutex> serial(run_mutex_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void RankPool::worker_loop(std::size_t rank) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || (epoch_ != seen && rank < active_);
+      });
+      if (stop_) {
+        return;
+      }
+      seen = epoch_;
+      job = job_;
+    }
+    std::exception_ptr error;
+    try {
+      (*job)(rank);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error) {
+        errors_[rank] = error;
+      }
+      if (--remaining_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void RankPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  OPTIBAR_REQUIRE(fn, "null rank function");
+  OPTIBAR_REQUIRE(n > 0 && n <= workers_.size(),
+                  "generation width " << n << " not in [1, "
+                                      << workers_.size() << "]");
+  std::lock_guard<std::mutex> serial(run_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    active_ = n;
+    remaining_ = n;
+    ++epoch_;
+    errors_.assign(workers_.size(), nullptr);
+  }
+  start_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+  for (const std::exception_ptr& error : errors_) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+}  // namespace optibar::simmpi

@@ -35,6 +35,18 @@ void run_ranks(Communicator& comm, const RankFunction& fn) {
   }
 }
 
+void run_ranks(RankPool& pool, Communicator& comm, const RankFunction& fn) {
+  OPTIBAR_REQUIRE(fn, "null rank function");
+  OPTIBAR_REQUIRE(pool.size() >= comm.size(),
+                  "rank pool width " << pool.size()
+                                     << " smaller than communicator size "
+                                     << comm.size());
+  pool.run(comm.size(), [&](std::size_t r) {
+    RankContext ctx(comm, r);
+    fn(ctx);
+  });
+}
+
 void run_ranks(std::size_t ranks, const RankFunction& fn,
                LatencyModel latency) {
   Communicator comm(ranks, std::move(latency));

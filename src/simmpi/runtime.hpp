@@ -1,9 +1,17 @@
 // Rank-thread runtime.
 //
-// run_ranks spawns one thread per rank, gives each a RankContext bound to
-// a shared Communicator, and joins them, propagating the first exception
-// thrown by any rank. This is the in-process analogue of mpirun over the
-// paper's affinity-pinned processes.
+// run_ranks gives each rank a RankContext bound to a shared
+// Communicator and runs the rank function once per rank, propagating
+// the first exception thrown by any rank. Two execution vehicles share
+// that contract:
+//
+//   run_ranks(comm, fn)        — spawn one thread per rank, join them
+//                                (the in-process analogue of mpirun
+//                                over the paper's affinity-pinned
+//                                processes);
+//   run_ranks(pool, comm, fn)  — dispatch one generation of a
+//                                persistent RankPool (rank_pool.hpp),
+//                                paying no thread creation per episode.
 #pragma once
 
 #include <cstddef>
@@ -11,6 +19,7 @@
 #include <utility>
 
 #include "simmpi/communicator.hpp"
+#include "simmpi/rank_pool.hpp"
 
 namespace optibar::simmpi {
 
@@ -41,6 +50,13 @@ class RankContext {
     Communicator::wait_all(requests);
   }
 
+  /// Batched wait for this rank's own requests: one park on the rank's
+  /// shard condvar per wakeup instead of one condvar wait per request
+  /// (Communicator::wait_all_on).
+  void wait_all_batched(std::span<const Request> requests) const {
+    comm_->wait_all_on(rank_, requests);
+  }
+
   Communicator& communicator() { return *comm_; }
 
  private:
@@ -50,10 +66,16 @@ class RankContext {
 
 using RankFunction = std::function<void(RankContext&)>;
 
-/// Run `fn` once per rank on `comm.size()` threads. Blocks until all
-/// ranks return; rethrows the first rank exception after joining all
-/// threads (so no thread is leaked on failure).
+/// Run `fn` once per rank on `comm.size()` fresh threads. Blocks until
+/// all ranks return; rethrows the first rank exception after joining
+/// all threads (so no thread is leaked on failure).
 void run_ranks(Communicator& comm, const RankFunction& fn);
+
+/// Run `fn` once per rank as one generation of `pool` (no thread
+/// creation). Requires pool.size() >= comm.size(); workers beyond the
+/// communicator width stay parked. Same completion and exception
+/// contract as the spawning overload.
+void run_ranks(RankPool& pool, Communicator& comm, const RankFunction& fn);
 
 /// Convenience: build a communicator of `ranks` ranks with the given
 /// latency model and run `fn`.

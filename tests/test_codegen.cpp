@@ -261,6 +261,7 @@ int main() {
       "/src/simmpi/communicator.cpp " + src_root +
       "/src/simmpi/fault.cpp " + src_root +
       "/src/simmpi/runtime.cpp " + src_root +
+      "/src/simmpi/rank_pool.cpp " + src_root +
       "/src/simmpi/latency_model.cpp -lpthread -o " +
       (dir / "driver").string() + " 2> " + (dir / "compile.log").string();
   ASSERT_EQ(std::system(cmd.c_str()), 0)

@@ -194,7 +194,11 @@ TEST(Library, InjectedFaultsDriveQuarantineEndToEnd) {
   simmpi::ResilienceOptions resilience;
   resilience.max_retries = 0;
   resilience.deadline_floor = std::chrono::milliseconds(15);
-  const simmpi::ScheduleExecutor executor(schedule);
+  // The retry loop executes episode after episode — exactly the caller
+  // the pooled mode exists for: one set of parked rank workers serves
+  // every attempt.
+  const simmpi::ScheduleExecutor executor(
+      schedule, simmpi::ExecutionMode::kPersistentPool);
   while (!library.is_quarantined(subset)) {
     const simmpi::StallReport report =
         executor.run_once_resilient(resilience, faults);

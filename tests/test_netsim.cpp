@@ -16,6 +16,7 @@
 #include "topology/machine.hpp"
 #include "topology/mapping.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace optibar {
 namespace {
@@ -454,6 +455,60 @@ TEST(Netsim, TraceCoversEverySignal) {
   for (const MessageTrace& t : r.trace) {
     EXPECT_LE(t.injected, t.matched);
     EXPECT_EQ(s.stage(t.stage)(t.src, t.dst), 1);
+  }
+}
+
+TEST(Netsim, MeanTimeIsInvariantToPoolWidth) {
+  // Repetitions fan out across the pool but land in index-owned slots
+  // and are summed in index order: the mean must be bit-identical with
+  // no pool, a width-1 pool (inline path), and a wide pool.
+  const MachineSpec m = quad_cluster(2);
+  const TopologyProfile profile = generate_profile(m, 12);
+  const Schedule s = dissemination_barrier(12);
+  SimOptions options;
+  options.jitter = 0.05;
+  options.seed = 77;
+  const std::size_t reps = 10;
+  const double serial = simulate_mean_time(s, profile, options, reps);
+  ThreadPool inline_pool(1);
+  ThreadPool wide_pool(4);
+  EXPECT_EQ(simulate_mean_time(s, profile, options, reps, &inline_pool),
+            serial);
+  EXPECT_EQ(simulate_mean_time(s, profile, options, reps, &wide_pool),
+            serial);
+}
+
+TEST(Workload, RepsInvariantToPoolWidthAndAnchoredAtRepZero) {
+  const MachineSpec m = quad_cluster(2);
+  const TopologyProfile profile = generate_profile(m, 8);
+  const Schedule s = tree_barrier(8);
+  WorkloadOptions options;
+  options.episodes = 6;
+  options.compute_stddev = 5e-5;
+  options.sim.jitter = 0.05;
+  const std::size_t reps = 5;
+  const std::vector<WorkloadResult> serial =
+      simulate_workload_reps(s, profile, options, reps);
+  ASSERT_EQ(serial.size(), reps);
+  // Rep 0 is the plain simulate_workload run, verbatim.
+  const WorkloadResult plain = simulate_workload(s, profile, options);
+  EXPECT_EQ(serial[0].episode_barrier_times, plain.episode_barrier_times);
+  EXPECT_EQ(serial[0].rank_wait_total, plain.rank_wait_total);
+  EXPECT_EQ(serial[0].makespan, plain.makespan);
+  // Later reps draw fresh seeds — they must differ from rep 0.
+  EXPECT_NE(serial[1].episode_barrier_times, serial[0].episode_barrier_times);
+  // The whole vector is pool-width invariant.
+  ThreadPool wide_pool(4);
+  const std::vector<WorkloadResult> pooled =
+      simulate_workload_reps(s, profile, options, reps, &wide_pool);
+  ASSERT_EQ(pooled.size(), reps);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    EXPECT_EQ(pooled[rep].episode_barrier_times,
+              serial[rep].episode_barrier_times)
+        << "rep " << rep;
+    EXPECT_EQ(pooled[rep].rank_wait_total, serial[rep].rank_wait_total)
+        << "rep " << rep;
+    EXPECT_EQ(pooled[rep].makespan, serial[rep].makespan) << "rep " << rep;
   }
 }
 
