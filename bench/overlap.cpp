@@ -1,0 +1,85 @@
+// Google-benchmark: what the handle-based nonblocking lifecycle buys
+// when each rank has real computation to overlap with the barrier.
+//
+// Every iteration runs one full episode on real rank threads, with each
+// rank spinning for a fixed per-rank compute budget. The ratio argument
+// (percent) is how much of that compute is placed *after* the post:
+//
+//   ratio   0 — compute entirely before the call, then a blocking
+//               execute(): the classic bulk-synchronous baseline;
+//   ratio  50 — half the compute overlaps the in-flight barrier;
+//   ratio 100 — post immediately, overlap everything, then drain with
+//               test() polling.
+//
+// With zero injected link latency the barrier itself costs runtime
+// overhead only, so the measured episode rate isolates how much of the
+// compute window the post/test/wait lifecycle hides (tracked in
+// BENCH_overlap.json via scripts/bench_json.sh on the
+// episodes_per_second counter, regression-gated by
+// scripts/bench_compare.py).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstddef>
+#include <thread>
+
+#include "barrier/algorithms.hpp"
+#include "simmpi/communicator.hpp"
+#include "simmpi/executor.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using namespace optibar;
+using simmpi::Communicator;
+using simmpi::RankContext;
+using simmpi::ScheduleExecutor;
+
+simmpi::LatencyModel zero_latency() {
+  return [](std::size_t, std::size_t) {
+    return simmpi::Clock::duration::zero();
+  };
+}
+
+// Busy-spin: sleep granularity is far coarser than the compute budgets
+// here, and a spinning rank mirrors a compute-bound application core.
+void spin_for(simmpi::Clock::duration budget) {
+  const auto end = simmpi::Clock::now() + budget;
+  while (simmpi::Clock::now() < end) {
+    benchmark::DoNotOptimize(end);
+  }
+}
+
+void BM_OverlapEpisode(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const double ratio = static_cast<double>(state.range(1)) / 100.0;
+  const ScheduleExecutor executor(dissemination_barrier(p));
+  const auto compute = std::chrono::microseconds(50);
+  const auto after = std::chrono::duration_cast<simmpi::Clock::duration>(
+      compute * ratio);
+  const auto before = compute - after;
+  int episode = 0;
+  for (auto _ : state) {
+    Communicator comm(p, zero_latency());
+    simmpi::run_ranks(comm, [&](RankContext& ctx) {
+      spin_for(before);
+      if (ratio == 0.0) {
+        executor.execute(ctx, episode);
+        return;
+      }
+      ScheduleExecutor::EpisodeHandle handle = executor.post(ctx, episode);
+      spin_for(after);
+      while (!executor.test(handle)) {
+        std::this_thread::yield();
+      }
+    });
+    ++episode;
+  }
+  state.counters["episodes_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OverlapEpisode)
+    ->ArgsProduct({{16, 48}, {0, 50, 100}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -12,6 +12,9 @@
 #   BENCH_runtime.json    — bench_thread_runtime (episode throughput:
 #                           spawn vs pooled ranks x global vs sharded
 #                           message board, P = 16/48/120)
+#   BENCH_overlap.json    — bench_overlap (episode throughput with
+#                           per-rank compute overlapped through the
+#                           post/test/wait lifecycle, ratio 0/50/100%)
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 # BENCH_FILTER limits both runs, e.g.
@@ -23,7 +26,7 @@ BUILD_DIR="${1:-build}"
 FILTER="${BENCH_FILTER:-}"
 
 for bench in bench_predict_throughput bench_tuning_speed bench_collective \
-             bench_thread_runtime; do
+             bench_thread_runtime bench_overlap; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -43,3 +46,4 @@ run bench_predict_throughput BENCH_predict.json
 run bench_tuning_speed BENCH_tuning.json
 run bench_collective BENCH_collective.json
 run bench_thread_runtime BENCH_runtime.json
+run bench_overlap BENCH_overlap.json

@@ -1,5 +1,6 @@
 #include "barrier/validate.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -56,6 +57,12 @@ const char* to_string(ScheduleIssueKind kind) {
       return "unreachable-knowledge";
     case ScheduleIssueKind::kMalformed:
       return "malformed";
+    case ScheduleIssueKind::kMismatchedPost:
+      return "mismatched-post";
+    case ScheduleIssueKind::kMissingWait:
+      return "missing-wait";
+    case ScheduleIssueKind::kUnmatchedWait:
+      return "unmatched-wait";
   }
   return "unknown";
 }
@@ -136,6 +143,76 @@ ValidationResult validate_schedule(const StoredSchedule& stored) {
 
 ValidationResult validate_schedule(const Schedule& schedule) {
   return validate_schedule(StoredSchedule{schedule, {}});
+}
+
+ValidationResult validate_nonblocking_programs(
+    const std::vector<NonblockingProgram>& programs) {
+  ValidationResult result;
+  if (programs.empty()) {
+    return result;
+  }
+
+  // Per-rank structural checks: waits drain outstanding posts FIFO; a
+  // wait from an empty queue and a post still outstanding at program
+  // end are both rank-local defects.
+  std::vector<std::vector<std::size_t>> posted(programs.size());
+  for (std::size_t rank = 0; rank < programs.size(); ++rank) {
+    std::size_t outstanding = 0;
+    for (std::size_t pos = 0; pos < programs[rank].size(); ++pos) {
+      const NonblockingOp& op = programs[rank][pos];
+      if (op.kind == NonblockingOpKind::kPost) {
+        posted[rank].push_back(op.schedule_id);
+        ++outstanding;
+      } else if (outstanding == 0) {
+        std::ostringstream os;
+        os << "rank " << rank << " waits at op " << pos
+           << " with no outstanding post";
+        result.issues.push_back(
+            ScheduleIssue{ScheduleIssueKind::kUnmatchedWait, pos, os.str()});
+      } else {
+        --outstanding;
+      }
+    }
+    if (outstanding > 0) {
+      std::ostringstream os;
+      os << "rank " << rank << " leaves " << outstanding
+         << " posted episode(s) without a matching wait";
+      result.issues.push_back(ScheduleIssue{ScheduleIssueKind::kMissingWait,
+                                            programs[rank].size(), os.str()});
+    }
+  }
+
+  // Cross-rank check: collective posts match by position, so every
+  // rank's posted-schedule sequence must be identical — the PARCOACH
+  // mismatch shape (odd ranks post twice, even ranks once) diverges
+  // here.
+  for (std::size_t rank = 1; rank < programs.size(); ++rank) {
+    const std::vector<std::size_t>& a = posted[0];
+    const std::vector<std::size_t>& b = posted[rank];
+    const std::size_t common = std::min(a.size(), b.size());
+    std::size_t diverge = common;
+    for (std::size_t k = 0; k < common; ++k) {
+      if (a[k] != b[k]) {
+        diverge = k;
+        break;
+      }
+    }
+    if (diverge < common) {
+      std::ostringstream os;
+      os << "post " << diverge << ": rank 0 posts schedule " << a[diverge]
+         << " but rank " << rank << " posts schedule " << b[diverge];
+      result.issues.push_back(ScheduleIssue{
+          ScheduleIssueKind::kMismatchedPost, diverge, os.str()});
+    } else if (a.size() != b.size()) {
+      std::ostringstream os;
+      os << "rank 0 posts " << a.size() << " episode(s) but rank " << rank
+         << " posts " << b.size()
+         << "; the extra collective call can never complete";
+      result.issues.push_back(ScheduleIssue{
+          ScheduleIssueKind::kMismatchedPost, common, os.str()});
+    }
+  }
+  return result;
 }
 
 }  // namespace optibar

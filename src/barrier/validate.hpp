@@ -21,6 +21,17 @@
 //    synchronize — flagged so tuners and loaders can refuse to treat
 //    it as a barrier. (Loaders still accept such files: analysis
 //    commands legitimately inspect non-barrier patterns.)
+//
+// With the handle-based post/test/wait lifecycle a third hazard class
+// appears one level up, in the *program* that issues episodes rather
+// than in any single schedule: ranks whose call sequences diverge. The
+// PARCOACH mismatch benchmarks (SNIPPETS.md Snippet 2) are the model —
+// e.g. odd ranks calling the collective twice while even ranks call it
+// once, which deadlocks real MPI. validate_nonblocking_programs checks
+// per-rank post/wait traces for exactly those shapes: rank-dependent
+// post counts or schedules (kMismatchedPost), a post no wait ever
+// completes (kMissingWait), and a wait with no outstanding post
+// (kUnmatchedWait).
 #pragma once
 
 #include <cstddef>
@@ -36,6 +47,9 @@ enum class ScheduleIssueKind {
   kCyclicWait,            ///< directed cycle inside an awaited stage
   kUnreachableKnowledge,  ///< Eq. 3 never saturates: not a barrier
   kMalformed,             ///< awaited flags inconsistent with the schedule
+  kMismatchedPost,        ///< ranks post different schedules / counts
+  kMissingWait,           ///< a posted episode is never waited
+  kUnmatchedWait,         ///< a wait with no outstanding post
 };
 
 const char* to_string(ScheduleIssueKind kind);
@@ -71,5 +85,38 @@ ValidationResult validate_schedule(const StoredSchedule& stored);
 /// Validate a bare schedule: no awaited stages, so only the knowledge
 /// check applies.
 ValidationResult validate_schedule(const Schedule& schedule);
+
+/// One call in a rank's nonblocking program: a post of some schedule
+/// (identified by a caller-chosen id — e.g. an index into a schedule
+/// library) or a wait. Waits complete outstanding posts of the same
+/// rank in FIFO order, matching how the executors' episodes are
+/// normally drained.
+enum class NonblockingOpKind { kPost, kWait };
+
+struct NonblockingOp {
+  NonblockingOpKind kind = NonblockingOpKind::kPost;
+  std::size_t schedule_id = 0;  ///< meaningful for kPost only
+
+  static NonblockingOp post(std::size_t schedule_id) {
+    return NonblockingOp{NonblockingOpKind::kPost, schedule_id};
+  }
+  static NonblockingOp wait() {
+    return NonblockingOp{NonblockingOpKind::kWait, 0};
+  }
+};
+
+/// Per-rank trace of post/wait calls.
+using NonblockingProgram = std::vector<NonblockingOp>;
+
+/// PARCOACH-style mismatch detection over per-rank nonblocking
+/// programs: every rank must post the same sequence of schedules
+/// (collective calls are matched by position — a rank-dependent count
+/// or schedule is kMismatchedPost, the shape that deadlocks real MPI),
+/// every post must eventually be waited (kMissingWait), and no rank
+/// may wait with nothing outstanding (kUnmatchedWait). The issue's
+/// `stage` field carries the op position within the offending rank's
+/// program.
+ValidationResult validate_nonblocking_programs(
+    const std::vector<NonblockingProgram>& programs);
 
 }  // namespace optibar

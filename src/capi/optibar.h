@@ -38,6 +38,16 @@
 #define OPTIBAR_CAPI_H
 
 #include <stddef.h>
+#include <stdint.h>
+
+/* Compile-time deprecation marker for the legacy errbuf signatures. */
+#if defined(__GNUC__) || defined(__clang__)
+#define OPTIBAR_DEPRECATED(msg) __attribute__((deprecated(msg)))
+#elif defined(_MSC_VER)
+#define OPTIBAR_DEPRECATED(msg) __declspec(deprecated(msg))
+#else
+#define OPTIBAR_DEPRECATED(msg)
+#endif
 
 #ifdef __cplusplus
 extern "C" {
@@ -172,15 +182,73 @@ optibar_status optibar_tune_collective_v2(optibar_library* library,
                                           size_t* out_stages);
 
 /*
+ * NONBLOCKING EPISODES (MPI_Ibarrier-style lifecycle). A post starts
+ * one in-process execution of a tuned schedule on the library's
+ * threaded runtime — every rank of the profile runs as a thread — and
+ * returns an episode handle immediately, so the caller overlaps its own
+ * computation with the synchronization. The handle follows the same
+ * status-code idiom as every other entry point: each call sets
+ * optibar_last_status() / optibar_last_error().
+ *
+ *     optibar_episode* e = optibar_ibarrier_post(lib);
+ *     while (optibar_ibarrier_test(e) == 0) { compute_some(); }
+ *     optibar_ibarrier_wait(e);   // joins and frees the episode
+ *
+ * An episode MUST be waited exactly once (wait frees it, even after
+ * failure) and before optibar_close on its library. Episodes are
+ * independent; several may be in flight concurrently.
+ */
+typedef struct optibar_episode_s optibar_episode;
+
+/* Post one execution of the library's tuned full-communicator barrier
+ * (the same plan optibar_world_plan_v2 serves, including the degraded
+ * fallback after quarantine). NULL on failure (status:
+ * INVALID_ARGUMENT or TUNING). */
+optibar_episode* optibar_ibarrier_post(optibar_library* library);
+
+/* Nonblocking probe: 1 when the episode completed, 0 while it is still
+ * in flight, -1 when `episode` is NULL or the run failed (the status
+ * carries the failure; the episode stays valid until waited). */
+int optibar_ibarrier_test(optibar_episode* episode);
+
+/* Block until the episode reaches a terminal state, free it, and
+ * return its final status (OPTIBAR_OK on completion). */
+optibar_status optibar_ibarrier_wait(optibar_episode* episode);
+
+/* Post one execution of a tuned payload-carrying collective. `data`
+ * holds every rank's buffer concatenated — ranks * elem_count
+ * little-endian 64-bit words, rank r's buffer at data[r * elem_count]
+ * — and must stay valid and untouched until the episode tests done or
+ * is waited; on completion it holds the per-rank results (reduce
+ * combines with sum). `root` is ignored for allreduce. NULL on failure
+ * (status: INVALID_ARGUMENT or TUNING). */
+optibar_episode* optibar_icollective_post(optibar_library* library,
+                                          optibar_collective_op op,
+                                          uint64_t* data, size_t elem_count,
+                                          size_t root);
+
+/* Same contract as optibar_ibarrier_test / optibar_ibarrier_wait. */
+int optibar_icollective_test(optibar_episode* episode);
+optibar_status optibar_icollective_wait(optibar_episode* episode);
+
+/*
  * DEPRECATED errbuf-based signatures — thin wrappers over the *_v2
  * functions above (serial tuning, threads = 1). On failure they copy
  * optibar_last_error() into errbuf (always NUL-terminated, truncating
- * if needed). Prefer the *_v2 forms + optibar_last_status().
+ * if needed). Prefer the *_v2 forms + optibar_last_status(): they
+ * carry a machine-readable status code, never truncate the message,
+ * and skip the per-call buffer plumbing. These wrappers remain only
+ * for source compatibility with pre-status callers and may be removed
+ * in a future major version.
  */
+OPTIBAR_DEPRECATED("use optibar_open_v2 + optibar_last_status/last_error")
 optibar_library* optibar_open(const char* profile_path, char* errbuf,
                               size_t errbuf_len);
+OPTIBAR_DEPRECATED("use optibar_world_plan_v2 + optibar_last_status/last_error")
 const optibar_plan* optibar_world_plan(optibar_library* library, char* errbuf,
                                        size_t errbuf_len);
+OPTIBAR_DEPRECATED(
+    "use optibar_subset_plan_v2 + optibar_last_status/last_error")
 const optibar_plan* optibar_subset_plan(optibar_library* library,
                                         const size_t* ranks, size_t count,
                                         char* errbuf, size_t errbuf_len);

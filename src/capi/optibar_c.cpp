@@ -6,6 +6,8 @@
 // that forward to the *_v2 forms and copy the thread-local message out.
 #include "capi/optibar.h"
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <map>
@@ -13,10 +15,14 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "collective/executor.hpp"
 #include "collective/tuner.hpp"
 #include "core/library.hpp"
+#include "simmpi/executor.hpp"
 #include "topology/profile.hpp"
 #include "util/error.hpp"
 
@@ -138,6 +144,38 @@ struct optibar_library_s {
   std::map<const LibraryEntry*, std::unique_ptr<optibar_plan_s>> plans;
 };
 
+/// One in-flight nonblocking episode: a worker thread driving a full
+/// in-process execution on the threaded runtime. The worker publishes
+/// its outcome (error fields first, then the release store on
+/// done/failed) so test/wait observe a consistent terminal state with
+/// one acquire load.
+struct optibar_episode_s {
+  std::thread worker;
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+  optibar_status error_status = OPTIBAR_ERR_INTERNAL;
+  std::string error;
+
+  ~optibar_episode_s() {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+
+  /// Record the in-flight exception as this episode's terminal failure.
+  void fail_caught() {
+    try {
+      throw;
+    } catch (const std::exception& exception) {
+      error = exception.what();
+    } catch (...) {
+      error = "unknown exception in optibar episode";
+    }
+    error_status = OPTIBAR_ERR_INTERNAL;
+    failed.store(true, std::memory_order_release);
+  }
+};
+
 namespace {
 
 /// Shared subset screening so the C layer can distinguish caller bugs
@@ -170,6 +208,43 @@ bool check_subset(const optibar_library* library, const size_t* ranks,
     }
   }
   return true;
+}
+
+/// Shared probe behind optibar_ibarrier_test / optibar_icollective_test.
+int episode_test(optibar_episode* episode) {
+  if (episode == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "episode is NULL");
+    return -1;
+  }
+  if (episode->failed.load(std::memory_order_acquire)) {
+    set_error(episode->error_status, episode->error);
+    return -1;
+  }
+  if (episode->done.load(std::memory_order_acquire)) {
+    set_ok();
+    return 1;
+  }
+  set_ok();
+  return 0;
+}
+
+/// Shared join-and-free behind optibar_ibarrier_wait /
+/// optibar_icollective_wait.
+optibar_status episode_wait(optibar_episode* episode) {
+  if (episode == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "episode is NULL");
+    return tl_status;
+  }
+  if (episode->worker.joinable()) {
+    episode->worker.join();
+  }
+  if (episode->failed.load(std::memory_order_acquire)) {
+    set_error(episode->error_status, episode->error);
+  } else {
+    set_ok();
+  }
+  delete episode;
+  return tl_status;
 }
 
 }  // namespace
@@ -455,6 +530,127 @@ optibar_status optibar_tune_collective_v2(optibar_library* library,
     set_caught(OPTIBAR_ERR_TUNING);
   }
   return tl_status;
+}
+
+/* ---- nonblocking episode handles ---- */
+
+optibar_episode* optibar_ibarrier_post(optibar_library* library) {
+  if (library == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "library is NULL");
+    return nullptr;
+  }
+  const LibraryEntry* entry = nullptr;
+  try {
+    // Tune (or hit the cache) up front so a tuning failure surfaces
+    // here, not asynchronously. Entry pointers are stable for the
+    // library's lifetime, so the worker may hold one.
+    entry = &library->library.full_barrier();
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_TUNING);
+    return nullptr;
+  }
+  auto* episode = new optibar_episode_s;
+  episode->worker = std::thread([entry, episode] {
+    try {
+      const optibar::simmpi::ScheduleExecutor executor(
+          entry->stored.schedule);
+      executor.run_once();
+      episode->done.store(true, std::memory_order_release);
+    } catch (...) {
+      episode->fail_caught();
+    }
+  });
+  set_ok();
+  return episode;
+}
+
+int optibar_ibarrier_test(optibar_episode* episode) {
+  return episode_test(episode);
+}
+
+optibar_status optibar_ibarrier_wait(optibar_episode* episode) {
+  return episode_wait(episode);
+}
+
+optibar_episode* optibar_icollective_post(optibar_library* library,
+                                          optibar_collective_op op,
+                                          uint64_t* data, size_t elem_count,
+                                          size_t root) {
+  if (library == nullptr || data == nullptr || elem_count == 0) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT,
+              library == nullptr ? "library is NULL"
+              : data == nullptr  ? "data is NULL"
+                                 : "elem_count is 0");
+    return nullptr;
+  }
+  optibar::CollectiveTuneOptions options;
+  switch (op) {
+    case OPTIBAR_COLLECTIVE_BCAST:
+      options.op = optibar::CollectiveOp::kBroadcast;
+      break;
+    case OPTIBAR_COLLECTIVE_REDUCE:
+      options.op = optibar::CollectiveOp::kReduce;
+      break;
+    case OPTIBAR_COLLECTIVE_ALLREDUCE:
+      options.op = optibar::CollectiveOp::kAllreduce;
+      break;
+    default:
+      set_error(OPTIBAR_ERR_INVALID_ARGUMENT,
+                "unknown collective op " + std::to_string(op));
+      return nullptr;
+  }
+  const size_t ranks = library->library.ranks();
+  if (root >= ranks) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT,
+              "root " + std::to_string(root) + " out of range (" +
+                  std::to_string(ranks) + ")");
+    return nullptr;
+  }
+  options.payload_bytes = elem_count * options.elem_bytes;
+  options.root = root;
+  optibar::CollectiveSchedule schedule;
+  try {
+    schedule = optibar::tune_collective(library->library.profile(), options,
+                                        library->library.options())
+                   .schedule();
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_TUNING);
+    return nullptr;
+  }
+  auto* episode = new optibar_episode_s;
+  episode->worker = std::thread(
+      [episode, data, elem_count, ranks, schedule = std::move(schedule)] {
+        try {
+          std::vector<optibar::Payload> inputs(ranks);
+          for (size_t rank = 0; rank < ranks; ++rank) {
+            inputs[rank].assign(data + rank * elem_count,
+                                data + (rank + 1) * elem_count);
+          }
+          const optibar::CollectiveExecutor executor(schedule);
+          const std::vector<optibar::Payload> results =
+              executor.run_once(inputs, optibar::ReduceOp::kSum);
+          // Results land in the caller's buffer before the release
+          // store, so a caller that observed done may read them.
+          for (size_t rank = 0; rank < ranks; ++rank) {
+            for (size_t i = 0; i < elem_count; ++i) {
+              data[rank * elem_count + i] = results[rank][i];
+            }
+          }
+          episode->done.store(true, std::memory_order_release);
+        } catch (...) {
+          episode->fail_caught();
+        }
+      });
+  set_ok();
+  return episode;
+}
+
+int optibar_icollective_test(optibar_episode* episode) {
+  return episode_test(episode);
+}
+
+optibar_status optibar_icollective_wait(optibar_episode* episode) {
+  return episode_wait(episode);
 }
 
 /* ---- deprecated errbuf wrappers ---- */

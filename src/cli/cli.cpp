@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -509,6 +510,92 @@ int cmd_workload(const Args& args, std::ostream& out) {
   return 0;
 }
 
+// Comma-separated --ratios list, each in [0,1].
+std::vector<double> parse_ratio_list(const std::string& spec) {
+  std::vector<double> ratios;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) {
+      continue;
+    }
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(item, &consumed);
+    } catch (const std::exception&) {
+      OPTIBAR_FAIL("bad ratio '" << item << "' in --ratios");
+    }
+    OPTIBAR_REQUIRE(consumed == item.size(),
+                    "bad ratio '" << item << "' in --ratios");
+    OPTIBAR_REQUIRE(value >= 0.0 && value <= 1.0,
+                    "ratio " << value << " outside [0,1]");
+    ratios.push_back(value);
+  }
+  OPTIBAR_REQUIRE(!ratios.empty(), "--ratios lists no values");
+  return ratios;
+}
+
+int cmd_overlap(const Args& args, std::ostream& out) {
+  args.check_allowed({"profile", "schedule", "algorithm", "compute", "skew",
+                      "ratios", "poll", "reps", "seed", "jitter", "threads"});
+  const TopologyProfile profile =
+      TopologyProfile::load_file(args.require("profile"));
+  const StoredSchedule stored = schedule_from_args(args, profile);
+  OPTIBAR_REQUIRE(stored.schedule.is_barrier(),
+                  "refusing to overlap a non-barrier pattern");
+  OverlapOptions options;
+  options.compute_seconds = args.double_or("compute", 1e-3);
+  options.compute_stddev = args.double_or("skew", 0.0);
+  options.poll_interval = args.double_or("poll", 5e-5);
+  options.sim.seed = args.size_or("seed", 2011);
+  options.sim.jitter = args.double_or("jitter", 0.0);
+  const std::size_t reps = args.size_or("reps", 5);
+  const std::vector<double> ratios =
+      parse_ratio_list(args.get_or("ratios", "0,0.25,0.5,0.75,1"));
+  ThreadPool pool(args.size_or("threads", 1));
+
+  // Analytic companion to the sweep: the Eq. 1/2 predictor gives the
+  // blocking barrier span; overlapping hides up to ratio * compute of
+  // it, and tick-granular progress adds about half a poll interval per
+  // non-empty stage while the host computes. The simulated column is
+  // ground truth; this is the curve EXPERIMENTS.md compares against.
+  PredictOptions predict_options;
+  predict_options.awaited_stages = stored.awaited_stages;
+  const double t_pred = predicted_time(stored.schedule, profile,
+                                       predict_options);
+  const double poll_term =
+      static_cast<double>(stored.schedule.nonempty_stage_count()) *
+      options.poll_interval * 0.5;
+
+  out.setf(std::ios::scientific);
+  out << "overlap sweep: compute " << options.compute_seconds << " s +- "
+      << options.compute_stddev << " s, poll " << options.poll_interval
+      << " s, " << reps << " repetition(s)\n"
+      << "predicted blocking barrier (Eq. 1/2): " << t_pred << " s\n";
+  Table table({"ratio", "blocking[s]", "nonblocking[s]", "saved[s]",
+               "exposed[s]", "predicted-exposed[s]", "efficiency"});
+  for (const double ratio : ratios) {
+    options.overlap_ratio = ratio;
+    const OverlapResult result = simulate_overlap_mean(
+        stored.schedule, profile, options, reps, &pool);
+    const double predicted_exposed =
+        ratio == 0.0
+            ? t_pred
+            : std::max(0.0, t_pred + poll_term -
+                                ratio * options.compute_seconds);
+    table.add_row({Table::num(ratio, 2),
+                   Table::num(result.blocking_completion, 8),
+                   Table::num(result.nonblocking_completion, 8),
+                   Table::num(result.saved, 8),
+                   Table::num(result.exposed_wait, 8),
+                   Table::num(predicted_exposed, 8),
+                   Table::num(result.overlap_efficiency, 3)});
+  }
+  table.print(out);
+  return 0;
+}
+
 CollectiveOp collective_op_by_name(const std::string& name) {
   if (name == "bcast") {
     return CollectiveOp::kBroadcast;
@@ -614,7 +701,7 @@ const std::map<std::string, Command>& command_table() {
       {"compare", cmd_compare},   {"analyze", cmd_analyze},
       {"validate", cmd_validate}, {"trace", cmd_trace},
       {"workload", cmd_workload}, {"sweep", cmd_sweep},
-      {"collective", cmd_collective},
+      {"collective", cmd_collective}, {"overlap", cmd_overlap},
   };
   return commands;
 }
@@ -654,6 +741,10 @@ std::string usage_text() {
         "  workload --profile FILE (--schedule FILE | --algorithm NAME)\n"
         "           [--episodes N] [--compute S] [--skew S] [--timeline]\n"
         "           [--reps N] [--threads N]\n"
+        "  overlap  --profile FILE (--schedule FILE | --algorithm NAME)\n"
+        "           [--compute S] [--skew S] [--ratios R1,R2,...]\n"
+        "           [--poll S] [--reps N] [--jitter X] [--seed N] "
+        "[--threads N]\n"
         "  sweep    (--machine M | --machine-file F) [--from P] [--to P]\n"
         "           [--mapping block|rr] [--reps N] [--threads N]\n"
         "  collective --profile FILE [--op bcast|reduce|allreduce]\n"

@@ -7,9 +7,14 @@
 
 namespace optibar {
 
+using simmpi::Clock;
+
 CollectiveExecutor::CollectiveExecutor(const CollectiveSchedule& schedule,
-                                       simmpi::ExecutionMode mode)
-    : stages_(schedule.stage_count()), elem_count_(schedule.elem_count()) {
+                                       const simmpi::ExecutorOptions& options)
+    : stages_(schedule.stage_count()),
+      elem_count_(schedule.elem_count()),
+      options_(options) {
+  options_.validate();
   OPTIBAR_REQUIRE(is_valid_collective(schedule),
                   "refusing to execute a collective schedule whose dataflow "
                   "does not implement " << to_string(schedule.op()));
@@ -30,24 +35,38 @@ CollectiveExecutor::CollectiveExecutor(const CollectiveSchedule& schedule,
                 [](const RecvOp& a, const RecvOp& b) { return a.src < b.src; });
     }
   }
-  if (mode == simmpi::ExecutionMode::kPersistentPool) {
+  if (options_.shared_pool != nullptr) {
+    OPTIBAR_REQUIRE(options_.shared_pool->size() >= p,
+                    "shared pool has " << options_.shared_pool->size()
+                                       << " workers, schedule needs " << p);
+  } else if (options_.mode == simmpi::ExecutionMode::kPersistentPool) {
     pool_ = std::make_unique<simmpi::RankPool>(p);
   }
 }
 
+CollectiveExecutor::CollectiveExecutor(const CollectiveSchedule& schedule,
+                                       simmpi::ExecutionMode mode)
+    : CollectiveExecutor(schedule, [mode] {
+        simmpi::ExecutorOptions options;
+        options.mode = mode;
+        return options;
+      }()) {}
+
 void CollectiveExecutor::run_episode(simmpi::Communicator& comm,
                                      const simmpi::RankFunction& fn) const {
-  if (pool_ != nullptr) {
+  if (options_.shared_pool != nullptr) {
+    simmpi::run_ranks(*options_.shared_pool, comm, fn);
+  } else if (pool_ != nullptr) {
     simmpi::run_ranks(*pool_, comm, fn);
   } else {
     simmpi::run_ranks(comm, fn);
   }
 }
 
-void CollectiveExecutor::execute(simmpi::RankContext& ctx, ReduceOp op,
-                                 Payload& buffer, int episode) const {
-  const std::size_t rank = ctx.rank();
-  OPTIBAR_REQUIRE(rank < ops_.size(), "rank out of range for this executor");
+void CollectiveExecutor::check_context(const simmpi::RankContext& ctx,
+                                       const Payload& buffer) const {
+  OPTIBAR_REQUIRE(ctx.rank() < ops_.size(),
+                  "rank out of range for this executor");
   OPTIBAR_REQUIRE(ctx.size() == ops_.size(),
                   "communicator size " << ctx.size()
                                        << " != schedule rank count "
@@ -55,172 +74,288 @@ void CollectiveExecutor::execute(simmpi::RankContext& ctx, ReduceOp op,
   OPTIBAR_REQUIRE(buffer.size() == elem_count_,
                   "buffer has " << buffer.size() << " words, expected "
                                 << elem_count_);
-  std::vector<simmpi::Request> requests;
-  std::vector<Payload> inbox;
-  for (std::size_t s = 0; s < stages_; ++s) {
-    const StageOps& ops = ops_[rank][s];
-    const int tag =
-        episode * static_cast<int>(stages_) + static_cast<int>(s);
-    requests.clear();
-    requests.reserve(ops.sends.size() + ops.recvs.size());
-    // Copy every outgoing sub-range first: the stage's sends read the
-    // buffer as it is at stage entry, before any incoming data lands.
-    for (const SendOp& send : ops.sends) {
-      Payload words(buffer.begin() + static_cast<std::ptrdiff_t>(send.offset),
-                    buffer.begin() +
-                        static_cast<std::ptrdiff_t>(send.offset + send.count));
-      requests.push_back(ctx.issend(send.dst, tag, std::move(words)));
-    }
-    inbox.assign(ops.recvs.size(), Payload{});
-    for (std::size_t k = 0; k < ops.recvs.size(); ++k) {
-      requests.push_back(ctx.irecv(ops.recvs[k].src, tag, &inbox[k]));
-    }
-    // One shard-condvar park per wakeup instead of one condvar wait
-    // per request.
-    ctx.wait_all_batched(requests);
-    // Apply incoming edges in ascending source order (recvs are sorted).
-    for (std::size_t k = 0; k < ops.recvs.size(); ++k) {
-      const RecvOp& recv = ops.recvs[k];
-      const Payload& in = inbox[k];
-      OPTIBAR_ASSERT(in.size() == recv.count,
-                     "received " << in.size() << " words, expected "
-                                 << recv.count);
-      for (std::size_t i = 0; i < recv.count; ++i) {
-        std::uint64_t& word = buffer[recv.offset + i];
-        word = recv.combine ? reduce_word(op, word, in[i]) : in[i];
-      }
+}
+
+Payload CollectiveExecutor::send_words(const Payload& buffer,
+                                       const SendOp& send) const {
+  return Payload(
+      buffer.begin() + static_cast<std::ptrdiff_t>(send.offset),
+      buffer.begin() + static_cast<std::ptrdiff_t>(send.offset + send.count));
+}
+
+void CollectiveExecutor::apply_stage(const StageOps& ops,
+                                     const std::vector<Payload>& inbox,
+                                     ReduceOp op, Payload& buffer) const {
+  // Apply incoming edges in ascending source order (recvs are sorted).
+  for (std::size_t k = 0; k < ops.recvs.size(); ++k) {
+    const RecvOp& recv = ops.recvs[k];
+    const Payload& in = inbox[k];
+    OPTIBAR_ASSERT(in.size() == recv.count,
+                   "received " << in.size() << " words, expected "
+                               << recv.count);
+    for (std::size_t i = 0; i < recv.count; ++i) {
+      std::uint64_t& word = buffer[recv.offset + i];
+      word = recv.combine ? reduce_word(op, word, in[i]) : in[i];
     }
   }
+}
+
+void CollectiveExecutor::begin_stage(EpisodeHandle& handle,
+                                     std::size_t stage) const {
+  if (stage == stages_) {
+    handle.done_ = true;
+    handle.requests_.clear();
+    handle.inbox_.clear();
+    return;
+  }
+  handle.stage_ = stage;
+  const StageOps& ops = ops_[handle.ctx_->rank()][stage];
+  const int tag =
+      handle.episode_ * static_cast<int>(stages_) + static_cast<int>(stage);
+  handle.requests_.clear();
+  handle.requests_.reserve(ops.sends.size() + ops.recvs.size());
+  // Copy every outgoing sub-range first: the stage's sends read the
+  // buffer as it is at stage entry, before any incoming data lands.
+  for (const SendOp& send : ops.sends) {
+    handle.requests_.push_back(
+        handle.ctx_->issend(send.dst, tag,
+                            send_words(*handle.buffer_, send)));
+  }
+  handle.inbox_.assign(ops.recvs.size(), Payload{});
+  for (std::size_t k = 0; k < ops.recvs.size(); ++k) {
+    handle.requests_.push_back(
+        handle.ctx_->irecv(ops.recvs[k].src, tag, &handle.inbox_[k]));
+  }
+}
+
+CollectiveExecutor::EpisodeHandle CollectiveExecutor::post(
+    simmpi::RankContext& ctx, ReduceOp op, Payload& buffer,
+    int episode) const {
+  check_context(ctx, buffer);
+  EpisodeHandle handle;
+  handle.ctx_ = &ctx;
+  handle.op_ = op;
+  handle.buffer_ = &buffer;
+  handle.episode_ = episode;
+  begin_stage(handle, 0);
+  return handle;
+}
+
+bool CollectiveExecutor::test(EpisodeHandle& handle) const {
+  if (handle.done_) {
+    return true;
+  }
+  OPTIBAR_REQUIRE(handle.ctx_ != nullptr, "test() on an empty handle");
+  for (;;) {
+    for (const simmpi::Request& request : handle.requests_) {
+      if (!request->test()) {
+        return false;
+      }
+    }
+    apply_stage(ops_[handle.ctx_->rank()][handle.stage_], handle.inbox_,
+                handle.op_, *handle.buffer_);
+    begin_stage(handle, handle.stage_ + 1);
+    if (handle.done_) {
+      return true;
+    }
+  }
+}
+
+void CollectiveExecutor::wait(EpisodeHandle& handle) const {
+  if (handle.done_) {
+    return;
+  }
+  OPTIBAR_REQUIRE(handle.ctx_ != nullptr, "wait() on an empty handle");
+  while (!handle.done_) {
+    if (handle.ctx_->wait_all_batched_until(
+            handle.requests_,
+            Clock::now() + options_.progress_slice)) {
+      apply_stage(ops_[handle.ctx_->rank()][handle.stage_], handle.inbox_,
+                  handle.op_, *handle.buffer_);
+      begin_stage(handle, handle.stage_ + 1);
+    }
+  }
+}
+
+void CollectiveExecutor::execute(simmpi::RankContext& ctx, ReduceOp op,
+                                 Payload& buffer, int episode) const {
+  EpisodeHandle handle = post(ctx, op, buffer, episode);
+  wait(handle);
+}
+
+void CollectiveExecutor::begin_stage_resilient(ResilientEpisodeHandle& handle,
+                                               std::size_t stage) const {
+  simmpi::RankStall& mine = handle.report_->per_rank[handle.ctx_->rank()];
+  if (stage == stages_) {
+    mine.stage_reached = stages_;
+    handle.done_ = true;
+    handle.sends_.clear();
+    handle.recvs_.clear();
+    handle.inbox_.reset();
+    return;
+  }
+  handle.stage_ = stage;
+  mine.stage_reached = stage;
+  if (stage >= handle.crash_at_) {
+    mine.crashed = true;
+    handle.failed_ = true;
+    return;
+  }
+  const StageOps& ops = ops_[handle.ctx_->rank()][stage];
+  const int tag =
+      handle.episode_ * static_cast<int>(stages_) + static_cast<int>(stage);
+  // Snapshot rule: outgoing words are read before anything of this
+  // stage lands, and the buffer is untouched until the stage
+  // completes — so every resend re-reads identical words.
+  handle.sends_.clear();
+  handle.sends_.reserve(ops.sends.size());
+  for (const SendOp& send : ops.sends) {
+    handle.sends_.push_back(ResilientEpisodeHandle::SendState{
+        send.dst,
+        {handle.ctx_->issend(send.dst, tag,
+                             send_words(*handle.buffer_, send))}});
+  }
+  // The inbox is shared with the communicator (keepalive): if this
+  // rank gives up on a receive, a late sender can still match it and
+  // deliver — into storage that must outlive this frame.
+  handle.inbox_ = std::make_shared<std::vector<Payload>>(ops.recvs.size());
+  handle.recvs_.clear();
+  handle.recvs_.reserve(ops.recvs.size());
+  for (std::size_t k = 0; k < ops.recvs.size(); ++k) {
+    handle.recvs_.push_back(ResilientEpisodeHandle::RecvState{
+        ops.recvs[k].src,
+        handle.ctx_->irecv(ops.recvs[k].src, tag, &(*handle.inbox_)[k],
+                           handle.inbox_)});
+  }
+  handle.attempt_ = 0;
+  handle.budget_ = handle.options_.stage_deadline(stage);
+  handle.consumed_ = Clock::duration::zero();
+}
+
+CollectiveExecutor::ResilientEpisodeHandle CollectiveExecutor::post_resilient(
+    simmpi::RankContext& ctx, ReduceOp op, Payload& buffer,
+    const simmpi::ResilienceOptions& options, simmpi::StallReport& report,
+    int episode) const {
+  check_context(ctx, buffer);
+  OPTIBAR_REQUIRE(report.per_rank.size() == ops_.size() &&
+                      report.stages == stages_,
+                  "StallReport not reset for this executor");
+  ResilientEpisodeHandle handle;
+  handle.ctx_ = &ctx;
+  handle.report_ = &report;
+  handle.options_ = options;
+  handle.op_ = op;
+  handle.buffer_ = &buffer;
+  handle.episode_ = episode;
+  const FaultInjector* faults = ctx.communicator().fault_injector();
+  handle.crash_at_ = faults != nullptr ? faults->crash_stage(ctx.rank())
+                                       : FaultInjector::kNoCrash;
+  begin_stage_resilient(handle, 0);
+  return handle;
+}
+
+void CollectiveExecutor::progress_resilient(ResilientEpisodeHandle& handle,
+                                            Clock::duration slice) const {
+  const Clock::time_point slice_end = Clock::now() + slice;
+  simmpi::RankStall& mine = handle.report_->per_rank[handle.ctx_->rank()];
+  while (!handle.done_ && !handle.failed_) {
+    const Clock::time_point t0 = Clock::now();
+    const Clock::duration remaining =
+        std::max(Clock::duration::zero(), handle.budget_ - handle.consumed_);
+    Clock::time_point deadline = t0 + remaining;
+    if (deadline > slice_end) {
+      deadline = std::max(slice_end, t0);
+    }
+    bool all_done = true;
+    for (ResilientEpisodeHandle::SendState& send : handle.sends_) {
+      for (const simmpi::Request& request : send.attempts) {
+        send.done = send.done || request->wait_until(deadline);
+      }
+      all_done = all_done && send.done;
+    }
+    for (ResilientEpisodeHandle::RecvState& recv : handle.recvs_) {
+      if (!recv.done && recv.request->wait_until(deadline)) {
+        recv.done = true;
+        mine.delivered.push_back(
+            simmpi::SignalEdge{handle.stage_, recv.src, handle.ctx_->rank()});
+      }
+      all_done = all_done && recv.done;
+    }
+    handle.consumed_ += Clock::now() - t0;
+    if (all_done) {
+      // Stage complete: apply incoming edges in ascending source order,
+      // exactly like the happy path.
+      apply_stage(ops_[handle.ctx_->rank()][handle.stage_], *handle.inbox_,
+                  handle.op_, *handle.buffer_);
+      begin_stage_resilient(handle, handle.stage_ + 1);
+      if (Clock::now() >= slice_end) {
+        return;
+      }
+      continue;
+    }
+    if (handle.consumed_ >= handle.budget_) {
+      if (handle.attempt_ >= handle.options_.max_retries) {
+        for (const ResilientEpisodeHandle::SendState& send : handle.sends_) {
+          if (!send.done) {
+            mine.pending_send_to.push_back(send.dst);
+          }
+        }
+        for (const ResilientEpisodeHandle::RecvState& recv : handle.recvs_) {
+          if (!recv.done) {
+            mine.pending_recv_from.push_back(recv.src);
+          }
+        }
+        handle.failed_ = true;
+        return;
+      }
+      const StageOps& ops = ops_[handle.ctx_->rank()][handle.stage_];
+      const int tag = handle.episode_ * static_cast<int>(stages_) +
+                      static_cast<int>(handle.stage_);
+      for (std::size_t k = 0; k < handle.sends_.size(); ++k) {
+        if (!handle.sends_[k].done) {
+          handle.sends_[k].attempts.push_back(handle.ctx_->issend(
+              handle.sends_[k].dst, tag,
+              send_words(*handle.buffer_, ops.sends[k])));
+        }
+      }
+      ++handle.attempt_;
+      handle.budget_ = std::chrono::duration_cast<Clock::duration>(
+          handle.budget_ * handle.options_.retry_backoff);
+      handle.consumed_ = Clock::duration::zero();
+    }
+    if (Clock::now() >= slice_end) {
+      return;
+    }
+  }
+}
+
+bool CollectiveExecutor::test(ResilientEpisodeHandle& handle) const {
+  if (handle.done()) {
+    return true;
+  }
+  OPTIBAR_REQUIRE(handle.ctx_ != nullptr, "test() on an empty handle");
+  progress_resilient(handle, Clock::duration::zero());
+  return handle.done();
+}
+
+bool CollectiveExecutor::wait(ResilientEpisodeHandle& handle) const {
+  if (handle.done()) {
+    return handle.succeeded();
+  }
+  OPTIBAR_REQUIRE(handle.ctx_ != nullptr, "wait() on an empty handle");
+  while (!handle.done()) {
+    progress_resilient(handle, options_.progress_slice);
+  }
+  return handle.succeeded();
 }
 
 bool CollectiveExecutor::execute_resilient(
     simmpi::RankContext& ctx, ReduceOp op, Payload& buffer,
     const simmpi::ResilienceOptions& options, simmpi::StallReport& report,
     int episode) const {
-  using simmpi::Clock;
-  const std::size_t rank = ctx.rank();
-  OPTIBAR_REQUIRE(rank < ops_.size(), "rank out of range for this executor");
-  OPTIBAR_REQUIRE(ctx.size() == ops_.size(),
-                  "communicator size " << ctx.size()
-                                       << " != schedule rank count "
-                                       << ops_.size());
-  OPTIBAR_REQUIRE(buffer.size() == elem_count_,
-                  "buffer has " << buffer.size() << " words, expected "
-                                << elem_count_);
-  OPTIBAR_REQUIRE(report.per_rank.size() == ops_.size() &&
-                      report.stages == stages_,
-                  "StallReport not reset for this executor");
-  simmpi::RankStall& mine = report.per_rank[rank];
-  const FaultInjector* faults = ctx.communicator().fault_injector();
-  const std::size_t crash_at =
-      faults != nullptr ? faults->crash_stage(rank) : FaultInjector::kNoCrash;
-
-  struct SendState {
-    std::size_t dst;
-    std::vector<simmpi::Request> attempts;
-    bool done = false;
-  };
-  struct RecvState {
-    std::size_t src;
-    simmpi::Request request;
-    bool done = false;
-  };
-
-  for (std::size_t s = 0; s < stages_; ++s) {
-    mine.stage_reached = s;
-    if (s >= crash_at) {
-      mine.crashed = true;
-      return false;
-    }
-    const StageOps& ops = ops_[rank][s];
-    const int tag =
-        episode * static_cast<int>(stages_) + static_cast<int>(s);
-    // Snapshot rule: outgoing words are read before anything of this
-    // stage lands, and the buffer is untouched until the stage
-    // completes — so every resend below re-reads identical words.
-    auto send_words = [&](const SendOp& send) {
-      return Payload(
-          buffer.begin() + static_cast<std::ptrdiff_t>(send.offset),
-          buffer.begin() + static_cast<std::ptrdiff_t>(send.offset +
-                                                       send.count));
-    };
-    std::vector<SendState> sends;
-    sends.reserve(ops.sends.size());
-    for (const SendOp& send : ops.sends) {
-      sends.push_back(
-          SendState{send.dst, {ctx.issend(send.dst, tag, send_words(send))}});
-    }
-    // The inbox is shared with the communicator (keepalive): if this
-    // rank gives up on a receive, a late sender can still match it and
-    // deliver — into storage that must outlive this frame.
-    auto inbox = std::make_shared<std::vector<Payload>>(ops.recvs.size());
-    std::vector<RecvState> recvs;
-    recvs.reserve(ops.recvs.size());
-    for (std::size_t k = 0; k < ops.recvs.size(); ++k) {
-      recvs.push_back(RecvState{
-          ops.recvs[k].src,
-          ctx.irecv(ops.recvs[k].src, tag, &(*inbox)[k], inbox)});
-    }
-
-    Clock::duration budget = options.stage_deadline(s);
-    for (std::size_t attempt = 0;; ++attempt) {
-      const Clock::time_point deadline = Clock::now() + budget;
-      bool all_done = true;
-      for (SendState& send : sends) {
-        for (const simmpi::Request& request : send.attempts) {
-          send.done = send.done || request->wait_until(deadline);
-        }
-        all_done = all_done && send.done;
-      }
-      for (RecvState& recv : recvs) {
-        if (!recv.done && recv.request->wait_until(deadline)) {
-          recv.done = true;
-          mine.delivered.push_back(simmpi::SignalEdge{s, recv.src, rank});
-        }
-        all_done = all_done && recv.done;
-      }
-      if (all_done) {
-        break;
-      }
-      if (attempt >= options.max_retries) {
-        for (const SendState& send : sends) {
-          if (!send.done) {
-            mine.pending_send_to.push_back(send.dst);
-          }
-        }
-        for (const RecvState& recv : recvs) {
-          if (!recv.done) {
-            mine.pending_recv_from.push_back(recv.src);
-          }
-        }
-        return false;
-      }
-      for (std::size_t k = 0; k < sends.size(); ++k) {
-        if (!sends[k].done) {
-          sends[k].attempts.push_back(
-              ctx.issend(sends[k].dst, tag, send_words(ops.sends[k])));
-        }
-      }
-      budget = std::chrono::duration_cast<Clock::duration>(
-          budget * options.retry_backoff);
-    }
-
-    // Stage complete: apply incoming edges in ascending source order,
-    // exactly like the happy path.
-    for (std::size_t k = 0; k < ops.recvs.size(); ++k) {
-      const RecvOp& recv = ops.recvs[k];
-      const Payload& in = (*inbox)[k];
-      OPTIBAR_ASSERT(in.size() == recv.count,
-                     "received " << in.size() << " words, expected "
-                                 << recv.count);
-      for (std::size_t i = 0; i < recv.count; ++i) {
-        std::uint64_t& word = buffer[recv.offset + i];
-        word = recv.combine ? reduce_word(op, word, in[i]) : in[i];
-      }
-    }
-  }
-  mine.stage_reached = stages_;
-  return true;
+  ResilientEpisodeHandle handle =
+      post_resilient(ctx, op, buffer, options, report, episode);
+  return wait(handle);
 }
 
 CollectiveExecutor::ResilientResult CollectiveExecutor::run_once_resilient(

@@ -2,14 +2,20 @@
 //
 // The collective counterpart of simmpi::ScheduleExecutor: per rank and
 // stage it precomputes the send and receive lists of a
-// CollectiveSchedule, and execute() walks the stages posting
-// payload-carrying issend/irecv pairs. The stage semantics match the
-// serial interpreter exactly — outgoing sub-ranges are copied out of
-// the rank's buffer *before* any incoming data of the stage is applied
-// (the snapshot rule), and incoming edges are applied in ascending
-// source order — so a valid schedule's execution is bit-exact against
-// execute_serial() and the oracle, which is what makes data
-// correctness (not just timing) testable on the threaded runtime.
+// CollectiveSchedule. The stage semantics match the serial interpreter
+// exactly — outgoing sub-ranges are copied out of the rank's buffer
+// *before* any incoming data of the stage is applied (the snapshot
+// rule), and incoming edges are applied in ascending source order — so
+// a valid schedule's execution is bit-exact against execute_serial()
+// and the oracle, which is what makes data correctness (not just
+// timing) testable on the threaded runtime.
+//
+// Like the barrier executor, execution is handle-based
+// (MPI_Iallreduce-style): post() issues stage 0 and returns, test()
+// polls and advances, wait() finishes in bounded progress slices, and
+// the blocking execute() is literally wait(post()) — so the nonblocking
+// lifecycle inherits the snapshot/apply ordering (and therefore the
+// bit-exactness guarantee) by construction.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "collective/schedule.hpp"
+#include "simmpi/executor_options.hpp"
 #include "simmpi/fault.hpp"
 #include "simmpi/resilience.hpp"
 #include "simmpi/runtime.hpp"
@@ -25,23 +32,119 @@ namespace optibar {
 
 class CollectiveExecutor {
  public:
+  /// One in-flight collective episode of one rank. Move-only; the
+  /// handle owns the current stage's requests and inbox. The buffer
+  /// passed to post() is transformed in place and must stay alive (at a
+  /// stable address) until the episode is done.
+  class EpisodeHandle {
+   public:
+    EpisodeHandle() = default;
+    EpisodeHandle(EpisodeHandle&&) = default;
+    EpisodeHandle& operator=(EpisodeHandle&&) = default;
+    EpisodeHandle(const EpisodeHandle&) = delete;
+    EpisodeHandle& operator=(const EpisodeHandle&) = delete;
+
+    bool done() const { return done_; }
+
+   private:
+    friend class CollectiveExecutor;
+    simmpi::RankContext* ctx_ = nullptr;
+    ReduceOp op_ = ReduceOp::kSum;
+    Payload* buffer_ = nullptr;
+    int episode_ = 0;
+    std::size_t stage_ = 0;
+    std::vector<simmpi::Request> requests_;
+    /// Landing zone of the current stage's receives. Lives in the
+    /// handle (stable element addresses across handle moves — vector
+    /// storage does not relocate on move) and is applied to the buffer
+    /// only when the whole stage completed.
+    std::vector<Payload> inbox_;
+    bool done_ = false;
+  };
+
+  /// One in-flight bounded-wait collective episode; see the barrier
+  /// executor's ResilientEpisodeHandle for the elapsed-progress-time
+  /// deadline semantics. The inbox is shared with the communicator
+  /// (keepalive) so a late sender can still deliver into storage that
+  /// outlives a given-up receive.
+  class ResilientEpisodeHandle {
+   public:
+    ResilientEpisodeHandle() = default;
+    ResilientEpisodeHandle(ResilientEpisodeHandle&&) = default;
+    ResilientEpisodeHandle& operator=(ResilientEpisodeHandle&&) = default;
+    ResilientEpisodeHandle(const ResilientEpisodeHandle&) = delete;
+    ResilientEpisodeHandle& operator=(const ResilientEpisodeHandle&) = delete;
+
+    bool done() const { return done_ || failed_; }
+    bool succeeded() const { return done_; }
+    bool stalled() const { return failed_; }
+
+   private:
+    friend class CollectiveExecutor;
+    struct SendState {
+      std::size_t dst;
+      std::vector<simmpi::Request> attempts;
+      bool done = false;
+    };
+    struct RecvState {
+      std::size_t src;
+      simmpi::Request request;
+      bool done = false;
+    };
+
+    simmpi::RankContext* ctx_ = nullptr;
+    simmpi::StallReport* report_ = nullptr;
+    simmpi::ResilienceOptions options_;
+    ReduceOp op_ = ReduceOp::kSum;
+    Payload* buffer_ = nullptr;
+    int episode_ = 0;
+    std::size_t crash_at_ = 0;
+    std::size_t stage_ = 0;
+    std::vector<SendState> sends_;
+    std::vector<RecvState> recvs_;
+    std::shared_ptr<std::vector<Payload>> inbox_;
+    std::size_t attempt_ = 0;
+    simmpi::Clock::duration budget_{};
+    simmpi::Clock::duration consumed_{};
+    bool done_ = false;
+    bool failed_ = false;
+  };
+
   /// Precompute per-rank op lists. The schedule must pass
   /// is_valid_collective(): executing an invalid dataflow would
-  /// silently produce wrong buffers. With
-  /// simmpi::ExecutionMode::kPersistentPool the executor owns a
-  /// RankPool and run_once/run_once_resilient reuse its parked workers
-  /// across episodes instead of spawning threads per call (episodes
-  /// then serialize on the pool; results are identical either way).
-  explicit CollectiveExecutor(
-      const CollectiveSchedule& schedule,
-      simmpi::ExecutionMode mode = simmpi::ExecutionMode::kSpawnPerEpisode);
+  /// silently produce wrong buffers. options.validate() runs here.
+  /// Pool semantics match the barrier executor: an owned RankPool with
+  /// ExecutionMode::kPersistentPool, or the caller's shared_pool.
+  explicit CollectiveExecutor(const CollectiveSchedule& schedule,
+                              const simmpi::ExecutorOptions& options = {});
+
+  /// Deprecated: use CollectiveExecutor(schedule,
+  /// simmpi::ExecutorOptions{.mode = mode}). Thin forward kept for
+  /// source compatibility.
+  [[deprecated("pass ExecutorOptions instead of a bare ExecutionMode")]]
+  CollectiveExecutor(const CollectiveSchedule& schedule,
+                     simmpi::ExecutionMode mode);
 
   std::size_t ranks() const { return ops_.size(); }
   std::size_t stage_count() const { return stages_; }
+  const simmpi::ExecutorOptions& options() const { return options_; }
+
+  /// Post one collective episode: snapshot and send stage 0's outgoing
+  /// sub-ranges of `buffer` (elem_count words, transformed in place as
+  /// stages complete), arm stage 0's receives, return without waiting.
+  EpisodeHandle post(simmpi::RankContext& ctx, ReduceOp op, Payload& buffer,
+                     int episode = 0) const;
+
+  /// Nonblocking probe: advance through every stage whose requests all
+  /// completed, applying incoming edges in ascending source order as
+  /// each stage closes; returns whether the episode is done.
+  bool test(EpisodeHandle& handle) const;
+
+  /// Drive the episode to completion in bounded progress slices.
+  void wait(EpisodeHandle& handle) const;
 
   /// Execute one collective episode for `rank`, transforming `buffer`
-  /// (elem_count words) in place. `episode` keeps repeated invocations
-  /// apart in the tag space.
+  /// in place: exactly wait(post(ctx, op, buffer, episode)).
   void execute(simmpi::RankContext& ctx, ReduceOp op, Payload& buffer,
                int episode = 0) const;
 
@@ -53,13 +156,27 @@ class CollectiveExecutor {
       simmpi::LatencyModel latency = simmpi::uniform_latency(),
       simmpi::ByteLatencyModel byte_latency = nullptr) const;
 
-  /// Bounded-wait episode (see simmpi/resilience.hpp): per-stage
-  /// deadlines, bounded resends, crash faults honoured. Incoming data
-  /// is applied only when the whole stage completed, so a stalled
-  /// rank's buffer stays at its last consistent stage snapshot; resends
-  /// re-copy from the unchanged buffer and carry identical words.
-  /// Returns true when every stage completed; `report` must be
-  /// pre-reset and is written only in this rank's row.
+  /// Post one bounded-wait episode (see simmpi/resilience.hpp):
+  /// per-stage deadlines, bounded resends, crash faults honoured.
+  /// Incoming data is applied only when the whole stage completed, so a
+  /// stalled rank's buffer stays at its last consistent stage snapshot;
+  /// resends re-copy from the unchanged buffer and carry identical
+  /// words. `report` must be pre-reset and outlive the handle.
+  ResilientEpisodeHandle post_resilient(
+      simmpi::RankContext& ctx, ReduceOp op, Payload& buffer,
+      const simmpi::ResilienceOptions& options, simmpi::StallReport& report,
+      int episode = 0) const;
+
+  /// Nonblocking probe of a resilient episode (zero-width progress
+  /// slice; only time spent inside is charged to the deadline).
+  bool test(ResilientEpisodeHandle& handle) const;
+
+  /// Drive a resilient episode to a terminal state; true when every
+  /// stage completed.
+  bool wait(ResilientEpisodeHandle& handle) const;
+
+  /// Blocking bounded-wait episode: exactly
+  /// wait(post_resilient(...)).
   bool execute_resilient(simmpi::RankContext& ctx, ReduceOp op,
                          Payload& buffer,
                          const simmpi::ResilienceOptions& options,
@@ -96,14 +213,33 @@ class CollectiveExecutor {
   };
 
   // Spawn threads or dispatch a pool generation, per the construction
-  // mode.
+  // options.
   void run_episode(simmpi::Communicator& comm,
                    const simmpi::RankFunction& fn) const;
+
+  void check_context(const simmpi::RankContext& ctx,
+                     const Payload& buffer) const;
+
+  // Copy `send`'s sub-range out of the buffer (the snapshot rule).
+  Payload send_words(const Payload& buffer, const SendOp& send) const;
+
+  // Apply the stage's received words to the buffer, ascending src.
+  void apply_stage(const StageOps& ops, const std::vector<Payload>& inbox,
+                   ReduceOp op, Payload& buffer) const;
+
+  // Snapshot + post stage `stage`'s operations into the handle (or mark
+  // it done past the last stage).
+  void begin_stage(EpisodeHandle& handle, std::size_t stage) const;
+  void begin_stage_resilient(ResilientEpisodeHandle& handle,
+                             std::size_t stage) const;
+  void progress_resilient(ResilientEpisodeHandle& handle,
+                          simmpi::Clock::duration slice) const;
 
   std::size_t stages_ = 0;
   std::size_t elem_count_ = 0;
   std::vector<std::vector<StageOps>> ops_;  ///< ops_[rank][stage]
-  std::unique_ptr<simmpi::RankPool> pool_;  ///< kPersistentPool only
+  simmpi::ExecutorOptions options_;
+  std::unique_ptr<simmpi::RankPool> pool_;  ///< owned kPersistentPool only
 };
 
 }  // namespace optibar

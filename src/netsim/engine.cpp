@@ -1,6 +1,7 @@
 #include "netsim/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <optional>
 
@@ -80,6 +81,16 @@ class Simulation {
       OPTIBAR_REQUIRE(options_.entry_times.size() == p_,
                       "entry_times size mismatch");
       result_.entry = options_.entry_times;
+    }
+    if (!options_.compute_after_post.empty()) {
+      OPTIBAR_REQUIRE(options_.compute_after_post.size() == p_,
+                      "compute_after_post size mismatch");
+      OPTIBAR_REQUIRE(options_.progress_poll_interval > 0.0,
+                      "compute_after_post needs a positive "
+                      "progress_poll_interval");
+      for (const double c : options_.compute_after_post) {
+        OPTIBAR_REQUIRE(c >= 0.0, "negative compute_after_post");
+      }
     }
   }
 
@@ -312,9 +323,43 @@ class Simulation {
     }
   }
 
+  /// When the nonblocking-progress model is on and `rank` is still
+  /// inside its post-entry compute window, barrier progress only
+  /// happens at the rank's poll ticks: return the first tick at or
+  /// after `now` (capped at the end of the window, where the rank
+  /// blocks in wait() and progress is immediate). `now` otherwise.
+  double progress_time(std::size_t rank, double now) const {
+    if (options_.compute_after_post.empty() ||
+        options_.progress_poll_interval <= 0.0) {
+      return now;
+    }
+    const double entry = result_.entry[rank];
+    const double busy_until = entry + options_.compute_after_post[rank];
+    if (now >= busy_until) {
+      return now;
+    }
+    const double poll = options_.progress_poll_interval;
+    double tick = entry + std::ceil((now - entry) / poll) * poll;
+    if (tick < now) {
+      tick += poll;  // floating-point guard: the tick may not precede now
+    }
+    return std::min(tick, busy_until);
+  }
+
   void maybe_complete_stage(std::size_t rank, double now) {
     RankState& st = states_[rank];
     if (st.done || st.recvs_pending > 0 || st.sends_pending > 0) {
+      return;
+    }
+    const double at = progress_time(rank, now);
+    if (at > now) {
+      // Host-driven progress: the prerequisites are in, but the rank is
+      // computing and only notices at its next handle poll. Nothing can
+      // re-trigger this stage meanwhile (both pending counts are zero),
+      // so exactly one deferred transition is ever scheduled.
+      queue_.schedule(at, [this, rank] {
+        enter_stage(rank, states_[rank].stage + 1, queue_.now());
+      });
       return;
     }
     enter_stage(rank, st.stage + 1, now);
@@ -440,6 +485,105 @@ WorkloadResult simulate_workload(const Schedule& schedule,
   result.makespan =
       *std::max_element(completion.begin(), completion.end());
   return result;
+}
+
+OverlapResult simulate_overlap(const Schedule& schedule,
+                               const TopologyProfile& profile,
+                               const OverlapOptions& options) {
+  OPTIBAR_REQUIRE(options.compute_seconds >= 0.0 &&
+                      options.compute_stddev >= 0.0,
+                  "compute parameters must be non-negative");
+  OPTIBAR_REQUIRE(options.overlap_ratio >= 0.0 &&
+                      options.overlap_ratio <= 1.0,
+                  "overlap_ratio outside [0,1]");
+  OPTIBAR_REQUIRE(options.poll_interval > 0.0,
+                  "poll_interval must be positive");
+  OPTIBAR_REQUIRE(options.sim.entry_times.empty() &&
+                      options.sim.compute_after_post.empty() &&
+                      options.sim.progress_poll_interval == 0.0,
+                  "the overlap runner owns entry times and progress "
+                  "polling; leave them empty in sim");
+  const std::size_t p = schedule.ranks();
+
+  // One set of compute draws shared by both runs: the comparison is
+  // paired, so the difference isolates overlap, not draw luck.
+  Rng rng(options.sim.seed ^ 0xA0761D6478BD642FULL);
+  std::vector<double> compute(p);
+  for (std::size_t rank = 0; rank < p; ++rank) {
+    compute[rank] = std::max(
+        0.0, rng.normal(options.compute_seconds, options.compute_stddev));
+  }
+
+  // Blocking reference: every rank finishes all its compute, then calls
+  // the barrier.
+  SimOptions blocking = options.sim;
+  blocking.entry_times = compute;
+  const SimResult blocking_run = simulate(schedule, profile, blocking);
+
+  // Nonblocking: post after the non-overlapped fraction, compute the
+  // rest while polling the handle.
+  SimOptions nonblocking = options.sim;
+  nonblocking.entry_times.resize(p);
+  nonblocking.compute_after_post.resize(p);
+  for (std::size_t rank = 0; rank < p; ++rank) {
+    nonblocking.entry_times[rank] =
+        (1.0 - options.overlap_ratio) * compute[rank];
+    nonblocking.compute_after_post[rank] =
+        options.overlap_ratio * compute[rank];
+  }
+  nonblocking.progress_poll_interval = options.poll_interval;
+  const SimResult nonblocking_run = simulate(schedule, profile, nonblocking);
+
+  OverlapResult result;
+  result.blocking_completion = blocking_run.completion_time();
+  result.nonblocking_completion = nonblocking_run.completion_time();
+  for (std::size_t rank = 0; rank < p; ++rank) {
+    const double busy_until =
+        nonblocking_run.entry[rank] + nonblocking.compute_after_post[rank];
+    result.exposed_wait =
+        std::max(result.exposed_wait,
+                 nonblocking_run.completion[rank] - busy_until);
+  }
+  result.saved =
+      result.blocking_completion - result.nonblocking_completion;
+  const double span = blocking_run.barrier_time();
+  if (span > 0.0) {
+    result.overlap_efficiency =
+        std::clamp(result.saved / span, 0.0, 1.0);
+  }
+  return result;
+}
+
+OverlapResult simulate_overlap_mean(const Schedule& schedule,
+                                    const TopologyProfile& profile,
+                                    const OverlapOptions& options,
+                                    std::size_t repetitions,
+                                    ThreadPool* pool) {
+  OPTIBAR_REQUIRE(repetitions > 0, "repetitions must be positive");
+  // Rep 0 keeps the caller's seed (one rep degenerates to
+  // simulate_overlap); index-owned slots keep the mean pool-width
+  // invariant, like every seeded mean in this engine.
+  std::vector<OverlapResult> results(repetitions);
+  for_each_rep(repetitions, pool, [&](std::size_t rep) {
+    OverlapOptions rep_options = options;
+    rep_options.sim.seed = options.sim.seed + 0xD1B54A32D192ED03ULL * rep;
+    results[rep] = simulate_overlap(schedule, profile, rep_options);
+  });
+  OverlapResult mean;
+  for (const OverlapResult& r : results) {
+    mean.blocking_completion += r.blocking_completion;
+    mean.nonblocking_completion += r.nonblocking_completion;
+    mean.exposed_wait += r.exposed_wait;
+    mean.saved += r.saved;
+    mean.overlap_efficiency += r.overlap_efficiency;
+  }
+  const double n = static_cast<double>(repetitions);
+  mean.blocking_completion /= n;
+  mean.nonblocking_completion /= n;
+  mean.exposed_wait /= n;
+  mean.saved /= n;
+  mean.overlap_efficiency /= n;
+  return mean;
 }
 
 std::vector<WorkloadResult> simulate_workload_reps(

@@ -78,6 +78,21 @@ struct SimOptions {
   std::function<double(std::size_t stage, std::size_t src, std::size_t dst)>
       extra_message_cost;
 
+  /// Nonblocking-progress (MPI_Ibarrier) model: after entering the
+  /// barrier — which now models *posting* the handle —
+  /// rank r computes for compute_after_post[r] seconds of application
+  /// work and only drives barrier progress when it polls the handle,
+  /// every progress_poll_interval seconds since its entry. A stage
+  /// transition whose prerequisites complete inside the compute window
+  /// is deferred to the rank's next poll tick (host-driven progress:
+  /// nothing advances while the host is not in the library); once the
+  /// window ends the rank blocks in wait() and transitions are
+  /// immediate again. Leaving compute_after_post empty or the poll
+  /// interval at 0 disables the model and keeps every result — and the
+  /// RNG stream — bit-identical to the blocking engine.
+  std::vector<double> compute_after_post;
+  double progress_poll_interval = 0.0;
+
   /// Record a per-message trace (inject/match times) for diagnostics.
   bool record_trace = false;
 
@@ -185,6 +200,67 @@ struct WorkloadResult {
 WorkloadResult simulate_workload(const Schedule& schedule,
                                  const TopologyProfile& profile,
                                  const WorkloadOptions& options = {});
+
+/// The overlap workload family: one episode of per-rank compute
+/// interleaved with barrier progress, run twice — blocking (all compute
+/// before the barrier call) and nonblocking (a fraction of the compute
+/// placed *after* the post, with handle polls every poll_interval) —
+/// so the two completion times isolate what communication/computation
+/// overlap buys on a given schedule and topology.
+struct OverlapOptions {
+  /// Total application compute per rank per episode (seconds), and the
+  /// per-rank skew (normal draw truncated at zero, like the workload).
+  double compute_seconds = 1e-3;
+  double compute_stddev = 0.0;
+
+  /// Fraction of each rank's compute placed after the post, in [0,1]:
+  /// 0 degenerates to the blocking run, 1 posts immediately and
+  /// overlaps everything.
+  double overlap_ratio = 1.0;
+
+  /// How often a computing rank polls its handle (seconds); barrier
+  /// progress during the compute window happens only at these ticks.
+  double poll_interval = 5e-5;
+
+  /// Base engine options (seed, jitter, faults...). entry_times,
+  /// compute_after_post, and progress_poll_interval must be left
+  /// empty/zero — the overlap runner owns them.
+  SimOptions sim;
+};
+
+struct OverlapResult {
+  /// Latest exit over ranks of the blocking run (compute, then barrier).
+  double blocking_completion = 0.0;
+  /// Latest exit of the nonblocking run (post, compute, wait).
+  double nonblocking_completion = 0.0;
+  /// Worst exposed wait of the nonblocking run: completion minus end of
+  /// own compute window, maxed over ranks — the barrier cost the
+  /// application still perceives after overlap.
+  double exposed_wait = 0.0;
+  /// blocking_completion - nonblocking_completion (can be slightly
+  /// negative when poll latency outweighs the overlappable span).
+  double saved = 0.0;
+  /// saved / blocking barrier span, clamped to [0,1]: the fraction of
+  /// the barrier the overlap hid.
+  double overlap_efficiency = 0.0;
+};
+
+/// One overlap episode (both runs share the per-rank compute draws and
+/// the engine seed, so the comparison is paired). Deterministic for a
+/// fixed seed.
+OverlapResult simulate_overlap(const Schedule& schedule,
+                               const TopologyProfile& profile,
+                               const OverlapOptions& options = {});
+
+/// Mean over `repetitions` paired overlap episodes; rep 0 uses the
+/// options verbatim (one rep equals simulate_overlap), later reps
+/// derive fresh seeds. Reps fan out across `pool` into index-owned
+/// slots — pool width never changes the result.
+OverlapResult simulate_overlap_mean(const Schedule& schedule,
+                                    const TopologyProfile& profile,
+                                    const OverlapOptions& options,
+                                    std::size_t repetitions,
+                                    ThreadPool* pool = nullptr);
 
 /// `repetitions` independent workload runs. Rep 0 uses the options
 /// verbatim (so element 0 equals simulate_workload); each later rep

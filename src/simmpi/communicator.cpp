@@ -225,6 +225,33 @@ void Communicator::wait_all_on(std::size_t waiter,
   }
 }
 
+bool Communicator::wait_all_on_until(std::size_t waiter,
+                                     std::span<const Request> requests,
+                                     Clock::time_point deadline) const {
+  check_rank(waiter, "waiter");
+  for (const Request& request : requests) {
+    OPTIBAR_REQUIRE(request != nullptr, "null request in wait_all_on_until");
+  }
+  Shard& shard = *shards_[shard_of(waiter)];
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    const bool all = shard.cv.wait_until(lock, deadline, [&] {
+      return std::all_of(requests.begin(), requests.end(),
+                         [](const Request& r) { return r->finished(); });
+    });
+    if (!all) {
+      return false;
+    }
+  }
+  // Everything matched within the slice; sleeping out ready_at may run
+  // past the deadline — delivery latency is simulated time the episode
+  // must pay regardless of how the wait is sliced.
+  for (const Request& request : requests) {
+    request->wait();
+  }
+  return true;
+}
+
 bool Communicator::wait_all_for(std::span<const Request> requests,
                                 Clock::duration timeout) {
   // One absolute deadline shared by every request. Requests already

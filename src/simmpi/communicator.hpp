@@ -125,6 +125,18 @@ class Communicator {
   /// `waiter`; like wait_all, this blocks forever on a dropped send.
   void wait_all_on(std::size_t waiter, std::span<const Request> requests) const;
 
+  /// One bounded progress slice of wait_all_on: park on the waiter's
+  /// shard condvar until every request has *matched* or `deadline`
+  /// passes. Returns false on the deadline with requests still
+  /// unmatched — the caller re-slices (or gives up). On true, the
+  /// simulated delivery latency (ready_at) of every request has been
+  /// slept out, exactly like wait_all_on — so a loop of slices is
+  /// observably identical to one unbounded park, which is what makes
+  /// wait(post()) bit-identical to the blocking execute().
+  bool wait_all_on_until(std::size_t waiter,
+                         std::span<const Request> requests,
+                         Clock::time_point deadline) const;
+
   /// Bounded wait over a request set: true when all completed within
   /// the budget (checked jointly, not per request). On false, some
   /// requests may still be pending — the caller decides whether to keep

@@ -1,5 +1,6 @@
 #include "simmpi/executor.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "util/error.hpp"
@@ -7,8 +8,9 @@
 namespace optibar::simmpi {
 
 ScheduleExecutor::ScheduleExecutor(const Schedule& schedule,
-                                   ExecutionMode mode)
-    : stages_(schedule.stage_count()) {
+                                   const ExecutorOptions& options)
+    : stages_(schedule.stage_count()), options_(options) {
+  options_.validate();
   OPTIBAR_REQUIRE(schedule.is_barrier(),
                   "refusing to execute a signal pattern that is not a "
                   "barrier (Eq. 3 check failed)");
@@ -20,145 +22,280 @@ ScheduleExecutor::ScheduleExecutor(const Schedule& schedule,
       ops_[r][s].recv_from = schedule.sources_of(r, s);
     }
   }
-  if (mode == ExecutionMode::kPersistentPool) {
+  if (options_.shared_pool != nullptr) {
+    OPTIBAR_REQUIRE(options_.shared_pool->size() >= p,
+                    "shared pool has " << options_.shared_pool->size()
+                                       << " workers, schedule needs " << p);
+  } else if (options_.mode == ExecutionMode::kPersistentPool) {
     pool_ = std::make_unique<RankPool>(p);
   }
 }
 
+ScheduleExecutor::ScheduleExecutor(const Schedule& schedule,
+                                   ExecutionMode mode)
+    : ScheduleExecutor(schedule, [mode] {
+        ExecutorOptions options;
+        options.mode = mode;
+        return options;
+      }()) {}
+
 void ScheduleExecutor::run_episode(Communicator& comm,
                                    const RankFunction& fn) const {
-  if (pool_ != nullptr) {
+  if (options_.shared_pool != nullptr) {
+    run_ranks(*options_.shared_pool, comm, fn);
+  } else if (pool_ != nullptr) {
     run_ranks(*pool_, comm, fn);
   } else {
     run_ranks(comm, fn);
   }
 }
 
-void ScheduleExecutor::execute(RankContext& ctx, int episode) const {
-  const std::size_t rank = ctx.rank();
-  OPTIBAR_REQUIRE(rank < ops_.size(), "rank out of range for this executor");
+void ScheduleExecutor::check_context(const RankContext& ctx) const {
+  OPTIBAR_REQUIRE(ctx.rank() < ops_.size(),
+                  "rank out of range for this executor");
   OPTIBAR_REQUIRE(ctx.size() == ops_.size(),
                   "communicator size " << ctx.size()
                                        << " != schedule rank count "
                                        << ops_.size());
-  std::vector<Request> requests;
-  for (std::size_t s = 0; s < stages_; ++s) {
-    const StageOps& ops = ops_[rank][s];
-    // Tag = (episode, stage) so repeated barrier calls cannot cross-match.
-    const int tag =
-        episode * static_cast<int>(stages_) + static_cast<int>(s);
-    requests.clear();
-    requests.reserve(ops.send_to.size() + ops.recv_from.size());
-    for (std::size_t dst : ops.send_to) {
-      requests.push_back(ctx.issend(dst, tag));
-    }
-    for (std::size_t src : ops.recv_from) {
-      requests.push_back(ctx.irecv(src, tag));
-    }
-    // One shard-condvar park per wakeup instead of one condvar wait
-    // per request.
-    ctx.wait_all_batched(requests);
+}
+
+void ScheduleExecutor::begin_stage(EpisodeHandle& handle,
+                                   std::size_t stage) const {
+  if (stage == stages_) {
+    handle.done_ = true;
+    handle.requests_.clear();
+    return;
   }
+  handle.stage_ = stage;
+  const StageOps& ops = ops_[handle.ctx_->rank()][stage];
+  // Tag = (episode, stage) so repeated barrier calls cannot cross-match.
+  const int tag =
+      handle.episode_ * static_cast<int>(stages_) + static_cast<int>(stage);
+  handle.requests_.clear();
+  handle.requests_.reserve(ops.send_to.size() + ops.recv_from.size());
+  // Sends before recvs — the op order execute() has always used; the
+  // lifecycle must not reorder it or wait(post()) stops being
+  // bit-identical to the old blocking path.
+  for (std::size_t dst : ops.send_to) {
+    handle.requests_.push_back(handle.ctx_->issend(dst, tag));
+  }
+  for (std::size_t src : ops.recv_from) {
+    handle.requests_.push_back(handle.ctx_->irecv(src, tag));
+  }
+}
+
+ScheduleExecutor::EpisodeHandle ScheduleExecutor::post(RankContext& ctx,
+                                                       int episode) const {
+  check_context(ctx);
+  EpisodeHandle handle;
+  handle.ctx_ = &ctx;
+  handle.episode_ = episode;
+  begin_stage(handle, 0);
+  return handle;
+}
+
+bool ScheduleExecutor::test(EpisodeHandle& handle) const {
+  if (handle.done_) {
+    return true;
+  }
+  OPTIBAR_REQUIRE(handle.ctx_ != nullptr, "test() on an empty handle");
+  for (;;) {
+    for (const Request& request : handle.requests_) {
+      if (!request->test()) {
+        return false;
+      }
+    }
+    begin_stage(handle, handle.stage_ + 1);
+    if (handle.done_) {
+      return true;
+    }
+  }
+}
+
+void ScheduleExecutor::wait(EpisodeHandle& handle) const {
+  if (handle.done_) {
+    return;
+  }
+  OPTIBAR_REQUIRE(handle.ctx_ != nullptr, "wait() on an empty handle");
+  while (!handle.done_) {
+    // One bounded progress slice: park on this rank's shard condvar
+    // until the stage's requests all matched or the slice expires, then
+    // either advance a stage or park again. A loop of slices consumes
+    // the same matches as one unbounded wait_all_on park.
+    if (handle.ctx_->wait_all_batched_until(
+            handle.requests_, Clock::now() + options_.progress_slice)) {
+      begin_stage(handle, handle.stage_ + 1);
+    }
+  }
+}
+
+void ScheduleExecutor::execute(RankContext& ctx, int episode) const {
+  EpisodeHandle handle = post(ctx, episode);
+  wait(handle);
+}
+
+void ScheduleExecutor::begin_stage_resilient(ResilientEpisodeHandle& handle,
+                                             std::size_t stage) const {
+  RankStall& mine = handle.report_->per_rank[handle.ctx_->rank()];
+  if (stage == stages_) {
+    mine.stage_reached = stages_;
+    handle.done_ = true;
+    handle.sends_.clear();
+    handle.recvs_.clear();
+    return;
+  }
+  handle.stage_ = stage;
+  mine.stage_reached = stage;
+  if (stage >= handle.crash_at_) {
+    mine.crashed = true;
+    handle.failed_ = true;
+    return;
+  }
+  const StageOps& ops = ops_[handle.ctx_->rank()][stage];
+  const int tag =
+      handle.episode_ * static_cast<int>(stages_) + static_cast<int>(stage);
+  handle.sends_.clear();
+  handle.sends_.reserve(ops.send_to.size());
+  for (std::size_t dst : ops.send_to) {
+    handle.sends_.push_back(ResilientEpisodeHandle::SendOp{
+        dst, {handle.ctx_->issend(dst, tag)}});
+  }
+  handle.recvs_.clear();
+  handle.recvs_.reserve(ops.recv_from.size());
+  for (std::size_t src : ops.recv_from) {
+    handle.recvs_.push_back(
+        ResilientEpisodeHandle::RecvOp{src, handle.ctx_->irecv(src, tag)});
+  }
+  handle.attempt_ = 0;
+  handle.budget_ = handle.options_.stage_deadline(stage);
+  handle.consumed_ = Clock::duration::zero();
+}
+
+ScheduleExecutor::ResilientEpisodeHandle ScheduleExecutor::post_resilient(
+    RankContext& ctx, const ResilienceOptions& options, StallReport& report,
+    int episode) const {
+  check_context(ctx);
+  OPTIBAR_REQUIRE(report.per_rank.size() == ops_.size() &&
+                      report.stages == stages_,
+                  "StallReport not reset for this executor");
+  ResilientEpisodeHandle handle;
+  handle.ctx_ = &ctx;
+  handle.report_ = &report;
+  handle.options_ = options;
+  handle.episode_ = episode;
+  const FaultInjector* faults = ctx.communicator().fault_injector();
+  handle.crash_at_ = faults != nullptr ? faults->crash_stage(ctx.rank())
+                                       : FaultInjector::kNoCrash;
+  begin_stage_resilient(handle, 0);
+  return handle;
+}
+
+ScheduleExecutor::ResilientEpisodeHandle ScheduleExecutor::post_resilient(
+    RankContext& ctx, StallReport& report, int episode) const {
+  return post_resilient(ctx, options_.resilience, report, episode);
+}
+
+void ScheduleExecutor::progress_resilient(ResilientEpisodeHandle& handle,
+                                          Clock::duration slice) const {
+  const Clock::time_point slice_end = Clock::now() + slice;
+  RankStall& mine = handle.report_->per_rank[handle.ctx_->rank()];
+  while (!handle.done_ && !handle.failed_) {
+    // Wait the stage's requests against min(slice left, budget left):
+    // the deadline budget is charged by the time actually spent inside
+    // progress, never by the compute a polling caller does in between.
+    const Clock::time_point t0 = Clock::now();
+    const Clock::duration remaining =
+        std::max(Clock::duration::zero(), handle.budget_ - handle.consumed_);
+    Clock::time_point deadline = t0 + remaining;
+    if (deadline > slice_end) {
+      deadline = std::max(slice_end, t0);
+    }
+    bool all_done = true;
+    for (ResilientEpisodeHandle::SendOp& send : handle.sends_) {
+      for (const Request& request : send.attempts) {
+        send.done = send.done || request->wait_until(deadline);
+      }
+      all_done = all_done && send.done;
+    }
+    for (ResilientEpisodeHandle::RecvOp& recv : handle.recvs_) {
+      if (!recv.done && recv.request->wait_until(deadline)) {
+        recv.done = true;
+        mine.delivered.push_back(
+            SignalEdge{handle.stage_, recv.src, handle.ctx_->rank()});
+      }
+      all_done = all_done && recv.done;
+    }
+    handle.consumed_ += Clock::now() - t0;
+    if (all_done) {
+      begin_stage_resilient(handle, handle.stage_ + 1);
+      if (Clock::now() >= slice_end) {
+        return;
+      }
+      continue;
+    }
+    if (handle.consumed_ >= handle.budget_) {
+      if (handle.attempt_ >= handle.options_.max_retries) {
+        for (const ResilientEpisodeHandle::SendOp& send : handle.sends_) {
+          if (!send.done) {
+            mine.pending_send_to.push_back(send.dst);
+          }
+        }
+        for (const ResilientEpisodeHandle::RecvOp& recv : handle.recvs_) {
+          if (!recv.done) {
+            mine.pending_recv_from.push_back(recv.src);
+          }
+        }
+        handle.failed_ = true;
+        return;
+      }
+      // Resend every unacked synchronized send: a fresh message with a
+      // fresh fault draw, so a lossy (not dead) link can still let it
+      // through. Receives are not reposted — the original stays armed.
+      const int tag = handle.episode_ * static_cast<int>(stages_) +
+                      static_cast<int>(handle.stage_);
+      for (ResilientEpisodeHandle::SendOp& send : handle.sends_) {
+        if (!send.done) {
+          send.attempts.push_back(handle.ctx_->issend(send.dst, tag));
+        }
+      }
+      ++handle.attempt_;
+      handle.budget_ = std::chrono::duration_cast<Clock::duration>(
+          handle.budget_ * handle.options_.retry_backoff);
+      handle.consumed_ = Clock::duration::zero();
+    }
+    if (Clock::now() >= slice_end) {
+      return;
+    }
+  }
+}
+
+bool ScheduleExecutor::test(ResilientEpisodeHandle& handle) const {
+  if (handle.done()) {
+    return true;
+  }
+  OPTIBAR_REQUIRE(handle.ctx_ != nullptr, "test() on an empty handle");
+  progress_resilient(handle, Clock::duration::zero());
+  return handle.done();
+}
+
+bool ScheduleExecutor::wait(ResilientEpisodeHandle& handle) const {
+  if (handle.done()) {
+    return handle.succeeded();
+  }
+  OPTIBAR_REQUIRE(handle.ctx_ != nullptr, "wait() on an empty handle");
+  while (!handle.done()) {
+    progress_resilient(handle, options_.progress_slice);
+  }
+  return handle.succeeded();
 }
 
 bool ScheduleExecutor::execute_resilient(RankContext& ctx,
                                          const ResilienceOptions& options,
                                          StallReport& report,
                                          int episode) const {
-  const std::size_t rank = ctx.rank();
-  OPTIBAR_REQUIRE(rank < ops_.size(), "rank out of range for this executor");
-  OPTIBAR_REQUIRE(ctx.size() == ops_.size(),
-                  "communicator size " << ctx.size()
-                                       << " != schedule rank count "
-                                       << ops_.size());
-  OPTIBAR_REQUIRE(report.per_rank.size() == ops_.size() &&
-                      report.stages == stages_,
-                  "StallReport not reset for this executor");
-  RankStall& mine = report.per_rank[rank];
-  const FaultInjector* faults = ctx.communicator().fault_injector();
-  const std::size_t crash_at =
-      faults != nullptr ? faults->crash_stage(rank) : FaultInjector::kNoCrash;
-
-  // A send op may have several in-flight attempts (resends); it is
-  // complete when any attempt matched.
-  struct SendOp {
-    std::size_t dst;
-    std::vector<Request> attempts;
-    bool done = false;
-  };
-  struct RecvOp {
-    std::size_t src;
-    Request request;
-    bool done = false;
-  };
-
-  for (std::size_t s = 0; s < stages_; ++s) {
-    mine.stage_reached = s;
-    if (s >= crash_at) {
-      mine.crashed = true;
-      return false;
-    }
-    const StageOps& ops = ops_[rank][s];
-    const int tag =
-        episode * static_cast<int>(stages_) + static_cast<int>(s);
-    std::vector<SendOp> sends;
-    sends.reserve(ops.send_to.size());
-    for (std::size_t dst : ops.send_to) {
-      sends.push_back(SendOp{dst, {ctx.issend(dst, tag)}});
-    }
-    std::vector<RecvOp> recvs;
-    recvs.reserve(ops.recv_from.size());
-    for (std::size_t src : ops.recv_from) {
-      recvs.push_back(RecvOp{src, ctx.irecv(src, tag)});
-    }
-
-    Clock::duration budget = options.stage_deadline(s);
-    for (std::size_t attempt = 0;; ++attempt) {
-      const Clock::time_point deadline = Clock::now() + budget;
-      bool all_done = true;
-      for (SendOp& send : sends) {
-        for (const Request& request : send.attempts) {
-          send.done = send.done || request->wait_until(deadline);
-        }
-        all_done = all_done && send.done;
-      }
-      for (RecvOp& recv : recvs) {
-        if (!recv.done && recv.request->wait_until(deadline)) {
-          recv.done = true;
-          mine.delivered.push_back(SignalEdge{s, recv.src, rank});
-        }
-        all_done = all_done && recv.done;
-      }
-      if (all_done) {
-        break;
-      }
-      if (attempt >= options.max_retries) {
-        for (const SendOp& send : sends) {
-          if (!send.done) {
-            mine.pending_send_to.push_back(send.dst);
-          }
-        }
-        for (const RecvOp& recv : recvs) {
-          if (!recv.done) {
-            mine.pending_recv_from.push_back(recv.src);
-          }
-        }
-        return false;
-      }
-      // Resend every unacked synchronized send: a fresh message with a
-      // fresh fault draw, so a lossy (not dead) link can still let it
-      // through. Receives are not reposted — the original stays armed.
-      for (SendOp& send : sends) {
-        if (!send.done) {
-          send.attempts.push_back(ctx.issend(send.dst, tag));
-        }
-      }
-      budget = std::chrono::duration_cast<Clock::duration>(
-          budget * options.retry_backoff);
-    }
-  }
-  mine.stage_reached = stages_;
-  return true;
+  ResilientEpisodeHandle handle =
+      post_resilient(ctx, options, report, episode);
+  return wait(handle);
 }
 
 StallReport ScheduleExecutor::run_once_resilient(

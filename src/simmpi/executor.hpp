@@ -10,9 +10,27 @@
 //  and awaiting completion of all issued requests."
 //
 // ScheduleExecutor is exactly that structure: per rank it precomputes the
-// send/recv lists of every stage from the incidence matrices, then
-// execute() walks the stages with issend/irecv/wait_all. Stage indices
-// are encoded in tags so repeated barrier invocations cannot cross-match.
+// send/recv lists of every stage from the incidence matrices. Stage
+// indices are encoded in tags so repeated barrier invocations cannot
+// cross-match.
+//
+// Execution is handle-based (the MPI_Ibarrier lifecycle):
+//
+//   EpisodeHandle h = exec.post(ctx);   // post stage 0, return at once
+//   while (!exec.test(h)) { compute();} // poll, overlap compute
+//   // or: exec.wait(h);                // finish in bounded slices
+//
+// post() issues the first stage's operations and returns immediately;
+// test() is a nonblocking probe that advances the episode through every
+// stage whose requests have all completed; wait() drives the episode to
+// completion by parking on the rank's shard condvar in bounded
+// *progress slices* (ExecutorOptions::progress_slice) instead of one
+// unbounded wait_all_on park. Each slice preserves the shard/notify
+// contract of the sharded board — the progress engine is just a sliced
+// consumer of the same condvar — so wait(post()) is observably
+// identical (bit-identical op order, tags, and matching) to the
+// blocking execute(), which is now literally implemented as
+// wait(post()).
 #pragma once
 
 #include <chrono>
@@ -21,6 +39,7 @@
 #include <vector>
 
 #include "barrier/schedule.hpp"
+#include "simmpi/executor_options.hpp"
 #include "simmpi/fault.hpp"
 #include "simmpi/resilience.hpp"
 #include "simmpi/runtime.hpp"
@@ -29,23 +48,123 @@ namespace optibar::simmpi {
 
 class ScheduleExecutor {
  public:
+  /// One in-flight barrier episode of one rank. Move-only: the handle
+  /// owns the current stage's requests. Obtain from post(), advance
+  /// with test()/wait() on the executor that created it.
+  class EpisodeHandle {
+   public:
+    EpisodeHandle() = default;
+    EpisodeHandle(EpisodeHandle&&) = default;
+    EpisodeHandle& operator=(EpisodeHandle&&) = default;
+    EpisodeHandle(const EpisodeHandle&) = delete;
+    EpisodeHandle& operator=(const EpisodeHandle&) = delete;
+
+    /// True once every stage completed (the episode left the barrier).
+    bool done() const { return done_; }
+
+   private:
+    friend class ScheduleExecutor;
+    RankContext* ctx_ = nullptr;
+    int episode_ = 0;
+    std::size_t stage_ = 0;            ///< stage whose ops are in flight
+    std::vector<Request> requests_;    ///< current stage's requests
+    bool done_ = false;
+  };
+
+  /// One in-flight bounded-wait episode. Deadlines are charged by
+  /// *elapsed progress time*: only the time actually spent inside
+  /// test()/wait() counts against the stage budget, so a rank that
+  /// computes between polls does not burn its deadline while the
+  /// network is never even looked at. Driven by the blocking
+  /// wait(handle), progress time equals wall time and the behaviour of
+  /// the old execute_resilient is preserved.
+  class ResilientEpisodeHandle {
+   public:
+    ResilientEpisodeHandle() = default;
+    ResilientEpisodeHandle(ResilientEpisodeHandle&&) = default;
+    ResilientEpisodeHandle& operator=(ResilientEpisodeHandle&&) = default;
+    ResilientEpisodeHandle(const ResilientEpisodeHandle&) = delete;
+    ResilientEpisodeHandle& operator=(const ResilientEpisodeHandle&) = delete;
+
+    /// True once the episode reached a terminal state (completed,
+    /// crashed, or gave up).
+    bool done() const { return done_ || failed_; }
+    /// True when the episode completed every stage.
+    bool succeeded() const { return done_; }
+    /// True when the episode crashed or exhausted its retries; the
+    /// rank's row of the report records where and on whom.
+    bool stalled() const { return failed_; }
+
+   private:
+    friend class ScheduleExecutor;
+    /// A send op may have several in-flight attempts (resends); it is
+    /// complete when any attempt matched.
+    struct SendOp {
+      std::size_t dst;
+      std::vector<Request> attempts;
+      bool done = false;
+    };
+    struct RecvOp {
+      std::size_t src;
+      Request request;
+      bool done = false;
+    };
+
+    RankContext* ctx_ = nullptr;
+    StallReport* report_ = nullptr;  ///< caller-owned, must outlive handle
+    ResilienceOptions options_;
+    int episode_ = 0;
+    std::size_t crash_at_ = 0;
+    std::size_t stage_ = 0;
+    std::vector<SendOp> sends_;
+    std::vector<RecvOp> recvs_;
+    std::size_t attempt_ = 0;
+    Clock::duration budget_{};    ///< current attempt's deadline budget
+    Clock::duration consumed_{};  ///< progress time charged so far
+    bool done_ = false;
+    bool failed_ = false;
+  };
+
   /// Precompute per-rank op lists. The schedule must be a valid barrier
   /// (checked: executing a non-barrier would not synchronize, and some
-  /// non-barriers deadlock the synchronized sends). With
-  /// ExecutionMode::kPersistentPool the executor owns a RankPool of
-  /// ranks() parked workers and run_once/run_once_resilient dispatch
-  /// generations instead of spawning threads — the mode for callers
-  /// that execute episodes in a loop. Episodes then serialize on the
-  /// pool; results are identical either way.
-  explicit ScheduleExecutor(
-      const Schedule& schedule,
-      ExecutionMode mode = ExecutionMode::kSpawnPerEpisode);
+  /// non-barriers deadlock the synchronized sends). options.validate()
+  /// runs here, like EngineOptions at the engine boundary. With
+  /// ExecutionMode::kPersistentPool (and no shared_pool) the executor
+  /// owns a RankPool of ranks() parked workers and
+  /// run_once/run_once_resilient dispatch generations instead of
+  /// spawning threads; with options.shared_pool set, generations
+  /// dispatch on the caller's pool instead.
+  explicit ScheduleExecutor(const Schedule& schedule,
+                            const ExecutorOptions& options = {});
+
+  /// Deprecated: use ScheduleExecutor(schedule, ExecutorOptions{.mode =
+  /// mode}). Thin forward kept for source compatibility.
+  [[deprecated("pass ExecutorOptions instead of a bare ExecutionMode")]]
+  ScheduleExecutor(const Schedule& schedule, ExecutionMode mode);
 
   std::size_t ranks() const { return ops_.size(); }
   std::size_t stage_count() const { return stages_; }
+  const ExecutorOptions& options() const { return options_; }
 
-  /// Execute one barrier episode for `rank`. `episode` distinguishes
-  /// repeated invocations in the tag space.
+  /// Post one barrier episode for this rank: issue stage 0's operations
+  /// and return without waiting. `episode` distinguishes repeated
+  /// invocations in the tag space.
+  EpisodeHandle post(RankContext& ctx, int episode = 0) const;
+
+  /// Nonblocking probe: advance the episode through every stage whose
+  /// requests have all completed (posting the next stage's operations
+  /// as each one finishes), and return whether the episode is done.
+  /// The MPI_Test analogue — call between compute blocks to overlap.
+  bool test(EpisodeHandle& handle) const;
+
+  /// Drive the episode to completion in bounded progress slices
+  /// (options().progress_slice per park). Equivalent to looping test(),
+  /// but parks on the rank's shard condvar between probes instead of
+  /// spinning.
+  void wait(EpisodeHandle& handle) const;
+
+  /// Execute one barrier episode for `rank`: exactly wait(post(ctx,
+  /// episode)). Kept as the convenience blocking form.
   void execute(RankContext& ctx, int episode = 0) const;
 
   /// Run one full barrier across all ranks of a fresh communicator.
@@ -56,13 +175,32 @@ class ScheduleExecutor {
       LatencyModel latency = uniform_latency(),
       std::vector<std::chrono::nanoseconds> entry_delays = {}) const;
 
-  /// Bounded-wait episode for `rank` (see resilience.hpp): per-stage
+  /// Post one bounded-wait episode (see resilience.hpp): per-stage
   /// deadlines, bounded resends of unacked Issends, crash faults
-  /// honoured. Returns true when every stage completed; on false the
-  /// rank's row of `report` records where and on whom it gave up.
-  /// `report` must have been reset(ranks(), stage_count()) by the
-  /// caller; each rank writes only its own row, so concurrent rank
-  /// threads may share one report.
+  /// honoured. `report` must have been reset(ranks(), stage_count()) by
+  /// the caller and outlive the handle; each rank writes only its own
+  /// row, so concurrent rank threads may share one report.
+  ResilientEpisodeHandle post_resilient(RankContext& ctx,
+                                        const ResilienceOptions& options,
+                                        StallReport& report,
+                                        int episode = 0) const;
+
+  /// As above with the executor's own options().resilience knobs.
+  ResilientEpisodeHandle post_resilient(RankContext& ctx, StallReport& report,
+                                        int episode = 0) const;
+
+  /// Nonblocking probe of a resilient episode: one zero-width progress
+  /// slice. Only the time spent inside the call is charged against the
+  /// stage deadline. Returns handle.done().
+  bool test(ResilientEpisodeHandle& handle) const;
+
+  /// Drive a resilient episode to a terminal state in bounded progress
+  /// slices; returns true when every stage completed, false when the
+  /// rank crashed or gave up (the report records where).
+  bool wait(ResilientEpisodeHandle& handle) const;
+
+  /// Blocking bounded-wait episode: exactly
+  /// wait(post_resilient(ctx, options, report, episode)).
   bool execute_resilient(RankContext& ctx, const ResilienceOptions& options,
                          StallReport& report, int episode = 0) const;
 
@@ -82,12 +220,30 @@ class ScheduleExecutor {
   };
 
   // Spawn threads or dispatch a pool generation, per the construction
-  // mode.
+  // options.
   void run_episode(Communicator& comm, const RankFunction& fn) const;
+
+  // Issue stage `stage`'s operations (sends before recvs — the same
+  // order execute() always used) into the handle.
+  void begin_stage(EpisodeHandle& handle, std::size_t stage) const;
+
+  // Enter stage `stage` of a resilient episode: honour crash faults,
+  // post the stage's ops, arm the first attempt's budget.
+  void begin_stage_resilient(ResilientEpisodeHandle& handle,
+                             std::size_t stage) const;
+
+  // One bounded progress slice of a resilient episode: wait the current
+  // stage's requests against min(slice, remaining budget), charge the
+  // elapsed time, then advance / retry / give up.
+  void progress_resilient(ResilientEpisodeHandle& handle,
+                          Clock::duration slice) const;
+
+  void check_context(const RankContext& ctx) const;
 
   std::size_t stages_ = 0;
   std::vector<std::vector<StageOps>> ops_;  ///< ops_[rank][stage]
-  std::unique_ptr<RankPool> pool_;  ///< kPersistentPool only
+  ExecutorOptions options_;
+  std::unique_ptr<RankPool> pool_;  ///< owned kPersistentPool only
 };
 
 }  // namespace optibar::simmpi

@@ -1,0 +1,29 @@
+#include "simmpi/executor_options.hpp"
+
+#include "util/error.hpp"
+
+namespace optibar::simmpi {
+
+void ExecutorOptions::validate() const {
+  OPTIBAR_REQUIRE(progress_slice > Clock::duration::zero(),
+                  "progress_slice must be positive");
+  OPTIBAR_REQUIRE(resilience.slack > 0.0,
+                  "resilience.slack must be positive, got "
+                      << resilience.slack);
+  OPTIBAR_REQUIRE(resilience.time_scale > 0.0,
+                  "resilience.time_scale must be positive, got "
+                      << resilience.time_scale);
+  OPTIBAR_REQUIRE(resilience.retry_backoff >= 1.0,
+                  "resilience.retry_backoff must be >= 1, got "
+                      << resilience.retry_backoff);
+  OPTIBAR_REQUIRE(resilience.deadline_floor >= Clock::duration::zero(),
+                  "resilience.deadline_floor must be non-negative");
+  OPTIBAR_REQUIRE(resilience.deadline_ceiling >= resilience.deadline_floor,
+                  "resilience.deadline_ceiling below deadline_floor");
+  for (const double seconds : resilience.predicted_stage_seconds) {
+    OPTIBAR_REQUIRE(seconds >= 0.0,
+                    "negative predicted stage cost " << seconds);
+  }
+}
+
+}  // namespace optibar::simmpi

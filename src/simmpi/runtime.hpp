@@ -57,6 +57,15 @@ class RankContext {
     comm_->wait_all_on(rank_, requests);
   }
 
+  /// One bounded progress slice of the batched wait: park until all
+  /// requests have matched or `deadline` passes
+  /// (Communicator::wait_all_on_until). The nonblocking executors'
+  /// wait(handle) loops this instead of blocking forever.
+  bool wait_all_batched_until(std::span<const Request> requests,
+                              Clock::time_point deadline) const {
+    return comm_->wait_all_on_until(rank_, requests, deadline);
+  }
+
   Communicator& communicator() { return *comm_; }
 
  private:

@@ -1,13 +1,21 @@
 // Tests for the C API: handle lifecycle, plan extraction, error paths,
 // and — the crucial semantic check — replaying a plan's per-rank op
 // sequences through the MPI-like runtime synchronizes correctly.
+//
+// The errbuf signatures are deprecated but must keep working until
+// removed, so this suite exercises them on purpose.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 #include "capi/optibar.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "simmpi/runtime.hpp"
@@ -444,6 +452,118 @@ TEST_F(CapiTest, TuneCollectiveV2ClassifiesCallerErrors) {
   // Every failure left the out parameters unwritten.
   EXPECT_DOUBLE_EQ(seconds, -1.0);
   EXPECT_EQ(stages, 99u);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+}
+
+TEST_F(CapiTest, IbarrierEpisodeCompletesViaPollingThenWait) {
+  optibar_episode* episode = optibar_ibarrier_post(library_);
+  ASSERT_NE(episode, nullptr) << optibar_last_error();
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_OK);
+  // Poll until the in-process barrier run completes.
+  int state = 0;
+  while ((state = optibar_ibarrier_test(episode)) == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(state, 1);
+  EXPECT_EQ(optibar_ibarrier_wait(episode), OPTIBAR_OK);
+}
+
+TEST_F(CapiTest, IbarrierWaitAloneDrivesTheEpisode) {
+  optibar_episode* episode = optibar_ibarrier_post(library_);
+  ASSERT_NE(episode, nullptr) << optibar_last_error();
+  EXPECT_EQ(optibar_ibarrier_wait(episode), OPTIBAR_OK);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_OK);
+}
+
+TEST_F(CapiTest, ConcurrentEpisodesAreIndependent) {
+  optibar_episode* a = optibar_ibarrier_post(library_);
+  optibar_episode* b = optibar_ibarrier_post(library_);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(optibar_ibarrier_wait(b), OPTIBAR_OK);
+  EXPECT_EQ(optibar_ibarrier_wait(a), OPTIBAR_OK);
+}
+
+TEST(CapiEpisode, NullEpisodeIsRejected) {
+  EXPECT_EQ(optibar_ibarrier_test(nullptr), -1);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(optibar_ibarrier_wait(nullptr), OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(optibar_icollective_test(nullptr), -1);
+  EXPECT_EQ(optibar_icollective_wait(nullptr),
+            OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(optibar_ibarrier_post(nullptr), nullptr);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+}
+
+TEST_F(CapiTest, IcollectiveAllreduceSumsEveryRanksBuffer) {
+  const size_t ranks = optibar_ranks(library_);
+  const size_t elems = 4;
+  std::vector<uint64_t> data(ranks * elems);
+  for (size_t r = 0; r < ranks; ++r) {
+    for (size_t i = 0; i < elems; ++i) {
+      data[r * elems + i] = r * 100 + i + 1;
+    }
+  }
+  optibar_episode* episode = optibar_icollective_post(
+      library_, OPTIBAR_COLLECTIVE_ALLREDUCE, data.data(), elems, 0);
+  ASSERT_NE(episode, nullptr) << optibar_last_error();
+  while (optibar_icollective_test(episode) == 0) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(optibar_icollective_wait(episode), OPTIBAR_OK)
+      << optibar_last_error();
+  // Allreduce: every rank holds the elementwise sum over all inputs.
+  for (size_t i = 0; i < elems; ++i) {
+    uint64_t expected = 0;
+    for (size_t r = 0; r < ranks; ++r) {
+      expected += r * 100 + i + 1;
+    }
+    for (size_t r = 0; r < ranks; ++r) {
+      EXPECT_EQ(data[r * elems + i], expected)
+          << "rank " << r << " element " << i;
+    }
+  }
+}
+
+TEST_F(CapiTest, IcollectiveBroadcastCopiesTheRootBuffer) {
+  const size_t ranks = optibar_ranks(library_);
+  const size_t elems = 2;
+  const size_t root = 3;
+  std::vector<uint64_t> data(ranks * elems, 0);
+  for (size_t i = 0; i < elems; ++i) {
+    data[root * elems + i] = 4000 + i;
+  }
+  optibar_episode* episode = optibar_icollective_post(
+      library_, OPTIBAR_COLLECTIVE_BCAST, data.data(), elems, root);
+  ASSERT_NE(episode, nullptr) << optibar_last_error();
+  ASSERT_EQ(optibar_icollective_wait(episode), OPTIBAR_OK)
+      << optibar_last_error();
+  for (size_t r = 0; r < ranks; ++r) {
+    for (size_t i = 0; i < elems; ++i) {
+      EXPECT_EQ(data[r * elems + i], 4000 + i) << "rank " << r;
+    }
+  }
+}
+
+TEST_F(CapiTest, IcollectiveValidatesItsArguments) {
+  std::vector<uint64_t> data(16, 0);
+  EXPECT_EQ(optibar_icollective_post(library_, OPTIBAR_COLLECTIVE_ALLREDUCE,
+                                     nullptr, 1, 0),
+            nullptr);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(optibar_icollective_post(library_, OPTIBAR_COLLECTIVE_ALLREDUCE,
+                                     data.data(), 0, 0),
+            nullptr);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(optibar_icollective_post(library_, OPTIBAR_COLLECTIVE_REDUCE,
+                                     data.data(), 1, 99),
+            nullptr);
+  EXPECT_NE(std::string(optibar_last_error()).find("out of range"),
+            std::string::npos);
+  EXPECT_EQ(
+      optibar_icollective_post(library_, static_cast<optibar_collective_op>(7),
+                               data.data(), 1, 0),
+      nullptr);
   EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
 }
 

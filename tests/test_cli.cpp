@@ -441,6 +441,44 @@ TEST_F(CliWorkflow, SweepOverIrregularMachineFile) {
   EXPECT_NE(result.out.find("\n10,"), std::string::npos);
 }
 
+TEST_F(CliWorkflow, OverlapSweepsRatiosAgainstThePredictor) {
+  ASSERT_EQ(run({"profile", "--machine", "quad", "--ranks", "16", "--out",
+                 profile_path_})
+                .code,
+            0);
+  const CliResult result =
+      run({"overlap", "--profile", profile_path_, "--algorithm",
+           "dissemination", "--compute", "4e-4", "--ratios", "0,0.5,1",
+           "--reps", "2"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("predicted blocking barrier"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("predicted-exposed[s]"), std::string::npos);
+  // One table row per requested ratio.
+  EXPECT_NE(result.out.find(" 0.00 "), std::string::npos);
+  EXPECT_NE(result.out.find(" 0.50 "), std::string::npos);
+  EXPECT_NE(result.out.find(" 1.00 "), std::string::npos);
+}
+
+TEST_F(CliWorkflow, OverlapValidatesItsArguments) {
+  ASSERT_EQ(run({"profile", "--machine", "quad", "--ranks", "8", "--out",
+                 profile_path_})
+                .code,
+            0);
+  // Ratio outside [0,1].
+  EXPECT_EQ(run({"overlap", "--profile", profile_path_, "--algorithm",
+                 "tree", "--ratios", "0,1.5"})
+                .code,
+            1);
+  // Malformed ratio token.
+  EXPECT_EQ(run({"overlap", "--profile", profile_path_, "--algorithm",
+                 "tree", "--ratios", "0,abc"})
+                .code,
+            1);
+  // Needs exactly one schedule source.
+  EXPECT_EQ(run({"overlap", "--profile", profile_path_}).code, 1);
+}
+
 TEST_F(CliWorkflow, SkewedMachineWorksEndToEnd) {
   ASSERT_EQ(run({"profile", "--machine", "skewed", "--ranks", "16",
                  "--mapping", "block", "--out", profile_path_})

@@ -197,8 +197,9 @@ TEST(Library, InjectedFaultsDriveQuarantineEndToEnd) {
   // The retry loop executes episode after episode — exactly the caller
   // the pooled mode exists for: one set of parked rank workers serves
   // every attempt.
-  const simmpi::ScheduleExecutor executor(
-      schedule, simmpi::ExecutionMode::kPersistentPool);
+  simmpi::ExecutorOptions pooled;
+  pooled.mode = simmpi::ExecutionMode::kPersistentPool;
+  const simmpi::ScheduleExecutor executor(schedule, pooled);
   while (!library.is_quarantined(subset)) {
     const simmpi::StallReport report =
         executor.run_once_resilient(resilience, faults);

@@ -512,5 +512,136 @@ TEST(Workload, RepsInvariantToPoolWidthAndAnchoredAtRepZero) {
   }
 }
 
+TEST(OverlapModel, DisabledModelIsBitIdentical) {
+  // Leaving compute_after_post empty / poll 0 must leave every result
+  // — and the RNG stream — identical to the plain engine.
+  const TopologyProfile profile = uniform_profile(8, 1e-5, 1e-6);
+  const Schedule s = dissemination_barrier(8);
+  SimOptions plain;
+  plain.jitter = 0.04;
+  plain.seed = 77;
+  SimOptions modeled = plain;
+  modeled.compute_after_post = {};  // explicit no-op
+  modeled.progress_poll_interval = 0.0;
+  EXPECT_EQ(simulate(s, profile, plain).completion,
+            simulate(s, profile, modeled).completion);
+}
+
+TEST(OverlapModel, PollTicksDeferStageTransitions) {
+  // With compute windows and a coarse poll interval, every transition
+  // inside the window rounds up to a tick, so completion can only grow.
+  const TopologyProfile profile = uniform_profile(6, 1e-5, 1e-6);
+  const Schedule s = tree_barrier(6);
+  SimOptions plain;
+  const SimResult base = simulate(s, profile, plain);
+  SimOptions polled = plain;
+  polled.compute_after_post = std::vector<double>(6, 5e-4);
+  polled.progress_poll_interval = 1e-4;
+  const SimResult deferred = simulate(s, profile, polled);
+  EXPECT_FALSE(deferred.deadlocked);
+  EXPECT_GE(deferred.completion_time(), base.completion_time());
+}
+
+TEST(OverlapModel, RejectsBadOptions) {
+  const TopologyProfile profile = uniform_profile(4, 1e-5, 1e-6);
+  const Schedule s = tree_barrier(4);
+  SimOptions bad_size;
+  bad_size.compute_after_post = {1e-4, 1e-4};  // 2 entries, 4 ranks
+  bad_size.progress_poll_interval = 1e-5;
+  EXPECT_THROW(simulate(s, profile, bad_size), Error);
+  SimOptions no_poll;
+  no_poll.compute_after_post = std::vector<double>(4, 1e-4);
+  EXPECT_THROW(simulate(s, profile, no_poll), Error);  // poll required
+  SimOptions negative;
+  negative.compute_after_post = {1e-4, -1.0, 1e-4, 1e-4};
+  negative.progress_poll_interval = 1e-5;
+  EXPECT_THROW(simulate(s, profile, negative), Error);
+}
+
+TEST(Overlap, DeterministicAndPaired) {
+  const MachineSpec m = quad_cluster(2);
+  const TopologyProfile profile = generate_profile(m, 8);
+  const Schedule s = dissemination_barrier(8);
+  OverlapOptions options;
+  options.compute_seconds = 5e-4;
+  options.compute_stddev = 5e-5;
+  options.sim.seed = 19;
+  const OverlapResult a = simulate_overlap(s, profile, options);
+  const OverlapResult b = simulate_overlap(s, profile, options);
+  EXPECT_EQ(a.blocking_completion, b.blocking_completion);
+  EXPECT_EQ(a.nonblocking_completion, b.nonblocking_completion);
+  EXPECT_EQ(a.saved, b.saved);
+  // saved is definitionally the paired difference.
+  EXPECT_DOUBLE_EQ(a.saved,
+                   a.blocking_completion - a.nonblocking_completion);
+  EXPECT_GE(a.overlap_efficiency, 0.0);
+  EXPECT_LE(a.overlap_efficiency, 1.0);
+}
+
+TEST(Overlap, ZeroRatioDegeneratesToBlocking) {
+  const TopologyProfile profile = uniform_profile(6, 1e-5, 1e-6);
+  const Schedule s = tree_barrier(6);
+  OverlapOptions options;
+  options.overlap_ratio = 0.0;
+  options.compute_seconds = 3e-4;
+  const OverlapResult result = simulate_overlap(s, profile, options);
+  EXPECT_DOUBLE_EQ(result.nonblocking_completion,
+                   result.blocking_completion);
+  EXPECT_DOUBLE_EQ(result.saved, 0.0);
+}
+
+TEST(Overlap, FullOverlapHidesMostOfTheBarrier) {
+  // With compute far larger than the barrier and everything after the
+  // post, the barrier hides inside the compute window and the exposed
+  // wait collapses to poll-latency scale.
+  const TopologyProfile profile = uniform_profile(8, 1e-5, 1e-6);
+  const Schedule s = dissemination_barrier(8);
+  OverlapOptions options;
+  options.compute_seconds = 5e-3;  // >> barrier time
+  options.overlap_ratio = 1.0;
+  options.poll_interval = 1e-5;
+  const OverlapResult result = simulate_overlap(s, profile, options);
+  EXPECT_GT(result.saved, 0.0);
+  EXPECT_LT(result.exposed_wait,
+            simulate(s, profile, options.sim).barrier_time());
+}
+
+TEST(Overlap, MeanAnchorsAtRepZeroAndIsPoolInvariant) {
+  const MachineSpec m = quad_cluster(2);
+  const TopologyProfile profile = generate_profile(m, 8);
+  const Schedule s = tree_barrier(8);
+  OverlapOptions options;
+  options.compute_seconds = 4e-4;
+  options.compute_stddev = 4e-5;
+  options.sim.jitter = 0.03;
+  options.sim.seed = 5;
+  const OverlapResult single = simulate_overlap(s, profile, options);
+  const OverlapResult one_rep =
+      simulate_overlap_mean(s, profile, options, 1);
+  EXPECT_EQ(one_rep.blocking_completion, single.blocking_completion);
+  EXPECT_EQ(one_rep.nonblocking_completion, single.nonblocking_completion);
+  const OverlapResult serial =
+      simulate_overlap_mean(s, profile, options, 6);
+  ThreadPool pool(4);
+  const OverlapResult pooled =
+      simulate_overlap_mean(s, profile, options, 6, &pool);
+  EXPECT_EQ(pooled.blocking_completion, serial.blocking_completion);
+  EXPECT_EQ(pooled.nonblocking_completion, serial.nonblocking_completion);
+  EXPECT_EQ(pooled.exposed_wait, serial.exposed_wait);
+  EXPECT_EQ(pooled.saved, serial.saved);
+}
+
+TEST(Overlap, RunnerOwnsTheModelFields) {
+  const TopologyProfile profile = uniform_profile(4, 1e-5, 1e-6);
+  const Schedule s = tree_barrier(4);
+  OverlapOptions stolen;
+  stolen.sim.compute_after_post = std::vector<double>(4, 1e-4);
+  stolen.sim.progress_poll_interval = 1e-5;
+  EXPECT_THROW(simulate_overlap(s, profile, stolen), Error);
+  OverlapOptions entries;
+  entries.sim.entry_times = std::vector<double>(4, 0.0);
+  EXPECT_THROW(simulate_overlap(s, profile, entries), Error);
+}
+
 }  // namespace
 }  // namespace optibar

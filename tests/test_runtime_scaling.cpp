@@ -28,6 +28,7 @@ using namespace std::chrono_literals;
 using simmpi::BoardMode;
 using simmpi::Communicator;
 using simmpi::ExecutionMode;
+using simmpi::ExecutorOptions;
 using simmpi::Payload;
 using simmpi::RankContext;
 using simmpi::RankPool;
@@ -147,7 +148,9 @@ TEST(RankPool, ExecutorReusesOnePoolForAThousandEpisodes) {
   // matching (episode tags) — and agree with the spawn executor's
   // observable outcome.
   const Schedule schedule = dissemination_barrier(8);
-  const ScheduleExecutor pooled(schedule, ExecutionMode::kPersistentPool);
+  ExecutorOptions pooled_options;
+  pooled_options.mode = ExecutionMode::kPersistentPool;
+  const ScheduleExecutor pooled(schedule, pooled_options);
   const auto zero = [](std::size_t, std::size_t) {
     return simmpi::Clock::duration::zero();
   };

@@ -151,6 +151,82 @@ TEST(ValidateIo, LoaderRejectsCyclicAwaitedSchedules) {
   EXPECT_THROW(load_schedule(buffer), IoError);
 }
 
+TEST(ValidateNonblocking, MatchedProgramsPass) {
+  // Every rank posts schedule 0 then waits, twice: clean.
+  const NonblockingProgram program{
+      NonblockingOp::post(0), NonblockingOp::wait(), NonblockingOp::post(0),
+      NonblockingOp::wait()};
+  const ValidationResult result =
+      validate_nonblocking_programs({program, program, program});
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.deadlock_free());
+}
+
+TEST(ValidateNonblocking, PostAllThenWaitAllIsFine) {
+  // Outstanding handles are legal as long as every post is eventually
+  // waited (FIFO drain).
+  const NonblockingProgram program{
+      NonblockingOp::post(0), NonblockingOp::post(1), NonblockingOp::wait(),
+      NonblockingOp::wait()};
+  EXPECT_TRUE(validate_nonblocking_programs({program, program}).ok());
+}
+
+TEST(ValidateNonblocking, ParcoachMismatchShapeIsCaught) {
+  // The PARCOACH benchmark shape: odd ranks post the collective twice,
+  // even ranks once — the extra call can never complete.
+  const NonblockingProgram even{NonblockingOp::post(0),
+                                NonblockingOp::wait()};
+  const NonblockingProgram odd{NonblockingOp::post(0), NonblockingOp::wait(),
+                               NonblockingOp::post(0),
+                               NonblockingOp::wait()};
+  const ValidationResult result =
+      validate_nonblocking_programs({even, odd, even, odd});
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.deadlock_free());
+  bool found = false;
+  for (const ScheduleIssue& issue : result.issues) {
+    found = found || issue.kind == ScheduleIssueKind::kMismatchedPost;
+  }
+  EXPECT_TRUE(found) << result.describe();
+}
+
+TEST(ValidateNonblocking, DivergentScheduleIdsAreCaughtByPosition) {
+  const NonblockingProgram a{NonblockingOp::post(0), NonblockingOp::post(1),
+                             NonblockingOp::wait(), NonblockingOp::wait()};
+  const NonblockingProgram b{NonblockingOp::post(0), NonblockingOp::post(2),
+                             NonblockingOp::wait(), NonblockingOp::wait()};
+  const ValidationResult result = validate_nonblocking_programs({a, b});
+  ASSERT_EQ(result.issues.size(), 1u);
+  EXPECT_EQ(result.issues[0].kind, ScheduleIssueKind::kMismatchedPost);
+  EXPECT_EQ(result.issues[0].stage, 1u);  // first divergent position
+}
+
+TEST(ValidateNonblocking, MissingWaitIsCaughtPerRank) {
+  const NonblockingProgram leaky{NonblockingOp::post(0)};
+  const ValidationResult result =
+      validate_nonblocking_programs({leaky, leaky});
+  EXPECT_FALSE(result.deadlock_free());
+  ASSERT_EQ(result.issues.size(), 2u);  // one per rank, no cross-rank issue
+  EXPECT_EQ(result.issues[0].kind, ScheduleIssueKind::kMissingWait);
+  EXPECT_EQ(result.issues[1].kind, ScheduleIssueKind::kMissingWait);
+}
+
+TEST(ValidateNonblocking, UnmatchedWaitIsCaught) {
+  const NonblockingProgram program{NonblockingOp::wait()};
+  const ValidationResult result = validate_nonblocking_programs({program});
+  ASSERT_EQ(result.issues.size(), 1u);
+  EXPECT_EQ(result.issues[0].kind, ScheduleIssueKind::kUnmatchedWait);
+  EXPECT_EQ(result.issues[0].stage, 0u);
+  EXPECT_FALSE(result.deadlock_free());
+}
+
+TEST(ValidateNonblocking, EmptyAndSingleRankProgramsAreClean) {
+  EXPECT_TRUE(validate_nonblocking_programs({}).ok());
+  const NonblockingProgram program{NonblockingOp::post(3),
+                                   NonblockingOp::wait()};
+  EXPECT_TRUE(validate_nonblocking_programs({program}).ok());
+}
+
 TEST(ValidateIo, LoaderStillAcceptsNonBarrierFiles) {
   // Analysis commands legitimately inspect non-barrier patterns; only
   // deadlock hazards are refused at load time.
