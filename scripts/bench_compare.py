@@ -10,7 +10,7 @@ benchmark is, in order of preference:
 
   1. each counter named by --counter (repeatable) that the benchmark
      reports — higher is better (counters the repo commits are rates:
-     episodes_per_second, items_per_second, ...);
+     episodes_per_second, events_per_second, items_per_second, ...);
   2. otherwise `real_time` — lower is better.
 
 A change worse than --threshold (default 0.15 = 15%) in the unfavourable

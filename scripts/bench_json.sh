@@ -15,6 +15,9 @@
 #   BENCH_overlap.json    — bench_overlap (episode throughput with
 #                           per-rank compute overlapped through the
 #                           post/test/wait lifecycle, ratio 0/50/100%)
+#   BENCH_netsim.json     — bench_netsim (simulated events/sec: calendar-
+#                           queue engine vs reference, P = 120/1000 x
+#                           dissemination/heap-tree/radix-4 families)
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 # BENCH_FILTER limits both runs, e.g.
@@ -26,7 +29,7 @@ BUILD_DIR="${1:-build}"
 FILTER="${BENCH_FILTER:-}"
 
 for bench in bench_predict_throughput bench_tuning_speed bench_collective \
-             bench_thread_runtime bench_overlap; do
+             bench_thread_runtime bench_overlap bench_netsim; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -47,3 +50,4 @@ run bench_tuning_speed BENCH_tuning.json
 run bench_collective BENCH_collective.json
 run bench_thread_runtime BENCH_runtime.json
 run bench_overlap BENCH_overlap.json
+run bench_netsim BENCH_netsim.json

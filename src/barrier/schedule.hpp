@@ -43,10 +43,15 @@ class Schedule {
   /// Remove the last stage (search backtracking).
   void pop_stage();
 
-  /// Ranks that `rank` signals in stage `s`, ascending.
+  /// Ranks that `rank` signals in stage `s`, ascending. Allocates a
+  /// fresh vector per call — cold path only (construction, analysis,
+  /// codegen). Hot loops use the CSR spans of CompiledSchedule
+  /// (compiled_schedule.hpp) instead: same contents, zero allocation.
   std::vector<std::size_t> targets_of(std::size_t rank, std::size_t s) const;
 
-  /// Ranks that signal `rank` in stage `s`, ascending.
+  /// Ranks that signal `rank` in stage `s`, ascending. Cold path only,
+  /// like targets_of — see CompiledSchedule::sources for the hot-loop
+  /// span equivalent.
   std::vector<std::size_t> sources_of(std::size_t rank, std::size_t s) const;
 
   /// Arrival-knowledge matrix K_a after stage `a` per Eq. 3; pass

@@ -1,3 +1,9 @@
+// The production netsim engine: calendar-queue scheduling over typed
+// SimEvents, CompiledSchedule CSR adjacency, and all mutable state in a
+// reusable SimWorkspace. Bit-identical to engine_reference.cpp — the
+// two engines make the same scheduling calls in the same order, so
+// insertion sequence numbers, pop order, and the RNG stream coincide
+// exactly (test_netsim_parity enforces this across every option).
 #include "netsim/engine.hpp"
 
 #include <algorithm>
@@ -5,7 +11,6 @@
 #include <limits>
 #include <optional>
 
-#include "netsim/event_queue.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -29,43 +34,41 @@ double SimResult::completion_time() const {
 
 namespace {
 
-/// Per-rank execution state inside the event loop.
-struct RankState {
-  std::size_t stage = 0;        ///< stage currently being executed
-  bool entered = false;         ///< has the rank entered the barrier yet
-  std::size_t recvs_pending = 0;
-  std::size_t sends_pending = 0;  ///< unmatched sends (sync) or 0/1 token (async)
-  bool done = false;
-};
-
-struct BufferedMessage {
-  std::size_t src = 0;
-  double injected = 0.0;
-  bool ghost = false;  ///< duplicate copy: occupies time, no protocol effect
-};
-
-class Simulation {
+/// One simulation run over a caller-owned workspace. The protocol logic
+/// is a line-for-line mirror of ReferenceSimulation (engine_reference.cpp)
+/// with three mechanical substitutions: typed events dispatched through
+/// a switch instead of std::function closures, compiled CSR spans
+/// instead of per-stage sources_of/targets_of vectors, and the SoA
+/// buffered-message pool instead of nested vectors. Because every
+/// queue_.schedule call happens at the same point in the same order,
+/// the (time, seq) pop order — and with it the RNG stream and every
+/// double in the result — is bit-identical to the reference.
+class Engine {
  public:
-  Simulation(const Schedule& schedule, const TopologyProfile& profile,
-             const SimOptions& options)
-      : schedule_(schedule),
+  using RankState = SimWorkspace::RankState;
+  static constexpr std::uint32_t kNil = SimWorkspace::kNil;
+  static constexpr std::size_t kMaxEvents = 100'000'000;
+
+  Engine(const CompiledSchedule& compiled, const TopologyProfile& profile,
+         const SimOptions& options, SimWorkspace& ws, SimResult& out)
+      : compiled_(compiled),
         profile_(profile),
         options_(options),
-        p_(schedule.ranks()),
-        rng_(options.seed),
-        states_(p_),
-        buffered_(schedule.stage_count(),
-                  std::vector<std::vector<BufferedMessage>>(p_)) {
+        ws_(ws),
+        out_(out),
+        p_(compiled.ranks()),
+        stages_(compiled.stage_count()),
+        rng_(options.seed) {
     OPTIBAR_REQUIRE(profile_.ranks() == p_, "profile/schedule rank mismatch");
     if (!options_.faults.empty()) {
       injector_.emplace(options_.faults);
     }
-    halted_.assign(p_, false);
+    ws_.halted.assign(p_, 0);
     OPTIBAR_REQUIRE(options_.jitter >= 0.0, "negative jitter");
     OPTIBAR_REQUIRE(options_.spike_probability >= 0.0 &&
                         options_.spike_probability <= 1.0,
                     "spike_probability outside [0,1]");
-    recv_busy_.assign(p_, 0.0);
+    ws_.recv_busy.assign(p_, 0.0);
     if (!options_.egress_resource_of.empty()) {
       OPTIBAR_REQUIRE(options_.egress_resource_of.size() == p_,
                       "egress_resource_of size mismatch");
@@ -73,14 +76,15 @@ class Simulation {
       for (std::size_t res : options_.egress_resource_of) {
         max_resource = std::max(max_resource, res);
       }
-      egress_busy_.assign(max_resource + 1, 0.0);
+      ws_.egress_busy.assign(max_resource + 1, 0.0);
     }
-    result_.completion.assign(p_, 0.0);
-    result_.entry.assign(p_, 0.0);
+    out_.completion.assign(p_, 0.0);
+    out_.entry.assign(p_, 0.0);
     if (!options_.entry_times.empty()) {
       OPTIBAR_REQUIRE(options_.entry_times.size() == p_,
                       "entry_times size mismatch");
-      result_.entry = options_.entry_times;
+      out_.entry.assign(options_.entry_times.begin(),
+                        options_.entry_times.end());
     }
     if (!options_.compute_after_post.empty()) {
       OPTIBAR_REQUIRE(options_.compute_after_post.size() == p_,
@@ -92,40 +96,86 @@ class Simulation {
         OPTIBAR_REQUIRE(c >= 0.0, "negative compute_after_post");
       }
     }
+    out_.trace.clear();
+    out_.deadlocked = false;
+    out_.stuck_ranks.clear();
+    ws_.states.assign(p_, RankState{});
+    ws_.queue.reset();
+    // Buffered-message pool: empty chains, bump allocator rewound.
+    ws_.buf_head.assign(stages_ * p_, kNil);
+    ws_.buf_tail.assign(stages_ * p_, kNil);
+    ws_.buf_src.clear();
+    ws_.buf_injected.clear();
+    ws_.buf_ghost.clear();
+    ws_.buf_next.clear();
   }
 
-  SimResult run() {
-    std::vector<bool> crashed(p_, false);
+  void run() {
+    ws_.crashed.assign(p_, 0);
     for (std::size_t rank : options_.crashed_ranks) {
       OPTIBAR_REQUIRE(rank < p_, "crashed rank " << rank << " out of range");
-      crashed[rank] = true;
+      ws_.crashed[rank] = 1;
     }
     for (std::size_t i = 0; i < p_; ++i) {
       // Crash-at-stage-0 is the legacy "died before the call" case.
-      if (crashed[i] || crash_stage(i) == 0) {
-        halted_[i] = true;
+      if (ws_.crashed[i] != 0 || crash_stage(i) == 0) {
+        ws_.halted[i] = 1;
         continue;
       }
-      const double t = result_.entry[i];
-      queue_.schedule(t, [this, i, t] { enter_barrier(i, t); });
+      SimEvent event;
+      event.kind = SimEventKind::kEnter;
+      event.a = static_cast<std::uint32_t>(i);
+      ws_.queue.schedule(out_.entry[i], event);
     }
-    queue_.run();
+    std::size_t executed = 0;
+    while (!ws_.queue.empty()) {
+      OPTIBAR_ASSERT(executed++ < kMaxEvents,
+                     "event cascade exceeded " << kMaxEvents << " events");
+      dispatch(ws_.queue.pop());
+    }
     for (std::size_t i = 0; i < p_; ++i) {
-      if (states_[i].done) {
+      if (ws_.states[i].done != 0) {
         continue;
       }
       // Without injected faults an unfinished rank is an engine bug.
       OPTIBAR_ASSERT(!options_.crashed_ranks.empty() ||
                          !options_.faults.empty(),
                      "rank " << i << " never completed: simulator deadlock");
-      result_.deadlocked = true;
-      result_.stuck_ranks.push_back(i);
-      result_.completion[i] = std::numeric_limits<double>::infinity();
+      out_.deadlocked = true;
+      out_.stuck_ranks.push_back(i);
+      out_.completion[i] = std::numeric_limits<double>::infinity();
     }
-    return std::move(result_);
   }
 
  private:
+  void dispatch(const SimEvent& event) {
+    const double now = ws_.queue.now();
+    switch (event.kind) {
+      case SimEventKind::kEnter:
+        enter_barrier(event.a, now);
+        return;
+      case SimEventKind::kInject:
+        on_inject(event.a, event.b, event.stage, now, event.ghost);
+        return;
+      case SimEventKind::kAsyncSendDone: {
+        RankState& sender = ws_.states[event.a];
+        OPTIBAR_ASSERT(sender.stage == event.stage, "stale async-send token");
+        OPTIBAR_ASSERT(sender.sends_pending == 1, "async token misuse");
+        sender.sends_pending = 0;
+        maybe_complete_stage(event.a, now);
+        return;
+      }
+      case SimEventKind::kFinalizeMatch:
+        finalize_match(event.a, event.b, event.stage, now, event.payload);
+        return;
+      case SimEventKind::kAdvanceStage:
+        // The target stage is read at fire time, exactly like the
+        // reference closure does.
+        enter_stage(event.a, ws_.states[event.a].stage + 1, now);
+        return;
+    }
+  }
+
   /// One stochastic cost contribution: base scaled by jitter and
   /// occasionally hit by a background-load spike.
   double perturb(double base) {
@@ -157,17 +207,28 @@ class Simulation {
                      : FaultInjector::kNoCrash;
   }
 
+  void schedule_inject(double time, std::size_t src, std::size_t dst,
+                       std::size_t stage, bool ghost) {
+    SimEvent event;
+    event.kind = SimEventKind::kInject;
+    event.ghost = ghost;
+    event.stage = static_cast<std::uint32_t>(stage);
+    event.a = static_cast<std::uint32_t>(src);
+    event.b = static_cast<std::uint32_t>(dst);
+    ws_.queue.schedule(time, event);
+  }
+
   void enter_barrier(std::size_t rank, double now) {
-    states_[rank].entered = true;
+    ws_.states[rank].entered = 1;
     enter_stage(rank, 0, now);
   }
 
   void enter_stage(std::size_t rank, std::size_t stage, double now) {
-    RankState& st = states_[rank];
-    st.stage = stage;
-    if (stage == schedule_.stage_count()) {
-      st.done = true;
-      result_.completion[rank] = now;
+    RankState& st = ws_.states[rank];
+    st.stage = static_cast<std::uint32_t>(stage);
+    if (stage == stages_) {
+      st.done = 1;
+      out_.completion[rank] = now;
       return;
     }
     if (stage >= crash_stage(rank)) {
@@ -175,23 +236,32 @@ class Simulation {
       // matched, and inbound messages to the corpse are discarded at
       // on_inject. Synchronized senders to it then stall — the Eq. 3
       // guarantee seen from the failure side.
-      halted_[rank] = true;
+      ws_.halted[rank] = 1;
       return;
     }
 
-    const std::vector<std::size_t> sources = schedule_.sources_of(rank, stage);
-    const std::vector<std::size_t> targets = schedule_.targets_of(rank, stage);
-    st.recvs_pending = sources.size();
-    st.sends_pending = options_.synchronous_sends ? targets.size()
-                                                  : (targets.empty() ? 0 : 1);
+    // CSR spans: the zero-alloc replacement for the reference's
+    // per-call sources_of/targets_of vectors. target_overhead/
+    // target_latency hold the same O(rank,dst)/L(rank,dst) doubles the
+    // profile would return, aligned with targets.
+    const std::span<const std::size_t> targets =
+        compiled_.targets(rank, stage);
+    const std::span<const double> target_l =
+        compiled_.target_latency(rank, stage);
+    const std::span<const double> target_o =
+        compiled_.target_overhead(rank, stage);
+    st.recvs_pending =
+        static_cast<std::uint32_t>(compiled_.sources(rank, stage).size());
+    st.sends_pending = static_cast<std::uint32_t>(
+        options_.synchronous_sends ? targets.size()
+                                   : (targets.empty() ? 0 : 1));
 
     // Serial injection: first message pays O, the rest pay L each
     // (exactly the quantity the Section IV-A L benchmark measures).
     double inject = now;
     for (std::size_t idx = 0; idx < targets.size(); ++idx) {
       const std::size_t dst = targets[idx];
-      const double base = (idx == 0 ? profile_.o(rank, dst)
-                                    : profile_.l(rank, dst)) +
+      const double base = (idx == 0 ? target_o[idx] : target_l[idx]) +
                           extra_cost(stage, rank, dst);
       inject += perturb(base);
       FaultInjector::Decision fault;
@@ -206,36 +276,41 @@ class Simulation {
         // the sender's stage never completes.
         continue;
       }
-      queue_.schedule(inject, [this, rank, dst, stage] {
-        on_inject(rank, dst, stage, queue_.now(), /*ghost=*/false);
-      });
+      schedule_inject(inject, rank, dst, stage, /*ghost=*/false);
       for (std::size_t d = 0; d < fault.duplicates; ++d) {
         // Ghost copy: consumes an extra injection slot and receiver
         // processing, but has no protocol effect.
-        inject += perturb(profile_.l(rank, dst) +
-                          extra_cost(stage, rank, dst));
-        queue_.schedule(inject, [this, rank, dst, stage] {
-          on_inject(rank, dst, stage, queue_.now(), /*ghost=*/true);
-        });
+        inject += perturb(target_l[idx] + extra_cost(stage, rank, dst));
+        schedule_inject(inject, rank, dst, stage, /*ghost=*/true);
       }
     }
     if (!options_.synchronous_sends && !targets.empty()) {
       // Async mode: the send side of the stage completes at the last
       // injection, independent of matching.
-      queue_.schedule(inject, [this, rank, stage] {
-        RankState& sender = states_[rank];
-        OPTIBAR_ASSERT(sender.stage == stage, "stale async-send token");
-        OPTIBAR_ASSERT(sender.sends_pending == 1, "async token misuse");
-        sender.sends_pending = 0;
-        maybe_complete_stage(rank, queue_.now());
-      });
+      SimEvent event;
+      event.kind = SimEventKind::kAsyncSendDone;
+      event.stage = static_cast<std::uint32_t>(stage);
+      event.a = static_cast<std::uint32_t>(rank);
+      ws_.queue.schedule(inject, event);
     }
 
     // Messages that arrived before we entered this stage match now.
-    for (const BufferedMessage& msg : buffered_[stage][rank]) {
-      match(msg.src, rank, stage, now, msg.injected, msg.ghost);
+    // The chain is walked via pre-read next links: a match can re-enter
+    // the engine and grow the pool (reallocating the SoA vectors), but
+    // never appends to this chain — completing this stage requires
+    // consuming these very messages first.
+    const std::size_t row = stage * p_ + rank;
+    std::uint32_t node = ws_.buf_head[row];
+    while (node != kNil) {
+      const std::uint32_t next = ws_.buf_next[node];
+      const std::size_t src = ws_.buf_src[node];
+      const double injected = ws_.buf_injected[node];
+      const bool ghost = ws_.buf_ghost[node] != 0;
+      match(src, rank, stage, now, injected, ghost);
+      node = next;
     }
-    buffered_[stage][rank].clear();
+    ws_.buf_head[row] = kNil;
+    ws_.buf_tail[row] = kNil;
 
     maybe_complete_stage(rank, now);
   }
@@ -247,34 +322,43 @@ class Simulation {
     if (!options_.egress_resource_of.empty() &&
         options_.egress_resource_of[src] != options_.egress_resource_of[dst]) {
       const std::size_t resource = options_.egress_resource_of[src];
-      if (egress_busy_[resource] > now) {
-        queue_.schedule(egress_busy_[resource],
-                        [this, src, dst, stage, ghost] {
-                          on_inject(src, dst, stage, queue_.now(), ghost);
-                        });
+      if (ws_.egress_busy[resource] > now) {
+        schedule_inject(ws_.egress_busy[resource], src, dst, stage, ghost);
         return;
       }
-      egress_busy_[resource] =
+      ws_.egress_busy[resource] =
           now + perturb(profile_.l(src, dst) + extra_cost(stage, src, dst));
     }
-    if (halted_[dst]) {
+    if (ws_.halted[dst] != 0) {
       return;  // delivered to a corpse: silently discarded
     }
-    RankState& receiver = states_[dst];
-    if (receiver.entered && receiver.stage == stage) {
+    RankState& receiver = ws_.states[dst];
+    if (receiver.entered != 0 && receiver.stage == stage) {
       match(src, dst, stage, now, now, ghost);
       return;
     }
     // The receiver cannot be past this stage: completing it requires
     // matching this very message (ghosts carry no such obligation —
     // the real copy already did).
-    OPTIBAR_ASSERT(ghost || !receiver.entered || receiver.stage < stage,
+    OPTIBAR_ASSERT(ghost || receiver.entered == 0 || receiver.stage < stage,
                    "receiver " << dst << " advanced past stage " << stage
                                << " with unmatched inbound message");
-    if (ghost && receiver.entered && receiver.stage > stage) {
+    if (ghost && receiver.entered != 0 && receiver.stage > stage) {
       return;  // stale ghost: the stage is over, nothing left to occupy
     }
-    buffered_[stage][dst].push_back(BufferedMessage{src, now, ghost});
+    // Append to the (stage, dst) FIFO chain in the SoA pool.
+    const std::size_t row = stage * p_ + dst;
+    const std::uint32_t node = static_cast<std::uint32_t>(ws_.buf_src.size());
+    ws_.buf_src.push_back(static_cast<std::uint32_t>(src));
+    ws_.buf_injected.push_back(now);
+    ws_.buf_ghost.push_back(ghost ? 1 : 0);
+    ws_.buf_next.push_back(kNil);
+    if (ws_.buf_tail[row] == kNil) {
+      ws_.buf_head[row] = node;
+    } else {
+      ws_.buf_next[ws_.buf_tail[row]] = node;
+    }
+    ws_.buf_tail[row] = node;
   }
 
   /// A message has arrived (or was found buffered at stage entry): run
@@ -290,23 +374,27 @@ class Simulation {
       return;
     }
     const double done =
-        std::max(now, recv_busy_[dst]) +
+        std::max(now, ws_.recv_busy[dst]) +
         perturb(profile_.l(src, dst) + extra_cost(stage, src, dst));
-    recv_busy_[dst] = done;
+    ws_.recv_busy[dst] = done;
     if (ghost) {
       return;
     }
-    queue_.schedule(done, [this, src, dst, stage, injected] {
-      finalize_match(src, dst, stage, queue_.now(), injected);
-    });
+    SimEvent event;
+    event.kind = SimEventKind::kFinalizeMatch;
+    event.stage = static_cast<std::uint32_t>(stage);
+    event.a = static_cast<std::uint32_t>(src);
+    event.b = static_cast<std::uint32_t>(dst);
+    event.payload = injected;
+    ws_.queue.schedule(done, event);
   }
 
   void finalize_match(std::size_t src, std::size_t dst, std::size_t stage,
                       double now, double injected) {
     if (options_.record_trace) {
-      result_.trace.push_back(MessageTrace{stage, src, dst, injected, now});
+      out_.trace.push_back(MessageTrace{stage, src, dst, injected, now});
     }
-    RankState& receiver = states_[dst];
+    RankState& receiver = ws_.states[dst];
     OPTIBAR_ASSERT(receiver.recvs_pending > 0,
                    "unexpected message " << src << "->" << dst << " in stage "
                                          << stage);
@@ -314,7 +402,7 @@ class Simulation {
     maybe_complete_stage(dst, now);
 
     if (options_.synchronous_sends) {
-      RankState& sender = states_[src];
+      RankState& sender = ws_.states[src];
       OPTIBAR_ASSERT(sender.stage == stage && sender.sends_pending > 0,
                      "match for sender " << src
                                          << " in unexpected stage state");
@@ -333,7 +421,7 @@ class Simulation {
         options_.progress_poll_interval <= 0.0) {
       return now;
     }
-    const double entry = result_.entry[rank];
+    const double entry = out_.entry[rank];
     const double busy_until = entry + options_.compute_after_post[rank];
     if (now >= busy_until) {
       return now;
@@ -347,8 +435,8 @@ class Simulation {
   }
 
   void maybe_complete_stage(std::size_t rank, double now) {
-    RankState& st = states_[rank];
-    if (st.done || st.recvs_pending > 0 || st.sends_pending > 0) {
+    RankState& st = ws_.states[rank];
+    if (st.done != 0 || st.recvs_pending > 0 || st.sends_pending > 0) {
       return;
     }
     const double at = progress_time(rank, now);
@@ -357,34 +445,50 @@ class Simulation {
       // computing and only notices at its next handle poll. Nothing can
       // re-trigger this stage meanwhile (both pending counts are zero),
       // so exactly one deferred transition is ever scheduled.
-      queue_.schedule(at, [this, rank] {
-        enter_stage(rank, states_[rank].stage + 1, queue_.now());
-      });
+      SimEvent event;
+      event.kind = SimEventKind::kAdvanceStage;
+      event.a = static_cast<std::uint32_t>(rank);
+      ws_.queue.schedule(at, event);
       return;
     }
     enter_stage(rank, st.stage + 1, now);
   }
 
-  const Schedule& schedule_;
+  const CompiledSchedule& compiled_;
   const TopologyProfile& profile_;
   const SimOptions& options_;
+  SimWorkspace& ws_;
+  SimResult& out_;
   std::size_t p_;
+  std::size_t stages_;
   Rng rng_;
-  EventQueue queue_;
   std::optional<FaultInjector> injector_;
-  std::vector<bool> halted_;  ///< crashed (at stage 0 or later)
-  std::vector<RankState> states_;
-  std::vector<double> recv_busy_;
-  std::vector<double> egress_busy_;
-  std::vector<std::vector<std::vector<BufferedMessage>>> buffered_;
-  SimResult result_;
 };
 
 }  // namespace
 
+void simulate_compiled_into(const CompiledSchedule& compiled,
+                            const TopologyProfile& profile,
+                            const SimOptions& options,
+                            SimWorkspace& workspace, SimResult& out) {
+  Engine(compiled, profile, options, workspace, out).run();
+}
+
+void simulate_into(const Schedule& schedule, const TopologyProfile& profile,
+                   const SimOptions& options, SimWorkspace& workspace,
+                   SimResult& out) {
+  OPTIBAR_REQUIRE(profile.ranks() == schedule.ranks(),
+                  "profile/schedule rank mismatch");
+  workspace.compiled.compile(schedule, profile);
+  simulate_compiled_into(workspace.compiled, profile, options, workspace, out);
+}
+
 SimResult simulate(const Schedule& schedule, const TopologyProfile& profile,
                    const SimOptions& options) {
-  return Simulation(schedule, profile, options).run();
+  thread_local SimWorkspace workspace;
+  SimResult out;
+  simulate_into(schedule, profile, options, workspace, out);
+  return out;
 }
 
 namespace {
@@ -409,14 +513,21 @@ double simulate_mean_time(const Schedule& schedule,
                           const SimOptions& options, std::size_t repetitions,
                           ThreadPool* pool) {
   OPTIBAR_REQUIRE(repetitions > 0, "repetitions must be positive");
-  // Each repetition derives its seed from the index alone and writes
-  // its own slot; the sum below runs in index order. Both together
-  // make the mean bit-identical at any pool width.
+  // Compile once, simulate many: the compiled adjacency is read-only
+  // and shared across the pool. Each repetition derives its seed from
+  // the index alone and writes its own slot; the sum below runs in
+  // index order. Both together make the mean bit-identical at any pool
+  // width.
+  const CompiledSchedule compiled(schedule, profile);
   std::vector<double> times(repetitions);
   for_each_rep(repetitions, pool, [&](std::size_t rep) {
-    SimOptions rep_options = options;
+    thread_local SimWorkspace workspace;
+    thread_local SimResult result;
+    thread_local SimOptions rep_options;
+    rep_options = options;
     rep_options.seed = options.seed + 0x9E3779B9ULL * (rep + 1);
-    times[rep] = simulate(schedule, profile, rep_options).barrier_time();
+    simulate_compiled_into(compiled, profile, rep_options, workspace, result);
+    times[rep] = result.barrier_time();
   });
   double total = 0.0;
   for (double t : times) {
@@ -451,30 +562,37 @@ double WorkloadResult::total_wait() const {
   return total;
 }
 
-WorkloadResult simulate_workload(const Schedule& schedule,
-                                 const TopologyProfile& profile,
-                                 const WorkloadOptions& options) {
+namespace {
+
+/// simulate_workload against an already-compiled schedule, reusing the
+/// caller's workspace across episodes (and across whole workload runs
+/// in simulate_workload_reps).
+WorkloadResult run_workload(const CompiledSchedule& compiled,
+                            const TopologyProfile& profile,
+                            const WorkloadOptions& options,
+                            SimWorkspace& workspace) {
   OPTIBAR_REQUIRE(options.episodes > 0, "workload needs at least one episode");
   OPTIBAR_REQUIRE(options.compute_mean >= 0.0 && options.compute_stddev >= 0.0,
                   "compute parameters must be non-negative");
   OPTIBAR_REQUIRE(options.sim.entry_times.empty(),
                   "workload owns the entry times; leave sim.entry_times empty");
-  const std::size_t p = schedule.ranks();
+  const std::size_t p = compiled.ranks();
   Rng rng(options.sim.seed ^ 0xB5297A4D3F84D5A9ULL);
 
   WorkloadResult result;
   result.rank_wait_total.assign(p, 0.0);
   std::vector<double> completion(p, 0.0);
+  SimOptions sim = options.sim;  // one copy, reused every episode
+  sim.entry_times.resize(p);
+  SimResult episode_result;
   for (std::size_t episode = 0; episode < options.episodes; ++episode) {
-    SimOptions sim = options.sim;
     sim.seed = options.sim.seed + 0x9E3779B9ULL * (episode + 1);
-    sim.entry_times.resize(p);
     for (std::size_t rank = 0; rank < p; ++rank) {
       const double compute = std::max(
           0.0, rng.normal(options.compute_mean, options.compute_stddev));
       sim.entry_times[rank] = completion[rank] + compute;
     }
-    const SimResult episode_result = simulate(schedule, profile, sim);
+    simulate_compiled_into(compiled, profile, sim, workspace, episode_result);
     result.episode_barrier_times.push_back(episode_result.barrier_time());
     for (std::size_t rank = 0; rank < p; ++rank) {
       result.rank_wait_total[rank] +=
@@ -487,9 +605,23 @@ WorkloadResult simulate_workload(const Schedule& schedule,
   return result;
 }
 
-OverlapResult simulate_overlap(const Schedule& schedule,
-                               const TopologyProfile& profile,
-                               const OverlapOptions& options) {
+/// Reusable state of one paired overlap episode: the workspace, both
+/// run results, the per-run option copy, and the shared compute draws.
+/// One per thread (thread_local at the call sites).
+struct OverlapScratch {
+  SimWorkspace ws;
+  SimResult blocking_run;
+  SimResult nonblocking_run;
+  SimOptions run_options;
+  std::vector<double> compute;
+};
+
+/// simulate_overlap against an already-compiled schedule with caller-
+/// owned scratch; allocation-free once the scratch is warm.
+OverlapResult run_overlap(const CompiledSchedule& compiled,
+                          const TopologyProfile& profile,
+                          const OverlapOptions& options,
+                          OverlapScratch& scratch) {
   OPTIBAR_REQUIRE(options.compute_seconds >= 0.0 &&
                       options.compute_stddev >= 0.0,
                   "compute parameters must be non-negative");
@@ -503,55 +635,79 @@ OverlapResult simulate_overlap(const Schedule& schedule,
                       options.sim.progress_poll_interval == 0.0,
                   "the overlap runner owns entry times and progress "
                   "polling; leave them empty in sim");
-  const std::size_t p = schedule.ranks();
+  const std::size_t p = compiled.ranks();
 
   // One set of compute draws shared by both runs: the comparison is
   // paired, so the difference isolates overlap, not draw luck.
   Rng rng(options.sim.seed ^ 0xA0761D6478BD642FULL);
-  std::vector<double> compute(p);
+  scratch.compute.resize(p);
   for (std::size_t rank = 0; rank < p; ++rank) {
-    compute[rank] = std::max(
+    scratch.compute[rank] = std::max(
         0.0, rng.normal(options.compute_seconds, options.compute_stddev));
   }
 
   // Blocking reference: every rank finishes all its compute, then calls
   // the barrier.
-  SimOptions blocking = options.sim;
-  blocking.entry_times = compute;
-  const SimResult blocking_run = simulate(schedule, profile, blocking);
+  SimOptions& run = scratch.run_options;
+  run = options.sim;
+  run.entry_times.assign(scratch.compute.begin(), scratch.compute.end());
+  simulate_compiled_into(compiled, profile, run, scratch.ws,
+                         scratch.blocking_run);
 
   // Nonblocking: post after the non-overlapped fraction, compute the
   // rest while polling the handle.
-  SimOptions nonblocking = options.sim;
-  nonblocking.entry_times.resize(p);
-  nonblocking.compute_after_post.resize(p);
+  run.entry_times.resize(p);
+  run.compute_after_post.resize(p);
   for (std::size_t rank = 0; rank < p; ++rank) {
-    nonblocking.entry_times[rank] =
-        (1.0 - options.overlap_ratio) * compute[rank];
-    nonblocking.compute_after_post[rank] =
-        options.overlap_ratio * compute[rank];
+    run.entry_times[rank] =
+        (1.0 - options.overlap_ratio) * scratch.compute[rank];
+    run.compute_after_post[rank] =
+        options.overlap_ratio * scratch.compute[rank];
   }
-  nonblocking.progress_poll_interval = options.poll_interval;
-  const SimResult nonblocking_run = simulate(schedule, profile, nonblocking);
+  run.progress_poll_interval = options.poll_interval;
+  simulate_compiled_into(compiled, profile, run, scratch.ws,
+                         scratch.nonblocking_run);
 
   OverlapResult result;
-  result.blocking_completion = blocking_run.completion_time();
-  result.nonblocking_completion = nonblocking_run.completion_time();
+  result.blocking_completion = scratch.blocking_run.completion_time();
+  result.nonblocking_completion = scratch.nonblocking_run.completion_time();
   for (std::size_t rank = 0; rank < p; ++rank) {
     const double busy_until =
-        nonblocking_run.entry[rank] + nonblocking.compute_after_post[rank];
+        scratch.nonblocking_run.entry[rank] + run.compute_after_post[rank];
     result.exposed_wait =
         std::max(result.exposed_wait,
-                 nonblocking_run.completion[rank] - busy_until);
+                 scratch.nonblocking_run.completion[rank] - busy_until);
   }
   result.saved =
       result.blocking_completion - result.nonblocking_completion;
-  const double span = blocking_run.barrier_time();
+  const double span = scratch.blocking_run.barrier_time();
   if (span > 0.0) {
     result.overlap_efficiency =
         std::clamp(result.saved / span, 0.0, 1.0);
   }
   return result;
+}
+
+}  // namespace
+
+WorkloadResult simulate_workload(const Schedule& schedule,
+                                 const TopologyProfile& profile,
+                                 const WorkloadOptions& options) {
+  thread_local SimWorkspace workspace;
+  OPTIBAR_REQUIRE(profile.ranks() == schedule.ranks(),
+                  "profile/schedule rank mismatch");
+  workspace.compiled.compile(schedule, profile);
+  return run_workload(workspace.compiled, profile, options, workspace);
+}
+
+OverlapResult simulate_overlap(const Schedule& schedule,
+                               const TopologyProfile& profile,
+                               const OverlapOptions& options) {
+  thread_local OverlapScratch scratch;
+  OPTIBAR_REQUIRE(profile.ranks() == schedule.ranks(),
+                  "profile/schedule rank mismatch");
+  scratch.ws.compiled.compile(schedule, profile);
+  return run_overlap(scratch.ws.compiled, profile, options, scratch);
 }
 
 OverlapResult simulate_overlap_mean(const Schedule& schedule,
@@ -563,11 +719,14 @@ OverlapResult simulate_overlap_mean(const Schedule& schedule,
   // Rep 0 keeps the caller's seed (one rep degenerates to
   // simulate_overlap); index-owned slots keep the mean pool-width
   // invariant, like every seeded mean in this engine.
+  const CompiledSchedule compiled(schedule, profile);
   std::vector<OverlapResult> results(repetitions);
   for_each_rep(repetitions, pool, [&](std::size_t rep) {
-    OverlapOptions rep_options = options;
+    thread_local OverlapScratch scratch;
+    thread_local OverlapOptions rep_options;
+    rep_options = options;
     rep_options.sim.seed = options.sim.seed + 0xD1B54A32D192ED03ULL * rep;
-    results[rep] = simulate_overlap(schedule, profile, rep_options);
+    results[rep] = run_overlap(compiled, profile, rep_options, scratch);
   });
   OverlapResult mean;
   for (const OverlapResult& r : results) {
@@ -595,12 +754,15 @@ std::vector<WorkloadResult> simulate_workload_reps(
   // e-1 completed), but whole workload runs are independent given
   // their seed — the parallel grain. Rep 0 keeps the caller's seed so
   // a single-rep call degenerates to simulate_workload exactly.
+  const CompiledSchedule compiled(schedule, profile);
   std::vector<WorkloadResult> results(repetitions);
   for_each_rep(repetitions, pool, [&](std::size_t rep) {
-    WorkloadOptions rep_options = options;
+    thread_local SimWorkspace workspace;
+    thread_local WorkloadOptions rep_options;
+    rep_options = options;
     rep_options.sim.seed =
         options.sim.seed + 0xD1B54A32D192ED03ULL * rep;
-    results[rep] = simulate_workload(schedule, profile, rep_options);
+    results[rep] = run_workload(compiled, profile, rep_options, workspace);
   });
   return results;
 }

@@ -18,6 +18,24 @@
 //
 // Execution is event-driven over virtual time and fully deterministic
 // for a fixed seed.
+//
+// Two implementations share this contract bit for bit:
+//
+//   simulate()           — the production engine: calendar-queue
+//                          scheduler over typed SimEvents
+//                          (calendar_queue.hpp), CompiledSchedule CSR
+//                          adjacency spans instead of per-stage
+//                          sources_of/targets_of vectors, and all
+//                          mutable state in a reusable SimWorkspace,
+//                          so steady-state simulation performs zero
+//                          heap allocations (the PredictWorkspace
+//                          discipline of compiled_schedule.hpp).
+//   simulate_reference() — the original closure-over-priority-queue
+//                          engine, kept verbatim as the parity oracle
+//                          (the predict_reference pattern). Every
+//                          result — completion vectors, traces, stall
+//                          diagnostics, RNG streams — is bit-identical
+//                          between the two (test_netsim_parity).
 #pragma once
 
 #include <cstddef>
@@ -25,7 +43,9 @@
 #include <functional>
 #include <vector>
 
+#include "barrier/compiled_schedule.hpp"
 #include "barrier/schedule.hpp"
+#include "netsim/calendar_queue.hpp"
 #include "simmpi/fault.hpp"
 #include "topology/machine.hpp"
 #include "topology/mapping.hpp"
@@ -150,10 +170,75 @@ struct SimResult {
   double completion_time() const;
 };
 
+/// Reusable simulation state: the compiled adjacency, the calendar
+/// queue (event slab + buckets), dense per-rank state, and the
+/// buffered-message pool. One workspace per thread; every member is
+/// reset with capacity kept, so repeated simulate_into calls are
+/// allocation-free once the largest (ranks, stages, events) shape has
+/// been seen. The contents between calls are meaningless — only the
+/// capacities carry over.
+struct SimWorkspace {
+  /// Marks an empty buffered-message chain / free pool slot.
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  /// Per-rank protocol state (dense array, one slot per rank).
+  struct RankState {
+    std::uint32_t stage = 0;
+    std::uint8_t entered = 0;
+    std::uint8_t done = 0;
+    std::uint32_t recvs_pending = 0;
+    std::uint32_t sends_pending = 0;
+  };
+
+  CompiledSchedule compiled;  ///< rebound by simulate_into (grow-only)
+  CalendarQueue queue;
+
+  std::vector<RankState> states;
+  std::vector<std::uint8_t> halted;   ///< crashed (at stage 0 or later)
+  std::vector<std::uint8_t> crashed;  ///< pre-entry crash scratch
+  std::vector<double> recv_busy;
+  std::vector<double> egress_busy;
+
+  // Buffered-message pool: struct-of-arrays slab, bump-allocated per
+  // run, threaded into per-(stage, rank) FIFO chains. Row r of
+  // buf_head/buf_tail is stage * ranks + rank; buf_next links nodes in
+  // arrival order (the order stage entry must drain them in).
+  std::vector<std::uint32_t> buf_head;
+  std::vector<std::uint32_t> buf_tail;
+  std::vector<std::uint32_t> buf_src;
+  std::vector<double> buf_injected;
+  std::vector<std::uint8_t> buf_ghost;
+  std::vector<std::uint32_t> buf_next;
+};
+
 /// Execute `schedule` once. Requires schedule.is_barrier() callers can
 /// check separately; the engine itself only requires well-formed stages.
 SimResult simulate(const Schedule& schedule, const TopologyProfile& profile,
                    const SimOptions& options = {});
+
+/// The original engine (std::function events on a binary-heap
+/// EventQueue, per-stage adjacency vectors), kept as the bit-identical
+/// oracle for simulate(). Cold path: use only for parity testing and
+/// as the baseline of bench_netsim.
+SimResult simulate_reference(const Schedule& schedule,
+                             const TopologyProfile& profile,
+                             const SimOptions& options = {});
+
+/// simulate() into caller-owned storage: compiles `schedule` into
+/// `workspace.compiled` (grow-only) and writes the result into `out`,
+/// reusing both. Zero allocations once workspace and out are warm.
+void simulate_into(const Schedule& schedule, const TopologyProfile& profile,
+                   const SimOptions& options, SimWorkspace& workspace,
+                   SimResult& out);
+
+/// Innermost entry point: run against an already-compiled schedule
+/// (compile once, simulate many — what every repetition loop below
+/// does). `compiled` must have been built against a profile with the
+/// same rank count.
+void simulate_compiled_into(const CompiledSchedule& compiled,
+                            const TopologyProfile& profile,
+                            const SimOptions& options,
+                            SimWorkspace& workspace, SimResult& out);
 
 /// Mean barrier_time over `repetitions` runs with derived seeds — the
 /// netsim analogue of the paper's 25-repetition means. Repetitions are

@@ -1,14 +1,17 @@
-// Deterministic discrete-event queue.
+// Deterministic discrete-event queue (the reference scheduler).
 //
 // Events fire in (time, insertion-sequence) order, so simulations are
 // reproducible regardless of how ties arise. The queue is deliberately
-// minimal — the netsim engine is the only intended client, but it is
-// generic enough for other virtual-time substrates.
+// minimal — simulate_reference (engine.hpp) is the only remaining
+// client since the hot path moved to the calendar queue
+// (calendar_queue.hpp), but it is generic enough for other
+// virtual-time substrates.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "util/error.hpp"
@@ -35,8 +38,12 @@ class EventQueue {
   /// Pop and run the earliest event; advances now().
   void step() {
     OPTIBAR_REQUIRE(!heap_.empty(), "step on empty event queue");
-    // Copy out before pop: the action may schedule new events.
-    Entry entry = heap_.top();
+    // Move out before pop (the action may schedule new events). top()
+    // is const, but moving only hollows the std::function — the
+    // comparator pop() sifts with reads just time/seq, which a move
+    // leaves untouched — so this avoids a heap-allocating copy of
+    // every fired closure.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();
     now_ = entry.time;
     entry.action();

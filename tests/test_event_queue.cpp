@@ -1,11 +1,20 @@
-// Tests for the deterministic discrete-event queue.
+// Tests for the deterministic discrete-event queue (the reference
+// scheduler) and the calendar queue that replaced it on the hot path.
+// The two must agree on the total order — ascending (time, insertion
+// sequence) — which the cross-check property test below enforces under
+// randomized interleaved push/pop traffic.
 #include "netsim/event_queue.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
+#include "netsim/calendar_queue.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace optibar {
 namespace {
@@ -87,6 +96,186 @@ TEST(EventQueue, RunawayCascadeIsCaught) {
   std::function<void()> loop = [&] { q.schedule(q.now() + 1.0, loop); };
   q.schedule(0.0, loop);
   EXPECT_THROW(q.run(/*max_events=*/1000), Error);
+}
+
+SimEvent tagged(std::uint32_t tag) {
+  SimEvent e;
+  e.a = tag;
+  return e;
+}
+
+TEST(CalendarQueue, FiresInTimeOrder) {
+  CalendarQueue q;
+  q.schedule(3.0, tagged(3));
+  q.schedule(1.0, tagged(1));
+  q.schedule(2.0, tagged(2));
+  EXPECT_EQ(q.pop().a, 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+  EXPECT_EQ(q.pop().a, 2u);
+  EXPECT_EQ(q.pop().a, 3u);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, TiesBreakByInsertionOrder) {
+  CalendarQueue q;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    q.schedule(1.0, tagged(i));
+  }
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(q.pop().a, i);
+  }
+}
+
+TEST(CalendarQueue, SchedulingInThePastThrows) {
+  CalendarQueue q;
+  q.schedule(2.0, tagged(0));
+  q.pop();
+  EXPECT_THROW(q.schedule(1.0, tagged(1)), Error);
+  q.schedule(2.0, tagged(2));  // at now() is allowed
+  EXPECT_EQ(q.pop().a, 2u);
+}
+
+TEST(CalendarQueue, PopOnEmptyThrows) {
+  CalendarQueue q;
+  EXPECT_THROW(q.pop(), Error);
+}
+
+TEST(CalendarQueue, EventPayloadSurvivesSlabRecycling) {
+  CalendarQueue q;
+  SimEvent e;
+  e.kind = SimEventKind::kFinalizeMatch;
+  e.ghost = true;
+  e.stage = 7;
+  e.a = 11;
+  e.b = 13;
+  e.payload = 0.125;
+  q.schedule(1.0, e);
+  const SimEvent out = q.pop();
+  EXPECT_EQ(out.kind, SimEventKind::kFinalizeMatch);
+  EXPECT_TRUE(out.ghost);
+  EXPECT_EQ(out.stage, 7u);
+  EXPECT_EQ(out.a, 11u);
+  EXPECT_EQ(out.b, 13u);
+  EXPECT_DOUBLE_EQ(out.payload, 0.125);
+  // The freed slot is recycled; the next event must not inherit stale
+  // fields.
+  q.schedule(2.0, tagged(1));
+  const SimEvent next = q.pop();
+  EXPECT_EQ(next.kind, SimEventKind::kEnter);
+  EXPECT_FALSE(next.ghost);
+  EXPECT_DOUBLE_EQ(next.payload, 0.0);
+}
+
+// The determinism property: under randomized interleaved traffic —
+// bursts of pushes at clustered, tied, and spread-out times, partial
+// drains in between — the calendar queue must pop the exact sequence
+// the reference EventQueue fires. This is the total-order contract the
+// engine parity rests on.
+TEST(CalendarQueue, MatchesReferenceQueueUnderRandomTraffic) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    CalendarQueue cal;
+    EventQueue ref;
+    std::vector<std::uint32_t> ref_order;
+    std::uint32_t next_tag = 0;
+    std::vector<std::uint32_t> cal_order;
+    // Random program: pushes with time offsets drawn from mixed scales
+    // (dense cluster, exact ties via grid rounding, occasional long
+    // jumps), separated by partial drains.
+    for (int round = 0; round < 60; ++round) {
+      const std::size_t pushes = 1 + static_cast<std::size_t>(
+                                         rng.next_double() * 40.0);
+      for (std::size_t i = 0; i < pushes; ++i) {
+        double offset;
+        const double pick = rng.next_double();
+        if (pick < 0.4) {
+          // Ties: round to a coarse grid so many events collide.
+          offset = std::floor(rng.next_double() * 8.0);
+        } else if (pick < 0.9) {
+          offset = rng.next_double() * 3.0;
+        } else {
+          offset = 50.0 + rng.next_double() * 1000.0;  // far future
+        }
+        const double t = cal.now() + offset;
+        const std::uint32_t tag = next_tag++;
+        cal.schedule(t, tagged(tag));
+        ref.schedule(t, [&ref_order, tag] { ref_order.push_back(tag); });
+      }
+      const std::size_t drains =
+          static_cast<std::size_t>(rng.next_double() *
+                                   static_cast<double>(cal.pending()));
+      for (std::size_t i = 0; i < drains; ++i) {
+        cal_order.push_back(cal.pop().a);
+        ref.step();
+        EXPECT_EQ(cal.now(), ref.now()) << "seed " << seed;
+      }
+    }
+    while (!cal.empty()) {
+      cal_order.push_back(cal.pop().a);
+      ref.step();
+    }
+    EXPECT_TRUE(ref.empty());
+    ASSERT_EQ(cal_order, ref_order) << "seed " << seed;
+  }
+}
+
+TEST(CalendarQueue, BucketsResizeUnderBurstyLoadAndShrinkBack) {
+  CalendarQueue q;
+  const std::size_t initial = q.bucket_count();
+  // Burst: far more events than buckets forces doubling rebuilds, with
+  // widths refit to the dense spacing.
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    q.schedule(static_cast<double>(i) * 1e-6, tagged(i));
+  }
+  EXPECT_GT(q.bucket_count(), initial);
+  // Draining pops in exact order and halves the ring back down.
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    ASSERT_EQ(q.pop().a, i);
+  }
+  EXPECT_EQ(q.bucket_count(), initial);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, FarFutureEventsAreFoundByDirectSearch) {
+  CalendarQueue q;
+  // A dense nanosecond-scale cluster fits the width to ~1e-9, pushing
+  // the far-future events many "years" past the cursor — the pops must
+  // still come out in exact order via the direct-search fallback.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    q.schedule(static_cast<double>(i) * 1e-9, tagged(i));
+  }
+  q.schedule(1e12, tagged(1000));
+  q.schedule(1e6, tagged(1001));
+  q.schedule(2e12, tagged(1002));
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(q.pop().a, i);
+  }
+  EXPECT_EQ(q.pop().a, 1001u);
+  EXPECT_EQ(q.pop().a, 1000u);
+  EXPECT_EQ(q.pop().a, 1002u);
+  EXPECT_DOUBLE_EQ(q.now(), 2e12);
+}
+
+TEST(CalendarQueue, ResetRewindsTimeAndReusesStorage) {
+  CalendarQueue q;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    q.schedule(static_cast<double>(i), tagged(i));
+  }
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    q.pop();
+  }
+  EXPECT_EQ(q.scheduled(), 500u);
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_EQ(q.scheduled(), 0u);
+  // Scheduling before the old now() is legal again after reset, and
+  // order is still exact.
+  q.schedule(2.0, tagged(2));
+  q.schedule(1.0, tagged(1));
+  EXPECT_EQ(q.pop().a, 1u);
+  EXPECT_EQ(q.pop().a, 2u);
 }
 
 }  // namespace
