@@ -1,0 +1,96 @@
+// Google-benchmark: the one-sided transport's two costs that matter.
+//
+// BM_RmaPutThroughput drives raw Window::put calls into the sharded
+// RMA board (no rank threads, zero modelled latency), so the counter
+// is the board's flag-store ceiling: how fast the runtime can absorb
+// one-sided signals before schedule structure enters the picture.
+//
+// BM_RmaEpisode runs full dissemination episodes on pooled rank
+// threads with the stage signals carried two-sided, fully one-sided,
+// or hybrid (alternating stages — the shape the transport tuner
+// produces on the modelled clusters, where puts pay off across node
+// boundaries but not inside them). With zero injected latency the
+// spread between the three rows is pure runtime overhead: matched
+// send/recv bookkeeping versus fire-and-forget flag stores.
+//
+// Both counters land in BENCH_rma.json via scripts/bench_json.sh and
+// are regression-gated by scripts/bench_compare.py.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+#include "barrier/algorithms.hpp"
+#include "barrier/schedule.hpp"
+#include "rma/window.hpp"
+#include "simmpi/communicator.hpp"
+#include "simmpi/executor.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using namespace optibar;
+using simmpi::Communicator;
+using simmpi::RankContext;
+using simmpi::ScheduleExecutor;
+
+simmpi::LatencyModel zero_latency() {
+  return [](std::size_t, std::size_t) {
+    return simmpi::Clock::duration::zero();
+  };
+}
+
+void BM_RmaPutThroughput(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  Communicator comm(p, zero_latency());
+  rma::Window window(comm, p);
+  std::size_t episode = 0;
+  std::size_t src = 1;
+  for (auto _ : state) {
+    // Rank src signals rank 0's slot `src`; rotating the source spreads
+    // the stores across board shards, and bumping the episode each lap
+    // exercises the double-buffered epoch arithmetic on the hot path.
+    window.put(src, 0, episode, src);
+    if (++src == p) {
+      src = 1;
+      ++episode;
+    }
+  }
+  state.counters["puts_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RmaPutThroughput)->Arg(16)->Arg(48);
+
+// Transport rows for BM_RmaEpisode's second argument.
+enum : int { kTwoSidedRow = 0, kOneSidedRow = 1, kHybridRow = 2 };
+
+Schedule tagged_dissemination(std::size_t p, int row) {
+  Schedule schedule = dissemination_barrier(p);
+  for (std::size_t s = 0; s < schedule.stage_count(); ++s) {
+    if (row == kOneSidedRow || (row == kHybridRow && s % 2 == 0)) {
+      schedule.set_transport(s, schedule.stage(s));
+    }
+  }
+  return schedule;
+}
+
+void BM_RmaEpisode(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const ScheduleExecutor executor(
+      tagged_dissemination(p, static_cast<int>(state.range(1))));
+  Communicator comm(p, zero_latency());
+  simmpi::RankPool pool(p);
+  int episode = 0;
+  for (auto _ : state) {
+    simmpi::run_ranks(pool, comm, [&](RankContext& ctx) {
+      executor.execute(ctx, episode);
+    });
+    ++episode;
+  }
+  state.counters["episodes_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RmaEpisode)
+    ->ArgsProduct({{16, 48}, {kTwoSidedRow, kOneSidedRow, kHybridRow}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

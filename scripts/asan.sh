@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build-asan -S . -DOPTIBAR_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$(nproc)" --target \
-  test_fault_plan test_resilience test_validate test_format_hardening \
-  test_library test_failure_injection test_runtime_scaling test_nonblocking \
-  test_netsim_parity
+  test_fault_plan test_resilience test_rma test_validate \
+  test_format_hardening test_library test_failure_injection \
+  test_runtime_scaling test_nonblocking test_netsim_parity
 ctest --test-dir build-asan -L asan --output-on-failure

@@ -18,6 +18,10 @@
 #   BENCH_netsim.json     — bench_netsim (simulated events/sec: calendar-
 #                           queue engine vs reference, P = 120/1000 x
 #                           dissemination/heap-tree/radix-4 families)
+#   BENCH_rma.json        — bench_rma (one-sided flag-store puts/sec on
+#                           the sharded board, plus episode throughput
+#                           with two-sided / one-sided / hybrid
+#                           transport on pooled ranks)
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 # BENCH_FILTER limits both runs, e.g.
@@ -29,7 +33,7 @@ BUILD_DIR="${1:-build}"
 FILTER="${BENCH_FILTER:-}"
 
 for bench in bench_predict_throughput bench_tuning_speed bench_collective \
-             bench_thread_runtime bench_overlap bench_netsim; do
+             bench_thread_runtime bench_overlap bench_netsim bench_rma; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -51,3 +55,4 @@ run bench_collective BENCH_collective.json
 run bench_thread_runtime BENCH_runtime.json
 run bench_overlap BENCH_overlap.json
 run bench_netsim BENCH_netsim.json
+run bench_rma BENCH_rma.json

@@ -27,10 +27,13 @@ void CompiledSchedule::compile(const Schedule& schedule,
   tgt_index_.clear();
   tgt_l_.clear();
   tgt_o_.clear();
+  tgt_r_.clear();
+  tgt_rma_.clear();
   src_offsets_.clear();
   src_offsets_.reserve(rows + 1);
   src_offsets_.push_back(0);
   src_index_.clear();
+  src_rma_.clear();
   sum_l_.clear();
   sum_l_.reserve(rows);
   max_o_.clear();
@@ -45,6 +48,8 @@ void CompiledSchedule::compile(const Schedule& schedule,
 
   for (std::size_t s = 0; s < stages_; ++s) {
     const StageMatrix& m = schedule.stage(s);
+    const StageMatrix& t = schedule.transport(s);
+    const bool mixed = !t.empty();
     // Target rows: same ascending-j order as Schedule::targets_of, so
     // the L sum below accumulates in exactly the reference order.
     for (std::size_t i = 0; i < p_; ++i) {
@@ -54,26 +59,38 @@ void CompiledSchedule::compile(const Schedule& schedule,
         if (!m.at_unchecked(i, j)) {
           continue;
         }
+        const bool put = mixed && t.at_unchecked(i, j);
         const double l = profile.l(i, j);
+        // A put needs only local initiation (O(i,i)) — no rendezvous
+        // with the receiver — and delivers after R(i,j).
+        const double o = put ? profile.o(i, i) : profile.o(i, j);
         tgt_index_.push_back(j);
         tgt_l_.push_back(l);
-        tgt_o_.push_back(profile.o(i, j));
+        tgt_o_.push_back(o);
+        tgt_r_.push_back(put ? profile.r(i, j) : 0.0);
+        tgt_rma_.push_back(put ? 1 : 0);
         sum_l += l;
-        max_o = std::max(max_o, profile.o(i, j));
+        max_o = std::max(max_o, o);
       }
       tgt_offsets_.push_back(tgt_index_.size());
       sum_l_.push_back(sum_l);
       max_o_.push_back(max_o);
     }
-    // Source rows: ascending-i order of Schedule::sources_of.
+    // Source rows: ascending-i order of Schedule::sources_of. Puts
+    // bypass the receiver's CPU, so only two-sided edges contribute to
+    // the serial completion processing term.
     for (std::size_t j = 0; j < p_; ++j) {
       double recv_l = 0.0;
       for (std::size_t i = 0; i < p_; ++i) {
         if (!m.at_unchecked(i, j)) {
           continue;
         }
+        const bool put = mixed && t.at_unchecked(i, j);
         src_index_.push_back(i);
-        recv_l += profile.l(i, j);
+        src_rma_.push_back(put ? 1 : 0);
+        if (!put) {
+          recv_l += profile.l(i, j);
+        }
       }
       src_offsets_.push_back(src_index_.size());
       recv_l_.push_back(recv_l);
@@ -98,10 +115,13 @@ void CompiledSchedule::compile_edges(
   tgt_index_.clear();
   tgt_l_.clear();
   tgt_o_.clear();
+  tgt_r_.clear();
+  tgt_rma_.clear();
   src_offsets_.clear();
   src_offsets_.reserve(rows + 1);
   src_offsets_.push_back(0);
   src_index_.clear();
+  src_rma_.clear();
   sum_l_.clear();
   sum_l_.reserve(rows);
   max_o_.clear();
@@ -132,6 +152,8 @@ void CompiledSchedule::compile_edges(
         tgt_index_.push_back(e.dst);
         tgt_l_.push_back(e.l);
         tgt_o_.push_back(e.o);
+        tgt_r_.push_back(e.one_sided ? e.r : 0.0);
+        tgt_rma_.push_back(e.one_sided ? 1 : 0);
         sum_l += e.l;
         max_o = std::max(max_o, e.o);
       }
@@ -155,8 +177,12 @@ void CompiledSchedule::compile_edges(
     for (std::size_t j = 0; j < p_; ++j) {
       double recv_l = 0.0;
       for (; q < by_dst.size() && edges[by_dst[q]].dst == j; ++q) {
-        src_index_.push_back(edges[by_dst[q]].src);
-        recv_l += edges[by_dst[q]].l;
+        const CompiledEdge& e = edges[by_dst[q]];
+        src_index_.push_back(e.src);
+        src_rma_.push_back(e.one_sided ? 1 : 0);
+        if (!e.one_sided) {
+          recv_l += e.l;
+        }
       }
       src_offsets_.push_back(src_index_.size());
       recv_l_.push_back(recv_l);
@@ -209,14 +235,20 @@ void predict_into(const CompiledSchedule& compiled,
     const double before = *std::max_element(ws.ready.begin(), ws.ready.end());
 
     // A rank's own step completes after it issues its batch; receivers
-    // additionally wait for every incoming batch of the stage.
+    // additionally wait for every incoming batch of the stage. A put
+    // edge becomes visible R(i,j) after the sender's batch (tgt_r_ is
+    // exactly 0.0 on two-sided edges, so pure two-sided schedules stay
+    // bit-identical).
     for (std::size_t i = 0; i < p; ++i) {
       ws.batch[i] = ws.ready[i] + compiled.batch_cost(i, s, awaited);
       ws.next[i] = ws.batch[i];
     }
     for (std::size_t i = 0; i < p; ++i) {
-      for (std::size_t j : compiled.targets(i, s)) {
-        ws.next[j] = std::max(ws.next[j], ws.batch[i]);
+      const std::span<const std::size_t> targets = compiled.targets(i, s);
+      const std::span<const double> rma = compiled.target_rma_latency(i, s);
+      for (std::size_t k = 0; k < targets.size(); ++k) {
+        const std::size_t j = targets[k];
+        ws.next[j] = std::max(ws.next[j], ws.batch[i] + rma[k]);
       }
     }
     if (egress) {

@@ -57,6 +57,12 @@ struct CompiledEdge {
   std::size_t dst = 0;
   double l = 0.0;  ///< marginal cost of this edge in its batch
   double o = 0.0;  ///< startup cost of this edge
+  /// One-sided (RMA put) delivery: the edge still charges `l` at
+  /// injection and `o` for startup, but the receiver sees the flag
+  /// `r` after the sender's batch instead of paying its own
+  /// completion processing. Defaults keep existing callers two-sided.
+  bool one_sided = false;
+  double r = 0.0;  ///< remote-write delivery latency (one-sided only)
 };
 
 class CompiledSchedule {
@@ -112,6 +118,34 @@ class CompiledSchedule {
             tgt_offsets_[r + 1] - tgt_offsets_[r]};
   }
 
+  /// Per-edge one-sided delivery latency, aligned with targets(): R of
+  /// the profile for put edges, exactly 0.0 for two-sided edges (so
+  /// `batch + rma[k]` is bit-identical to `batch` on a pure two-sided
+  /// schedule).
+  std::span<const double> target_rma_latency(std::size_t rank,
+                                             std::size_t s) const {
+    const std::size_t r = row(rank, s);
+    return {tgt_r_.data() + tgt_offsets_[r],
+            tgt_offsets_[r + 1] - tgt_offsets_[r]};
+  }
+
+  /// Per-edge transport tag (1 = one-sided put), aligned with targets().
+  std::span<const std::uint8_t> target_one_sided(std::size_t rank,
+                                                 std::size_t s) const {
+    const std::size_t r = row(rank, s);
+    return {tgt_rma_.data() + tgt_offsets_[r],
+            tgt_offsets_[r + 1] - tgt_offsets_[r]};
+  }
+
+  /// Per-source transport tag (1 = arrives as a put), aligned with
+  /// sources().
+  std::span<const std::uint8_t> source_one_sided(std::size_t rank,
+                                                 std::size_t s) const {
+    const std::size_t r = row(rank, s);
+    return {src_rma_.data() + src_offsets_[r],
+            src_offsets_[r + 1] - src_offsets_[r]};
+  }
+
   /// Eq. 1 (awaited == false) / Eq. 2 (awaited == true) cost of `rank`'s
   /// send batch in stage `s`; zero for an empty batch, exactly as
   /// step_cost().
@@ -141,12 +175,20 @@ class CompiledSchedule {
   std::vector<std::size_t> tgt_offsets_;
   std::vector<std::size_t> tgt_index_;
   std::vector<double> tgt_l_;  ///< L(rank, target) per target edge
-  std::vector<double> tgt_o_;  ///< O(rank, target) per target edge
+  /// Effective startup cost per target edge: O(rank, target) for
+  /// two-sided edges, O(rank, rank) for puts (local initiation only —
+  /// no rendezvous with the receiver, per Yu et al.).
+  std::vector<double> tgt_o_;
+  std::vector<double> tgt_r_;  ///< R(rank, target) for puts, 0.0 otherwise
+  std::vector<std::uint8_t> tgt_rma_;  ///< 1 = one-sided, per target edge
   std::vector<std::size_t> src_offsets_;
   std::vector<std::size_t> src_index_;
+  std::vector<std::uint8_t> src_rma_;  ///< 1 = one-sided, per source edge
   std::vector<double> sum_l_;   ///< per row: sum of L over targets
-  std::vector<double> max_o_;   ///< per row: max of O over targets (0 if none)
-  std::vector<double> recv_l_;  ///< per row: sum of L over sources
+  std::vector<double> max_o_;   ///< per row: max of effective O (0 if none)
+  /// Per row: sum of L over *two-sided* sources only — puts bypass the
+  /// receiver's CPU entirely, so they charge no completion processing.
+  std::vector<double> recv_l_;
   std::vector<double> self_o_;  ///< per rank: O(rank, rank)
 };
 
@@ -184,7 +226,9 @@ double predicted_time(const CompiledSchedule& compiled,
 /// Checkpointed stage-at-a-time evaluation for search backtracking.
 /// Supports the predict() terms the search uses (Eq. 1/2 batches and
 /// receiver processing); the shared-egress bound is not modelled, as no
-/// search path prices it.
+/// search path prices it. Transport-oblivious: every edge is priced
+/// two-sided — the search explores signal patterns, and transports are
+/// assigned post-hoc by assign_transports() (src/rma/transport.hpp).
 class IncrementalPredictor {
  public:
   explicit IncrementalPredictor(const TopologyProfile& profile,

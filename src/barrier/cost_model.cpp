@@ -68,17 +68,42 @@ Prediction predict_reference(const Schedule& schedule,
     const bool awaited =
         s < options.awaited_stages.size() && options.awaited_stages[s];
     const double before = *std::max_element(ready.begin(), ready.end());
+    const StageMatrix& transport = schedule.transport(s);
+    const bool mixed = !transport.empty();
+    // One-sided (put) edges: the startup term is the local initiation
+    // O(i,i) instead of the rendezvous O(i,j), delivery completes
+    // R(i,j) after the sender's batch, and the receiver pays no serial
+    // completion processing. Same accumulation order as step_cost and
+    // the compiled kernel.
+    auto is_put = [&](std::size_t i, std::size_t j) {
+      return mixed && transport(i, j) != 0;
+    };
 
     // A rank's own step completes after it issues its batch; receivers
     // additionally wait for every incoming batch of the stage.
     for (std::size_t i = 0; i < p; ++i) {
-      batch_done[i] = ready[i] +
-                      step_cost(profile, i, schedule.targets_of(i, s), awaited);
+      const std::vector<std::size_t> targets = schedule.targets_of(i, s);
+      double cost = 0.0;
+      if (!targets.empty()) {
+        double latency_sum = 0.0;
+        double overhead = awaited ? profile.o(i, i) : 0.0;
+        for (std::size_t t : targets) {
+          latency_sum += profile.l(i, t);
+          if (!awaited) {
+            overhead = std::max(
+                overhead, is_put(i, t) ? profile.o(i, i) : profile.o(i, t));
+          }
+        }
+        cost = overhead + latency_sum;
+      }
+      batch_done[i] = ready[i] + cost;
       next[i] = batch_done[i];
     }
     for (std::size_t i = 0; i < p; ++i) {
       for (std::size_t j : schedule.targets_of(i, s)) {
-        next[j] = std::max(next[j], batch_done[i]);
+        const double delivered =
+            batch_done[i] + (is_put(i, j) ? profile.r(i, j) : 0.0);
+        next[j] = std::max(next[j], delivered);
       }
     }
     if (!options.egress_resource_of.empty()) {
@@ -104,7 +129,8 @@ Prediction predict_reference(const Schedule& schedule,
             it->second = std::max(it->second, ready[i]);
           }
           auto& max_o = res_max_o[resource[i]];
-          max_o = std::max(max_o, profile.o(i, j));
+          max_o = std::max(max_o,
+                           is_put(i, j) ? profile.o(i, i) : profile.o(i, j));
           res_sum_l[resource[i]] += profile.l(i, j);
         }
       }
@@ -121,12 +147,15 @@ Prediction predict_reference(const Schedule& schedule,
       }
     }
     if (options.receiver_processing) {
-      // Serial completion processing: each incoming message costs the
+      // Serial completion processing: each incoming *message* costs the
       // receiver its marginal latency on top of the latest dependency.
+      // Puts land in the flag array without receiver CPU involvement.
       for (std::size_t j = 0; j < p; ++j) {
         double processing = 0.0;
         for (std::size_t i : schedule.sources_of(j, s)) {
-          processing += profile.l(i, j);
+          if (!is_put(i, j)) {
+            processing += profile.l(i, j);
+          }
         }
         next[j] += processing;
       }

@@ -36,11 +36,69 @@ const StageMatrix& Schedule::stage(std::size_t s) const {
 void Schedule::append_stage(StageMatrix stage) {
   check_stage(stage);
   stages_.push_back(std::move(stage));
+  transports_.emplace_back();  // default: all two-sided
 }
 
 void Schedule::pop_stage() {
   OPTIBAR_REQUIRE(!stages_.empty(), "pop_stage on an empty schedule");
   stages_.pop_back();
+  transports_.pop_back();
+}
+
+const StageMatrix& Schedule::transport(std::size_t s) const {
+  OPTIBAR_REQUIRE(s < transports_.size(),
+                  "transport stage " << s << " out of range ("
+                                     << transports_.size() << " stages)");
+  return transports_[s];
+}
+
+void Schedule::set_transport(std::size_t s, StageMatrix transport) {
+  OPTIBAR_REQUIRE(s < stages_.size(),
+                  "set_transport stage " << s << " out of range ("
+                                         << stages_.size() << " stages)");
+  if (transport.empty() || transport.all_zero()) {
+    transports_[s] = StageMatrix();  // normalized all-two-sided spelling
+    return;
+  }
+  OPTIBAR_REQUIRE(transport.rows() == ranks_ && transport.cols() == ranks_,
+                  "transport must be " << ranks_ << "x" << ranks_ << ", got "
+                                       << transport.rows() << "x"
+                                       << transport.cols());
+  const StageMatrix& signals = stages_[s];
+  for (std::size_t i = 0; i < ranks_; ++i) {
+    for (std::size_t j = 0; j < ranks_; ++j) {
+      OPTIBAR_REQUIRE(!transport(i, j) || signals(i, j),
+                      "transport marks " << i << " -> " << j << " of stage "
+                                         << s
+                                         << " one-sided, but the stage has no "
+                                            "such signal");
+    }
+  }
+  transports_[s] = std::move(transport);
+}
+
+bool Schedule::one_sided(std::size_t s, std::size_t i, std::size_t j) const {
+  const StageMatrix& t = transport(s);
+  return !t.empty() && t(i, j) != 0;
+}
+
+bool Schedule::has_one_sided() const {
+  for (const auto& t : transports_) {
+    if (!t.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Schedule::one_sided_signal_count() const {
+  std::size_t n = 0;
+  for (const auto& t : transports_) {
+    if (!t.empty()) {
+      n += t.count_nonzero();
+    }
+  }
+  return n;
 }
 
 std::vector<std::size_t> Schedule::targets_of(std::size_t rank,
@@ -92,6 +150,10 @@ Schedule Schedule::transposed_reversed() const {
   Schedule out(ranks_);
   for (std::size_t s = stages_.size(); s-- > 0;) {
     out.append_stage(stages_[s].transposed());
+    if (!transports_[s].empty()) {
+      // A put arrival edge departs as a put too: transpose alongside.
+      out.set_transport(out.stage_count() - 1, transports_[s].transposed());
+    }
   }
   return out;
 }
@@ -102,17 +164,23 @@ Schedule Schedule::concatenated(const Schedule& tail) const {
                                                        << tail.ranks_
                                                        << " ranks");
   Schedule out = *this;
-  for (const auto& stage : tail.stages_) {
-    out.append_stage(stage);
+  for (std::size_t s = 0; s < tail.stages_.size(); ++s) {
+    out.append_stage(tail.stages_[s]);
+    if (!tail.transports_[s].empty()) {
+      out.set_transport(out.stage_count() - 1, tail.transports_[s]);
+    }
   }
   return out;
 }
 
 Schedule Schedule::compacted() const {
   Schedule out(ranks_);
-  for (const auto& stage : stages_) {
-    if (!stage.all_zero()) {
-      out.append_stage(stage);
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    if (!stages_[s].all_zero()) {
+      out.append_stage(stages_[s]);
+      if (!transports_[s].empty()) {
+        out.set_transport(out.stage_count() - 1, transports_[s]);
+      }
     }
   }
   return out;
@@ -150,21 +218,41 @@ void embed_schedule(Schedule& global, const Schedule& local,
   while (global.stage_count() < first_stage + local.stage_count()) {
     global.append_stage(StageMatrix(global.ranks(), global.ranks(), 0));
   }
-  // Rebuild the affected stages with the local signals OR-ed in.
+  // Rebuild the affected stages with the local signals (and their
+  // transport tags) OR-ed in.
   std::vector<StageMatrix> stages(global.stages().begin(),
                                   global.stages().end());
+  std::vector<StageMatrix> transports;
+  transports.reserve(global.stage_count());
+  for (std::size_t s = 0; s < global.stage_count(); ++s) {
+    transports.push_back(global.transport(s));
+  }
   for (std::size_t s = 0; s < local.stage_count(); ++s) {
     const StageMatrix& src = local.stage(s);
+    const StageMatrix& src_transport = local.transport(s);
     StageMatrix& dst = stages[first_stage + s];
+    StageMatrix& dst_transport = transports[first_stage + s];
+    if (!src_transport.empty() && dst_transport.empty()) {
+      dst_transport = StageMatrix(global.ranks(), global.ranks(), 0);
+    }
     for (std::size_t i = 0; i < local.ranks(); ++i) {
       for (std::size_t j = 0; j < local.ranks(); ++j) {
         if (src(i, j)) {
           dst(rank_map[i], rank_map[j]) = 1;
+          if (!src_transport.empty() && src_transport(i, j)) {
+            dst_transport(rank_map[i], rank_map[j]) = 1;
+          }
         }
       }
     }
   }
-  global = Schedule(global.ranks(), std::move(stages));
+  Schedule rebuilt(global.ranks(), std::move(stages));
+  for (std::size_t s = 0; s < transports.size(); ++s) {
+    if (!transports[s].empty()) {
+      rebuilt.set_transport(s, std::move(transports[s]));
+    }
+  }
+  global = std::move(rebuilt);
 }
 
 std::ostream& operator<<(std::ostream& os, const Schedule& schedule) {
@@ -173,6 +261,9 @@ std::ostream& operator<<(std::ostream& os, const Schedule& schedule) {
      << " signals\n";
   for (std::size_t s = 0; s < schedule.stage_count(); ++s) {
     os << "S" << s << ":\n" << schedule.stage(s);
+    if (!schedule.transport(s).empty()) {
+      os << "T" << s << " (one-sided subset):\n" << schedule.transport(s);
+    }
   }
   return os;
 }

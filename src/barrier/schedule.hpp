@@ -11,6 +11,16 @@
 // the transforms the adaptive construction needs (transpose-and-reverse
 // for departure phases, embedding of local patterns into a global one,
 // compaction of empty stages).
+//
+// Each stage optionally carries a transport matrix, a boolean subset of
+// the stage's signals marking edges delivered one-sided (an RMA put
+// into the receiver's flag array — src/rma) instead of as a two-sided
+// message. An empty transport matrix means all-two-sided, which is the
+// default for every constructor and transform, keeps the pre-RMA hot
+// paths allocation-free, and makes equality with pre-RMA schedules
+// exact. Transports do not change the knowledge recurrence — a put
+// conveys the same arrival fact as a message — only how the cost model
+// and the executors price and deliver the edge.
 #pragma once
 
 #include <cstddef>
@@ -42,6 +52,25 @@ class Schedule {
 
   /// Remove the last stage (search backtracking).
   void pop_stage();
+
+  /// Transport matrix of stage `s`: nonzero entries are the stage's
+  /// one-sided signals. Empty (rows() == 0) when the whole stage is
+  /// two-sided — the common case, tested via has_one_sided() first.
+  const StageMatrix& transport(std::size_t s) const;
+
+  /// Mark the one-sided subset of stage `s`'s signals. `transport`
+  /// must be ranks x ranks with transport(i,j) => stage(i,j); an
+  /// all-zero (or empty) matrix resets the stage to pure two-sided.
+  void set_transport(std::size_t s, StageMatrix transport);
+
+  /// True iff signal i -> j of stage `s` is delivered one-sided.
+  bool one_sided(std::size_t s, std::size_t i, std::size_t j) const;
+
+  /// True when any stage carries a one-sided signal.
+  bool has_one_sided() const;
+
+  /// Total number of one-sided signals across all stages.
+  std::size_t one_sided_signal_count() const;
 
   /// Ranks that `rank` signals in stage `s`, ascending. Allocates a
   /// fresh vector per call — cold path only (construction, analysis,
@@ -89,6 +118,9 @@ class Schedule {
 
   std::size_t ranks_ = 0;
   std::vector<StageMatrix> stages_;
+  /// Parallel to stages_; entries are empty (all-two-sided, the
+  /// normalized spelling of an all-zero transport) or ranks x ranks.
+  std::vector<StageMatrix> transports_;
 };
 
 /// OR the stages of `local` into `global`, translating local rank r to

@@ -25,7 +25,11 @@ void save_schedule(std::ostream& os, const StoredSchedule& stored) {
   OPTIBAR_REQUIRE(stored.awaited_stages.empty() ||
                       stored.awaited_stages.size() == s.stage_count(),
                   "awaited_stages must be empty or match stage count");
-  os << kMagic << " v1\n";
+  // v1 unless some stage carries one-sided edges, so pure two-sided
+  // schedules stay byte-identical to pre-RMA builds and readable by
+  // pre-RMA readers.
+  const bool v2 = s.has_one_sided();
+  os << kMagic << (v2 ? " v2\n" : " v1\n");
   os << "P " << s.ranks() << '\n';
   os << "stages " << s.stage_count() << '\n';
   os << "awaited";
@@ -39,13 +43,22 @@ void save_schedule(std::ostream& os, const StoredSchedule& stored) {
     }
   }
   os << '\n';
-  for (std::size_t st = 0; st < s.stage_count(); ++st) {
-    os << "S" << st << '\n';
-    const StageMatrix& m = s.stage(st);
+  auto dump = [&](const StageMatrix& m) {
     for (std::size_t r = 0; r < m.rows(); ++r) {
       for (std::size_t c = 0; c < m.cols(); ++c) {
         os << static_cast<int>(m(r, c)) << (c + 1 == m.cols() ? '\n' : ' ');
       }
+    }
+  };
+  for (std::size_t st = 0; st < s.stage_count(); ++st) {
+    os << "S" << st << '\n';
+    dump(s.stage(st));
+    if (v2) {
+      // Every stage gets a T matrix in v2 (all-zero when two-sided), so
+      // the reader never has to look ahead to tell T<st> from S<st+1>.
+      os << "T" << st << '\n';
+      const StageMatrix& t = s.transport(st);
+      dump(t.empty() ? StageMatrix(s.ranks(), s.ranks(), 0) : t);
     }
   }
   OPTIBAR_REQUIRE(os.good(), "I/O error while writing schedule");
@@ -57,8 +70,9 @@ StoredSchedule load_schedule(std::istream& is) {
   is >> magic >> version;
   OPTIBAR_IO_REQUIRE(!is.fail() && magic == kMagic,
                      "not an optibar schedule (magic '" << magic << "')");
-  OPTIBAR_IO_REQUIRE(version == "v1",
+  OPTIBAR_IO_REQUIRE(version == "v1" || version == "v2",
                      "unsupported schedule version " << version);
+  const bool v2 = version == "v2";
 
   std::string tag;
   std::size_t p = 0;
@@ -90,25 +104,39 @@ StoredSchedule load_schedule(std::istream& is) {
     OPTIBAR_IO_REQUIRE(flag == 0 || flag == 1, "awaited flag must be 0/1");
     out.awaited_stages[i] = flag == 1;
   }
+  auto read_matrix = [&](const char* what, std::size_t st) {
+    StageMatrix m(p, p, 0);
+    for (std::size_t r = 0; r < p; ++r) {
+      for (std::size_t c = 0; c < p; ++c) {
+        int v = 0;
+        is >> v;
+        OPTIBAR_IO_REQUIRE(!is.fail(), "truncated schedule: "
+                                           << what << st << " cell (" << r
+                                           << ", " << c << ") missing");
+        OPTIBAR_IO_REQUIRE(v == 0 || v == 1,
+                           what << " cell must be 0/1");
+        m(r, c) = static_cast<std::uint8_t>(v);
+      }
+    }
+    return m;
+  };
   for (std::size_t st = 0; st < stages; ++st) {
     is >> tag;
     OPTIBAR_IO_REQUIRE(!is.fail(),
                        "truncated schedule: stage S" << st << " missing");
     OPTIBAR_IO_REQUIRE(tag == "S" + std::to_string(st),
                        "expected stage tag S" << st << ", got " << tag);
-    StageMatrix m(p, p, 0);
-    for (std::size_t r = 0; r < p; ++r) {
-      for (std::size_t c = 0; c < p; ++c) {
-        int v = 0;
-        is >> v;
-        OPTIBAR_IO_REQUIRE(!is.fail(), "truncated schedule: stage S"
-                                           << st << " cell (" << r << ", "
-                                           << c << ") missing");
-        OPTIBAR_IO_REQUIRE(v == 0 || v == 1, "stage cell must be 0/1");
-        m(r, c) = static_cast<std::uint8_t>(v);
-      }
+    out.schedule.append_stage(read_matrix("stage S", st));
+    if (v2) {
+      is >> tag;
+      OPTIBAR_IO_REQUIRE(!is.fail(), "truncated schedule: transport T"
+                                         << st << " missing");
+      OPTIBAR_IO_REQUIRE(tag == "T" + std::to_string(st),
+                         "expected transport tag T" << st << ", got " << tag);
+      // set_transport validates transport(i,j) => stage(i,j) and
+      // normalizes all-zero to the empty (two-sided) spelling.
+      out.schedule.set_transport(st, read_matrix("transport T", st));
     }
-    out.schedule.append_stage(std::move(m));
   }
   OPTIBAR_IO_REQUIRE(is.good() || is.eof(),
                      "I/O error while reading schedule");

@@ -7,6 +7,10 @@
 // efficiently indexed at run-time" the paper's Section VIII asks for.
 // The format is versioned text: stage matrices as 0/1 rows, plus the
 // per-stage awaited (departure) flags the Eq. 2 predictor needs.
+// v2 appends a `T<stage>` transport matrix (the one-sided subset) after
+// each stage that carries one; pure two-sided schedules still save as
+// v1, byte-identical to pre-RMA builds, and v1 files load with every
+// edge defaulting to two-sided.
 #pragma once
 
 #include <iosfwd>

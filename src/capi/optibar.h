@@ -181,6 +181,29 @@ optibar_status optibar_tune_collective_v2(optibar_library* library,
                                           double* out_predicted_seconds,
                                           size_t* out_stages);
 
+/* Transport policy chosen by optibar_tune_hybrid_v2. */
+typedef enum {
+  OPTIBAR_TRANSPORT_TWO_SIDED = 0, /* every signal is a matched send/recv */
+  OPTIBAR_TRANSPORT_ONE_SIDED = 1, /* every signal is an RMA put */
+  OPTIBAR_TRANSPORT_HYBRID = 2     /* per-edge choice by predicted cost */
+} optibar_transport;
+
+/* Tune the full-communicator barrier and pick the cheapest transport
+ * assignment among all-two-sided, all-one-sided, and the per-edge
+ * hybrid descent, under the extended cost model (one-sided delivery
+ * latency R; profiles without R data price puts at the conservative
+ * L fallback and come back all-two-sided). On success writes the
+ * predicted completion time of the winner into *out_predicted_seconds,
+ * the winning policy into *out_transport, and the number of signals it
+ * tags one-sided into *out_one_sided_signals (each pointer may be
+ * NULL) and returns OPTIBAR_OK. On failure returns the error status
+ * with optibar_last_error() describing the failure, and leaves the out
+ * parameters unwritten. */
+optibar_status optibar_tune_hybrid_v2(optibar_library* library,
+                                      double* out_predicted_seconds,
+                                      optibar_transport* out_transport,
+                                      size_t* out_one_sided_signals);
+
 /*
  * NONBLOCKING EPISODES (MPI_Ibarrier-style lifecycle). A post starts
  * one in-process execution of a tuned schedule on the library's

@@ -22,6 +22,7 @@
 #include "collective/executor.hpp"
 #include "collective/tuner.hpp"
 #include "core/library.hpp"
+#include "rma/transport.hpp"
 #include "simmpi/executor.hpp"
 #include "topology/profile.hpp"
 #include "util/error.hpp"
@@ -524,6 +525,43 @@ optibar_status optibar_tune_collective_v2(optibar_library* library,
     }
     if (out_stages != nullptr) {
       *out_stages = tuned.schedule().stage_count();
+    }
+    set_ok();
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_TUNING);
+  }
+  return tl_status;
+}
+
+optibar_status optibar_tune_hybrid_v2(optibar_library* library,
+                                      double* out_predicted_seconds,
+                                      optibar_transport* out_transport,
+                                      size_t* out_one_sided_signals) {
+  if (library == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "library is NULL");
+    return tl_status;
+  }
+  try {
+    const optibar::rma::TransportTune tuned = optibar::rma::tune_best_transport(
+        library->library.profile(), library->library.options());
+    if (out_predicted_seconds != nullptr) {
+      *out_predicted_seconds = tuned.cost;
+    }
+    if (out_transport != nullptr) {
+      switch (tuned.transport) {
+        case optibar::rma::Transport::kTwoSided:
+          *out_transport = OPTIBAR_TRANSPORT_TWO_SIDED;
+          break;
+        case optibar::rma::Transport::kOneSided:
+          *out_transport = OPTIBAR_TRANSPORT_ONE_SIDED;
+          break;
+        case optibar::rma::Transport::kHybrid:
+          *out_transport = OPTIBAR_TRANSPORT_HYBRID;
+          break;
+      }
+    }
+    if (out_one_sided_signals != nullptr) {
+      *out_one_sided_signals = tuned.one_sided_signals;
     }
     set_ok();
   } catch (...) {

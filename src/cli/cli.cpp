@@ -20,6 +20,7 @@
 #include "netsim/trace_export.hpp"
 #include "profile/estimator.hpp"
 #include "profile/synthetic_engine.hpp"
+#include "rma/transport.hpp"
 #include "simmpi/executor.hpp"
 #include "simmpi/fault.hpp"
 #include "simmpi/resilience.hpp"
@@ -321,7 +322,7 @@ int cmd_simulate(const Args& args, std::ostream& out) {
 
 int cmd_compare(const Args& args, std::ostream& out) {
   args.check_allowed({"profile", "reps", "jitter", "seed", "extended",
-                      "threads"});
+                      "threads", "transport"});
   const TopologyProfile profile =
       TopologyProfile::load_file(args.require("profile"));
   const std::size_t p = profile.ranks();
@@ -329,6 +330,8 @@ int cmd_compare(const Args& args, std::ostream& out) {
   sim_options.jitter = args.double_or("jitter", 0.03);
   sim_options.seed = args.size_or("seed", 2011);
   const std::size_t reps = args.size_or("reps", 25);
+  const rma::Transport transport =
+      rma::parse_transport(args.get_or("transport", "two-sided"));
 
   EngineOptions tune_options;
   tune_options.threads = args.size_or("threads", 1);
@@ -357,6 +360,18 @@ int cmd_compare(const Args& args, std::ostream& out) {
   add("dissemination", dissemination_barrier(p), {});
   add("tree (MPI)", tree_barrier(p), {});
   add("hybrid (tuned)", tuned.schedule(), tuned.barrier().awaited_stages);
+  if (transport != rma::Transport::kTwoSided) {
+    // Re-tag the tuned signal pattern under the requested transport
+    // policy: predicted and simulated columns then price put edges
+    // through the extended (R-aware) cost model and the netsim put
+    // path, against the all-two-sided row above.
+    Schedule tagged = tuned.schedule();
+    rma::assign_transports(tagged, profile, tuned.barrier().awaited_stages,
+                           transport);
+    add("hybrid (tuned, " + std::string(rma::transport_name(transport)) +
+            ", " + Table::num(tagged.one_sided_signal_count()) + " puts)",
+        tagged, tuned.barrier().awaited_stages);
+  }
   table.print(out);
   return 0;
 }
@@ -733,6 +748,8 @@ std::string usage_text() {
         "           [--slack X] [--retries N] [--deadline-floor-ms N]\n"
         "  compare  --profile FILE [--reps N] [--jitter X] [--extended]\n"
         "           [--threads N]\n"
+        "           [--transport two-sided|one-sided|hybrid]  # adds a\n"
+        "                            # put-tagged row vs the classic rows\n"
         "  analyze  --schedule FILE (--machine M | --machine-file F)\n"
         "           [--nodes N] [--mapping block|rr]\n"
         "  validate --schedule FILE\n"

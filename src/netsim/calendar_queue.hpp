@@ -55,6 +55,10 @@ enum class SimEventKind : std::uint8_t {
   kFinalizeMatch,  ///< receiver processing of `a` -> `b` done (payload
                    ///< = injection time, for the trace)
   kAdvanceStage,   ///< deferred poll-tick transition of rank `a`
+  kPutInject,      ///< one-sided put `a` -> `b` of `stage` hits the wire
+  kPutLand,        ///< put flag `a` -> `b` becomes visible (payload =
+                   ///< injection time, for the trace)
+  kPutsDone,       ///< sync-mode put-batch token of rank `a` completes
 };
 
 /// One typed simulation event. Plain data: the meaning of a/b/stage/

@@ -107,6 +107,7 @@ class Engine {
     ws_.buf_src.clear();
     ws_.buf_injected.clear();
     ws_.buf_ghost.clear();
+    ws_.buf_put.clear();
     ws_.buf_next.clear();
   }
 
@@ -173,6 +174,20 @@ class Engine {
         // reference closure does.
         enter_stage(event.a, ws_.states[event.a].stage + 1, now);
         return;
+      case SimEventKind::kPutInject:
+        on_put_inject(event.a, event.b, event.stage, now);
+        return;
+      case SimEventKind::kPutLand:
+        on_put_land(event.a, event.b, event.stage, now, event.payload);
+        return;
+      case SimEventKind::kPutsDone: {
+        RankState& sender = ws_.states[event.a];
+        OPTIBAR_ASSERT(sender.stage == event.stage, "stale put-batch token");
+        OPTIBAR_ASSERT(sender.sends_pending > 0, "put token misuse");
+        --sender.sends_pending;
+        maybe_complete_stage(event.a, now);
+        return;
+      }
     }
   }
 
@@ -250,20 +265,48 @@ class Engine {
         compiled_.target_latency(rank, stage);
     const std::span<const double> target_o =
         compiled_.target_overhead(rank, stage);
+    const std::span<const std::uint8_t> target_put =
+        compiled_.target_one_sided(rank, stage);
+    std::size_t put_count = 0;
+    for (const std::uint8_t put : target_put) {
+      put_count += (put != 0) ? 1 : 0;
+    }
     st.recvs_pending =
         static_cast<std::uint32_t>(compiled_.sources(rank, stage).size());
+    // Synchronized puts are fire-and-forget: the whole put batch is one
+    // pending unit that completes at its last injection (kPutsDone),
+    // never waiting on matches. put_count == 0 reduces to the classic
+    // formula exactly.
     st.sends_pending = static_cast<std::uint32_t>(
-        options_.synchronous_sends ? targets.size()
-                                   : (targets.empty() ? 0 : 1));
+        options_.synchronous_sends
+            ? targets.size() - put_count + (put_count > 0 ? 1 : 0)
+            : (targets.empty() ? 0 : 1));
 
     // Serial injection: first message pays O, the rest pay L each
     // (exactly the quantity the Section IV-A L benchmark measures).
+    // Put edges share these slots — target_overhead already holds their
+    // effective (local) startup O(rank,rank).
     double inject = now;
     for (std::size_t idx = 0; idx < targets.size(); ++idx) {
       const std::size_t dst = targets[idx];
       const double base = (idx == 0 ? target_o[idx] : target_l[idx]) +
                           extra_cost(stage, rank, dst);
       inject += perturb(base);
+      if (target_put[idx] != 0) {
+        // One-sided edge: the put leaves the NIC here; a putdrop fault
+        // loses the flag write in flight (the sender, complete at
+        // injection, never learns — only the receiver stalls).
+        if (injector_ && injector_->decide_put(rank, dst, stage, /*seq=*/0)) {
+          continue;
+        }
+        SimEvent event;
+        event.kind = SimEventKind::kPutInject;
+        event.stage = static_cast<std::uint32_t>(stage);
+        event.a = static_cast<std::uint32_t>(rank);
+        event.b = static_cast<std::uint32_t>(dst);
+        ws_.queue.schedule(inject, event);
+        continue;
+      }
       FaultInjector::Decision fault;
       if (injector_) {
         fault = injector_->decide(rank, dst, static_cast<int>(stage),
@@ -293,6 +336,14 @@ class Engine {
       event.a = static_cast<std::uint32_t>(rank);
       ws_.queue.schedule(inject, event);
     }
+    if (options_.synchronous_sends && put_count > 0) {
+      // The put batch's local completion token (see sends_pending above).
+      SimEvent event;
+      event.kind = SimEventKind::kPutsDone;
+      event.stage = static_cast<std::uint32_t>(stage);
+      event.a = static_cast<std::uint32_t>(rank);
+      ws_.queue.schedule(inject, event);
+    }
 
     // Messages that arrived before we entered this stage match now.
     // The chain is walked via pre-read next links: a match can re-enter
@@ -305,8 +356,14 @@ class Engine {
       const std::uint32_t next = ws_.buf_next[node];
       const std::size_t src = ws_.buf_src[node];
       const double injected = ws_.buf_injected[node];
-      const bool ghost = ws_.buf_ghost[node] != 0;
-      match(src, rank, stage, now, injected, ghost);
+      if (ws_.buf_put[node] != 0) {
+        // A flag that landed in the window before we got here: visible
+        // immediately on stage entry, no completion processing.
+        finalize_put(src, rank, stage, now, injected);
+      } else {
+        const bool ghost = ws_.buf_ghost[node] != 0;
+        match(src, rank, stage, now, injected, ghost);
+      }
       node = next;
     }
     ws_.buf_head[row] = kNil;
@@ -346,12 +403,18 @@ class Engine {
     if (ghost && receiver.entered != 0 && receiver.stage > stage) {
       return;  // stale ghost: the stage is over, nothing left to occupy
     }
-    // Append to the (stage, dst) FIFO chain in the SoA pool.
+    buffer_message(src, dst, stage, now, ghost, /*put=*/false);
+  }
+
+  /// Append to the (stage, dst) FIFO chain in the SoA pool.
+  void buffer_message(std::size_t src, std::size_t dst, std::size_t stage,
+                      double injected, bool ghost, bool put) {
     const std::size_t row = stage * p_ + dst;
     const std::uint32_t node = static_cast<std::uint32_t>(ws_.buf_src.size());
     ws_.buf_src.push_back(static_cast<std::uint32_t>(src));
-    ws_.buf_injected.push_back(now);
+    ws_.buf_injected.push_back(injected);
     ws_.buf_ghost.push_back(ghost ? 1 : 0);
+    ws_.buf_put.push_back(put ? 1 : 0);
     ws_.buf_next.push_back(kNil);
     if (ws_.buf_tail[row] == kNil) {
       ws_.buf_head[row] = node;
@@ -359,6 +422,74 @@ class Engine {
       ws_.buf_next[ws_.buf_tail[row]] = node;
     }
     ws_.buf_tail[row] = node;
+  }
+
+  /// A one-sided put hits the wire: acquire the sender's egress
+  /// resource like any remote message, then land the flag write
+  /// R(src,dst) later — the remote-write delivery latency, in place of
+  /// the two-sided match-plus-processing path.
+  void on_put_inject(std::size_t src, std::size_t dst, std::size_t stage,
+                     double now) {
+    if (!options_.egress_resource_of.empty() &&
+        options_.egress_resource_of[src] != options_.egress_resource_of[dst]) {
+      const std::size_t resource = options_.egress_resource_of[src];
+      if (ws_.egress_busy[resource] > now) {
+        SimEvent event;
+        event.kind = SimEventKind::kPutInject;
+        event.stage = static_cast<std::uint32_t>(stage);
+        event.a = static_cast<std::uint32_t>(src);
+        event.b = static_cast<std::uint32_t>(dst);
+        ws_.queue.schedule(ws_.egress_busy[resource], event);
+        return;
+      }
+      ws_.egress_busy[resource] =
+          now + perturb(profile_.l(src, dst) + extra_cost(stage, src, dst));
+    }
+    SimEvent event;
+    event.kind = SimEventKind::kPutLand;
+    event.stage = static_cast<std::uint32_t>(stage);
+    event.a = static_cast<std::uint32_t>(src);
+    event.b = static_cast<std::uint32_t>(dst);
+    event.payload = now;
+    ws_.queue.schedule(now + perturb(profile_.r(src, dst)), event);
+  }
+
+  /// The flag write became visible in the receiver's window. Unlike a
+  /// two-sided arrival there is no completion processing and no sender
+  /// to notify — the receiver either observes it now (at stage) or
+  /// finds it on stage entry (buffered).
+  void on_put_land(std::size_t src, std::size_t dst, std::size_t stage,
+                   double now, double injected) {
+    if (ws_.halted[dst] != 0) {
+      return;  // written into a corpse's window: never observed
+    }
+    RankState& receiver = ws_.states[dst];
+    if (receiver.entered != 0 && receiver.stage == stage) {
+      finalize_put(src, dst, stage, now, injected);
+      return;
+    }
+    // Completing the stage requires observing this very flag, so the
+    // receiver cannot be past it (puts have no ghost copies).
+    OPTIBAR_ASSERT(receiver.entered == 0 || receiver.stage < stage,
+                   "receiver " << dst << " advanced past stage " << stage
+                               << " with an unobserved flag");
+    buffer_message(src, dst, stage, injected, /*ghost=*/false, /*put=*/true);
+  }
+
+  /// The receiver observed a one-sided flag: pure protocol effect —
+  /// no receiver CPU time, and no sender decrement (the put completed
+  /// locally at injection).
+  void finalize_put(std::size_t src, std::size_t dst, std::size_t stage,
+                    double now, double injected) {
+    if (options_.record_trace) {
+      out_.trace.push_back(MessageTrace{stage, src, dst, injected, now});
+    }
+    RankState& receiver = ws_.states[dst];
+    OPTIBAR_ASSERT(receiver.recvs_pending > 0,
+                   "unexpected flag " << src << "->" << dst << " in stage "
+                                      << stage);
+    --receiver.recvs_pending;
+    maybe_complete_stage(dst, now);
   }
 
   /// A message has arrived (or was found buffered at stage entry): run

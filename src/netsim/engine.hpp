@@ -14,7 +14,16 @@
 //     sender's stage does not complete until all its sends have matched;
 //   - optional multiplicative per-message noise and rare background-load
 //     spikes (the paper ran under per-node-exclusive but otherwise shared
-//     conditions, Section IV-B).
+//     conditions, Section IV-B);
+//   - one-sided (RMA put) edges, where the schedule tags them
+//     (Schedule::transport): the put shares the sender's serial
+//     injection and egress slots like any signal, but its startup is the
+//     local O(i,i) and it lands as a remote flag write R(src,dst) after
+//     clearing the NIC — no receiver-side completion processing, and in
+//     synchronized mode the whole put batch completes locally at its
+//     last injection (fire-and-forget) instead of waiting for matches.
+//     Untagged schedules take the two-sided paths untouched, RNG stream
+//     included.
 //
 // Execution is event-driven over virtual time and fully deterministic
 // for a fixed seed.
@@ -129,9 +138,11 @@ struct SimOptions {
   /// occupancy-only ghost copy (extra NIC and receiver-processing time,
   /// no protocol effect), delay rules push the injection later, and
   /// crash rules halt a rank on entering the given stage — crash at
-  /// stage 0 is exactly the legacy crashed_ranks semantics. Rule tags
-  /// are matched against the stage index. An empty plan leaves the RNG
-  /// stream — and thus every result — bit-identical.
+  /// stage 0 is exactly the legacy crashed_ranks semantics, and putdrop
+  /// rules lose a one-sided flag write after injection (the receiver
+  /// waits forever; the sender, complete at injection, never learns).
+  /// Rule tags are matched against the stage index. An empty plan
+  /// leaves the RNG stream — and thus every result — bit-identical.
   FaultPlan faults;
 
   std::uint64_t seed = 1;
@@ -208,6 +219,7 @@ struct SimWorkspace {
   std::vector<std::uint32_t> buf_src;
   std::vector<double> buf_injected;
   std::vector<std::uint8_t> buf_ghost;
+  std::vector<std::uint8_t> buf_put;  ///< 1 = buffered one-sided flag
   std::vector<std::uint32_t> buf_next;
 };
 

@@ -34,6 +34,7 @@ struct BufferedMessage {
   std::size_t src = 0;
   double injected = 0.0;
   bool ghost = false;  ///< duplicate copy: occupies time, no protocol effect
+  bool put = false;    ///< one-sided flag awaiting the receiver's entry
 };
 
 class ReferenceSimulation {
@@ -173,19 +174,44 @@ class ReferenceSimulation {
 
     const std::vector<std::size_t> sources = schedule_.sources_of(rank, stage);
     const std::vector<std::size_t> targets = schedule_.targets_of(rank, stage);
+    std::size_t put_count = 0;
+    for (const std::size_t dst : targets) {
+      put_count += schedule_.one_sided(stage, rank, dst) ? 1 : 0;
+    }
     st.recvs_pending = sources.size();
-    st.sends_pending = options_.synchronous_sends ? targets.size()
-                                                  : (targets.empty() ? 0 : 1);
+    // Synchronized puts are fire-and-forget: the whole put batch is one
+    // pending unit that completes at its last injection, never waiting
+    // on matches. put_count == 0 reduces to the classic formula exactly.
+    st.sends_pending =
+        options_.synchronous_sends
+            ? targets.size() - put_count + (put_count > 0 ? 1 : 0)
+            : (targets.empty() ? 0 : 1);
 
     // Serial injection: first message pays O, the rest pay L each
     // (exactly the quantity the Section IV-A L benchmark measures).
+    // Put edges share these slots, with the local startup O(rank,rank)
+    // in place of the rendezvous O(rank,dst).
     double inject = now;
     for (std::size_t idx = 0; idx < targets.size(); ++idx) {
       const std::size_t dst = targets[idx];
-      const double base = (idx == 0 ? profile_.o(rank, dst)
+      const bool put = schedule_.one_sided(stage, rank, dst);
+      const double base = (idx == 0 ? profile_.o(rank, put ? rank : dst)
                                     : profile_.l(rank, dst)) +
                           extra_cost(stage, rank, dst);
       inject += perturb(base);
+      if (put) {
+        // One-sided edge: the put leaves the NIC here; a putdrop fault
+        // loses the flag write in flight (the sender, complete at
+        // injection, never learns — only the receiver stalls).
+        if (injector_ && injector_->decide_put(rank, dst, stage,
+                                               /*seq=*/0)) {
+          continue;
+        }
+        queue_.schedule(inject, [this, rank, dst, stage] {
+          on_put_inject(rank, dst, stage, queue_.now());
+        });
+        continue;
+      }
       FaultInjector::Decision fault;
       if (injector_) {
         fault = injector_->decide(rank, dst, static_cast<int>(stage),
@@ -222,10 +248,26 @@ class ReferenceSimulation {
         maybe_complete_stage(rank, queue_.now());
       });
     }
+    if (options_.synchronous_sends && put_count > 0) {
+      // The put batch's local completion token (see sends_pending above).
+      queue_.schedule(inject, [this, rank, stage] {
+        RankState& sender = states_[rank];
+        OPTIBAR_ASSERT(sender.stage == stage, "stale put-batch token");
+        OPTIBAR_ASSERT(sender.sends_pending > 0, "put token misuse");
+        --sender.sends_pending;
+        maybe_complete_stage(rank, queue_.now());
+      });
+    }
 
     // Messages that arrived before we entered this stage match now.
     for (const BufferedMessage& msg : buffered_[stage][rank]) {
-      match(msg.src, rank, stage, now, msg.injected, msg.ghost);
+      if (msg.put) {
+        // A flag that landed in the window before we got here: visible
+        // immediately on stage entry, no completion processing.
+        finalize_put(msg.src, rank, stage, now, msg.injected);
+      } else {
+        match(msg.src, rank, stage, now, msg.injected, msg.ghost);
+      }
     }
     buffered_[stage][rank].clear();
 
@@ -266,7 +308,71 @@ class ReferenceSimulation {
     if (ghost && receiver.entered && receiver.stage > stage) {
       return;  // stale ghost: the stage is over, nothing left to occupy
     }
-    buffered_[stage][dst].push_back(BufferedMessage{src, now, ghost});
+    buffered_[stage][dst].push_back(BufferedMessage{src, now, ghost, false});
+  }
+
+  /// A one-sided put hits the wire: acquire the sender's egress
+  /// resource like any remote message, then land the flag write
+  /// R(src,dst) later — the remote-write delivery latency, in place of
+  /// the two-sided match-plus-processing path.
+  void on_put_inject(std::size_t src, std::size_t dst, std::size_t stage,
+                     double now) {
+    if (!options_.egress_resource_of.empty() &&
+        options_.egress_resource_of[src] != options_.egress_resource_of[dst]) {
+      const std::size_t resource = options_.egress_resource_of[src];
+      if (egress_busy_[resource] > now) {
+        queue_.schedule(egress_busy_[resource], [this, src, dst, stage] {
+          on_put_inject(src, dst, stage, queue_.now());
+        });
+        return;
+      }
+      egress_busy_[resource] =
+          now + perturb(profile_.l(src, dst) + extra_cost(stage, src, dst));
+    }
+    const double injected = now;
+    queue_.schedule(now + perturb(profile_.r(src, dst)),
+                    [this, src, dst, stage, injected] {
+                      on_put_land(src, dst, stage, queue_.now(), injected);
+                    });
+  }
+
+  /// The flag write became visible in the receiver's window. Unlike a
+  /// two-sided arrival there is no completion processing and no sender
+  /// to notify — the receiver either observes it now (at stage) or
+  /// finds it on stage entry (buffered).
+  void on_put_land(std::size_t src, std::size_t dst, std::size_t stage,
+                   double now, double injected) {
+    if (halted_[dst]) {
+      return;  // written into a corpse's window: never observed
+    }
+    RankState& receiver = states_[dst];
+    if (receiver.entered && receiver.stage == stage) {
+      finalize_put(src, dst, stage, now, injected);
+      return;
+    }
+    // Completing the stage requires observing this very flag, so the
+    // receiver cannot be past it (puts have no ghost copies).
+    OPTIBAR_ASSERT(!receiver.entered || receiver.stage < stage,
+                   "receiver " << dst << " advanced past stage " << stage
+                               << " with an unobserved flag");
+    buffered_[stage][dst].push_back(
+        BufferedMessage{src, injected, false, true});
+  }
+
+  /// The receiver observed a one-sided flag: pure protocol effect —
+  /// no receiver CPU time, and no sender decrement (the put completed
+  /// locally at injection).
+  void finalize_put(std::size_t src, std::size_t dst, std::size_t stage,
+                    double now, double injected) {
+    if (options_.record_trace) {
+      result_.trace.push_back(MessageTrace{stage, src, dst, injected, now});
+    }
+    RankState& receiver = states_[dst];
+    OPTIBAR_ASSERT(receiver.recvs_pending > 0,
+                   "unexpected flag " << src << "->" << dst << " in stage "
+                                      << stage);
+    --receiver.recvs_pending;
+    maybe_complete_stage(dst, now);
   }
 
   /// A message has arrived (or was found buffered at stage entry): run

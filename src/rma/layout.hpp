@@ -1,0 +1,60 @@
+// Window slot arithmetic for one-sided barrier signalling.
+//
+// A one-sided signal i -> j in stage s of episode e is a remote store
+// of a *flag value* into a well-known word of j's window; j learns of
+// the signal by polling (or parking on) that word, never by posting a
+// receive. The layout below fixes where that word lives and what value
+// it carries, and is shared — header-only, no library dependency — by
+// the simmpi executors (which write flags through the Communicator's
+// native RMA board), the Window wrapper (src/rma/window.hpp), and the
+// tests that assert on raw board state.
+//
+// Per receiving rank the window holds two *epoch buffers* of
+// stages * P words each:
+//
+//   word(e, s, src) = (e % 2) * stages * P  +  s * P  +  src
+//
+// and the flag written for episode e is flag_value(e) = e + 1 (zero —
+// the freshly-allocated state — therefore never matches any episode).
+//
+// Double buffering is what makes back-to-back episodes need no reset
+// barrier between them. The value a stale word can hold when episode e
+// reuses a buffer is the one episode e-2 wrote there, and
+// flag_value(e-2) != flag_value(e), so a poll for episode e can never
+// be satisfied by leftover state. Why distance 2 suffices: a rank can
+// only start episode e+2 after every rank finished e+1 (the barrier
+// semantics of e+1), which in turn required every rank to have entered
+// e+1, which required every rank to have *finished* e — so by the time
+// any rank writes episode-(e+2) flags into the e-parity buffer, no
+// rank is still reading episode-e flags from it. Adjacent episodes
+// overlap (a fast rank may be in e+1 while a slow one drains e), which
+// is exactly why they use different parities.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace optibar::rma {
+
+/// Words each rank's window needs for a schedule of `stages` stages
+/// over `ranks` ranks: two epoch buffers of stages * ranks flag words.
+constexpr std::size_t words_per_rank(std::size_t stages, std::size_t ranks) {
+  return 2 * stages * ranks;
+}
+
+/// Window-relative index of the flag that `src` writes at the receiver
+/// in stage `stage` of episode `episode`.
+constexpr std::size_t word_index(std::size_t episode, std::size_t stage,
+                                 std::size_t src, std::size_t stages,
+                                 std::size_t ranks) {
+  return (episode % 2) * stages * ranks + stage * ranks + src;
+}
+
+/// The value a put of episode `episode` stores; distinct from the
+/// zero-initialised state and from the other parity's last tenant
+/// (episode - 2), which is what makes epoch reuse reset-free.
+constexpr std::uint64_t flag_value(std::size_t episode) {
+  return static_cast<std::uint64_t>(episode) + 1;
+}
+
+}  // namespace optibar::rma

@@ -1,0 +1,186 @@
+#include "rma/transport.hpp"
+
+#include "barrier/cost_model.hpp"
+#include "util/error.hpp"
+
+namespace optibar::rma {
+
+const char* transport_name(Transport transport) {
+  switch (transport) {
+    case Transport::kTwoSided:
+      return "two-sided";
+    case Transport::kOneSided:
+      return "one-sided";
+    case Transport::kHybrid:
+      return "hybrid";
+  }
+  OPTIBAR_FAIL("unknown transport policy");
+}
+
+Transport parse_transport(const std::string& name) {
+  if (name == "two-sided") {
+    return Transport::kTwoSided;
+  }
+  if (name == "one-sided") {
+    return Transport::kOneSided;
+  }
+  if (name == "hybrid") {
+    return Transport::kHybrid;
+  }
+  OPTIBAR_FAIL("unknown transport '" << name
+                                     << "' (two-sided, one-sided, hybrid)");
+}
+
+namespace {
+
+// Bounded greedy descent: one pass flips every signal edge once, in
+// deterministic (stage, src, dst) scan order, keeping strict
+// improvements. A second pass only runs if the first changed
+// something; the cap bounds worst-case work without affecting the
+// presets (they converge in <= 2 passes).
+constexpr int kMaxHybridPasses = 3;
+
+}  // namespace
+
+double assign_transports(Schedule& schedule, const TopologyProfile& profile,
+                         const std::vector<bool>& awaited_stages,
+                         Transport policy) {
+  const std::size_t p = schedule.ranks();
+  OPTIBAR_REQUIRE(profile.ranks() == p,
+                  "profile has " << profile.ranks() << " ranks, schedule has "
+                                 << p);
+  PredictOptions options;
+  options.awaited_stages = awaited_stages;
+  const auto cost = [&] { return predicted_time(schedule, profile, options); };
+  const auto clear_all = [&] {
+    for (std::size_t s = 0; s < schedule.stage_count(); ++s) {
+      schedule.set_transport(s, StageMatrix(p, p, 0));
+    }
+  };
+  const auto tag_all = [&] {
+    for (std::size_t s = 0; s < schedule.stage_count(); ++s) {
+      schedule.set_transport(s, schedule.stage(s));
+    }
+  };
+
+  if (policy == Transport::kTwoSided) {
+    clear_all();
+    return cost();
+  }
+  if (policy == Transport::kOneSided) {
+    tag_all();
+    return cost();
+  }
+
+  // Hybrid: start from the cheaper uniform assignment, then flip
+  // single edges while the predicted critical path strictly improves.
+  clear_all();
+  double best = cost();
+  tag_all();
+  const double all_one_sided = cost();
+  if (all_one_sided < best) {
+    best = all_one_sided;
+  } else {
+    clear_all();
+  }
+  for (int pass = 0; pass < kMaxHybridPasses; ++pass) {
+    bool improved = false;
+    for (std::size_t s = 0; s < schedule.stage_count(); ++s) {
+      const StageMatrix& stage = schedule.stage(s);
+      for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t j = 0; j < p; ++j) {
+          if (!stage(i, j)) {
+            continue;
+          }
+          const StageMatrix before = schedule.transport(s).empty()
+                                         ? StageMatrix(p, p, 0)
+                                         : schedule.transport(s);
+          StageMatrix flipped = before;
+          flipped(i, j) = flipped(i, j) ? 0 : 1;
+          schedule.set_transport(s, std::move(flipped));
+          const double flipped_cost = cost();
+          if (flipped_cost < best) {
+            best = flipped_cost;
+            improved = true;
+          } else {
+            schedule.set_transport(s, before);
+          }
+        }
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+  // Normalization sweep: untag every put that does not strictly pay for
+  // itself. Strict-improvement descent leaves harmless-but-useless tags
+  // behind (an edge off the critical path never changes the predicted
+  // cost, so no flip of it is ever "an improvement"); accepting
+  // equal-cost untags here means the returned schedule carries puts
+  // only where the model says they earn their keep. Each accepted flip
+  // removes a tag and never raises the cost, so the loop terminates.
+  for (bool changed = true; changed && schedule.has_one_sided();) {
+    changed = false;
+    for (std::size_t s = 0; s < schedule.stage_count(); ++s) {
+      for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t j = 0; j < p; ++j) {
+          if (schedule.transport(s).empty() || !schedule.one_sided(s, i, j)) {
+            continue;
+          }
+          const StageMatrix before = schedule.transport(s);
+          StageMatrix untagged = before;
+          untagged(i, j) = 0;
+          schedule.set_transport(s, std::move(untagged));
+          const double untagged_cost = cost();
+          if (untagged_cost <= best) {
+            best = untagged_cost;
+            changed = true;
+          } else {
+            schedule.set_transport(s, before);
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+TransportTune tune_transport(const TopologyProfile& profile,
+                             const EngineOptions& options, Transport policy) {
+  TuneResult tuned = tune_barrier(profile, options);
+  Schedule schedule = tuned.schedule();
+  const double cost = assign_transports(
+      schedule, tuned.profile(), tuned.barrier().awaited_stages, policy);
+  TransportTune out{std::move(tuned), std::move(schedule), cost, policy, 0};
+  out.one_sided_signals = out.schedule.one_sided_signal_count();
+  return out;
+}
+
+TransportTune tune_best_transport(const TopologyProfile& profile,
+                                  const EngineOptions& options) {
+  // One tune, three taggings: the signal pattern is transport-oblivious
+  // (see the header), so the candidates share it and differ only in
+  // tags. Strict improvement keeps the first (simplest) policy on ties.
+  TuneResult tuned = tune_barrier(profile, options);
+  Schedule best_schedule = tuned.schedule();
+  double best_cost =
+      assign_transports(best_schedule, tuned.profile(),
+                        tuned.barrier().awaited_stages, Transport::kTwoSided);
+  Transport best_policy = Transport::kTwoSided;
+  for (const Transport policy : {Transport::kOneSided, Transport::kHybrid}) {
+    Schedule schedule = tuned.schedule();
+    const double cost = assign_transports(
+        schedule, tuned.profile(), tuned.barrier().awaited_stages, policy);
+    if (cost < best_cost) {
+      best_schedule = std::move(schedule);
+      best_cost = cost;
+      best_policy = policy;
+    }
+  }
+  TransportTune out{std::move(tuned), std::move(best_schedule), best_cost,
+                    best_policy, 0};
+  out.one_sided_signals = out.schedule.one_sided_signal_count();
+  return out;
+}
+
+}  // namespace optibar::rma

@@ -28,6 +28,23 @@
 // duplicate / delay outcomes — only where the lock lives.
 // BoardMode::kGlobal collapses the board back to one shard, preserving
 // the seed's single-mutex behaviour for benchmarking and parity tests.
+//
+// One-sided RMA board: alongside the message channels, every rank owns
+// a flat array of 64-bit *flag words* other ranks write directly —
+// the simmpi analogue of an MPI_Win. A word at rank r lives in
+// shard_of(r), guarded by that shard's mutex like r's channels, so
+// window traffic and two-sided traffic share one lock discipline and
+// one condition variable per destination. rma_put is fire-and-forget
+// (the sender completes locally and never learns the outcome;
+// MPI_Put), while rma_fetch_add / rma_compare_and_swap are round-trip
+// atomics that sleep the caller for both link traversals. Puts carry
+// the same matched-vs-visible split as requests: the value is
+// *arrived* the moment the call stores it (wait predicates see it),
+// but *visible* only after the simulated delivery latency (rma_test
+// honours it; waits sleep it out before returning). Put drops come
+// from the fault plan's putdrop rules, hashed on a per-(src, dst,
+// stage) put sequence number — deterministic because a single rank
+// thread issues all puts of one channel in program order.
 #pragma once
 
 #include <cstddef>
@@ -92,6 +109,11 @@ class Communicator {
   /// Signals the fault plan has swallowed so far, summed over shards.
   std::size_t dropped_messages() const;
 
+  /// One-sided puts the fault plan has swallowed so far (counted
+  /// separately from dropped_messages — a dropped put has no send
+  /// request and stalls only the receiver).
+  std::size_t dropped_puts() const;
+
   /// Post a synchronized send of a zero-byte signal src -> dst.
   Request issend(std::size_t src, std::size_t dst, int tag);
 
@@ -148,6 +170,82 @@ class Communicator {
   /// barrier execution ends with zero).
   std::size_t unmatched_operations() const;
 
+  // ---- One-sided RMA board (see the header comment) ----
+
+  /// One awaited flag word in the waiting rank's own window: satisfied
+  /// once the word holds exactly `expected`.
+  struct FlagWait {
+    std::size_t word = 0;
+    std::uint64_t expected = 0;
+  };
+
+  /// Grow every rank's window by `words` zero-initialised flag words;
+  /// returns the base index of the new region (same index at every
+  /// rank, like a symmetric MPI_Win_allocate).
+  std::size_t rma_allocate(std::size_t words);
+
+  /// Memoized rma_allocate: the first call with `key` allocates
+  /// `words`, later calls return the same base (and require the same
+  /// size). Lets independently-constructed executors over one
+  /// communicator share a window region.
+  std::size_t rma_region(std::uintptr_t key, std::size_t words);
+
+  /// Words allocated so far per rank.
+  std::size_t rma_words() const;
+
+  /// Fire-and-forget remote store of `value` into `dst`'s window at
+  /// `word` (last put wins). Completes locally at once — the sender
+  /// never learns whether it was delivered or dropped by a putdrop
+  /// rule. `stage` feeds the fault plan's rule matching. The value
+  /// becomes visible at `dst` after the one-way delivery delay.
+  void rma_put(std::size_t src, std::size_t dst, std::size_t word,
+               std::uint64_t value, std::size_t stage = 0);
+
+  /// Remote atomic fetch-and-add on `dst`'s window word; returns the
+  /// previous value. Round-trip: the caller sleeps out both link
+  /// traversals before the old value is returned. Never dropped
+  /// (atomics are acknowledged; only fire-and-forget puts race the
+  /// fault plan).
+  std::uint64_t rma_fetch_add(std::size_t caller, std::size_t dst,
+                              std::size_t word, std::uint64_t delta);
+
+  /// Remote atomic compare-and-swap on `dst`'s window word: stores
+  /// `desired` iff the word holds `expected`; returns the previous
+  /// value either way. Round-trip like rma_fetch_add.
+  std::uint64_t rma_compare_and_swap(std::size_t caller, std::size_t dst,
+                                     std::size_t word, std::uint64_t expected,
+                                     std::uint64_t desired);
+
+  /// Last *arrived* value of `rank`'s window word, ignoring delivery
+  /// latency (diagnostics; rank-local polls should use rma_test).
+  std::uint64_t rma_read(std::size_t rank, std::size_t word) const;
+
+  /// Nonblocking visible-value probe: true once `rank`'s window word
+  /// holds `expected` *and* the write's delivery latency has elapsed
+  /// (the RequestState::test analogue for flags).
+  bool rma_test(std::size_t rank, std::size_t word,
+                std::uint64_t expected) const;
+
+  /// Bounded park on `waiter`'s shard condvar until every flag in
+  /// `waiter`'s own window has arrived, or `deadline` passes (false —
+  /// some flag never written, e.g. a dropped put). On true the
+  /// delivery latency of the latest flag has been slept out, mirroring
+  /// wait_all_on_until's matched-then-sleep contract.
+  bool rma_wait_until(std::size_t waiter, std::span<const FlagWait> flags,
+                      Clock::time_point deadline) const;
+
+  /// Combined bounded wait of one mixed-transport stage: park on
+  /// `waiter`'s shard condvar until every request has matched *and*
+  /// every flag has arrived, or `deadline` passes. On true, both the
+  /// requests' ready_at times and the flags' visibility times have
+  /// been slept out — a loop of slices is observably identical to one
+  /// unbounded wait, which keeps handle-based execution bit-compatible
+  /// with blocking execution on mixed stages.
+  bool wait_stage_on_until(std::size_t waiter,
+                           std::span<const Request> requests,
+                           std::span<const FlagWait> flags,
+                           Clock::time_point deadline) const;
+
  private:
   struct PendingOp {
     Request request;
@@ -166,6 +264,20 @@ class Communicator {
     std::uint64_t next_send_seq = 0;  ///< feeds the fault injector
   };
 
+  /// One window flag word. `value` is the last *arrived* write (wait
+  /// predicates read it under the shard mutex); `visible_at` is when
+  /// that write's simulated delivery latency elapses (rma_test and the
+  /// post-park sleep honour it) — the flag twin of RequestState's
+  /// complete / ready_at split.
+  struct RmaWord {
+    std::uint64_t value = 0;
+    Clock::time_point visible_at{};
+  };
+
+  /// Put-sequence key (src, dst, stage): feeds the fault injector's
+  /// counter-based hash, one counter per put channel.
+  using PutKey = std::tuple<std::size_t, std::size_t, std::size_t>;
+
   /// One destination mailbox: the channels whose messages terminate at
   /// this rank, their unmatched lists, and the condvar batched waiters
   /// park on. `dropped` is per-shard and aggregated on read.
@@ -173,7 +285,9 @@ class Communicator {
     mutable std::mutex mutex;
     mutable std::condition_variable cv;
     std::map<ChannelKey, Channel> channels;
-    std::size_t dropped = 0;  ///< guarded by mutex
+    std::size_t dropped = 0;       ///< guarded by mutex
+    std::size_t dropped_puts = 0;  ///< guarded by mutex
+    std::map<PutKey, std::uint64_t> put_seq;  ///< guarded by mutex
   };
 
   std::size_t shard_of(std::size_t dst) const {
@@ -199,12 +313,26 @@ class Communicator {
   // would deadlock).
   void notify_shard(std::size_t shard_index) const;
 
+  void check_rma_word(std::size_t rank, std::size_t word, const char* what)
+      const;
+
   std::size_t size_;
   LatencyModel latency_;
   ByteLatencyModel byte_latency_;
   BoardMode board_;
   std::unique_ptr<FaultInjector> injector_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // RMA board storage. rma_mutex_ guards the bump pointer and the
+  // region memo; each rank's word array is read/written only under its
+  // shard's mutex (rma_allocate takes rma_mutex_ first, then each
+  // shard mutex in turn — never the reverse order, so no cycle).
+  mutable std::mutex rma_mutex_;
+  std::size_t rma_capacity_ = 0;                   ///< guarded by rma_mutex_
+  std::map<std::uintptr_t, std::size_t> rma_regions_;  ///< key -> base
+  std::map<std::uintptr_t, std::size_t> rma_region_words_;  ///< key -> size
+  /// rma_words_[rank][word], guarded by shards_[shard_of(rank)]->mutex.
+  std::vector<std::vector<RmaWord>> rma_words_;
 };
 
 }  // namespace optibar::simmpi

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "rma/layout.hpp"
 #include "util/error.hpp"
 
 namespace optibar::simmpi {
@@ -18,8 +19,18 @@ ScheduleExecutor::ScheduleExecutor(const Schedule& schedule,
   ops_.assign(p, std::vector<StageOps>(stages_));
   for (std::size_t r = 0; r < p; ++r) {
     for (std::size_t s = 0; s < stages_; ++s) {
-      ops_[r][s].send_to = schedule.targets_of(r, s);
-      ops_[r][s].recv_from = schedule.sources_of(r, s);
+      // Partition each stage's edges by transport tag: untagged edges
+      // keep the issend/irecv path, tagged ones become put/flag pairs.
+      StageOps& ops = ops_[r][s];
+      for (std::size_t dst : schedule.targets_of(r, s)) {
+        (schedule.one_sided(s, r, dst) ? ops.put_to : ops.send_to)
+            .push_back(dst);
+      }
+      for (std::size_t src : schedule.sources_of(r, s)) {
+        (schedule.one_sided(s, src, r) ? ops.flag_from : ops.recv_from)
+            .push_back(src);
+      }
+      has_one_sided_ = has_one_sided_ || !ops.put_to.empty();
     }
   }
   if (options_.shared_pool != nullptr) {
@@ -64,10 +75,12 @@ void ScheduleExecutor::begin_stage(EpisodeHandle& handle,
   if (stage == stages_) {
     handle.done_ = true;
     handle.requests_.clear();
+    handle.flags_.clear();
     return;
   }
   handle.stage_ = stage;
-  const StageOps& ops = ops_[handle.ctx_->rank()][stage];
+  const std::size_t rank = handle.ctx_->rank();
+  const StageOps& ops = ops_[rank][stage];
   // Tag = (episode, stage) so repeated barrier calls cannot cross-match.
   const int tag =
       handle.episode_ * static_cast<int>(stages_) + static_cast<int>(stage);
@@ -75,13 +88,42 @@ void ScheduleExecutor::begin_stage(EpisodeHandle& handle,
   handle.requests_.reserve(ops.send_to.size() + ops.recv_from.size());
   // Sends before recvs — the op order execute() has always used; the
   // lifecycle must not reorder it or wait(post()) stops being
-  // bit-identical to the old blocking path.
+  // bit-identical to the old blocking path. One-sided puts go out
+  // between the two: like sends they are outbound, but they complete
+  // locally at issue and produce no request.
   for (std::size_t dst : ops.send_to) {
     handle.requests_.push_back(handle.ctx_->issend(dst, tag));
+  }
+  handle.flags_.clear();
+  if (!ops.put_to.empty() || !ops.flag_from.empty()) {
+    const std::size_t e = static_cast<std::size_t>(handle.episode_);
+    const std::size_t p = ops_.size();
+    for (std::size_t dst : ops.put_to) {
+      // The flag lands in dst's window at the slot keyed by *this*
+      // rank; the region base is symmetric across ranks.
+      handle.ctx_->rma_put(
+          dst, handle.rma_base_ + rma::word_index(e, stage, rank, stages_, p),
+          rma::flag_value(e), stage);
+    }
+    handle.flags_.reserve(ops.flag_from.size());
+    for (std::size_t src : ops.flag_from) {
+      handle.flags_.push_back(Communicator::FlagWait{
+          handle.rma_base_ + rma::word_index(e, stage, src, stages_, p),
+          rma::flag_value(e)});
+    }
   }
   for (std::size_t src : ops.recv_from) {
     handle.requests_.push_back(handle.ctx_->irecv(src, tag));
   }
+}
+
+std::size_t ScheduleExecutor::rma_base(RankContext& ctx, int episode) const {
+  OPTIBAR_REQUIRE(episode >= 0,
+                  "one-sided schedules need non-negative episode numbers "
+                  "(the epoch double-buffering is keyed on them)");
+  return ctx.communicator().rma_region(
+      reinterpret_cast<std::uintptr_t>(this),
+      rma::words_per_rank(stages_, ops_.size()));
 }
 
 ScheduleExecutor::EpisodeHandle ScheduleExecutor::post(RankContext& ctx,
@@ -90,6 +132,9 @@ ScheduleExecutor::EpisodeHandle ScheduleExecutor::post(RankContext& ctx,
   EpisodeHandle handle;
   handle.ctx_ = &ctx;
   handle.episode_ = episode;
+  if (has_one_sided_) {
+    handle.rma_base_ = rma_base(ctx, episode);
+  }
   begin_stage(handle, 0);
   return handle;
 }
@@ -102,6 +147,11 @@ bool ScheduleExecutor::test(EpisodeHandle& handle) const {
   for (;;) {
     for (const Request& request : handle.requests_) {
       if (!request->test()) {
+        return false;
+      }
+    }
+    for (const Communicator::FlagWait& flag : handle.flags_) {
+      if (!handle.ctx_->rma_test(flag.word, flag.expected)) {
         return false;
       }
     }
@@ -122,8 +172,9 @@ void ScheduleExecutor::wait(EpisodeHandle& handle) const {
     // until the stage's requests all matched or the slice expires, then
     // either advance a stage or park again. A loop of slices consumes
     // the same matches as one unbounded wait_all_on park.
-    if (handle.ctx_->wait_all_batched_until(
-            handle.requests_, Clock::now() + options_.progress_slice)) {
+    if (handle.ctx_->wait_stage_until(
+            handle.requests_, handle.flags_,
+            Clock::now() + options_.progress_slice)) {
       begin_stage(handle, handle.stage_ + 1);
     }
   }
@@ -142,6 +193,7 @@ void ScheduleExecutor::begin_stage_resilient(ResilientEpisodeHandle& handle,
     handle.done_ = true;
     handle.sends_.clear();
     handle.recvs_.clear();
+    handle.flags_.clear();
     return;
   }
   handle.stage_ = stage;
@@ -151,7 +203,8 @@ void ScheduleExecutor::begin_stage_resilient(ResilientEpisodeHandle& handle,
     handle.failed_ = true;
     return;
   }
-  const StageOps& ops = ops_[handle.ctx_->rank()][stage];
+  const std::size_t rank = handle.ctx_->rank();
+  const StageOps& ops = ops_[rank][stage];
   const int tag =
       handle.episode_ * static_cast<int>(stages_) + static_cast<int>(stage);
   handle.sends_.clear();
@@ -159,6 +212,24 @@ void ScheduleExecutor::begin_stage_resilient(ResilientEpisodeHandle& handle,
   for (std::size_t dst : ops.send_to) {
     handle.sends_.push_back(ResilientEpisodeHandle::SendOp{
         dst, {handle.ctx_->issend(dst, tag)}});
+  }
+  handle.flags_.clear();
+  if (!ops.put_to.empty() || !ops.flag_from.empty()) {
+    const std::size_t e = static_cast<std::size_t>(handle.episode_);
+    const std::size_t p = ops_.size();
+    // Puts complete at issue — nothing joins sends_, nothing retries:
+    // the fire-and-forget sender never learns of a putdrop, so only
+    // the receiver's flag wait below can stall.
+    for (std::size_t dst : ops.put_to) {
+      handle.ctx_->rma_put(
+          dst, handle.rma_base_ + rma::word_index(e, stage, rank, stages_, p),
+          rma::flag_value(e), stage);
+    }
+    handle.flags_.reserve(ops.flag_from.size());
+    for (std::size_t src : ops.flag_from) {
+      handle.flags_.push_back(ResilientEpisodeHandle::FlagOp{
+          src, handle.rma_base_ + rma::word_index(e, stage, src, stages_, p)});
+    }
   }
   handle.recvs_.clear();
   handle.recvs_.reserve(ops.recv_from.size());
@@ -183,6 +254,9 @@ ScheduleExecutor::ResilientEpisodeHandle ScheduleExecutor::post_resilient(
   handle.report_ = &report;
   handle.options_ = options;
   handle.episode_ = episode;
+  if (has_one_sided_) {
+    handle.rma_base_ = rma_base(ctx, episode);
+  }
   const FaultInjector* faults = ctx.communicator().fault_injector();
   handle.crash_at_ = faults != nullptr ? faults->crash_stage(ctx.rank())
                                        : FaultInjector::kNoCrash;
@@ -225,6 +299,35 @@ void ScheduleExecutor::progress_resilient(ResilientEpisodeHandle& handle,
       }
       all_done = all_done && recv.done;
     }
+    if (!handle.flags_.empty()) {
+      // One combined bounded park for the stage's outstanding flags,
+      // then per-flag visible probes so a partial arrival (e.g. one
+      // dropped put among several) marks what did land.
+      std::vector<Communicator::FlagWait> waits;
+      for (const ResilientEpisodeHandle::FlagOp& flag : handle.flags_) {
+        if (!flag.done) {
+          waits.push_back(Communicator::FlagWait{
+              flag.word,
+              rma::flag_value(static_cast<std::size_t>(handle.episode_))});
+        }
+      }
+      if (!waits.empty()) {
+        handle.ctx_->wait_stage_until({}, waits, deadline);
+        for (ResilientEpisodeHandle::FlagOp& flag : handle.flags_) {
+          if (!flag.done &&
+              handle.ctx_->rma_test(
+                  flag.word, rma::flag_value(
+                                 static_cast<std::size_t>(handle.episode_)))) {
+            flag.done = true;
+            mine.delivered.push_back(
+                SignalEdge{handle.stage_, flag.src, handle.ctx_->rank()});
+          }
+        }
+      }
+      for (const ResilientEpisodeHandle::FlagOp& flag : handle.flags_) {
+        all_done = all_done && flag.done;
+      }
+    }
     handle.consumed_ += Clock::now() - t0;
     if (all_done) {
       begin_stage_resilient(handle, handle.stage_ + 1);
@@ -243,6 +346,11 @@ void ScheduleExecutor::progress_resilient(ResilientEpisodeHandle& handle,
         for (const ResilientEpisodeHandle::RecvOp& recv : handle.recvs_) {
           if (!recv.done) {
             mine.pending_recv_from.push_back(recv.src);
+          }
+        }
+        for (const ResilientEpisodeHandle::FlagOp& flag : handle.flags_) {
+          if (!flag.done) {
+            mine.pending_put_from.push_back(flag.src);
           }
         }
         handle.failed_ = true;

@@ -31,6 +31,16 @@
 // identical (bit-identical op order, tags, and matching) to the
 // blocking execute(), which is now literally implemented as
 // wait(post()).
+//
+// Mixed transports: edges the schedule tags one-sided
+// (Schedule::transport) are executed as RMA puts into the receiver's
+// window on the communicator's flag board instead of issend/irecv
+// pairs — the sender's put completes locally at issue, and the
+// receiver awaits the flag word (src/rma/layout.hpp slot layout,
+// double-buffered so back-to-back episodes need no reset barrier)
+// alongside its two-sided requests in the same progress slices. An
+// untagged schedule takes exactly the old code paths and touches no
+// window state.
 #pragma once
 
 #include <chrono>
@@ -68,6 +78,10 @@ class ScheduleExecutor {
     int episode_ = 0;
     std::size_t stage_ = 0;            ///< stage whose ops are in flight
     std::vector<Request> requests_;    ///< current stage's requests
+    /// Awaited one-sided flags of the current stage (empty on pure
+    /// two-sided schedules).
+    std::vector<Communicator::FlagWait> flags_;
+    std::size_t rma_base_ = 0;  ///< this executor's window region base
     bool done_ = false;
   };
 
@@ -109,6 +123,14 @@ class ScheduleExecutor {
       Request request;
       bool done = false;
     };
+    /// An awaited one-sided flag. Unlike a SendOp there is nothing to
+    /// retry: the *sender* completed at issue and never learns of a
+    /// drop, so on exhaustion the receiver reports pending_put_from.
+    struct FlagOp {
+      std::size_t src;
+      std::size_t word;
+      bool done = false;
+    };
 
     RankContext* ctx_ = nullptr;
     StallReport* report_ = nullptr;  ///< caller-owned, must outlive handle
@@ -118,6 +140,8 @@ class ScheduleExecutor {
     std::size_t stage_ = 0;
     std::vector<SendOp> sends_;
     std::vector<RecvOp> recvs_;
+    std::vector<FlagOp> flags_;
+    std::size_t rma_base_ = 0;
     std::size_t attempt_ = 0;
     Clock::duration budget_{};    ///< current attempt's deadline budget
     Clock::duration consumed_{};  ///< progress time charged so far
@@ -215,8 +239,10 @@ class ScheduleExecutor {
 
  private:
   struct StageOps {
-    std::vector<std::size_t> send_to;
-    std::vector<std::size_t> recv_from;
+    std::vector<std::size_t> send_to;    ///< two-sided targets
+    std::vector<std::size_t> recv_from;  ///< two-sided sources
+    std::vector<std::size_t> put_to;     ///< one-sided targets (RMA put)
+    std::vector<std::size_t> flag_from;  ///< one-sided sources (flag poll)
   };
 
   // Spawn threads or dispatch a pool generation, per the construction
@@ -240,9 +266,19 @@ class ScheduleExecutor {
 
   void check_context(const RankContext& ctx) const;
 
+  // Lazily attach this executor's window region on ctx's communicator
+  // (memoized per communicator via rma_region keyed on `this`) and
+  // return its base. Only called when the schedule has one-sided
+  // edges; episodes on one communicator must then use distinct,
+  // non-negative episode numbers (the epoch double-buffering contract,
+  // src/rma/layout.hpp — same uniqueness the two-sided tag space
+  // already requires).
+  std::size_t rma_base(RankContext& ctx, int episode) const;
+
   std::size_t stages_ = 0;
   std::vector<std::vector<StageOps>> ops_;  ///< ops_[rank][stage]
   ExecutorOptions options_;
+  bool has_one_sided_ = false;  ///< any put_to nonempty anywhere
   std::unique_ptr<RankPool> pool_;  ///< owned kPersistentPool only
 };
 

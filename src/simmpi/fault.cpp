@@ -179,6 +179,10 @@ std::string FaultPlan::spec() const {
     os << ';';
     format_rule(os, "delay", rule, true);
   }
+  for (const ChannelFaultRule& rule : putdrops) {
+    os << ';';
+    format_rule(os, "putdrop", rule, false);
+  }
   for (const CrashFault& crash : crashes) {
     os << ";crash=" << crash.rank << '@' << crash.stage;
   }
@@ -204,6 +208,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.duplicates.push_back(parse_rule(value, false));
     } else if (key == "delay") {
       plan.delays.push_back(parse_rule(value, true));
+    } else if (key == "putdrop") {
+      plan.putdrops.push_back(parse_rule(value, false));
     } else if (key == "crash") {
       plan.crashes.push_back(parse_crash(value));
     } else {
@@ -242,6 +248,21 @@ FaultInjector::Decision FaultInjector::decide(std::size_t src,
     }
   }
   return decision;
+}
+
+bool FaultInjector::decide_put(std::size_t src, std::size_t dst,
+                               std::size_t stage, std::uint64_t seq) const {
+  // Puts carry no MPI tag; the rule's tag field addresses the stage.
+  // kind 4 keeps the draws disjoint from drop(1)/dup(2)/delay(3).
+  const int tag = static_cast<int>(stage);
+  for (std::size_t i = 0; i < plan_.putdrops.size(); ++i) {
+    const ChannelFaultRule& rule = plan_.putdrops[i];
+    if (rule.matches(src, dst, tag) &&
+        uniform01(plan_.seed, 4, i, src, dst, tag, seq) < rule.probability) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::size_t FaultInjector::crash_stage(std::size_t rank) const {

@@ -4,8 +4,10 @@
 // (src, dst, tag) channel a message can be *dropped* (never delivered —
 // the synchronized send never completes), *duplicated* (a ghost copy
 // occupies the receiver), or hit by a *delay spike* (delivered late),
-// and a rank can *crash* on entering a given stage (subsuming netsim's
-// crashed_ranks, which is crash-at-stage-0). Both runtimes — the
+// a one-sided put can be *dropped* (the remote flag word is never
+// written — the receiver stalls, while the fire-and-forget sender
+// proceeds unaware), and a rank can *crash* on entering a given stage
+// (subsuming netsim's crashed_ranks, which is crash-at-stage-0). Both runtimes — the
 // threaded simmpi executors and the discrete-event netsim engine —
 // consume the same plan, so a failure observed in one can be replayed
 // in the other.
@@ -64,21 +66,26 @@ struct FaultPlan {
   std::vector<ChannelFaultRule> drops;
   std::vector<ChannelFaultRule> duplicates;
   std::vector<ChannelFaultRule> delays;
+  /// One-sided put drops. `tag` addresses the *stage* of the put (puts
+  /// carry no MPI tag; the flag slot encodes the stage, so the rule
+  /// grammar reuses the tag position for it).
+  std::vector<ChannelFaultRule> putdrops;
   std::vector<CrashFault> crashes;
 
   bool empty() const {
     return drops.empty() && duplicates.empty() && delays.empty() &&
-           crashes.empty();
+           putdrops.empty() && crashes.empty();
   }
 
   bool operator==(const FaultPlan& other) const = default;
 
   /// One-line replayable form, e.g.
-  ///   "seed=7;drop=0>1@2:1;dup=*>*@*:0.5;delay=2>3@*:0.25:0.001;crash=4@2"
+  ///   "seed=7;drop=0>1@2:1;dup=*>*@*:0.5;delay=2>3@*:0.25:0.001;"
+  ///   "putdrop=0>3@1:0.5;crash=4@2"
   /// Fields are ';'-separated; drop/dup are SRC>DST@TAG:PROB, delay adds
-  /// :SECONDS, crash is RANK@STAGE; '*' is the wildcard. parse(spec())
-  /// reproduces the plan exactly (probabilities printed at full
-  /// precision).
+  /// :SECONDS, putdrop is SRC>DST@STAGE:PROB, crash is RANK@STAGE; '*'
+  /// is the wildcard. parse(spec()) reproduces the plan exactly
+  /// (probabilities printed at full precision).
   std::string spec() const;
 
   /// Parse the spec grammar above. Throws optibar::Error on malformed
@@ -103,6 +110,13 @@ class FaultInjector {
     double delay_seconds = 0.0;   ///< summed delay-spike time
   };
   Decision decide(std::size_t src, std::size_t dst, int tag,
+                  std::uint64_t seq) const;
+
+  /// Whether the `seq`-th one-sided put from `src` into `dst`'s window
+  /// at `stage` is dropped (the flag word is never written). Hashed on
+  /// its own kind salt, so putdrop rules never perturb two-sided
+  /// decisions and vice versa.
+  bool decide_put(std::size_t src, std::size_t dst, std::size_t stage,
                   std::uint64_t seq) const;
 
   /// Stage at which `rank` crashes (the minimum over its crash rules),

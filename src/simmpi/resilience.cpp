@@ -87,6 +87,10 @@ void StallReport::finalize() {
         pending_edges.push_back(SignalEdge{stall.stage_reached, src,
                                            stall.rank});
       }
+      for (std::size_t src : stall.pending_put_from) {
+        pending_edges.push_back(SignalEdge{stall.stage_reached, src,
+                                           stall.rank});
+      }
     }
   }
   std::sort(pending_edges.begin(), pending_edges.end());
@@ -136,6 +140,10 @@ std::string StallReport::describe() const {
       if (!stall.pending_recv_from.empty()) {
         os << ", no signal from rank ";
         list_ranks(os, stall.pending_recv_from);
+      }
+      if (!stall.pending_put_from.empty()) {
+        os << ", no one-sided flag from rank ";
+        list_ranks(os, stall.pending_put_from);
       }
       if (!stall.pending_send_to.empty()) {
         os << ", unacked send to rank ";

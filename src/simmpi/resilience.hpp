@@ -73,6 +73,11 @@ struct RankStall {
   bool crashed = false;           ///< halted by a crash fault
   std::vector<std::size_t> pending_send_to;    ///< unacked sends at stall
   std::vector<std::size_t> pending_recv_from;  ///< undelivered recvs at stall
+  /// Sources whose one-sided flag never arrived at stall. Puts are
+  /// fire-and-forget — the *sender* completed long ago and has nothing
+  /// to resend or report — so a dropped put surfaces only here, on the
+  /// receiver.
+  std::vector<std::size_t> pending_put_from;
   /// Recvs that completed (dst == rank). finalize() sorts this into
   /// canonical (stage, src, dst) order: delivery is a set, and the
   /// detection order under retries is not rerun-stable.

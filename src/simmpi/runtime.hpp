@@ -66,6 +66,27 @@ class RankContext {
     return comm_->wait_all_on_until(rank_, requests, deadline);
   }
 
+  /// One-sided flag store into `dst`'s window (fire-and-forget;
+  /// Communicator::rma_put). `stage` feeds fault-plan matching.
+  void rma_put(std::size_t dst, std::size_t word, std::uint64_t value,
+               std::size_t stage) {
+    comm_->rma_put(rank_, dst, word, value, stage);
+  }
+
+  /// Nonblocking probe of this rank's own window word.
+  bool rma_test(std::size_t word, std::uint64_t expected) const {
+    return comm_->rma_test(rank_, word, expected);
+  }
+
+  /// Combined bounded wait of a mixed-transport stage: this rank's
+  /// requests plus awaited flags in its own window
+  /// (Communicator::wait_stage_on_until).
+  bool wait_stage_until(std::span<const Request> requests,
+                        std::span<const Communicator::FlagWait> flags,
+                        Clock::time_point deadline) const {
+    return comm_->wait_stage_on_until(rank_, requests, flags, deadline);
+  }
+
   Communicator& communicator() { return *comm_; }
 
  private:

@@ -73,14 +73,24 @@ TopologyProfile generate_profile(const CustomMachine& machine,
                         << " cores");
   Matrix<double> o(ranks, ranks);
   Matrix<double> l(ranks, ranks);
+  Matrix<double> r(ranks, ranks);
+  bool any_put = false;
   for (std::size_t i = 0; i < ranks; ++i) {
     for (std::size_t j = 0; j < ranks; ++j) {
       const LinkCost cost = machine.link_cost(i, j);
       o(i, j) = cost.overhead;
       l(i, j) = cost.latency;
+      r(i, j) = i == j ? 0.0 : cost.put_latency;
+      any_put = any_put || cost.put_latency > 0.0;
     }
   }
-  return TopologyProfile(std::move(o), std::move(l));
+  TopologyProfile profile(std::move(o), std::move(l));
+  // Tiers without R data keep the profile R-free (the L fallback), like
+  // topology/generate.cpp.
+  if (any_put) {
+    profile.set_rma_latency(std::move(r));
+  }
+  return profile;
 }
 
 }  // namespace optibar

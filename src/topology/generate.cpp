@@ -48,6 +48,8 @@ TopologyProfile generate_profile(const MachineSpec& machine,
   Matrix<double> o(p, p);
   Matrix<double> l(p, p);
   Matrix<double> g(p, p);
+  Matrix<double> r(p, p);
+  bool any_put = false;
   for (std::size_t i = 0; i < p; ++i) {
     for (std::size_t j = 0; j < p; ++j) {
       const LinkCost cost =
@@ -59,9 +61,18 @@ TopologyProfile generate_profile(const MachineSpec& machine,
       o(i, j) = cost.overhead * jitter;
       l(i, j) = cost.latency * jitter;
       g(i, j) = i == j ? 0.0 : cost.per_byte * jitter;
+      r(i, j) = i == j ? 0.0 : cost.put_latency * jitter;
+      any_put = any_put || cost.put_latency > 0.0;
     }
   }
-  return TopologyProfile(std::move(o), std::move(l), std::move(g));
+  TopologyProfile profile(std::move(o), std::move(l), std::move(g));
+  // A machine whose tiers carry no R data (all zero put_latency) keeps
+  // the profile R-free: the cost model then prices puts at the
+  // conservative L fallback instead of at an impossible zero.
+  if (any_put) {
+    profile.set_rma_latency(std::move(r));
+  }
+  return profile;
 }
 
 TopologyProfile generate_profile(const MachineSpec& machine, std::size_t ranks,

@@ -25,16 +25,25 @@ enum class LinkLevel {
 /// Human-readable name ("self", "shared-cache", ...).
 const char* to_string(LinkLevel level);
 
-/// The (O, L, G) triple of one tier. O and L are in seconds; G is in
+/// The (O, L, G, R) tuple of one tier. O and L are in seconds; G is in
 /// seconds per byte. The paper's barrier model needs only O and L
 /// (signals carry no payload); G extends the same tier table to
 /// data-carrying collectives, where moving `b` bytes across a link adds
 /// b * G to the message's marginal cost. Zero G (the default) recovers
-/// the pure signalling model.
+/// the pure signalling model. R is the one-sided remote-write delivery
+/// latency of the tier: across nodes an RDMA-style put bypasses the
+/// receiver's protocol stack entirely and beats L + receiver
+/// processing, while within a node the flag write plus polling
+/// detection costs more than the shared-memory two-sided path — which
+/// is exactly the structure that makes hybrid transport assignment
+/// non-trivial. Zero R throughout a machine means "no one-sided data":
+/// the generated profile then carries no R matrix and the cost model
+/// falls back to pricing puts at L.
 struct LinkCost {
-  double overhead = 0.0;  ///< O: startup cost of the first message
-  double latency = 0.0;   ///< L: marginal cost per additional message
-  double per_byte = 0.0;  ///< G: marginal cost per payload byte
+  double overhead = 0.0;     ///< O: startup cost of the first message
+  double latency = 0.0;      ///< L: marginal cost per additional message
+  double per_byte = 0.0;     ///< G: marginal cost per payload byte
+  double put_latency = 0.0;  ///< R: one-sided remote-write delivery
 };
 
 /// Full tier table of a machine. Defaults are zero; use the calibrated

@@ -84,13 +84,19 @@ MachineSpec quad_cluster(std::size_t nodes) {
   tiers.self_overhead = 1.5e-6;
   // Per-byte terms: cache-resident copies stream at tens of GB/s, the
   // shared memory bus at ~8 GB/s, and GbE at its ~125 MB/s wire rate.
-  tiers.shared_cache = {2.0e-6, 1.2e-7, 5.0e-11};
-  tiers.same_chip = {2.5e-6, 1.5e-7, 8.0e-11};
-  tiers.cross_socket = {4.0e-6, 6.0e-7, 1.25e-10};
+  // R terms: within the node a one-sided flag write costs a cache-line
+  // transfer plus polling detection (~2us) — more than the two-sided
+  // shared-memory path — while across nodes the put lands in ~6us,
+  // bypassing the receiver's ~14us TCP completion processing entirely.
+  // That asymmetry is what makes hybrid transport assignment pick puts
+  // on inter-node edges only.
+  tiers.shared_cache = {2.0e-6, 1.2e-7, 5.0e-11, 1.8e-6};
+  tiers.same_chip = {2.5e-6, 1.5e-7, 8.0e-11, 2.0e-6};
+  tiers.cross_socket = {4.0e-6, 6.0e-7, 1.25e-10, 3.0e-6};
   // GbE through a kernel TCP stack: ~25us one-way startup and ~14us of
   // per-message processing, so fan-in/fan-out batches serialize — the
   // effect that makes the linear barrier degrade with P in Figure 5.
-  tiers.inter_node = {2.5e-5, 1.4e-5, 8.0e-9};
+  tiers.inter_node = {2.5e-5, 1.4e-5, 8.0e-9, 6.0e-6};
   return MachineSpec("quad-cluster (dual quad-core, GbE)", nodes,
                      /*sockets_per_node=*/2, /*cores_per_socket=*/4,
                      /*cores_per_cache=*/2, tiers);
@@ -101,11 +107,13 @@ MachineSpec hex_cluster(std::size_t nodes) {
   // one cache domain; slightly slower NIC path than the quad cluster.
   LatencyTiers tiers;
   tiers.self_overhead = 1.6e-6;
-  tiers.shared_cache = {2.2e-6, 1.4e-7, 6.0e-11};
+  tiers.shared_cache = {2.2e-6, 1.4e-7, 6.0e-11, 2.0e-6};
   // One L3 per socket: same as cache tier.
-  tiers.same_chip = {2.2e-6, 1.4e-7, 6.0e-11};
-  tiers.cross_socket = {4.5e-6, 5.5e-7, 1.4e-10};
-  tiers.inter_node = {2.8e-5, 1.5e-5, 8.0e-9};
+  tiers.same_chip = {2.2e-6, 1.4e-7, 6.0e-11, 2.0e-6};
+  tiers.cross_socket = {4.5e-6, 5.5e-7, 1.4e-10, 3.2e-6};
+  // R < L across nodes (the put bypasses the receiver's TCP stack),
+  // R > L inside them — see quad_cluster.
+  tiers.inter_node = {2.8e-5, 1.5e-5, 8.0e-9, 6.5e-6};
   return MachineSpec("hex-cluster (dual hex-core, GbE)", nodes,
                      /*sockets_per_node=*/2, /*cores_per_socket=*/6,
                      /*cores_per_cache=*/6, tiers);
@@ -117,11 +125,12 @@ MachineSpec skewed_cluster(std::size_t nodes) {
   // follows the profile rather than assumptions about which tier is slow.
   LatencyTiers tiers;
   tiers.self_overhead = 1.0e-6;
-  tiers.shared_cache = {1.5e-6, 1.0e-7, 5.0e-11};
-  tiers.same_chip = {2.0e-6, 2.0e-7, 8.0e-11};
-  // Slower than the network, in per-byte cost too.
-  tiers.cross_socket = {8.0e-5, 2.0e-5, 1.2e-8};
-  tiers.inter_node = {4.0e-5, 9.0e-6, 8.0e-9};
+  tiers.shared_cache = {1.5e-6, 1.0e-7, 5.0e-11, 1.6e-6};
+  tiers.same_chip = {2.0e-6, 2.0e-7, 8.0e-11, 1.8e-6};
+  // Slower than the network, in per-byte cost too; the one-sided path
+  // dodges part of the saturated fabric but stays expensive.
+  tiers.cross_socket = {8.0e-5, 2.0e-5, 1.2e-8, 1.0e-5};
+  tiers.inter_node = {4.0e-5, 9.0e-6, 8.0e-9, 7.0e-6};
   return MachineSpec("skewed-cluster (pathological cross-socket)", nodes,
                      /*sockets_per_node=*/2, /*cores_per_socket=*/4,
                      /*cores_per_cache=*/4, tiers);

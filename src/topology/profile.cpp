@@ -35,6 +35,15 @@ TopologyProfile::TopologyProfile(Matrix<double> overhead, Matrix<double> latency
                       << ")");
 }
 
+void TopologyProfile::set_rma_latency(Matrix<double> rma_latency) {
+  rma_latency_ = std::move(rma_latency);
+  OPTIBAR_REQUIRE(rma_latency_.square(), "R matrix must be square");
+  OPTIBAR_REQUIRE(rma_latency_.rows() == overhead_.rows(),
+                  "R must have the same rank count as O ("
+                      << rma_latency_.rows() << " vs " << overhead_.rows()
+                      << ")");
+}
+
 bool TopologyProfile::is_symmetric(double relative_tolerance) const {
   const double scale =
       overhead_.empty() ? 0.0 : std::max(overhead_.max_element(), 0.0);
@@ -54,6 +63,7 @@ TopologyProfile TopologyProfile::symmetrized() const {
   Matrix<double> o = overhead_;
   Matrix<double> l = latency_;
   Matrix<double> g = bandwidth_;
+  Matrix<double> r = rma_latency_;
   for (std::size_t i = 0; i < ranks(); ++i) {
     for (std::size_t j = i + 1; j < ranks(); ++j) {
       const double mo = 0.5 * (o(i, j) + o(j, i));
@@ -64,12 +74,19 @@ TopologyProfile TopologyProfile::symmetrized() const {
         const double mg = 0.5 * (g(i, j) + g(j, i));
         g(i, j) = g(j, i) = mg;
       }
+      if (!r.empty()) {
+        const double mr = 0.5 * (r(i, j) + r(j, i));
+        r(i, j) = r(j, i) = mr;
+      }
     }
   }
-  if (g.empty()) {
-    return TopologyProfile(std::move(o), std::move(l));
+  TopologyProfile result =
+      g.empty() ? TopologyProfile(std::move(o), std::move(l))
+                : TopologyProfile(std::move(o), std::move(l), std::move(g));
+  if (!r.empty()) {
+    result.set_rma_latency(std::move(r));
   }
-  return TopologyProfile(std::move(o), std::move(l), std::move(g));
+  return result;
 }
 
 double TopologyProfile::distance(std::size_t i, std::size_t j) const {
@@ -92,19 +109,27 @@ double TopologyProfile::diameter() const {
 TopologyProfile TopologyProfile::restrict_to(
     const std::vector<std::size_t>& subset) const {
   OPTIBAR_REQUIRE(!subset.empty(), "restrict_to empty rank set");
-  if (bandwidth_.empty()) {
-    return TopologyProfile(overhead_.submatrix(subset),
-                           latency_.submatrix(subset));
+  TopologyProfile result =
+      bandwidth_.empty()
+          ? TopologyProfile(overhead_.submatrix(subset),
+                            latency_.submatrix(subset))
+          : TopologyProfile(overhead_.submatrix(subset),
+                            latency_.submatrix(subset),
+                            bandwidth_.submatrix(subset));
+  if (!rma_latency_.empty()) {
+    result.set_rma_latency(rma_latency_.submatrix(subset));
   }
-  return TopologyProfile(overhead_.submatrix(subset),
-                         latency_.submatrix(subset),
-                         bandwidth_.submatrix(subset));
+  return result;
 }
 
 void TopologyProfile::save(std::ostream& os) const {
-  // v1 for a pure O/L profile, v2 when the bandwidth matrix is present,
-  // so files written by pre-collective builds and readers stay valid.
-  os << kMagic << " v" << (bandwidth_.empty() ? 1 : 2) << '\n';
+  // Lowest version that can carry the data: v1 for a pure O/L profile,
+  // v2 when the bandwidth matrix is present, v3 when the one-sided R
+  // matrix is present (G stays optional in v3), so files written by
+  // older builds and read by older readers stay valid wherever the
+  // data allows.
+  const int version = !rma_latency_.empty() ? 3 : (!bandwidth_.empty() ? 2 : 1);
+  os << kMagic << " v" << version << '\n';
   os << "P " << ranks() << '\n';
   os << std::setprecision(17) << std::scientific;
   auto dump = [&](const char* tag, const Matrix<double>& m) {
@@ -120,6 +145,9 @@ void TopologyProfile::save(std::ostream& os) const {
   if (!bandwidth_.empty()) {
     dump("G", bandwidth_);
   }
+  if (!rma_latency_.empty()) {
+    dump("R", rma_latency_);
+  }
   OPTIBAR_REQUIRE(os.good(), "I/O error while writing profile");
 }
 
@@ -134,7 +162,7 @@ TopologyProfile TopologyProfile::load(std::istream& is) {
   is >> magic >> version;
   OPTIBAR_IO_REQUIRE(!is.fail() && magic == kMagic,
                      "not an optibar profile (magic '" << magic << "')");
-  OPTIBAR_IO_REQUIRE(version == "v1" || version == "v2",
+  OPTIBAR_IO_REQUIRE(version == "v1" || version == "v2" || version == "v3",
                      "unsupported profile version " << version);
   std::string tag;
   std::size_t p = 0;
@@ -144,32 +172,55 @@ TopologyProfile TopologyProfile::load(std::istream& is) {
   OPTIBAR_IO_REQUIRE(p <= kMaxRanks, "profile rank count "
                                          << p << " exceeds the format cap ("
                                          << kMaxRanks << ")");
-  auto read_matrix = [&](const char* expected_tag) {
-    is >> tag;
-    OPTIBAR_IO_REQUIRE(!is.fail() && tag == expected_tag,
-                       "expected matrix tag " << expected_tag << ", got "
-                                              << tag);
+  auto read_body = [&](const std::string& name) {
     Matrix<double> m(p, p);
     for (std::size_t r = 0; r < p; ++r) {
       for (std::size_t c = 0; c < p; ++c) {
         is >> m(r, c);
         OPTIBAR_IO_REQUIRE(!is.fail(), "truncated or malformed "
-                                           << expected_tag << " matrix at ("
-                                           << r << ", " << c << ")");
+                                           << name << " matrix at (" << r
+                                           << ", " << c << ")");
         OPTIBAR_IO_REQUIRE(std::isfinite(m(r, c)),
-                           expected_tag << " matrix entry (" << r << ", " << c
-                                        << ") is not finite");
+                           name << " matrix entry (" << r << ", " << c
+                                << ") is not finite");
       }
     }
     return m;
+  };
+  auto read_matrix = [&](const char* expected_tag) {
+    is >> tag;
+    OPTIBAR_IO_REQUIRE(!is.fail() && tag == expected_tag,
+                       "expected matrix tag " << expected_tag << ", got "
+                                              << tag);
+    return read_body(expected_tag);
   };
   Matrix<double> o = read_matrix("O");
   Matrix<double> l = read_matrix("L");
   if (version == "v1") {
     return TopologyProfile(std::move(o), std::move(l));
   }
-  Matrix<double> g = read_matrix("G");
-  return TopologyProfile(std::move(o), std::move(l), std::move(g));
+  if (version == "v2") {
+    Matrix<double> g = read_matrix("G");
+    return TopologyProfile(std::move(o), std::move(l), std::move(g));
+  }
+  // v3: an optional G, then the mandatory R (a v3 without R would have
+  // been written as v1/v2 — see save()).
+  is >> tag;
+  OPTIBAR_IO_REQUIRE(!is.fail() && (tag == "G" || tag == "R"),
+                     "expected matrix tag G or R, got " << tag);
+  Matrix<double> g;
+  if (tag == "G") {
+    g = read_body("G");
+    is >> tag;
+    OPTIBAR_IO_REQUIRE(!is.fail() && tag == "R",
+                       "expected matrix tag R, got " << tag);
+  }
+  Matrix<double> r = read_body("R");
+  TopologyProfile profile =
+      g.empty() ? TopologyProfile(std::move(o), std::move(l))
+                : TopologyProfile(std::move(o), std::move(l), std::move(g));
+  profile.set_rma_latency(std::move(r));
+  return profile;
 }
 
 void TopologyProfile::save_file(const std::string& path) const {

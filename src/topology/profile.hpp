@@ -11,10 +11,18 @@
 // margin. A profile without G (the paper's pure signalling model, and
 // every v1 profile file) prices payload at zero: g() returns 0 and all
 // collective predictions degrade gracefully to the Eq. 1/2 terms.
+// The one-sided transport backend adds a fourth optional matrix
+//   R(i,j)         : remote-write delivery latency of a put from i to j
+// (the NIC-flag path of Yu et al., PAPERS.md): a one-sided signal
+// becomes visible at the receiver R(i,j) after injection and charges no
+// receiver CPU overhead. A profile without R falls back to L — r()
+// returns l(i,j) — so every pre-RMA profile prices one-sided edges
+// conservatively instead of failing.
 // Profiles are stored on disk to decouple the (expensive, machine-
 // occupying) profiling step from the (cheap, offline) tuning step —
 // Figure 1's central arrow. The text format is versioned (v1: O and L;
-// v2 adds G) and round-trippable to full double precision.
+// v2 adds G; v3 adds R, with G still optional) and round-trippable to
+// full double precision.
 #pragma once
 
 #include <cstddef>
@@ -46,12 +54,25 @@ class TopologyProfile {
   const Matrix<double>& bandwidth() const { return bandwidth_; }
   bool has_bandwidth() const { return !bandwidth_.empty(); }
 
+  /// One-sided delivery matrix; empty when the profile has no R data.
+  const Matrix<double>& rma_latency() const { return rma_latency_; }
+  bool has_rma_latency() const { return !rma_latency_.empty(); }
+
+  /// Attach a one-sided delivery matrix (same shape as O/L).
+  void set_rma_latency(Matrix<double> rma_latency);
+
   double o(std::size_t i, std::size_t j) const { return overhead_(i, j); }
   double l(std::size_t i, std::size_t j) const { return latency_(i, j); }
 
   /// Seconds per payload byte i -> j; 0 for a profile without G.
   double g(std::size_t i, std::size_t j) const {
     return bandwidth_.empty() ? 0.0 : bandwidth_(i, j);
+  }
+
+  /// One-sided delivery latency i -> j; a profile without R prices a
+  /// put like a two-sided message (the conservative L fallback).
+  double r(std::size_t i, std::size_t j) const {
+    return rma_latency_.empty() ? latency_(i, j) : rma_latency_(i, j);
   }
 
   /// Symmetric-link check (Section IV-A assumes O_ij == O_ji); tolerance
@@ -85,7 +106,8 @@ class TopologyProfile {
  private:
   Matrix<double> overhead_;
   Matrix<double> latency_;
-  Matrix<double> bandwidth_;  ///< empty when the profile has no G data
+  Matrix<double> bandwidth_;    ///< empty when the profile has no G data
+  Matrix<double> rma_latency_;  ///< empty when the profile has no R data
 };
 
 }  // namespace optibar

@@ -455,6 +455,48 @@ TEST_F(CapiTest, TuneCollectiveV2ClassifiesCallerErrors) {
   EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
 }
 
+TEST_F(CapiTest, TuneHybridV2ReportsTransportAndCost) {
+  double seconds = -1.0;
+  optibar_transport transport = static_cast<optibar_transport>(99);
+  size_t signals = 12345;
+  ASSERT_EQ(optibar_tune_hybrid_v2(library_, &seconds, &transport, &signals),
+            OPTIBAR_OK);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_OK);
+  EXPECT_STREQ(optibar_last_error(), "");
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_TRUE(transport == OPTIBAR_TRANSPORT_TWO_SIDED ||
+              transport == OPTIBAR_TRANSPORT_ONE_SIDED ||
+              transport == OPTIBAR_TRANSPORT_HYBRID);
+  // A two-sided winner carries no tagged signals; anything else must.
+  if (transport == OPTIBAR_TRANSPORT_TWO_SIDED) {
+    EXPECT_EQ(signals, 0u);
+  } else {
+    EXPECT_GT(signals, 0u);
+  }
+  // The picked transport never loses to the classic world plan.
+  const optibar_plan* plan = optibar_world_plan(library_, nullptr, 0);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_LE(seconds, optibar_plan_predicted_seconds(plan));
+  // Out parameters are optional.
+  EXPECT_EQ(optibar_tune_hybrid_v2(library_, nullptr, nullptr, nullptr),
+            OPTIBAR_OK);
+}
+
+TEST_F(CapiTest, TuneHybridV2ClassifiesCallerErrors) {
+  double seconds = -1.0;
+  optibar_transport transport = static_cast<optibar_transport>(99);
+  size_t signals = 12345;
+  EXPECT_EQ(optibar_tune_hybrid_v2(nullptr, &seconds, &transport, &signals),
+            OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(optibar_last_error()).find("NULL"),
+            std::string::npos);
+  // The failure left every out parameter unwritten.
+  EXPECT_DOUBLE_EQ(seconds, -1.0);
+  EXPECT_EQ(static_cast<int>(transport), 99);
+  EXPECT_EQ(signals, 12345u);
+}
+
 TEST_F(CapiTest, IbarrierEpisodeCompletesViaPollingThenWait) {
   optibar_episode* episode = optibar_ibarrier_post(library_);
   ASSERT_NE(episode, nullptr) << optibar_last_error();

@@ -31,6 +31,10 @@ TEST(FaultPlan, SpecRoundTripsEveryRuleKind) {
                              ChannelFaultRule::kAnyRank,
                              ChannelFaultRule::kAnyTag, 0.5, 0.0});
   plan.delays.push_back({2, 3, ChannelFaultRule::kAnyTag, 0.125, 1e-3});
+  plan.putdrops.push_back({0, 3, 1, 0.5, 0.0});
+  plan.putdrops.push_back({ChannelFaultRule::kAnyRank,
+                           ChannelFaultRule::kAnyRank,
+                           ChannelFaultRule::kAnyTag, 0.75, 0.0});
   plan.crashes.push_back({4, 2});
   const FaultPlan reparsed = FaultPlan::parse(plan.spec());
   EXPECT_EQ(reparsed, plan);
@@ -52,7 +56,7 @@ TEST(FaultPlan, SpecRoundTripsAwkwardProbabilities) {
 TEST(FaultPlan, ParsesDocumentedExample) {
   const FaultPlan plan =
       FaultPlan::parse("seed=7;drop=0>1@2:1;dup=*>*@*:0.5;"
-                       "delay=2>3@*:0.25:0.001;crash=4@2");
+                       "delay=2>3@*:0.25:0.001;putdrop=0>3@1:0.5;crash=4@2");
   EXPECT_EQ(plan.seed, 7u);
   ASSERT_EQ(plan.drops.size(), 1u);
   EXPECT_EQ(plan.drops[0].src, 0u);
@@ -64,6 +68,11 @@ TEST(FaultPlan, ParsesDocumentedExample) {
   EXPECT_EQ(plan.duplicates[0].tag, ChannelFaultRule::kAnyTag);
   ASSERT_EQ(plan.delays.size(), 1u);
   EXPECT_EQ(plan.delays[0].delay_seconds, 0.001);
+  ASSERT_EQ(plan.putdrops.size(), 1u);
+  EXPECT_EQ(plan.putdrops[0].src, 0u);
+  EXPECT_EQ(plan.putdrops[0].dst, 3u);
+  EXPECT_EQ(plan.putdrops[0].tag, 1);  // stage, in the tag position
+  EXPECT_EQ(plan.putdrops[0].probability, 0.5);
   ASSERT_EQ(plan.crashes.size(), 1u);
   EXPECT_EQ(plan.crashes[0].rank, 4u);
   EXPECT_EQ(plan.crashes[0].stage, 2u);
@@ -78,6 +87,39 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW(FaultPlan::parse("delay=0>1@2:0.5"), Error);   // no seconds
   EXPECT_THROW(FaultPlan::parse("crash=4"), Error);           // no stage
   EXPECT_THROW(FaultPlan::parse("drop=0-1@2:1"), Error);      // bad separator
+  EXPECT_THROW(FaultPlan::parse("putdrop=0>1@2"), Error);     // missing prob
+  EXPECT_THROW(FaultPlan::parse("putdrop=0>1@2:2.0"), Error); // prob > 1
+}
+
+TEST(FaultInjector, PutDecisionsAreDeterministicAndIndependent) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.putdrops.push_back({ChannelFaultRule::kAnyRank,
+                           ChannelFaultRule::kAnyRank,
+                           ChannelFaultRule::kAnyTag, 0.5, 0.0});
+  plan.drops.push_back({ChannelFaultRule::kAnyRank,
+                        ChannelFaultRule::kAnyRank,
+                        ChannelFaultRule::kAnyTag, 0.5, 0.0});
+  const FaultInjector injector(plan);
+  // Pure function of the arguments: same inputs, same answer.
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    EXPECT_EQ(injector.decide_put(0, 1, 2, seq),
+              injector.decide_put(0, 1, 2, seq));
+  }
+  // Hashed on its own kind salt: the put stream is not the drop stream.
+  bool diverged = false;
+  for (std::uint64_t seq = 0; seq < 64 && !diverged; ++seq) {
+    diverged = injector.decide_put(0, 1, 2, seq) !=
+               injector.decide(0, 1, 2, seq).drop;
+  }
+  EXPECT_TRUE(diverged);
+  // Certain and impossible rules behave as such.
+  FaultPlan certain;
+  certain.putdrops.push_back({0, 1, 1, 1.0, 0.0});
+  const FaultInjector always(certain);
+  EXPECT_TRUE(always.decide_put(0, 1, 1, 0));
+  EXPECT_FALSE(always.decide_put(0, 1, 0, 0));  // stage mismatch
+  EXPECT_FALSE(always.decide_put(1, 0, 1, 0));  // direction mismatch
 }
 
 TEST(FaultInjector, CertainRulesAlwaysFire) {

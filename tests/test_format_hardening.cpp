@@ -169,6 +169,60 @@ TEST(FormatHardening, CollectiveRejectsInvalidStagePayload) {
   EXPECT_THROW(load_collective(self_edge), IoError);
 }
 
+TEST(FormatHardening, PreRmaScheduleFixtureStillLoads) {
+  // Byte-for-byte what a pre-RMA build wrote for a 2-rank one-stage
+  // fan-in (acyclic, so the awaited flag passes the deadlock gate).
+  // The v2 transport bump must never orphan these files: they load
+  // with every edge defaulting to two-sided.
+  std::istringstream fixture(
+      "optibar-schedule v1\n"
+      "P 2\n"
+      "stages 1\n"
+      "awaited 1\n"
+      "S0\n"
+      "0 1\n"
+      "0 0\n");
+  const StoredSchedule loaded = load_schedule(fixture);
+  EXPECT_EQ(loaded.schedule.ranks(), 2u);
+  ASSERT_EQ(loaded.awaited_stages.size(), 1u);
+  EXPECT_TRUE(loaded.awaited_stages[0]);
+  EXPECT_FALSE(loaded.schedule.has_one_sided());
+  EXPECT_EQ(loaded.schedule.one_sided_signal_count(), 0u);
+}
+
+TEST(FormatHardening, PreRmaProfileFixturesStillLoad) {
+  // v1 (O/L) and v2 (O/L/G) profiles predate the R matrix; both load
+  // with r(i, j) falling back to the conservative two-sided L(i, j).
+  std::istringstream v1(
+      "optibar-profile v1\n"
+      "P 2\n"
+      "O\n"
+      "1e-06 2e-06\n"
+      "2e-06 1e-06\n"
+      "L\n"
+      "0 3e-07\n"
+      "3e-07 0\n");
+  const TopologyProfile p1 = TopologyProfile::load(v1);
+  EXPECT_FALSE(p1.has_rma_latency());
+  EXPECT_DOUBLE_EQ(p1.r(0, 1), 3e-7);
+
+  std::istringstream v2(
+      "optibar-profile v2\n"
+      "P 2\n"
+      "O\n"
+      "1e-06 2e-06\n"
+      "2e-06 1e-06\n"
+      "L\n"
+      "0 3e-07\n"
+      "3e-07 0\n"
+      "G\n"
+      "0 1e-10\n"
+      "1e-10 0\n");
+  const TopologyProfile p2 = TopologyProfile::load(v2);
+  EXPECT_FALSE(p2.has_rma_latency());
+  EXPECT_DOUBLE_EQ(p2.r(1, 0), p2.l(1, 0));
+}
+
 TEST(FormatHardening, ProfileRejectsOversizedAndNonFiniteValues) {
   std::istringstream huge_p("optibar-profile v1\nP 100000\nO\n");
   EXPECT_THROW(TopologyProfile::load(huge_p), IoError);

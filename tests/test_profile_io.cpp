@@ -93,6 +93,63 @@ TEST(Profile, RoundTripPreservesFullDoublePrecision) {
   EXPECT_EQ(p, q);
 }
 
+TEST(Profile, RmaLatencyRoundTripsAsV3) {
+  TopologyProfile p = small_profile();
+  Matrix<double> r{{0.0, 5e-7, 6e-7},
+                   {5e-7, 0.0, 7e-7},
+                   {6e-7, 7e-7, 0.0}};
+  p.set_rma_latency(std::move(r));
+  std::stringstream ss;
+  p.save(ss);
+  EXPECT_NE(ss.str().find("optibar-profile v3\n"), std::string::npos);
+  const TopologyProfile q = TopologyProfile::load(ss);
+  EXPECT_EQ(p, q);
+  ASSERT_TRUE(q.has_rma_latency());
+  EXPECT_DOUBLE_EQ(q.r(0, 1), 5e-7);
+}
+
+TEST(Profile, RmaFreeProfileStaysV1) {
+  // The empty-RMA bit-identity contract: no R data means the v1 bytes
+  // a pre-RMA build would have written.
+  std::stringstream ss;
+  small_profile().save(ss);
+  EXPECT_NE(ss.str().find("optibar-profile v1\n"), std::string::npos);
+  EXPECT_EQ(ss.str().find("R"), std::string::npos);
+}
+
+TEST(Profile, PreRmaFilesFallBackToLatencyForR) {
+  // v1 (and v2) files carry no R matrix; r(i, j) then prices one-sided
+  // delivery at the conservative two-sided L.
+  std::stringstream ss("optibar-profile v1\nP 2\nO\n1e-6 2e-6\n2e-6 1e-6\n"
+                       "L\n0 3e-7\n3e-7 0\n");
+  const TopologyProfile p = TopologyProfile::load(ss);
+  EXPECT_FALSE(p.has_rma_latency());
+  EXPECT_DOUBLE_EQ(p.r(0, 1), p.l(0, 1));
+  EXPECT_DOUBLE_EQ(p.r(0, 1), 3e-7);
+}
+
+TEST(Profile, V3RequiresTheRMatrix) {
+  // A v3 header without R is a truncated or hand-damaged file (save()
+  // would have emitted v1/v2).
+  std::stringstream ss("optibar-profile v3\nP 1\nO\n0\nL\n0\n");
+  EXPECT_THROW(TopologyProfile::load(ss), Error);
+}
+
+TEST(Profile, RestrictAndSymmetrizePreserveR) {
+  TopologyProfile p = small_profile();
+  Matrix<double> r{{0.0, 5e-7, 6e-7},
+                   {1e-7, 0.0, 7e-7},
+                   {6e-7, 7e-7, 0.0}};
+  p.set_rma_latency(std::move(r));
+  const TopologyProfile sub = p.restrict_to({0, 2});
+  ASSERT_TRUE(sub.has_rma_latency());
+  EXPECT_DOUBLE_EQ(sub.r(0, 1), 6e-7);
+  const TopologyProfile sym = p.symmetrized();
+  ASSERT_TRUE(sym.has_rma_latency());
+  EXPECT_DOUBLE_EQ(sym.r(0, 1), 3e-7);  // mean of 5e-7 and 1e-7
+  EXPECT_DOUBLE_EQ(sym.r(1, 0), 3e-7);
+}
+
 TEST(Profile, LoadRejectsWrongMagic) {
   std::stringstream ss("not-a-profile v1\nP 1\n");
   EXPECT_THROW(TopologyProfile::load(ss), Error);

@@ -1,0 +1,352 @@
+// Tests for the one-sided RMA subsystem: the Window surface over the
+// communicator's flag board, epoch double-buffering across many
+// episodes without reset barriers, mixed-transport schedule execution
+// on the threaded runtime, the nonblocking handle lifecycle over RMA
+// edges, putdrop fault surfacing, transport assignment policies, and
+// the hybrid-beats-classic acceptance sweep on the hex preset with
+// netsim agreeing on the ordering.
+#include "rma/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "barrier/algorithms.hpp"
+#include "barrier/cost_model.hpp"
+#include "barrier/schedule.hpp"
+#include "netsim/engine.hpp"
+#include "rma/layout.hpp"
+#include "rma/transport.hpp"
+#include "simmpi/executor.hpp"
+#include "simmpi/fault.hpp"
+#include "simmpi/runtime.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+using namespace std::chrono_literals;
+using simmpi::Communicator;
+using simmpi::RankContext;
+using simmpi::ResilienceOptions;
+using simmpi::ScheduleExecutor;
+using simmpi::StallReport;
+
+simmpi::LatencyModel zero_latency() {
+  return [](std::size_t, std::size_t) { return std::chrono::nanoseconds(0); };
+}
+
+/// Tag every signal of `schedule` one-sided.
+void tag_all(Schedule& schedule) {
+  for (std::size_t s = 0; s < schedule.stage_count(); ++s) {
+    schedule.set_transport(s, schedule.stage(s));
+  }
+}
+
+/// Tag exactly the edge (stage, src, dst) one-sided.
+void tag_edge(Schedule& schedule, std::size_t stage, std::size_t src,
+              std::size_t dst) {
+  StageMatrix transport(schedule.ranks(), schedule.ranks(), 0);
+  transport(src, dst) = 1;
+  schedule.set_transport(stage, std::move(transport));
+}
+
+ResilienceOptions fast_options() {
+  ResilienceOptions options;
+  options.max_retries = 0;
+  options.deadline_floor = 15ms;
+  return options;
+}
+
+TEST(RmaLayout, DoubleBufferedWordsAndFlags) {
+  EXPECT_EQ(rma::words_per_rank(3, 4), 24u);  // 2 epochs x 3 stages x 4 ranks
+  // Consecutive episodes use disjoint epoch buffers; distance-2
+  // episodes reuse the buffer but signal a different flag value, so a
+  // stale flag can never satisfy a later wait.
+  const std::size_t w0 = rma::word_index(0, 1, 2, 3, 4);
+  const std::size_t w1 = rma::word_index(1, 1, 2, 3, 4);
+  const std::size_t w2 = rma::word_index(2, 1, 2, 3, 4);
+  EXPECT_NE(w0, w1);
+  EXPECT_EQ(w0, w2);
+  EXPECT_NE(rma::flag_value(0), rma::flag_value(2));
+  EXPECT_EQ(rma::flag_value(5), 6u);
+}
+
+TEST(RmaWindow, PutBecomesVisibleAtTheTarget) {
+  Communicator comm(2, zero_latency());
+  rma::Window window(comm, 4);
+  EXPECT_EQ(window.slots(), 4u);
+  EXPECT_FALSE(window.test(1, 0, 2));
+  window.put(0, 1, 0, 2);
+  EXPECT_TRUE(window.test(1, 0, 2));
+  EXPECT_EQ(window.read(1, 0, 2), rma::Window::flag_value(0));
+  // The source's own copy is untouched: puts are remote stores.
+  EXPECT_FALSE(window.test(0, 0, 2));
+}
+
+TEST(RmaWindow, FetchAddAndCompareAndSwapRoundTrip) {
+  Communicator comm(2, zero_latency());
+  rma::Window window(comm, 2);
+  EXPECT_EQ(window.fetch_add(0, 1, 0, 0, 5), 0u);
+  EXPECT_EQ(window.fetch_add(0, 1, 0, 0, 3), 5u);
+  EXPECT_EQ(window.read(1, 0, 0), 8u);
+  // CAS stores only on a match and returns the previous value either way.
+  EXPECT_EQ(window.compare_and_swap(0, 1, 0, 0, 8, 100), 8u);
+  EXPECT_EQ(window.read(1, 0, 0), 100u);
+  EXPECT_EQ(window.compare_and_swap(0, 1, 0, 0, 8, 7), 100u);
+  EXPECT_EQ(window.read(1, 0, 0), 100u);
+}
+
+TEST(RmaWindow, WaitCollectsAllSlots) {
+  Communicator comm(3, zero_latency());
+  rma::Window window(comm, 3);
+  window.put(0, 2, 0, 0);
+  window.put(1, 2, 0, 1);
+  const std::array<std::size_t, 2> slots{0, 1};
+  EXPECT_TRUE(window.wait(2, 0, slots, simmpi::Clock::now() + 100ms));
+  // Slot 2 was never signalled: the bounded wait gives up.
+  const std::array<std::size_t, 1> missing{2};
+  EXPECT_FALSE(window.wait(2, 0, missing, simmpi::Clock::now() + 20ms));
+}
+
+TEST(RmaWindow, SharedKeyAttachesTheSameRegion) {
+  Communicator comm(2, zero_latency());
+  rma::Window a(comm, 0xbeef, 4);
+  rma::Window b(comm, 0xbeef, 4);
+  EXPECT_EQ(a.base(), b.base());
+  // A different key allocates fresh words.
+  rma::Window c(comm, 0xcafe, 4);
+  EXPECT_NE(a.base(), c.base());
+  // Same key with a different size is a caller bug.
+  EXPECT_THROW(rma::Window(comm, 0xbeef, 8), Error);
+}
+
+TEST(RmaWindow, EpochParityReusesBuffers) {
+  Communicator comm(2, zero_latency());
+  rma::Window window(comm, 1);
+  window.put(0, 1, 0, 0);  // episode 0 -> epoch buffer 0, flag 1
+  window.put(0, 1, 1, 0);  // episode 1 -> epoch buffer 1, flag 2
+  EXPECT_TRUE(window.test(1, 0, 0));
+  EXPECT_TRUE(window.test(1, 1, 0));
+  // Episode 2 reuses buffer 0 but expects flag 3: the stale flag from
+  // episode 0 does not satisfy it until the new put lands.
+  EXPECT_FALSE(window.test(1, 2, 0));
+  window.put(0, 1, 2, 0);
+  EXPECT_TRUE(window.test(1, 2, 0));
+}
+
+TEST(RmaExecutor, FullyOneSidedBarrierSynchronizes) {
+  Schedule schedule = dissemination_barrier(6);
+  tag_all(schedule);
+  const ScheduleExecutor executor(schedule);
+  const auto exits = executor.run_once();
+  EXPECT_EQ(exits.size(), 6u);
+  // The paper's delay-injection check: a late rank delays every exit.
+  const auto delayed = executor.run_once(
+      simmpi::uniform_latency(),
+      {30ms, 0ms, 0ms, 0ms, 0ms, 0ms});
+  for (const auto exit : delayed) {
+    EXPECT_GE(exit, 30ms);
+  }
+}
+
+TEST(RmaExecutor, MixedTransportEpisodeSynchronizes) {
+  Schedule schedule = dissemination_barrier(6);
+  // Stage 0 travels one-sided, later stages stay two-sided: both
+  // mechanisms must interlock within one episode.
+  schedule.set_transport(0, schedule.stage(0));
+  const ScheduleExecutor executor(schedule);
+  const auto delayed = executor.run_once(
+      simmpi::uniform_latency(),
+      {0ms, 0ms, 0ms, 30ms, 0ms, 0ms});
+  ASSERT_EQ(delayed.size(), 6u);
+  for (const auto exit : delayed) {
+    EXPECT_GE(exit, 30ms);
+  }
+}
+
+TEST(RmaExecutor, ThousandEpisodeEpochReuseOnPooledRanks) {
+  // 1000 back-to-back episodes on ONE communicator, pooled rank
+  // workers, no reset barrier between episodes: the double-buffered
+  // epochs must never let a stale flag complete a later episode (a
+  // stale-flag bug shows up as an early exit that deadlocks a peer or
+  // trips the executor's asserts).
+  const std::size_t p = 4;
+  Schedule schedule = dissemination_barrier(p);
+  tag_all(schedule);
+  const ScheduleExecutor executor(schedule);
+  Communicator comm(p, zero_latency());
+  simmpi::RankPool pool(p);
+  simmpi::run_ranks(pool, comm, [&](RankContext& ctx) {
+    for (int episode = 0; episode < 1000; ++episode) {
+      executor.execute(ctx, episode);
+    }
+  });
+  EXPECT_EQ(comm.unmatched_operations(), 0u);
+}
+
+TEST(RmaExecutor, HandleLifecycleOverRmaEdges) {
+  // post/test/wait across mixed transports: episode 0 polled to
+  // completion with test(), episode 1 parked out with wait().
+  Schedule schedule = dissemination_barrier(4);
+  schedule.set_transport(1, schedule.stage(1));
+  const ScheduleExecutor executor(schedule);
+  Communicator comm(4, zero_latency());
+  simmpi::run_ranks(comm, [&](RankContext& ctx) {
+    ScheduleExecutor::EpisodeHandle polled = executor.post(ctx, 0);
+    while (!executor.test(polled)) {
+      std::this_thread::yield();
+    }
+    EXPECT_TRUE(polled.done());
+    ScheduleExecutor::EpisodeHandle parked = executor.post(ctx, 1);
+    executor.wait(parked);
+    EXPECT_TRUE(parked.done());
+  });
+  EXPECT_EQ(comm.unmatched_operations(), 0u);
+}
+
+TEST(RmaExecutor, DroppedPutSurfacesOnTheReceiver) {
+  const std::size_t p = 6;
+  Schedule schedule = dissemination_barrier(p);
+  tag_edge(schedule, 0, 0, 1);
+  const ScheduleExecutor executor(schedule);
+  FaultPlan plan;
+  plan.putdrops.push_back({0, 1, 0, 1.0, 0.0});
+  const StallReport report =
+      executor.run_once_resilient(fast_options(), plan);
+  EXPECT_TRUE(report.stalled);
+  EXPECT_TRUE(report.names_edge(0, 0, 1));
+  const simmpi::RankStall& victim = report.per_rank[1];
+  EXPECT_FALSE(victim.finished);
+  EXPECT_EQ(victim.stage_reached, 0u);
+  ASSERT_EQ(victim.pending_put_from.size(), 1u);
+  EXPECT_EQ(victim.pending_put_from[0], 0u);
+  // The fire-and-forget sender has nothing pending: it completed at
+  // issue and never learns of the drop.
+  EXPECT_TRUE(report.per_rank[0].pending_send_to.empty());
+  // The human rendering points at the one-sided flag.
+  EXPECT_NE(report.describe().find("one-sided flag"), std::string::npos);
+}
+
+TEST(RmaExecutor, PutdropReportsAreBitReproducible) {
+  Schedule schedule = dissemination_barrier(6);
+  tag_all(schedule);
+  const ScheduleExecutor executor(schedule);
+  const FaultPlan plan = FaultPlan::parse("seed=11;putdrop=*>*@*:0.4");
+  const ResilienceOptions options = fast_options();
+  const StallReport first = executor.run_once_resilient(options, plan);
+  const StallReport second = executor.run_once_resilient(options, plan);
+  EXPECT_EQ(first, second);
+  EXPECT_TRUE(first.stalled);
+}
+
+TEST(RmaTransport, PolicyNamesRoundTrip) {
+  for (const rma::Transport t :
+       {rma::Transport::kTwoSided, rma::Transport::kOneSided,
+        rma::Transport::kHybrid}) {
+    EXPECT_EQ(rma::parse_transport(rma::transport_name(t)), t);
+  }
+  EXPECT_THROW(rma::parse_transport("carrier-pigeon"), Error);
+}
+
+TEST(RmaTransport, TwoSidedAssignmentIsBitIdenticalToClassic) {
+  const MachineSpec m = quad_cluster(2);
+  const TopologyProfile profile =
+      generate_profile(m, round_robin_mapping(m, 8), GenerateOptions{});
+  Schedule schedule = dissemination_barrier(8);
+  const std::vector<bool> awaited(schedule.stage_count(), true);
+  PredictOptions predict;
+  predict.awaited_stages = awaited;
+  const double classic = predicted_time(schedule, profile, predict);
+  const double assigned = rma::assign_transports(
+      schedule, profile, awaited, rma::Transport::kTwoSided);
+  EXPECT_EQ(assigned, classic);  // bit-identical, not approximately
+  EXPECT_FALSE(schedule.has_one_sided());
+}
+
+TEST(RmaTransport, HybridIsNeverWorseThanEitherUniform) {
+  const MachineSpec m = hex_cluster(2);
+  const TopologyProfile profile =
+      generate_profile(m, round_robin_mapping(m, 12), GenerateOptions{});
+  const Schedule base = dissemination_barrier(12);
+  const std::vector<bool> awaited(base.stage_count(), true);
+  Schedule two = base;
+  Schedule one = base;
+  Schedule hybrid = base;
+  const double two_cost =
+      rma::assign_transports(two, profile, awaited, rma::Transport::kTwoSided);
+  const double one_cost =
+      rma::assign_transports(one, profile, awaited, rma::Transport::kOneSided);
+  const double hybrid_cost = rma::assign_transports(
+      hybrid, profile, awaited, rma::Transport::kHybrid);
+  EXPECT_LE(hybrid_cost, two_cost);
+  EXPECT_LE(hybrid_cost, one_cost);
+}
+
+TEST(RmaTransport, ProfileWithoutRDataStaysTwoSided) {
+  // A flat profile without R data prices puts at the conservative L
+  // fallback and gains nothing from the startup swap (O is uniform),
+  // so the enumeration's simplest-policy tie-break must return the
+  // untagged schedule, bit-identical to plain tune_barrier().
+  Matrix<double> o(4, 4);
+  Matrix<double> l(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      o(i, j) = 1e-6;
+      l(i, j) = i == j ? 0.0 : 1e-6;
+    }
+  }
+  const TopologyProfile flat(std::move(o), std::move(l));
+  ASSERT_FALSE(flat.has_rma_latency());
+  const rma::TransportTune best = rma::tune_best_transport(flat, {});
+  EXPECT_EQ(best.transport, rma::Transport::kTwoSided);
+  EXPECT_EQ(best.one_sided_signals, 0u);
+  EXPECT_EQ(best.cost, best.tuned.predicted_cost());  // bit-identical
+  EXPECT_FALSE(best.schedule.has_one_sided());
+}
+
+TEST(RmaTransport, HybridBeatsClassicOnHexPreset) {
+  // The acceptance sweep: on the hex preset the tuner must find a
+  // genuinely mixed schedule whose predicted cost beats the best
+  // all-two-sided schedule, and netsim must agree on the ordering.
+  const MachineSpec m = hex_cluster(4);
+  const std::size_t p = m.total_cores();
+  const TopologyProfile profile =
+      generate_profile(m, round_robin_mapping(m, p), GenerateOptions{});
+  ASSERT_TRUE(profile.has_rma_latency());
+  const rma::TransportTune best = rma::tune_best_transport(profile, {});
+  EXPECT_LT(best.cost, best.tuned.predicted_cost());
+  // Mixed, not uniform: some signals stay two-sided (intra-node, where
+  // the loopback put round loses to shared-memory completion) and some
+  // go one-sided (inter-node RDMA).
+  EXPECT_GT(best.one_sided_signals, 0u);
+  std::size_t total_signals = 0;
+  for (std::size_t s = 0; s < best.schedule.stage_count(); ++s) {
+    total_signals += best.schedule.stage(s).count_nonzero();
+  }
+  EXPECT_LT(best.one_sided_signals, total_signals);
+
+  // Both netsim engines agree with the predictor's ordering and with
+  // each other, bit for bit.
+  const TopologyProfile& tuned_profile = best.tuned.profile();
+  const SimOptions options;
+  const SimResult classic =
+      simulate(best.tuned.schedule(), tuned_profile, options);
+  const SimResult hybrid = simulate(best.schedule, tuned_profile, options);
+  EXPECT_LT(hybrid.completion_time(), classic.completion_time());
+  const SimResult hybrid_ref =
+      simulate_reference(best.schedule, tuned_profile, options);
+  ASSERT_EQ(hybrid.completion.size(), hybrid_ref.completion.size());
+  for (std::size_t rank = 0; rank < hybrid.completion.size(); ++rank) {
+    EXPECT_EQ(hybrid.completion[rank], hybrid_ref.completion[rank]) << rank;
+  }
+}
+
+}  // namespace
+}  // namespace optibar

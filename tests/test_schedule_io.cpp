@@ -65,6 +65,54 @@ TEST(ScheduleIo, FileRoundTrip) {
   std::remove(path.string().c_str());
 }
 
+TEST(ScheduleIo, UntaggedSchedulesEmitV1Verbatim) {
+  // The empty-RMA bit-identity contract: a schedule with no one-sided
+  // edges must serialise exactly as a pre-RMA build would — v1 header,
+  // no T matrices — so old readers and golden files keep working.
+  StoredSchedule stored;
+  stored.schedule = dissemination_barrier(4);
+  std::stringstream ss;
+  save_schedule(ss, stored);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("optibar-schedule v1\n"), std::string::npos);
+  EXPECT_EQ(text.find("T0"), std::string::npos);
+}
+
+TEST(ScheduleIo, RoundTripsTransportTags) {
+  StoredSchedule original;
+  original.schedule = dissemination_barrier(6);
+  // Mixed: stage 0 fully one-sided, stage 1 one edge, stage 2 none.
+  original.schedule.set_transport(0, original.schedule.stage(0));
+  StageMatrix partial(6, 6, 0);
+  bool tagged = false;
+  for (std::size_t i = 0; i < 6 && !tagged; ++i) {
+    for (std::size_t j = 0; j < 6 && !tagged; ++j) {
+      if (original.schedule.stage(1)(i, j)) {
+        partial(i, j) = 1;  // exactly one edge
+        tagged = true;
+      }
+    }
+  }
+  original.schedule.set_transport(1, std::move(partial));
+  std::stringstream ss;
+  save_schedule(ss, original);
+  EXPECT_NE(ss.str().find("optibar-schedule v2\n"), std::string::npos);
+  const StoredSchedule loaded = load_schedule(ss);
+  EXPECT_EQ(loaded.schedule, original.schedule);
+  EXPECT_TRUE(loaded.schedule.has_one_sided());
+  EXPECT_EQ(loaded.schedule.one_sided_signal_count(),
+            original.schedule.one_sided_signal_count());
+}
+
+TEST(ScheduleIo, RejectsTransportEdgeWithoutSignal) {
+  // A v2 transport cell without a matching stage signal is a
+  // corrupted file, not a silently-ignored tag.
+  std::stringstream ss(
+      "optibar-schedule v2\nP 2\nstages 1\nawaited 0\n"
+      "S0\n0 1\n0 0\nT0\n0 0\n1 0\n");
+  EXPECT_THROW(load_schedule(ss), Error);
+}
+
 TEST(ScheduleIo, RejectsMalformedInput) {
   {
     std::stringstream ss("wrong-magic v1\n");
