@@ -1,0 +1,97 @@
+// Google-benchmark: plan-service throughput under the mixed soak.
+//
+// BM_ServiceMixedSoak drives the shared soak workload
+// (core/service_soak.hpp) against one self-healing BarrierLibrary:
+// concurrent clients issuing a plan-lookup-heavy mix of requests,
+// measured-latency reports, success reports, and injected stalls, with
+// the background repair worker live. One benchmark iteration is one
+// full soak; the committed configuration totals 1M operations split
+// across 4 clients. Counters:
+//
+//   ops_per_second — mixed operations retired per second, the gated
+//                    regression metric (BENCH_service.json via
+//                    scripts/bench_json.sh, scripts/bench_compare.py
+//                    --counter ops_per_second);
+//   p50_ns, p99_ns — per-operation wall-time percentiles, committed for
+//                    trajectory but not gated (tail noise on shared CI
+//                    hardware would flap the gate).
+//
+// BM_PlanLookup isolates the hot path: a warm-cache subset_plan() is a
+// lock-free acquire load, so this is the ceiling the mixed soak is
+// measured against.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/library.hpp"
+#include "core/service_soak.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+
+namespace {
+
+using namespace optibar;
+
+TopologyProfile service_profile() {
+  const MachineSpec machine = quad_cluster();
+  return generate_profile(machine, round_robin_mapping(machine, 32));
+}
+
+void BM_ServiceMixedSoak(benchmark::State& state) {
+  const std::size_t ops = static_cast<std::size_t>(state.range(0));
+  const std::size_t clients = static_cast<std::size_t>(state.range(1));
+  std::size_t total = 0;
+  double seconds = 0.0;
+  SoakResult last;
+  for (auto _ : state) {
+    // A fresh library per iteration: the soak's tunes/quarantines are
+    // part of the workload, so state must not leak across iterations.
+    state.PauseTiming();
+    EngineOptions options;
+    options.threads = 2;
+    options.service.auto_repair = true;
+    BarrierLibrary library(service_profile(), options);
+    SoakOptions soak;
+    soak.operations = ops;
+    soak.clients = clients;
+    soak.subsets = 8;
+    soak.seed = 1;
+    state.ResumeTiming();
+    last = run_service_soak(library, soak);
+    total += last.operations;
+    seconds += last.elapsed_seconds;
+  }
+  state.counters["ops_per_second"] = benchmark::Counter(
+      seconds > 0.0 ? static_cast<double>(total) / seconds : 0.0);
+  state.counters["p50_ns"] =
+      benchmark::Counter(static_cast<double>(last.p50_ns));
+  state.counters["p99_ns"] =
+      benchmark::Counter(static_cast<double>(last.p99_ns));
+  state.counters["quarantines"] =
+      benchmark::Counter(static_cast<double>(last.stats.quarantines));
+  state.counters["repairs_promoted"] =
+      benchmark::Counter(static_cast<double>(last.stats.repairs_promoted));
+}
+BENCHMARK(BM_ServiceMixedSoak)
+    ->Args({1000000, 4})  // 1M ops total per iteration
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+void BM_PlanLookup(benchmark::State& state) {
+  BarrierLibrary library(service_profile());
+  std::vector<std::size_t> subset{0, 3, 9, 17, 21, 30};
+  library.subset_plan(subset);  // warm the cache
+  std::size_t lookups = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(library.subset_plan(subset));
+    ++lookups;
+  }
+  state.counters["ops_per_second"] = benchmark::Counter(
+      static_cast<double>(lookups), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PlanLookup);
+
+}  // namespace

@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Build the memory suite under AddressSanitizer and run the
 # `asan`-labelled tests (fault model, resilient executors, validator,
-# format hardening, library quarantine).
+# format hardening, library quarantine, plan service).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-asan -S . -DOPTIBAR_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$(nproc)" --target \
   test_fault_plan test_resilience test_rma test_validate \
-  test_format_hardening test_library test_failure_injection \
+  test_format_hardening test_library test_plan_service test_failure_injection \
   test_runtime_scaling test_nonblocking test_netsim_parity
 ctest --test-dir build-asan -L asan --output-on-failure

@@ -22,6 +22,10 @@
 #                           the sharded board, plus episode throughput
 #                           with two-sided / one-sided / hybrid
 #                           transport on pooled ranks)
+#   BENCH_service.json    — bench_service (plan-service mixed soak: 1M
+#                           ops across 4 clients with the background
+#                           repair worker live; ops_per_second gated,
+#                           p50/p99 committed for trajectory)
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 # BENCH_FILTER limits both runs, e.g.
@@ -33,7 +37,8 @@ BUILD_DIR="${1:-build}"
 FILTER="${BENCH_FILTER:-}"
 
 for bench in bench_predict_throughput bench_tuning_speed bench_collective \
-             bench_thread_runtime bench_overlap bench_netsim bench_rma; do
+             bench_thread_runtime bench_overlap bench_netsim bench_rma \
+             bench_service; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -56,3 +61,4 @@ run bench_thread_runtime BENCH_runtime.json
 run bench_overlap BENCH_overlap.json
 run bench_netsim BENCH_netsim.json
 run bench_rma BENCH_rma.json
+run bench_service BENCH_service.json

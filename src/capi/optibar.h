@@ -158,6 +158,70 @@ int optibar_report_stall(optibar_library* library, const size_t* ranks,
  * 0 otherwise; 0 with status INVALID_ARGUMENT on NULL. */
 int optibar_plan_is_degraded(const optibar_plan* plan);
 
+/*
+ * PLAN SERVICE. The library is a long-running, self-healing plan
+ * service: every served plan carries a lifecycle state
+ * (healthy -> suspect -> quarantined -> retuning -> probation ->
+ * healthy; degraded is terminal), driven by the feedback calls below.
+ * With auto-repair enabled (optibar_open_service) a quarantined plan is
+ * re-tuned by a background worker against failure-inflated cost
+ * estimates while the fallback keeps serving; the repaired plan is
+ * promoted only after it beats the fallback in simulation, then must
+ * survive a probation period of successful executions.
+ */
+typedef enum {
+  OPTIBAR_PLAN_HEALTHY = 0,     /* serving the tuned plan */
+  OPTIBAR_PLAN_SUSPECT = 1,     /* failures below the threshold */
+  OPTIBAR_PLAN_QUARANTINED = 2, /* serving the fallback; repair queued */
+  OPTIBAR_PLAN_RETUNING = 3,    /* serving the fallback; repair running */
+  OPTIBAR_PLAN_PROBATION = 4,   /* serving the repaired plan, on trial */
+  OPTIBAR_PLAN_DEGRADED = 5     /* fallback forever; repairs exhausted */
+} optibar_plan_state_t;
+
+/* Open a library with the self-healing service enabled: auto_repair
+ * != 0 starts the background repair loop (quarantined plans are
+ * re-tuned and promoted back). Otherwise identical to optibar_open_v2.
+ * NULL on failure (status: IO or INVALID_ARGUMENT). */
+optibar_library* optibar_open_service(const char* profile_path,
+                                      size_t threads, int auto_repair);
+
+/* Lifecycle state of the subset's plan, written to *out_state. Returns
+ * OPTIBAR_OK, or an error status (INVALID_ARGUMENT: bad subset, NULL
+ * out_state, or no plan was ever served for the subset). */
+optibar_status optibar_plan_state(optibar_library* library,
+                                  const size_t* ranks, size_t count,
+                                  optibar_plan_state_t* out_state);
+
+/* Feed one measured point-to-point latency (seconds) for the local
+ * subset ranks (src, dst) into the subset's drift monitor. Non-finite
+ * or negative measurements, src == dst, and out-of-range indices are
+ * rejected with INVALID_ARGUMENT. With auto-repair, drift beyond the
+ * re-tune threshold triggers a background re-tune of the plan. */
+optibar_status optibar_report_latency(optibar_library* library,
+                                      const size_t* ranks, size_t count,
+                                      size_t src, size_t dst, double seconds);
+
+/* Positive feedback: the subset's served plan executed to completion.
+ * Advances probation back toward healthy and clears suspect counts. */
+optibar_status optibar_report_success(optibar_library* library,
+                                      const size_t* ranks, size_t count);
+
+/* Block until the background repair queue is drained and no repair is
+ * running. Immediate when auto-repair is off. */
+optibar_status optibar_service_wait(optibar_library* library);
+
+/* Persist every cached plan plus its health record to `path` (plan
+ * store v1, docs/FORMATS.md). The write is atomic: a temporary sibling
+ * is renamed into place. */
+optibar_status optibar_store_save(optibar_library* library, const char* path);
+
+/* Warm restart: load a plan store into a freshly opened library (no
+ * plans requested yet). Health states are restored; with auto-repair,
+ * loaded quarantines re-enqueue their repair. Malformed, truncated, or
+ * mismatched stores fail with OPTIBAR_ERR_IO and leave the library
+ * usable. */
+optibar_status optibar_store_load(optibar_library* library, const char* path);
+
 /* Collective operation kinds for optibar_tune_collective_v2. */
 typedef enum {
   OPTIBAR_COLLECTIVE_BCAST = 0,

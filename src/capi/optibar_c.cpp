@@ -115,10 +115,11 @@ struct optibar_plan_s {
   }
 };
 
-/// The C handle: the C++ library plus plan storage keyed by entry.
-/// LibraryEntry pointers are stable for the library's lifetime, so an
-/// entry maps to exactly one flattened plan; the map is read-locked on
-/// hits so concurrent barrier setup scales.
+/// The C handle: the C++ library plus plan storage keyed by the
+/// entry's generation — a library-wide unique publication id, so a
+/// repair promoting a new entry (or an eviction recycling an address)
+/// can never alias a previously flattened plan. The map is read-locked
+/// on hits so concurrent barrier setup scales.
 struct optibar_library_s {
   explicit optibar_library_s(TopologyProfile profile, EngineOptions options)
       : library(std::move(profile), std::move(options)) {}
@@ -126,15 +127,17 @@ struct optibar_library_s {
   const optibar_plan* plan_for(const LibraryEntry& entry) {
     {
       std::shared_lock<std::shared_mutex> read(mutex);
-      auto it = plans.find(&entry);
+      auto it = plans.find(entry.generation);
       if (it != plans.end()) {
         return it->second.get();
       }
     }
     std::unique_lock<std::shared_mutex> write(mutex);
-    auto it = plans.find(&entry);
+    auto it = plans.find(entry.generation);
     if (it == plans.end()) {
-      it = plans.emplace(&entry, std::make_unique<optibar_plan_s>(entry))
+      it = plans
+               .emplace(entry.generation,
+                        std::make_unique<optibar_plan_s>(entry))
                .first;
     }
     return it->second.get();
@@ -142,7 +145,7 @@ struct optibar_library_s {
 
   BarrierLibrary library;
   std::shared_mutex mutex;
-  std::map<const LibraryEntry*, std::unique_ptr<optibar_plan_s>> plans;
+  std::map<std::uint64_t, std::unique_ptr<optibar_plan_s>> plans;
 };
 
 /// One in-flight nonblocking episode: a worker thread driving a full
@@ -476,6 +479,138 @@ int optibar_plan_is_degraded(const optibar_plan* plan) {
   }
   set_ok();
   return plan->degraded ? 1 : 0;
+}
+
+/* ---- plan service ---- */
+
+optibar_library* optibar_open_service(const char* profile_path,
+                                      size_t threads, int auto_repair) {
+  if (profile_path == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "profile_path is NULL");
+    return nullptr;
+  }
+  TopologyProfile profile;
+  try {
+    profile = TopologyProfile::load_file(profile_path);
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_IO);
+    return nullptr;
+  }
+  try {
+    EngineOptions options;
+    options.threads = threads;
+    options.service.auto_repair = auto_repair != 0;
+    auto* handle =
+        new optibar_library_s(std::move(profile), std::move(options));
+    set_ok();
+    return handle;
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_INVALID_ARGUMENT);
+    return nullptr;
+  }
+}
+
+optibar_status optibar_plan_state(optibar_library* library,
+                                  const size_t* ranks, size_t count,
+                                  optibar_plan_state_t* out_state) {
+  if (!check_subset(library, ranks, count)) {
+    return tl_status;
+  }
+  if (out_state == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "out_state is NULL");
+    return tl_status;
+  }
+  try {
+    const std::vector<std::size_t> subset(ranks, ranks + count);
+    const optibar::PlanState state = library->library.plan_state(subset);
+    *out_state = static_cast<optibar_plan_state_t>(state);
+    set_ok();
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_INVALID_ARGUMENT);
+  }
+  return tl_status;
+}
+
+optibar_status optibar_report_latency(optibar_library* library,
+                                      const size_t* ranks, size_t count,
+                                      size_t src, size_t dst,
+                                      double seconds) {
+  if (!check_subset(library, ranks, count)) {
+    return tl_status;
+  }
+  try {
+    const std::vector<std::size_t> subset(ranks, ranks + count);
+    library->library.report_measured_latency(subset, src, dst, seconds);
+    set_ok();
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_INVALID_ARGUMENT);
+  }
+  return tl_status;
+}
+
+optibar_status optibar_report_success(optibar_library* library,
+                                      const size_t* ranks, size_t count) {
+  if (!check_subset(library, ranks, count)) {
+    return tl_status;
+  }
+  try {
+    const std::vector<std::size_t> subset(ranks, ranks + count);
+    library->library.report_execution_success(subset);
+    set_ok();
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_INVALID_ARGUMENT);
+  }
+  return tl_status;
+}
+
+optibar_status optibar_service_wait(optibar_library* library) {
+  if (library == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT, "library is NULL");
+    return tl_status;
+  }
+  try {
+    library->library.wait_for_repairs();
+    set_ok();
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_INTERNAL);
+  }
+  return tl_status;
+}
+
+optibar_status optibar_store_save(optibar_library* library,
+                                  const char* path) {
+  if (library == nullptr || path == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT,
+              library == nullptr ? "library is NULL" : "path is NULL");
+    return tl_status;
+  }
+  try {
+    library->library.save_store(path);
+    set_ok();
+  } catch (const optibar::IoError&) {
+    set_caught(OPTIBAR_ERR_IO);
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_INTERNAL);
+  }
+  return tl_status;
+}
+
+optibar_status optibar_store_load(optibar_library* library,
+                                  const char* path) {
+  if (library == nullptr || path == nullptr) {
+    set_error(OPTIBAR_ERR_INVALID_ARGUMENT,
+              library == nullptr ? "library is NULL" : "path is NULL");
+    return tl_status;
+  }
+  try {
+    library->library.load_store(path);
+    set_ok();
+  } catch (const optibar::IoError&) {
+    set_caught(OPTIBAR_ERR_IO);
+  } catch (...) {
+    set_caught(OPTIBAR_ERR_INVALID_ARGUMENT);
+  }
+  return tl_status;
 }
 
 optibar_status optibar_tune_collective_v2(optibar_library* library,

@@ -1,6 +1,7 @@
 #include "cli/cli.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -15,6 +16,8 @@
 #include "collective/io.hpp"
 #include "collective/simulate.hpp"
 #include "collective/tuner.hpp"
+#include "core/library.hpp"
+#include "core/service_soak.hpp"
 #include "core/tuner.hpp"
 #include "netsim/engine.hpp"
 #include "netsim/trace_export.hpp"
@@ -706,6 +709,60 @@ int cmd_validate(const Args& args, std::ostream& out) {
   return valid ? 0 : 2;
 }
 
+int cmd_library(const Args& args, std::ostream& out) {
+  args.check_allowed({"profile", "threads", "auto-repair", "store", "soak",
+                      "ops", "clients", "subsets", "seed"});
+  EngineOptions options;
+  options.threads = args.size_or("threads", 1);
+  options.service.auto_repair = args.has("auto-repair");
+  BarrierLibrary library = BarrierLibrary::from_profile_file(
+      args.require("profile"), options);
+  out << "plan service over " << library.ranks() << " ranks (auto-repair "
+      << (options.service.auto_repair ? "on" : "off") << ")\n";
+
+  // --store FILE is the warm-restart handle: load it when it exists,
+  // save the (possibly grown) store back on the way out.
+  const std::string store_path = args.get_or("store", "");
+  if (!store_path.empty() && std::filesystem::exists(store_path)) {
+    library.load_store(store_path);
+    out << "warm restart: " << library.cache_size() << " plan(s) loaded from "
+        << store_path << "\n";
+  }
+
+  if (args.has("soak")) {
+    SoakOptions soak;
+    soak.operations = args.size_or("ops", 100000);
+    soak.clients = args.size_or("clients", 4);
+    soak.subsets = args.size_or("subsets", 8);
+    soak.seed = args.size_or("seed", 1);
+    const SoakResult result = run_service_soak(library, soak);
+    out << result.describe();
+  } else {
+    const LibraryEntry& world = library.full_barrier();
+    out.setf(std::ios::scientific);
+    out << "world plan: " << world.stored.schedule.stage_count()
+        << " stages, predicted " << world.predicted_cost << " s, state "
+        << to_string(library.plan_state([&] {
+             std::vector<std::size_t> all(library.ranks());
+             for (std::size_t i = 0; i < all.size(); ++i) {
+               all[i] = i;
+             }
+             return all;
+           }()))
+        << "\n";
+    const ServiceStats stats = library.stats();
+    out << "cached plans " << library.cache_size() << ", tunes "
+        << stats.tunes << ", quarantines " << stats.quarantines << "\n";
+  }
+
+  if (!store_path.empty()) {
+    library.save_store(store_path);
+    out << "plan store saved to " << store_path << " ("
+        << library.cache_size() << " plan(s))\n";
+  }
+  return 0;
+}
+
 using Command = std::function<int(const Args&, std::ostream&)>;
 
 const std::map<std::string, Command>& command_table() {
@@ -717,6 +774,7 @@ const std::map<std::string, Command>& command_table() {
       {"validate", cmd_validate}, {"trace", cmd_trace},
       {"workload", cmd_workload}, {"sweep", cmd_sweep},
       {"collective", cmd_collective}, {"overlap", cmd_overlap},
+      {"library", cmd_library},
   };
   return commands;
 }
@@ -767,6 +825,11 @@ std::string usage_text() {
         "  collective --profile FILE [--op bcast|reduce|allreduce]\n"
         "           [--bytes N] [--root R] [--threads N]\n"
         "           [--reps N] [--jitter X] [--seed N] [--schedule-out FILE]\n"
+        "  library  --profile FILE [--threads N] [--auto-repair]\n"
+        "           [--store FILE]    # warm-restart plan store: loaded if\n"
+        "                            # present, saved back on exit\n"
+        "           [--soak [--ops N] [--clients N] [--subsets N] "
+        "[--seed N]]\n"
         "  help\n"
         "\n"
         "exit codes:\n"

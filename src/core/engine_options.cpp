@@ -25,7 +25,25 @@ bool is_identifier(const std::string& name) {
 
 }  // namespace
 
+void ServiceOptions::validate() const {
+  OPTIBAR_REQUIRE(repair_queue_capacity >= 1,
+                  "repair_queue_capacity must be >= 1");
+  OPTIBAR_REQUIRE(max_repair_attempts >= 1, "max_repair_attempts must be >= 1");
+  OPTIBAR_REQUIRE(repair_backoff_seconds >= 0.0,
+                  "repair_backoff_seconds must be >= 0");
+  OPTIBAR_REQUIRE(probation_successes >= 1, "probation_successes must be >= 1");
+  OPTIBAR_REQUIRE(evidence_inflation >= 1.0,
+                  "evidence_inflation must be >= 1, got " << evidence_inflation);
+  OPTIBAR_REQUIRE(drift_retune_threshold > 0.0,
+                  "drift_retune_threshold must be > 0");
+  OPTIBAR_REQUIRE(drift_alpha > 0.0 && drift_alpha <= 1.0,
+                  "drift_alpha must be in (0, 1], got " << drift_alpha);
+  OPTIBAR_REQUIRE(expected_calls >= 0.0, "expected_calls must be >= 0");
+  OPTIBAR_REQUIRE(promote_sim_reps >= 1, "promote_sim_reps must be >= 1");
+}
+
 void EngineOptions::validate() const {
+  service.validate();
   OPTIBAR_REQUIRE(clustering.sss.sparseness > 0.0 &&
                       clustering.sss.sparseness <= 1.0,
                   "sparseness must be in (0, 1], got "

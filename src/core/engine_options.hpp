@@ -35,10 +35,70 @@ struct SearchOptions {
   std::size_t node_budget = 50'000'000;
 };
 
+/// Knobs of the self-healing plan service (core/library.hpp): the
+/// background repair loop that consumes StallReport / measured-latency
+/// feedback, the probation rule, and the bounded cache. All repair
+/// machinery is off by default (`auto_repair == false`): a library
+/// without it behaves exactly like the PR 4 batch cache — quarantine
+/// is terminal and nothing runs in the background.
+struct ServiceOptions {
+  /// Enable the background repair worker: quarantined plans are
+  /// re-tuned from stall evidence and promoted back through probation.
+  bool auto_repair = false;
+
+  /// Capacity of the repair-job queue. A quarantine that finds the
+  /// queue full stays quarantined (counted in ServiceStats); the next
+  /// failure report retries the enqueue.
+  std::size_t repair_queue_capacity = 64;
+
+  /// Background repairs attempted per plan before the entry enters the
+  /// permanent `degraded` terminal state. Must be >= 1.
+  std::size_t max_repair_attempts = 3;
+
+  /// Base backoff before repair attempt k re-runs after a failed
+  /// promotion: base * 2^k seconds. 0 retries immediately (tests).
+  double repair_backoff_seconds = 0.05;
+
+  /// Successful executions a repaired plan must report before probation
+  /// ends and the entry returns to `healthy`. Must be >= 1.
+  std::size_t probation_successes = 2;
+
+  /// Multiplier folded into the O/L (and R) estimates of every edge a
+  /// StallReport implicates: the repair tunes against a profile where
+  /// the blamed links look this many times slower. Must be >= 1.
+  double evidence_inflation = 2.0;
+
+  /// report_measured_latency drift (DriftMonitor::max_drift) at which a
+  /// healthy plan is re-tuned in the background. In (0, +inf).
+  double drift_retune_threshold = 0.20;
+
+  /// EWMA weight of each measured-latency observation, in (0, 1].
+  double drift_alpha = 0.25;
+
+  /// Amortization horizon for drift-triggered retunes: the candidate
+  /// replaces the active plan only when evaluate_retune() says the
+  /// re-tuning cost pays for itself within this many barrier calls.
+  double expected_calls = 1e6;
+
+  /// Netsim repetitions of the promotion gate (repaired plan vs the
+  /// dissemination fallback). Must be >= 1.
+  std::size_t promote_sim_reps = 3;
+
+  /// Upper bound on cached plan slots; 0 = unbounded. When bounded, the
+  /// cheapest-to-retune entries (smallest subsets) are evicted first,
+  /// and entries under repair are never evicted. NOTE: with a bound,
+  /// entry references returned by subset_plan() are only guaranteed
+  /// alive until the entry is evicted, not for the library's lifetime.
+  std::size_t max_cache_entries = 0;
+
+  void validate() const;
+};
+
 struct EngineOptions {
   ClusterTreeOptions clustering;
   ComposeOptions composition;
   SearchOptions search;
+  ServiceOptions service;
 
   /// Name of the function emitted by TuneResult::generated_code().
   std::string function_name = "optibar_barrier";

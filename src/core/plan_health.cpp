@@ -1,0 +1,36 @@
+#include "core/plan_health.hpp"
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+const char* to_string(PlanState state) {
+  switch (state) {
+    case PlanState::kHealthy:
+      return "healthy";
+    case PlanState::kSuspect:
+      return "suspect";
+    case PlanState::kQuarantined:
+      return "quarantined";
+    case PlanState::kRetuning:
+      return "retuning";
+    case PlanState::kProbation:
+      return "probation";
+    case PlanState::kDegraded:
+      return "degraded";
+  }
+  return "healthy";
+}
+
+PlanState plan_state_from_string(const std::string& name) {
+  for (PlanState state :
+       {PlanState::kHealthy, PlanState::kSuspect, PlanState::kQuarantined,
+        PlanState::kRetuning, PlanState::kProbation, PlanState::kDegraded}) {
+    if (name == to_string(state)) {
+      return state;
+    }
+  }
+  OPTIBAR_FAIL("unknown plan state '" << name << "'");
+}
+
+}  // namespace optibar

@@ -1,0 +1,67 @@
+// Plan health lifecycle for the self-healing plan service.
+//
+// PR 4's quarantine was open-loop: a plan that stalled past the
+// threshold was demoted to the dissemination fallback *permanently*,
+// even though the resilience layer already produces the StallReport
+// and measured-latency evidence needed to diagnose and repair it.
+// The service closes the loop with a per-entry state machine:
+//
+//     healthy --failure--> suspect --threshold--> quarantined
+//        ^                                            |
+//        |                                      (repair job)
+//        |                                            v
+//     probation <--promotion (beats fallback)--- retuning
+//        |                                            |
+//        +--failure--> quarantined again       N failed repairs
+//                                                     v
+//                                                  degraded (terminal)
+//
+// Quarantined and retuning entries serve the safe fallback while the
+// background worker repairs the tuned plan; probation serves the
+// repaired plan but demotes again on the first failure. After
+// ServiceOptions::max_repair_attempts failed repairs the entry is
+// permanently degraded and the fallback is final.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace optibar {
+
+/// Lifecycle state of one cached plan (see the diagram above).
+enum class PlanState : std::uint8_t {
+  kHealthy = 0,     ///< serving the tuned plan, no open evidence
+  kSuspect = 1,     ///< tuned plan served, failures below the threshold
+  kQuarantined = 2, ///< fallback served; repair pending (or disabled)
+  kRetuning = 3,    ///< fallback served; repair worker active
+  kProbation = 4,   ///< repaired plan served, awaiting success reports
+  kDegraded = 5,    ///< terminal: repairs exhausted, fallback forever
+};
+
+/// Stable lower-case name ("healthy", "quarantined", ...) — also the
+/// plan-store serialization token.
+const char* to_string(PlanState state);
+
+/// Inverse of to_string(); throws optibar::Error on an unknown name.
+PlanState plan_state_from_string(const std::string& name);
+
+/// True when the state serves the fallback instead of the tuned plan.
+inline bool serves_fallback(PlanState state) {
+  return state == PlanState::kQuarantined || state == PlanState::kRetuning ||
+         state == PlanState::kDegraded;
+}
+
+/// Read-only snapshot of one entry's health record
+/// (BarrierLibrary::plan_health).
+struct PlanHealthView {
+  PlanState state = PlanState::kHealthy;
+  std::size_t failures = 0;         ///< stall reports recorded so far
+  std::size_t repair_attempts = 0;  ///< background repairs started
+  std::size_t probation_left = 0;   ///< successes still needed to heal
+  std::uint64_t generation = 0;     ///< bumped on every (re)build/promotion
+  double observed_drift = 0.0;      ///< DriftMonitor::max_drift, 0 if none
+  std::string reason;               ///< last quarantine/degradation reason
+};
+
+}  // namespace optibar

@@ -1,0 +1,283 @@
+#include "core/plan_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+namespace {
+
+constexpr const char* kMagic = "optibar-plan-store";
+
+// Header sanity caps, same doctrine as schedule_io: a lying header must
+// not drive allocation.
+constexpr std::size_t kMaxRanks = 8192;
+constexpr std::size_t kMaxEntries = 100000;
+
+/// Reasons are free text that may span lines (StallReport::describe is
+/// multi-line); the store is line-oriented, so reasons are stored on one
+/// line with backslash escapes. "-" encodes the empty reason.
+std::string escape_reason(const std::string& reason) {
+  if (reason.empty()) {
+    return "-";
+  }
+  std::string out;
+  out.reserve(reason.size());
+  for (char c : reason) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_reason(const std::string& text) {
+  if (text == "-") {
+    return {};
+  }
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out += text[i];
+      continue;
+    }
+    OPTIBAR_IO_REQUIRE(i + 1 < text.size(),
+                       "dangling escape at end of reason line");
+    const char next = text[++i];
+    switch (next) {
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      default:
+        OPTIBAR_IO_FAIL("unknown escape '\\" << next << "' in reason line");
+    }
+  }
+  return out;
+}
+
+std::size_t read_count(std::istream& is, const char* tag,
+                       std::size_t entry_index) {
+  std::string got;
+  std::size_t value = 0;
+  is >> got >> value;
+  OPTIBAR_IO_REQUIRE(!is.fail() && got == tag,
+                     "malformed plan-store entry " << entry_index
+                                                   << ": expected '" << tag
+                                                   << "' field");
+  return value;
+}
+
+}  // namespace
+
+void save_plan_store(std::ostream& os, std::size_t ranks,
+                     std::vector<PlanStoreRecord> records) {
+  OPTIBAR_REQUIRE(ranks > 0, "plan store needs a positive rank count");
+  std::sort(records.begin(), records.end(),
+            [](const PlanStoreRecord& a, const PlanStoreRecord& b) {
+              return a.subset < b.subset;
+            });
+  os << kMagic << " v1\n";
+  os << "ranks " << ranks << '\n';
+  os << "entries " << records.size() << '\n';
+  for (std::size_t k = 0; k < records.size(); ++k) {
+    const PlanStoreRecord& record = records[k];
+    OPTIBAR_REQUIRE(record.plan.schedule.ranks() == record.subset.size(),
+                    "record " << k << ": plan is over "
+                              << record.plan.schedule.ranks()
+                              << " ranks but the subset has "
+                              << record.subset.size());
+    // A live repair does not survive the process; persist it as the
+    // quarantine it came from so the restarted service re-runs it.
+    const PlanState state = record.state == PlanState::kRetuning
+                                ? PlanState::kQuarantined
+                                : record.state;
+    os << "entry " << k << '\n';
+    os << "subset " << record.subset.size();
+    for (std::size_t rank : record.subset) {
+      os << ' ' << rank;
+    }
+    os << '\n';
+    os << "state " << to_string(state) << '\n';
+    os << "failures " << record.failures << '\n';
+    os << "repairs " << record.repair_attempts << '\n';
+    os << "probation " << record.probation_left << '\n';
+    os << "predicted " << record.predicted_cost << '\n';
+    os << "reason " << escape_reason(record.reason) << '\n';
+    os << "plan\n";
+    save_schedule(os, record.plan);
+  }
+  os << "end\n";
+  OPTIBAR_REQUIRE(os.good(), "I/O error while writing plan store");
+}
+
+std::vector<PlanStoreRecord> load_plan_store(std::istream& is,
+                                             std::size_t expected_ranks) {
+  std::string magic;
+  std::string version;
+  is >> magic >> version;
+  OPTIBAR_IO_REQUIRE(!is.fail() && magic == kMagic,
+                     "not an optibar plan store (magic '" << magic << "')");
+  OPTIBAR_IO_REQUIRE(version == "v1",
+                     "unsupported plan-store version " << version);
+
+  std::string tag;
+  std::size_t ranks = 0;
+  is >> tag >> ranks;
+  OPTIBAR_IO_REQUIRE(!is.fail() && tag == "ranks" && ranks > 0,
+                     "malformed plan-store header (ranks)");
+  OPTIBAR_IO_REQUIRE(ranks <= kMaxRanks, "plan-store header claims "
+                                             << ranks << " ranks (cap "
+                                             << kMaxRanks << ")");
+  OPTIBAR_IO_REQUIRE(ranks == expected_ranks,
+                     "plan store was saved for " << ranks
+                                                 << " ranks; this profile has "
+                                                 << expected_ranks);
+  std::size_t entries = 0;
+  is >> tag >> entries;
+  OPTIBAR_IO_REQUIRE(!is.fail() && tag == "entries",
+                     "malformed plan-store header (entries)");
+  OPTIBAR_IO_REQUIRE(entries <= kMaxEntries,
+                     "plan-store header claims " << entries << " entries (cap "
+                                                 << kMaxEntries << ")");
+
+  std::vector<PlanStoreRecord> records;
+  records.reserve(entries);
+  std::set<std::vector<std::size_t>> seen_subsets;
+  for (std::size_t k = 0; k < entries; ++k) {
+    std::size_t index = 0;
+    is >> tag >> index;
+    OPTIBAR_IO_REQUIRE(!is.fail() && tag == "entry" && index == k,
+                       "truncated plan store: entry " << k << " missing");
+    PlanStoreRecord record;
+
+    const std::size_t subset_size = read_count(is, "subset", k);
+    OPTIBAR_IO_REQUIRE(subset_size > 0 && subset_size <= ranks,
+                       "entry " << k << ": subset size " << subset_size
+                                << " out of range (1.." << ranks << ")");
+    record.subset.resize(subset_size);
+    std::set<std::size_t> seen_ranks;
+    for (std::size_t i = 0; i < subset_size; ++i) {
+      is >> record.subset[i];
+      OPTIBAR_IO_REQUIRE(!is.fail(), "truncated plan store: entry "
+                                         << k << " subset rank " << i
+                                         << " missing");
+      OPTIBAR_IO_REQUIRE(record.subset[i] < ranks,
+                         "entry " << k << ": rank " << record.subset[i]
+                                  << " out of range (" << ranks << ")");
+      OPTIBAR_IO_REQUIRE(seen_ranks.insert(record.subset[i]).second,
+                         "entry " << k << ": duplicate rank "
+                                  << record.subset[i]);
+    }
+    OPTIBAR_IO_REQUIRE(seen_subsets.insert(record.subset).second,
+                       "entry " << k << ": duplicate subset in plan store");
+
+    std::string state_name;
+    is >> tag >> state_name;
+    OPTIBAR_IO_REQUIRE(!is.fail() && tag == "state",
+                       "malformed plan-store entry " << k
+                                                     << ": expected 'state'");
+    try {
+      record.state = plan_state_from_string(state_name);
+    } catch (const Error&) {
+      OPTIBAR_IO_FAIL("entry " << k << ": unknown plan state '" << state_name
+                               << "'");
+    }
+    OPTIBAR_IO_REQUIRE(record.state != PlanState::kRetuning,
+                       "entry " << k
+                                << ": a stored plan cannot be mid-retune");
+
+    record.failures = read_count(is, "failures", k);
+    record.repair_attempts = read_count(is, "repairs", k);
+    record.probation_left = read_count(is, "probation", k);
+    is >> tag >> record.predicted_cost;
+    OPTIBAR_IO_REQUIRE(!is.fail() && tag == "predicted",
+                       "malformed plan-store entry "
+                           << k << ": expected 'predicted'");
+    OPTIBAR_IO_REQUIRE(
+        std::isfinite(record.predicted_cost) && record.predicted_cost >= 0.0,
+        "entry " << k << ": predicted cost must be finite and non-negative");
+
+    is >> tag;
+    OPTIBAR_IO_REQUIRE(!is.fail() && tag == "reason",
+                       "malformed plan-store entry " << k
+                                                     << ": expected 'reason'");
+    std::string reason_line;
+    std::getline(is, reason_line);
+    OPTIBAR_IO_REQUIRE(!is.fail(), "truncated plan store: entry "
+                                       << k << " reason missing");
+    if (!reason_line.empty() && reason_line.front() == ' ') {
+      reason_line.erase(reason_line.begin());
+    }
+    OPTIBAR_IO_REQUIRE(!reason_line.empty(),
+                       "malformed plan-store entry " << k
+                                                     << ": empty reason line");
+    record.reason = unescape_reason(reason_line);
+
+    is >> tag;
+    OPTIBAR_IO_REQUIRE(!is.fail() && tag == "plan",
+                       "truncated plan store: entry " << k
+                                                      << " plan missing");
+    record.plan = load_schedule(is);  // hardened loader; throws IoError
+    OPTIBAR_IO_REQUIRE(record.plan.schedule.ranks() == subset_size,
+                       "entry " << k << ": plan is over "
+                                << record.plan.schedule.ranks()
+                                << " ranks but the subset has "
+                                << subset_size);
+    records.push_back(std::move(record));
+  }
+  is >> tag;
+  OPTIBAR_IO_REQUIRE(!is.fail() && tag == "end",
+                     "truncated plan store: trailing 'end' missing");
+  return records;
+}
+
+void save_plan_store_file(const std::string& path, std::size_t ranks,
+                          std::vector<PlanStoreRecord> records) {
+  // Rename-on-write: the store at `path` is either the old complete
+  // file or the new complete file, never a torn mix.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    OPTIBAR_IO_REQUIRE(os.is_open(), "cannot open " << tmp << " for writing");
+    save_plan_store(os, ranks, std::move(records));
+    os.flush();
+    OPTIBAR_IO_REQUIRE(os.good(), "I/O error while writing " << tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  OPTIBAR_IO_REQUIRE(!ec, "cannot move " << tmp << " into place: "
+                                         << ec.message());
+}
+
+std::vector<PlanStoreRecord> load_plan_store_file(const std::string& path,
+                                                  std::size_t expected_ranks) {
+  std::ifstream is(path);
+  OPTIBAR_IO_REQUIRE(is.is_open(), "cannot open " << path << " for reading");
+  return load_plan_store(is, expected_ranks);
+}
+
+}  // namespace optibar

@@ -1,0 +1,65 @@
+// Warm-restartable plan store (docs/FORMATS.md, "Plan store v1").
+//
+// A long-running plan service accumulates tuned schedules *and* hard-won
+// health knowledge: which plans are quarantined, how many repairs they
+// burned, what the operator was told. Losing that on restart means
+// re-serving a plan the previous process already proved bad. The store
+// persists both, as versioned text in the same dialect as the schedule
+// format: a header, then one record per cached subset embedding the
+// tuned schedule via schedule_io. Fallback entries are *not* stored —
+// they are deterministic (a dissemination barrier over the subset) and
+// are rebuilt on load.
+//
+// The parser follows the hardened-loader rules (docs/FORMATS.md): every
+// read is failure-checked, counts are capped before allocation, and a
+// truncated or malformed store throws IoError — never crashes, never
+// returns a half-loaded library.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "barrier/schedule_io.hpp"
+#include "core/plan_health.hpp"
+
+namespace optibar {
+
+/// One persisted cache entry: the tuned plan plus its health record.
+/// `state` is the lifecycle state at save time, except that kRetuning is
+/// saved as kQuarantined (the in-flight repair dies with the process;
+/// the restarted service re-enqueues it).
+struct PlanStoreRecord {
+  std::vector<std::size_t> subset;  ///< global ranks, order = local ids
+  PlanState state = PlanState::kHealthy;
+  std::size_t failures = 0;
+  std::size_t repair_attempts = 0;
+  std::size_t probation_left = 0;
+  double predicted_cost = 0.0;  ///< of the tuned plan, seconds
+  std::string reason;           ///< last quarantine reason, may be empty
+  StoredSchedule plan;          ///< the tuned schedule (never the fallback)
+};
+
+/// Serialize `records` for a `ranks`-rank profile. Records should be
+/// sorted by subset for deterministic output; save_plan_store sorts a
+/// copy itself so callers cannot get this wrong.
+void save_plan_store(std::ostream& os, std::size_t ranks,
+                     std::vector<PlanStoreRecord> records);
+
+/// Parse a store written by save_plan_store. `expected_ranks` is the
+/// rank count of the profile the store must match; a store saved
+/// against a different machine is rejected (IoError), as is any
+/// malformed, truncated, or out-of-range content.
+std::vector<PlanStoreRecord> load_plan_store(std::istream& is,
+                                             std::size_t expected_ranks);
+
+/// File forms. save_plan_store_file writes to a temporary sibling and
+/// renames it into place, so a crash mid-save never corrupts an
+/// existing store.
+void save_plan_store_file(const std::string& path, std::size_t ranks,
+                          std::vector<PlanStoreRecord> records);
+std::vector<PlanStoreRecord> load_plan_store_file(const std::string& path,
+                                                  std::size_t expected_ranks);
+
+}  // namespace optibar

@@ -9,6 +9,36 @@
 
 namespace optibar {
 
+namespace {
+
+/// Rebuild a profile from replacement O/L matrices, carrying the G and
+/// R matrices of `like` along — observations must never silently strip
+/// the bandwidth or one-sided data from a v2/v3 profile.
+TopologyProfile with_core_matrices(const TopologyProfile& like,
+                                   Matrix<double> overhead,
+                                   Matrix<double> latency) {
+  TopologyProfile out =
+      like.has_bandwidth()
+          ? TopologyProfile(std::move(overhead), std::move(latency),
+                            like.bandwidth())
+          : TopologyProfile(std::move(overhead), std::move(latency));
+  if (like.has_rma_latency()) {
+    out.set_rma_latency(like.rma_latency());
+  }
+  return out;
+}
+
+/// Boundary guard shared by every observe_* entry point: a NaN or Inf
+/// observation would poison the whole EWMA window (every later fold
+/// keeps a (1-alpha) share of it), so it is rejected up front.
+void require_observable(double seconds) {
+  OPTIBAR_REQUIRE(std::isfinite(seconds),
+                  "non-finite observation " << seconds);
+  OPTIBAR_REQUIRE(seconds >= 0.0, "negative observation");
+}
+
+}  // namespace
+
 DriftMonitor::DriftMonitor(TopologyProfile baseline, double alpha)
     : baseline_(baseline), current_(std::move(baseline)), alpha_(alpha) {
   OPTIBAR_REQUIRE(alpha_ > 0.0 && alpha_ <= 1.0,
@@ -19,13 +49,13 @@ void DriftMonitor::observe_overhead(std::size_t i, std::size_t j,
                                     double seconds) {
   OPTIBAR_REQUIRE(i < current_.ranks() && j < current_.ranks(),
                   "rank out of range");
-  OPTIBAR_REQUIRE(seconds >= 0.0, "negative observation");
+  require_observable(seconds);
   Matrix<double> o = current_.overhead();
   o(i, j) = (1.0 - alpha_) * o(i, j) + alpha_ * seconds;
   if (i != j) {
     o(j, i) = (1.0 - alpha_) * o(j, i) + alpha_ * seconds;
   }
-  current_ = TopologyProfile(std::move(o), current_.latency());
+  current_ = with_core_matrices(current_, std::move(o), current_.latency());
   ++observations_;
 }
 
@@ -34,11 +64,26 @@ void DriftMonitor::observe_latency(std::size_t i, std::size_t j,
   OPTIBAR_REQUIRE(i < current_.ranks() && j < current_.ranks(),
                   "rank out of range");
   OPTIBAR_REQUIRE(i != j, "latency observation needs distinct ranks");
-  OPTIBAR_REQUIRE(seconds >= 0.0, "negative observation");
+  require_observable(seconds);
   Matrix<double> l = current_.latency();
   l(i, j) = (1.0 - alpha_) * l(i, j) + alpha_ * seconds;
   l(j, i) = (1.0 - alpha_) * l(j, i) + alpha_ * seconds;
-  current_ = TopologyProfile(current_.overhead(), std::move(l));
+  current_ = with_core_matrices(current_, current_.overhead(), std::move(l));
+  ++observations_;
+}
+
+void DriftMonitor::observe_rma_latency(std::size_t i, std::size_t j,
+                                       double seconds) {
+  OPTIBAR_REQUIRE(i < current_.ranks() && j < current_.ranks(),
+                  "rank out of range");
+  OPTIBAR_REQUIRE(i != j, "one-sided observation needs distinct ranks");
+  OPTIBAR_REQUIRE(current_.has_rma_latency(),
+                  "profile carries no one-sided latency matrix");
+  require_observable(seconds);
+  Matrix<double> r = current_.rma_latency();
+  r(i, j) = (1.0 - alpha_) * r(i, j) + alpha_ * seconds;
+  r(j, i) = (1.0 - alpha_) * r(j, i) + alpha_ * seconds;
+  current_.set_rma_latency(std::move(r));
   ++observations_;
 }
 
@@ -57,6 +102,9 @@ double DriftMonitor::max_drift() const {
   };
   scan(current_.overhead(), baseline_.overhead());
   scan(current_.latency(), baseline_.latency());
+  if (current_.has_rma_latency() && baseline_.has_rma_latency()) {
+    scan(current_.rma_latency(), baseline_.rma_latency());
+  }
   return worst;
 }
 

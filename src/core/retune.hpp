@@ -40,11 +40,18 @@ class DriftMonitor {
   explicit DriftMonitor(TopologyProfile baseline, double alpha = 0.25);
 
   /// Fold one observed startup cost for the pair (i, j). Symmetric:
-  /// updates both directions.
+  /// updates both directions. All observe_* entry points reject
+  /// non-finite (NaN/Inf) and negative observations with an Error —
+  /// one poisoned sample would otherwise contaminate the EWMA window
+  /// for good.
   void observe_overhead(std::size_t i, std::size_t j, double seconds);
 
   /// Fold one observed marginal latency for the pair (i, j).
   void observe_latency(std::size_t i, std::size_t j, double seconds);
+
+  /// Fold one observed one-sided delivery latency for the pair (i, j).
+  /// Requires the baseline profile to carry an R matrix.
+  void observe_rma_latency(std::size_t i, std::size_t j, double seconds);
 
   /// The drifted profile (baseline entries where nothing was observed).
   const TopologyProfile& current() const { return current_; }

@@ -1,0 +1,209 @@
+#include "core/service_soak.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace optibar {
+
+namespace {
+
+/// splitmix64: tiny, seedable, and good enough to shape a workload.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Draw `count` distinct subsets of 2..max_subset ranks, deterministic
+/// in `seed`. Order inside a subset matters (it defines local ids), so
+/// distinctness is by the ordered vector.
+std::vector<std::vector<std::size_t>> draw_subsets(std::size_t ranks,
+                                                   std::size_t count,
+                                                   std::size_t max_subset,
+                                                   std::uint64_t seed) {
+  const std::size_t cap = std::min(max_subset, ranks);
+  OPTIBAR_REQUIRE(cap >= 2, "soak needs subsets of at least 2 ranks");
+  std::set<std::vector<std::size_t>> seen;
+  std::vector<std::vector<std::size_t>> subsets;
+  std::uint64_t state = seed * 0x2545f4914f6cdd1dull + 0x9e3779b9ull;
+  // Far more draws than subsets are possible; bail out after a bounded
+  // number of rejections rather than looping forever on tiny profiles.
+  for (std::size_t attempt = 0;
+       subsets.size() < count && attempt < count * 64 + 256; ++attempt) {
+    const std::size_t size = 2 + splitmix64(state) % (cap - 1);
+    std::vector<std::size_t> subset;
+    std::set<std::size_t> used;
+    while (subset.size() < size) {
+      const std::size_t rank = splitmix64(state) % ranks;
+      if (used.insert(rank).second) {
+        subset.push_back(rank);
+      }
+    }
+    if (seen.insert(subset).second) {
+      subsets.push_back(std::move(subset));
+    }
+  }
+  OPTIBAR_REQUIRE(!subsets.empty(), "could not draw any soak subset");
+  return subsets;
+}
+
+}  // namespace
+
+std::string SoakResult::describe() const {
+  std::ostringstream os;
+  os << "soak: " << operations << " ops in " << elapsed_seconds << " s ("
+     << static_cast<std::size_t>(ops_per_second) << " ops/s), p50 " << p50_ns
+     << " ns, p99 " << p99_ns << " ns\n";
+  os << "  plans cached " << cache_size << ", tunes " << stats.tunes
+     << ", quarantines " << stats.quarantines << ", repairs started "
+     << stats.repairs_started << " (promoted " << stats.repairs_promoted
+     << ", failed " << stats.repairs_failed << ", warm-start hits "
+     << stats.warm_start_hits << ")\n";
+  os << "  reports: " << stats.latency_reports << " latency, "
+     << stats.success_reports << " success, " << stats.stall_reports
+     << " stall (" << dropped_reports << " dropped), evictions "
+     << stats.evictions << "\n";
+  return os.str();
+}
+
+SoakResult run_service_soak(BarrierLibrary& library,
+                            const SoakOptions& options) {
+  OPTIBAR_REQUIRE(options.operations > 0, "soak needs at least one operation");
+  OPTIBAR_REQUIRE(options.clients > 0, "soak needs at least one client");
+  OPTIBAR_REQUIRE(options.latency_per_10k + options.success_per_10k +
+                          options.stall_per_10k <=
+                      10000,
+                  "soak mix exceeds 10000 per 10k operations");
+
+  const std::vector<std::vector<std::size_t>> subsets = draw_subsets(
+      library.ranks(), options.subsets, options.max_subset, options.seed);
+  library.tune_all(subsets);  // pre-warm: the soak times the steady state
+
+  // Baseline pairwise latencies per subset, so measured-latency reports
+  // jitter around the truth (±5%) instead of tripping the drift gate on
+  // every call.
+  std::vector<TopologyProfile> local;
+  local.reserve(subsets.size());
+  for (const auto& subset : subsets) {
+    local.push_back(library.profile().restrict_to(subset));
+  }
+
+  const std::size_t per_client = options.operations / options.clients;
+  const std::size_t total_ops = per_client * options.clients;
+  std::vector<std::vector<std::uint64_t>> client_ns(options.clients);
+  std::atomic<std::size_t> dropped{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto client = [&](std::size_t id) {
+    try {
+      std::uint64_t state =
+          options.seed * 0x9e3779b97f4a7c15ull + id * 0xda942042e4dd58b5ull;
+      std::vector<std::uint64_t>& ns = client_ns[id];
+      ns.reserve(per_client);
+      for (std::size_t op = 0; op < per_client; ++op) {
+        const std::size_t subset_index =
+            splitmix64(state) % subsets.size();
+        const std::vector<std::size_t>& subset = subsets[subset_index];
+        const std::size_t mix = splitmix64(state) % 10000;
+        const auto start = std::chrono::steady_clock::now();
+        try {
+          if (mix < options.stall_per_10k) {
+            library.report_execution_failure(subset, "soak-injected stall");
+          } else if (mix < options.stall_per_10k + options.success_per_10k) {
+            library.report_execution_success(subset);
+          } else if (mix < options.stall_per_10k + options.success_per_10k +
+                               options.latency_per_10k) {
+            const std::size_t n = subset.size();
+            const std::size_t i = splitmix64(state) % n;
+            std::size_t j = splitmix64(state) % n;
+            if (j == i) {
+              j = (j + 1) % n;
+            }
+            const double jitter =
+                0.95 + 0.1 * (static_cast<double>(splitmix64(state) % 1000) /
+                              1000.0);
+            library.report_measured_latency(
+                subset, i, j, local[subset_index].l(i, j) * jitter);
+          } else {
+            library.subset_plan(subset);
+          }
+        } catch (const Error&) {
+          // A feedback call can legitimately be refused (e.g. the slot
+          // was evicted between the draw and the report); count it, the
+          // soak itself goes on.
+          dropped.fetch_add(1, std::memory_order_relaxed);
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        ns.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()));
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  };
+
+  const auto soak_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(options.clients);
+  for (std::size_t id = 0; id < options.clients; ++id) {
+    threads.emplace_back(client, id);
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    soak_start)
+          .count();
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+  library.wait_for_repairs();
+
+  std::vector<std::uint64_t> all;
+  all.reserve(total_ops);
+  for (const auto& ns : client_ns) {
+    all.insert(all.end(), ns.begin(), ns.end());
+  }
+  SoakResult result;
+  result.operations = total_ops;
+  result.elapsed_seconds = elapsed;
+  result.ops_per_second =
+      elapsed > 0.0 ? static_cast<double>(total_ops) / elapsed : 0.0;
+  if (!all.empty()) {
+    const auto percentile = [&](double q) {
+      const std::size_t k = std::min(
+          all.size() - 1,
+          static_cast<std::size_t>(
+              q * static_cast<double>(all.size() - 1)));
+      std::nth_element(all.begin(),
+                       all.begin() + static_cast<std::ptrdiff_t>(k),
+                       all.end());
+      return all[k];
+    };
+    result.p50_ns = percentile(0.50);
+    result.p99_ns = percentile(0.99);
+  }
+  result.stats = library.stats();
+  result.cache_size = library.cache_size();
+  result.dropped_reports = dropped.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace optibar

@@ -1,0 +1,58 @@
+// Mixed-operation soak driver for the plan service.
+//
+// One shared implementation drives the 1M-op soak from three surfaces —
+// the `optibar library --soak` CLI command, the BM_ServiceMixedSoak
+// benchmark, and the (smaller) tsan-labelled service test — so the
+// workload they exercise is identical: concurrent clients hammering one
+// BarrierLibrary with a plan-request-heavy mix of lookups, measured
+// latencies, success reports, and occasional injected stalls, while the
+// background repair worker runs. Per-operation wall time is recorded and
+// summarized as p50/p99.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/library.hpp"
+
+namespace optibar {
+
+/// Knobs of one soak run. The mix is expressed per 10000 operations and
+/// must sum to at most 10000; the remainder falls through to plan
+/// lookups. Defaults: 85% lookups, 14% latency reports, ~1% success
+/// reports, 0.02% injected stalls — a long-running service's day, with
+/// enough stalls to keep the repair loop busy without drowning the
+/// request path.
+struct SoakOptions {
+  std::size_t operations = 100000;
+  std::size_t clients = 4;     ///< concurrent client threads
+  std::size_t subsets = 8;     ///< distinct subsets in play
+  std::size_t max_subset = 8;  ///< largest subset size drawn
+  std::uint64_t seed = 1;
+  std::size_t latency_per_10k = 1400;  ///< report_measured_latency share
+  std::size_t success_per_10k = 98;    ///< report_execution_success share
+  std::size_t stall_per_10k = 2;       ///< report_execution_failure share
+};
+
+/// What happened, for the benchmark counters / CLI report.
+struct SoakResult {
+  std::size_t operations = 0;
+  double elapsed_seconds = 0.0;
+  double ops_per_second = 0.0;
+  std::uint64_t p50_ns = 0;  ///< median per-operation wall time
+  std::uint64_t p99_ns = 0;
+  ServiceStats stats;            ///< library counters after the run
+  std::size_t cache_size = 0;    ///< plans cached after the run
+  std::size_t dropped_reports = 0;  ///< feedback calls the library refused
+
+  std::string describe() const;
+};
+
+/// Run the mixed soak against `library`. Pre-warms the drawn subsets
+/// (tune_all), then times the mixed phase, then drains the repair
+/// queue. Deterministic operation sequence for a fixed seed; the
+/// measured times are wall clock, so only the counters are reproducible.
+SoakResult run_service_soak(BarrierLibrary& library, const SoakOptions& options);
+
+}  // namespace optibar

@@ -45,6 +45,18 @@ bool StallReport::names_edge(std::size_t stage, std::size_t src,
                    SignalEdge{stage, src, dst}) != pending_edges.end();
 }
 
+std::vector<std::pair<std::size_t, std::size_t>> StallReport::implicated_pairs()
+    const {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(pending_edges.size());
+  for (const SignalEdge& edge : pending_edges) {
+    pairs.emplace_back(edge.src, edge.dst);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
 void StallReport::reset(std::size_t rank_count, std::size_t stage_count) {
   ranks = rank_count;
   stages = stage_count;

@@ -108,6 +108,12 @@ struct StallReport {
   /// pending_edges.
   bool names_edge(std::size_t stage, std::size_t src, std::size_t dst) const;
 
+  /// The (src, dst) rank pairs implicated by pending_edges, deduplicated
+  /// across stages and sorted — the evidence unit the plan service's
+  /// repair loop feeds to its DriftMonitor (a pair blamed in several
+  /// stages is one suspect link, not several).
+  std::vector<std::pair<std::size_t, std::size_t>> implicated_pairs() const;
+
   /// Human-readable rendering (CLI / C API surface).
   std::string describe() const;
 

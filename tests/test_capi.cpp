@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -607,6 +609,257 @@ TEST_F(CapiTest, IcollectiveValidatesItsArguments) {
                                data.data(), 1, 0),
       nullptr);
   EXPECT_EQ(optibar_last_status(), OPTIBAR_ERR_INVALID_ARGUMENT);
+}
+
+/* ---- plan service surface ---- */
+
+class CapiServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             "optibar_capi_service_profile.txt")
+                .string();
+    store_ = (std::filesystem::temp_directory_path() /
+              "optibar_capi_service_store.txt")
+                 .string();
+    const MachineSpec m = quad_cluster();
+    generate_profile(m, round_robin_mapping(m, 8)).save_file(path_);
+    library_ = optibar_open_service(path_.c_str(), 1, /*auto_repair=*/0);
+    ASSERT_NE(library_, nullptr) << optibar_last_error();
+  }
+  void TearDown() override {
+    optibar_close(library_);
+    std::filesystem::remove(path_);
+    std::filesystem::remove(store_);
+  }
+
+  std::string path_;
+  std::string store_;
+  optibar_library* library_ = nullptr;
+};
+
+TEST_F(CapiServiceTest, LifecycleAndStoreRoundTrip) {
+  const size_t subset[] = {0, 1, 2, 3};
+  ASSERT_NE(optibar_subset_plan_v2(library_, subset, 4), nullptr);
+  optibar_plan_state_t state = OPTIBAR_PLAN_DEGRADED;
+  ASSERT_EQ(optibar_plan_state(library_, subset, 4, &state), OPTIBAR_OK);
+  EXPECT_EQ(state, OPTIBAR_PLAN_HEALTHY);
+
+  EXPECT_EQ(optibar_report_latency(library_, subset, 4, 0, 1, 1e-6),
+            OPTIBAR_OK);
+  EXPECT_EQ(optibar_report_success(library_, subset, 4), OPTIBAR_OK);
+  EXPECT_EQ(optibar_service_wait(library_), OPTIBAR_OK);
+
+  // Default threshold 3: two stalls suspect, the third quarantines.
+  EXPECT_EQ(optibar_report_stall(library_, subset, 4, "stall"), 0);
+  ASSERT_EQ(optibar_plan_state(library_, subset, 4, &state), OPTIBAR_OK);
+  EXPECT_EQ(state, OPTIBAR_PLAN_SUSPECT);
+  EXPECT_EQ(optibar_report_stall(library_, subset, 4, "stall"), 0);
+  EXPECT_EQ(optibar_report_stall(library_, subset, 4, "stall"), 1);
+  ASSERT_EQ(optibar_plan_state(library_, subset, 4, &state), OPTIBAR_OK);
+  EXPECT_EQ(state, OPTIBAR_PLAN_QUARANTINED);
+  // The served plan is now the fallback, flagged as a warning status.
+  const optibar_plan* fallback = optibar_subset_plan_v2(library_, subset, 4);
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_DEGRADED);
+  EXPECT_EQ(optibar_plan_is_degraded(fallback), 1);
+
+  // Save, reload into a fresh service: the quarantine survives.
+  ASSERT_EQ(optibar_store_save(library_, store_.c_str()), OPTIBAR_OK);
+  optibar_library* restarted =
+      optibar_open_service(path_.c_str(), 1, /*auto_repair=*/0);
+  ASSERT_NE(restarted, nullptr);
+  ASSERT_EQ(optibar_store_load(restarted, store_.c_str()), OPTIBAR_OK);
+  ASSERT_EQ(optibar_plan_state(restarted, subset, 4, &state), OPTIBAR_OK);
+  EXPECT_EQ(state, OPTIBAR_PLAN_QUARANTINED);
+  optibar_close(restarted);
+}
+
+TEST_F(CapiServiceTest, EveryFailurePathSetsANonEmptyError) {
+  // The contract the sweep enforces: any call that does not succeed
+  // leaves a non-OK status AND a non-empty optibar_last_error() — no
+  // caller should ever see a bare error code with an empty message.
+  const auto expect_error = [](const char* what) {
+    EXPECT_NE(optibar_last_status(), OPTIBAR_OK) << what;
+    EXPECT_GT(std::strlen(optibar_last_error()), 0u) << what;
+  };
+  const size_t good[] = {0, 1, 2, 3};
+  const size_t dup[] = {1, 1};
+  const size_t oob[] = {0, 99};
+  optibar_plan_state_t state;
+
+  EXPECT_EQ(optibar_open_v2(nullptr, 1), nullptr);
+  expect_error("open_v2 null path");
+  EXPECT_EQ(optibar_open_v2("/nonexistent/profile.txt", 1), nullptr);
+  expect_error("open_v2 missing file");
+  EXPECT_EQ(optibar_open_service(nullptr, 1, 0), nullptr);
+  expect_error("open_service null path");
+  EXPECT_EQ(optibar_open_service("/nonexistent/profile.txt", 1, 1), nullptr);
+  expect_error("open_service missing file");
+
+  EXPECT_EQ(optibar_ranks(nullptr), 0u);
+  expect_error("ranks null library");
+  EXPECT_EQ(optibar_world_plan_v2(nullptr), nullptr);
+  expect_error("world_plan_v2 null library");
+  EXPECT_EQ(optibar_subset_plan_v2(nullptr, good, 4), nullptr);
+  expect_error("subset_plan_v2 null library");
+  EXPECT_EQ(optibar_subset_plan_v2(library_, nullptr, 4), nullptr);
+  expect_error("subset_plan_v2 null ranks");
+  EXPECT_EQ(optibar_subset_plan_v2(library_, dup, 2), nullptr);
+  expect_error("subset_plan_v2 duplicate rank");
+  EXPECT_EQ(optibar_subset_plan_v2(library_, oob, 2), nullptr);
+  expect_error("subset_plan_v2 out-of-range rank");
+  EXPECT_EQ(optibar_subset_plan_v2(library_, good, 0), nullptr);
+  expect_error("subset_plan_v2 empty subset");
+  EXPECT_EQ(optibar_tune_all(library_, nullptr, nullptr, 0, nullptr), 0u);
+  expect_error("tune_all null arguments");
+
+  EXPECT_EQ(optibar_plan_ranks(nullptr), 0u);
+  expect_error("plan_ranks null plan");
+  EXPECT_EQ(optibar_plan_predicted_seconds(nullptr), 0.0);
+  expect_error("plan_predicted_seconds null plan");
+  EXPECT_EQ(optibar_plan_stage_count(nullptr), 0u);
+  expect_error("plan_stage_count null plan");
+  EXPECT_EQ(optibar_plan_op_count(nullptr, 0), 0u);
+  expect_error("plan_op_count null plan");
+  EXPECT_EQ(optibar_plan_ops(nullptr, 0, nullptr, 0), 0u);
+  expect_error("plan_ops null plan");
+  EXPECT_EQ(optibar_plan_is_degraded(nullptr), 0);
+  expect_error("plan_is_degraded null plan");
+  const optibar_plan* plan = optibar_subset_plan_v2(library_, good, 4);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(optibar_plan_op_count(plan, 99), 0u);
+  expect_error("plan_op_count out-of-range rank");
+
+  EXPECT_EQ(optibar_report_stall(nullptr, good, 4, "x"), -1);
+  expect_error("report_stall null library");
+  EXPECT_EQ(optibar_report_stall(library_, oob, 2, "x"), -1);
+  expect_error("report_stall out-of-range rank");
+  const size_t unserved[] = {4, 5};
+  EXPECT_EQ(optibar_report_stall(library_, unserved, 2, "x"), -1);
+  expect_error("report_stall never-served subset");
+
+  EXPECT_NE(optibar_plan_state(nullptr, good, 4, &state), OPTIBAR_OK);
+  expect_error("plan_state null library");
+  EXPECT_NE(optibar_plan_state(library_, good, 4, nullptr), OPTIBAR_OK);
+  expect_error("plan_state null out_state");
+  EXPECT_NE(optibar_plan_state(library_, dup, 2, &state), OPTIBAR_OK);
+  expect_error("plan_state duplicate rank");
+  EXPECT_NE(optibar_plan_state(library_, unserved, 2, &state), OPTIBAR_OK);
+  expect_error("plan_state never-served subset");
+
+  EXPECT_NE(optibar_report_latency(nullptr, good, 4, 0, 1, 1e-6), OPTIBAR_OK);
+  expect_error("report_latency null library");
+  EXPECT_NE(optibar_report_latency(library_, good, 4, 0, 1, -1.0),
+            OPTIBAR_OK);
+  expect_error("report_latency negative seconds");
+  EXPECT_NE(optibar_report_latency(library_, good, 4, 0, 1,
+                                   std::numeric_limits<double>::quiet_NaN()),
+            OPTIBAR_OK);
+  expect_error("report_latency NaN seconds");
+  EXPECT_NE(optibar_report_latency(library_, good, 4, 1, 1, 1e-6),
+            OPTIBAR_OK);
+  expect_error("report_latency src == dst");
+  EXPECT_NE(optibar_report_latency(library_, good, 4, 0, 9, 1e-6),
+            OPTIBAR_OK);
+  expect_error("report_latency out-of-range dst");
+
+  EXPECT_NE(optibar_report_success(nullptr, good, 4), OPTIBAR_OK);
+  expect_error("report_success null library");
+  EXPECT_NE(optibar_report_success(library_, unserved, 2), OPTIBAR_OK);
+  expect_error("report_success never-served subset");
+  EXPECT_NE(optibar_service_wait(nullptr), OPTIBAR_OK);
+  expect_error("service_wait null library");
+
+  EXPECT_NE(optibar_store_save(nullptr, store_.c_str()), OPTIBAR_OK);
+  expect_error("store_save null library");
+  EXPECT_NE(optibar_store_save(library_, nullptr), OPTIBAR_OK);
+  expect_error("store_save null path");
+  EXPECT_EQ(optibar_store_save(library_, "/nonexistent/dir/store.txt"),
+            OPTIBAR_ERR_IO);
+  expect_error("store_save unwritable path");
+  EXPECT_NE(optibar_store_load(library_, nullptr), OPTIBAR_OK);
+  expect_error("store_load null path");
+  // library_ has cached plans by now, so the emptiness precondition
+  // fires before the file is even opened.
+  EXPECT_EQ(optibar_store_load(library_, "/nonexistent/store.txt"),
+            OPTIBAR_ERR_INVALID_ARGUMENT);
+  expect_error("store_load non-empty library");
+  optibar_library* empty = optibar_open_service(path_.c_str(), 1, 0);
+  ASSERT_NE(empty, nullptr);
+  EXPECT_EQ(optibar_store_load(empty, "/nonexistent/store.txt"),
+            OPTIBAR_ERR_IO);
+  expect_error("store_load missing file");
+  optibar_close(empty);
+
+  EXPECT_NE(optibar_tune_collective_v2(nullptr, OPTIBAR_COLLECTIVE_ALLREDUCE,
+                                       8, 0, nullptr, nullptr),
+            OPTIBAR_OK);
+  expect_error("tune_collective_v2 null library");
+  EXPECT_NE(optibar_tune_hybrid_v2(nullptr, nullptr, nullptr, nullptr),
+            OPTIBAR_OK);
+  expect_error("tune_hybrid_v2 null library");
+  EXPECT_EQ(optibar_ibarrier_post(nullptr), nullptr);
+  expect_error("ibarrier_post null library");
+  EXPECT_EQ(optibar_ibarrier_test(nullptr), -1);
+  expect_error("ibarrier_test null episode");
+  EXPECT_NE(optibar_ibarrier_wait(nullptr), OPTIBAR_OK);
+  expect_error("ibarrier_wait null episode");
+  EXPECT_EQ(optibar_icollective_post(nullptr, OPTIBAR_COLLECTIVE_ALLREDUCE,
+                                     nullptr, 1, 0),
+            nullptr);
+  expect_error("icollective_post null library");
+  EXPECT_EQ(optibar_icollective_test(nullptr), -1);
+  expect_error("icollective_test null episode");
+  EXPECT_NE(optibar_icollective_wait(nullptr), OPTIBAR_OK);
+  expect_error("icollective_wait null episode");
+}
+
+TEST_F(CapiServiceTest, StoreLoadRejectsCorruptAndNonEmptyTargets) {
+  const size_t subset[] = {0, 1, 2};
+  ASSERT_NE(optibar_subset_plan_v2(library_, subset, 3), nullptr);
+  ASSERT_EQ(optibar_store_save(library_, store_.c_str()), OPTIBAR_OK);
+
+  // Loading into a library that already cached plans is a caller bug.
+  EXPECT_EQ(optibar_store_load(library_, store_.c_str()),
+            OPTIBAR_ERR_INVALID_ARGUMENT);
+  EXPECT_GT(std::strlen(optibar_last_error()), 0u);
+
+  // A corrupted store is an IO error, never a crash.
+  {
+    std::ofstream out(store_, std::ios::trunc);
+    out << "optibar-plan-store v1\nranks 8\nentries 1\ngarbage\n";
+  }
+  optibar_library* fresh = optibar_open_service(path_.c_str(), 1, 0);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(optibar_store_load(fresh, store_.c_str()), OPTIBAR_ERR_IO);
+  EXPECT_GT(std::strlen(optibar_last_error()), 0u);
+  // The failed load leaves the service usable.
+  EXPECT_NE(optibar_subset_plan_v2(fresh, subset, 3), nullptr);
+  optibar_close(fresh);
+}
+
+TEST_F(CapiServiceTest, AutoRepairServiceHealsThroughTheCApi) {
+  optibar_library* service =
+      optibar_open_service(path_.c_str(), 1, /*auto_repair=*/1);
+  ASSERT_NE(service, nullptr);
+  const size_t subset[] = {0, 1, 2, 3, 4, 5};
+  ASSERT_NE(optibar_subset_plan_v2(service, subset, 6), nullptr);
+  for (int i = 0; i < 3; ++i) {
+    optibar_report_stall(service, subset, 6, "injected stall");
+  }
+  ASSERT_EQ(optibar_service_wait(service), OPTIBAR_OK);
+  optibar_plan_state_t state = OPTIBAR_PLAN_DEGRADED;
+  ASSERT_EQ(optibar_plan_state(service, subset, 6, &state), OPTIBAR_OK);
+  EXPECT_EQ(state, OPTIBAR_PLAN_PROBATION);
+  // The repaired plan is served again (no degraded warning status).
+  ASSERT_NE(optibar_subset_plan_v2(service, subset, 6), nullptr);
+  EXPECT_EQ(optibar_last_status(), OPTIBAR_OK);
+  EXPECT_EQ(optibar_report_success(service, subset, 6), OPTIBAR_OK);
+  EXPECT_EQ(optibar_report_success(service, subset, 6), OPTIBAR_OK);
+  ASSERT_EQ(optibar_plan_state(service, subset, 6, &state), OPTIBAR_OK);
+  EXPECT_EQ(state, OPTIBAR_PLAN_HEALTHY);
+  optibar_close(service);
 }
 
 }  // namespace

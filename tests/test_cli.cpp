@@ -479,6 +479,49 @@ TEST_F(CliWorkflow, OverlapValidatesItsArguments) {
   EXPECT_EQ(run({"overlap", "--profile", profile_path_}).code, 1);
 }
 
+TEST_F(CliWorkflow, LibraryServesPersistsAndSoaks) {
+  ASSERT_EQ(run({"profile", "--machine", "quad", "--ranks", "8", "--out",
+                 profile_path_})
+                .code,
+            0);
+  const std::string store_path = (dir_ / "plans.store").string();
+
+  // First run: tune the world plan and leave a store behind.
+  {
+    const CliResult result =
+        run({"library", "--profile", profile_path_, "--store", store_path});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("plan service over 8 ranks"), std::string::npos);
+    EXPECT_NE(result.out.find("world plan:"), std::string::npos);
+    EXPECT_NE(result.out.find("state healthy"), std::string::npos);
+    EXPECT_NE(result.out.find("plan store saved to"), std::string::npos);
+    EXPECT_TRUE(std::filesystem::exists(store_path));
+  }
+  // Second run: warm restart from that store — no fresh tune needed.
+  {
+    const CliResult result =
+        run({"library", "--profile", profile_path_, "--store", store_path});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("warm restart: 1 plan(s) loaded"),
+              std::string::npos);
+    EXPECT_NE(result.out.find("tunes 0"), std::string::npos);
+  }
+  // Soak mode exercises the concurrent client/report path end to end.
+  {
+    const CliResult result =
+        run({"library", "--profile", profile_path_, "--auto-repair", "--soak",
+             "--ops", "2000", "--clients", "2", "--subsets", "4", "--seed",
+             "3"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("auto-repair on"), std::string::npos);
+    EXPECT_NE(result.out.find("soak: 2000 ops"), std::string::npos);
+    EXPECT_NE(result.out.find("reports:"), std::string::npos);
+  }
+  // A missing profile is an I/O error (exit 3), not a crash.
+  EXPECT_EQ(run({"library", "--profile", (dir_ / "nope.txt").string()}).code,
+            3);
+}
+
 TEST_F(CliWorkflow, SkewedMachineWorksEndToEnd) {
   ASSERT_EQ(run({"profile", "--machine", "skewed", "--ranks", "16",
                  "--mapping", "block", "--out", profile_path_})

@@ -12,6 +12,7 @@
 #include "barrier/schedule_io.hpp"
 #include "collective/generators.hpp"
 #include "collective/io.hpp"
+#include "core/plan_store.hpp"
 #include "topology/generate.hpp"
 #include "topology/machine.hpp"
 #include "topology/mapping.hpp"
@@ -95,6 +96,71 @@ TEST(FormatHardening, EveryProfileTruncationThrows) {
     EXPECT_THROW(TopologyProfile::load(is), IoError)
         << "prefix length " << len;
   }
+}
+
+std::string saved_plan_store_text() {
+  // Two records — one healthy, one quarantined with a multi-line
+  // reason — so the sweep crosses the escaped-reason and state-token
+  // parsing as well as the embedded schedule block.
+  PlanStoreRecord healthy;
+  healthy.subset = {0, 1, 2, 3};
+  healthy.plan = {dissemination_barrier(4), {}};
+  healthy.predicted_cost = 2.5e-6;
+  PlanStoreRecord sick;
+  sick.subset = {1, 4, 6};
+  sick.state = PlanState::kQuarantined;
+  sick.failures = 3;
+  sick.repair_attempts = 1;
+  sick.reason = "stalled after stage 0\npending edge 1 -> 2\\retry";
+  sick.plan = {dissemination_barrier(3), {}};
+  sick.predicted_cost = 1.5e-6;
+  std::ostringstream os;
+  save_plan_store(os, 8, {healthy, sick});
+  return os.str();
+}
+
+TEST(FormatHardening, EveryPlanStoreTruncationThrows) {
+  const std::string text = saved_plan_store_text();
+  {
+    std::istringstream full(text);
+    std::vector<PlanStoreRecord> records;
+    EXPECT_NO_THROW(records = load_plan_store(full, 8));
+    ASSERT_EQ(records.size(), 2u);
+    // The escaped multi-line reason survives the round trip exactly.
+    EXPECT_EQ(records[1].reason,
+              "stalled after stage 0\npending edge 1 -> 2\\retry");
+  }
+  for (std::size_t len = 0; len <= last_token_start(text); ++len) {
+    std::istringstream is(text.substr(0, len));
+    EXPECT_THROW(load_plan_store(is, 8), IoError) << "prefix length " << len;
+  }
+}
+
+TEST(FormatHardening, PlanStoreRejectsBadHeaderAndRecordValues) {
+  const std::string text = saved_plan_store_text();
+  const auto rejects = [&](const std::string& from, const std::string& to) {
+    std::string tampered = text;
+    const auto pos = tampered.find(from);
+    ASSERT_NE(pos, std::string::npos) << from;
+    tampered.replace(pos, from.size(), to);
+    std::istringstream is(tampered);
+    EXPECT_THROW(load_plan_store(is, 8), IoError) << from << " -> " << to;
+  };
+  rejects("optibar-plan-store v1", "optibar-plan-store v2");
+  rejects("optibar-plan-store", "optibar-plan-shop");
+  rejects("ranks 8", "ranks 12");          // profile mismatch
+  rejects("ranks 8", "ranks 9999999999");  // over the cap
+  rejects("entries 2", "entries 100001");  // over the cap
+  rejects("entries 2", "entries -1");
+  rejects("subset 4 0 1 2 3", "subset 4 0 1 2 99");  // out of range
+  rejects("subset 4 0 1 2 3", "subset 4 0 1 2 2");   // duplicate rank
+  rejects("state quarantined", "state wounded");
+  rejects("state quarantined", "state retuning");  // never persisted
+  rejects("failures 3", "failures many");
+  rejects("predicted 1.5e-06", "predicted nan");
+  rejects("predicted 1.5e-06", "predicted -1");
+  // Subsets must be unique across records.
+  rejects("subset 3 1 4 6", "subset 4 0 1 2 3");
 }
 
 TEST(FormatHardening, ScheduleRejectsBadMagicAndVersion) {

@@ -11,6 +11,8 @@
 
 #include "barrier/algorithms.hpp"
 #include "barrier/cost_model.hpp"
+#include "collective/executor.hpp"
+#include "collective/schedule.hpp"
 #include "simmpi/executor.hpp"
 #include "simmpi/fault.hpp"
 #include "simmpi/resilience.hpp"
@@ -216,6 +218,54 @@ TEST(Library, InjectedFaultsDriveQuarantineEndToEnd) {
     fallback.compiled.execute(ctx);
   });
   EXPECT_EQ(comm.unmatched_operations(), 0u);
+}
+
+TEST(Library, CollectivePlansQuarantineUnderThePooledExecutor) {
+  // Collective callers ride the same health machinery: a library plan
+  // lifted to a zero-payload collective (from_barrier) stalls under the
+  // pooled collective executor, its structured StallReports drive the
+  // quarantine, and the *lifted fallback* then runs clean with intact
+  // buffers.
+  EngineOptions options;
+  options.quarantine_threshold = 2;
+  BarrierLibrary library(cluster_profile(8), options);
+  const std::vector<std::size_t> subset{0, 1, 2, 3, 4, 5};
+  const LibraryEntry& tuned = library.subset_plan(subset);
+  const Schedule& schedule = tuned.stored.schedule;
+
+  FaultPlan faults;
+  for (std::size_t src = 0; src < schedule.ranks(); ++src) {
+    const auto targets = schedule.targets_of(src, 0);
+    if (!targets.empty()) {
+      faults.drops.push_back({src, targets.front(), 0, 1.0, 0.0});
+      break;
+    }
+  }
+  ASSERT_EQ(faults.drops.size(), 1u);
+  simmpi::ResilienceOptions resilience;
+  resilience.max_retries = 0;
+  resilience.deadline_floor = std::chrono::milliseconds(15);
+  simmpi::ExecutorOptions pooled;
+  pooled.mode = simmpi::ExecutionMode::kPersistentPool;
+  const CollectiveExecutor executor(from_barrier(schedule), pooled);
+  const std::vector<Payload> inputs(subset.size());
+  while (!library.is_quarantined(subset)) {
+    const CollectiveExecutor::ResilientResult result =
+        executor.run_once_resilient(inputs, ReduceOp::kSum, resilience,
+                                    faults);
+    ASSERT_TRUE(result.report.stalled);
+    library.report_execution_failure(subset, result.report);
+  }
+  EXPECT_EQ(library.failure_count(subset), 2u);
+
+  const LibraryEntry& fallback = library.subset_plan(subset);
+  ASSERT_TRUE(fallback.degraded);
+  const CollectiveExecutor safe(from_barrier(fallback.stored.schedule),
+                                pooled);
+  const CollectiveExecutor::ResilientResult clean =
+      safe.run_once_resilient(inputs, ReduceOp::kSum, resilience);
+  EXPECT_FALSE(clean.report.stalled);
+  EXPECT_EQ(clean.buffers, inputs);
 }
 
 TEST(Library, FailureReportsRequireAServedPlan) {

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "barrier/cost_model.hpp"
+#include "util/matrix.hpp"
 #include "netsim/engine.hpp"
 #include "topology/generate.hpp"
 #include "topology/machine.hpp"
@@ -94,6 +96,51 @@ TEST(DriftMonitor, RejectsBadInputs) {
   EXPECT_THROW(monitor.observe_overhead(0, 99, 1e-6), Error);
   EXPECT_THROW(monitor.observe_overhead(0, 1, -1.0), Error);
   EXPECT_THROW(monitor.observe_latency(3, 3, 1e-6), Error);
+}
+
+TEST(DriftMonitor, RejectsNonFiniteObservations) {
+  // One poisoned sample would contaminate the EWMA window for good, so
+  // every observe_* entry point rejects NaN/Inf/negative at the
+  // boundary — and a rejected sample must not move the view at all.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  DriftMonitor monitor(base_profile());
+  for (const double bad : {nan, inf, -inf, -1e-9}) {
+    EXPECT_THROW(monitor.observe_overhead(0, 1, bad), Error);
+    EXPECT_THROW(monitor.observe_latency(0, 1, bad), Error);
+  }
+  EXPECT_EQ(monitor.observation_count(), 0u);
+  EXPECT_DOUBLE_EQ(monitor.max_drift(), 0.0);
+  EXPECT_EQ(monitor.current(), monitor.baseline());
+
+  // The R-matrix path enforces the same contract.
+  TopologyProfile with_r = base_profile();
+  Matrix<double> r(with_r.ranks(), with_r.ranks());
+  for (std::size_t i = 0; i < with_r.ranks(); ++i) {
+    for (std::size_t j = 0; j < with_r.ranks(); ++j) {
+      r(i, j) = i == j ? 0.0 : 1e-6;
+    }
+  }
+  with_r.set_rma_latency(std::move(r));
+  DriftMonitor rma_monitor(with_r);
+  for (const double bad : {nan, inf, -inf, -1e-9}) {
+    EXPECT_THROW(rma_monitor.observe_rma_latency(0, 1, bad), Error);
+  }
+  EXPECT_EQ(rma_monitor.observation_count(), 0u);
+  rma_monitor.observe_rma_latency(0, 1, 5e-6);
+  EXPECT_GT(rma_monitor.max_drift(), 0.0);  // R drift is monitored too
+
+  // A profile without R data cannot fold one-sided observations.
+  Matrix<double> o(4, 4);
+  Matrix<double> l(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      o(i, j) = i == j ? 0.0 : 1e-6;
+      l(i, j) = i == j ? 0.0 : 2e-6;
+    }
+  }
+  DriftMonitor bare(TopologyProfile(std::move(o), std::move(l)));
+  EXPECT_THROW(bare.observe_rma_latency(0, 1, 1e-6), Error);
 }
 
 TEST(Amortization, RetunesWhenGainCoversOverhead) {
