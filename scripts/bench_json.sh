@@ -26,6 +26,10 @@
 #                           ops across 4 clients with the background
 #                           repair worker live; ops_per_second gated,
 #                           p50/p99 committed for trajectory)
+#   BENCH_scale.json      — bench_scale (tune/predict/simulate scaling
+#                           to 10240 ranks: dense pipeline vs tiled
+#                           hierarchical, with exact model-memory
+#                           counters and netsim events/sec at 10k)
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 # BENCH_FILTER limits both runs, e.g.
@@ -38,7 +42,7 @@ FILTER="${BENCH_FILTER:-}"
 
 for bench in bench_predict_throughput bench_tuning_speed bench_collective \
              bench_thread_runtime bench_overlap bench_netsim bench_rma \
-             bench_service; do
+             bench_service bench_scale; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -62,3 +66,4 @@ run bench_overlap BENCH_overlap.json
 run bench_netsim BENCH_netsim.json
 run bench_rma BENCH_rma.json
 run bench_service BENCH_service.json
+run bench_scale BENCH_scale.json

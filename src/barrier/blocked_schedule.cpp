@@ -1,0 +1,220 @@
+#include "barrier/blocked_schedule.hpp"
+
+#include "barrier/validate.hpp"
+
+namespace optibar {
+namespace {
+
+/// Extract the (src, dst) pairs of one stage matrix in ascending scan
+/// order — the same order a dense compile() walks them.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> stage_edge_list(
+    const StageMatrix& stage) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::size_t i = 0; i < stage.rows(); ++i) {
+    for (std::size_t j = 0; j < stage.cols(); ++j) {
+      if (stage(i, j)) {
+        edges.emplace_back(static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+BlockedSchedule::BlockedSchedule(
+    std::vector<std::vector<std::size_t>> clusters,
+    std::vector<std::size_t> class_of, std::vector<Schedule> class_arrivals,
+    Schedule leader_arrival, std::vector<std::size_t> leader_ranks,
+    bool leader_self_completing)
+    : clusters_(std::move(clusters)),
+      class_of_(std::move(class_of)),
+      class_arrivals_(std::move(class_arrivals)),
+      leader_arrival_(std::move(leader_arrival)),
+      leader_ranks_(std::move(leader_ranks)),
+      leader_self_completing_(leader_self_completing) {
+  const std::size_t c = clusters_.size();
+  const std::size_t k = class_arrivals_.size();
+  OPTIBAR_REQUIRE(c >= 2, "blocked schedule needs at least two clusters");
+  OPTIBAR_REQUIRE(class_of_.size() == c && leader_ranks_.size() == c,
+                  "cluster map sizes disagree");
+  OPTIBAR_REQUIRE(leader_arrival_.ranks() == c,
+                  "leader schedule is over " << leader_arrival_.ranks()
+                                             << " ranks, expected " << c);
+  std::size_t total = 0;
+  for (std::size_t ci = 0; ci < c; ++ci) {
+    OPTIBAR_REQUIRE(class_of_[ci] < k, "class id out of range");
+    OPTIBAR_REQUIRE(!clusters_[ci].empty(), "empty cluster");
+    OPTIBAR_REQUIRE(
+        clusters_[ci].size() == class_arrivals_[class_of_[ci]].ranks(),
+        "cluster " << ci << " size disagrees with its class schedule");
+    bool leader_is_member = false;
+    for (std::size_t rank : clusters_[ci]) {
+      leader_is_member = leader_is_member || rank == leader_ranks_[ci];
+      ++total;
+    }
+    OPTIBAR_REQUIRE(leader_is_member,
+                    "leader of cluster " << ci << " is not one of its ranks");
+  }
+  ranks_ = total;
+  // Partition check: every rank in exactly one cluster.
+  std::vector<std::uint8_t> seen(ranks_, 0);
+  for (const auto& members : clusters_) {
+    for (std::size_t rank : members) {
+      OPTIBAR_REQUIRE(rank < ranks_ && !seen[rank],
+                      "clusters do not partition the rank space");
+      seen[rank] = 1;
+    }
+  }
+
+  // Precompute per-class and leader edge lists.
+  class_edges_.resize(k);
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    class_edges_[kk].reserve(class_arrivals_[kk].stage_count());
+    for (std::size_t s = 0; s < class_arrivals_[kk].stage_count(); ++s) {
+      class_edges_[kk].push_back(stage_edge_list(class_arrivals_[kk].stage(s)));
+    }
+  }
+  leader_edges_.reserve(leader_arrival_.stage_count());
+  for (std::size_t s = 0; s < leader_arrival_.stage_count(); ++s) {
+    leader_edges_.push_back(stage_edge_list(leader_arrival_.stage(s)));
+  }
+
+  // Global stage plan, mirroring compose_barrier(): all cluster blocks
+  // start at stage 0, the leader block after the longest class
+  // (merge-early), then the reversed transposed arrival with the leader
+  // block omitted when self-completing, then compaction.
+  leader_start_ = 0;
+  for (const auto& stages : class_edges_) {
+    leader_start_ = std::max(leader_start_, stages.size());
+  }
+  const std::size_t arrival_total =
+      leader_start_ + leader_arrival_.stage_count();
+  const std::size_t departure_base =
+      leader_self_completing_ ? leader_start_ : arrival_total;
+
+  auto ref_at = [&](std::size_t a, bool transposed) {
+    BlockedStageRef ref;
+    ref.transposed = transposed;
+    if (a < leader_start_) {
+      ref.local_stage = a;
+    } else {
+      ref.leader_stage = a - leader_start_;
+    }
+    return ref;
+  };
+  std::vector<BlockedStageRef> uncompacted;
+  uncompacted.reserve(arrival_total + departure_base);
+  for (std::size_t a = 0; a < arrival_total; ++a) {
+    uncompacted.push_back(ref_at(a, /*transposed=*/false));
+  }
+  for (std::size_t d = 0; d < departure_base; ++d) {
+    uncompacted.push_back(ref_at(departure_base - 1 - d, /*transposed=*/true));
+  }
+  for (const BlockedStageRef& ref : uncompacted) {
+    if (stage_is_empty(ref)) {
+      continue;
+    }
+    stage_refs_.push_back(ref);
+    // A departure stage carries the Eq. 2 awaited contract only when
+    // acyclic (transposition preserves cycles, so the untransposed
+    // block matrices are checked) — same demotion rule as the dense
+    // composer.
+    awaited_.push_back(ref.transposed && !stage_has_cycle_blocked(ref));
+  }
+  arrival_stages_ = 0;
+  for (std::size_t s = 0; s < awaited_.size(); ++s) {
+    if (!awaited_[s]) {
+      arrival_stages_ = s + 1;
+    }
+  }
+}
+
+bool BlockedSchedule::stage_is_empty(const BlockedStageRef& ref) const {
+  if (ref.local_stage != kNoBlockStage) {
+    for (const auto& stages : class_edges_) {
+      if (ref.local_stage < stages.size() &&
+          !stages[ref.local_stage].empty()) {
+        return false;
+      }
+    }
+  }
+  if (ref.leader_stage != kNoBlockStage &&
+      !leader_edges_[ref.leader_stage].empty()) {
+    return false;
+  }
+  return true;
+}
+
+bool BlockedSchedule::stage_has_cycle_blocked(
+    const BlockedStageRef& ref) const {
+  // Blocks of one global stage live on disjoint rank sets (the leader
+  // block never shares a stage with local blocks — it starts after the
+  // longest class), so a global cycle exists iff some block has one.
+  if (ref.local_stage != kNoBlockStage) {
+    for (const Schedule& arrival : class_arrivals_) {
+      if (ref.local_stage < arrival.stage_count() &&
+          stage_has_cycle(arrival.stage(ref.local_stage))) {
+        return true;
+      }
+    }
+  }
+  if (ref.leader_stage != kNoBlockStage &&
+      stage_has_cycle(leader_arrival_.stage(ref.leader_stage))) {
+    return true;
+  }
+  return false;
+}
+
+std::size_t BlockedSchedule::total_signals() const {
+  std::size_t signals = 0;
+  for (std::size_t s = 0; s < stage_count(); ++s) {
+    for_each_edge(s, [&](std::size_t, std::size_t) { ++signals; });
+  }
+  return signals;
+}
+
+std::size_t BlockedSchedule::memory_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& members : clusters_) {
+    bytes += members.size() * sizeof(std::size_t);
+  }
+  bytes += class_of_.size() * sizeof(std::size_t);
+  bytes += leader_ranks_.size() * sizeof(std::size_t);
+  auto schedule_bytes = [](const Schedule& schedule) {
+    return schedule.stage_count() * schedule.ranks() * schedule.ranks() *
+           sizeof(std::uint8_t);
+  };
+  for (const Schedule& arrival : class_arrivals_) {
+    bytes += schedule_bytes(arrival);
+  }
+  bytes += schedule_bytes(leader_arrival_);
+  for (const auto& stages : class_edges_) {
+    for (const auto& edges : stages) {
+      bytes += edges.size() * sizeof(Edge);
+    }
+  }
+  for (const auto& edges : leader_edges_) {
+    bytes += edges.size() * sizeof(Edge);
+  }
+  bytes += stage_refs_.size() * sizeof(BlockedStageRef);
+  bytes += awaited_.size() / 8 + 1;
+  return bytes;
+}
+
+Schedule BlockedSchedule::to_dense() const {
+  OPTIBAR_REQUIRE(ranks_ <= 8192,
+                  "refusing to densify a " << ranks_ << "-rank blocked plan");
+  Schedule dense(ranks_);
+  for (std::size_t s = 0; s < stage_count(); ++s) {
+    StageMatrix stage(ranks_, ranks_);
+    for_each_edge(s, [&](std::size_t src, std::size_t dst) {
+      stage(src, dst) = 1;
+    });
+    dense.append_stage(std::move(stage));
+  }
+  return dense;
+}
+
+}  // namespace optibar

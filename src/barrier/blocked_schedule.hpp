@@ -1,0 +1,203 @@
+// Blocked schedule representation: a composed hierarchical plan that
+// never materializes dense P x P stage matrices.
+//
+// A hierarchically tuned barrier over C clusters of a few classes is
+// enormously redundant in dense form: every cluster of a class runs the
+// same local sub-schedule (translated to its own ranks), and the leader
+// stage touches only C ranks. At P = 10240 a dense Schedule would carry
+// ~20 stages of 100M-entry BoolMatrix each; the blocked form stores
+//
+//   - one local arrival Schedule per cluster CLASS (tile-local ranks),
+//   - one leader arrival Schedule over the C cluster leaders,
+//   - the cluster membership and leader maps,
+//   - a per-global-stage reference (which local stage / leader stage,
+//     and whether transposed for the departure side),
+//
+// so memory is O(signals + K·t-schedule + C-schedule), sub-quadratic in
+// P. The global stage structure reproduces compose_barrier() exactly:
+// all cluster blocks start at stage 0 (merge-early), the leader block
+// starts after the longest class, the departure is the reversed
+// transposed arrival with the leader block omitted when the leader
+// algorithm is self-completing, empty stages are compacted away, and
+// surviving departure stages are awaited iff acyclic. to_dense() plus
+// the awaited flags therefore round-trip into a plain Schedule the
+// validator and executors accept — and compile_blocked() feeds the
+// compiled CSR predictor and the netsim engine directly, bit-identical
+// to compiling the densified schedule.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "barrier/compiled_schedule.hpp"
+#include "barrier/schedule.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+
+/// Sentinel for "this side contributes no block to the stage".
+inline constexpr std::size_t kNoBlockStage =
+    std::numeric_limits<std::size_t>::max();
+
+/// One compacted global stage: which stage of the per-class local
+/// schedules and/or the leader schedule it replays, and in which
+/// direction.
+struct BlockedStageRef {
+  bool transposed = false;  ///< departure side (reversed transposes)
+  std::size_t local_stage = kNoBlockStage;
+  std::size_t leader_stage = kNoBlockStage;
+
+  bool operator==(const BlockedStageRef&) const = default;
+};
+
+class BlockedSchedule {
+ public:
+  BlockedSchedule() = default;
+
+  /// Assemble the full blocked barrier from its components.
+  ///   clusters    cluster -> global member ranks (a partition of 0..P-1)
+  ///   class_of    cluster -> class id
+  ///   class_arrivals  class -> local arrival schedule over tile ranks
+  ///                   (positional: local rank i is clusters[c][i])
+  ///   leader_arrival  arrival over cluster indices 0..C-1
+  ///   leader_ranks    cluster -> global rank of its leader
+  ///   leader_self_completing  omit the leader block from the departure
+  BlockedSchedule(std::vector<std::vector<std::size_t>> clusters,
+                  std::vector<std::size_t> class_of,
+                  std::vector<Schedule> class_arrivals,
+                  Schedule leader_arrival,
+                  std::vector<std::size_t> leader_ranks,
+                  bool leader_self_completing);
+
+  std::size_t ranks() const { return ranks_; }
+  std::size_t cluster_count() const { return clusters_.size(); }
+  std::size_t class_count() const { return class_arrivals_.size(); }
+
+  /// Compacted global stage count and per-stage Eq. 2 flags, exactly as
+  /// a dense compose_barrier() would have produced them.
+  std::size_t stage_count() const { return stage_refs_.size(); }
+  const std::vector<bool>& awaited_stages() const { return awaited_; }
+  std::size_t arrival_stage_count() const { return arrival_stages_; }
+
+  const std::vector<std::vector<std::size_t>>& clusters() const {
+    return clusters_;
+  }
+  const std::vector<std::size_t>& class_of() const { return class_of_; }
+  const std::vector<Schedule>& class_arrivals() const {
+    return class_arrivals_;
+  }
+  const Schedule& leader_arrival() const { return leader_arrival_; }
+  const std::vector<std::size_t>& leader_ranks() const {
+    return leader_ranks_;
+  }
+  const std::vector<BlockedStageRef>& stage_refs() const {
+    return stage_refs_;
+  }
+  bool leader_self_completing() const { return leader_self_completing_; }
+
+  /// Stage at which the leader block begins in the (uncompacted)
+  /// arrival — the merge-early start after the longest class.
+  std::size_t leader_start() const { return leader_start_; }
+
+  std::size_t total_signals() const;
+
+  /// Exact bytes held by the representation.
+  std::size_t memory_bytes() const;
+
+  /// Enumerate the global (src, dst) edges of compacted stage `s`.
+  /// Order: clusters ascending, then the block's local (src, dst) scan
+  /// order, then the leader block — NOT globally sorted; compile_blocked
+  /// sorts per stage.
+  template <class Fn>
+  void for_each_edge(std::size_t s, Fn&& fn) const {
+    const BlockedStageRef& ref = stage_refs_[s];
+    if (ref.local_stage != kNoBlockStage) {
+      for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        const std::size_t k = class_of_[c];
+        if (ref.local_stage >= class_edges_[k].size()) {
+          continue;
+        }
+        const auto& members = clusters_[c];
+        for (const auto& [i, j] : class_edges_[k][ref.local_stage]) {
+          if (ref.transposed) {
+            fn(members[j], members[i]);
+          } else {
+            fn(members[i], members[j]);
+          }
+        }
+      }
+    }
+    if (ref.leader_stage != kNoBlockStage) {
+      for (const auto& [i, j] : leader_edges_[ref.leader_stage]) {
+        if (ref.transposed) {
+          fn(leader_ranks_[j], leader_ranks_[i]);
+        } else {
+          fn(leader_ranks_[i], leader_ranks_[j]);
+        }
+      }
+    }
+  }
+
+  /// Materialize the dense Schedule (guarded; small-P interop and
+  /// parity tests only). Stage order and contents match the compacted
+  /// blocked stages one to one, so awaited_stages() applies unchanged.
+  Schedule to_dense() const;
+
+ private:
+  using Edge = std::pair<std::uint32_t, std::uint32_t>;
+
+  bool stage_is_empty(const BlockedStageRef& ref) const;
+  bool stage_has_cycle_blocked(const BlockedStageRef& ref) const;
+
+  std::size_t ranks_ = 0;
+  std::vector<std::vector<std::size_t>> clusters_;
+  std::vector<std::size_t> class_of_;
+  std::vector<Schedule> class_arrivals_;
+  Schedule leader_arrival_{1};
+  std::vector<std::size_t> leader_ranks_;
+  bool leader_self_completing_ = false;
+  std::size_t leader_start_ = 0;
+  /// class -> stage -> local (src, dst) pairs in ascending scan order.
+  std::vector<std::vector<std::vector<Edge>>> class_edges_;
+  std::vector<std::vector<Edge>> leader_edges_;
+  std::vector<BlockedStageRef> stage_refs_;
+  std::vector<bool> awaited_;
+  std::size_t arrival_stages_ = 0;
+};
+
+/// Compile a blocked plan straight into the CSR predictor form without
+/// ever building a dense stage matrix. `Costs` needs o(i, j), l(i, j)
+/// and ranks() — both TopologyProfile and TiledProfile qualify. All
+/// edges are priced two-sided; per-stage edge lists are sorted by
+/// (src, dst), so the result is bit-identical to compiling
+/// plan.to_dense() against the same cost source.
+template <class Costs>
+void compile_blocked(const BlockedSchedule& plan, const Costs& costs,
+                     CompiledSchedule& out) {
+  OPTIBAR_REQUIRE(costs.ranks() == plan.ranks(),
+                  "cost source has " << costs.ranks() << " ranks, plan has "
+                                     << plan.ranks());
+  std::vector<std::vector<CompiledEdge>> stage_edges(plan.stage_count());
+  for (std::size_t s = 0; s < plan.stage_count(); ++s) {
+    auto& edges = stage_edges[s];
+    plan.for_each_edge(s, [&](std::size_t src, std::size_t dst) {
+      edges.push_back(
+          CompiledEdge{src, dst, costs.l(src, dst), costs.o(src, dst)});
+    });
+    std::sort(edges.begin(), edges.end(),
+              [](const CompiledEdge& a, const CompiledEdge& b) {
+                return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+  }
+  std::vector<double> self_overhead(plan.ranks());
+  for (std::size_t i = 0; i < plan.ranks(); ++i) {
+    self_overhead[i] = costs.o(i, i);
+  }
+  out.compile_edges(plan.ranks(), stage_edges, self_overhead);
+}
+
+}  // namespace optibar

@@ -16,12 +16,14 @@
 #include "collective/io.hpp"
 #include "collective/simulate.hpp"
 #include "collective/tuner.hpp"
+#include "core/hierarchical.hpp"
 #include "core/library.hpp"
 #include "core/service_soak.hpp"
 #include "core/tuner.hpp"
 #include "netsim/engine.hpp"
 #include "netsim/trace_export.hpp"
 #include "profile/estimator.hpp"
+#include "profile/generate_tiled.hpp"
 #include "profile/synthetic_engine.hpp"
 #include "rma/transport.hpp"
 #include "simmpi/executor.hpp"
@@ -50,7 +52,21 @@ MachineSpec machine_by_name(const std::string& name, std::size_t nodes) {
   if (name == "skewed") {
     return nodes == 0 ? skewed_cluster() : skewed_cluster(nodes);
   }
-  OPTIBAR_FAIL("unknown machine '" << name << "' (quad, hex, skewed)");
+  if (name == "tenk") {
+    return nodes == 0 ? tenk_cluster() : tenk_cluster(nodes);
+  }
+  OPTIBAR_FAIL("unknown machine '" << name << "' (quad, hex, skewed, tenk)");
+}
+
+/// A profile file is either dense (v1-v3, TopologyProfile) or tiled
+/// (v4, TiledProfile); commands that accept both sniff the header.
+bool is_tiled_profile_file(const std::string& path) {
+  std::ifstream is(path);
+  OPTIBAR_IO_REQUIRE(is.is_open(), "cannot open " << path << " for reading");
+  std::string magic;
+  std::string version;
+  is >> magic >> version;
+  return magic == "optibar-profile" && version == "v4";
 }
 
 Mapping mapping_by_name(const std::string& name, const MachineSpec& machine,
@@ -116,7 +132,7 @@ int cmd_machines(const Args& args, std::ostream& out) {
   Table table({"name", "nodes", "sockets", "cores/socket", "cores",
                "internode_O[us]", "internode_L[us]"});
   for (const MachineSpec& m :
-       {quad_cluster(), hex_cluster(), skewed_cluster()}) {
+       {quad_cluster(), hex_cluster(), skewed_cluster(), tenk_cluster()}) {
     table.add_row({m.name(), Table::num(m.nodes()),
                    Table::num(m.sockets_per_node()),
                    Table::num(m.cores_per_socket()),
@@ -125,15 +141,34 @@ int cmd_machines(const Args& args, std::ostream& out) {
                    Table::num(m.tiers().inter_node.latency * 1e6, 1)});
   }
   table.print(out);
-  out << "\nuse --machine quad|hex|skewed (optionally --nodes N)\n";
+  out << "\nuse --machine quad|hex|skewed|tenk (optionally --nodes N)\n";
   return 0;
 }
 
 int cmd_profile(const Args& args, std::ostream& out) {
   args.check_allowed({"machine", "machine-file", "nodes", "ranks", "mapping",
                       "estimate", "noise", "median", "heterogeneity", "seed",
-                      "reps", "out"});
+                      "reps", "out", "tiled"});
   const std::size_t ranks = args.require_size("ranks");
+  if (args.has("tiled")) {
+    // Direct tiled (v4) generation: the only path that reaches 10k
+    // ranks, since it never touches a dense P x P matrix. Exact tiers
+    // only — jitter and estimation would break block structure.
+    OPTIBAR_REQUIRE(!args.has("estimate") && !args.has("heterogeneity") &&
+                        !args.has("mapping"),
+                    "--tiled generates exact block-mapped profiles; it "
+                    "cannot combine with --estimate, --heterogeneity, or "
+                    "--mapping");
+    const MachineSpec machine =
+        machine_by_name(args.require("machine"), args.size_or("nodes", 0));
+    const TiledProfile tiled = generate_tiled_profile(machine, ranks);
+    const std::string path = args.require("out");
+    tiled.save_file(path);
+    out << "wrote " << ranks << "-rank tiled profile of " << machine.name()
+        << " (" << tiled.cluster_count() << " clusters, "
+        << tiled.class_count() << " class(es)) to " << path << "\n";
+    return 0;
+  }
   OPTIBAR_REQUIRE(args.has("machine") != args.has("machine-file"),
                   "give exactly one of --machine and --machine-file");
   if (args.has("machine-file")) {
@@ -208,7 +243,82 @@ int cmd_heatmap(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int tune_hierarchical_cmd(const Args& args, std::ostream& out) {
+  args.check_allowed({"profile", "hierarchical", "extended", "sparseness",
+                      "schedule-out", "threads", "simulate", "reps", "jitter",
+                      "seed", "tolerance", "min-gap-ratio"});
+  EngineOptions options;
+  options.clustering.sss.sparseness = args.double_or("sparseness", 0.35);
+  options.threads = args.size_or("threads", 1);
+  if (args.has("extended")) {
+    options.composition.algorithms = extended_algorithms();
+  }
+  const std::string path = args.require("profile");
+  const HierarchicalTuneResult tuned = [&] {
+    if (is_tiled_profile_file(path)) {
+      return tune_hierarchical(TiledProfile::load_file(path), options);
+    }
+    DetectOptions detection;
+    detection.tolerance = args.double_or("tolerance", 0.05);
+    detection.min_gap_ratio = args.double_or("min-gap-ratio", 3.0);
+    return tune_hierarchical(TopologyProfile::load_file(path), options,
+                             detection);
+  }();
+
+  out << tuned.describe();
+  out.setf(std::ios::scientific);
+  out << "predicted cost: " << tuned.predicted_cost << " s\n";
+
+  if (args.has("simulate")) {
+    // Netsim the tuned plan to completion — the blocked plan compiles
+    // straight into the CSR engine; no dense stage matrix even at 10k.
+    SimOptions sim;
+    sim.jitter = args.double_or("jitter", 0.03);
+    sim.seed = args.size_or("seed", 2011);
+    const std::size_t reps = args.size_or("reps", 5);
+    double total = 0.0;
+    if (tuned.used_dense_fallback) {
+      ThreadPool pool(options.resolved_threads());
+      total = simulate_mean_time(tuned.dense->schedule(),
+                                 tuned.dense->profile(), sim, reps, &pool) *
+              static_cast<double>(reps);
+    } else {
+      CompiledSchedule compiled;
+      compile_blocked(tuned.blocked, tuned.tiled, compiled);
+      SimWorkspace workspace;
+      SimResult result;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        SimOptions rep_options = sim;
+        rep_options.seed = sim.seed + rep;
+        simulate_compiled_into(compiled, tuned.tiled, rep_options, workspace,
+                               result);
+        OPTIBAR_REQUIRE(!result.deadlocked,
+                        "simulated barrier deadlocked at repetition " << rep);
+        total += result.barrier_time();
+      }
+    }
+    out << "simulated barrier time: " << total / static_cast<double>(reps)
+        << " s (mean of " << reps << " repetitions, jitter " << sim.jitter
+        << ")\n";
+  }
+
+  if (args.has("schedule-out")) {
+    OPTIBAR_REQUIRE(!tuned.used_dense_fallback,
+                    "--schedule-out on the dense fallback path: rerun "
+                    "without --hierarchical");
+    StoredSchedule stored;
+    stored.schedule = tuned.blocked.to_dense();  // guarded at large P
+    stored.awaited_stages = tuned.blocked.awaited_stages();
+    save_schedule_file(args.require("schedule-out"), stored);
+    out << "schedule written to " << args.require("schedule-out") << "\n";
+  }
+  return 0;
+}
+
 int cmd_tune(const Args& args, std::ostream& out) {
+  if (args.has("hierarchical")) {
+    return tune_hierarchical_cmd(args, out);
+  }
   args.check_allowed({"profile", "extended", "optimize", "sparseness",
                       "schedule-out", "code-out", "function", "threads"});
   const TopologyProfile profile =
@@ -696,6 +806,67 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_clusters(const Args& args, std::ostream& out) {
+  args.check_allowed({"profile", "tolerance", "min-gap-ratio"});
+  const std::string path = args.require("profile");
+  if (is_tiled_profile_file(path)) {
+    // A v4 file carries its decomposition; report it as stored.
+    const TiledProfile tiled = TiledProfile::load_file(path);
+    out << tiled.ranks() << " ranks in " << tiled.cluster_count()
+        << " clusters of " << tiled.class_count()
+        << " class(es), tolerance " << tiled.tolerance() << " (tiled v4)\n";
+    Table table({"class", "clusters", "ranks/cluster"});
+    for (std::size_t k = 0; k < tiled.class_count(); ++k) {
+      std::size_t instances = 0;
+      for (std::size_t cls : tiled.class_of()) {
+        instances += cls == k ? 1 : 0;
+      }
+      table.add_row({Table::num(k), Table::num(instances),
+                     Table::num(tiled.class_tile(k).ranks())});
+    }
+    table.print(out);
+    return 0;
+  }
+  const TopologyProfile profile = TopologyProfile::load_file(path);
+  DetectOptions detection;
+  detection.tolerance = args.double_or("tolerance", 0.05);
+  detection.min_gap_ratio = args.double_or("min-gap-ratio", 3.0);
+  const ClusterDecomposition decomp =
+      detect_logical_clusters(profile.symmetrized(), detection);
+  if (decomp.single_cluster()) {
+    out << profile.ranks() << " ranks, single logical cluster (no O gap of "
+        << detection.min_gap_ratio << "x or more)\n";
+    return 0;
+  }
+  out.setf(std::ios::scientific);
+  out << profile.ranks() << " ranks in " << decomp.cluster_count()
+      << " clusters of " << decomp.num_classes << " class(es), cut at "
+      << decomp.threshold << " s\n";
+  Table table({"cluster", "class", "size", "members"});
+  for (std::size_t c = 0; c < decomp.cluster_count(); ++c) {
+    const auto& members = decomp.clusters[c];
+    std::string span = Table::num(members.front());
+    if (members.size() > 1) {
+      const bool contiguous =
+          members.back() - members.front() + 1 == members.size();
+      span += (contiguous ? ".." : ", .., ") + Table::num(members.back());
+    }
+    table.add_row({Table::num(c), Table::num(decomp.class_of[c]),
+                   Table::num(members.size()), span});
+  }
+  table.print(out);
+  // Whether `tune --hierarchical` would actually take the blocked path.
+  try {
+    TiledProfile::from_dense(profile.symmetrized(), decomp);
+    out << "block-structured within tolerance " << detection.tolerance
+        << ": yes (tune --hierarchical takes the blocked path)\n";
+  } catch (const Error& error) {
+    out << "block-structured within tolerance " << detection.tolerance
+        << ": NO (tune --hierarchical falls back to the dense tuner)\n";
+  }
+  return 0;
+}
+
 int cmd_validate(const Args& args, std::ostream& out) {
   args.check_allowed({"schedule"});
   const StoredSchedule stored =
@@ -769,6 +940,7 @@ const std::map<std::string, Command>& command_table() {
   static const std::map<std::string, Command> commands{
       {"machines", cmd_machines}, {"profile", cmd_profile},
       {"heatmap", cmd_heatmap},   {"tune", cmd_tune},
+      {"clusters", cmd_clusters},
       {"predict", cmd_predict},   {"simulate", cmd_simulate},
       {"compare", cmd_compare},   {"analyze", cmd_analyze},
       {"validate", cmd_validate}, {"trace", cmd_trace},
@@ -791,12 +963,23 @@ std::string usage_text() {
         "           [--mapping block|rr]\n"
         "           [--nodes N] [--estimate [--noise X] [--median] "
         "[--reps N]] [--heterogeneity X] [--seed N]\n"
+        "           [--tiled]         # write the sub-quadratic v4 form\n"
+        "                            # (exact tiers, block mapping; the\n"
+        "                            # only path that reaches 10k ranks)\n"
         "  heatmap  --profile FILE [--matrix L|O]\n"
         "  tune     --profile FILE [--extended] [--optimize]\n"
         "           [--sparseness A]  # SSS alpha, paper default 0.35\n"
         "           [--threads N]     # tuning width; 0 = hardware\n"
         "           [--schedule-out FILE]\n"
         "           [--code-out FILE] [--function NAME]\n"
+        "           [--hierarchical]  # sub-quadratic cluster-class tuner;\n"
+        "                            # accepts dense or tiled profiles,\n"
+        "                            # falls back densely on flat machines\n"
+        "           [--simulate [--reps N] [--jitter X] [--seed N]]\n"
+        "           [--tolerance X] [--min-gap-ratio X]\n"
+        "  clusters --profile FILE [--tolerance X] [--min-gap-ratio X]\n"
+        "           # logical-cluster decomposition of a dense profile,\n"
+        "           # or the stored decomposition of a tiled one\n"
         "  predict  --profile FILE (--schedule FILE | --algorithm NAME)\n"
         "  simulate --profile FILE (--schedule FILE | --algorithm NAME)\n"
         "           [--reps N] [--jitter X] [--seed N] [--threads N]\n"

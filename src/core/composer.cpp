@@ -180,6 +180,46 @@ std::string ComposedBarrier::describe() const {
   return os.str();
 }
 
+ArrivalComposition compose_arrival(const TopologyProfile& profile,
+                                   const ClusterNode& tree,
+                                   const ComposeOptions& options,
+                                   bool treat_root_as_global,
+                                   ThreadPool* pool) {
+  const std::size_t p = profile.ranks();
+  OPTIBAR_REQUIRE(tree.ranks.size() == p,
+                  "cluster tree covers " << tree.ranks.size() << " ranks, "
+                                         << "profile has " << p);
+  ArrivalComposition out;
+  if (p == 1) {
+    out.arrival = Schedule(1);
+    out.root_algorithm = "trivial";
+    return out;
+  }
+  const CandidateSets candidates{
+      &options.algorithms, options.root_algorithms.empty()
+                               ? &options.algorithms
+                               : &options.root_algorithms};
+  ArrivalBuild build =
+      build_arrival(profile, tree, /*is_root=*/treat_root_as_global,
+                    /*depth=*/0, candidates, out.choices, pool);
+  OPTIBAR_ASSERT(!out.choices.empty(), "composition produced no choices");
+  const LevelChoice& root_choice = out.choices.back();
+  OPTIBAR_ASSERT(root_choice.depth == 0, "root choice not at depth 0");
+  const std::vector<ComponentAlgorithm>& root_set =
+      treat_root_as_global ? *candidates.root : *candidates.sub_levels;
+  const auto root_algo =
+      std::find_if(root_set.begin(), root_set.end(),
+                   [&](const ComponentAlgorithm& a) {
+                     return a.name == root_choice.algorithm;
+                   });
+  OPTIBAR_ASSERT(root_algo != root_set.end(), "root algorithm lost");
+  out.root_algorithm = root_algo->name;
+  out.root_self_completing = root_algo->self_completing;
+  out.root_level_start = build.level_start;
+  out.arrival = std::move(build.arrival);
+  return out;
+}
+
 ComposedBarrier compose_barrier(const TopologyProfile& profile,
                                 const ClusterNode& tree,
                                 const ComposeOptions& options,

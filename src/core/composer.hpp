@@ -70,6 +70,35 @@ struct ComposedBarrier {
   std::string describe() const;
 };
 
+/// Arrival-only composition: the greedy per-level construction of
+/// compose_barrier stopped before the departure transposition and the
+/// compaction. This is the building block of the hierarchical tuner,
+/// which composes one arrival per cluster class plus one over cluster
+/// leaders and assembles the blocked departure itself.
+struct ArrivalComposition {
+  /// Uncompacted arrival schedule over the profile's ranks.
+  Schedule arrival{1};
+  /// Stage at which the top-level block begins (the merge-early start
+  /// of the tree root's own local barrier).
+  std::size_t root_level_start = 0;
+  /// Greedy decisions in post-order (the root-level choice last).
+  std::vector<LevelChoice> choices;
+  std::string root_algorithm;
+  bool root_self_completing = false;
+};
+
+/// Compose only the arrival phase over `tree`. With
+/// `treat_root_as_global` the tree's top level scores with the root
+/// candidate set and the self-completing x1 exemption (it is the
+/// machine-wide last stage); without, it scores like any sub-level
+/// (x2, sub-level candidates) — the right setting for a cluster-class
+/// tile whose departure is always materialized.
+ArrivalComposition compose_arrival(const TopologyProfile& profile,
+                                   const ClusterNode& tree,
+                                   const ComposeOptions& options = {},
+                                   bool treat_root_as_global = true,
+                                   ThreadPool* pool = nullptr);
+
 /// Compose the hybrid barrier for the given profile and cluster tree.
 /// The tree must cover ranks 0..profile.ranks()-1 exactly. A pool
 /// (optional) parallelizes the per-stage candidate evaluation and the

@@ -43,13 +43,14 @@ namespace {
 /// queue_.schedule call happens at the same point in the same order,
 /// the (time, seq) pop order — and with it the RNG stream and every
 /// double in the result — is bit-identical to the reference.
+template <class Costs>
 class Engine {
  public:
   using RankState = SimWorkspace::RankState;
   static constexpr std::uint32_t kNil = SimWorkspace::kNil;
   static constexpr std::size_t kMaxEvents = 100'000'000;
 
-  Engine(const CompiledSchedule& compiled, const TopologyProfile& profile,
+  Engine(const CompiledSchedule& compiled, const Costs& profile,
          const SimOptions& options, SimWorkspace& ws, SimResult& out)
       : compiled_(compiled),
         profile_(profile),
@@ -586,7 +587,7 @@ class Engine {
   }
 
   const CompiledSchedule& compiled_;
-  const TopologyProfile& profile_;
+  const Costs& profile_;
   const SimOptions& options_;
   SimWorkspace& ws_;
   SimResult& out_;
@@ -602,7 +603,14 @@ void simulate_compiled_into(const CompiledSchedule& compiled,
                             const TopologyProfile& profile,
                             const SimOptions& options,
                             SimWorkspace& workspace, SimResult& out) {
-  Engine(compiled, profile, options, workspace, out).run();
+  Engine<TopologyProfile>(compiled, profile, options, workspace, out).run();
+}
+
+void simulate_compiled_into(const CompiledSchedule& compiled,
+                            const TiledProfile& profile,
+                            const SimOptions& options,
+                            SimWorkspace& workspace, SimResult& out) {
+  Engine<TiledProfile>(compiled, profile, options, workspace, out).run();
 }
 
 void simulate_into(const Schedule& schedule, const TopologyProfile& profile,

@@ -55,6 +55,7 @@
 #include "barrier/compiled_schedule.hpp"
 #include "barrier/schedule.hpp"
 #include "netsim/calendar_queue.hpp"
+#include "profile/tiled_profile.hpp"
 #include "simmpi/fault.hpp"
 #include "topology/machine.hpp"
 #include "topology/mapping.hpp"
@@ -249,6 +250,15 @@ void simulate_into(const Schedule& schedule, const TopologyProfile& profile,
 /// same rank count.
 void simulate_compiled_into(const CompiledSchedule& compiled,
                             const TopologyProfile& profile,
+                            const SimOptions& options,
+                            SimWorkspace& workspace, SimResult& out);
+
+/// Same, but reading per-message costs straight from a tiled profile —
+/// the engine is templated over the cost source internally, so at
+/// 10k ranks no dense O/L/R matrices ever exist. Bit-identical to the
+/// dense overload when the tiled accessors agree with a dense profile.
+void simulate_compiled_into(const CompiledSchedule& compiled,
+                            const TiledProfile& profile,
                             const SimOptions& options,
                             SimWorkspace& workspace, SimResult& out);
 

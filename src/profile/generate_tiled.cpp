@@ -1,0 +1,60 @@
+#include "profile/generate_tiled.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "topology/generate.hpp"
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+
+namespace optibar {
+
+TiledProfile generate_tiled_profile(const MachineSpec& machine,
+                                    std::size_t ranks) {
+  const std::size_t t = machine.cores_per_node();
+  OPTIBAR_REQUIRE(ranks > 0 && ranks % t == 0,
+                  "rank count " << ranks << " does not cover whole nodes of "
+                                << t << " cores");
+  const std::size_t nodes = ranks / t;
+  OPTIBAR_REQUIRE(nodes >= 2, "tiled generation needs at least two nodes");
+  OPTIBAR_REQUIRE(nodes <= machine.nodes(),
+                  "machine has " << machine.nodes() << " nodes, need "
+                                 << nodes);
+
+  // One node is the whole intra-cluster story: every node of the
+  // uniform machine produces the same tile, and the jitter-free
+  // generator is exact, so the single-node dense profile IS the class
+  // tile.
+  TopologyProfile tile = generate_profile(machine.first_nodes(1), t);
+
+  // All inter-node pairs share one cost tier; core 0 of nodes 0 and 1
+  // donate the scalars (block numbering is node-major).
+  const LinkCost inter = machine.link_cost(0, t);
+  Matrix<double> inter_o(1, 1, inter.overhead);
+  Matrix<double> inter_l(1, 1, inter.latency);
+  Matrix<double> inter_g;
+  Matrix<double> inter_r;
+  if (tile.has_bandwidth()) {
+    inter_g = Matrix<double>(1, 1, inter.per_byte);
+  }
+  if (tile.has_rma_latency()) {
+    inter_r = Matrix<double>(1, 1, inter.put_latency);
+  }
+
+  std::vector<std::vector<std::size_t>> clusters(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    clusters[n].reserve(t);
+    for (std::size_t i = 0; i < t; ++i) {
+      clusters[n].push_back(n * t + i);
+    }
+  }
+  std::vector<TopologyProfile> tiles;
+  tiles.push_back(std::move(tile));
+  return TiledProfile(std::move(clusters),
+                      std::vector<std::size_t>(nodes, 0), std::move(tiles),
+                      std::move(inter_o), std::move(inter_l),
+                      std::move(inter_g), std::move(inter_r),
+                      /*tolerance=*/0.0);
+}
+
+}  // namespace optibar

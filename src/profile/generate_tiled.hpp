@@ -1,0 +1,28 @@
+// Direct tiled-profile generation: the large-P counterpart of
+// topology/generate.hpp. generate_profile() fills dense P x P matrices
+// — impossible at 10k ranks (3.4 GB, and over the dense format cap).
+// A jitter-free machine under the block mapping IS exactly block
+// structured, so its tiled form can be written down without ever
+// touching a dense matrix: one node tile plus the inter-node scalars.
+// For rank counts where both paths are feasible the result is
+// bit-identical to from_dense(generate_profile(...)) — pinned by
+// tests.
+#pragma once
+
+#include <cstddef>
+
+#include "profile/tiled_profile.hpp"
+#include "topology/machine.hpp"
+
+namespace optibar {
+
+/// Generate the tiled profile of `machine`'s first `ranks` cores under
+/// the block mapping. `ranks` must cover at least two whole nodes
+/// (partial nodes would create a second cluster class mid-machine;
+/// callers that need them should generate densely and lift). Jitter is
+/// deliberately not offered: per-pair noise breaks exact block
+/// structure, which is the entire content of the tiled form.
+TiledProfile generate_tiled_profile(const MachineSpec& machine,
+                                    std::size_t ranks);
+
+}  // namespace optibar

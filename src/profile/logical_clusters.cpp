@@ -1,0 +1,186 @@
+#include "profile/logical_clusters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+/// Relative closeness with a shared tolerance: |a - b| within tol of
+/// the larger magnitude. Exact zeros (L diagonals) compare equal.
+bool rel_close(double a, double b, double tol) {
+  const double denom = std::max(std::abs(a), std::abs(b));
+  if (denom == 0.0) {
+    return true;
+  }
+  return std::abs(a - b) <= tol * denom;
+}
+
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) {
+      // Smaller root wins so find() chains stay rank-ordered; the
+      // canonical renumbering below does not depend on it, but it keeps
+      // intermediate state deterministic too.
+      if (b < a) {
+        std::swap(a, b);
+      }
+      parent[b] = a;
+    }
+  }
+};
+
+ClusterDecomposition single_cluster_of(std::size_t ranks, double tolerance) {
+  ClusterDecomposition out;
+  out.assignment.assign(ranks, 0);
+  out.clusters.resize(1);
+  out.clusters[0].resize(ranks);
+  std::iota(out.clusters[0].begin(), out.clusters[0].end(), 0);
+  out.class_of = {0};
+  out.num_classes = 1;
+  out.threshold = 0.0;
+  out.tolerance = tolerance;
+  return out;
+}
+
+/// Two clusters are the same class iff they have equal size and their
+/// positional tiles agree within tol on every matrix the profile has.
+bool same_class(const TopologyProfile& profile,
+                const std::vector<std::size_t>& a,
+                const std::vector<std::size_t>& b, double tol) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  const bool has_g = profile.has_bandwidth();
+  const bool has_r = profile.has_rma_latency();
+  for (std::size_t x = 0; x < a.size(); ++x) {
+    for (std::size_t y = 0; y < a.size(); ++y) {
+      if (!rel_close(profile.o(a[x], a[y]), profile.o(b[x], b[y]), tol) ||
+          !rel_close(profile.l(a[x], a[y]), profile.l(b[x], b[y]), tol)) {
+        return false;
+      }
+      if (has_g &&
+          !rel_close(profile.g(a[x], a[y]), profile.g(b[x], b[y]), tol)) {
+        return false;
+      }
+      if (has_r &&
+          !rel_close(profile.r(a[x], a[y]), profile.r(b[x], b[y]), tol)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ClusterDecomposition detect_logical_clusters(const TopologyProfile& profile,
+                                             const DetectOptions& options) {
+  const std::size_t p = profile.ranks();
+  OPTIBAR_REQUIRE(p > 0, "cannot detect clusters in an empty profile");
+  OPTIBAR_REQUIRE(options.min_gap_ratio > 1.0,
+                  "min_gap_ratio must exceed 1, got " << options.min_gap_ratio);
+  OPTIBAR_REQUIRE(options.tolerance >= 0.0 && options.tolerance < 1.0,
+                  "tolerance must be in [0, 1), got " << options.tolerance);
+  if (p == 1) {
+    return single_cluster_of(1, options.tolerance);
+  }
+
+  // Sorted symmetrized one-message distances; the biggest multiplicative
+  // hole between consecutive values is the intra/inter separation. Ties
+  // go to the topmost gap so a multi-tier machine is always cut at its
+  // outermost level.
+  std::vector<double> dist;
+  dist.reserve(p * (p - 1) / 2);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i + 1; j < p; ++j) {
+      dist.push_back(profile.distance(i, j));
+    }
+  }
+  std::sort(dist.begin(), dist.end());
+  double best_ratio = 0.0;
+  std::size_t best_k = dist.size();
+  for (std::size_t k = 0; k + 1 < dist.size(); ++k) {
+    if (dist[k] <= 0.0) {
+      continue;
+    }
+    const double ratio = dist[k + 1] / dist[k];
+    if (ratio >= best_ratio) {
+      best_ratio = ratio;
+      best_k = k;
+    }
+  }
+  if (best_k == dist.size() || best_ratio < options.min_gap_ratio) {
+    return single_cluster_of(p, options.tolerance);  // flat machine
+  }
+  const double threshold = std::sqrt(dist[best_k] * dist[best_k + 1]);
+
+  // Clusters = connected components under distance <= threshold.
+  UnionFind uf(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i + 1; j < p; ++j) {
+      if (profile.distance(i, j) <= threshold) {
+        uf.unite(i, j);
+      }
+    }
+  }
+
+  // Canonical numbering: clusters by smallest member, members ascending.
+  ClusterDecomposition out;
+  out.assignment.assign(p, 0);
+  std::vector<std::size_t> root_to_cluster(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    const std::size_t root = uf.find(i);
+    if (root_to_cluster[root] == p) {
+      root_to_cluster[root] = out.clusters.size();
+      out.clusters.emplace_back();
+    }
+    const std::size_t c = root_to_cluster[root];
+    out.assignment[i] = c;
+    out.clusters[c].push_back(i);
+  }
+  if (out.clusters.size() <= 1) {
+    return single_cluster_of(p, options.tolerance);
+  }
+
+  // Class grouping: compare each cluster against the representative of
+  // every existing class in first-appearance order.
+  out.class_of.assign(out.clusters.size(), 0);
+  std::vector<std::size_t> class_rep;  // class id -> representative cluster
+  for (std::size_t c = 0; c < out.clusters.size(); ++c) {
+    std::size_t k = class_rep.size();
+    for (std::size_t existing = 0; existing < class_rep.size(); ++existing) {
+      if (same_class(profile, out.clusters[class_rep[existing]],
+                     out.clusters[c], options.tolerance)) {
+        k = existing;
+        break;
+      }
+    }
+    if (k == class_rep.size()) {
+      class_rep.push_back(c);
+    }
+    out.class_of[c] = k;
+  }
+  out.num_classes = class_rep.size();
+  out.threshold = threshold;
+  out.tolerance = options.tolerance;
+  return out;
+}
+
+}  // namespace optibar

@@ -1,0 +1,85 @@
+// Logical-cluster detection: recover homogeneous sub-clusters from the
+// O/L matrices.
+//
+// Estefanel & Mounié ("Identifying Logical Homogeneous Clusters",
+// PAPERS.md) observe that the pairwise latency matrix of a real machine
+// collapses into a small number of homogeneous blocks — ranks on the
+// same node see each other through one cost band, ranks on different
+// nodes through a clearly separated higher band. The detector exploits
+// exactly that separation: it sorts the symmetrized one-message
+// distances O(i,j), finds the largest multiplicative gap between
+// consecutive values, cuts there, and takes connected components under
+// "distance below the cut" as the logical clusters.
+//
+// Determinism contract (pinned by tests):
+//   - clusters are numbered by their smallest member rank (rank 0 is
+//     always in cluster 0), members listed ascending;
+//   - cluster classes (groups of clusters with positionally equal
+//     tiles within the relative tolerance) are numbered in order of
+//     first appearance;
+//   - when several gaps tie for largest ratio, the topmost (largest
+//     values) wins, so the cut always separates the outermost level;
+//   - the result depends only on the matrix values, never on memory
+//     layout, hashing, or thread scheduling.
+//
+// A machine whose largest gap is below `min_gap_ratio` is flat: the
+// detector returns a single cluster and callers fall back to the dense
+// path unchanged.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/profile.hpp"
+
+namespace optibar {
+
+struct DetectOptions {
+  /// Minimum multiplicative jump between consecutive sorted distances
+  /// for the machine to count as clustered at all. GbE-style presets
+  /// separate intra- from inter-node by 5x or more; anything under this
+  /// ratio is treated as a flat (single-cluster) machine.
+  double min_gap_ratio = 3.0;
+
+  /// Relative tolerance for treating two clusters as the same class and
+  /// (downstream, in TiledProfile::from_dense) for verifying that
+  /// inter-cluster blocks are constant. Must cover about twice the
+  /// per-pair jitter amplitude of the measurements.
+  double tolerance = 0.05;
+};
+
+/// A partition of ranks into logical clusters plus the grouping of
+/// clusters into equivalence classes.
+struct ClusterDecomposition {
+  /// rank -> cluster id; canonical (cluster ids ordered by smallest
+  /// member rank).
+  std::vector<std::size_t> assignment;
+
+  /// cluster id -> member ranks, ascending.
+  std::vector<std::vector<std::size_t>> clusters;
+
+  /// cluster id -> class id (first-appearance order). Clusters of one
+  /// class have equal size and positionally equal O/L/G/R tiles within
+  /// `tolerance`.
+  std::vector<std::size_t> class_of;
+
+  /// Number of distinct cluster classes.
+  std::size_t num_classes = 0;
+
+  /// Distance cut that separated intra- from inter-cluster pairs
+  /// (geometric mean of the two gap endpoints); 0 for a single cluster.
+  double threshold = 0.0;
+
+  /// Relative tolerance the class grouping was established at.
+  double tolerance = 0.0;
+
+  std::size_t cluster_count() const { return clusters.size(); }
+  bool single_cluster() const { return clusters.size() <= 1; }
+};
+
+/// Detect logical clusters in a dense profile. Always succeeds: a flat
+/// or unsplittable machine comes back as one cluster.
+ClusterDecomposition detect_logical_clusters(
+    const TopologyProfile& profile, const DetectOptions& options = {});
+
+}  // namespace optibar

@@ -84,6 +84,14 @@ MachineSpec quad_cluster(std::size_t nodes = 8);
 /// gigabit ethernet, per-socket shared L3.
 MachineSpec hex_cluster(std::size_t nodes = 10);
 
+/// The 10k-rank scaling target: 256 nodes x dual 20-core sockets
+/// (10240 cores, three cost levels per node plus the network). The
+/// intra-node tiers stay close together while the node boundary jumps
+/// by >6x in O, so logical-cluster detection cuts exactly at nodes —
+/// the shape the hierarchical tuner is built for. Dense O/L/G/R at
+/// this scale would be ~3.4 GB; use generate_tiled_profile.
+MachineSpec tenk_cluster(std::size_t nodes = 256);
+
 /// A deliberately lopsided machine used by tests and the custom-topology
 /// example: mixed node sizes are not representable by MachineSpec, so
 /// this returns a *uniform* machine with unusually skewed tier costs

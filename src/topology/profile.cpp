@@ -162,6 +162,9 @@ TopologyProfile TopologyProfile::load(std::istream& is) {
   is >> magic >> version;
   OPTIBAR_IO_REQUIRE(!is.fail() && magic == kMagic,
                      "not an optibar profile (magic '" << magic << "')");
+  OPTIBAR_IO_REQUIRE(version != "v4",
+                     "profile is a v4 tiled profile; load it with "
+                     "TiledProfile::load");
   OPTIBAR_IO_REQUIRE(version == "v1" || version == "v2" || version == "v3",
                      "unsupported profile version " << version);
   std::string tag;

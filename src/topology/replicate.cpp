@@ -30,9 +30,20 @@ TopologyProfile replicate_profile(const TopologyProfile& measured,
   const auto& l_src = measured.latency();
   Matrix<double> o(total, total);
   Matrix<double> l(total, total);
+  Matrix<double> g;
+  Matrix<double> r;
+  if (measured.has_bandwidth()) {
+    g = Matrix<double>(total, total);
+  }
+  if (measured.has_rma_latency()) {
+    r = Matrix<double>(total, total);
+  }
 
   // Representative submatrices: intra from group 0, inter from the
-  // (group 0 -> group 1) block, both read positionally.
+  // (group 0 -> group 1) block, both read positionally. G and R ride
+  // along whenever the measured profile carries them — dropping either
+  // would silently reprice collectives (G -> 0) and one-sided edges
+  // (R -> L fallback) on the replicated machine.
   const auto& rep = groups[0];
   const auto& rep2 = groups[1];
   for (std::size_t gi = 0; gi < groups.size(); ++gi) {
@@ -45,11 +56,23 @@ TopologyProfile replicate_profile(const TopologyProfile& measured,
           const std::size_t src_c = gi == gj ? rep[b] : rep2[b];
           o(dst_r, dst_c) = o_src(src_r, src_c);
           l(dst_r, dst_c) = l_src(src_r, src_c);
+          if (!g.empty()) {
+            g(dst_r, dst_c) = measured.bandwidth()(src_r, src_c);
+          }
+          if (!r.empty()) {
+            r(dst_r, dst_c) = measured.rma_latency()(src_r, src_c);
+          }
         }
       }
     }
   }
-  return TopologyProfile(std::move(o), std::move(l));
+  TopologyProfile result =
+      g.empty() ? TopologyProfile(std::move(o), std::move(l))
+                : TopologyProfile(std::move(o), std::move(l), std::move(g));
+  if (!r.empty()) {
+    result.set_rma_latency(std::move(r));
+  }
+  return result;
 }
 
 double max_relative_deviation(const TopologyProfile& a,
@@ -71,6 +94,12 @@ double max_relative_deviation(const TopologyProfile& a,
   };
   scan(a.overhead(), b.overhead());
   scan(a.latency(), b.latency());
+  if (a.has_bandwidth() && b.has_bandwidth()) {
+    scan(a.bandwidth(), b.bandwidth());
+  }
+  if (a.has_rma_latency() && b.has_rma_latency()) {
+    scan(a.rma_latency(), b.rma_latency());
+  }
   return worst;
 }
 

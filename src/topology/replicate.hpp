@@ -26,7 +26,9 @@ using RankGroups = std::vector<std::vector<std::size_t>>;
 ///     positionally (groups must all have the same size);
 ///   - between any two distinct groups, the representative value is the
 ///     positional submatrix between groups[0] and groups[1].
-/// Requires at least two groups of equal size.
+/// All matrices the measured profile carries are replicated: O and L
+/// always, G and R whenever present. Requires at least two groups of
+/// equal size.
 TopologyProfile replicate_profile(const TopologyProfile& measured,
                                   const RankGroups& groups);
 

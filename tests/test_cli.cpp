@@ -534,5 +534,93 @@ TEST_F(CliWorkflow, SkewedMachineWorksEndToEnd) {
   EXPECT_EQ(run({"validate", "--schedule", schedule_path_}).code, 0);
 }
 
+TEST_F(CliWorkflow, ClustersReportsDecompositionAndBlockStructure) {
+  ASSERT_EQ(run({"profile", "--machine", "quad", "--nodes", "4", "--ranks",
+                 "32", "--mapping", "block", "--out", profile_path_})
+                .code,
+            0);
+  const CliResult result = run({"clusters", "--profile", profile_path_});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("4 clusters of 1 class(es)"), std::string::npos);
+  EXPECT_NE(result.out.find("block-structured"), std::string::npos);
+  EXPECT_NE(result.out.find("yes"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, ClustersExitCodesDistinguishUsageAndIo) {
+  // Missing --profile is a usage error (1); an unreadable path is IO (3).
+  EXPECT_EQ(run({"clusters"}).code, 1);
+  EXPECT_EQ(run({"clusters", "--profile", (dir_ / "absent.prof").string()})
+                .code,
+            3);
+  // Garbage content is IO too.
+  const std::string junk_path = (dir_ / "junk.prof").string();
+  std::ofstream(junk_path) << "not a profile\n";
+  EXPECT_EQ(run({"clusters", "--profile", junk_path}).code, 3);
+}
+
+TEST_F(CliWorkflow, TuneHierarchicalOnClusteredProfile) {
+  ASSERT_EQ(run({"profile", "--machine", "quad", "--nodes", "4", "--ranks",
+                 "32", "--mapping", "block", "--out", profile_path_})
+                .code,
+            0);
+  const CliResult result =
+      run({"tune", "--hierarchical", "--profile", profile_path_,
+           "--simulate", "--reps", "2", "--schedule-out", schedule_path_});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("4 clusters in 1 classes"), std::string::npos);
+  EXPECT_NE(result.out.find("predicted cost"), std::string::npos);
+  EXPECT_NE(result.out.find("simulated barrier time"), std::string::npos);
+  // The densified blocked plan passes the stored-schedule validator.
+  EXPECT_EQ(run({"validate", "--schedule", schedule_path_}).code, 0);
+}
+
+TEST_F(CliWorkflow, TuneHierarchicalFallsBackOnNonBlockMachine) {
+  ASSERT_EQ(run({"profile", "--machine", "skewed", "--ranks", "16",
+                 "--mapping", "block", "--out", profile_path_})
+                .code,
+            0);
+  const CliResult result =
+      run({"tune", "--hierarchical", "--profile", profile_path_});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("dense fallback"), std::string::npos);
+  // --schedule-out is reserved for the blocked path; on fallback it is a
+  // usage error pointing at the plain tuner.
+  EXPECT_EQ(run({"tune", "--hierarchical", "--profile", profile_path_,
+                 "--schedule-out", schedule_path_})
+                .code,
+            1);
+}
+
+TEST_F(CliWorkflow, TiledProfileRoundTripsThroughCli) {
+  const std::string tiled_path = (dir_ / "tiled.v4prof").string();
+  {
+    const CliResult result =
+        run({"profile", "--machine", "quad", "--nodes", "4", "--ranks", "32",
+             "--tiled", "--out", tiled_path});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("tiled profile"), std::string::npos);
+  }
+  {
+    const CliResult result = run({"clusters", "--profile", tiled_path});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("(tiled v4)"), std::string::npos);
+  }
+  {
+    const CliResult result = run({"tune", "--hierarchical", "--profile",
+                                  tiled_path, "--simulate", "--reps", "2"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("simulated barrier time"), std::string::npos);
+  }
+  // --tiled excludes jitter/estimation/mapping knobs.
+  EXPECT_EQ(run({"profile", "--machine", "quad", "--nodes", "4", "--ranks",
+                 "32", "--tiled", "--estimate", "--out", tiled_path})
+                .code,
+            1);
+  // The dense loader points v4 files at the tiled loader via exit 3.
+  const CliResult dense_on_v4 = run({"tune", "--profile", tiled_path});
+  EXPECT_EQ(dense_on_v4.code, 3);
+  EXPECT_NE(dense_on_v4.err.find("v4"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace optibar::cli

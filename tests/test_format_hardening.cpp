@@ -13,6 +13,7 @@
 #include "collective/generators.hpp"
 #include "collective/io.hpp"
 #include "core/plan_store.hpp"
+#include "profile/tiled_profile.hpp"
 #include "topology/generate.hpp"
 #include "topology/machine.hpp"
 #include "topology/mapping.hpp"
@@ -95,6 +96,39 @@ TEST(FormatHardening, EveryProfileTruncationThrows) {
     std::istringstream is(text.substr(0, len));
     EXPECT_THROW(TopologyProfile::load(is), IoError)
         << "prefix length " << len;
+  }
+}
+
+// Smallest meaningful tiled profile: two 2-rank clusters of one class,
+// O/L only — covers the header, assignment/class-of lines, an embedded
+// dense tile, and the inter-class block.
+std::string saved_tiled_profile_text() {
+  Matrix<double> o(2, 2), l(2, 2);
+  o(0, 0) = 1.5e-6;
+  o(0, 1) = 2e-6;
+  o(1, 0) = 2e-6;
+  o(1, 1) = 1.5e-6;
+  l(0, 1) = 1.2e-7;
+  l(1, 0) = 1.2e-7;
+  const TiledProfile tiled({{0, 1}, {2, 3}}, {0, 0},
+                           {TopologyProfile(std::move(o), std::move(l))},
+                           Matrix<double>(1, 1, 2e-5),
+                           Matrix<double>(1, 1, 8e-6), Matrix<double>(),
+                           Matrix<double>(), 0.0);
+  std::ostringstream os;
+  tiled.save(os);
+  return os.str();
+}
+
+TEST(FormatHardening, EveryTiledProfileTruncationThrows) {
+  const std::string text = saved_tiled_profile_text();
+  {
+    std::istringstream full(text);
+    EXPECT_NO_THROW(TiledProfile::load(full));
+  }
+  for (std::size_t len = 0; len <= last_token_start(text); ++len) {
+    std::istringstream is(text.substr(0, len));
+    EXPECT_THROW(TiledProfile::load(is), IoError) << "prefix length " << len;
   }
 }
 
@@ -287,6 +321,47 @@ TEST(FormatHardening, PreRmaProfileFixturesStillLoad) {
   const TopologyProfile p2 = TopologyProfile::load(v2);
   EXPECT_FALSE(p2.has_rma_latency());
   EXPECT_DOUBLE_EQ(p2.r(1, 0), p2.l(1, 0));
+}
+
+TEST(FormatHardening, PreTiledProfileFixtureStillLoadsAndSavesDense) {
+  // Byte-for-byte what a pre-tiled (pre-v4) build wrote for a 2-rank
+  // v3 profile. The v4 bump must never orphan these files, and a dense
+  // TopologyProfile must keep emitting the pre-bump header so golden
+  // dense artefacts stay byte-identical.
+  std::istringstream v3(
+      "optibar-profile v3\n"
+      "P 2\n"
+      "O\n"
+      "1e-06 2e-06\n"
+      "2e-06 1e-06\n"
+      "L\n"
+      "0 3e-07\n"
+      "3e-07 0\n"
+      "R\n"
+      "0 1.5e-06\n"
+      "1.5e-06 0\n");
+  const TopologyProfile p3 = TopologyProfile::load(v3);
+  EXPECT_TRUE(p3.has_rma_latency());
+  EXPECT_FALSE(p3.has_bandwidth());
+  EXPECT_DOUBLE_EQ(p3.r(0, 1), 1.5e-6);
+
+  EXPECT_EQ(saved_profile_text().rfind("optibar-profile v4", 0),
+            std::string::npos);
+}
+
+TEST(FormatHardening, TiledAndDenseProfileLoadersRejectEachOther) {
+  // Version sniffing must fail loudly in both directions: the dense
+  // loader names v4 so the CLI can point at `tune --hierarchical`, and
+  // the tiled loader refuses dense headers instead of misparsing them.
+  std::istringstream v4(saved_tiled_profile_text());
+  try {
+    TopologyProfile::load(v4);
+    FAIL() << "dense loader accepted a v4 tiled profile";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("v4"), std::string::npos);
+  }
+  std::istringstream dense(saved_profile_text());
+  EXPECT_THROW(TiledProfile::load(dense), IoError);
 }
 
 TEST(FormatHardening, ProfileRejectsOversizedAndNonFiniteValues) {

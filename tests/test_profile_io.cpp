@@ -150,6 +150,35 @@ TEST(Profile, RestrictAndSymmetrizePreserveR) {
   EXPECT_DOUBLE_EQ(sym.r(1, 0), 3e-7);
 }
 
+TEST(Profile, RestrictRoundTripPinsAllFourMatrices) {
+  // Regression for the G/R-preserving contract: a restrict followed by a
+  // restrict back to the full rank order must reproduce every matrix the
+  // profile carries, bit for bit — O, L, G and R alike.
+  const TopologyProfile p = generate_profile(quad_cluster(), 16);
+  ASSERT_TRUE(p.has_bandwidth());
+  ASSERT_TRUE(p.has_rma_latency());
+  std::vector<std::size_t> shuffled{3, 0, 7, 12, 5, 15, 1, 9,
+                                    14, 2, 11, 6, 13, 4, 10, 8};
+  std::vector<std::size_t> inverse(shuffled.size());
+  for (std::size_t pos = 0; pos < shuffled.size(); ++pos) {
+    inverse[shuffled[pos]] = pos;
+  }
+  const TopologyProfile round =
+      p.restrict_to(shuffled).restrict_to(inverse);
+  ASSERT_TRUE(round.has_bandwidth());
+  ASSERT_TRUE(round.has_rma_latency());
+  EXPECT_EQ(p, round);
+  const TopologyProfile sym = p.symmetrized();
+  ASSERT_TRUE(sym.has_bandwidth());
+  ASSERT_TRUE(sym.has_rma_latency());
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_DOUBLE_EQ(sym.g(i, j), 0.5 * (p.g(i, j) + p.g(j, i)));
+      EXPECT_DOUBLE_EQ(sym.r(i, j), 0.5 * (p.r(i, j) + p.r(j, i)));
+    }
+  }
+}
+
 TEST(Profile, LoadRejectsWrongMagic) {
   std::stringstream ss("not-a-profile v1\nP 1\n");
   EXPECT_THROW(TopologyProfile::load(ss), Error);

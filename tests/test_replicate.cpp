@@ -54,6 +54,47 @@ TEST(Replicate, SmallDeviationUnderJitter) {
   EXPECT_LT(deviation, 0.2);  // two jitter half-widths
 }
 
+TEST(Replicate, CarriesBandwidthAndRmaMatrices) {
+  // Regression: replication used to rebuild only O and L, silently
+  // repricing payload (G -> 0) and one-sided edges (R -> L fallback) on
+  // the replicated machine. All four matrices must survive.
+  const MachineSpec m = quad_cluster(4);
+  const TopologyProfile full = generate_profile(m, 32);
+  ASSERT_TRUE(full.has_bandwidth());
+  ASSERT_TRUE(full.has_rma_latency());
+  const TopologyProfile replicated =
+      replicate_profile(full, node_groups(4, 8));
+  ASSERT_TRUE(replicated.has_bandwidth());
+  ASSERT_TRUE(replicated.has_rma_latency());
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      EXPECT_DOUBLE_EQ(replicated.g(i, j), full.g(i, j));
+      EXPECT_DOUBLE_EQ(replicated.r(i, j), full.r(i, j));
+    }
+  }
+}
+
+TEST(Replicate, OmitsBandwidthAndRmaWhenMeasuredLacksThem) {
+  const TopologyProfile bare(Matrix<double>(4, 4, 1.0),
+                             Matrix<double>(4, 4, 2.0));
+  const TopologyProfile replicated =
+      replicate_profile(bare, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(replicated.has_bandwidth());
+  EXPECT_FALSE(replicated.has_rma_latency());
+}
+
+TEST(Replicate, DeviationMetricScansBandwidthAndRma) {
+  const MachineSpec m = quad_cluster(2);
+  const TopologyProfile full = generate_profile(m, 16);
+  TopologyProfile tampered = full;
+  Matrix<double> g = tampered.bandwidth();
+  g(0, 1) *= 2.0;
+  tampered = TopologyProfile(Matrix<double>(full.overhead()),
+                             Matrix<double>(full.latency()), std::move(g));
+  tampered.set_rma_latency(Matrix<double>(full.rma_latency()));
+  EXPECT_NEAR(max_relative_deviation(full, tampered), 0.5, 1e-12);
+}
+
 TEST(Replicate, PreservesDiagonal) {
   const MachineSpec m = quad_cluster(2);
   const TopologyProfile full = generate_profile(m, 16);

@@ -1,0 +1,269 @@
+// Logical-cluster detection and the tiled profile representation: the
+// detector must recover node boundaries deterministically from the O/L
+// matrices alone, and the tiled form must be bit-compatible with the
+// dense accessors on exact block machines.
+#include "profile/tiled_profile.hpp"
+
+#include "profile/generate_tiled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "profile/logical_clusters.hpp"
+#include "topology/generate.hpp"
+#include "topology/machine.hpp"
+#include "topology/mapping.hpp"
+#include "util/error.hpp"
+
+namespace optibar {
+namespace {
+
+TEST(LogicalClusters, RecoversNodesOnQuadPreset) {
+  const TopologyProfile dense = generate_profile(quad_cluster(4), 32);
+  const ClusterDecomposition decomp = detect_logical_clusters(dense);
+  ASSERT_EQ(decomp.cluster_count(), 4u);
+  EXPECT_EQ(decomp.num_classes, 1u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    ASSERT_EQ(decomp.clusters[c].size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(decomp.clusters[c][i], c * 8 + i);  // block mapping
+    }
+  }
+  EXPECT_GT(decomp.threshold, 4.0e-6);   // above cross-socket O
+  EXPECT_LT(decomp.threshold, 2.5e-5);   // below inter-node O
+}
+
+TEST(LogicalClusters, RecoversStridedClustersUnderRoundRobin) {
+  // The decomposition depends on matrix values, not on rank numbering:
+  // a round-robin mapping deals ranks across nodes, and the detector
+  // must find the same four logical nodes as strided member sets.
+  const MachineSpec m = quad_cluster(4);
+  const TopologyProfile dense =
+      generate_profile(m, round_robin_mapping(m, 32));
+  const ClusterDecomposition decomp = detect_logical_clusters(dense);
+  ASSERT_EQ(decomp.cluster_count(), 4u);
+  EXPECT_EQ(decomp.num_classes, 1u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    ASSERT_EQ(decomp.clusters[c].size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(decomp.clusters[c][i], c + 4 * i);  // stride = node count
+    }
+  }
+}
+
+TEST(LogicalClusters, DeterministicAcrossRepeatedRuns) {
+  const TopologyProfile dense =
+      generate_profile(hex_cluster(3), 36, GenerateOptions{0.02, 7});
+  const ClusterDecomposition a = detect_logical_clusters(dense);
+  const ClusterDecomposition b = detect_logical_clusters(dense);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.class_of, b.class_of);
+  EXPECT_EQ(a.threshold, b.threshold);
+}
+
+TEST(LogicalClusters, FlatMachineComesBackAsOneCluster) {
+  // Uniform off-diagonal costs leave no gap to cut at.
+  Matrix<double> o(8, 8, 1.0e-5);
+  Matrix<double> l(8, 8, 1.0e-6);
+  for (std::size_t i = 0; i < 8; ++i) {
+    o(i, i) = 1.0e-6;
+    l(i, i) = 0.0;
+  }
+  const ClusterDecomposition decomp =
+      detect_logical_clusters(TopologyProfile(std::move(o), std::move(l)));
+  EXPECT_TRUE(decomp.single_cluster());
+  EXPECT_EQ(decomp.clusters[0].size(), 8u);
+}
+
+TEST(LogicalClusters, SurvivesMeasurementJitter) {
+  const TopologyProfile dense =
+      generate_profile(quad_cluster(4), 32, GenerateOptions{0.02, 11});
+  DetectOptions options;
+  options.tolerance = 0.08;  // two jitter half-widths
+  const ClusterDecomposition decomp =
+      detect_logical_clusters(dense, options);
+  EXPECT_EQ(decomp.cluster_count(), 4u);
+  EXPECT_EQ(decomp.num_classes, 1u);
+  // And the tiled form lumps the jittered blocks without complaint.
+  const TiledProfile tiled = TiledProfile::from_dense(dense, decomp);
+  EXPECT_EQ(tiled.ranks(), 32u);
+}
+
+TEST(TiledProfile, AccessorsBitIdenticalOnExactBlockMachine) {
+  const TopologyProfile dense = generate_profile(quad_cluster(4), 32);
+  ASSERT_TRUE(dense.has_bandwidth());
+  ASSERT_TRUE(dense.has_rma_latency());
+  const TiledProfile tiled =
+      TiledProfile::from_dense(dense, detect_logical_clusters(dense));
+  ASSERT_TRUE(tiled.has_bandwidth());
+  ASSERT_TRUE(tiled.has_rma_latency());
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      // EXPECT_EQ, not DOUBLE_EQ: the contract is bit-identity.
+      EXPECT_EQ(dense.o(i, j), tiled.o(i, j));
+      EXPECT_EQ(dense.l(i, j), tiled.l(i, j));
+      EXPECT_EQ(dense.g(i, j), tiled.g(i, j));
+      EXPECT_EQ(dense.r(i, j), tiled.r(i, j));
+    }
+  }
+  EXPECT_EQ(dense, tiled.to_dense());
+}
+
+TEST(TiledProfile, RestrictMatchesDenseRestrict) {
+  const TopologyProfile dense = generate_profile(hex_cluster(3), 36);
+  const TiledProfile tiled =
+      TiledProfile::from_dense(dense, detect_logical_clusters(dense));
+  const std::vector<std::size_t> subset{0, 13, 5, 25, 35};
+  EXPECT_EQ(dense.restrict_to(subset), tiled.restrict_to(subset));
+}
+
+TEST(TiledProfile, MemoryStaysSubQuadratic) {
+  const MachineSpec m = quad_cluster(16);
+  const TopologyProfile dense = generate_profile(m, 128);
+  const TiledProfile tiled =
+      TiledProfile::from_dense(dense, detect_logical_clusters(dense));
+  const std::size_t dense_bytes = 4 * 128 * 128 * sizeof(double);
+  EXPECT_LT(tiled.memory_bytes(), dense_bytes / 10);
+}
+
+TEST(TiledProfile, MixedClusterSizesFormTwoClasses) {
+  // Hand-built block machine: two 2-rank clusters and two 3-rank
+  // clusters, uniform inter-cluster cost. No G/R: the r() accessor must
+  // fall back to l() exactly like the dense profile.
+  const std::size_t p = 10;
+  const std::vector<std::vector<std::size_t>> layout{
+      {0, 1}, {2, 3}, {4, 5, 6}, {7, 8, 9}};
+  Matrix<double> o(p, p, 1.0e-4);
+  Matrix<double> l(p, p, 1.0e-5);
+  for (const auto& members : layout) {
+    for (std::size_t a : members) {
+      for (std::size_t b : members) {
+        o(a, b) = a == b ? 1.0e-6 : 2.0e-6;
+        l(a, b) = a == b ? 0.0 : 3.0e-7;
+      }
+    }
+  }
+  const TopologyProfile dense(std::move(o), std::move(l));
+  const ClusterDecomposition decomp = detect_logical_clusters(dense);
+  ASSERT_EQ(decomp.cluster_count(), 4u);
+  EXPECT_EQ(decomp.num_classes, 2u);
+  EXPECT_EQ(decomp.class_of, (std::vector<std::size_t>{0, 0, 1, 1}));
+  const TiledProfile tiled = TiledProfile::from_dense(dense, decomp);
+  EXPECT_EQ(tiled.class_tile(0).ranks(), 2u);
+  EXPECT_EQ(tiled.class_tile(1).ranks(), 3u);
+  EXPECT_FALSE(tiled.has_rma_latency());
+  EXPECT_EQ(tiled.r(0, 5), tiled.l(0, 5));
+  EXPECT_EQ(dense, tiled.to_dense());
+}
+
+TEST(TiledProfile, RejectsNonBlockStructuredMachine) {
+  // The skewed preset's cross-socket fabric is slower than its network,
+  // so the gap cut lands at socket granularity — and then inter-cluster
+  // costs are NOT one scalar per class pair (same-node sockets see
+  // 8e-5, cross-node sockets 4e-5). from_dense must refuse to lump it.
+  const TopologyProfile dense = generate_profile(skewed_cluster(4), 32);
+  const ClusterDecomposition decomp = detect_logical_clusters(dense);
+  ASSERT_GT(decomp.cluster_count(), 4u);  // socket-level cut
+  EXPECT_THROW(TiledProfile::from_dense(dense, decomp), Error);
+}
+
+TEST(TiledProfile, SaveLoadRoundTripIsExact) {
+  const TopologyProfile dense = generate_profile(quad_cluster(4), 32);
+  const TiledProfile tiled =
+      TiledProfile::from_dense(dense, detect_logical_clusters(dense));
+  std::stringstream ss;
+  tiled.save(ss);
+  EXPECT_NE(ss.str().find("optibar-profile v4\n"), std::string::npos);
+  const TiledProfile back = TiledProfile::load(ss);
+  EXPECT_EQ(tiled, back);
+}
+
+TEST(TiledProfile, DenseLoaderRejectsV4WithPointer) {
+  const TopologyProfile dense = generate_profile(quad_cluster(2), 16);
+  const TiledProfile tiled =
+      TiledProfile::from_dense(dense, detect_logical_clusters(dense));
+  std::stringstream ss;
+  tiled.save(ss);
+  try {
+    TopologyProfile::load(ss);
+    FAIL() << "dense loader accepted a v4 file";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("tiled"), std::string::npos);
+  }
+}
+
+TEST(TiledProfile, TiledLoaderRejectsDenseFiles) {
+  const TopologyProfile dense = generate_profile(quad_cluster(2), 16);
+  std::stringstream ss;
+  dense.save(ss);
+  EXPECT_THROW(TiledProfile::load(ss), IoError);
+}
+
+TEST(TiledProfile, LoadRejectsNonCanonicalAssignment) {
+  const TopologyProfile dense = generate_profile(quad_cluster(2), 16);
+  const TiledProfile tiled =
+      TiledProfile::from_dense(dense, detect_logical_clusters(dense));
+  std::stringstream ss;
+  tiled.save(ss);
+  std::string text = ss.str();
+  // Rank 0 must be in cluster 0; flipping it breaks the canonical
+  // first-appearance numbering.
+  const std::size_t pos = text.find("assignment\n");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + std::string("assignment\n").size()] = '1';
+  std::stringstream tampered(text);
+  EXPECT_THROW(TiledProfile::load(tampered), IoError);
+}
+
+TEST(GenerateTiled, BitIdenticalToDenseLift) {
+  // Where both paths fit in memory they must agree exactly: the direct
+  // generator and from_dense(generate_profile(...)) describe the same
+  // jitter-free machine.
+  const MachineSpec m = quad_cluster(4);
+  const TiledProfile direct = generate_tiled_profile(m, 32);
+  const TopologyProfile dense = generate_profile(m, 32);
+  const TiledProfile lifted =
+      TiledProfile::from_dense(dense, detect_logical_clusters(dense));
+  ASSERT_EQ(direct.ranks(), 32u);
+  EXPECT_EQ(direct.assignment(), lifted.assignment());
+  EXPECT_EQ(direct.class_of(), lifted.class_of());
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      EXPECT_EQ(direct.o(i, j), dense.o(i, j));
+      EXPECT_EQ(direct.l(i, j), dense.l(i, j));
+      EXPECT_EQ(direct.g(i, j), dense.g(i, j));
+      EXPECT_EQ(direct.r(i, j), dense.r(i, j));
+    }
+  }
+}
+
+TEST(GenerateTiled, TenkPresetScalesSubQuadratically) {
+  const TiledProfile tiled =
+      generate_tiled_profile(tenk_cluster(), tenk_cluster().total_cores());
+  EXPECT_EQ(tiled.ranks(), 10240u);
+  EXPECT_EQ(tiled.cluster_count(), 256u);
+  EXPECT_EQ(tiled.class_count(), 1u);
+  // Dense O/L/G/R at this P would be 4 * 10240^2 * 8 bytes; the tiled
+  // form must be orders of magnitude below that.
+  const std::size_t dense_bytes = 4 * 10240 * std::size_t{10240} * 8;
+  EXPECT_LT(tiled.memory_bytes(), dense_bytes / 1000);
+}
+
+TEST(GenerateTiled, TenkPresetIsDetectableAtSmallScale) {
+  // The preset's node gap must be what the detector cuts at — checked
+  // densely on a 4-node slice, where detection can actually run.
+  const TopologyProfile dense = generate_profile(tenk_cluster(4), 160);
+  const ClusterDecomposition decomp = detect_logical_clusters(dense);
+  EXPECT_EQ(decomp.cluster_count(), 4u);
+  EXPECT_EQ(decomp.num_classes, 1u);
+}
+
+TEST(GenerateTiled, RejectsPartialNodes) {
+  EXPECT_THROW(generate_tiled_profile(quad_cluster(4), 12), Error);
+  EXPECT_THROW(generate_tiled_profile(quad_cluster(4), 8), Error);   // 1 node
+  EXPECT_THROW(generate_tiled_profile(quad_cluster(2), 24), Error);  // > spec
+}
+
+}  // namespace
+}  // namespace optibar
